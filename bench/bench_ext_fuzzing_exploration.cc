@@ -1,0 +1,92 @@
+// Extension (paper §6 future work): coverage-guided fuzzing as the UI
+// exploration driver. The paper flags Monkey's UI coverage as a detection
+// bottleneck and proposes fuzzing. This bench compares Monkey vs fuzzing at
+// the same event budget: RAC achieved, per-app emulation time (426-key
+// hooks), and detection recall of a model trained on each driver's
+// observations.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.h"
+#include "ml/cross_validation.h"
+#include "stats/descriptive.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace apichecker;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const size_t study_apps = args.AppsOr(2'500);
+  bench::PrintHeader("Extension — Monkey vs coverage-guided fuzzing exploration",
+                     "paper §6: UI coverage is the feature-extraction bottleneck", args,
+                     study_apps);
+
+  struct Variant {
+    const char* label;
+    emu::ExplorationStrategy strategy;
+  };
+  const Variant variants[] = {
+      {"Monkey (deployed)", emu::ExplorationStrategy::kMonkey},
+      {"coverage-guided fuzzing", emu::ExplorationStrategy::kCoverageGuidedFuzzing},
+  };
+
+  util::Table table({"driver", "mean RAC", "mean scan (min)", "precision", "recall"});
+  for (const Variant& variant : variants) {
+    // Independent context per driver: the study itself runs under the
+    // driver's engine, so observations and the trained model both reflect it.
+    android::UniverseConfig universe_config;
+    universe_config.num_apis = args.apis;
+    universe_config.seed = args.seed ^ 0xA11D;
+    const android::ApiUniverse universe = android::ApiUniverse::Generate(universe_config);
+    synth::CorpusConfig corpus_config;
+    corpus_config.seed = args.seed;
+    synth::CorpusGenerator generator(universe, corpus_config);
+
+    core::StudyConfig study_config;
+    study_config.num_apps = study_apps;
+    study_config.engine.exploration = variant.strategy;
+    const core::StudyDataset study = core::RunStudy(universe, generator, study_config);
+
+    const auto correlations = core::ComputeApiCorrelations(study, universe.num_apis());
+    const auto sel = core::SelectKeyApis(correlations, universe, study.size());
+    const core::FeatureSchema schema(sel.key_apis, universe);
+    const ml::Dataset data = core::BuildDataset(study, schema, universe);
+    const auto result = ml::CrossValidate(data, args.quick ? 3 : 5, 3, [] {
+      return ml::MakeClassifier(ml::ClassifierKind::kRandomForest, 11);
+    });
+
+    std::vector<double> racs;
+    for (const core::StudyRecord& record : study.records) {
+      racs.push_back(record.rac);
+    }
+
+    // Scan time with key hooks on the lightweight engine under this driver.
+    emu::EngineConfig light;
+    light.kind = emu::EngineKind::kLightweight;
+    light.exploration = variant.strategy;
+    const emu::DynamicAnalysisEngine engine(universe, light);
+    const emu::TrackedApiSet tracked(sel.key_apis, universe.num_apis());
+    synth::CorpusConfig fresh_config;
+    fresh_config.seed = args.seed + 77;
+    synth::CorpusGenerator fresh(universe, fresh_config);
+    std::vector<double> minutes;
+    for (int i = 0; i < 300; ++i) {
+      auto apk = apk::ParseApk(synth::BuildApkBytes(fresh.Next(), universe));
+      if (apk.ok()) {
+        minutes.push_back(engine.Run(*apk, tracked).emulation_minutes);
+      }
+    }
+
+    table.AddRow({variant.label, util::FormatPercent(stats::Mean(racs)),
+                  util::FormatDouble(stats::Mean(minutes), 2),
+                  util::FormatPercent(result.Precision()),
+                  util::FormatPercent(result.Recall())});
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("\nexpected shape: fuzzing raises RAC (and slightly recall) at higher scan cost\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Extension (paper §2 threat model): update attacks — a benign package's new
+// version smuggles in a malicious payload. Fingerprint antivirus is blind to
+// them by construction (the signature database only knows *previously seen*
+// malicious code), so they stress exactly the ML stage. This bench runs the
+// market pipeline under increasing update-attack pressure and reports how
+// many attacks the checker catches and what happens to overall accuracy.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.h"
+#include "market/simulation.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace apichecker;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::PrintHeader("Extension — update-attack pressure on the pipeline",
+                     "§2: repackaging/update attacks evade fingerprints, not the ML stage",
+                     args, args.AppsOr(100) * 24);
+
+  util::Table table({"attack rate", "attacks", "caught by checker", "catch rate",
+                     "overall precision", "overall recall"});
+  for (double rate : {0.0, 0.01, 0.03}) {
+    android::UniverseConfig universe_config;
+    universe_config.num_apis = args.apis;
+    universe_config.seed = args.seed ^ 0xA11D;
+    android::ApiUniverse universe = android::ApiUniverse::Generate(universe_config);
+
+    market::MarketConfig config;
+    config.months = args.quick ? 2 : 3;
+    config.days_per_month = 6;
+    config.apps_per_day = args.AppsOr(100);
+    config.initial_study_apps = args.quick ? 1'500 : 3'000;
+    config.update_attack_rate = rate;
+    config.seed = args.seed;
+
+    market::MarketSimulation sim(universe, config);
+    const auto months = sim.Run();
+
+    uint64_t attacks = 0, caught = 0;
+    ml::ConfusionMatrix cm;
+    for (const market::MonthlyStats& m : months) {
+      attacks += m.update_attacks_submitted;
+      caught += m.update_attacks_caught;
+      cm += m.checker_cm;
+    }
+    table.AddRow({util::FormatPercent(rate), std::to_string(attacks), std::to_string(caught),
+                  attacks == 0 ? "n/a"
+                               : util::FormatPercent(static_cast<double>(caught) /
+                                                     static_cast<double>(attacks)),
+                  util::FormatPercent(cm.Precision()), util::FormatPercent(cm.Recall())});
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+  std::printf("\nexpected shape: most update attacks are caught dynamically; accuracy\n"
+              "degrades only mildly as attack pressure rises\n");
+  return 0;
+}

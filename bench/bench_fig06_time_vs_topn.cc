@@ -1,0 +1,69 @@
+// Figure 6: per-app analysis time as a function of the number of tracked
+// top-|SRC| APIs, with the paper's tri-modal fit (Eq. 1): linear growth for
+// n < 800 (moderate-frequency, malware-leaning APIs), polynomial for
+// n in [800, 1K] (enrollment of APIs heavily used by everyone), logarithmic
+// beyond 1K (rare-tail APIs). Paper R^2: 0.96 / 0.99 / 0.99; tracking up to
+// ~490 APIs keeps the average under 5 minutes.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.h"
+#include "core/selection.h"
+#include "stats/descriptive.h"
+#include "stats/fitting.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace apichecker;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  const size_t sample = args.AppsOr(300);
+  bench::PrintHeader("Figure 6 — analysis time vs top-n tracked APIs (tri-modal fit)",
+                     "t(n): linear <800, power 800..1K, log >1K; R^2 = .96/.99/.99", args,
+                     sample);
+
+  bench::StudyContext context(args, 3'000);
+  const auto apks = bench::MaterializeApks(context, sample, 6);
+  const auto priority =
+      core::TopCorrelatedApis(context.correlations(), context.study().size(),
+                              context.universe().num_apis());
+
+  const emu::EngineConfig google;
+  std::vector<double> xs, ys;
+  util::Table table({"tracked top-n APIs", "mean time (min)"});
+  for (size_t n : {1u, 50u, 100u, 200u, 300u, 400u, 490u, 600u, 800u, 850u, 900u, 950u, 1'000u,
+                   1'500u, 2'500u, 5'000u, 10'000u, 20'000u, 35'000u, 50'000u}) {
+    if (n > priority.size()) {
+      break;
+    }
+    const std::vector<android::ApiId> top(priority.begin(),
+                                          priority.begin() + static_cast<ptrdiff_t>(n));
+    const emu::TrackedApiSet tracked(top, context.universe().num_apis());
+    const auto minutes = bench::EmulationMinutes(context.universe(), apks, google, tracked);
+    const double mean = stats::Mean(minutes);
+    xs.push_back(static_cast<double>(n));
+    ys.push_back(mean);
+    table.AddRow({util::FormatCount(static_cast<double>(n)), util::FormatDouble(mean, 2)});
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  const stats::TriModalFit fit = stats::FitTriModal(xs, ys, 800.0, 1'000.0);
+  std::printf("\ntri-modal fit: %s\n\n", fit.ToString().c_str());
+  bench::PrintComparison("linear-segment R^2 (n<800)", "0.96",
+                         util::FormatDouble(fit.linear.r_squared, 3));
+  bench::PrintComparison("power-segment R^2 (800<=n<=1K)", "0.99",
+                         util::FormatDouble(fit.power.r_squared, 3));
+  bench::PrintComparison("log-segment R^2 (n>1K)", "0.99",
+                         util::FormatDouble(fit.log.r_squared, 3));
+  for (size_t i = 0; i < xs.size(); ++i) {
+    if (xs[i] == 490.0) {
+      bench::PrintComparison("mean time @ top-490 APIs", "<5 min",
+                             util::FormatDouble(ys[i], 2) + " min");
+    }
+  }
+  return 0;
+}

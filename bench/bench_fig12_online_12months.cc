@@ -1,0 +1,83 @@
+// Figure 12: online precision/recall of the deployed system over 12 months
+// of market operation (monthly model evolution included). Paper: per-month
+// precision 98.5–99.0%, recall 96.5–97.0%; ~2.4K suspicious apps flagged per
+// month at ~10K submissions/day, avg scan 1.3 min (1.92 min end-to-end).
+// Also reproduces the §5.2 observations: ~90% of flagged apps are updates,
+// and unreported FNs are tolerable.
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.h"
+#include "market/simulation.h"
+#include "stats/descriptive.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace apichecker;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+
+  android::UniverseConfig universe_config;
+  universe_config.num_apis = args.apis;
+  universe_config.seed = args.seed ^ 0xA11D;
+  android::ApiUniverse universe = android::ApiUniverse::Generate(universe_config);
+
+  market::MarketConfig config;
+  config.months = args.quick ? 3 : 12;
+  config.days_per_month = args.quick ? 5 : 8;
+  config.apps_per_day = args.AppsOr(150);
+  config.initial_study_apps = args.quick ? 2'000 : 5'000;
+  config.seed = args.seed;
+  bench::PrintHeader(
+      "Figure 12 — online precision/recall over 12 months",
+      "precision 98.5-99.0%, recall 96.5-97.0% every month; scan 1.3 min", args,
+      config.months * config.days_per_month * config.apps_per_day);
+
+  market::MarketSimulation sim(universe, config);
+  const std::vector<market::MonthlyStats> months = sim.Run();
+
+  util::Table table({"month", "submitted", "precision", "recall", "F1", "flagged",
+                     "fingerprint hits", "FP complaints", "FN reports", "scan (min)"});
+  double min_p = 1.0, max_p = 0.0, min_r = 1.0, max_r = 0.0;
+  uint64_t flagged = 0, flagged_updates = 0, fn_total = 0, fn_simple = 0;
+  double scan_sum = 0.0;
+  for (const market::MonthlyStats& m : months) {
+    table.AddRow({std::to_string(m.month), std::to_string(m.submitted),
+                  util::FormatPercent(m.checker_cm.Precision()),
+                  util::FormatPercent(m.checker_cm.Recall()),
+                  util::FormatPercent(m.checker_cm.F1()), std::to_string(m.flagged_by_checker),
+                  std::to_string(m.caught_by_fingerprint), std::to_string(m.fp_complaints),
+                  std::to_string(m.fn_user_reports), util::FormatDouble(m.avg_scan_minutes, 2)});
+    min_p = std::min(min_p, m.checker_cm.Precision());
+    max_p = std::max(max_p, m.checker_cm.Precision());
+    min_r = std::min(min_r, m.checker_cm.Recall());
+    max_r = std::max(max_r, m.checker_cm.Recall());
+    flagged += m.flagged_by_checker;
+    flagged_updates += m.flagged_updates;
+    fn_total += m.fn_total;
+    fn_simple += m.fn_barely_uses_key_apis;
+    scan_sum += m.avg_scan_minutes;
+  }
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  std::printf("\n");
+  bench::PrintComparison("per-month precision range", "98.5% .. 99.0%",
+                         util::FormatPercent(min_p) + " .. " + util::FormatPercent(max_p));
+  bench::PrintComparison("per-month recall range", "96.5% .. 97.0%",
+                         util::FormatPercent(min_r) + " .. " + util::FormatPercent(max_r));
+  bench::PrintComparison("avg scan time", "1.3 min",
+                         util::FormatDouble(scan_sum / months.size(), 2) + " min");
+  bench::PrintComparison("flagged apps that are updates", "~90%",
+                         flagged == 0 ? "n/a"
+                                      : util::FormatPercent(static_cast<double>(flagged_updates) /
+                                                            static_cast<double>(flagged)));
+  bench::PrintComparison("FNs that barely use key APIs", "87%",
+                         fn_total == 0 ? "n/a"
+                                       : util::FormatPercent(static_cast<double>(fn_simple) /
+                                                             static_cast<double>(fn_total)));
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 16 / §5.4: time CDFs when tracking no API, the top-150
+// Gini-important key APIs, and all 426 key APIs (Google engine), plus the
+// accuracy retained at 150. Paper: top-150 achieves 98.3%/96.6% (vs
+// 98.6%/96.7% at 426) while cutting the per-app time to ~2.5 min — feasible
+// even on low-end vetting hardware.
+
+#include <cstdio>
+
+#include "bench/common.h"
+#include "ml/cross_validation.h"
+#include "stats/descriptive.h"
+#include "util/strings.h"
+
+using namespace apichecker;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::StudyContext context(args, 4'000);
+  bench::PrintHeader("Figure 16 — tracking none vs top-150 vs all key APIs",
+                     "top-150: 98.3/96.6 at ~2.5 min (426: 98.6/96.7 at 4.3 min)", args,
+                     context.study().size());
+
+  core::ApiCheckerConfig checker_config;
+  core::ApiChecker checker(context.universe(), checker_config);
+  checker.TrainFromStudy(context.study());
+  const std::vector<android::ApiId> ranked = checker.KeyApisByImportance();
+  const size_t k = std::min<size_t>(150, ranked.size());
+  const std::vector<android::ApiId> top150(ranked.begin(),
+                                           ranked.begin() + static_cast<ptrdiff_t>(k));
+
+  // Accuracy at 150 vs full key set (A+P+I).
+  const size_t folds = args.quick ? 3 : 5;
+  auto evaluate = [&](const std::vector<android::ApiId>& apis) {
+    const core::FeatureSchema schema(apis, context.universe());
+    const ml::Dataset data = core::BuildDataset(context.study(), schema, context.universe());
+    return ml::CrossValidate(data, folds, 3, [] {
+      return ml::MakeClassifier(ml::ClassifierKind::kRandomForest, 11);
+    });
+  };
+  const auto at150 = evaluate(top150);
+  const auto at_full = evaluate(checker.selection().key_apis);
+
+  // Time CDFs.
+  const auto apks = bench::MaterializeApks(context, args.AppsOr(600), 16);
+  const emu::EngineConfig google;
+  const auto t_none =
+      bench::EmulationMinutes(context.universe(), apks, google,
+                              emu::TrackedApiSet::None(context.universe().num_apis()));
+  const auto t_150 = bench::EmulationMinutes(
+      context.universe(), apks, google,
+      emu::TrackedApiSet(top150, context.universe().num_apis()));
+  const auto t_key = bench::EmulationMinutes(
+      context.universe(), apks, google,
+      emu::TrackedApiSet(checker.selection().key_apis, context.universe().num_apis()));
+
+  bench::PrintCdf("Track no API       (minutes)", t_none, 10);
+  std::printf("\n");
+  bench::PrintCdf("Track top-150 APIs (minutes)", t_150, 10);
+  std::printf("\n");
+  bench::PrintCdf("Track all key APIs (minutes)", t_key, 10);
+
+  std::printf("\n");
+  bench::PrintComparison("top-150 precision/recall", "98.3% / 96.6%",
+                         util::FormatPercent(at150.Precision()) + " / " +
+                             util::FormatPercent(at150.Recall()));
+  bench::PrintComparison("full key-set precision/recall", "98.6% / 96.7%",
+                         util::FormatPercent(at_full.Precision()) + " / " +
+                             util::FormatPercent(at_full.Recall()));
+  bench::PrintComparison("top-150 mean time", "2.5 min",
+                         util::FormatDouble(stats::Mean(t_150), 2) + " min");
+  bench::PrintComparison("full key-set mean time", "4.3 min",
+                         util::FormatDouble(stats::Mean(t_key), 2) + " min");
+  return 0;
+}

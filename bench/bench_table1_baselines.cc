@@ -1,0 +1,96 @@
+// Table 1: comparison with representative API-centric malware detectors —
+// analysis method, per-app analysis time, API feature budget, and
+// precision/recall — all re-measured on the same synthetic corpus. Paper's
+// APICHECKER row: dynamic, 78 s/app, 426 APIs, ~500K apps, 98.6%/96.7%.
+// Appendix: the §5.4 robustness scan (key APIs cover 10.5% of the framework
+// once implementation dependencies are counted).
+
+#include <cstdio>
+#include <sstream>
+
+#include "bench/common.h"
+#include "core/baselines.h"
+#include "ml/cross_validation.h"
+#include "stats/descriptive.h"
+#include "util/rng.h"
+#include "util/strings.h"
+#include "util/table.h"
+
+using namespace apichecker;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  bench::StudyContext context(args, 5'000);
+  const size_t apps = context.study().size();
+  bench::PrintHeader("Table 1 — related-work comparison on one corpus",
+                     "APICHECKER: dynamic, 78 s/app, 426 APIs, 98.6%/96.7%", args, apps);
+
+  // Train/test split shared by every detector.
+  const size_t test_every = 5;  // 80/20 split by index (stream order).
+  core::StudyDataset train, test;
+  for (size_t i = 0; i < context.study().size(); ++i) {
+    ((i % test_every == 0) ? test : train).records.push_back(context.study().records[i]);
+  }
+
+  util::Table table({"detector", "analysis", "time/app", "#APIs", "precision", "recall"});
+  util::Rng rng(args.seed);
+  for (const core::BaselineSpec& spec : core::StandardBaselines()) {
+    core::BaselineDetector detector(context.universe(), spec, args.seed);
+    detector.Train(train);
+    const ml::ConfusionMatrix cm = detector.Evaluate(test);
+    std::vector<double> minutes;
+    for (int i = 0; i < 200; ++i) {
+      minutes.push_back(detector.SampleAnalysisMinutes(rng));
+    }
+    table.AddRow({spec.name + " " + spec.citation,
+                  spec.mode == core::BaselineSpec::Mode::kStatic ? "static" : "dynamic",
+                  util::FormatDouble(stats::Mean(minutes) * 60.0, 0) + " s",
+                  std::to_string(detector.selected_apis().size()),
+                  util::FormatPercent(cm.Precision()), util::FormatPercent(cm.Recall())});
+  }
+
+  // APICHECKER row: key-API selection on the training split, A+P+I forest,
+  // measured lightweight-engine scan time.
+  const auto correlations = core::ComputeApiCorrelations(train, context.universe().num_apis());
+  const core::KeyApiSelection sel =
+      core::SelectKeyApis(correlations, context.universe(), train.size());
+  const core::FeatureSchema schema(sel.key_apis, context.universe());
+  const ml::Dataset train_data = core::BuildDataset(train, schema, context.universe());
+  const ml::Dataset test_data = core::BuildDataset(test, schema, context.universe());
+  auto forest = ml::MakeClassifier(ml::ClassifierKind::kRandomForest, args.seed);
+  forest->Train(train_data);
+  const ml::ConfusionMatrix cm = forest->Evaluate(test_data);
+
+  emu::EngineConfig light;
+  light.kind = emu::EngineKind::kLightweight;
+  const auto apks = bench::MaterializeApks(context, 300, 21);
+  const auto minutes =
+      bench::EmulationMinutes(context.universe(), apks, light,
+                              emu::TrackedApiSet(sel.key_apis, context.universe().num_apis()));
+  table.AddRow({"APICHECKER (this work)", "dynamic",
+                util::FormatDouble(stats::Mean(minutes) * 60.0, 0) + " s",
+                std::to_string(sel.key_apis.size()), util::FormatPercent(cm.Precision()),
+                util::FormatPercent(cm.Recall())});
+
+  std::ostringstream os;
+  table.Print(os);
+  std::fputs(os.str().c_str(), stdout);
+
+  std::printf("\n");
+  bench::PrintComparison("APICHECKER scan time", "78 s",
+                         util::FormatDouble(stats::Mean(minutes) * 60.0, 0) + " s");
+  bench::PrintComparison("APICHECKER precision/recall", "98.6% / 96.7%",
+                         util::FormatPercent(cm.Precision()) + " / " +
+                             util::FormatPercent(cm.Recall()));
+
+  // §5.4 appendix: dependency coverage of the key APIs.
+  const auto dependents = context.universe().TransitiveDependents(sel.key_apis);
+  const double direct =
+      static_cast<double>(sel.key_apis.size()) / context.universe().num_apis();
+  const double total = static_cast<double>(sel.key_apis.size() + dependents.size()) /
+                       context.universe().num_apis();
+  std::printf("\n[§5.4 robustness] key APIs: %zu (%.2f%% of framework); APIs implemented via "
+              "them: %zu; combined coverage %.1f%% (paper: 0.85%% direct, 10.5%% combined)\n",
+              sel.key_apis.size(), direct * 100.0, dependents.size(), total * 100.0);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Shared infrastructure for the experiment-regeneration benchmarks. Every
+// bench binary reproduces one table or figure from the paper's evaluation:
+// it builds the framework model, synthesizes a corpus, runs the study
+// pipeline at a configurable scale, and prints the same rows/series the
+// paper reports (plus the paper's published values for eyeballing).
+//
+// Common flags: --apps N, --apis N, --seed S, --quick (tiny scale smoke run).
+
+#ifndef APICHECKER_BENCH_COMMON_H_
+#define APICHECKER_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "android/api_universe.h"
+#include "core/checker.h"
+#include "core/selection.h"
+#include "core/study.h"
+#include "emu/engine.h"
+#include "synth/corpus.h"
+
+namespace apichecker::bench {
+
+struct BenchArgs {
+  size_t apps = 0;       // 0 = per-bench default.
+  size_t apis = 50'000;
+  uint64_t seed = 42;
+  bool quick = false;    // Shrinks everything for CI smoke runs.
+
+  static BenchArgs Parse(int argc, char** argv);
+
+  size_t AppsOr(size_t fallback) const {
+    if (apps != 0) {
+      return apps;
+    }
+    return quick ? std::max<size_t>(400, fallback / 20) : fallback;
+  }
+};
+
+// Universe + generator + study corpus, built once per binary.
+class StudyContext {
+ public:
+  StudyContext(const BenchArgs& args, size_t default_apps);
+
+  const android::ApiUniverse& universe() const { return *universe_; }
+  android::ApiUniverse& mutable_universe() { return *universe_; }
+  synth::CorpusGenerator& generator() { return *generator_; }
+  const core::StudyDataset& study() const { return study_; }
+  const BenchArgs& args() const { return args_; }
+
+  // SRC correlations over the study (computed lazily, cached).
+  const std::vector<core::ApiCorrelation>& correlations() const;
+  // Key-API selection from the cached correlations.
+  core::KeyApiSelection Selection() const;
+
+ private:
+  BenchArgs args_;
+  std::unique_ptr<android::ApiUniverse> universe_;
+  std::unique_ptr<synth::CorpusGenerator> generator_;
+  core::StudyDataset study_;
+  mutable std::vector<core::ApiCorrelation> correlations_;
+};
+
+// Prints the standard bench header: what is being regenerated and at what
+// scale, plus the reminder that shapes (not absolute values) are the target.
+void PrintHeader(const std::string& experiment, const std::string& paper_summary,
+                 const BenchArgs& args, size_t apps);
+
+// "paper: X | measured: Y" one-liner.
+void PrintComparison(const std::string& metric, const std::string& paper_value,
+                     const std::string& measured_value);
+
+// Materializes `count` fresh submissions (APK build + parse) from a stream
+// seeded off the context's seed plus `salt`.
+std::vector<apk::ApkFile> MaterializeApks(const StudyContext& context, size_t count,
+                                          uint64_t salt);
+
+// Per-app emulation minutes for a batch under one engine/tracked-set combo.
+std::vector<double> EmulationMinutes(const android::ApiUniverse& universe,
+                                     const std::vector<apk::ApkFile>& apks,
+                                     const emu::EngineConfig& engine_config,
+                                     const emu::TrackedApiSet& tracked);
+
+// Prints an empirical CDF as a table alongside its summary line.
+void PrintCdf(const std::string& label, const std::vector<double>& samples, size_t points = 15);
+
+}  // namespace apichecker::bench
+
+#endif  // APICHECKER_BENCH_COMMON_H_

@@ -1,0 +1,108 @@
+// Deterministic model of the Android framework API surface (~50K APIs at SDK
+// level 27, paper §1/§4.3). Each API carries the metadata the detection
+// pipeline consumes:
+//
+//  * a permission requirement with its protection level (the Axplorer/PScout
+//    permission-map analogue used for Set-P, §4.4 Step 2),
+//  * a sensitive-operation category (domain knowledge behind Set-S, Step 3),
+//  * whether the API carries Intent parameters observable when hooked (§4.5),
+//  * popularity / invocation-rate statistics that drive the corpus generator
+//    and the emulation cost model (Figs 2, 3, 6),
+//  * an `attacker_useful` hint marking functionality that malware families
+//    disproportionately exercise (the latent ground truth behind Set-C), and
+//  * an intra-SDK dependency edge (`implemented_via`) modelling §5.4's
+//    finding that 4,816 additional APIs are implemented on top of key APIs.
+//
+// The universe also evolves: AddSdkLevel() appends new APIs, as the market
+// simulator does monthly (§5.3, Fig 14).
+
+#ifndef APICHECKER_ANDROID_API_UNIVERSE_H_
+#define APICHECKER_ANDROID_API_UNIVERSE_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "android/catalogues.h"
+#include "android/types.h"
+
+namespace apichecker::android {
+
+struct ApiInfo {
+  std::string name;                      // package.Class.method
+  Protection protection = Protection::kNone;
+  int32_t permission = -1;               // PermissionId or -1.
+  SensitiveOp sensitive = SensitiveOp::kNone;
+  bool intent_related = false;           // Hooking it reveals Intent params.
+  bool attacker_useful = false;          // Latent malware-utility hint.
+  bool common_op = false;                // Ubiquitous benign plumbing (file IO etc).
+  uint16_t sdk_level = 0;                // SDK level that introduced the API.
+  float popularity = 0.0f;               // P(a typical benign app uses it).
+  float invocations_per_kevent = 0.0f;   // Mean invocations per 1K Monkey events when used.
+  int32_t implemented_via = -1;          // ApiId its implementation delegates to, or -1.
+};
+
+struct UniverseConfig {
+  size_t num_apis = 50'000;
+  uint64_t seed = 0x20180301;
+  uint16_t base_sdk_level = 27;
+  size_t num_restrictive_apis = 112;     // |Set-P| ground truth (paper: 112).
+  size_t num_sensitive_apis = 70;        // |Set-S| ground truth (paper: 70).
+  size_t num_attacker_useful = 310;      // Latent Set-C candidate pool.
+  double dependency_fraction = 0.096;    // §5.4: 9.6% of APIs delegate to key APIs.
+  // Mean framework API invocations per Monkey event for a typical app
+  // (paper §4.3: one event triggers ~8,460 invocations).
+  double invocations_per_event = 8'460.0;
+};
+
+class ApiUniverse {
+ public:
+  static ApiUniverse Generate(const UniverseConfig& config);
+
+  size_t num_apis() const { return apis_.size(); }
+  const ApiInfo& api(ApiId id) const { return apis_.at(id); }
+  const std::vector<PermissionInfo>& permissions() const { return permissions_; }
+  const std::vector<std::string>& intents() const { return intents_; }
+  uint16_t sdk_level() const { return sdk_level_; }
+  const UniverseConfig& config() const { return config_; }
+
+  // APIs guarded by dangerous/signature permissions (Set-P candidates).
+  std::vector<ApiId> RestrictivePermissionApis() const;
+  // APIs performing sensitive operations (Set-S candidates).
+  std::vector<ApiId> SensitiveOperationApis() const;
+  // Latent attacker-useful plain APIs (ground-truth Set-C pool; the pipeline
+  // never reads this directly — it must re-discover them via SRC).
+  std::vector<ApiId> AttackerUsefulApis() const;
+  // Ubiquitous common-operation APIs (the "13 frequent negatives" cluster).
+  std::vector<ApiId> CommonOpApis() const;
+
+  // All APIs whose implementation transitively delegates to any API in
+  // `roots` (§5.4 coverage scan). Does not include the roots themselves.
+  std::vector<ApiId> TransitiveDependents(std::span<const ApiId> roots) const;
+
+  std::optional<ApiId> FindByName(const std::string& name) const;
+
+  // Appends `count` new APIs introduced by a new SDK level; returns their
+  // ids. A small fraction are restrictive/sensitive/attacker-useful so the
+  // key-API set genuinely drifts over time (Fig 14).
+  std::vector<ApiId> AddSdkLevel(uint16_t level, size_t count, uint64_t seed);
+
+ private:
+  ApiUniverse() = default;
+
+  ApiId AddApi(ApiInfo info);
+
+  UniverseConfig config_;
+  std::vector<ApiInfo> apis_;
+  std::vector<PermissionInfo> permissions_;
+  std::vector<std::string> intents_;
+  std::unordered_map<std::string, ApiId> name_index_;
+  uint16_t sdk_level_ = 0;
+};
+
+}  // namespace apichecker::android
+
+#endif  // APICHECKER_ANDROID_API_UNIVERSE_H_

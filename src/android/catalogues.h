@@ -1,0 +1,31 @@
+// Static catalogues of Android permissions and broadcast/action intents used
+// by the modelled framework. Names follow the real Android SDK so reports
+// (e.g. the Fig. 13 Gini-importance listing) read like the paper's.
+
+#ifndef APICHECKER_ANDROID_CATALOGUES_H_
+#define APICHECKER_ANDROID_CATALOGUES_H_
+
+#include <string>
+#include <vector>
+
+#include "android/types.h"
+
+namespace apichecker::android {
+
+struct PermissionInfo {
+  std::string name;
+  Protection level = Protection::kNormal;
+};
+
+// ~60 permissions spanning normal/dangerous/signature levels, including every
+// permission named in the paper's Fig. 13.
+std::vector<PermissionInfo> BuiltinPermissions();
+
+// ~48 broadcast actions / intent actions, including every intent named in the
+// paper's Fig. 13 (SMS_RECEIVED, wifi.STATE_CHANGE, DEVICE_ADMIN_ENABLED,
+// bluetooth.STATE_CHANGED, ACTION_BATTERY_OKAY, ...).
+std::vector<std::string> BuiltinIntents();
+
+}  // namespace apichecker::android
+
+#endif  // APICHECKER_ANDROID_CATALOGUES_H_

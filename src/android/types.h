@@ -1,0 +1,48 @@
+// Shared identifier types for the modelled Android framework.
+
+#ifndef APICHECKER_ANDROID_TYPES_H_
+#define APICHECKER_ANDROID_TYPES_H_
+
+#include <cstdint>
+
+namespace apichecker::android {
+
+// Index into ApiUniverse::api().
+using ApiId = uint32_t;
+
+// Index into ApiUniverse::permissions().
+using PermissionId = uint16_t;
+
+// Index into ApiUniverse::intents().
+using IntentId = uint16_t;
+
+// Android permission protection levels (paper §4.4 Step 2): APIs guarded by
+// dangerous- or signature-level permissions are "restrictive" and form Set-P.
+enum class Protection : uint8_t {
+  kNone = 0,       // No permission required.
+  kNormal = 1,
+  kDangerous = 2,
+  kSignature = 3,
+};
+
+inline bool IsRestrictive(Protection p) {
+  return p == Protection::kDangerous || p == Protection::kSignature;
+}
+
+// Sensitive-operation taxonomy (paper §4.4 Step 3): five categories commonly
+// exploited for attacks.
+enum class SensitiveOp : uint8_t {
+  kNone = 0,
+  kPrivilegeEscalation = 1,  // e.g. shell command execution (root exploits).
+  kDataAccess = 2,           // Database/file IO used in privacy leakage.
+  kComponentOp = 3,          // Window/overlay creation, Activity hijacking.
+  kCrypto = 4,               // Cryptographic ops used by ransomware.
+  kDynamicCode = 5,          // Runtime payload loading (update attacks).
+};
+
+const char* SensitiveOpName(SensitiveOp op);
+const char* ProtectionName(Protection p);
+
+}  // namespace apichecker::android
+
+#endif  // APICHECKER_ANDROID_TYPES_H_

@@ -1,0 +1,104 @@
+#include "apk/apk.h"
+
+#include "apk/zip.h"
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace apichecker::apk {
+
+std::string ContentDigest(std::span<const uint8_t> bytes) {
+  // Two independent 64-bit mixing chains give a 128-bit digest. Not
+  // cryptographic — it plays MD5's *identity* role, not a security role.
+  uint64_t a = 0x6a09e667f3bcc908ull;
+  uint64_t b = 0xbb67ae8584caa73bull;
+  for (uint8_t byte : bytes) {
+    a = util::SplitMix64(a ^ byte);
+    b = util::SplitMix64(b + (static_cast<uint64_t>(byte) << 1 | 1));
+  }
+  return util::StrFormat("%016llx%016llx", static_cast<unsigned long long>(a),
+                         static_cast<unsigned long long>(b));
+}
+
+namespace {
+
+// Stub ELF-flavoured native library payload: a recognizable header plus a
+// little deterministic filler. Content is irrelevant to the pipeline beyond
+// the entry's existence.
+std::vector<uint8_t> NativeLibStub(uint64_t seed) {
+  std::vector<uint8_t> lib = {0x7f, 'E', 'L', 'F', 1, 1, 1, 0};
+  util::Rng rng(seed);
+  for (int i = 0; i < 56; ++i) {
+    lib.push_back(static_cast<uint8_t>(rng.Next() & 0xFF));
+  }
+  return lib;
+}
+
+}  // namespace
+
+std::vector<uint8_t> BuildApk(const Manifest& manifest, const DexFile& dex,
+                              bool include_native_lib) {
+  const std::vector<uint8_t> manifest_bytes = EncodeManifest(manifest);
+  const std::vector<uint8_t> dex_bytes = EncodeDex(dex);
+
+  // Digest covers the code-bearing entries, like a real signature digest.
+  std::vector<uint8_t> digest_input = manifest_bytes;
+  digest_input.insert(digest_input.end(), dex_bytes.begin(), dex_bytes.end());
+  const std::string digest = ContentDigest(digest_input);
+
+  ZipWriter writer;
+  writer.AddEntry(kManifestEntry, manifest_bytes);
+  writer.AddEntry(kDexEntry, dex_bytes);
+  if (include_native_lib) {
+    writer.AddEntry(kNativeLibEntry, NativeLibStub(dex.behavior_seed));
+  }
+  writer.AddEntry(kSignatureEntry,
+                  std::span<const uint8_t>(reinterpret_cast<const uint8_t*>(digest.data()),
+                                           digest.size()));
+  return writer.Finish();
+}
+
+util::Result<ApkFile> ParseApk(std::span<const uint8_t> bytes) {
+  auto zip = ZipReader::Parse(bytes);
+  if (!zip.ok()) {
+    return util::Err("apk container: " + zip.error());
+  }
+
+  const std::vector<uint8_t>* manifest_bytes = zip->Find(kManifestEntry);
+  if (manifest_bytes == nullptr) {
+    return util::Err("apk missing AndroidManifest.xml");
+  }
+  const std::vector<uint8_t>* dex_bytes = zip->Find(kDexEntry);
+  if (dex_bytes == nullptr) {
+    return util::Err("apk missing classes.dex");
+  }
+  const std::vector<uint8_t>* signature_bytes = zip->Find(kSignatureEntry);
+  if (signature_bytes == nullptr) {
+    return util::Err("apk missing signature entry");
+  }
+
+  auto manifest = ParseManifest(*manifest_bytes);
+  if (!manifest.ok()) {
+    return util::Err("apk manifest: " + manifest.error());
+  }
+  auto dex = ParseDex(*dex_bytes);
+  if (!dex.ok()) {
+    return util::Err("apk dex: " + dex.error());
+  }
+
+  std::vector<uint8_t> digest_input = *manifest_bytes;
+  digest_input.insert(digest_input.end(), dex_bytes->begin(), dex_bytes->end());
+  const std::string expected_digest = ContentDigest(digest_input);
+  const std::string stored_digest(signature_bytes->begin(), signature_bytes->end());
+  if (stored_digest != expected_digest) {
+    return util::Err("apk signature digest mismatch");
+  }
+
+  ApkFile apk;
+  apk.manifest = std::move(*manifest);
+  apk.dex = std::move(*dex);
+  apk.has_native_lib = zip->Find(kNativeLibEntry) != nullptr;
+  apk.digest = stored_digest;
+  return apk;
+}
+
+}  // namespace apichecker::apk

@@ -1,0 +1,90 @@
+#include "apk/manifest.h"
+
+#include "util/byte_io.h"
+
+namespace apichecker::apk {
+
+namespace {
+constexpr uint32_t kManifestMagic = 0x4c4d5841;  // "AXML" (little-endian).
+constexpr uint16_t kManifestVersion = 1;
+}  // namespace
+
+std::vector<uint8_t> EncodeManifest(const Manifest& manifest) {
+  util::ByteWriter writer;
+  writer.PutU32(kManifestMagic);
+  writer.PutU16(kManifestVersion);
+  writer.PutString(manifest.package_name);
+  writer.PutU32(manifest.version_code);
+  writer.PutU16(manifest.min_sdk);
+  writer.PutU16(manifest.target_sdk);
+  writer.PutUleb128(manifest.permissions.size());
+  for (const std::string& p : manifest.permissions) {
+    writer.PutString(p);
+  }
+  writer.PutUleb128(manifest.activities.size());
+  for (const std::string& a : manifest.activities) {
+    writer.PutString(a);
+  }
+  writer.PutUleb128(manifest.intent_filters.size());
+  for (const std::string& i : manifest.intent_filters) {
+    writer.PutString(i);
+  }
+  return writer.TakeBytes();
+}
+
+util::Result<Manifest> ParseManifest(std::span<const uint8_t> bytes) {
+  util::ByteReader reader(bytes);
+  auto magic = reader.ReadU32();
+  if (!magic.ok() || *magic != kManifestMagic) {
+    return util::Err("bad manifest magic");
+  }
+  auto version = reader.ReadU16();
+  if (!version.ok() || *version != kManifestVersion) {
+    return util::Err("unsupported manifest version");
+  }
+  Manifest manifest;
+  auto package_name = reader.ReadString();
+  auto version_code = reader.ReadU32();
+  auto min_sdk = reader.ReadU16();
+  auto target_sdk = reader.ReadU16();
+  if (!package_name.ok() || !version_code.ok() || !min_sdk.ok() || !target_sdk.ok()) {
+    return util::Err("truncated manifest header");
+  }
+  manifest.package_name = std::move(*package_name);
+  manifest.version_code = *version_code;
+  manifest.min_sdk = *min_sdk;
+  manifest.target_sdk = *target_sdk;
+
+  auto read_string_list = [&](std::vector<std::string>& out, const char* what)
+      -> util::Result<bool> {
+    auto count = reader.ReadUleb128();
+    if (!count.ok()) {
+      return util::Err(std::string("truncated manifest: ") + what);
+    }
+    if (*count > 100'000) {
+      return util::Err(std::string("implausible manifest list size: ") + what);
+    }
+    out.reserve(static_cast<size_t>(*count));
+    for (uint64_t i = 0; i < *count; ++i) {
+      auto s = reader.ReadString();
+      if (!s.ok()) {
+        return util::Err(std::string("truncated manifest entry: ") + what);
+      }
+      out.push_back(std::move(*s));
+    }
+    return true;
+  };
+
+  if (auto r = read_string_list(manifest.permissions, "permissions"); !r.ok()) {
+    return util::Err(r.error());
+  }
+  if (auto r = read_string_list(manifest.activities, "activities"); !r.ok()) {
+    return util::Err(r.error());
+  }
+  if (auto r = read_string_list(manifest.intent_filters, "intent filters"); !r.ok()) {
+    return util::Err(r.error());
+  }
+  return manifest;
+}
+
+}  // namespace apichecker::apk

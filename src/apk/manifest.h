@@ -1,0 +1,37 @@
+// AndroidManifest codec. Real APKs carry a binary-XML manifest; this models
+// the same metadata — package identity, requested permissions, declared
+// activities, and static intent filters — in a compact binary encoding.
+// Permissions and intents cross the APK boundary as strings (as in real
+// manifests); the feature-extraction layer resolves them against the
+// framework catalogues.
+
+#ifndef APICHECKER_APK_MANIFEST_H_
+#define APICHECKER_APK_MANIFEST_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "util/result.h"
+
+namespace apichecker::apk {
+
+struct Manifest {
+  std::string package_name;
+  uint32_t version_code = 1;
+  uint16_t min_sdk = 19;
+  uint16_t target_sdk = 27;
+  std::vector<std::string> permissions;       // Requested permission names.
+  std::vector<std::string> activities;        // Declared activity class names.
+  std::vector<std::string> intent_filters;    // Statically registered actions.
+
+  bool operator==(const Manifest&) const = default;
+};
+
+std::vector<uint8_t> EncodeManifest(const Manifest& manifest);
+util::Result<Manifest> ParseManifest(std::span<const uint8_t> bytes);
+
+}  // namespace apichecker::apk
+
+#endif  // APICHECKER_APK_MANIFEST_H_

@@ -1,0 +1,148 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+namespace apichecker::core {
+
+namespace {
+
+using android::ApiId;
+
+const std::vector<ApiId>& RecordApis(const StudyRecord& record, BaselineSpec::Mode mode) {
+  return mode == BaselineSpec::Mode::kStatic ? record.static_apis : record.observed_apis;
+}
+
+}  // namespace
+
+std::vector<BaselineSpec> StandardBaselines() {
+  using Mode = BaselineSpec::Mode;
+  using CK = ml::ClassifierKind;
+  return {
+      // Static code inspection with a tiny correlated-API budget and a
+      // Bayesian/kNN classifier (Sharma et al. [35]).
+      {"Sharma et al.", "[35]", Mode::kStatic, CK::kNaiveBayes, 35, false, false,
+       0.30, 0.25},
+      // Frequency-mined critical APIs + kNN (DroidAPIMiner [1], 169 APIs,
+      // ~25 s/app static analysis).
+      {"DroidAPIMiner", "[1]", Mode::kStatic, CK::kKnn, 169, false, false, 25.0 / 60.0, 0.25},
+      // Manifest-centric: permissions + intents + a restricted API view,
+      // kNN (DroidMat [43]).
+      {"DroidMat", "[43]", Mode::kStatic, CK::kKnn, 60, true, true, 0.25, 0.25},
+      // Dynamic inspection of 19 permission-restricted APIs with SVM, very
+      // long emulation (Yang et al. [46], ~18 min/app).
+      {"Yang et al.", "[46]", Mode::kDynamic, CK::kSvm, 19, true, false, 18.0, 0.20},
+      // Behavioural profiling with a wider dynamic feature set + random
+      // forest (DroidCat [9], 354 s/app).
+      {"DroidCat", "[9]", Mode::kDynamic, CK::kRandomForest, 122, false, true,
+       354.0 / 60.0, 0.20},
+      // Big-data dynamic analysis, 25 APIs + SVM (DroidDolphin [44],
+      // ~17 min/app).
+      {"DroidDolphin", "[44]", Mode::kDynamic, CK::kSvm, 25, false, false, 17.0, 0.20},
+      // Hybrid static feature soup + linear SVM (DREBIN [6], ~10 s/app).
+      {"DREBIN", "[6]", Mode::kStatic, CK::kSvm, 300, true, true, 10.0 / 60.0, 0.25},
+  };
+}
+
+BaselineDetector::BaselineDetector(const android::ApiUniverse& universe, BaselineSpec spec,
+                                   uint64_t seed)
+    : universe_(universe), spec_(std::move(spec)), seed_(seed) {}
+
+void BaselineDetector::Train(const StudyDataset& train) {
+  // Rank APIs by |phi| over this recipe's extraction view.
+  const size_t num_apis = universe_.num_apis();
+  std::vector<uint32_t> count(num_apis, 0), count_pos(num_apis, 0);
+  uint64_t n_pos = 0;
+  for (const StudyRecord& record : train.records) {
+    n_pos += record.label;
+    for (ApiId api : RecordApis(record, spec_.mode)) {
+      if (api < num_apis) {
+        ++count[api];
+        count_pos[api] += record.label;
+      }
+    }
+  }
+  const double n = static_cast<double>(train.size());
+  const double c1 = static_cast<double>(n_pos);
+  const double c0 = n - c1;
+  std::vector<std::pair<double, ApiId>> ranked;
+  ranked.reserve(num_apis);
+  for (size_t api = 0; api < num_apis; ++api) {
+    if (count[api] < std::max<uint32_t>(3, static_cast<uint32_t>(0.001 * n))) {
+      continue;  // Seldom-seen APIs are noise for every recipe.
+    }
+    const double r1 = count[api];
+    const double r0 = n - r1;
+    const double n11 = count_pos[api];
+    const double denom = std::sqrt(r1 * r0 * c1 * c0);
+    const double phi = denom > 0.0 ? (n11 * (r0 - (c1 - n11)) - (r1 - n11) * (c1 - n11)) / denom
+                                   : 0.0;
+    ranked.emplace_back(std::fabs(phi), static_cast<ApiId>(api));
+  }
+  std::sort(ranked.begin(), ranked.end(), [](const auto& a, const auto& b) {
+    return a.first != b.first ? a.first > b.first : a.second < b.second;
+  });
+  selected_apis_.clear();
+  for (size_t i = 0; i < ranked.size() && selected_apis_.size() < spec_.num_apis; ++i) {
+    selected_apis_.push_back(ranked[i].second);
+  }
+  std::sort(selected_apis_.begin(), selected_apis_.end());
+
+  model_ = ml::MakeClassifier(spec_.classifier, seed_);
+  model_->Train(Featurize(train));
+}
+
+ml::Dataset BaselineDetector::Featurize(const StudyDataset& study) const {
+  std::unordered_map<ApiId, uint32_t> api_feature;
+  for (uint32_t i = 0; i < selected_apis_.size(); ++i) {
+    api_feature.emplace(selected_apis_[i], i);
+  }
+  const uint32_t perm_base = static_cast<uint32_t>(selected_apis_.size());
+  const uint32_t intent_base =
+      perm_base +
+      (spec_.use_permissions ? static_cast<uint32_t>(universe_.permissions().size()) : 0);
+  const uint32_t total =
+      intent_base + (spec_.use_intents ? static_cast<uint32_t>(universe_.intents().size()) : 0);
+
+  ml::Dataset data;
+  data.num_features = total;
+  for (const StudyRecord& record : study.records) {
+    ml::SparseRow row;
+    for (ApiId api : RecordApis(record, spec_.mode)) {
+      const auto it = api_feature.find(api);
+      if (it != api_feature.end()) {
+        row.push_back(it->second);
+      }
+    }
+    if (spec_.use_permissions) {
+      for (android::PermissionId p : record.permissions) {
+        row.push_back(perm_base + p);
+      }
+    }
+    if (spec_.use_intents) {
+      for (android::IntentId intent : record.manifest_intents) {
+        row.push_back(intent_base + intent);
+      }
+      if (spec_.mode == BaselineSpec::Mode::kDynamic) {
+        for (const auto& [intent, carrier] : record.runtime_intents) {
+          row.push_back(intent_base + intent);
+        }
+      }
+    }
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+    data.Add(std::move(row), record.label);
+  }
+  return data;
+}
+
+ml::ConfusionMatrix BaselineDetector::Evaluate(const StudyDataset& test) const {
+  return model_->Evaluate(Featurize(test));
+}
+
+double BaselineDetector::SampleAnalysisMinutes(util::Rng& rng) const {
+  return rng.LogNormal(spec_.analysis_minutes_median, spec_.analysis_minutes_sigma);
+}
+
+}  // namespace apichecker::core

@@ -1,0 +1,66 @@
+// Baseline detectors modelled after the related work of Table 1. Each
+// baseline follows its paper's recipe at the feature level (which API budget,
+// whether extraction is static or dynamic, which auxiliary features, which
+// classifier) and carries that recipe's analysis-cost model, so the Table 1
+// comparison — accuracy vs analysis time vs feature budget — can be
+// regenerated on the synthetic corpus.
+
+#ifndef APICHECKER_CORE_BASELINES_H_
+#define APICHECKER_CORE_BASELINES_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/study.h"
+#include "ml/classifier.h"
+
+namespace apichecker::core {
+
+struct BaselineSpec {
+  std::string name;
+  std::string citation;          // e.g. "Sharma et al. [35]".
+  enum class Mode { kStatic, kDynamic } mode = Mode::kStatic;
+  ml::ClassifierKind classifier = ml::ClassifierKind::kKnn;
+  size_t num_apis = 100;         // API feature budget (0 = no API features).
+  bool use_permissions = false;
+  bool use_intents = false;
+  // Analysis-time model: median minutes per app on this recipe's pipeline
+  // (static recipes: extraction; dynamic recipes: emulation length).
+  double analysis_minutes_median = 0.5;
+  double analysis_minutes_sigma = 0.3;
+};
+
+// The Table 1 roster: Sharma et al., DroidAPIMiner, DroidMat, Yang et al.,
+// DroidCat, DroidDolphin, DREBIN.
+std::vector<BaselineSpec> StandardBaselines();
+
+class BaselineDetector {
+ public:
+  BaselineDetector(const android::ApiUniverse& universe, BaselineSpec spec, uint64_t seed);
+
+  // Selects the spec's API budget by |SRC| over the spec's extraction view
+  // (static refs vs dynamic observations) and trains the spec's classifier.
+  void Train(const StudyDataset& train);
+
+  ml::ConfusionMatrix Evaluate(const StudyDataset& test) const;
+
+  // Per-app analysis minutes drawn from the recipe's cost model.
+  double SampleAnalysisMinutes(util::Rng& rng) const;
+
+  const BaselineSpec& spec() const { return spec_; }
+  const std::vector<android::ApiId>& selected_apis() const { return selected_apis_; }
+
+ private:
+  ml::Dataset Featurize(const StudyDataset& study) const;
+
+  const android::ApiUniverse& universe_;
+  BaselineSpec spec_;
+  uint64_t seed_;
+  std::vector<android::ApiId> selected_apis_;
+  std::unique_ptr<ml::Classifier> model_;
+};
+
+}  // namespace apichecker::core
+
+#endif  // APICHECKER_CORE_BASELINES_H_

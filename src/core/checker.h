@@ -1,0 +1,75 @@
+// APICHECKER facade: the production detector. Wires together key-API
+// selection, the feature schema (key APIs + permissions + intents), and the
+// random-forest classifier; supports monthly re-selection + retraining
+// (model evolution, §5.3) and model persistence.
+
+#ifndef APICHECKER_CORE_CHECKER_H_
+#define APICHECKER_CORE_CHECKER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/feature_schema.h"
+#include "core/selection.h"
+#include "core/study.h"
+#include "emu/engine.h"
+#include "ml/random_forest.h"
+
+namespace apichecker::core {
+
+struct ApiCheckerConfig {
+  FeatureOptions features = FeatureOptions::All();
+  SelectionConfig selection;
+  ml::RandomForestConfig forest;
+  double threshold = 0.5;
+};
+
+class ApiChecker {
+ public:
+  ApiChecker(const android::ApiUniverse& universe, ApiCheckerConfig config);
+
+  // Full §4 pipeline: SRC ranking over the study corpus, four-step key-API
+  // selection, schema construction, and random-forest training.
+  void TrainFromStudy(const StudyDataset& study);
+
+  // Installs a previously trained model (selection + options + threshold +
+  // forest) without retraining — the model-store restore path.
+  void RestoreTrained(KeyApiSelection selection, FeatureOptions features, double threshold,
+                      ml::RandomForest forest);
+
+  bool trained() const { return model_ != nullptr; }
+  const KeyApiSelection& selection() const { return selection_; }
+  const FeatureSchema& schema() const { return schema_; }
+  const ml::RandomForest& model() const { return *model_; }
+  const ApiCheckerConfig& config() const { return config_; }
+
+  // The hook configuration production emulators run with.
+  emu::TrackedApiSet MakeTrackedSet() const;
+
+  struct Verdict {
+    bool malicious = false;
+    double score = 0.0;
+  };
+  Verdict Classify(const emu::EmulationReport& report) const;
+
+  // Top-k features by Gini importance (Fig 13), as (name, importance).
+  std::vector<std::pair<std::string, double>> TopFeatures(size_t k) const;
+
+  // Gini-importance-ranked key APIs (for the §5.4 top-k reduction study).
+  std::vector<android::ApiId> KeyApisByImportance() const;
+
+  // Model persistence (schema + forest), §5.3's monthly model store.
+  std::vector<uint8_t> SerializeModel() const;
+
+ private:
+  const android::ApiUniverse& universe_;
+  ApiCheckerConfig config_;
+  KeyApiSelection selection_;
+  FeatureSchema schema_;
+  std::unique_ptr<ml::RandomForest> model_;
+};
+
+}  // namespace apichecker::core
+
+#endif  // APICHECKER_CORE_CHECKER_H_

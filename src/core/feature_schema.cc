@@ -1,0 +1,188 @@
+#include "core/feature_schema.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace apichecker::core {
+
+namespace {
+
+// Shortens "android.telephony.SmsManager.sendTextMessage" to the paper's
+// alias style "SmsManager_sendTextMessage".
+std::string ShortAlias(const std::string& full_name) {
+  const std::vector<std::string> parts = util::Split(full_name, '.');
+  if (parts.size() < 2) {
+    return full_name;
+  }
+  return parts[parts.size() - 2] + "_" + parts.back();
+}
+
+std::string ShortPermission(const std::string& name) {
+  const std::vector<std::string> parts = util::Split(name, '.');
+  return parts.empty() ? name : parts.back();
+}
+
+std::string ShortIntent(const std::string& action) {
+  // Keep the last two dot components when informative (wifi.STATE_CHANGE).
+  const std::vector<std::string> parts = util::Split(action, '.');
+  if (parts.size() >= 2 && !parts[parts.size() - 2].empty() &&
+      std::islower(static_cast<unsigned char>(parts[parts.size() - 2][0]))) {
+    return parts[parts.size() - 2] + "." + parts.back();
+  }
+  return parts.empty() ? action : parts.back();
+}
+
+}  // namespace
+
+std::string FeatureOptions::Label() const {
+  std::vector<std::string> parts;
+  if (use_apis) {
+    parts.push_back(frequency_buckets > 0
+                        ? util::StrFormat("A(hist%u)", frequency_buckets)
+                        : "A");
+  }
+  if (use_permissions) {
+    parts.push_back("P");
+  }
+  if (use_intents) {
+    parts.push_back("I");
+  }
+  return parts.empty() ? "-" : util::Join(parts, "+");
+}
+
+FeatureSchema::FeatureSchema(std::vector<android::ApiId> tracked_apis,
+                             const android::ApiUniverse& universe, FeatureOptions options)
+    : tracked_apis_(std::move(tracked_apis)), options_(options) {
+  uint32_t next = 0;
+  for (android::ApiId id : tracked_apis_) {
+    api_tracked_.emplace(id, 1);
+  }
+  if (options_.use_apis) {
+    const uint32_t width = std::max<uint32_t>(1, options_.frequency_buckets);
+    for (android::ApiId id : tracked_apis_) {
+      if (api_to_feature_.emplace(id, next).second) {
+        const std::string alias = "API: " + ShortAlias(universe.api(id).name);
+        if (width == 1) {
+          feature_names_.push_back(alias);
+        } else {
+          for (uint32_t b = 0; b < width; ++b) {
+            feature_names_.push_back(util::StrFormat("%s [freq%u]", alias.c_str(), b));
+          }
+        }
+        next += width;
+      }
+    }
+  }
+  if (options_.use_permissions) {
+    permission_base_ = next;
+    permission_count_ = universe.permissions().size();
+    for (const android::PermissionInfo& p : universe.permissions()) {
+      permission_to_feature_.emplace(p.name, next);
+      feature_names_.push_back("Permission: " + ShortPermission(p.name));
+      ++next;
+    }
+  }
+  if (options_.use_intents) {
+    intent_base_ = next;
+    intent_count_ = universe.intents().size();
+    for (const std::string& action : universe.intents()) {
+      intent_to_feature_.emplace(action, next);
+      feature_names_.push_back("Intent: " + ShortIntent(action));
+      ++next;
+    }
+  }
+  num_features_ = next;
+}
+
+int64_t FeatureSchema::ApiFeature(android::ApiId api) const {
+  const auto it = api_to_feature_.find(api);
+  return it == api_to_feature_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+int64_t FeatureSchema::PermissionFeature(const std::string& name) const {
+  const auto it = permission_to_feature_.find(name);
+  return it == permission_to_feature_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+int64_t FeatureSchema::IntentFeature(const std::string& action) const {
+  const auto it = intent_to_feature_.find(action);
+  return it == intent_to_feature_.end() ? -1 : static_cast<int64_t>(it->second);
+}
+
+uint32_t FeatureSchema::FrequencyBucket(uint32_t invocations, uint8_t buckets) {
+  if (buckets <= 1) {
+    return 0;
+  }
+  // Log10 bucketing: [1,10) -> 0, [10,100) -> 1, ... clamped to the top.
+  uint32_t bucket = 0;
+  uint64_t threshold = 10;
+  while (bucket + 1 < buckets && invocations >= threshold) {
+    ++bucket;
+    threshold *= 10;
+  }
+  return bucket;
+}
+
+int64_t FeatureSchema::ApiFeatureForCount(android::ApiId api, uint32_t invocations) const {
+  const int64_t base = ApiFeature(api);
+  if (base < 0 || options_.frequency_buckets <= 1) {
+    return base;
+  }
+  return base + FrequencyBucket(invocations, options_.frequency_buckets);
+}
+
+int64_t FeatureSchema::PermissionFeatureById(android::PermissionId id) const {
+  return (permission_base_ >= 0 && id < permission_count_) ? permission_base_ + id : -1;
+}
+
+int64_t FeatureSchema::IntentFeatureById(android::IntentId id) const {
+  return (intent_base_ >= 0 && id < intent_count_) ? intent_base_ + id : -1;
+}
+
+std::string FeatureSchema::FeatureName(uint32_t feature) const {
+  return feature < feature_names_.size() ? feature_names_[feature] : "?";
+}
+
+ml::SparseRow FeatureSchema::Encode(const emu::EmulationReport& report) const {
+  ml::SparseRow row;
+  if (options_.use_apis) {
+    for (size_t i = 0; i < report.observed_apis.size(); ++i) {
+      const uint32_t count = i < report.observed_api_counts.size()
+                                 ? report.observed_api_counts[i]
+                                 : 1;
+      const int64_t f = ApiFeatureForCount(report.observed_apis[i], count);
+      if (f >= 0) {
+        row.push_back(static_cast<uint32_t>(f));
+      }
+    }
+  }
+  if (options_.use_permissions) {
+    for (const std::string& p : report.requested_permissions) {
+      const int64_t f = PermissionFeature(p);
+      if (f >= 0) {
+        row.push_back(static_cast<uint32_t>(f));
+      }
+    }
+  }
+  if (options_.use_intents) {
+    for (const std::string& action : report.manifest_intent_filters) {
+      const int64_t f = IntentFeature(action);
+      if (f >= 0) {
+        row.push_back(static_cast<uint32_t>(f));
+      }
+    }
+    for (const emu::ObservedIntent& observed : report.observed_intents) {
+      const int64_t f = IntentFeature(observed.action);
+      if (f >= 0) {
+        row.push_back(static_cast<uint32_t>(f));
+      }
+    }
+  }
+  std::sort(row.begin(), row.end());
+  row.erase(std::unique(row.begin(), row.end()), row.end());
+  return row;
+}
+
+}  // namespace apichecker::core

@@ -1,0 +1,91 @@
+// Feature schema: the One-Hot encoding of an app's runtime observations
+// (paper §4.2, §4.5). A schema fixes an ordered list of tracked APIs plus
+// the permission and intent catalogues; a feature vector has one bit per
+// tracked API ("was it invoked"), one per permission ("was it requested"),
+// and one per intent ("was it statically registered or seen as a hooked
+// API's parameter").
+
+#ifndef APICHECKER_CORE_FEATURE_SCHEMA_H_
+#define APICHECKER_CORE_FEATURE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "android/api_universe.h"
+#include "emu/engine.h"
+#include "ml/dataset.h"
+
+namespace apichecker::core {
+
+// Which feature groups participate (the Fig 10 ablation axes).
+struct FeatureOptions {
+  bool use_apis = true;         // "A"
+  bool use_permissions = true;  // "P"
+  bool use_intents = true;      // "I"
+  // Histogram encoding (paper §6 future work): instead of one presence bit
+  // per API, allocate `frequency_buckets` one-hot bits per API keyed on the
+  // log-scale invocation count, retaining frequency information the plain
+  // bit vector loses. 0 disables (paper's deployed encoding).
+  uint8_t frequency_buckets = 0;
+
+  static FeatureOptions ApisOnly() { return {true, false, false, 0}; }
+  static FeatureOptions All() { return {true, true, true, 0}; }
+  static FeatureOptions Histogram(uint8_t buckets = 4) { return {true, true, true, buckets}; }
+
+  std::string Label() const;  // e.g. "A+P+I" or "A(hist4)+P+I".
+};
+
+class FeatureSchema {
+ public:
+  FeatureSchema() = default;
+  FeatureSchema(std::vector<android::ApiId> tracked_apis, const android::ApiUniverse& universe,
+                FeatureOptions options = FeatureOptions::All());
+
+  uint32_t num_features() const { return num_features_; }
+  const std::vector<android::ApiId>& tracked_apis() const { return tracked_apis_; }
+  const FeatureOptions& options() const { return options_; }
+
+  // Feature index of an API / permission name / intent action, or -1 if the
+  // schema does not carry it. Under histogram encoding ApiFeature returns
+  // the *base* feature of the API's bucket group; use ApiFeatureForCount for
+  // the bucket actually set by a given invocation count.
+  int64_t ApiFeature(android::ApiId api) const;
+  int64_t ApiFeatureForCount(android::ApiId api, uint32_t invocations) const;
+  // Bucket index in [0, frequency_buckets) for an invocation count.
+  static uint32_t FrequencyBucket(uint32_t invocations, uint8_t buckets);
+  int64_t PermissionFeature(const std::string& name) const;
+  int64_t IntentFeature(const std::string& action) const;
+  // Id-indexed fast paths (the catalogues are laid out contiguously).
+  int64_t PermissionFeatureById(android::PermissionId id) const;
+  int64_t IntentFeatureById(android::IntentId id) const;
+  bool TracksApi(android::ApiId api) const {
+    return api_tracked_.count(api) != 0;
+  }
+
+  // Human-readable feature name ("API: ...", "Permission: ...", "Intent: ...")
+  // in the short-alias style of the paper's Fig. 13.
+  std::string FeatureName(uint32_t feature) const;
+
+  // Encodes one emulation report into a sparse feature row.
+  ml::SparseRow Encode(const emu::EmulationReport& report) const;
+
+ private:
+  std::vector<android::ApiId> tracked_apis_;
+  FeatureOptions options_;
+  std::unordered_map<android::ApiId, uint32_t> api_to_feature_;
+  std::unordered_map<android::ApiId, uint8_t> api_tracked_;
+  int64_t permission_base_ = -1;
+  size_t permission_count_ = 0;
+  int64_t intent_base_ = -1;
+  size_t intent_count_ = 0;
+  std::unordered_map<std::string, uint32_t> permission_to_feature_;
+  std::unordered_map<std::string, uint32_t> intent_to_feature_;
+  std::vector<std::string> feature_names_;
+  uint32_t num_features_ = 0;
+};
+
+}  // namespace apichecker::core
+
+#endif  // APICHECKER_CORE_FEATURE_SCHEMA_H_

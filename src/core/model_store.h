@@ -1,0 +1,38 @@
+// Whole-model persistence for APICHECKER: serializes the key-API selection,
+// the feature-schema options, the decision threshold, and the trained random
+// forest into one versioned blob, and restores a ready-to-classify checker
+// from it. This is what lets a market ship its trained model to smaller
+// markets (paper §5.4: "large app markets can possibly distribute their
+// trained models to smaller markets") and what the monthly evolution loop
+// archives (§5.3).
+
+#ifndef APICHECKER_CORE_MODEL_STORE_H_
+#define APICHECKER_CORE_MODEL_STORE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/checker.h"
+#include "util/result.h"
+
+namespace apichecker::core {
+
+// Serializes a trained checker. Fails (empty vector) if untrained.
+std::vector<uint8_t> SerializeChecker(const ApiChecker& checker);
+
+// Restores a checker against `universe`. The universe must contain every
+// API id referenced by the blob (i.e. be the same modelled framework at the
+// same or a later SDK level).
+util::Result<ApiChecker> DeserializeChecker(const android::ApiUniverse& universe,
+                                            std::span<const uint8_t> bytes);
+
+// File-system convenience wrappers.
+util::Result<bool> SaveCheckerToFile(const ApiChecker& checker, const std::string& path);
+util::Result<ApiChecker> LoadCheckerFromFile(const android::ApiUniverse& universe,
+                                             const std::string& path);
+
+}  // namespace apichecker::core
+
+#endif  // APICHECKER_CORE_MODEL_STORE_H_

@@ -1,0 +1,140 @@
+#include "core/selection.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apichecker::core {
+
+std::vector<ApiCorrelation> ComputeApiCorrelations(const StudyDataset& study,
+                                                   size_t num_apis) {
+  std::vector<uint32_t> count(num_apis, 0);
+  std::vector<uint32_t> count_pos(num_apis, 0);
+  uint64_t n_pos = 0;
+  for (const StudyRecord& record : study.records) {
+    n_pos += record.label;
+    for (android::ApiId api : record.observed_apis) {
+      if (api < num_apis) {
+        ++count[api];
+        count_pos[api] += record.label;
+      }
+    }
+  }
+  const double n = static_cast<double>(study.size());
+  const double c1 = static_cast<double>(n_pos);
+  const double c0 = n - c1;
+
+  std::vector<ApiCorrelation> correlations(num_apis);
+  for (size_t api = 0; api < num_apis; ++api) {
+    ApiCorrelation& c = correlations[api];
+    c.api = static_cast<android::ApiId>(api);
+    c.support = count[api];
+    // Phi coefficient from the 2x2 contingency table (== Spearman/Pearson
+    // for binary data).
+    const double r1 = static_cast<double>(count[api]);
+    const double r0 = n - r1;
+    const double n11 = static_cast<double>(count_pos[api]);
+    const double n10 = r1 - n11;
+    const double n01 = c1 - n11;
+    const double n00 = r0 - n01;
+    const double denom = std::sqrt(r1 * r0 * c1 * c0);
+    c.src = denom > 0.0 ? (n11 * n00 - n10 * n01) / denom : 0.0;
+  }
+  return correlations;
+}
+
+namespace {
+
+bool IsSeldom(const ApiCorrelation& c, size_t corpus_size, const SelectionConfig& config) {
+  return static_cast<double>(c.support) <
+         config.seldom_fraction * static_cast<double>(corpus_size);
+}
+
+}  // namespace
+
+KeyApiSelection SelectKeyApis(const std::vector<ApiCorrelation>& correlations,
+                              const android::ApiUniverse& universe, size_t corpus_size,
+                              const SelectionConfig& config) {
+  KeyApiSelection selection;
+
+  // Step 1 — Set-C: positively correlated APIs that are not seldom invoked,
+  // plus frequently invoked APIs with strong negative correlation.
+  for (const ApiCorrelation& c : correlations) {
+    if (IsSeldom(c, corpus_size, config)) {
+      continue;
+    }
+    const bool positive = c.src >= config.src_threshold;
+    const bool frequent_negative =
+        c.src <= -config.src_threshold &&
+        static_cast<double>(c.support) >=
+            config.frequent_fraction * static_cast<double>(corpus_size);
+    if (positive || frequent_negative) {
+      selection.set_c.push_back(c.api);
+    }
+  }
+
+  // Step 2 — Set-P: APIs guarded by dangerous/signature permissions
+  // (permission-map analogue of Axplorer/PScout).
+  selection.set_p = universe.RestrictivePermissionApis();
+
+  // Step 3 — Set-S: APIs performing sensitive operations (domain knowledge).
+  selection.set_s = universe.SensitiveOperationApis();
+
+  // Step 4 — union.
+  std::vector<uint8_t> in_c(universe.num_apis(), 0), in_p(universe.num_apis(), 0),
+      in_s(universe.num_apis(), 0);
+  for (android::ApiId id : selection.set_c) {
+    in_c[id] = 1;
+  }
+  for (android::ApiId id : selection.set_p) {
+    in_p[id] = 1;
+  }
+  for (android::ApiId id : selection.set_s) {
+    in_s[id] = 1;
+  }
+  for (android::ApiId id = 0; id < universe.num_apis(); ++id) {
+    const int membership = in_c[id] + in_p[id] + in_s[id];
+    if (membership > 0) {
+      selection.key_apis.push_back(id);
+    }
+    if (in_c[id] && in_p[id] && in_s[id]) {
+      ++selection.overlap_cps;
+    } else if (in_c[id] && in_p[id]) {
+      ++selection.overlap_cp;
+    } else if (in_c[id] && in_s[id]) {
+      ++selection.overlap_cs;
+    } else if (in_p[id] && in_s[id]) {
+      ++selection.overlap_ps;
+    }
+  }
+  return selection;
+}
+
+std::vector<android::ApiId> TopCorrelatedApis(const std::vector<ApiCorrelation>& correlations,
+                                              size_t corpus_size, size_t n,
+                                              const SelectionConfig& config) {
+  std::vector<const ApiCorrelation*> candidates;
+  std::vector<const ApiCorrelation*> seldom;
+  candidates.reserve(correlations.size());
+  for (const ApiCorrelation& c : correlations) {
+    (IsSeldom(c, corpus_size, config) ? seldom : candidates).push_back(&c);
+  }
+  auto by_abs_src = [](const ApiCorrelation* a, const ApiCorrelation* b) {
+    const double fa = std::fabs(a->src);
+    const double fb = std::fabs(b->src);
+    return fa != fb ? fa > fb : a->api < b->api;
+  };
+  std::sort(candidates.begin(), candidates.end(), by_abs_src);
+  // Seldom APIs are only enrolled after every not-seldom API (the >1K log
+  // tail of Fig 6).
+  std::sort(seldom.begin(), seldom.end(), by_abs_src);
+  candidates.insert(candidates.end(), seldom.begin(), seldom.end());
+
+  std::vector<android::ApiId> top;
+  top.reserve(std::min(n, candidates.size()));
+  for (size_t i = 0; i < candidates.size() && i < n; ++i) {
+    top.push_back(candidates[i]->api);
+  }
+  return top;
+}
+
+}  // namespace apichecker::core

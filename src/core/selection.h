@@ -1,0 +1,66 @@
+// Key-API selection (paper §4.3–§4.4): Spearman-rank-correlation ranking of
+// every framework API against the malice label, followed by the four-step
+// strategy — Set-C (statistically correlated), Set-P (restrictive
+// permissions), Set-S (sensitive operations), and their union.
+
+#ifndef APICHECKER_CORE_SELECTION_H_
+#define APICHECKER_CORE_SELECTION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "android/api_universe.h"
+#include "core/study.h"
+
+namespace apichecker::core {
+
+struct ApiCorrelation {
+  android::ApiId api = 0;
+  double src = 0.0;       // Spearman rank correlation with the malice label.
+  uint32_t support = 0;   // Number of apps that invoked the API.
+};
+
+// SRC of every framework API over the study corpus. For binary presence
+// features Spearman reduces to the phi coefficient, computed in O(total
+// observations) from per-API contingency counts.
+std::vector<ApiCorrelation> ComputeApiCorrelations(const StudyDataset& study,
+                                                   size_t num_apis);
+
+struct SelectionConfig {
+  double src_threshold = 0.2;      // |SRC| below this is a trivial relationship.
+  double seldom_fraction = 0.001;  // Invoked by <0.1% of apps = "seldom".
+  // Negative-SRC APIs are kept only when invoked by most apps (the paper's
+  // 13 frequent common-operation APIs).
+  double frequent_fraction = 0.5;
+};
+
+struct KeyApiSelection {
+  std::vector<android::ApiId> set_c;     // Correlation-selected.
+  std::vector<android::ApiId> set_p;     // Restrictive-permission APIs.
+  std::vector<android::ApiId> set_s;     // Sensitive-operation APIs.
+  std::vector<android::ApiId> key_apis;  // Union, sorted.
+
+  size_t overlap_cp = 0;   // |C ∩ P| (excluding triple overlap).
+  size_t overlap_cs = 0;   // |C ∩ S|.
+  size_t overlap_ps = 0;   // |P ∩ S|.
+  size_t overlap_cps = 0;  // |C ∩ P ∩ S|.
+
+  size_t total_overlapped() const {
+    return overlap_cp + overlap_cs + overlap_ps + 2 * overlap_cps;
+  }
+};
+
+// Steps 1–4 of §4.4. `correlations` must cover every API id in the universe.
+KeyApiSelection SelectKeyApis(const std::vector<ApiCorrelation>& correlations,
+                              const android::ApiUniverse& universe, size_t corpus_size,
+                              const SelectionConfig& config = {});
+
+// Top-n APIs by descending |SRC| among not-seldom APIs — the tracking
+// priority order used by Figs 6 and 7.
+std::vector<android::ApiId> TopCorrelatedApis(const std::vector<ApiCorrelation>& correlations,
+                                              size_t corpus_size, size_t n,
+                                              const SelectionConfig& config = {});
+
+}  // namespace apichecker::core
+
+#endif  // APICHECKER_CORE_SELECTION_H_

@@ -1,0 +1,47 @@
+#include "emu/coverage.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace apichecker::emu {
+
+double ExpectedRac(uint32_t num_events, const CoverageModelParams& params) {
+  return params.mean_cap *
+         (1.0 - std::exp(-static_cast<double>(num_events) / params.tau_events));
+}
+
+CoverageResult ComputeCoverage(uint32_t num_events, uint32_t referenced_count,
+                               uint64_t app_seed, const CoverageModelParams& params) {
+  CoverageResult result;
+  result.covered.assign(referenced_count, false);
+  if (referenced_count == 0) {
+    return result;
+  }
+  util::Rng rng(util::SplitMix64(app_seed ^ 0xc0ffee));
+  const double cap =
+      std::clamp(rng.Normal(params.mean_cap, params.cap_stddev), 0.55, 1.0);
+  const double fraction =
+      cap * (1.0 - std::exp(-static_cast<double>(num_events) / params.tau_events));
+  // Rounded stochastically so a 3-activity app doesn't quantize to the same
+  // coverage at every budget.
+  const double exact = fraction * static_cast<double>(referenced_count);
+  uint32_t count = static_cast<uint32_t>(exact);
+  if (rng.Bernoulli(exact - static_cast<double>(count))) {
+    ++count;
+  }
+  count = std::min(count, referenced_count);
+
+  // The covered set is a prefix of a per-app exploration order, so larger
+  // event budgets strictly extend smaller ones.
+  const std::vector<uint32_t> order = rng.Permutation(referenced_count);
+  for (uint32_t i = 0; i < count; ++i) {
+    result.covered[order[i]] = true;
+  }
+  result.covered_count = count;
+  result.rac = static_cast<double>(count) / static_cast<double>(referenced_count);
+  return result;
+}
+
+}  // namespace apichecker::emu

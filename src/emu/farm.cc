@@ -1,0 +1,34 @@
+#include "emu/farm.h"
+
+#include <algorithm>
+
+namespace apichecker::emu {
+
+DeviceFarm::DeviceFarm(const android::ApiUniverse& universe, FarmConfig config)
+    : config_(config), engine_(universe, config.engine), pool_(config.worker_threads) {}
+
+BatchResult DeviceFarm::RunBatch(std::span<const apk::ApkFile> apks,
+                                 const TrackedApiSet& tracked) {
+  BatchResult result;
+  result.reports.resize(apks.size());
+  pool_.ParallelFor(0, apks.size(), [&](size_t i) {
+    result.reports[i] = engine_.Run(apks[i], tracked);
+  });
+
+  // Simulated makespan: greedy assignment of each app (in submission order)
+  // to the emulator that frees up first.
+  std::vector<double> emulator_busy_until(std::max<size_t>(1, config_.num_emulators), 0.0);
+  for (const EmulationReport& report : result.reports) {
+    auto next_free =
+        std::min_element(emulator_busy_until.begin(), emulator_busy_until.end());
+    *next_free += report.emulation_minutes;
+    result.total_emulation_minutes += report.emulation_minutes;
+    result.crashes += report.crashed ? 1 : 0;
+    result.fallbacks += report.fell_back ? 1 : 0;
+  }
+  result.makespan_minutes =
+      *std::max_element(emulator_busy_until.begin(), emulator_busy_until.end());
+  return result;
+}
+
+}  // namespace apichecker::emu

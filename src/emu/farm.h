@@ -1,0 +1,51 @@
+// Device farm: N concurrent emulators on one x86 server (paper §4.2/§5.1 run
+// 16 emulators on 16 cores, 4 cores reserved for scheduling/monitoring/
+// logging). The farm executes a batch of APKs, parallelized over a real
+// thread pool, and additionally reports the *simulated* wall-clock makespan
+// (greedy first-free-emulator scheduling of per-app emulation minutes) —
+// that is the quantity production throughput claims are made about.
+
+#ifndef APICHECKER_EMU_FARM_H_
+#define APICHECKER_EMU_FARM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "emu/engine.h"
+#include "util/thread_pool.h"
+
+namespace apichecker::emu {
+
+struct FarmConfig {
+  size_t num_emulators = 16;
+  EngineConfig engine;
+  // Worker threads for the real computation (0 = hardware concurrency).
+  size_t worker_threads = 0;
+};
+
+struct BatchResult {
+  std::vector<EmulationReport> reports;  // One per input, input order.
+  double makespan_minutes = 0.0;         // Simulated farm wall-clock.
+  double total_emulation_minutes = 0.0;  // Sum of per-app minutes.
+  size_t crashes = 0;
+  size_t fallbacks = 0;
+};
+
+class DeviceFarm {
+ public:
+  DeviceFarm(const android::ApiUniverse& universe, FarmConfig config);
+
+  BatchResult RunBatch(std::span<const apk::ApkFile> apks, const TrackedApiSet& tracked);
+
+  const FarmConfig& config() const { return config_; }
+  const DynamicAnalysisEngine& engine() const { return engine_; }
+
+ private:
+  FarmConfig config_;
+  DynamicAnalysisEngine engine_;
+  util::ThreadPool pool_;
+};
+
+}  // namespace apichecker::emu
+
+#endif  // APICHECKER_EMU_FARM_H_

@@ -1,0 +1,59 @@
+#include "emu/monkey.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apichecker::emu {
+
+std::vector<UiEvent> GenerateEventStream(const MonkeyConfig& config) {
+  util::Rng rng(config.seed);
+  std::vector<UiEvent> events;
+  events.reserve(config.num_events);
+  double clock_ms = 0.0;
+  for (uint32_t i = 0; i < config.num_events; ++i) {
+    UiEvent event;
+    if (rng.Bernoulli(config.pct_touch)) {
+      event.kind = UiEventKind::kTouch;
+    } else {
+      constexpr UiEventKind kOther[] = {UiEventKind::kMotion, UiEventKind::kTrackball,
+                                        UiEventKind::kNavigation, UiEventKind::kSystemKey,
+                                        UiEventKind::kAppSwitch};
+      event.kind = kOther[rng.NextBounded(std::size(kOther))];
+    }
+    // Human-like jitter: log-normal multiplicative spread around the
+    // throttle instead of a metronome.
+    clock_ms += config.throttle_ms * rng.LogNormal(1.0, 0.35);
+    event.timestamp_ms = static_cast<uint32_t>(clock_ms);
+    events.push_back(event);
+  }
+  return events;
+}
+
+bool LooksRobotic(const std::vector<UiEvent>& events) {
+  if (events.size() < 16) {
+    return false;
+  }
+  // Timing check: coefficient of variation of inter-event gaps. Real humans
+  // are noisy; a zero-throttle robot is metronomic.
+  double sum = 0.0, sum_sq = 0.0;
+  size_t touches = 0;
+  for (size_t i = 1; i < events.size(); ++i) {
+    const double gap =
+        static_cast<double>(events[i].timestamp_ms) - events[i - 1].timestamp_ms;
+    sum += gap;
+    sum_sq += gap * gap;
+  }
+  for (const UiEvent& e : events) {
+    touches += e.kind == UiEventKind::kTouch ? 1 : 0;
+  }
+  const double n = static_cast<double>(events.size() - 1);
+  const double mean = sum / n;
+  const double var = std::max(0.0, sum_sq / n - mean * mean);
+  const double cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+  const double touch_ratio = static_cast<double>(touches) / static_cast<double>(events.size());
+  // Suspicious: metronomic timing, sub-human speed (<50 ms), or a touch mix
+  // no human produces.
+  return cv < 0.05 || mean < 50.0 || touch_ratio < 0.3 || touch_ratio > 0.95;
+}
+
+}  // namespace apichecker::emu

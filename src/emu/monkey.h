@@ -1,0 +1,52 @@
+// Monkey UI-exerciser model (paper §4.2). The engine only needs the event
+// budget and the anti-detection tuning knobs (input throttle / touch ratio),
+// but the stream generator is also exposed so tests can exercise the event
+// mix the way the real tool would produce it.
+
+#ifndef APICHECKER_EMU_MONKEY_H_
+#define APICHECKER_EMU_MONKEY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apichecker::emu {
+
+enum class UiEventKind : uint8_t {
+  kTouch = 0,
+  kMotion = 1,
+  kTrackball = 2,
+  kNavigation = 3,
+  kSystemKey = 4,
+  kAppSwitch = 5,
+};
+
+struct UiEvent {
+  UiEventKind kind = UiEventKind::kTouch;
+  uint32_t timestamp_ms = 0;
+};
+
+struct MonkeyConfig {
+  uint32_t num_events = 5'000;
+  // --throttle: inter-event interval. 500 ms matches average human input
+  // cadence (the anti-detection tuning of §4.2); the emulator itself replays
+  // events far faster than the nominal throttle.
+  uint32_t throttle_ms = 500;
+  // --pct-touch: fraction of touch events, tuned per app type in [0.5, 0.8].
+  double pct_touch = 0.65;
+  uint64_t seed = 1;
+};
+
+// Generates the event stream: kinds follow pct_touch (remainder spread over
+// the other kinds), timestamps follow the throttle with human-like jitter.
+std::vector<UiEvent> GenerateEventStream(const MonkeyConfig& config);
+
+// Heuristic an emulator-detecting app applies to the stream: perfectly
+// regular timing or a degenerate touch ratio reveals a robot. Returns true
+// if the stream looks machine-generated.
+bool LooksRobotic(const std::vector<UiEvent>& events);
+
+}  // namespace apichecker::emu
+
+#endif  // APICHECKER_EMU_MONKEY_H_

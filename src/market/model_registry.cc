@@ -1,0 +1,27 @@
+#include "market/model_registry.h"
+
+namespace apichecker::market {
+
+bool ModelRegistry::Consider(ModelRecord candidate, double tolerance) {
+  const ModelRecord* incumbent = production();
+  const bool promote =
+      incumbent == nullptr || candidate.validation_f1 >= incumbent->validation_f1 - tolerance;
+  Archive(std::move(candidate), promote);
+  return promote;
+}
+
+void ModelRegistry::Archive(ModelRecord candidate, bool promoted) {
+  candidate.promoted = promoted;
+  records_.push_back(std::move(candidate));
+  if (promoted) {
+    production_index_ = records_.size() - 1;
+  } else {
+    ++rejections_;
+  }
+}
+
+const ModelRecord* ModelRegistry::production() const {
+  return production_index_ == SIZE_MAX ? nullptr : &records_[production_index_];
+}
+
+}  // namespace apichecker::market

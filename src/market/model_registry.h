@@ -1,0 +1,51 @@
+// Monthly model registry with a promotion guard. Every retrain produces a
+// candidate model; before the market swaps it into production, the candidate
+// is validated on a holdout slice of the corpus and rejected if it regresses
+// the incumbent's F1 by more than a tolerance. Archived blobs let operators
+// roll back and let large markets ship models to smaller ones (§5.4).
+
+#ifndef APICHECKER_MARKET_MODEL_REGISTRY_H_
+#define APICHECKER_MARKET_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/model_store.h"
+
+namespace apichecker::market {
+
+struct ModelRecord {
+  size_t month = 0;              // Month index the model was trained after.
+  std::vector<uint8_t> blob;     // Serialized checker (core/model_store).
+  double validation_f1 = 0.0;    // Holdout F1 at promotion time.
+  size_t key_api_count = 0;
+  bool promoted = false;         // False = rejected by the guard.
+};
+
+class ModelRegistry {
+ public:
+  // Archives a candidate; marks it promoted/rejected. Returns whether it was
+  // promoted (candidates are promoted when no incumbent exists, or when
+  // their validation F1 is within `tolerance` of — or better than — the
+  // incumbent's stored score).
+  bool Consider(ModelRecord candidate, double tolerance = 0.02);
+
+  // Archives with an externally decided outcome (e.g. when the incumbent was
+  // re-validated on fresher data than its stored score reflects).
+  void Archive(ModelRecord candidate, bool promoted);
+
+  // The promoted model currently in production (nullptr before first train).
+  const ModelRecord* production() const;
+
+  const std::vector<ModelRecord>& history() const { return records_; }
+  size_t rejections() const { return rejections_; }
+
+ private:
+  std::vector<ModelRecord> records_;
+  size_t production_index_ = SIZE_MAX;
+  size_t rejections_ = 0;
+};
+
+}  // namespace apichecker::market
+
+#endif  // APICHECKER_MARKET_MODEL_REGISTRY_H_

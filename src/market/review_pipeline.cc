@@ -1,0 +1,47 @@
+#include "market/review_pipeline.h"
+
+#include <bit>
+
+#include "util/rng.h"
+
+namespace apichecker::market {
+
+uint64_t CodeFingerprint(const apk::DexFile& dex) {
+  // Hash the code-identity-bearing parts: string pool, method table, and the
+  // behaviour records (rates quantized so benign float noise from
+  // re-serialization does not change the signature). The manifest — and in
+  // particular the version code — deliberately does not participate.
+  uint64_t h = 0x5f3759df;
+  for (const std::string& s : dex.strings) {
+    for (char c : s) {
+      h = util::SplitMix64(h ^ static_cast<uint8_t>(c));
+    }
+    h = util::SplitMix64(h ^ 0xff);
+  }
+  for (uint32_t idx : dex.method_name_idx) {
+    h = util::SplitMix64(h ^ idx);
+  }
+  for (const apk::DexBehavior& b : dex.behaviors) {
+    h = util::SplitMix64(h ^ b.method_idx);
+    h = util::SplitMix64(h ^ static_cast<uint64_t>(b.invocations_per_kevent * 16.0f));
+    h = util::SplitMix64(h ^ b.activity);
+    h = util::SplitMix64(h ^ b.intent_string_idx);
+  }
+  return h;
+}
+
+const char* ReviewOutcomeName(ReviewOutcome outcome) {
+  switch (outcome) {
+    case ReviewOutcome::kPublished:
+      return "published";
+    case ReviewOutcome::kRejectedFingerprint:
+      return "rejected-fingerprint";
+    case ReviewOutcome::kRejectedByChecker:
+      return "rejected-apichecker";
+    case ReviewOutcome::kFalsePositiveReleased:
+      return "false-positive-released";
+  }
+  return "?";
+}
+
+}  // namespace apichecker::market

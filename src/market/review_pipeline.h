@@ -1,0 +1,47 @@
+// T-Market's app-review process (paper §2): fingerprint-based antivirus
+// checking against known malware samples, APICHECKER's ML stage, and manual
+// inspection driven by developer complaints (false positives) and user
+// reports (false negatives).
+
+#ifndef APICHECKER_MARKET_REVIEW_PIPELINE_H_
+#define APICHECKER_MARKET_REVIEW_PIPELINE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_set>
+
+#include "apk/dex.h"
+
+namespace apichecker::market {
+
+// Behaviour-level fingerprint of an app's code (manifest-independent, so a
+// repackaged clone with a bumped version code still matches). Plays the role
+// of the antivirus signature databases (Symantec/Kaspersky/... of §4.1).
+uint64_t CodeFingerprint(const apk::DexFile& dex);
+
+class FingerprintDatabase {
+ public:
+  void AddMalware(uint64_t fingerprint) { known_malware_.insert(fingerprint); }
+  bool IsKnownMalware(uint64_t fingerprint) const {
+    return known_malware_.count(fingerprint) != 0;
+  }
+  size_t size() const { return known_malware_.size(); }
+
+ private:
+  std::unordered_set<uint64_t> known_malware_;
+};
+
+// Outcome of one submission through the full review pipeline.
+enum class ReviewOutcome : uint8_t {
+  kPublished = 0,            // Passed every stage.
+  kRejectedFingerprint = 1,  // Matched a known malware signature.
+  kRejectedByChecker = 2,    // Flagged by APICHECKER, confirmed malicious.
+  kFalsePositiveReleased = 3,  // Flagged, developer complained, manual
+                               // inspection cleared it (released).
+};
+
+const char* ReviewOutcomeName(ReviewOutcome outcome);
+
+}  // namespace apichecker::market
+
+#endif  // APICHECKER_MARKET_REVIEW_PIPELINE_H_

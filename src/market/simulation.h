@@ -1,0 +1,114 @@
+// 12-month production deployment simulation (paper §5.2/§5.3): daily vetting
+// of the submission stream on a single-server lightweight-emulator farm,
+// monthly key-API re-selection + model retraining, quarterly SDK growth, and
+// the FP-complaint / FN-report manual loops. Regenerates Fig 12 (online
+// precision/recall per month) and Fig 14 (key-API count per month).
+
+#ifndef APICHECKER_MARKET_SIMULATION_H_
+#define APICHECKER_MARKET_SIMULATION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/checker.h"
+#include "core/study.h"
+#include "market/model_registry.h"
+#include "market/review_pipeline.h"
+#include "ml/metrics.h"
+#include "synth/corpus.h"
+
+namespace apichecker::market {
+
+struct MarketConfig {
+  size_t months = 12;
+  size_t days_per_month = 30;
+  size_t apps_per_day = 200;          // Scaled stand-in for the paper's ~10K.
+  size_t initial_study_apps = 15'000; // Offline corpus for the first model.
+  // Fraction of monthly submissions replayed offline under track-all hooks
+  // to grow the retraining corpus (selection needs all-API observations).
+  double retrain_sample_rate = 0.25;
+  double fn_user_report_rate = 0.5;   // P(an FN gets reported within the month).
+  size_t sdk_update_every_months = 3; // "SDK is updated every several months".
+  size_t new_apis_per_sdk_update = 300;
+  size_t num_emulators = 16;
+  // Update-attack pressure on the submission stream (synth pass-through).
+  double update_attack_rate = 0.0;
+  // Model-promotion guard: candidates that regress the incumbent's holdout
+  // F1 by more than the tolerance are archived but not promoted.
+  bool enable_model_guard = true;
+  double guard_tolerance = 0.02;
+  size_t validation_stride = 7;  // Every Nth corpus record is holdout.
+  core::ApiCheckerConfig checker;
+  emu::EngineConfig study_engine;      // Google emulator, track-all (offline).
+  emu::EngineConfig production_engine; // Lightweight engine (online).
+  uint64_t seed = 0x714a11;
+
+  MarketConfig() {
+    production_engine.kind = emu::EngineKind::kLightweight;
+  }
+};
+
+struct MonthlyStats {
+  size_t month = 0;  // 1-based.
+  uint64_t submitted = 0;
+  uint64_t caught_by_fingerprint = 0;
+  uint64_t flagged_by_checker = 0;
+  uint64_t flagged_updates = 0;    // §5.2: ~90% of flagged apps are updates.
+  uint64_t fp_complaints = 0;      // Developer complaints (all resolved).
+  uint64_t fn_user_reports = 0;    // User reports (resolved on report).
+  uint64_t update_attacks_submitted = 0;  // Benign packages turning malicious.
+  uint64_t update_attacks_caught = 0;     // ...flagged by APICHECKER.
+  // §5.2 FN analysis: false negatives that barely exercise the key APIs
+  // (the paper manually sampled FNs and found 87% in this category, deeming
+  // them mild threats).
+  uint64_t fn_total = 0;
+  uint64_t fn_barely_uses_key_apis = 0;
+  ml::ConfusionMatrix checker_cm;  // APICHECKER verdicts vs ground truth.
+  size_t key_api_count = 0;
+  bool model_promoted = true;  // Whether this month's retrain went live.
+  double avg_scan_minutes = 0.0;
+  double avg_makespan_minutes_per_day = 0.0;
+  uint16_t sdk_level = 0;
+};
+
+class MarketSimulation {
+ public:
+  // The universe is mutated (SDK growth), hence non-const.
+  MarketSimulation(android::ApiUniverse& universe, MarketConfig config);
+
+  // Bootstraps the initial model from an offline study and simulates the
+  // configured number of months. Returns one row per month.
+  std::vector<MonthlyStats> Run();
+
+  const core::ApiChecker& checker() const { return *checker_; }
+  const FingerprintDatabase& fingerprints() const { return fingerprints_; }
+  const ModelRegistry& registry() const { return registry_; }
+
+ private:
+  void RunDay(MonthlyStats& stats, size_t day_index);
+  // Returns whether the candidate model was promoted to production.
+  bool MonthlyEvolution(size_t month_index);
+  // Splits the cumulative corpus into train/holdout by record stride.
+  void SplitCorpus(core::StudyDataset& train, core::StudyDataset& holdout) const;
+  // Holdout F1 of a trained checker.
+  double ValidationF1(const core::ApiChecker& checker,
+                      const core::StudyDataset& holdout) const;
+
+  android::ApiUniverse& universe_;
+  MarketConfig config_;
+  synth::CorpusGenerator generator_;
+  std::unique_ptr<core::ApiChecker> checker_;
+  core::StudyDataset training_corpus_;  // Cumulative (initial + sampled new).
+  FingerprintDatabase fingerprints_;
+  ModelRegistry registry_;
+  util::Rng rng_;
+  double scan_minutes_sum_ = 0.0;
+  uint64_t scans_ = 0;
+  double makespan_sum_ = 0.0;
+  size_t days_in_month_so_far_ = 0;
+};
+
+}  // namespace apichecker::market
+
+#endif  // APICHECKER_MARKET_SIMULATION_H_

@@ -1,0 +1,78 @@
+// CART decision tree over binary features (Gini impurity splits), used both
+// standalone (Table 2 "CART" row, DroidAPIMiner [1]) and as the base learner
+// of the random forest.
+
+#ifndef APICHECKER_ML_CART_H_
+#define APICHECKER_ML_CART_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/byte_io.h"
+#include "util/rng.h"
+
+namespace apichecker::ml {
+
+struct CartConfig {
+  size_t max_depth = 24;
+  size_t min_samples_leaf = 1;
+  size_t min_samples_split = 2;
+  // Candidate features per node; 0 means "all features".
+  size_t features_per_split = 0;
+  uint64_t seed = 1;
+};
+
+class CartTree : public Classifier {
+ public:
+  explicit CartTree(CartConfig config = {}) : config_(config) {}
+
+  void Train(const Dataset& data) override;
+  double PredictScore(const SparseRow& row) const override;
+  std::string name() const override { return "CART"; }
+
+  // Trains on a caller-chosen multiset of row indices (used by the forest
+  // for bootstrap bags). If `importance_out` is non-null it must have
+  // data.num_features entries; Gini importance (impurity decrease weighted
+  // by node fraction) is accumulated into it.
+  void TrainOnRows(const Dataset& data, std::span<const uint32_t> row_indices,
+                   std::vector<double>* importance_out);
+
+  size_t num_nodes() const { return nodes_.size(); }
+  size_t depth() const { return depth_; }
+
+  void SerializeInto(util::ByteWriter& writer) const;
+  static util::Result<CartTree> Deserialize(util::ByteReader& reader);
+
+ private:
+  struct Node {
+    int32_t feature = -1;  // -1 marks a leaf.
+    uint32_t absent_child = 0;
+    uint32_t present_child = 0;
+    float score = 0.0f;  // Leaf malice probability.
+  };
+
+  // Recursive builder over rows[begin, end) of `row_indices` (reordered in
+  // place during partitioning). Returns the created node's index.
+  uint32_t Build(const Dataset& data, std::vector<uint32_t>& row_indices, size_t begin,
+                 size_t end, size_t depth, std::vector<double>* importance_out);
+
+  CartConfig config_;
+  std::vector<Node> nodes_;
+  size_t depth_ = 0;
+  size_t total_rows_ = 0;
+  util::Rng rng_{1};
+
+  // Scratch arrays (feature-indexed) reused across nodes via epoch stamping,
+  // so per-node reset cost is O(features touched), not O(num_features).
+  std::vector<uint32_t> stamp_;
+  std::vector<uint32_t> count_;
+  std::vector<uint32_t> pos_count_;
+  std::vector<uint32_t> allowed_stamp_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_CART_H_

@@ -1,0 +1,99 @@
+#include "ml/classifier.h"
+
+#include "ml/cart.h"
+#include "ml/gbdt.h"
+#include "ml/knn.h"
+#include "ml/linear_model.h"
+#include "ml/mlp.h"
+#include "ml/naive_bayes.h"
+#include "ml/random_forest.h"
+
+namespace apichecker::ml {
+
+ConfusionMatrix Classifier::Evaluate(const Dataset& data) const {
+  ConfusionMatrix cm;
+  for (size_t i = 0; i < data.size(); ++i) {
+    cm.Record(data.labels[i] != 0, Predict(data.rows[i]));
+  }
+  return cm;
+}
+
+std::string ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kNaiveBayes:
+      return "Naive Bayes";
+    case ClassifierKind::kLogisticRegression:
+      return "Logistic Regression";
+    case ClassifierKind::kSvm:
+      return "SVM";
+    case ClassifierKind::kGbdt:
+      return "GBDT";
+    case ClassifierKind::kKnn:
+      return "kNN";
+    case ClassifierKind::kCart:
+      return "CART";
+    case ClassifierKind::kAnn:
+      return "ANN";
+    case ClassifierKind::kDnn:
+      return "DNN";
+    case ClassifierKind::kRandomForest:
+      return "Random Forest";
+  }
+  return "?";
+}
+
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind, uint64_t seed) {
+  switch (kind) {
+    case ClassifierKind::kNaiveBayes:
+      return std::make_unique<NaiveBayes>();
+    case ClassifierKind::kLogisticRegression: {
+      LinearModelConfig config;
+      config.seed = seed;
+      return std::make_unique<LogisticRegression>(config);
+    }
+    case ClassifierKind::kSvm: {
+      LinearModelConfig config;
+      config.seed = seed;
+      config.epochs = 15;
+      return std::make_unique<LinearSvm>(config);
+    }
+    case ClassifierKind::kGbdt: {
+      GbdtConfig config;
+      config.seed = seed;
+      return std::make_unique<Gbdt>(config);
+    }
+    case ClassifierKind::kKnn: {
+      KnnConfig config;
+      config.seed = seed;
+      return std::make_unique<Knn>(config);
+    }
+    case ClassifierKind::kCart: {
+      CartConfig config;
+      config.seed = seed;
+      return std::make_unique<CartTree>(config);
+    }
+    case ClassifierKind::kAnn: {
+      MlpConfig config;
+      config.hidden_layers = {32};
+      config.display_name = "ANN";
+      config.seed = seed;
+      return std::make_unique<Mlp>(config);
+    }
+    case ClassifierKind::kDnn: {
+      MlpConfig config;
+      config.hidden_layers = {64, 64, 32};
+      config.display_name = "DNN";
+      config.epochs = 10;
+      config.seed = seed;
+      return std::make_unique<Mlp>(config);
+    }
+    case ClassifierKind::kRandomForest: {
+      RandomForestConfig config;
+      config.seed = seed;
+      return std::make_unique<RandomForest>(config);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace apichecker::ml

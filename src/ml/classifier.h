@@ -1,0 +1,61 @@
+// Abstract malware classifier interface implemented by the nine learners the
+// paper evaluates (Table 2): NB, LR, CART, kNN, SVM, GBDT, ANN, DNN, RF.
+
+#ifndef APICHECKER_ML_CLASSIFIER_H_
+#define APICHECKER_ML_CLASSIFIER_H_
+
+#include <memory>
+#include <string>
+
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+
+namespace apichecker::ml {
+
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  // Fits the model; any previous fit is discarded.
+  virtual void Train(const Dataset& data) = 0;
+
+  // Malice score in [0, 1]; >= threshold() classifies as malicious.
+  virtual double PredictScore(const SparseRow& row) const = 0;
+
+  virtual std::string name() const = 0;
+
+  bool Predict(const SparseRow& row) const { return PredictScore(row) >= threshold_; }
+
+  double threshold() const { return threshold_; }
+  void set_threshold(double t) { threshold_ = t; }
+
+  // Evaluates Predict() over every row of `data`.
+  ConfusionMatrix Evaluate(const Dataset& data) const;
+
+ protected:
+  double threshold_ = 0.5;
+};
+
+// Enumerates the nine paper classifiers for factory construction.
+enum class ClassifierKind {
+  kNaiveBayes,
+  kLogisticRegression,
+  kSvm,
+  kGbdt,
+  kKnn,
+  kCart,
+  kAnn,   // 1 hidden layer MLP.
+  kDnn,   // 3 hidden layer MLP.
+  kRandomForest,
+};
+
+// Human-readable names matching Table 2 rows.
+std::string ClassifierKindName(ClassifierKind kind);
+
+// Builds a classifier with paper-appropriate default hyperparameters; `seed`
+// controls all internal randomness.
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind, uint64_t seed);
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_CLASSIFIER_H_

@@ -1,0 +1,79 @@
+#include "ml/cross_validation.h"
+
+#include <chrono>
+
+#include "util/rng.h"
+
+namespace apichecker::ml {
+
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+}
+
+}  // namespace
+
+std::vector<uint32_t> StratifiedFoldAssignment(const Dataset& data, size_t folds, uint64_t seed) {
+  std::vector<uint32_t> assignment(data.size(), 0);
+  util::Rng rng(seed);
+  // Shuffle positives and negatives independently, then deal them round-robin
+  // so each fold receives the same class mix.
+  std::vector<uint32_t> pos, neg;
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    (data.labels[i] ? pos : neg).push_back(i);
+  }
+  for (auto* group : {&pos, &neg}) {
+    const std::vector<uint32_t> perm = rng.Permutation(group->size());
+    for (size_t j = 0; j < group->size(); ++j) {
+      assignment[(*group)[perm[j]]] = static_cast<uint32_t>(j % folds);
+    }
+  }
+  return assignment;
+}
+
+CrossValidationResult CrossValidate(
+    const Dataset& data, size_t folds, uint64_t seed,
+    const std::function<std::unique_ptr<Classifier>()>& make_classifier) {
+  CrossValidationResult result;
+  const std::vector<uint32_t> assignment = StratifiedFoldAssignment(data, folds, seed);
+
+  for (uint32_t fold = 0; fold < folds; ++fold) {
+    std::vector<uint32_t> train_rows, test_rows;
+    for (uint32_t i = 0; i < data.size(); ++i) {
+      (assignment[i] == fold ? test_rows : train_rows).push_back(i);
+    }
+    const Dataset train = data.Subset(train_rows);
+    const Dataset test = DeduplicateAgainst(data.Subset(test_rows), train);
+
+    std::unique_ptr<Classifier> model = make_classifier();
+    const auto start = std::chrono::steady_clock::now();
+    model->Train(train);
+    result.total_train_seconds += SecondsSince(start);
+
+    result.folds.push_back(model->Evaluate(test));
+    result.pooled += result.folds.back();
+  }
+  if (!result.folds.empty()) {
+    result.mean_train_seconds = result.total_train_seconds /
+                                static_cast<double>(result.folds.size());
+  }
+  return result;
+}
+
+TrainTestSplit SplitTrainTest(const Dataset& data, double test_fraction, uint64_t seed) {
+  const size_t folds = test_fraction > 0.0 && test_fraction < 1.0
+                           ? static_cast<size_t>(1.0 / test_fraction + 0.5)
+                           : 5;
+  const std::vector<uint32_t> assignment = StratifiedFoldAssignment(data, folds, seed);
+  std::vector<uint32_t> train_rows, test_rows;
+  for (uint32_t i = 0; i < data.size(); ++i) {
+    (assignment[i] == 0 ? test_rows : train_rows).push_back(i);
+  }
+  TrainTestSplit split;
+  split.train = data.Subset(train_rows);
+  split.test = data.Subset(test_rows);
+  return split;
+}
+
+}  // namespace apichecker::ml

@@ -1,0 +1,49 @@
+// Stratified k-fold cross-validation with per-fold test-set deduplication,
+// matching the paper's evaluation protocol (§4.2): 10-fold CV, and within
+// each iteration duplicate feature vectors shared between the training and
+// test sets are removed from the test set to avoid data leakage.
+
+#ifndef APICHECKER_ML_CROSS_VALIDATION_H_
+#define APICHECKER_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+#include "ml/metrics.h"
+
+namespace apichecker::ml {
+
+struct CrossValidationResult {
+  ConfusionMatrix pooled;                // Summed over folds.
+  std::vector<ConfusionMatrix> folds;    // Per-fold matrices.
+  double total_train_seconds = 0.0;      // Wall-clock training time, summed.
+  double mean_train_seconds = 0.0;       // Per-fold mean.
+
+  double Precision() const { return pooled.Precision(); }
+  double Recall() const { return pooled.Recall(); }
+  double F1() const { return pooled.F1(); }
+};
+
+// Partitions row indices into `folds` stratified folds (class proportions
+// preserved per fold), shuffled with `seed`. Returns fold id per row.
+std::vector<uint32_t> StratifiedFoldAssignment(const Dataset& data, size_t folds, uint64_t seed);
+
+// Runs k-fold CV. `make_classifier` is invoked once per fold so state never
+// leaks across folds. Duplicate test rows (vs. the fold's training set) are
+// dropped before evaluation.
+CrossValidationResult CrossValidate(
+    const Dataset& data, size_t folds, uint64_t seed,
+    const std::function<std::unique_ptr<Classifier>()>& make_classifier);
+
+// Single stratified train/test split (test_fraction of rows held out).
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+TrainTestSplit SplitTrainTest(const Dataset& data, double test_fraction, uint64_t seed);
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_CROSS_VALIDATION_H_

@@ -1,0 +1,116 @@
+#include "ml/dataset.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace apichecker::ml {
+
+namespace {
+
+// Order-sensitive hash of a sparse row for duplicate detection.
+uint64_t HashRow(const SparseRow& row) {
+  uint64_t h = 0x9e3779b97f4a7c15ull ^ row.size();
+  for (uint32_t f : row) {
+    h = util::SplitMix64(h ^ f);
+  }
+  return h;
+}
+
+}  // namespace
+
+bool RowHasFeature(const SparseRow& row, uint32_t feature) {
+  return std::binary_search(row.begin(), row.end(), feature);
+}
+
+void Dataset::Add(SparseRow row, uint8_t label) {
+  assert(std::is_sorted(row.begin(), row.end()));
+  rows.push_back(std::move(row));
+  labels.push_back(label);
+}
+
+size_t Dataset::NumPositive() const {
+  size_t n = 0;
+  for (uint8_t l : labels) {
+    n += l;
+  }
+  return n;
+}
+
+Dataset Dataset::SelectColumns(std::span<const uint32_t> columns) const {
+  // Build old-index -> new-index map.
+  std::unordered_map<uint32_t, uint32_t> remap;
+  remap.reserve(columns.size());
+  for (uint32_t i = 0; i < columns.size(); ++i) {
+    assert(columns[i] < num_features);
+    remap.emplace(columns[i], i);
+  }
+  Dataset out;
+  out.num_features = static_cast<uint32_t>(columns.size());
+  out.rows.reserve(rows.size());
+  out.labels = labels;
+  for (const SparseRow& row : rows) {
+    SparseRow projected;
+    for (uint32_t f : row) {
+      const auto it = remap.find(f);
+      if (it != remap.end()) {
+        projected.push_back(it->second);
+      }
+    }
+    std::sort(projected.begin(), projected.end());
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Dataset Dataset::Subset(std::span<const uint32_t> row_indices) const {
+  Dataset out;
+  out.num_features = num_features;
+  out.rows.reserve(row_indices.size());
+  out.labels.reserve(row_indices.size());
+  for (uint32_t i : row_indices) {
+    out.rows.push_back(rows.at(i));
+    out.labels.push_back(labels.at(i));
+  }
+  return out;
+}
+
+std::vector<float> Dataset::DenseRow(size_t row_index) const {
+  std::vector<float> dense(num_features, 0.0f);
+  for (uint32_t f : rows.at(row_index)) {
+    dense[f] = 1.0f;
+  }
+  return dense;
+}
+
+std::vector<uint32_t> Dataset::FeatureCounts() const {
+  std::vector<uint32_t> counts(num_features, 0);
+  for (const SparseRow& row : rows) {
+    for (uint32_t f : row) {
+      ++counts[f];
+    }
+  }
+  return counts;
+}
+
+Dataset DeduplicateAgainst(const Dataset& test, const Dataset& train) {
+  std::unordered_set<uint64_t> seen;
+  seen.reserve(train.size() + test.size());
+  for (const SparseRow& row : train.rows) {
+    seen.insert(HashRow(row));
+  }
+  Dataset out;
+  out.num_features = test.num_features;
+  for (size_t i = 0; i < test.size(); ++i) {
+    const uint64_t h = HashRow(test.rows[i]);
+    if (seen.insert(h).second) {
+      out.Add(test.rows[i], test.labels[i]);
+    }
+  }
+  return out;
+}
+
+}  // namespace apichecker::ml

@@ -1,0 +1,58 @@
+// Binary-feature dataset representation shared by all classifiers.
+//
+// APICHECKER's feature vectors are One-Hot encodings over tracked APIs plus
+// auxiliary permission/intent bits (paper §4.2, §4.5): each row is a sparse
+// set of active bit indices. Rows are stored sparse (sorted index lists)
+// because an app invokes only a tiny fraction of the ~50K framework APIs;
+// classifiers that want dense vectors densify per-row on the fly.
+
+#ifndef APICHECKER_ML_DATASET_H_
+#define APICHECKER_ML_DATASET_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace apichecker::ml {
+
+// Sorted, deduplicated list of active feature indices.
+using SparseRow = std::vector<uint32_t>;
+
+// True if the row has the feature (binary membership; rows are sorted).
+bool RowHasFeature(const SparseRow& row, uint32_t feature);
+
+struct Dataset {
+  uint32_t num_features = 0;
+  std::vector<SparseRow> rows;
+  std::vector<uint8_t> labels;  // 1 = malicious, 0 = benign.
+
+  size_t size() const { return rows.size(); }
+
+  void Add(SparseRow row, uint8_t label);
+
+  // Number of positive (malicious) labels.
+  size_t NumPositive() const;
+
+  // Projects onto a feature subset: keeps only the listed feature columns and
+  // renumbers them 0..columns.size()-1 in the given order. Indices in
+  // `columns` must be unique and < num_features.
+  Dataset SelectColumns(std::span<const uint32_t> columns) const;
+
+  // Returns the subset of this dataset at the given row indices.
+  Dataset Subset(std::span<const uint32_t> row_indices) const;
+
+  // Densifies one row into a 0/1 vector of length num_features.
+  std::vector<float> DenseRow(size_t row_index) const;
+
+  // Per-column document frequency: in how many rows each feature is active.
+  std::vector<uint32_t> FeatureCounts() const;
+};
+
+// Removes from `test` every row whose feature vector also appears in `train`
+// or earlier in `test` (exact duplicate). The paper applies this inside each
+// cross-validation fold to avoid data-leakage-inflated results (§4.2).
+Dataset DeduplicateAgainst(const Dataset& test, const Dataset& train);
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_DATASET_H_

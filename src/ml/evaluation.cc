@@ -1,0 +1,123 @@
+#include "ml/evaluation.h"
+
+#include <algorithm>
+
+namespace apichecker::ml {
+
+std::vector<ScoredExample> ScoreDataset(const Classifier& model, const Dataset& data) {
+  std::vector<ScoredExample> scored;
+  scored.reserve(data.size());
+  for (size_t i = 0; i < data.size(); ++i) {
+    scored.push_back({model.PredictScore(data.rows[i]), data.labels[i]});
+  }
+  return scored;
+}
+
+std::vector<OperatingPoint> PrecisionRecallCurve(const std::vector<ScoredExample>& scored) {
+  std::vector<ScoredExample> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(), [](const ScoredExample& a, const ScoredExample& b) {
+    return a.score > b.score;
+  });
+  uint64_t total_pos = 0;
+  for (const ScoredExample& e : sorted) {
+    total_pos += e.label;
+  }
+
+  std::vector<OperatingPoint> curve;
+  uint64_t tp = 0, fp = 0;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    // Consume the whole tie group: a threshold either includes all examples
+    // at a score or none.
+    const double score = sorted[i].score;
+    while (i < sorted.size() && sorted[i].score == score) {
+      tp += sorted[i].label;
+      fp += 1 - sorted[i].label;
+      ++i;
+    }
+    OperatingPoint point;
+    point.threshold = score;
+    point.tp = tp;
+    point.fp = fp;
+    point.fn = total_pos - tp;
+    point.tn = (sorted.size() - total_pos) - fp;
+    point.precision = (tp + fp) == 0 ? 0.0
+                                     : static_cast<double>(tp) / static_cast<double>(tp + fp);
+    point.recall =
+        total_pos == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(total_pos);
+    curve.push_back(point);
+  }
+  return curve;
+}
+
+double RocAuc(const std::vector<ScoredExample>& scored) {
+  // Rank-sum (Mann–Whitney U) formulation with average ranks for ties.
+  std::vector<ScoredExample> sorted = scored;
+  std::sort(sorted.begin(), sorted.end(), [](const ScoredExample& a, const ScoredExample& b) {
+    return a.score < b.score;
+  });
+  const size_t n = sorted.size();
+  uint64_t positives = 0;
+  for (const ScoredExample& e : sorted) {
+    positives += e.label;
+  }
+  const uint64_t negatives = n - positives;
+  if (positives == 0 || negatives == 0) {
+    return 0.5;
+  }
+  double positive_rank_sum = 0.0;
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && sorted[j + 1].score == sorted[i].score) {
+      ++j;
+    }
+    const double avg_rank = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      if (sorted[k].label) {
+        positive_rank_sum += avg_rank;
+      }
+    }
+    i = j + 1;
+  }
+  const double u = positive_rank_sum -
+                   static_cast<double>(positives) * (static_cast<double>(positives) + 1.0) / 2.0;
+  return u / (static_cast<double>(positives) * static_cast<double>(negatives));
+}
+
+OperatingPoint ThresholdForPrecision(const std::vector<OperatingPoint>& curve,
+                                     double target_precision) {
+  OperatingPoint best;
+  bool found = false;
+  for (const OperatingPoint& point : curve) {
+    if (point.precision >= target_precision) {
+      // Curve is ordered by descending threshold => non-decreasing recall;
+      // the last qualifying point has the highest recall.
+      best = point;
+      found = true;
+    }
+  }
+  if (found) {
+    return best;
+  }
+  // Unreachable target: return the most precise point available.
+  for (const OperatingPoint& point : curve) {
+    if (!found || point.precision > best.precision) {
+      best = point;
+      found = true;
+    }
+  }
+  return best;
+}
+
+OperatingPoint BestF1Point(const std::vector<OperatingPoint>& curve) {
+  OperatingPoint best;
+  for (const OperatingPoint& point : curve) {
+    if (point.F1() > best.F1()) {
+      best = point;
+    }
+  }
+  return best;
+}
+
+}  // namespace apichecker::ml

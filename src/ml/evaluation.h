@@ -1,0 +1,55 @@
+// Score-based evaluation utilities: precision/recall curves, ROC-AUC, and
+// operating-threshold selection. The production system (paper §5.2) actively
+// drives false positives down because every FP costs a manual developer-
+// complaint investigation; picking the decision threshold for a target
+// precision is how that policy is implemented on top of a scoring model.
+
+#ifndef APICHECKER_ML_EVALUATION_H_
+#define APICHECKER_ML_EVALUATION_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+#include "ml/dataset.h"
+
+namespace apichecker::ml {
+
+struct ScoredExample {
+  double score = 0.0;
+  uint8_t label = 0;
+};
+
+// Scores every row of `data` with the model.
+std::vector<ScoredExample> ScoreDataset(const Classifier& model, const Dataset& data);
+
+struct OperatingPoint {
+  double threshold = 0.0;
+  double precision = 0.0;
+  double recall = 0.0;
+  uint64_t tp = 0, fp = 0, fn = 0, tn = 0;
+
+  double F1() const {
+    const double pr = precision + recall;
+    return pr <= 0.0 ? 0.0 : 2.0 * precision * recall / pr;
+  }
+};
+
+// The full precision/recall curve: one operating point per distinct score,
+// thresholds descending (recall non-decreasing along the vector).
+std::vector<OperatingPoint> PrecisionRecallCurve(const std::vector<ScoredExample>& scored);
+
+// Area under the ROC curve (probability a random positive outscores a
+// random negative; ties count half). 0.5 = chance, 1.0 = perfect.
+double RocAuc(const std::vector<ScoredExample>& scored);
+
+// Smallest-recall-loss threshold that achieves at least `target_precision`;
+// falls back to the highest-precision point when the target is unreachable.
+OperatingPoint ThresholdForPrecision(const std::vector<OperatingPoint>& curve,
+                                     double target_precision);
+
+// Threshold maximizing F1.
+OperatingPoint BestF1Point(const std::vector<OperatingPoint>& curve);
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_EVALUATION_H_

@@ -1,0 +1,143 @@
+#include "ml/gbdt.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace apichecker::ml {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+double Gbdt::Tree::Predict(const SparseRow& row) const {
+  if (nodes.empty()) {
+    return 0.0;
+  }
+  uint32_t index = 0;
+  for (;;) {
+    const Node& node = nodes[index];
+    if (node.feature < 0) {
+      return node.value;
+    }
+    index = RowHasFeature(row, static_cast<uint32_t>(node.feature)) ? node.present_child
+                                                                    : node.absent_child;
+  }
+}
+
+void Gbdt::Train(const Dataset& data) {
+  trees_.clear();
+  const size_t n = data.size();
+  if (n == 0) {
+    base_score_ = 0.0;
+    return;
+  }
+
+  const double pos_rate =
+      std::clamp(static_cast<double>(data.NumPositive()) / static_cast<double>(n), 1e-6,
+                 1.0 - 1e-6);
+  base_score_ = std::log(pos_rate / (1.0 - pos_rate));
+
+  stamp_.assign(data.num_features, 0);
+  sum_g_.assign(data.num_features, 0.0);
+  sum_h_.assign(data.num_features, 0.0);
+  epoch_ = 0;
+
+  std::vector<double> margin(n, base_score_);
+  std::vector<double> grad(n), hess(n);
+  std::vector<uint32_t> rows(n);
+
+  for (size_t round = 0; round < config_.num_rounds; ++round) {
+    for (size_t i = 0; i < n; ++i) {
+      const double p = Sigmoid(margin[i]);
+      grad[i] = p - static_cast<double>(data.labels[i]);  // dLoss/dMargin.
+      hess[i] = std::max(1e-12, p * (1.0 - p));
+    }
+    std::iota(rows.begin(), rows.end(), 0u);
+    Tree tree;
+    BuildNode(data, rows, 0, n, 0, grad, hess, tree);
+    for (size_t i = 0; i < n; ++i) {
+      margin[i] += config_.learning_rate * tree.Predict(data.rows[i]);
+    }
+    trees_.push_back(std::move(tree));
+  }
+}
+
+uint32_t Gbdt::BuildNode(const Dataset& data, std::vector<uint32_t>& rows, size_t begin,
+                         size_t end, size_t depth, const std::vector<double>& grad,
+                         const std::vector<double>& hess, Tree& tree) {
+  double total_g = 0.0, total_h = 0.0;
+  for (size_t i = begin; i < end; ++i) {
+    total_g += grad[rows[i]];
+    total_h += hess[rows[i]];
+  }
+
+  const uint32_t node_index = static_cast<uint32_t>(tree.nodes.size());
+  tree.nodes.push_back(Node{});
+  tree.nodes[node_index].value =
+      static_cast<float>(-total_g / (total_h + config_.l2));
+
+  if (depth >= config_.max_depth || end - begin < 2) {
+    return node_index;
+  }
+
+  ++epoch_;
+  std::vector<uint32_t> touched;
+  for (size_t i = begin; i < end; ++i) {
+    const uint32_t row = rows[i];
+    for (uint32_t f : data.rows[row]) {
+      if (stamp_[f] != epoch_) {
+        stamp_[f] = epoch_;
+        sum_g_[f] = 0.0;
+        sum_h_[f] = 0.0;
+        touched.push_back(f);
+      }
+      sum_g_[f] += grad[row];
+      sum_h_[f] += hess[row];
+    }
+  }
+
+  const double parent_score = total_g * total_g / (total_h + config_.l2);
+  double best_gain = 1e-9;
+  int64_t best_feature = -1;
+  for (uint32_t f : touched) {
+    const double g1 = sum_g_[f];
+    const double h1 = sum_h_[f];
+    const double g0 = total_g - g1;
+    const double h0 = total_h - h1;
+    if (h1 < config_.min_child_weight || h0 < config_.min_child_weight) {
+      continue;
+    }
+    const double gain = g1 * g1 / (h1 + config_.l2) + g0 * g0 / (h0 + config_.l2) - parent_score;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = f;
+    }
+  }
+  if (best_feature < 0) {
+    return node_index;
+  }
+
+  const uint32_t split = static_cast<uint32_t>(best_feature);
+  const auto mid_it = std::stable_partition(
+      rows.begin() + static_cast<ptrdiff_t>(begin), rows.begin() + static_cast<ptrdiff_t>(end),
+      [&](uint32_t row) { return !RowHasFeature(data.rows[row], split); });
+  const size_t mid = static_cast<size_t>(mid_it - rows.begin());
+
+  const uint32_t absent = BuildNode(data, rows, begin, mid, depth + 1, grad, hess, tree);
+  const uint32_t present = BuildNode(data, rows, mid, end, depth + 1, grad, hess, tree);
+  tree.nodes[node_index].feature = static_cast<int32_t>(split);
+  tree.nodes[node_index].absent_child = absent;
+  tree.nodes[node_index].present_child = present;
+  return node_index;
+}
+
+double Gbdt::PredictScore(const SparseRow& row) const {
+  double margin = base_score_;
+  for (const Tree& tree : trees_) {
+    margin += config_.learning_rate * tree.Predict(row);
+  }
+  return Sigmoid(margin);
+}
+
+}  // namespace apichecker::ml

@@ -1,0 +1,62 @@
+// Gradient-boosted decision trees with logistic loss (Table 2 "GBDT" row).
+// Base learners are depth-limited regression trees over binary features with
+// second-order (gradient/hessian) split gain, XGBoost-style.
+
+#ifndef APICHECKER_ML_GBDT_H_
+#define APICHECKER_ML_GBDT_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace apichecker::ml {
+
+struct GbdtConfig {
+  size_t num_rounds = 40;
+  size_t max_depth = 6;
+  double learning_rate = 0.3;
+  double l2 = 1.0;              // Leaf value regularization (lambda).
+  double min_child_weight = 1.0;  // Minimum hessian sum per child.
+  uint64_t seed = 1;
+};
+
+class Gbdt : public Classifier {
+ public:
+  explicit Gbdt(GbdtConfig config = {}) : config_(config) {}
+
+  void Train(const Dataset& data) override;
+  double PredictScore(const SparseRow& row) const override;
+  std::string name() const override { return "GBDT"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  struct Node {
+    int32_t feature = -1;
+    uint32_t absent_child = 0;
+    uint32_t present_child = 0;
+    float value = 0.0f;  // Leaf weight (log-odds increment).
+  };
+  struct Tree {
+    std::vector<Node> nodes;
+    double Predict(const SparseRow& row) const;
+  };
+
+  uint32_t BuildNode(const Dataset& data, std::vector<uint32_t>& rows, size_t begin, size_t end,
+                     size_t depth, const std::vector<double>& grad,
+                     const std::vector<double>& hess, Tree& tree);
+
+  GbdtConfig config_;
+  std::vector<Tree> trees_;
+  double base_score_ = 0.0;  // Initial log-odds.
+
+  // Feature-indexed scratch (epoch-stamped), as in CartTree.
+  std::vector<uint32_t> stamp_;
+  std::vector<double> sum_g_;
+  std::vector<double> sum_h_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_GBDT_H_

@@ -1,0 +1,68 @@
+#include "ml/knn.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/rng.h"
+
+namespace apichecker::ml {
+
+void Knn::Train(const Dataset& data) {
+  postings_.assign(data.num_features, {});
+  row_sizes_.clear();
+  labels_.clear();
+
+  std::vector<uint32_t> keep(data.size());
+  std::iota(keep.begin(), keep.end(), 0u);
+  if (config_.max_train_rows > 0 && data.size() > config_.max_train_rows) {
+    util::Rng rng(config_.seed);
+    keep = rng.SampleWithoutReplacement(data.size(), config_.max_train_rows);
+    std::sort(keep.begin(), keep.end());
+  }
+
+  row_sizes_.reserve(keep.size());
+  labels_.reserve(keep.size());
+  for (uint32_t stored = 0; stored < keep.size(); ++stored) {
+    const uint32_t src = keep[stored];
+    const SparseRow& row = data.rows[src];
+    for (uint32_t f : row) {
+      postings_[f].push_back(stored);
+    }
+    row_sizes_.push_back(static_cast<uint32_t>(row.size()));
+    labels_.push_back(data.labels[src]);
+  }
+}
+
+double Knn::PredictScore(const SparseRow& row) const {
+  const size_t n = row_sizes_.size();
+  if (n == 0) {
+    return 0.0;
+  }
+  std::vector<uint32_t> overlap(n, 0);
+  for (uint32_t f : row) {
+    if (f < postings_.size()) {
+      for (uint32_t train_row : postings_[f]) {
+        ++overlap[train_row];
+      }
+    }
+  }
+  const uint32_t q = static_cast<uint32_t>(row.size());
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  const size_t k = std::min(config_.k, n);
+  // Hamming distance; ties broken by row id for determinism.
+  auto distance = [&](uint32_t i) { return row_sizes_[i] + q - 2 * overlap[i]; };
+  std::nth_element(order.begin(), order.begin() + static_cast<ptrdiff_t>(k - 1), order.end(),
+                   [&](uint32_t a, uint32_t b) {
+                     const uint32_t da = distance(a);
+                     const uint32_t db = distance(b);
+                     return da != db ? da < db : a < b;
+                   });
+  size_t positives = 0;
+  for (size_t i = 0; i < k; ++i) {
+    positives += labels_[order[i]];
+  }
+  return static_cast<double>(positives) / static_cast<double>(k);
+}
+
+}  // namespace apichecker::ml

@@ -1,0 +1,44 @@
+// k-nearest-neighbours on binary feature vectors under Hamming distance
+// (Table 2 "kNN" row; DroidAPIMiner [1] and DroidMat [43] use kNN). Distance
+// between sparse rows a, b is |a| + |b| - 2|a∩b|; intersections are computed
+// through an inverted index so one query costs O(sum of posting lengths of
+// the query's features + n) rather than O(n * nnz).
+
+#ifndef APICHECKER_ML_KNN_H_
+#define APICHECKER_ML_KNN_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace apichecker::ml {
+
+struct KnnConfig {
+  size_t k = 5;
+  // Optional cap on stored training rows (0 = keep all). The paper notes
+  // kNN's training/eval cost is orders of magnitude above RF; production
+  // deployments subsample instead.
+  size_t max_train_rows = 0;
+  uint64_t seed = 1;
+};
+
+class Knn : public Classifier {
+ public:
+  explicit Knn(KnnConfig config = {}) : config_(config) {}
+
+  void Train(const Dataset& data) override;
+  double PredictScore(const SparseRow& row) const override;
+  std::string name() const override { return "kNN"; }
+
+  size_t num_train_rows() const { return row_sizes_.size(); }
+
+ private:
+  KnnConfig config_;
+  std::vector<std::vector<uint32_t>> postings_;  // feature -> train row ids.
+  std::vector<uint32_t> row_sizes_;
+  std::vector<uint8_t> labels_;
+};
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_KNN_H_

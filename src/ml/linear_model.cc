@@ -1,0 +1,71 @@
+#include "ml/linear_model.h"
+
+#include <cmath>
+
+namespace apichecker::ml {
+
+namespace {
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+double LinearModelBase::Margin(const SparseRow& row) const {
+  double m = bias_;
+  for (uint32_t f : row) {
+    if (f < weights_.size()) {
+      m += weights_[f];
+    }
+  }
+  return m;
+}
+
+void LinearModelBase::Train(const Dataset& data) {
+  weights_.assign(data.num_features, 0.0);
+  bias_ = 0.0;
+  if (data.size() == 0) {
+    return;
+  }
+
+  // AdaGrad accumulators.
+  std::vector<double> g2(data.num_features, 1e-8);
+  double g2_bias = 1e-8;
+  util::Rng rng(config_.seed);
+
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<uint32_t> order = rng.Permutation(data.size());
+    for (uint32_t i : order) {
+      const SparseRow& row = data.rows[i];
+      const double y = data.labels[i] ? 1.0 : -1.0;
+      const double grad = LossGradient(Margin(row), y);
+      if (grad != 0.0) {
+        for (uint32_t f : row) {
+          // Binary feature => gradient contribution is `grad` itself.
+          const double g = grad + config_.l2 * weights_[f];
+          g2[f] += g * g;
+          weights_[f] -= config_.learning_rate / std::sqrt(g2[f]) * g;
+        }
+        g2_bias += grad * grad;
+        bias_ -= config_.learning_rate / std::sqrt(g2_bias) * grad;
+      } else if (config_.l2 > 0.0) {
+        // Hinge-satisfied examples still shrink touched weights slightly.
+        for (uint32_t f : row) {
+          weights_[f] -= config_.learning_rate * config_.l2 * weights_[f];
+        }
+      }
+    }
+  }
+}
+
+double LinearModelBase::PredictScore(const SparseRow& row) const {
+  return Sigmoid(Margin(row));
+}
+
+double LogisticRegression::LossGradient(double margin, double y) const {
+  // d/dm log(1 + exp(-y m)) = -y * sigmoid(-y m).
+  return -y * Sigmoid(-y * margin);
+}
+
+double LinearSvm::LossGradient(double margin, double y) const {
+  return (y * margin < 1.0) ? -y : 0.0;
+}
+
+}  // namespace apichecker::ml

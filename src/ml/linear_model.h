@@ -1,0 +1,68 @@
+// Linear classifiers over binary features: logistic regression (log loss)
+// and linear SVM (hinge loss, Pegasos-style). Both train with stochastic
+// gradient descent using AdaGrad step sizes; sparse rows make each update
+// O(nnz). Scores are mapped to [0, 1] through the logistic function (for the
+// SVM this is a fixed squashing of the margin, adequate for thresholding).
+
+#ifndef APICHECKER_ML_LINEAR_MODEL_H_
+#define APICHECKER_ML_LINEAR_MODEL_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace apichecker::ml {
+
+struct LinearModelConfig {
+  size_t epochs = 10;
+  double learning_rate = 0.5;
+  double l2 = 1e-6;
+  uint64_t seed = 1;
+};
+
+class LinearModelBase : public Classifier {
+ public:
+  explicit LinearModelBase(LinearModelConfig config) : config_(config) {}
+
+  void Train(const Dataset& data) override;
+  double PredictScore(const SparseRow& row) const override;
+
+  const std::vector<double>& weights() const { return weights_; }
+  double bias() const { return bias_; }
+
+ protected:
+  // Returns dLoss/dMargin for one example with label y in {-1, +1} at the
+  // given margin m = w.x + b. Log loss: -y*sigmoid(-y*m). Hinge: -y if
+  // y*m < 1 else 0.
+  virtual double LossGradient(double margin, double y) const = 0;
+
+  LinearModelConfig config_;
+  std::vector<double> weights_;
+  double bias_ = 0.0;
+
+ private:
+  double Margin(const SparseRow& row) const;
+};
+
+class LogisticRegression : public LinearModelBase {
+ public:
+  explicit LogisticRegression(LinearModelConfig config = {}) : LinearModelBase(config) {}
+  std::string name() const override { return "LogisticRegression"; }
+
+ protected:
+  double LossGradient(double margin, double y) const override;
+};
+
+class LinearSvm : public LinearModelBase {
+ public:
+  explicit LinearSvm(LinearModelConfig config = {}) : LinearModelBase(config) {}
+  std::string name() const override { return "SVM"; }
+
+ protected:
+  double LossGradient(double margin, double y) const override;
+};
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_LINEAR_MODEL_H_

@@ -1,0 +1,57 @@
+#include "ml/metrics.h"
+
+#include "util/strings.h"
+
+namespace apichecker::ml {
+
+void ConfusionMatrix::Record(bool actual_positive, bool predicted_positive) {
+  if (actual_positive) {
+    predicted_positive ? ++tp : ++fn;
+  } else {
+    predicted_positive ? ++fp : ++tn;
+  }
+}
+
+double ConfusionMatrix::Precision() const {
+  const uint64_t denom = tp + fp;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::Recall() const {
+  const uint64_t denom = tp + fn;
+  return denom == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(denom);
+}
+
+double ConfusionMatrix::F1() const {
+  const double p = Precision();
+  const double r = Recall();
+  return (p + r) <= 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::Accuracy() const {
+  const uint64_t t = total();
+  return t == 0 ? 0.0 : static_cast<double>(tp + tn) / static_cast<double>(t);
+}
+
+double ConfusionMatrix::FalsePositiveRate() const {
+  const uint64_t denom = fp + tn;
+  return denom == 0 ? 0.0 : static_cast<double>(fp) / static_cast<double>(denom);
+}
+
+ConfusionMatrix& ConfusionMatrix::operator+=(const ConfusionMatrix& other) {
+  tp += other.tp;
+  fp += other.fp;
+  tn += other.tn;
+  fn += other.fn;
+  return *this;
+}
+
+std::string ConfusionMatrix::ToString() const {
+  return util::StrFormat(
+      "P=%s R=%s F1=%s (tp=%llu fp=%llu tn=%llu fn=%llu)", util::FormatPercent(Precision()).c_str(),
+      util::FormatPercent(Recall()).c_str(), util::FormatPercent(F1()).c_str(),
+      static_cast<unsigned long long>(tp), static_cast<unsigned long long>(fp),
+      static_cast<unsigned long long>(tn), static_cast<unsigned long long>(fn));
+}
+
+}  // namespace apichecker::ml

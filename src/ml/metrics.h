@@ -1,0 +1,34 @@
+// Classification metrics. Following the paper (§4.2): precision = TP/(TP+FP),
+// recall = TP/(TP+FN), where "positive" means classified malicious.
+
+#ifndef APICHECKER_ML_METRICS_H_
+#define APICHECKER_ML_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace apichecker::ml {
+
+struct ConfusionMatrix {
+  uint64_t tp = 0;
+  uint64_t fp = 0;
+  uint64_t tn = 0;
+  uint64_t fn = 0;
+
+  void Record(bool actual_positive, bool predicted_positive);
+
+  uint64_t total() const { return tp + fp + tn + fn; }
+  double Precision() const;
+  double Recall() const;
+  double F1() const;
+  double Accuracy() const;
+  double FalsePositiveRate() const;
+
+  ConfusionMatrix& operator+=(const ConfusionMatrix& other);
+
+  std::string ToString() const;
+};
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_METRICS_H_

@@ -1,0 +1,161 @@
+#include "ml/mlp.h"
+
+#include <cmath>
+
+namespace apichecker::ml {
+
+namespace {
+
+double Sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+void InitWeights(std::vector<double>& weights, size_t fan_in, util::Rng& rng) {
+  const double scale = std::sqrt(2.0 / std::max<size_t>(1, fan_in));
+  for (double& w : weights) {
+    w = rng.Normal(0.0, scale);
+  }
+}
+
+}  // namespace
+
+void Mlp::Train(const Dataset& data) {
+  num_features_ = data.num_features;
+  first_width_ = config_.hidden_layers.empty() ? 1 : config_.hidden_layers[0];
+
+  util::Rng rng(config_.seed);
+  first_layer_.assign(static_cast<size_t>(num_features_) * first_width_, 0.0);
+  first_bias_.assign(first_width_, 0.0);
+  // Binary sparse inputs: effective fan-in is the typical number of active
+  // features, not num_features. Use a modest constant for stable init.
+  InitWeights(first_layer_, 64, rng);
+  g2_first_.assign(first_layer_.size(), 1e-8);
+  g2_first_bias_.assign(first_width_, 1e-8);
+
+  dense_layers_.clear();
+  size_t prev = first_width_;
+  std::vector<size_t> remaining(config_.hidden_layers.begin() + (config_.hidden_layers.empty() ? 0 : 1),
+                                config_.hidden_layers.end());
+  remaining.push_back(1);  // Output unit.
+  for (size_t width : remaining) {
+    DenseLayer layer;
+    layer.in = prev;
+    layer.out = width;
+    layer.weights.assign(prev * width, 0.0);
+    InitWeights(layer.weights, prev, rng);
+    layer.bias.assign(width, 0.0);
+    layer.g2_weights.assign(layer.weights.size(), 1e-8);
+    layer.g2_bias.assign(width, 1e-8);
+    dense_layers_.push_back(std::move(layer));
+    prev = width;
+  }
+
+  if (data.size() == 0) {
+    return;
+  }
+
+  std::vector<std::vector<double>> activations;
+  for (size_t epoch = 0; epoch < config_.epochs; ++epoch) {
+    const std::vector<uint32_t> order = rng.Permutation(data.size());
+    for (uint32_t idx : order) {
+      const SparseRow& row = data.rows[idx];
+      const double y = static_cast<double>(data.labels[idx]);
+      const double p = Forward(row, activations);
+
+      // Output delta for sigmoid + log loss.
+      std::vector<double> delta = {p - y};
+
+      // Backprop through dense layers (last to first).
+      for (size_t li = dense_layers_.size(); li-- > 0;) {
+        DenseLayer& layer = dense_layers_[li];
+        const std::vector<double>& input = activations[li];  // Post-ReLU of previous stage.
+        std::vector<double> prev_delta(layer.in, 0.0);
+        for (size_t o = 0; o < layer.out; ++o) {
+          const double d = delta[o];
+          double* w = &layer.weights[o * layer.in];
+          double* g2 = &layer.g2_weights[o * layer.in];
+          for (size_t i = 0; i < layer.in; ++i) {
+            prev_delta[i] += w[i] * d;
+            const double g = d * input[i] + config_.l2 * w[i];
+            g2[i] += g * g;
+            w[i] -= config_.learning_rate / std::sqrt(g2[i]) * g;
+          }
+          layer.g2_bias[o] += d * d;
+          layer.bias[o] -= config_.learning_rate / std::sqrt(layer.g2_bias[o]) * d;
+        }
+        // ReLU derivative of the layer input.
+        for (size_t i = 0; i < layer.in; ++i) {
+          if (input[i] <= 0.0) {
+            prev_delta[i] = 0.0;
+          }
+        }
+        delta = std::move(prev_delta);
+      }
+
+      // First (sparse) layer update: input bits are 1 for active features.
+      for (size_t h = 0; h < first_width_; ++h) {
+        const double d = delta[h];
+        g2_first_bias_[h] += d * d;
+        first_bias_[h] -= config_.learning_rate / std::sqrt(g2_first_bias_[h]) * d;
+      }
+      for (uint32_t f : row) {
+        double* w = &first_layer_[static_cast<size_t>(f) * first_width_];
+        double* g2 = &g2_first_[static_cast<size_t>(f) * first_width_];
+        for (size_t h = 0; h < first_width_; ++h) {
+          const double g = delta[h] + config_.l2 * w[h];
+          g2[h] += g * g;
+          w[h] -= config_.learning_rate / std::sqrt(g2[h]) * g;
+        }
+      }
+    }
+  }
+}
+
+double Mlp::Forward(const SparseRow& row, std::vector<std::vector<double>>& activations) const {
+  activations.clear();
+  // First layer: bias plus the sum of active feature columns, then ReLU.
+  std::vector<double> h = first_bias_;
+  for (uint32_t f : row) {
+    if (f >= num_features_) {
+      continue;
+    }
+    const double* w = &first_layer_[static_cast<size_t>(f) * first_width_];
+    for (size_t i = 0; i < first_width_; ++i) {
+      h[i] += w[i];
+    }
+  }
+  for (double& v : h) {
+    v = std::max(0.0, v);
+  }
+  activations.push_back(h);
+
+  double output = 0.0;
+  for (size_t li = 0; li < dense_layers_.size(); ++li) {
+    const DenseLayer& layer = dense_layers_[li];
+    const std::vector<double>& input = activations.back();
+    std::vector<double> z(layer.out, 0.0);
+    for (size_t o = 0; o < layer.out; ++o) {
+      double acc = layer.bias[o];
+      const double* w = &layer.weights[o * layer.in];
+      for (size_t i = 0; i < layer.in; ++i) {
+        acc += w[i] * input[i];
+      }
+      z[o] = acc;
+    }
+    const bool is_last = li + 1 == dense_layers_.size();
+    if (is_last) {
+      output = Sigmoid(z[0]);
+    } else {
+      for (double& v : z) {
+        v = std::max(0.0, v);
+      }
+      activations.push_back(std::move(z));
+    }
+  }
+  return output;
+}
+
+double Mlp::PredictScore(const SparseRow& row) const {
+  std::vector<std::vector<double>> activations;
+  return Forward(row, activations);
+}
+
+}  // namespace apichecker::ml

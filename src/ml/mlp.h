@@ -1,0 +1,61 @@
+// Multi-layer perceptron with ReLU hidden layers and a sigmoid output,
+// trained by per-example AdaGrad SGD on log loss. Covers the "ANN" (one
+// hidden layer) and "DNN" (three hidden layers) rows of Table 2. The first
+// layer is stored feature-major so sparse binary inputs cost O(nnz * width).
+
+#ifndef APICHECKER_ML_MLP_H_
+#define APICHECKER_ML_MLP_H_
+
+#include <string>
+#include <vector>
+
+#include "ml/classifier.h"
+#include "util/rng.h"
+
+namespace apichecker::ml {
+
+struct MlpConfig {
+  std::vector<size_t> hidden_layers = {32};
+  size_t epochs = 8;
+  double learning_rate = 0.05;
+  double l2 = 1e-6;
+  uint64_t seed = 1;
+  std::string display_name = "ANN";
+};
+
+class Mlp : public Classifier {
+ public:
+  explicit Mlp(MlpConfig config = {}) : config_(std::move(config)) {}
+
+  void Train(const Dataset& data) override;
+  double PredictScore(const SparseRow& row) const override;
+  std::string name() const override { return config_.display_name; }
+
+ private:
+  struct DenseLayer {
+    size_t in = 0;
+    size_t out = 0;
+    std::vector<double> weights;  // Row-major [out][in].
+    std::vector<double> bias;
+    std::vector<double> g2_weights;  // AdaGrad accumulators.
+    std::vector<double> g2_bias;
+  };
+
+  // Forward pass; fills per-layer activations (post-nonlinearity). Returns
+  // the output probability.
+  double Forward(const SparseRow& row, std::vector<std::vector<double>>& activations) const;
+
+  MlpConfig config_;
+  size_t num_features_ = 0;
+  // First layer, feature-major: column f is first_layer_[f * width .. +width).
+  std::vector<double> first_layer_;
+  std::vector<double> first_bias_;
+  std::vector<double> g2_first_;
+  std::vector<double> g2_first_bias_;
+  size_t first_width_ = 0;
+  std::vector<DenseLayer> dense_layers_;  // Hidden-to-hidden and final layer.
+};
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_MLP_H_

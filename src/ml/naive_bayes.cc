@@ -1,0 +1,62 @@
+#include "ml/naive_bayes.h"
+
+#include <cmath>
+
+namespace apichecker::ml {
+
+void NaiveBayes::Train(const Dataset& data) {
+  const size_t n = data.size();
+  const size_t n_pos = data.NumPositive();
+  const size_t n_neg = n - n_pos;
+
+  log_prior_pos_ = std::log((static_cast<double>(n_pos) + smoothing_) /
+                            (static_cast<double>(n) + 2.0 * smoothing_));
+  log_prior_neg_ = std::log((static_cast<double>(n_neg) + smoothing_) /
+                            (static_cast<double>(n) + 2.0 * smoothing_));
+
+  std::vector<uint32_t> count_pos(data.num_features, 0);
+  std::vector<uint32_t> count_neg(data.num_features, 0);
+  for (size_t i = 0; i < n; ++i) {
+    auto& counts = data.labels[i] ? count_pos : count_neg;
+    for (uint32_t f : data.rows[i]) {
+      ++counts[f];
+    }
+  }
+
+  log_p1_pos_.assign(data.num_features, 0.0);
+  log_p0_pos_.assign(data.num_features, 0.0);
+  log_p1_neg_.assign(data.num_features, 0.0);
+  log_p0_neg_.assign(data.num_features, 0.0);
+  base_pos_ = 0.0;
+  base_neg_ = 0.0;
+  for (uint32_t f = 0; f < data.num_features; ++f) {
+    const double p1_pos = (count_pos[f] + smoothing_) /
+                          (static_cast<double>(n_pos) + 2.0 * smoothing_);
+    const double p1_neg = (count_neg[f] + smoothing_) /
+                          (static_cast<double>(n_neg) + 2.0 * smoothing_);
+    log_p1_pos_[f] = std::log(p1_pos);
+    log_p0_pos_[f] = std::log(1.0 - p1_pos);
+    log_p1_neg_[f] = std::log(p1_neg);
+    log_p0_neg_[f] = std::log(1.0 - p1_neg);
+    base_pos_ += log_p0_pos_[f];
+    base_neg_ += log_p0_neg_[f];
+  }
+}
+
+double NaiveBayes::PredictScore(const SparseRow& row) const {
+  double lp = log_prior_pos_ + base_pos_;
+  double ln = log_prior_neg_ + base_neg_;
+  for (uint32_t f : row) {
+    if (f < log_p1_pos_.size()) {
+      lp += log_p1_pos_[f] - log_p0_pos_[f];
+      ln += log_p1_neg_[f] - log_p0_neg_[f];
+    }
+  }
+  // Softmax over the two log-joint terms, numerically stabilized.
+  const double m = std::max(lp, ln);
+  const double ep = std::exp(lp - m);
+  const double en = std::exp(ln - m);
+  return ep / (ep + en);
+}
+
+}  // namespace apichecker::ml

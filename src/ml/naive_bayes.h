@@ -1,0 +1,36 @@
+// Bernoulli naive Bayes over binary features, with Laplace smoothing.
+// Matches the "Naive Bayes" row of Table 2 (used by Sharma et al. [35]).
+
+#ifndef APICHECKER_ML_NAIVE_BAYES_H_
+#define APICHECKER_ML_NAIVE_BAYES_H_
+
+#include <vector>
+
+#include "ml/classifier.h"
+
+namespace apichecker::ml {
+
+class NaiveBayes : public Classifier {
+ public:
+  explicit NaiveBayes(double smoothing = 1.0) : smoothing_(smoothing) {}
+
+  void Train(const Dataset& data) override;
+  double PredictScore(const SparseRow& row) const override;
+  std::string name() const override { return "NaiveBayes"; }
+
+ private:
+  double smoothing_;
+  double log_prior_pos_ = 0.0;
+  double log_prior_neg_ = 0.0;
+  // Per-feature log P(f=1 | class) and log P(f=0 | class).
+  std::vector<double> log_p1_pos_, log_p0_pos_;
+  std::vector<double> log_p1_neg_, log_p0_neg_;
+  // Sum over all features of log P(f=0 | class), so scoring a sparse row is
+  // O(nnz): start from the all-absent baseline and patch present features.
+  double base_pos_ = 0.0;
+  double base_neg_ = 0.0;
+};
+
+}  // namespace apichecker::ml
+
+#endif  // APICHECKER_ML_NAIVE_BAYES_H_

@@ -1,0 +1,121 @@
+#include "ml/random_forest.h"
+
+#include <bit>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace apichecker::ml {
+
+namespace {
+constexpr uint32_t kModelMagic = 0x52464d31;  // "RFM1"
+}  // namespace
+
+void RandomForest::Train(const Dataset& data) {
+  trees_.clear();
+  num_features_ = data.num_features;
+  importance_.assign(data.num_features, 0.0);
+  if (data.size() == 0) {
+    return;
+  }
+
+  size_t mtry = config_.features_per_split;
+  if (mtry == 0) {
+    mtry = static_cast<size_t>(std::lround(std::sqrt(static_cast<double>(data.num_features))));
+    mtry = std::max<size_t>(1, mtry);
+  }
+
+  util::Rng rng(config_.seed);
+  trees_.reserve(config_.num_trees);
+  for (size_t t = 0; t < config_.num_trees; ++t) {
+    // Bootstrap bag: n draws with replacement.
+    util::Rng bag_rng = rng.Fork(t * 2 + 1);
+    std::vector<uint32_t> bag(data.size());
+    for (auto& idx : bag) {
+      idx = static_cast<uint32_t>(bag_rng.NextBounded(data.size()));
+    }
+    CartConfig tree_config;
+    tree_config.max_depth = config_.max_depth;
+    tree_config.min_samples_leaf = config_.min_samples_leaf;
+    tree_config.min_samples_split = std::max<size_t>(2, config_.min_samples_leaf * 2);
+    tree_config.features_per_split = mtry;
+    tree_config.seed = rng.Fork(t * 2 + 2).Next();
+    CartTree tree(tree_config);
+    tree.TrainOnRows(data, bag, &importance_);
+    trees_.push_back(std::move(tree));
+  }
+
+  double total = 0.0;
+  for (double v : importance_) {
+    total += v;
+  }
+  if (total > 0.0) {
+    for (double& v : importance_) {
+      v /= total;
+    }
+  }
+}
+
+double RandomForest::PredictScore(const SparseRow& row) const {
+  if (trees_.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (const CartTree& tree : trees_) {
+    sum += tree.PredictScore(row);
+  }
+  return sum / static_cast<double>(trees_.size());
+}
+
+std::vector<uint8_t> RandomForest::Serialize() const {
+  util::ByteWriter writer;
+  writer.PutU32(kModelMagic);
+  writer.PutU32(num_features_);
+  writer.PutU32(static_cast<uint32_t>(trees_.size()));
+  for (const CartTree& tree : trees_) {
+    tree.SerializeInto(writer);
+  }
+  writer.PutU32(static_cast<uint32_t>(importance_.size()));
+  for (double v : importance_) {
+    writer.PutU64(std::bit_cast<uint64_t>(v));
+  }
+  return writer.TakeBytes();
+}
+
+util::Result<RandomForest> RandomForest::Deserialize(std::span<const uint8_t> bytes) {
+  util::ByteReader reader(bytes);
+  auto magic = reader.ReadU32();
+  if (!magic.ok() || *magic != kModelMagic) {
+    return util::Err("bad random forest model magic");
+  }
+  auto num_features = reader.ReadU32();
+  auto num_trees = reader.ReadU32();
+  if (!num_features.ok() || !num_trees.ok()) {
+    return util::Err("truncated random forest header");
+  }
+  RandomForest forest;
+  forest.num_features_ = *num_features;
+  forest.trees_.reserve(*num_trees);
+  for (uint32_t t = 0; t < *num_trees; ++t) {
+    auto tree = CartTree::Deserialize(reader);
+    if (!tree.ok()) {
+      return util::Err(tree.error());
+    }
+    forest.trees_.push_back(std::move(tree.value()));
+  }
+  auto importance_size = reader.ReadU32();
+  if (!importance_size.ok()) {
+    return util::Err("truncated importance vector");
+  }
+  forest.importance_.reserve(*importance_size);
+  for (uint32_t i = 0; i < *importance_size; ++i) {
+    auto v = reader.ReadU64();
+    if (!v.ok()) {
+      return util::Err("truncated importance entry");
+    }
+    forest.importance_.push_back(std::bit_cast<double>(*v));
+  }
+  return forest;
+}
+
+}  // namespace apichecker::ml

@@ -1,0 +1,53 @@
+#include "stats/cdf.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apichecker::stats {
+
+EmpiricalCdf::EmpiricalCdf(std::span<const double> samples)
+    : sorted_(samples.begin(), samples.end()) {
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::At(double x) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) / static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::Quantile(double p) const {
+  if (sorted_.empty()) {
+    return 0.0;
+  }
+  p = std::clamp(p, 0.0, 1.0);
+  const double pos = p * static_cast<double>(sorted_.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted_.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted_[lo] * (1.0 - frac) + sorted_[hi] * frac;
+}
+
+std::vector<std::pair<double, double>> EmpiricalCdf::Curve(size_t points) const {
+  std::vector<std::pair<double, double>> curve;
+  if (sorted_.empty() || points == 0) {
+    return curve;
+  }
+  curve.reserve(points);
+  const double lo = sorted_.front();
+  const double hi = sorted_.back();
+  for (size_t i = 0; i < points; ++i) {
+    // Pin the final point to the exact maximum so F(last) == 1 despite
+    // floating-point rounding in the interpolation.
+    const double x = (points == 1 || i + 1 == points)
+                         ? hi
+                         : lo + (hi - lo) * static_cast<double>(i) /
+                                   static_cast<double>(points - 1);
+    curve.emplace_back(x, At(x));
+  }
+  return curve;
+}
+
+}  // namespace apichecker::stats

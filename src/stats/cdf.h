@@ -1,0 +1,37 @@
+// Empirical cumulative distribution function. The paper reports several
+// results as CDFs (Figs 2, 3, 9, 11, 16); benchmark binaries build an
+// EmpiricalCdf from per-app samples and print it at fixed quantile steps.
+
+#ifndef APICHECKER_STATS_CDF_H_
+#define APICHECKER_STATS_CDF_H_
+
+#include <span>
+#include <vector>
+
+namespace apichecker::stats {
+
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::span<const double> samples);
+
+  // Fraction of samples <= x.
+  double At(double x) const;
+
+  // Inverse CDF: smallest sample value v with At(v) >= p, p in [0, 1].
+  double Quantile(double p) const;
+
+  // Evaluates the CDF at `points` evenly spaced x values spanning
+  // [min, max]; returns (x, F(x)) pairs. Handy for plotting/printing.
+  std::vector<std::pair<double, double>> Curve(size_t points) const;
+
+  size_t size() const { return sorted_.size(); }
+  double min() const { return sorted_.empty() ? 0.0 : sorted_.front(); }
+  double max() const { return sorted_.empty() ? 0.0 : sorted_.back(); }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace apichecker::stats
+
+#endif  // APICHECKER_STATS_CDF_H_

@@ -1,0 +1,100 @@
+#include "stats/correlation.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <numeric>
+
+namespace apichecker::stats {
+
+double PearsonCorrelation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    return 0.0;
+  }
+  const double n = static_cast<double>(x.size());
+  double sx = 0.0, sy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    sx += x[i];
+    sy += y[i];
+  }
+  const double mx = sx / n;
+  const double my = sy / n;
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx <= 0.0 || syy <= 0.0) {
+    return 0.0;
+  }
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<double> FractionalRanks(std::span<const double> values) {
+  const size_t n = values.size();
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(),
+            [&](uint32_t a, uint32_t b) { return values[a] < values[b]; });
+  std::vector<double> ranks(n, 0.0);
+  size_t i = 0;
+  while (i < n) {
+    size_t j = i;
+    while (j + 1 < n && values[order[j + 1]] == values[order[i]]) {
+      ++j;
+    }
+    // Average rank for the tie group [i, j], 1-based.
+    const double avg = (static_cast<double>(i) + static_cast<double>(j)) / 2.0 + 1.0;
+    for (size_t k = i; k <= j; ++k) {
+      ranks[order[k]] = avg;
+    }
+    i = j + 1;
+  }
+  return ranks;
+}
+
+double SpearmanCorrelation(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size() || x.size() < 2) {
+    return 0.0;
+  }
+  const std::vector<double> rx = FractionalRanks(x);
+  const std::vector<double> ry = FractionalRanks(y);
+  return PearsonCorrelation(rx, ry);
+}
+
+double BinarySpearman(std::span<const uint8_t> feature, std::span<const uint8_t> label) {
+  if (feature.size() != label.size() || feature.size() < 2) {
+    return 0.0;
+  }
+  // Contingency counts: n11 = feature&label, n10 = feature&!label, etc.
+  uint64_t n11 = 0, n10 = 0, n01 = 0, n00 = 0;
+  for (size_t i = 0; i < feature.size(); ++i) {
+    const bool f = feature[i] != 0;
+    const bool l = label[i] != 0;
+    if (f && l) {
+      ++n11;
+    } else if (f) {
+      ++n10;
+    } else if (l) {
+      ++n01;
+    } else {
+      ++n00;
+    }
+  }
+  const double r1 = static_cast<double>(n11 + n10);  // feature == 1 count
+  const double r0 = static_cast<double>(n01 + n00);
+  const double c1 = static_cast<double>(n11 + n01);  // label == 1 count
+  const double c0 = static_cast<double>(n10 + n00);
+  const double denom = std::sqrt(r1 * r0 * c1 * c0);
+  if (denom <= 0.0) {
+    return 0.0;
+  }
+  return (static_cast<double>(n11) * static_cast<double>(n00) -
+          static_cast<double>(n10) * static_cast<double>(n01)) /
+         denom;
+}
+
+}  // namespace apichecker::stats

@@ -1,0 +1,71 @@
+#include "stats/descriptive.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace apichecker::stats {
+
+double Mean(std::span<const double> samples) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  double sum = 0.0;
+  for (double s : samples) {
+    sum += s;
+  }
+  return sum / static_cast<double>(samples.size());
+}
+
+double Median(std::span<const double> samples) {
+  return Percentile(samples, 50.0);
+}
+
+double StdDev(std::span<const double> samples) {
+  if (samples.size() < 2) {
+    return 0.0;
+  }
+  const double mean = Mean(samples);
+  double ss = 0.0;
+  for (double s : samples) {
+    const double d = s - mean;
+    ss += d * d;
+  }
+  return std::sqrt(ss / static_cast<double>(samples.size() - 1));
+}
+
+double Percentile(std::span<const double> samples, double q) {
+  if (samples.empty()) {
+    return 0.0;
+  }
+  std::vector<double> sorted(samples.begin(), samples.end());
+  std::sort(sorted.begin(), sorted.end());
+  q = std::clamp(q, 0.0, 100.0);
+  const double pos = (q / 100.0) * static_cast<double>(sorted.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+Summary Summarize(std::span<const double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  s.min = *std::min_element(samples.begin(), samples.end());
+  s.max = *std::max_element(samples.begin(), samples.end());
+  s.mean = Mean(samples);
+  s.median = Median(samples);
+  s.stddev = StdDev(samples);
+  return s;
+}
+
+std::string Summary::ToString(int digits) const {
+  return util::StrFormat("min=%.*f median=%.*f mean=%.*f max=%.*f (n=%zu)", digits, min, digits,
+                         median, digits, mean, digits, max, count);
+}
+
+}  // namespace apichecker::stats

@@ -1,0 +1,36 @@
+// Descriptive statistics over double samples.
+
+#ifndef APICHECKER_STATS_DESCRIPTIVE_H_
+#define APICHECKER_STATS_DESCRIPTIVE_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apichecker::stats {
+
+// Five-number-plus summary of a sample.
+struct Summary {
+  size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;  // Sample standard deviation (n-1 denominator).
+
+  // "min/median/mean/max" rendered with `digits` fraction digits.
+  std::string ToString(int digits = 2) const;
+};
+
+Summary Summarize(std::span<const double> samples);
+
+double Mean(std::span<const double> samples);
+double Median(std::span<const double> samples);
+double StdDev(std::span<const double> samples);
+
+// Linear-interpolated percentile, q in [0, 100]. Empty input returns 0.
+double Percentile(std::span<const double> samples, double q);
+
+}  // namespace apichecker::stats
+
+#endif  // APICHECKER_STATS_DESCRIPTIVE_H_

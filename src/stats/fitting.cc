@@ -1,0 +1,160 @@
+#include "stats/fitting.h"
+
+#include <cmath>
+
+#include "util/strings.h"
+
+namespace apichecker::stats {
+
+namespace {
+
+// Plain least squares on (x, y); returns {slope, intercept}.
+std::pair<double, double> LeastSquares(std::span<const double> x, std::span<const double> y) {
+  const size_t n = x.size();
+  if (n < 2) {
+    return {0.0, n == 1 ? y[0] : 0.0};
+  }
+  double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    sx += x[i];
+    sy += y[i];
+    sxx += x[i] * x[i];
+    sxy += x[i] * y[i];
+  }
+  const double dn = static_cast<double>(n);
+  const double denom = dn * sxx - sx * sx;
+  if (std::fabs(denom) < 1e-12) {
+    return {0.0, sy / dn};
+  }
+  const double a = (dn * sxy - sx * sy) / denom;
+  const double b = (sy - a * sx) / dn;
+  return {a, b};
+}
+
+}  // namespace
+
+double RSquared(std::span<const double> observed, std::span<const double> predicted) {
+  if (observed.size() != predicted.size() || observed.empty()) {
+    return 0.0;
+  }
+  double mean = 0.0;
+  for (double v : observed) {
+    mean += v;
+  }
+  mean /= static_cast<double>(observed.size());
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    const double r = observed[i] - predicted[i];
+    const double t = observed[i] - mean;
+    ss_res += r * r;
+    ss_tot += t * t;
+  }
+  if (ss_tot <= 0.0) {
+    return ss_res <= 0.0 ? 1.0 : 0.0;
+  }
+  return 1.0 - ss_res / ss_tot;
+}
+
+double PowerFit::Eval(double x) const { return a * std::pow(x, b); }
+double LogFit::Eval(double x) const { return a * std::log(x) + b; }
+
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y) {
+  LinearFit fit;
+  const auto [a, b] = LeastSquares(x, y);
+  fit.a = a;
+  fit.b = b;
+  std::vector<double> pred(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    pred[i] = fit.Eval(x[i]);
+  }
+  fit.r_squared = RSquared(y, pred);
+  return fit;
+}
+
+PowerFit FitPower(std::span<const double> x, std::span<const double> y) {
+  PowerFit fit;
+  std::vector<double> lx, ly;
+  lx.reserve(x.size());
+  ly.reserve(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0 && y[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      ly.push_back(std::log(y[i]));
+    }
+  }
+  const auto [b, ln_a] = LeastSquares(lx, ly);
+  fit.a = std::exp(ln_a);
+  fit.b = b;
+  std::vector<double> pred(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    pred[i] = fit.Eval(x[i]);
+  }
+  fit.r_squared = RSquared(y, pred);
+  return fit;
+}
+
+LogFit FitLog(std::span<const double> x, std::span<const double> y) {
+  LogFit fit;
+  std::vector<double> lx, yy;
+  lx.reserve(x.size());
+  yy.reserve(y.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 0.0) {
+      lx.push_back(std::log(x[i]));
+      yy.push_back(y[i]);
+    }
+  }
+  const auto [a, b] = LeastSquares(lx, yy);
+  fit.a = a;
+  fit.b = b;
+  std::vector<double> pred(x.size());
+  for (size_t i = 0; i < x.size(); ++i) {
+    pred[i] = fit.Eval(x[i]);
+  }
+  fit.r_squared = RSquared(y, pred);
+  return fit;
+}
+
+double TriModalFit::Eval(double x) const {
+  if (x < break1) {
+    return linear.Eval(x);
+  }
+  if (x <= break2) {
+    return power.Eval(x);
+  }
+  return log.Eval(x);
+}
+
+std::string TriModalFit::ToString() const {
+  return util::StrFormat(
+      "t(n) = %.4g*n%+.4g (n<%g, R2=%.3f) | %.4g*n^%.3f (n<=%g, R2=%.3f) | "
+      "%.4g*ln(n)%+.4g (n>%g, R2=%.3f)",
+      linear.a, linear.b, break1, linear.r_squared, power.a, power.b, break2, power.r_squared,
+      log.a, log.b, break2, log.r_squared);
+}
+
+TriModalFit FitTriModal(std::span<const double> x, std::span<const double> y, double break1,
+                        double break2) {
+  TriModalFit fit;
+  fit.break1 = break1;
+  fit.break2 = break2;
+  std::vector<double> x1, y1, x2, y2, x3, y3;
+  for (size_t i = 0; i < x.size(); ++i) {
+    if (x[i] < break1) {
+      x1.push_back(x[i]);
+      y1.push_back(y[i]);
+    } else if (x[i] <= break2) {
+      x2.push_back(x[i]);
+      y2.push_back(y[i]);
+    } else {
+      x3.push_back(x[i]);
+      y3.push_back(y[i]);
+    }
+  }
+  fit.linear = FitLinear(x1, y1);
+  fit.power = FitPower(x2, y2);
+  fit.log = FitLog(x3, y3);
+  return fit;
+}
+
+}  // namespace apichecker::stats

@@ -1,0 +1,67 @@
+// Least-squares curve fitting and goodness-of-fit. The paper fits the
+// analysis-time-vs-tracked-API-count relationship with a tri-modal model
+// (Eq. 1): linear for n < 800, power-law for 800 <= n <= 1000, logarithmic
+// for n > 1000, and reports R^2 of 0.96/0.99/0.99 for the three segments.
+
+#ifndef APICHECKER_STATS_FITTING_H_
+#define APICHECKER_STATS_FITTING_H_
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apichecker::stats {
+
+// y = a*x + b.
+struct LinearFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+  double Eval(double x) const { return a * x + b; }
+};
+
+// y = a * x^b.
+struct PowerFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+  double Eval(double x) const;
+};
+
+// y = a * ln(x) + b.
+struct LogFit {
+  double a = 0.0;
+  double b = 0.0;
+  double r_squared = 0.0;
+  double Eval(double x) const;
+};
+
+LinearFit FitLinear(std::span<const double> x, std::span<const double> y);
+// Requires strictly positive x and y (fit is linear in log-log space, then
+// R^2 is evaluated in the original space, matching the paper's reporting).
+PowerFit FitPower(std::span<const double> x, std::span<const double> y);
+// Requires strictly positive x.
+LogFit FitLog(std::span<const double> x, std::span<const double> y);
+
+// Coefficient of determination of predictions vs observations.
+double RSquared(std::span<const double> observed, std::span<const double> predicted);
+
+// Eq. 1 of the paper: piecewise {linear, power, log} fit over x split at
+// `break1` and `break2` (paper: 800 and 1000).
+struct TriModalFit {
+  LinearFit linear;   // x in [min, break1)
+  PowerFit power;     // x in [break1, break2]
+  LogFit log;         // x in (break2, max]
+  double break1 = 0.0;
+  double break2 = 0.0;
+
+  double Eval(double x) const;
+  std::string ToString() const;
+};
+
+TriModalFit FitTriModal(std::span<const double> x, std::span<const double> y, double break1,
+                        double break2);
+
+}  // namespace apichecker::stats
+
+#endif  // APICHECKER_STATS_FITTING_H_

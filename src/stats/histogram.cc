@@ -1,0 +1,53 @@
+#include "stats/histogram.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/strings.h"
+
+namespace apichecker::stats {
+
+Histogram::Histogram(double lo, double hi, size_t bins) : lo_(lo), hi_(hi) {
+  assert(hi > lo && bins > 0);
+  counts_.assign(bins, 0);
+}
+
+void Histogram::Add(double sample) {
+  const double span = hi_ - lo_;
+  double pos = (sample - lo_) / span * static_cast<double>(counts_.size());
+  pos = std::clamp(pos, 0.0, static_cast<double>(counts_.size()) - 1.0);
+  ++counts_[static_cast<size_t>(pos)];
+  ++total_;
+}
+
+void Histogram::AddAll(const std::vector<double>& samples) {
+  for (double s : samples) {
+    Add(s);
+  }
+}
+
+double Histogram::BinLow(size_t bin) const {
+  return lo_ + (hi_ - lo_) * static_cast<double>(bin) / static_cast<double>(counts_.size());
+}
+
+double Histogram::BinHigh(size_t bin) const { return BinLow(bin + 1); }
+
+std::string Histogram::Render(size_t bar_width) const {
+  uint64_t max_count = 1;
+  for (uint64_t c : counts_) {
+    max_count = std::max(max_count, c);
+  }
+  std::string out;
+  for (size_t b = 0; b < counts_.size(); ++b) {
+    const size_t bar =
+        static_cast<size_t>(static_cast<double>(counts_[b]) / static_cast<double>(max_count) *
+                            static_cast<double>(bar_width));
+    out += util::StrFormat("[%10.2f, %10.2f) %8llu |", BinLow(b), BinHigh(b),
+                           static_cast<unsigned long long>(counts_[b]));
+    out += std::string(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace apichecker::stats

@@ -1,0 +1,38 @@
+// Fixed-width-bin histogram for report output.
+
+#ifndef APICHECKER_STATS_HISTOGRAM_H_
+#define APICHECKER_STATS_HISTOGRAM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace apichecker::stats {
+
+class Histogram {
+ public:
+  // Bins span [lo, hi) evenly; samples outside are clamped to edge bins.
+  Histogram(double lo, double hi, size_t bins);
+
+  void Add(double sample);
+  void AddAll(const std::vector<double>& samples);
+
+  uint64_t BinCount(size_t bin) const { return counts_.at(bin); }
+  double BinLow(size_t bin) const;
+  double BinHigh(size_t bin) const;
+  size_t num_bins() const { return counts_.size(); }
+  uint64_t total() const { return total_; }
+
+  // Text rendering: one line per bin with a proportional bar.
+  std::string Render(size_t bar_width = 40) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+};
+
+}  // namespace apichecker::stats
+
+#endif  // APICHECKER_STATS_HISTOGRAM_H_

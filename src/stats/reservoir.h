@@ -1,0 +1,47 @@
+// Reservoir sampling: a fixed-size uniform random sample over a stream of
+// unknown length (Vitter's algorithm R). The production pipeline uses it to
+// keep bounded, unbiased samples of daily submissions for offline analysis
+// (the paper's manual FP/FN sampling, §5.2).
+
+#ifndef APICHECKER_STATS_RESERVOIR_H_
+#define APICHECKER_STATS_RESERVOIR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apichecker::stats {
+
+template <typename T>
+class ReservoirSampler {
+ public:
+  ReservoirSampler(size_t capacity, uint64_t seed) : capacity_(capacity), rng_(seed) {}
+
+  void Add(T item) {
+    ++seen_;
+    if (sample_.size() < capacity_) {
+      sample_.push_back(std::move(item));
+      return;
+    }
+    // Keep with probability capacity/seen, replacing a uniform victim.
+    const uint64_t slot = rng_.NextBounded(seen_);
+    if (slot < capacity_) {
+      sample_[static_cast<size_t>(slot)] = std::move(item);
+    }
+  }
+
+  const std::vector<T>& sample() const { return sample_; }
+  uint64_t seen() const { return seen_; }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  size_t capacity_;
+  util::Rng rng_;
+  std::vector<T> sample_;
+  uint64_t seen_ = 0;
+};
+
+}  // namespace apichecker::stats
+
+#endif  // APICHECKER_STATS_RESERVOIR_H_

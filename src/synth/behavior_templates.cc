@@ -1,0 +1,295 @@
+#include "synth/behavior_templates.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "util/rng.h"
+#include "util/strings.h"
+
+namespace apichecker::synth {
+
+namespace {
+
+using android::ApiId;
+using android::ApiUniverse;
+using android::IntentId;
+using android::PermissionId;
+
+PermissionId FindPermission(const ApiUniverse& universe, std::string_view suffix) {
+  for (size_t i = 0; i < universe.permissions().size(); ++i) {
+    if (util::EndsWith(universe.permissions()[i].name, suffix)) {
+      return static_cast<PermissionId>(i);
+    }
+  }
+  assert(false && "unknown permission suffix");
+  return 0;
+}
+
+IntentId FindIntent(const ApiUniverse& universe, std::string_view suffix) {
+  for (size_t i = 0; i < universe.intents().size(); ++i) {
+    if (util::EndsWith(universe.intents()[i], suffix)) {
+      return static_cast<IntentId>(i);
+    }
+  }
+  assert(false && "unknown intent suffix");
+  return 0;
+}
+
+ApiId FindApi(const ApiUniverse& universe, const std::string& name) {
+  const auto id = universe.FindByName(name);
+  assert(id.has_value());
+  return *id;
+}
+
+}  // namespace
+
+std::vector<BehaviorTemplate> BuildBenignArchetypes(const ApiUniverse& universe, uint64_t seed) {
+  util::Rng rng(seed);
+  const std::vector<ApiId> restrictive = universe.RestrictivePermissionApis();
+  const std::vector<ApiId> sensitive = universe.SensitiveOperationApis();
+  const std::vector<ApiId> useful = universe.AttackerUsefulApis();
+
+  const char* const kNames[] = {
+      "game",     "messenger", "media_player", "shopping",    "finance",     "social",
+      "tools",    "news",      "education",    "travel",      "photography", "sms_utility",
+  };
+
+  std::vector<BehaviorTemplate> archetypes;
+  for (size_t a = 0; a < std::size(kNames); ++a) {
+    util::Rng arch_rng = rng.Fork(a + 1);
+    BehaviorTemplate t;
+    t.name = kNames[a];
+    t.malicious = false;
+    t.mean_activities = arch_rng.Uniform(6.0, 26.0);
+    t.emulator_detection_rate = 0.02;  // Anti-tamper checks in some benign apps.
+    t.native_code_rate = a == 0 ? 0.55 : 0.10;  // Games ship native engines.
+    t.crash_rate = arch_rng.Uniform(0.008, 0.02);
+
+    // Legitimate use of a few permission-guarded and sensitive APIs. This is
+    // what keeps Set-P/Set-S features from being trivially separating.
+    const size_t num_perm_apis = 1 + arch_rng.NextBounded(4);
+    for (uint32_t idx : arch_rng.SampleWithoutReplacement(restrictive.size(), num_perm_apis)) {
+      t.characteristic_apis.push_back(
+          {restrictive[idx], arch_rng.Uniform(0.05, 0.35), arch_rng.Uniform(1.0, 12.0)});
+    }
+    const size_t num_sens_apis = 1 + arch_rng.NextBounded(3);
+    for (uint32_t idx : arch_rng.SampleWithoutReplacement(sensitive.size(), num_sens_apis)) {
+      t.characteristic_apis.push_back(
+          {sensitive[idx], arch_rng.Uniform(0.04, 0.25), arch_rng.Uniform(2.0, 30.0)});
+    }
+
+    // Benign intent traffic.
+    t.runtime_intents.push_back({FindIntent(universe, "action.VIEW"), 0.5});
+    t.runtime_intents.push_back({FindIntent(universe, "action.SEND"), 0.25});
+    t.manifest_intents.push_back({FindIntent(universe, "CONNECTIVITY_CHANGE"), 0.30});
+    t.manifest_intents.push_back({FindIntent(universe, "BOOT_COMPLETED"), 0.15});
+    t.extra_permissions.push_back({FindPermission(universe, "INTERNET"), 0.9});
+    t.extra_permissions.push_back({FindPermission(universe, "ACCESS_NETWORK_STATE"), 0.7});
+
+    if (t.name == "messenger") {
+      t.characteristic_apis.push_back(
+          {FindApi(universe, "android.telephony.SmsManager.sendTextMessage"), 0.35, 3.0});
+      t.extra_permissions.push_back({FindPermission(universe, "RECEIVE_SMS"), 0.35});
+      t.manifest_intents.push_back({FindIntent(universe, "SMS_RECEIVED"), 0.45});
+    } else if (t.name == "finance") {
+      t.characteristic_apis.push_back(
+          {FindApi(universe, "javax.crypto.Cipher.doFinal"), 0.8, 20.0});
+    } else if (t.name == "tools") {
+      t.characteristic_apis.push_back(
+          {FindApi(universe, "android.app.ActivityManager.getRunningTasks"), 0.4, 8.0});
+      t.characteristic_apis.push_back(
+          {FindApi(universe, "java.lang.Runtime.exec"), 0.15, 1.5});
+    } else if (t.name == "sms_utility") {
+      // The deliberately malware-adjacent benign archetype: the main source
+      // of production false positives (§5.2).
+      t.characteristic_apis.push_back(
+          {FindApi(universe, "android.telephony.SmsManager.sendTextMessage"), 0.7, 6.0});
+      t.characteristic_apis.push_back(
+          {FindApi(universe, "android.telephony.TelephonyManager.getLine1Number"), 0.4, 2.0});
+      t.extra_permissions.push_back({FindPermission(universe, "READ_SMS"), 0.6});
+      t.manifest_intents.push_back({FindIntent(universe, "SMS_RECEIVED"), 0.6});
+      for (uint32_t idx : arch_rng.SampleWithoutReplacement(useful.size(), 14)) {
+        t.characteristic_apis.push_back(
+            {useful[idx], 0.35, arch_rng.Uniform(1.0, 8.0)});
+      }
+    }
+    archetypes.push_back(std::move(t));
+  }
+  return archetypes;
+}
+
+std::vector<BehaviorTemplate> BuildMalwareFamilies(const ApiUniverse& universe, uint64_t seed) {
+  util::Rng rng(seed);
+  const std::vector<ApiId> restrictive = universe.RestrictivePermissionApis();
+  const std::vector<ApiId> sensitive = universe.SensitiveOperationApis();
+  const std::vector<ApiId> useful = universe.AttackerUsefulApis();
+
+  // Attacker-useful members of the restrictive/sensitive pools: the Set-C
+  // overlap APIs that families lean on hardest.
+  std::vector<ApiId> useful_restrictive, useful_sensitive, useful_plain;
+  for (ApiId id : useful) {
+    const android::ApiInfo& info = universe.api(id);
+    if (android::IsRestrictive(info.protection)) {
+      useful_restrictive.push_back(id);
+    } else if (info.sensitive != android::SensitiveOp::kNone) {
+      useful_sensitive.push_back(id);
+    } else {
+      useful_plain.push_back(id);
+    }
+  }
+
+  const char* const kNames[] = {
+      "sms_fraud",        "premium_dialer",  "spyware_contacts", "locker_ransom",
+      "crypto_ransom",    "bank_overlay",    "adware_aggressive", "botnet",
+      "dropper_dynamic",  "rootkit_privesc", "clicker",           "info_stealer_wifi",
+      "stalkerware",      "perm_abuser",     "service_hijacker",  "intent_broker",
+  };
+  static_assert(std::size(kNames) == 16);
+
+  std::vector<BehaviorTemplate> families;
+  for (size_t f = 0; f < std::size(kNames); ++f) {
+    util::Rng fam_rng = rng.Fork(100 + f);
+    BehaviorTemplate t;
+    t.name = kNames[f];
+    t.malicious = true;
+    t.mean_activities = fam_rng.Uniform(3.0, 14.0);
+    t.backbone_scale = fam_rng.Uniform(0.96, 1.0);
+    t.common_op_scale = fam_rng.Uniform(0.42, 0.60);
+    t.reflection_evader_rate = 0.025;
+    t.partial_reflection_rate = 0.04;
+    t.emulator_detection_rate = 0.10;
+    t.native_code_rate = fam_rng.Uniform(0.10, 0.35);
+    t.crash_rate = fam_rng.Uniform(0.015, 0.04);
+
+    // Core signal: each family exercises a distinctive overlapping slice of
+    // the attacker-useful plain pool (~28% inclusion => ~65 APIs/family,
+    // each API covered by ~4-5 families).
+    const bool low_plain_family = f >= 13;  // Last 3 families barely touch
+                                            // the plain pool (Set-C misses
+                                            // them; Set-P/S catch them).
+    const double inclusion = low_plain_family ? 0.04 : 0.50;
+    for (ApiId id : useful_plain) {
+      if (fam_rng.Bernoulli(inclusion)) {
+        t.characteristic_apis.push_back(
+            {id, fam_rng.Uniform(0.65, 0.92), fam_rng.Uniform(1.0, 40.0)});
+      }
+    }
+
+    // Restrictive-permission API usage: ~11 of 16 families.
+    const bool uses_perm_apis = (f % 3) != 2 || low_plain_family;
+    if (uses_perm_apis) {
+      for (ApiId id : useful_restrictive) {
+        if (fam_rng.Bernoulli(0.8)) {
+          t.characteristic_apis.push_back(
+              {id, fam_rng.Uniform(0.60, 0.85), fam_rng.Uniform(1.0, 10.0)});
+        }
+      }
+      const size_t extra = 4 + fam_rng.NextBounded(6);
+      for (uint32_t idx : fam_rng.SampleWithoutReplacement(restrictive.size(), extra)) {
+        t.characteristic_apis.push_back(
+            {restrictive[idx], fam_rng.Uniform(0.35, 0.65), fam_rng.Uniform(0.5, 6.0)});
+      }
+    }
+
+    // Sensitive-operation API usage: ~11 of 16 families (offset so the
+    // perm/sens coverage patterns differ).
+    const bool uses_sensitive_apis = ((f + 1) % 3) != 2 || low_plain_family;
+    if (uses_sensitive_apis) {
+      for (ApiId id : useful_sensitive) {
+        if (fam_rng.Bernoulli(0.9)) {
+          t.characteristic_apis.push_back(
+              {id, fam_rng.Uniform(0.65, 0.90), fam_rng.Uniform(2.0, 25.0)});
+        }
+      }
+      const size_t extra = 8 + fam_rng.NextBounded(6);
+      for (uint32_t idx : fam_rng.SampleWithoutReplacement(sensitive.size(), extra)) {
+        t.characteristic_apis.push_back(
+            {sensitive[idx], fam_rng.Uniform(0.55, 0.80), fam_rng.Uniform(1.0, 15.0)});
+      }
+    }
+
+    // Family-flavoured manifests and intent traffic.
+    auto add_intent = [&](std::string_view suffix, double manifest_p, double runtime_p) {
+      const IntentId id = FindIntent(universe, suffix);
+      if (manifest_p > 0) {
+        t.manifest_intents.push_back({id, manifest_p});
+      }
+      if (runtime_p > 0) {
+        t.runtime_intents.push_back({id, runtime_p});
+      }
+    };
+    switch (f % 4) {
+      case 0:  // SMS / telephony flavoured.
+        add_intent("SMS_RECEIVED", 0.75, 0.2);
+        add_intent("action.SENDTO", 0.0, 0.45);
+        t.extra_permissions.push_back({FindPermission(universe, "SEND_SMS"), 0.8});
+        t.extra_permissions.push_back({FindPermission(universe, "RECEIVE_SMS"), 0.7});
+        t.extra_permissions.push_back({FindPermission(universe, "RECEIVE_MMS"), 0.45});
+        t.extra_permissions.push_back({FindPermission(universe, "RECEIVE_WAP_PUSH"), 0.40});
+        t.extra_permissions.push_back({FindPermission(universe, "READ_SMS"), 0.5});
+        break;
+      case 1:  // Boot-persistent background service flavoured.
+        add_intent("BOOT_COMPLETED", 0.8, 0.0);
+        add_intent("wifi.STATE_CHANGE", 0.6, 0.0);
+        add_intent("ACTION_BATTERY_OKAY", 0.45, 0.0);
+        t.extra_permissions.push_back(
+            {FindPermission(universe, "RECEIVE_BOOT_COMPLETED"), 0.85});
+        t.extra_permissions.push_back({FindPermission(universe, "WAKE_LOCK"), 0.5});
+        break;
+      case 2:  // Device-admin / overlay flavoured.
+        add_intent("DEVICE_ADMIN_ENABLED", 0.7, 0.25);
+        t.extra_permissions.push_back(
+            {FindPermission(universe, "SYSTEM_ALERT_WINDOW"), 0.75});
+        t.extra_permissions.push_back({FindPermission(universe, "BIND_DEVICE_ADMIN"), 0.5});
+        break;
+      case 3:  // Connectivity-snooping flavoured.
+        add_intent("bluetooth.adapter.action.STATE_CHANGED", 0.55, 0.0);
+        add_intent("CONNECTIVITY_CHANGE", 0.5, 0.0);
+        add_intent("PHONE_STATE", 0.45, 0.0);
+        t.extra_permissions.push_back(
+            {FindPermission(universe, "ACCESS_NETWORK_STATE"), 0.9});
+        t.extra_permissions.push_back({FindPermission(universe, "READ_PHONE_STATE"), 0.6});
+        break;
+    }
+    t.extra_permissions.push_back({FindPermission(universe, "INTERNET"), 0.95});
+
+    families.push_back(std::move(t));
+  }
+  return families;
+}
+
+BehaviorTemplate MakeGraywareArchetype(const BehaviorTemplate& family, uint64_t seed) {
+  util::Rng rng(seed);
+  BehaviorTemplate t = family;
+  t.name = family.name + "_grayware";
+  t.malicious = false;
+  // Grayware (aggressive ad/analytics SDKs) exercises a diluted version of
+  // the parent family's behaviour: same API vocabulary, lower intensity,
+  // fewer scary permissions — the Bayes-overlapping population behind the
+  // production false positives of §5.2.
+  // Rare near-twin population: statistically almost indistinguishable from
+  // the parent family, so a slice of it inevitably crosses the decision
+  // boundary — the irreducible false positives.
+  t.population_weight = 0.06;
+  for (WeightedApi& wa : t.characteristic_apis) {
+    wa.use_probability *= rng.Uniform(0.70, 0.95);
+    wa.invocations_per_kevent *= 0.8;
+  }
+  for (WeightedPermission& wp : t.extra_permissions) {
+    wp.probability *= 0.55;
+  }
+  for (WeightedIntent& wi : t.manifest_intents) {
+    wi.probability *= 0.5;
+  }
+  for (WeightedIntent& wi : t.runtime_intents) {
+    wi.probability *= 0.85;
+  }
+  t.common_op_scale = 0.8;
+  t.backbone_scale = 1.0;
+  t.reflection_evader_rate = 0.0;
+  t.partial_reflection_rate = 0.0;
+  t.emulator_detection_rate = 0.03;
+  return t;
+}
+
+}  // namespace apichecker::synth

@@ -1,0 +1,78 @@
+// Behaviour templates: benign app archetypes and malware families. Templates
+// are derived deterministically from the API universe; each names the APIs,
+// permissions and intents its instances characteristically exercise. The
+// template layer is what makes malice *learnable as combinations* rather than
+// single-feature rules: each family touches a distinctive overlapping subset
+// of the attacker-useful / restrictive / sensitive pools.
+
+#ifndef APICHECKER_SYNTH_BEHAVIOR_TEMPLATES_H_
+#define APICHECKER_SYNTH_BEHAVIOR_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "android/api_universe.h"
+#include "android/types.h"
+
+namespace apichecker::synth {
+
+struct WeightedApi {
+  android::ApiId api = 0;
+  double use_probability = 0.0;       // P(an instance exercises this API).
+  double invocations_per_kevent = 0;  // Typical rate when exercised.
+};
+
+struct WeightedPermission {
+  android::PermissionId permission = 0;
+  double probability = 0.0;
+};
+
+struct WeightedIntent {
+  android::IntentId intent = 0;
+  double probability = 0.0;
+};
+
+struct BehaviorTemplate {
+  std::string name;
+  bool malicious = false;
+
+  std::vector<WeightedApi> characteristic_apis;
+  std::vector<WeightedPermission> extra_permissions;
+  std::vector<WeightedIntent> manifest_intents;
+  // Intent actions passed through intent-carrying framework APIs at runtime
+  // (the delegation channel of §4.5).
+  std::vector<WeightedIntent> runtime_intents;
+
+  // Multiplier on baseline (popularity-driven) API adoption; <1 models the
+  // "simple functionality" end of the spectrum.
+  double backbone_scale = 1.0;
+  // Multiplier applied to ubiquitous common-op APIs; malware families run
+  // slightly below 1.0, producing the negative-SRC cluster of §4.3.
+  double common_op_scale = 1.0;
+
+  double mean_activities = 12.0;
+  // Relative prevalence when instances of this template are drawn (benign
+  // archetypes and malware families are each sampled weight-proportionally).
+  double population_weight = 1.0;
+  // Evasion / fragility knobs (probabilities per instance).
+  double reflection_evader_rate = 0.0;  // Hide ALL characteristic API usage.
+  double partial_reflection_rate = 0.0; // Hide each usage with p=0.5.
+  double emulator_detection_rate = 0.0;
+  double native_code_rate = 0.12;
+  double crash_rate = 0.015;
+};
+
+// Builds the standard template sets from a universe. Deterministic in `seed`.
+std::vector<BehaviorTemplate> BuildBenignArchetypes(const android::ApiUniverse& universe,
+                                                    uint64_t seed);
+std::vector<BehaviorTemplate> BuildMalwareFamilies(const android::ApiUniverse& universe,
+                                                   uint64_t seed);
+
+// Derives a benign "grayware" archetype from a malware family: the same
+// behavioural vocabulary at diluted intensity. Populates the corpus with the
+// hard-to-separate benign apps that cause production false positives.
+BehaviorTemplate MakeGraywareArchetype(const BehaviorTemplate& family, uint64_t seed);
+
+}  // namespace apichecker::synth
+
+#endif  // APICHECKER_SYNTH_BEHAVIOR_TEMPLATES_H_

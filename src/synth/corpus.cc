@@ -1,0 +1,542 @@
+#include "synth/corpus.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace apichecker::synth {
+
+namespace {
+
+using android::ApiId;
+using android::ApiInfo;
+using android::ApiUniverse;
+
+constexpr double kHeadPopularityThreshold = 0.02;
+constexpr float kMaxUseProbability = 0.98f;
+
+// Malware backbone modulation by API popularity tier (§4.3 / Fig 6 shape):
+// complex malware slightly over-exercises medium-popularity framework areas
+// and barely over-exercises the hot head.
+double MaliceBackboneFactor(double popularity) {
+  if (popularity >= 0.7) {
+    return 1.0;   // Hot plumbing: used identically by everyone.
+  }
+  if (popularity >= 0.3) {
+    return 1.02;
+  }
+  if (popularity >= 0.1) {
+    return 1.15;  // Mid-popularity framework areas malware leans on.
+  }
+  return 1.0;
+}
+
+}  // namespace
+
+CorpusGenerator::CorpusGenerator(const ApiUniverse& universe, CorpusConfig config)
+    : universe_(universe), config_(config), rng_(config.seed) {
+  RefreshTemplates(config_.template_seed);
+}
+
+void CorpusGenerator::RefreshTemplates(uint64_t seed) {
+  benign_ = BuildBenignArchetypes(universe_, seed ^ 0xb519);
+  malware_ = BuildMalwareFamilies(universe_, seed ^ 0x3a1c);
+  // Grayware: benign apps sharing a malware family's vocabulary (§5.2 FPs).
+  benign_.push_back(MakeGraywareArchetype(malware_[6], seed ^ 0x9a4e));
+  RebuildBackbonePools();
+}
+
+void CorpusGenerator::RebuildBackbonePools() {
+  head_apis_.clear();
+  tail_apis_.clear();
+  tail_cdf_.clear();
+  tail_lambda_ = 0.0;
+  for (ApiId id = 0; id < universe_.num_apis(); ++id) {
+    const ApiInfo& info = universe_.api(id);
+    if (info.popularity >= kHeadPopularityThreshold) {
+      head_apis_.push_back(id);
+    } else if (info.popularity > 0.0f) {
+      tail_apis_.push_back(id);
+      tail_lambda_ += info.popularity;
+      tail_cdf_.push_back(tail_lambda_);
+    }
+  }
+}
+
+void CorpusGenerator::SampleBackbone(AppProfile& profile, const BehaviorTemplate& tmpl,
+                                     util::Rng& rng) const {
+  const bool malicious = tmpl.malicious;
+  for (ApiId id : head_apis_) {
+    const ApiInfo& info = universe_.api(id);
+    double p = static_cast<double>(info.popularity) * tmpl.backbone_scale;
+    if (info.common_op) {
+      p = static_cast<double>(info.popularity) * tmpl.common_op_scale;
+    } else if (malicious) {
+      p *= MaliceBackboneFactor(info.popularity);
+    }
+    if (rng.Bernoulli(std::min<double>(p, kMaxUseProbability))) {
+      ApiUsage usage;
+      usage.api = id;
+      usage.invocations_per_kevent =
+          static_cast<float>(info.invocations_per_kevent * rng.LogNormal(1.0, 0.30));
+      profile.usage.push_back(usage);
+    }
+  }
+  // Weighted tail: draw a Poisson number of (deduplicated) rare APIs.
+  const uint64_t tail_draws = rng.Poisson(tail_lambda_ * tmpl.backbone_scale);
+  std::vector<ApiId> drawn;
+  drawn.reserve(tail_draws);
+  for (uint64_t d = 0; d < tail_draws; ++d) {
+    const double target = rng.NextDouble() * tail_lambda_;
+    const auto it = std::lower_bound(tail_cdf_.begin(), tail_cdf_.end(), target);
+    const size_t idx = std::min<size_t>(static_cast<size_t>(it - tail_cdf_.begin()),
+                                        tail_apis_.size() - 1);
+    drawn.push_back(tail_apis_[idx]);
+  }
+  std::sort(drawn.begin(), drawn.end());
+  drawn.erase(std::unique(drawn.begin(), drawn.end()), drawn.end());
+  for (ApiId id : drawn) {
+    const ApiInfo& info = universe_.api(id);
+    ApiUsage usage;
+    usage.api = id;
+    usage.invocations_per_kevent =
+        static_cast<float>(info.invocations_per_kevent * rng.LogNormal(1.0, 0.30));
+    profile.usage.push_back(usage);
+  }
+}
+
+AppProfile CorpusGenerator::Instantiate(const BehaviorTemplate& tmpl, int16_t template_id,
+                                        bool malicious, uint64_t profile_seed) {
+  util::Rng rng(profile_seed);
+  AppProfile profile;
+  profile.malicious = malicious;
+  profile.template_id = template_id;
+  profile.behavior_seed = rng.Fork(0xbe).Next();
+  profile.crash_probability =
+      static_cast<float>(std::min(0.25, rng.Exponential(tmpl.crash_rate)));
+  profile.has_native_code = rng.Bernoulli(tmpl.native_code_rate);
+
+  // Activities: declared vs actually referenced (paper §4.2: ~88%).
+  const double activities = std::max(1.0, rng.Normal(tmpl.mean_activities,
+                                                     tmpl.mean_activities / 3.0));
+  profile.num_activities = static_cast<uint8_t>(std::min(activities, 60.0));
+  profile.num_referenced_activities = static_cast<uint8_t>(std::max(
+      1.0, std::min<double>(profile.num_activities, profile.num_activities * 0.88 + 0.5)));
+
+  // Emulator sensitivity.
+  if (rng.Bernoulli(config_.sensor_dependent_fraction)) {
+    profile.emulator_sensitivity = EmulatorSensitivity::kNeedsRealSensors;
+  } else if (rng.Bernoulli(config_.config_detector_fraction + tmpl.emulator_detection_rate)) {
+    profile.emulator_sensitivity = EmulatorSensitivity::kDetectsConfiguration;
+  }
+
+  // App-wide invocation intensity (spreads the Fig 2 CDF).
+  const double intensity = rng.LogNormal(1.0, 0.15);
+
+  SampleBackbone(profile, tmpl, rng);
+
+  // Characteristic behaviour on top of the backbone.
+  std::unordered_map<ApiId, size_t> usage_index;
+  usage_index.reserve(profile.usage.size());
+  for (size_t i = 0; i < profile.usage.size(); ++i) {
+    usage_index.emplace(profile.usage[i].api, i);
+  }
+  for (const WeightedApi& wa : tmpl.characteristic_apis) {
+    if (!rng.Bernoulli(std::min<double>(wa.use_probability, kMaxUseProbability))) {
+      continue;
+    }
+    const float ipk =
+        static_cast<float>(wa.invocations_per_kevent * rng.LogNormal(1.0, 0.4));
+    const auto it = usage_index.find(wa.api);
+    if (it != usage_index.end()) {
+      profile.usage[it->second].invocations_per_kevent += ipk;
+    } else {
+      ApiUsage usage;
+      usage.api = wa.api;
+      usage.invocations_per_kevent = ipk;
+      usage_index.emplace(wa.api, profile.usage.size());
+      profile.usage.push_back(usage);
+    }
+  }
+
+  // Stealth-simple malware variant: near-empty behavioural footprint. These
+  // instances are the paper's tolerated false negatives (§5.2).
+  const bool stealth = malicious && rng.Bernoulli(config_.stealth_simple_fraction);
+  if (stealth) {
+    AppProfile minimal;
+    minimal.malicious = true;
+    minimal.template_id = template_id;
+    minimal.behavior_seed = profile.behavior_seed;
+    minimal.crash_probability = profile.crash_probability;
+    minimal.num_activities = std::max<uint8_t>(1, profile.num_activities / 4);
+    minimal.num_referenced_activities =
+        std::max<uint8_t>(1, std::min(minimal.num_activities,
+                                      profile.num_referenced_activities));
+    minimal.emulator_sensitivity = profile.emulator_sensitivity;
+    // Thin backbone only: drop ~70% of usages and all characteristic signal.
+    for (const ApiUsage& usage : profile.usage) {
+      const ApiInfo& info = universe_.api(usage.api);
+      const bool characteristic = info.attacker_useful ||
+                                  android::IsRestrictive(info.protection) ||
+                                  info.sensitive != android::SensitiveOp::kNone;
+      const double keep = universe_.api(usage.api).common_op ? 0.9 : 0.45;
+      if (!characteristic && rng.Bernoulli(keep)) {
+        minimal.usage.push_back(usage);
+      }
+    }
+    profile = std::move(minimal);
+  }
+
+  // Evasion: full or partial reflection hiding (malware only).
+  if (malicious && !stealth) {
+    const bool full_evader = rng.Bernoulli(tmpl.reflection_evader_rate);
+    const bool partial_evader = !full_evader && rng.Bernoulli(tmpl.partial_reflection_rate);
+    if (full_evader || partial_evader) {
+      for (ApiUsage& usage : profile.usage) {
+        const ApiInfo& info = universe_.api(usage.api);
+        const bool characteristic = info.attacker_useful ||
+                                    android::IsRestrictive(info.protection) ||
+                                    info.sensitive != android::SensitiveOp::kNone;
+        if (characteristic && (full_evader || rng.Bernoulli(0.4))) {
+          usage.via_reflection = true;
+        }
+      }
+    }
+  }
+
+  // Runtime intents through intent-carrying APIs (delegation channel).
+  if (!stealth) {
+    std::vector<ApiId> intent_apis;
+    for (const ApiUsage& usage : profile.usage) {
+      if (universe_.api(usage.api).intent_related && !usage.via_reflection) {
+        intent_apis.push_back(usage.api);
+      }
+    }
+    for (const WeightedIntent& wi : tmpl.runtime_intents) {
+      if (!rng.Bernoulli(wi.probability)) {
+        continue;
+      }
+      ApiUsage usage;
+      if (!intent_apis.empty()) {
+        usage.api = intent_apis[rng.NextBounded(intent_apis.size())];
+      } else {
+        const auto start_activity =
+            universe_.FindByName("android.content.Context.startActivity");
+        assert(start_activity.has_value());
+        usage.api = *start_activity;
+      }
+      usage.invocations_per_kevent = static_cast<float>(rng.Uniform(0.5, 6.0));
+      usage.runtime_intent = wi.intent;
+      profile.usage.push_back(usage);
+    }
+  }
+
+  // Permissions: implied by used APIs (reflective or not — reflection still
+  // needs the permission, §4.5), plus template extras, plus over-requests.
+  std::vector<bool> has_permission(universe_.permissions().size(), false);
+  for (const ApiUsage& usage : profile.usage) {
+    const ApiInfo& info = universe_.api(usage.api);
+    if (info.permission >= 0) {
+      has_permission[static_cast<size_t>(info.permission)] = true;
+    }
+  }
+  if (!stealth) {
+    for (const WeightedPermission& wp : tmpl.extra_permissions) {
+      if (rng.Bernoulli(wp.probability)) {
+        has_permission[wp.permission] = true;
+      }
+    }
+    // Over-privilege: a couple of stray normal-level permissions.
+    const size_t extras = rng.NextBounded(4);
+    for (size_t i = 0; i < extras; ++i) {
+      const size_t p = rng.NextBounded(universe_.permissions().size());
+      if (universe_.permissions()[p].level == android::Protection::kNormal) {
+        has_permission[p] = true;
+      }
+    }
+  }
+  for (size_t p = 0; p < has_permission.size(); ++p) {
+    if (has_permission[p]) {
+      profile.permissions.push_back(static_cast<android::PermissionId>(p));
+    }
+  }
+
+  // Manifest intent filters.
+  if (!stealth) {
+    std::vector<bool> has_intent(universe_.intents().size(), false);
+    for (const WeightedIntent& wi : tmpl.manifest_intents) {
+      if (rng.Bernoulli(wi.probability)) {
+        has_intent[wi.intent] = true;
+      }
+    }
+    for (size_t i = 0; i < has_intent.size(); ++i) {
+      if (has_intent[i]) {
+        profile.manifest_intents.push_back(static_cast<android::IntentId>(i));
+      }
+    }
+  }
+
+  // Assign gating activities, emulator guards, and app intensity.
+  const bool detects_config =
+      profile.emulator_sensitivity == EmulatorSensitivity::kDetectsConfiguration;
+  const bool sensor_dependent =
+      profile.emulator_sensitivity == EmulatorSensitivity::kNeedsRealSensors;
+  for (ApiUsage& usage : profile.usage) {
+    usage.invocations_per_kevent = static_cast<float>(usage.invocations_per_kevent * intensity);
+    if (!rng.Bernoulli(0.3)) {
+      usage.activity =
+          static_cast<uint8_t>(rng.NextBounded(profile.num_referenced_activities));
+    }
+    if (detects_config) {
+      const ApiInfo& info = universe_.api(usage.api);
+      const bool characteristic = info.attacker_useful ||
+                                  android::IsRestrictive(info.protection) ||
+                                  info.sensitive != android::SensitiveOp::kNone;
+      // Malware wraps its risky call sites in emulator checks; benign
+      // anti-tamper code guards a sprinkling of paths.
+      if ((malicious && characteristic) || (!malicious && rng.Bernoulli(0.15))) {
+        usage.guarded = true;
+      }
+    }
+    if (sensor_dependent && rng.Bernoulli(0.25)) {
+      usage.sensor_gated = true;
+    }
+  }
+  std::sort(profile.usage.begin(), profile.usage.end(),
+            [](const ApiUsage& a, const ApiUsage& b) { return a.api < b.api; });
+  return profile;
+}
+
+AppProfile CorpusGenerator::Next() {
+  ++num_generated_;
+  const bool make_update = !lineages_.empty() && rng_.Bernoulli(config_.update_fraction);
+  if (make_update) {
+    Lineage& lineage = lineages_[rng_.NextBounded(lineages_.size())];
+    lineage.version += 1;
+    const bool exact_clone = rng_.Bernoulli(config_.exact_clone_fraction);
+    // Clones re-instantiate from the same profile seed (identical behaviour,
+    // different APK digest via version_code); true updates mutate the seed.
+    const uint64_t seed = exact_clone
+                              ? lineage.profile_seed
+                              : util::SplitMix64(lineage.profile_seed ^ lineage.version);
+    const BehaviorTemplate& tmpl = lineage.malicious
+                                       ? malware_[static_cast<size_t>(lineage.template_id)]
+                                       : benign_[static_cast<size_t>(lineage.template_id)];
+    AppProfile profile = Instantiate(tmpl, lineage.template_id, lineage.malicious, seed);
+    profile.package_name = lineage.package_name;
+    profile.version_code = lineage.version;
+    profile.is_update = true;
+    // Update attack: a benign package's new version smuggles in a malware
+    // family's payload. The lineage is compromised from here on.
+    if (!lineage.malicious && config_.update_attack_rate > 0.0 &&
+        rng_.Bernoulli(config_.update_attack_rate)) {
+      const size_t family = rng_.NextBounded(malware_.size());
+      util::Rng inject_rng(util::SplitMix64(seed ^ 0xa77ac4));
+      InjectPayload(profile, malware_[family], inject_rng);
+      profile.malicious = true;
+      profile.is_update_attack = true;
+      lineage.malicious = true;
+      lineage.template_id = static_cast<int16_t>(family);
+    }
+    return profile;
+  }
+
+  const bool malicious = rng_.Bernoulli(config_.malicious_fraction);
+  const auto& pool = malicious ? malware_ : benign_;
+  const int16_t template_id = PickTemplate(pool);
+  const uint64_t profile_seed = rng_.Next();
+
+  Lineage lineage;
+  lineage.package_name = util::StrFormat(
+      "com.%s.app%06zu", pool[static_cast<size_t>(template_id)].name.c_str(), lineages_.size());
+  lineage.template_id = template_id;
+  lineage.malicious = malicious;
+  lineage.version = 1;
+  lineage.profile_seed = profile_seed;
+
+  AppProfile profile =
+      Instantiate(pool[static_cast<size_t>(template_id)], template_id, malicious, profile_seed);
+  profile.package_name = lineage.package_name;
+  profile.version_code = 1;
+  lineages_.push_back(std::move(lineage));
+  return profile;
+}
+
+int16_t CorpusGenerator::PickTemplate(const std::vector<BehaviorTemplate>& pool) {
+  std::vector<double> weights(pool.size());
+  for (size_t i = 0; i < pool.size(); ++i) {
+    weights[i] = pool[i].population_weight;
+  }
+  return static_cast<int16_t>(rng_.WeightedIndex(weights));
+}
+
+void CorpusGenerator::InjectPayload(AppProfile& profile, const BehaviorTemplate& family,
+                                    util::Rng& rng) const {
+  std::unordered_map<ApiId, size_t> usage_index;
+  for (size_t i = 0; i < profile.usage.size(); ++i) {
+    usage_index.emplace(profile.usage[i].api, i);
+  }
+  for (const WeightedApi& wa : family.characteristic_apis) {
+    if (!rng.Bernoulli(std::min(0.8 * wa.use_probability, 0.95))) {
+      continue;
+    }
+    const float ipk =
+        static_cast<float>(wa.invocations_per_kevent * rng.LogNormal(1.0, 0.4));
+    const auto it = usage_index.find(wa.api);
+    if (it != usage_index.end()) {
+      profile.usage[it->second].invocations_per_kevent += ipk;
+    } else {
+      ApiUsage usage;
+      usage.api = wa.api;
+      usage.invocations_per_kevent = ipk;
+      if (!rng.Bernoulli(0.3) && profile.num_referenced_activities > 0) {
+        usage.activity =
+            static_cast<uint8_t>(rng.NextBounded(profile.num_referenced_activities));
+      }
+      usage_index.emplace(wa.api, profile.usage.size());
+      profile.usage.push_back(usage);
+    }
+  }
+  // Payload permissions: implied by injected APIs plus the family's extras.
+  std::vector<bool> has_permission(universe_.permissions().size(), false);
+  for (android::PermissionId p : profile.permissions) {
+    has_permission[p] = true;
+  }
+  for (const ApiUsage& usage : profile.usage) {
+    const ApiInfo& info = universe_.api(usage.api);
+    if (info.permission >= 0) {
+      has_permission[static_cast<size_t>(info.permission)] = true;
+    }
+  }
+  for (const WeightedPermission& wp : family.extra_permissions) {
+    if (rng.Bernoulli(0.8 * wp.probability)) {
+      has_permission[wp.permission] = true;
+    }
+  }
+  profile.permissions.clear();
+  for (size_t p = 0; p < has_permission.size(); ++p) {
+    if (has_permission[p]) {
+      profile.permissions.push_back(static_cast<android::PermissionId>(p));
+    }
+  }
+  // Family intent filters join the manifest.
+  std::vector<bool> has_intent(universe_.intents().size(), false);
+  for (android::IntentId i : profile.manifest_intents) {
+    has_intent[i] = true;
+  }
+  for (const WeightedIntent& wi : family.manifest_intents) {
+    if (rng.Bernoulli(0.8 * wi.probability)) {
+      has_intent[wi.intent] = true;
+    }
+  }
+  profile.manifest_intents.clear();
+  for (size_t i = 0; i < has_intent.size(); ++i) {
+    if (has_intent[i]) {
+      profile.manifest_intents.push_back(static_cast<android::IntentId>(i));
+    }
+  }
+  std::sort(profile.usage.begin(), profile.usage.end(),
+            [](const ApiUsage& a, const ApiUsage& b) { return a.api < b.api; });
+}
+
+std::vector<AppProfile> CorpusGenerator::GenerateAll() {
+  std::vector<AppProfile> profiles;
+  profiles.reserve(config_.num_apps);
+  for (size_t i = 0; i < config_.num_apps; ++i) {
+    profiles.push_back(Next());
+  }
+  return profiles;
+}
+
+apk::Manifest BuildManifest(const AppProfile& profile, const ApiUniverse& universe) {
+  apk::Manifest manifest;
+  manifest.package_name = profile.package_name;
+  manifest.version_code = profile.version_code;
+  for (android::PermissionId p : profile.permissions) {
+    manifest.permissions.push_back(universe.permissions().at(p).name);
+  }
+  for (uint8_t a = 0; a < profile.num_activities; ++a) {
+    manifest.activities.push_back(
+        util::StrFormat("%s.ui.Activity%u", profile.package_name.c_str(), a));
+  }
+  for (android::IntentId i : profile.manifest_intents) {
+    manifest.intent_filters.push_back(universe.intents().at(i));
+  }
+  return manifest;
+}
+
+apk::DexFile BuildDex(const AppProfile& profile, const ApiUniverse& universe) {
+  apk::DexFile dex;
+  // Hash-based interner: DexFile::InternString is a linear scan, fine for a
+  // handful of lookups but quadratic over an app's ~1K method names.
+  std::unordered_map<std::string, uint32_t> string_index;
+  auto intern = [&](const std::string& s) {
+    const auto [it, inserted] =
+        string_index.emplace(s, static_cast<uint32_t>(dex.strings.size()));
+    if (inserted) {
+      dex.strings.push_back(s);
+    }
+    return it->second;
+  };
+  dex.behavior_seed = profile.behavior_seed;
+  dex.crash_prob_q8 = static_cast<uint8_t>(
+      std::min(255.0, profile.crash_probability * 255.0 + 0.5));
+  if (profile.emulator_sensitivity == EmulatorSensitivity::kDetectsConfiguration) {
+    dex.runtime_flags |= apk::DexFile::kFlagDetectsEmulator;
+  }
+  if (profile.emulator_sensitivity == EmulatorSensitivity::kNeedsRealSensors) {
+    dex.runtime_flags |= apk::DexFile::kFlagNeedsRealSensors;
+  }
+  if (profile.has_native_code) {
+    dex.runtime_flags |= apk::DexFile::kFlagNativeCode;
+  }
+
+  // Referenced activity classes.
+  for (uint8_t a = 0; a < profile.num_referenced_activities; ++a) {
+    dex.activity_class_idx.push_back(intern(
+        util::StrFormat("%s.ui.Activity%u", profile.package_name.c_str(), a)));
+  }
+
+  // Method table + behaviour records; reflection-hidden usage is absent by
+  // construction (invisible both statically and to API hooks).
+  std::unordered_map<ApiId, uint32_t> method_index;
+  for (const ApiUsage& usage : profile.usage) {
+    if (usage.via_reflection) {
+      continue;
+    }
+    uint32_t method_idx;
+    const auto it = method_index.find(usage.api);
+    if (it != method_index.end()) {
+      method_idx = it->second;
+    } else {
+      method_idx = static_cast<uint32_t>(dex.method_name_idx.size());
+      dex.method_name_idx.push_back(intern(universe.api(usage.api).name));
+      method_index.emplace(usage.api, method_idx);
+    }
+    apk::DexBehavior behavior;
+    behavior.method_idx = method_idx;
+    behavior.invocations_per_kevent = usage.invocations_per_kevent;
+    behavior.activity = usage.activity;
+    if (usage.guarded) {
+      behavior.flags |= apk::DexBehavior::kFlagGuarded;
+    }
+    if (usage.sensor_gated) {
+      behavior.flags |= apk::DexBehavior::kFlagSensorGated;
+    }
+    if (usage.runtime_intent >= 0) {
+      behavior.intent_string_idx =
+          intern(universe.intents().at(static_cast<size_t>(usage.runtime_intent)));
+    }
+    dex.behaviors.push_back(behavior);
+  }
+  return dex;
+}
+
+std::vector<uint8_t> BuildApkBytes(const AppProfile& profile, const ApiUniverse& universe) {
+  return apk::BuildApk(BuildManifest(profile, universe), BuildDex(profile, universe),
+                       profile.has_native_code);
+}
+
+}  // namespace apichecker::synth

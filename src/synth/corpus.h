@@ -1,0 +1,104 @@
+// Corpus generator: synthesizes the T-Market app stream (paper §4.1 —
+// ~500K new and updated submissions, ~7.7% malicious, ~85% updates of
+// existing packages). Profiles are produced deterministically from a seed,
+// and can be materialized into real APK byte archives.
+
+#ifndef APICHECKER_SYNTH_CORPUS_H_
+#define APICHECKER_SYNTH_CORPUS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "android/api_universe.h"
+#include "apk/apk.h"
+#include "synth/behavior_templates.h"
+#include "synth/profile.h"
+#include "util/rng.h"
+
+namespace apichecker::synth {
+
+struct CorpusConfig {
+  size_t num_apps = 20'000;
+  double malicious_fraction = 0.0771;   // 38,698 / 501,971 (paper §4.1).
+  double update_fraction = 0.85;        // Share of submissions that are updates.
+  double exact_clone_fraction = 0.04;   // Updates that are behavioural clones
+                                        // (the duplicate-vector leakage source).
+  // Probability that an update to a *benign* package is an update attack:
+  // the new version injects a malware family's payload (§2). Once attacked,
+  // the lineage stays malicious. Default off; threat-model benches enable it.
+  double update_attack_rate = 0.0;
+  double stealth_simple_fraction = 0.025;  // Malware with barely any key-API
+                                           // footprint (the §5.2 FN cluster).
+  double config_detector_fraction = 0.10;  // Baseline emulator-config checks.
+  double sensor_dependent_fraction = 0.014;  // Needs live sensors (§4.2: 1.4%).
+  uint64_t seed = 0x5eed;          // Submission-stream randomness.
+  // Seed for the behaviour-template "world" (archetypes + families). Streams
+  // with different `seed` but the same `template_seed` draw from the same
+  // app ecosystem — train on one stream, vet another.
+  uint64_t template_seed = 0x7ea31d;
+};
+
+class CorpusGenerator {
+ public:
+  CorpusGenerator(const android::ApiUniverse& universe, CorpusConfig config);
+
+  // Generates the next submission in the stream (new app or update).
+  AppProfile Next();
+
+  // Convenience: generates config.num_apps submissions.
+  std::vector<AppProfile> GenerateAll();
+
+  const std::vector<BehaviorTemplate>& benign_templates() const { return benign_; }
+  const std::vector<BehaviorTemplate>& malware_templates() const { return malware_; }
+  const CorpusConfig& config() const { return config_; }
+  size_t num_generated() const { return num_generated_; }
+
+  // Re-derives template pools after the universe gained new SDK APIs, so
+  // freshly generated apps start adopting them (model-evolution driver,
+  // §5.3). Call after ApiUniverse::AddSdkLevel.
+  void RefreshTemplates(uint64_t seed);
+
+ private:
+  struct Lineage {
+    std::string package_name;
+    int16_t template_id = -1;
+    bool malicious = false;
+    uint32_t version = 1;
+    uint64_t profile_seed = 0;
+  };
+
+  AppProfile Instantiate(const BehaviorTemplate& tmpl, int16_t template_id, bool malicious,
+                         uint64_t profile_seed);
+  // Grafts a malware family's payload onto an (otherwise benign) profile.
+  void InjectPayload(AppProfile& profile, const BehaviorTemplate& family, util::Rng& rng) const;
+  int16_t PickTemplate(const std::vector<BehaviorTemplate>& pool);
+  void SampleBackbone(AppProfile& profile, const BehaviorTemplate& tmpl, util::Rng& rng) const;
+  void RebuildBackbonePools();
+
+  const android::ApiUniverse& universe_;
+  CorpusConfig config_;
+  util::Rng rng_;
+  std::vector<BehaviorTemplate> benign_;
+  std::vector<BehaviorTemplate> malware_;
+
+  // Backbone sampling pools: head (Bernoulli per app) and weighted tail.
+  std::vector<android::ApiId> head_apis_;
+  std::vector<android::ApiId> tail_apis_;
+  std::vector<double> tail_cdf_;
+  double tail_lambda_ = 0.0;
+
+  std::vector<Lineage> lineages_;
+  size_t num_generated_ = 0;
+};
+
+// Materializes a profile into manifest + dex structures (reflection-hidden
+// usage is omitted from the dex by construction) and then into APK bytes.
+apk::Manifest BuildManifest(const AppProfile& profile, const android::ApiUniverse& universe);
+apk::DexFile BuildDex(const AppProfile& profile, const android::ApiUniverse& universe);
+std::vector<uint8_t> BuildApkBytes(const AppProfile& profile,
+                                   const android::ApiUniverse& universe);
+
+}  // namespace apichecker::synth
+
+#endif  // APICHECKER_SYNTH_CORPUS_H_

@@ -1,0 +1,75 @@
+// Ground-truth app profile: the logical behaviour an APK is synthesized from.
+// The profile is the *generator's* view; the detection pipeline only ever
+// sees the APK bytes and the emulator's observations.
+
+#ifndef APICHECKER_SYNTH_PROFILE_H_
+#define APICHECKER_SYNTH_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "android/types.h"
+
+namespace apichecker::synth {
+
+// One runtime API call site.
+struct ApiUsage {
+  android::ApiId api = 0;
+  float invocations_per_kevent = 0.0f;
+  // Activity ordinal (into referenced activities) gating the call site;
+  // 0xFF means app-level (fires regardless of UI exploration depth).
+  uint8_t activity = 0xFF;
+  // Hidden via Java reflection / internal APIs (§4.5): the call site never
+  // appears in the DEX and produces no hook events; only its prerequisite
+  // permission remains visible in the manifest.
+  bool via_reflection = false;
+  // When >= 0 the invocation passes this Intent action as a parameter
+  // (observable iff the API itself is hooked), modelling intent delegation.
+  int32_t runtime_intent = -1;
+  // Call site is wrapped in an emulator-detection check: it stays silent on
+  // emulators unless the engine's anti-detection countermeasures defeat the
+  // check (§4.2's fourfold emulator improvements).
+  bool guarded = false;
+  // Call site only triggers with live sensor input — never on emulators (the
+  // residual 1.4% of §4.2).
+  bool sensor_gated = false;
+};
+
+// How the app responds to running inside an emulator (paper §4.2).
+enum class EmulatorSensitivity : uint8_t {
+  kNone = 0,
+  // Inspects system configuration / input timing; defeated by the enhanced
+  // emulator's countermeasures.
+  kDetectsConfiguration = 1,
+  // Requires live sensor data (microphone etc.) that no emulator provides;
+  // behaves differently even on the enhanced emulator (the residual 1.4%).
+  kNeedsRealSensors = 2,
+};
+
+struct AppProfile {
+  std::string package_name;
+  uint32_t version_code = 1;
+  bool malicious = false;
+  int16_t template_id = -1;  // Malware family or benign archetype index.
+  bool is_update = false;
+  // True when this version of a previously benign package carries an
+  // injected malicious payload (the "update attack" of paper §2).
+  bool is_update_attack = false;
+
+  std::vector<ApiUsage> usage;
+  std::vector<android::PermissionId> permissions;
+  std::vector<android::IntentId> manifest_intents;
+
+  uint8_t num_activities = 1;
+  uint8_t num_referenced_activities = 1;
+
+  EmulatorSensitivity emulator_sensitivity = EmulatorSensitivity::kNone;
+  bool has_native_code = false;
+  float crash_probability = 0.0f;
+  uint64_t behavior_seed = 0;
+};
+
+}  // namespace apichecker::synth
+
+#endif  // APICHECKER_SYNTH_PROFILE_H_

@@ -1,0 +1,24 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320), as used by the ZIP
+// archive format. Hand-rolled because the APK container codec (src/apk)
+// validates entry checksums exactly the way a real APK parser would.
+
+#ifndef APICHECKER_UTIL_CRC32_H_
+#define APICHECKER_UTIL_CRC32_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace apichecker::util {
+
+// One-shot CRC-32 of a byte buffer.
+uint32_t Crc32(std::span<const uint8_t> data);
+
+// Incremental interface: Crc32Update(Crc32Init(), chunk) ... Crc32Final().
+uint32_t Crc32Init();
+uint32_t Crc32Update(uint32_t state, std::span<const uint8_t> data);
+uint32_t Crc32Final(uint32_t state);
+
+}  // namespace apichecker::util
+
+#endif  // APICHECKER_UTIL_CRC32_H_

@@ -1,0 +1,65 @@
+#include "util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace apichecker::util {
+
+namespace {
+
+std::atomic<int> g_min_severity{static_cast<int>(LogSeverity::kInfo)};
+
+const char* SeverityTag(LogSeverity severity) {
+  switch (severity) {
+    case LogSeverity::kDebug:
+      return "DEBUG";
+    case LogSeverity::kInfo:
+      return "INFO";
+    case LogSeverity::kWarning:
+      return "WARN";
+    case LogSeverity::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+const char* Basename(const char* path) {
+  const char* base = path;
+  for (const char* p = path; *p != '\0'; ++p) {
+    if (*p == '/') {
+      base = p + 1;
+    }
+  }
+  return base;
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(static_cast<int>(severity), std::memory_order_relaxed);
+}
+
+LogSeverity MinLogSeverity() {
+  return static_cast<LogSeverity>(g_min_severity.load(std::memory_order_relaxed));
+}
+
+void LogLine(LogSeverity severity, const std::string& message) {
+  if (static_cast<int>(severity) < g_min_severity.load(std::memory_order_relaxed)) {
+    return;
+  }
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lock(mu);
+  std::fprintf(stderr, "[%s] %s\n", SeverityTag(severity), message.c_str());
+}
+
+namespace internal {
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line) : severity_(severity) {
+  stream_ << Basename(file) << ":" << line << "] ";
+}
+
+LogMessage::~LogMessage() { LogLine(severity_, stream_.str()); }
+
+}  // namespace internal
+}  // namespace apichecker::util

@@ -1,0 +1,52 @@
+// Leveled stderr logging. Deliberately tiny: the library is deterministic and
+// single-binary, so structured logging backends would be overkill. Severity is
+// filtered by a process-global minimum that benches/examples may raise.
+
+#ifndef APICHECKER_UTIL_LOGGING_H_
+#define APICHECKER_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace apichecker::util {
+
+enum class LogSeverity : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+// Sets/gets the process-global minimum severity that is actually emitted.
+void SetMinLogSeverity(LogSeverity severity);
+LogSeverity MinLogSeverity();
+
+// Emits one formatted line to stderr if `severity` passes the filter.
+void LogLine(LogSeverity severity, const std::string& message);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace apichecker::util
+
+#define APICHECKER_LOG(severity)                                              \
+  ::apichecker::util::internal::LogMessage(                                   \
+      ::apichecker::util::LogSeverity::k##severity, __FILE__, __LINE__)       \
+      .stream()
+
+#endif  // APICHECKER_UTIL_LOGGING_H_

@@ -1,0 +1,64 @@
+// A minimal value-or-error type used for fallible operations such as APK
+// parsing, in the spirit of zx::result / absl::StatusOr. The error arm is a
+// human-readable message; there is no error-code taxonomy because callers in
+// this codebase either propagate or report the message verbatim.
+
+#ifndef APICHECKER_UTIL_RESULT_H_
+#define APICHECKER_UTIL_RESULT_H_
+
+#include <cassert>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace apichecker::util {
+
+// Distinct wrapper so Result<std::string> is unambiguous.
+struct Error {
+  std::string message;
+};
+
+inline Error Err(std::string message) { return Error{std::move(message)}; }
+
+template <typename T>
+class Result {
+ public:
+  // Implicit construction from both arms keeps call sites terse:
+  //   return Err("bad magic");
+  //   return value;
+  Result(T value) : rep_(std::move(value)) {}          // NOLINT(google-explicit-constructor)
+  Result(Error error) : rep_(std::move(error)) {}      // NOLINT(google-explicit-constructor)
+
+  bool ok() const { return std::holds_alternative<T>(rep_); }
+  explicit operator bool() const { return ok(); }
+
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T& value() & {
+    assert(ok());
+    return std::get<T>(rep_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::get<T>(std::move(rep_));
+  }
+
+  const std::string& error() const {
+    assert(!ok());
+    return std::get<Error>(rep_).message;
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Error> rep_;
+};
+
+}  // namespace apichecker::util
+
+#endif  // APICHECKER_UTIL_RESULT_H_

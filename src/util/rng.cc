@@ -1,0 +1,193 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace apichecker::util {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+namespace {
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Rng::Rng(uint64_t seed) : origin_seed_(seed) {
+  // Seed the four Xoshiro words from a SplitMix64 cascade, as recommended by
+  // the Xoshiro authors, to avoid the all-zero state.
+  uint64_t s = seed;
+  for (auto& w : state_) {
+    s = SplitMix64(s);
+    w = s;
+  }
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBounded(uint64_t bound) {
+  // Debiased modulo via rejection sampling on the top of the range.
+  const uint64_t threshold = -bound % bound;
+  for (;;) {
+    const uint64_t r = Next();
+    if (r >= threshold) {
+      return r % bound;
+    }
+  }
+}
+
+int64_t Rng::UniformInt(int64_t lo, int64_t hi) {
+  const uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  return lo + static_cast<int64_t>(span == 0 ? Next() : NextBounded(span));
+}
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::Uniform(double lo, double hi) { return lo + (hi - lo) * NextDouble(); }
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::Normal(double mean, double stddev) {
+  if (has_cached_normal_) {
+    has_cached_normal_ = false;
+    return mean + stddev * cached_normal_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = NextDouble();
+  } while (u1 <= 1e-300);
+  const double u2 = NextDouble();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_normal_ = r * std::sin(theta);
+  has_cached_normal_ = true;
+  return mean + stddev * r * std::cos(theta);
+}
+
+double Rng::LogNormal(double median, double sigma) {
+  return std::exp(Normal(std::log(median), sigma));
+}
+
+double Rng::Exponential(double mean) {
+  double u = 0.0;
+  do {
+    u = NextDouble();
+  } while (u <= 1e-300);
+  return -mean * std::log(u);
+}
+
+uint64_t Rng::Poisson(double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  if (mean > 64.0) {
+    const double v = Normal(mean, std::sqrt(mean));
+    return v <= 0.0 ? 0 : static_cast<uint64_t>(v + 0.5);
+  }
+  const double limit = std::exp(-mean);
+  uint64_t k = 0;
+  double p = 1.0;
+  do {
+    ++k;
+    p *= NextDouble();
+  } while (p > limit);
+  return k - 1;
+}
+
+size_t Rng::WeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    total += std::max(0.0, w);
+  }
+  if (total <= 0.0) {
+    return weights.empty() ? 0 : weights.size() - 1;
+  }
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    target -= std::max(0.0, weights[i]);
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;
+}
+
+std::vector<uint32_t> Rng::Permutation(size_t n) {
+  std::vector<uint32_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0u);
+  for (size_t i = n; i > 1; --i) {
+    std::swap(perm[i - 1], perm[NextBounded(i)]);
+  }
+  return perm;
+}
+
+std::vector<uint32_t> Rng::SampleWithoutReplacement(size_t n, size_t k) {
+  k = std::min(k, n);
+  if (k == 0) {
+    return {};
+  }
+  // Partial Fisher–Yates over an index vector; O(n) memory, O(n + k) time.
+  std::vector<uint32_t> pool(n);
+  std::iota(pool.begin(), pool.end(), 0u);
+  for (size_t i = 0; i < k; ++i) {
+    const size_t j = i + NextBounded(n - i);
+    std::swap(pool[i], pool[j]);
+  }
+  pool.resize(k);
+  return pool;
+}
+
+Rng Rng::Fork(uint64_t stream_id) const {
+  return Rng(SplitMix64(origin_seed_ ^ SplitMix64(stream_id)));
+}
+
+ZipfSampler::ZipfSampler(size_t n, double exponent) : exponent_(exponent) {
+  cdf_.resize(n);
+  double acc = 0.0;
+  for (size_t r = 0; r < n; ++r) {
+    acc += 1.0 / std::pow(static_cast<double>(r + 1), exponent);
+    cdf_[r] = acc;
+  }
+  norm_ = acc;
+}
+
+size_t ZipfSampler::Sample(Rng& rng) const {
+  const double target = rng.NextDouble() * norm_;
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), target);
+  return static_cast<size_t>(std::min<ptrdiff_t>(it - cdf_.begin(),
+                                                 static_cast<ptrdiff_t>(cdf_.size()) - 1));
+}
+
+double ZipfSampler::Pmf(size_t rank) const {
+  if (rank >= cdf_.size() || norm_ <= 0.0) {
+    return 0.0;
+  }
+  return (1.0 / std::pow(static_cast<double>(rank + 1), exponent_)) / norm_;
+}
+
+}  // namespace apichecker::util

@@ -1,0 +1,108 @@
+// Deterministic pseudo-random number generation.
+//
+// Every stochastic component in the reproduction (corpus synthesis, emulation
+// cost models, ML training) draws from these generators so that a fixed seed
+// yields a bit-identical run. The generators are SplitMix64 (for seeding and
+// cheap one-shot hashing) and Xoshiro256** (the workhorse stream generator).
+
+#ifndef APICHECKER_UTIL_RNG_H_
+#define APICHECKER_UTIL_RNG_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace apichecker::util {
+
+// Mixes a 64-bit value into a well-distributed 64-bit output. Stateless.
+uint64_t SplitMix64(uint64_t x);
+
+// Xoshiro256** PRNG. Satisfies UniformRandomBitGenerator so it can be used
+// with <random> distributions, though the member helpers below are preferred
+// because their output is stable across standard-library implementations.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ull; }
+  result_type operator()() { return Next(); }
+
+  uint64_t Next();
+
+  // Uniform integer in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound);
+
+  // Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  // True with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  // Standard normal via Box–Muller (cached second variate).
+  double Normal(double mean = 0.0, double stddev = 1.0);
+
+  // Log-normal where `median` is the distribution median, i.e.
+  // exp(Normal(ln median, sigma)).
+  double LogNormal(double median, double sigma);
+
+  // Exponential with the given mean (> 0).
+  double Exponential(double mean);
+
+  // Poisson-distributed count with the given mean (>= 0). Uses Knuth's
+  // method for small means and a normal approximation above 64.
+  uint64_t Poisson(double mean);
+
+  // Samples an index from an unnormalized non-negative weight vector.
+  // Returns weights.size() - 1 on degenerate input (all zero weights).
+  size_t WeightedIndex(const std::vector<double>& weights);
+
+  // Fisher–Yates shuffles indices [0, n) and returns the permutation.
+  std::vector<uint32_t> Permutation(size_t n);
+
+  // Samples k distinct values from [0, n) (k <= n), in random order.
+  std::vector<uint32_t> SampleWithoutReplacement(size_t n, size_t k);
+
+  // Forks an independent stream: deterministic function of this generator's
+  // seed lineage and `stream_id`, without disturbing this generator's state.
+  Rng Fork(uint64_t stream_id) const;
+
+ private:
+  std::array<uint64_t, 4> state_;
+  uint64_t origin_seed_;
+  double cached_normal_ = 0.0;
+  bool has_cached_normal_ = false;
+};
+
+// Zipf(s) sampler over ranks [0, n). Precomputes the CDF once; sampling is
+// O(log n). Used for API invocation-frequency modelling: a few framework APIs
+// are invoked by nearly every app, most are rare (paper §4.3).
+class ZipfSampler {
+ public:
+  ZipfSampler(size_t n, double exponent);
+
+  size_t Sample(Rng& rng) const;
+
+  // Probability mass of rank r.
+  double Pmf(size_t rank) const;
+
+  size_t size() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+  double norm_ = 0.0;
+  double exponent_ = 1.0;
+};
+
+}  // namespace apichecker::util
+
+#endif  // APICHECKER_UTIL_RNG_H_

@@ -1,0 +1,35 @@
+// ASCII table and CSV emission for benchmark/report output. Every benchmark
+// binary prints the rows/series of the paper table or figure it regenerates;
+// this keeps that output consistent and machine-diffable.
+
+#ifndef APICHECKER_UTIL_TABLE_H_
+#define APICHECKER_UTIL_TABLE_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace apichecker::util {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+
+  // Renders with column alignment and a header rule.
+  void Print(std::ostream& os) const;
+
+  // Renders as CSV (RFC-4180-ish quoting for commas/quotes).
+  void PrintCsv(std::ostream& os) const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace apichecker::util
+
+#endif  // APICHECKER_UTIL_TABLE_H_

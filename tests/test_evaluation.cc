@@ -1,0 +1,249 @@
+// Unit tests for ml/evaluation (PR curves, ROC-AUC, threshold selection),
+// core/model_store (whole-checker persistence), and market/model_registry
+// (promotion guard).
+
+#include <cstdio>
+#include <filesystem>
+
+#include <gtest/gtest.h>
+
+#include "core/model_store.h"
+#include "core/study.h"
+#include "market/model_registry.h"
+#include "ml/evaluation.h"
+#include "ml/random_forest.h"
+#include "synth/corpus.h"
+
+namespace apichecker {
+namespace {
+
+using ml::OperatingPoint;
+using ml::ScoredExample;
+
+TEST(PrecisionRecallCurve, HandRolledExample) {
+  // Scores: 0.9+ , 0.8- , 0.7+ , 0.6+ , 0.5-
+  const std::vector<ScoredExample> scored = {
+      {0.9, 1}, {0.8, 0}, {0.7, 1}, {0.6, 1}, {0.5, 0},
+  };
+  const auto curve = ml::PrecisionRecallCurve(scored);
+  ASSERT_EQ(curve.size(), 5u);
+  EXPECT_DOUBLE_EQ(curve[0].precision, 1.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(curve[1].precision, 0.5);
+  EXPECT_DOUBLE_EQ(curve[3].precision, 0.75);
+  EXPECT_DOUBLE_EQ(curve[3].recall, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+  // Recall is non-decreasing along the curve.
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+    EXPECT_LE(curve[i].threshold, curve[i - 1].threshold);
+  }
+}
+
+TEST(PrecisionRecallCurve, TieGroupsConsumedTogether) {
+  const std::vector<ScoredExample> scored = {{0.5, 1}, {0.5, 0}, {0.5, 1}};
+  const auto curve = ml::PrecisionRecallCurve(scored);
+  ASSERT_EQ(curve.size(), 1u);  // One threshold: all-or-nothing.
+  EXPECT_DOUBLE_EQ(curve[0].precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(curve[0].recall, 1.0);
+}
+
+TEST(RocAuc, PerfectAndChanceAndInverted) {
+  const std::vector<ScoredExample> perfect = {{0.9, 1}, {0.8, 1}, {0.2, 0}, {0.1, 0}};
+  EXPECT_DOUBLE_EQ(ml::RocAuc(perfect), 1.0);
+  const std::vector<ScoredExample> inverted = {{0.9, 0}, {0.8, 0}, {0.2, 1}, {0.1, 1}};
+  EXPECT_DOUBLE_EQ(ml::RocAuc(inverted), 0.0);
+  const std::vector<ScoredExample> ties = {{0.5, 1}, {0.5, 0}};
+  EXPECT_DOUBLE_EQ(ml::RocAuc(ties), 0.5);
+  const std::vector<ScoredExample> degenerate = {{0.5, 1}, {0.6, 1}};
+  EXPECT_DOUBLE_EQ(ml::RocAuc(degenerate), 0.5);  // No negatives: undefined -> 0.5.
+}
+
+TEST(ThresholdForPrecision, PicksHighestRecallMeetingTarget) {
+  const std::vector<ScoredExample> scored = {
+      {0.9, 1}, {0.8, 1}, {0.7, 0}, {0.6, 1}, {0.5, 1}, {0.4, 0}, {0.3, 0},
+  };
+  const auto curve = ml::PrecisionRecallCurve(scored);
+  const OperatingPoint point = ml::ThresholdForPrecision(curve, 0.8);
+  EXPECT_GE(point.precision, 0.8);
+  // At threshold 0.5: 4 TP, 1 FP -> precision 0.8, recall 1.0 (best recall).
+  EXPECT_DOUBLE_EQ(point.recall, 1.0);
+  EXPECT_DOUBLE_EQ(point.threshold, 0.5);
+
+  // Unreachable target falls back to the most precise point.
+  const OperatingPoint fallback = ml::ThresholdForPrecision(curve, 1.01);
+  EXPECT_DOUBLE_EQ(fallback.precision, 1.0);
+}
+
+TEST(BestF1Point, MaximizesF1) {
+  const std::vector<ScoredExample> scored = {
+      {0.9, 1}, {0.8, 0}, {0.7, 1}, {0.6, 1}, {0.5, 0}, {0.4, 0},
+  };
+  const auto curve = ml::PrecisionRecallCurve(scored);
+  const OperatingPoint best = ml::BestF1Point(curve);
+  for (const OperatingPoint& point : curve) {
+    EXPECT_GE(best.F1() + 1e-12, point.F1());
+  }
+}
+
+TEST(ScoreDataset, UsesModelScores) {
+  ml::Dataset data;
+  data.num_features = 2;
+  for (int i = 0; i < 40; ++i) {
+    data.Add(i % 2 ? ml::SparseRow{0} : ml::SparseRow{1}, i % 2);
+  }
+  ml::RandomForest forest;
+  forest.Train(data);
+  const auto scored = ml::ScoreDataset(forest, data);
+  ASSERT_EQ(scored.size(), 40u);
+  EXPECT_GT(ml::RocAuc(scored), 0.99);
+}
+
+// ---- Model store ----
+
+struct StoreFixture {
+  android::ApiUniverse universe;
+  core::StudyDataset study;
+  core::ApiChecker checker;
+
+  StoreFixture()
+      : universe(android::ApiUniverse::Generate(Config())),
+        study(BuildStudy(universe)),
+        checker(universe, CheckerConfig()) {
+    checker.TrainFromStudy(study);
+  }
+
+  static android::UniverseConfig Config() {
+    android::UniverseConfig config;
+    config.num_apis = 6'000;
+    return config;
+  }
+  static core::ApiCheckerConfig CheckerConfig() {
+    core::ApiCheckerConfig config;
+    config.forest.num_trees = 12;
+    return config;
+  }
+  static core::StudyDataset BuildStudy(const android::ApiUniverse& universe) {
+    synth::CorpusConfig corpus_config;
+    synth::CorpusGenerator generator(universe, corpus_config);
+    core::StudyConfig config;
+    config.num_apps = 1'200;
+    return core::RunStudy(universe, generator, config);
+  }
+
+  static StoreFixture& Get() {
+    static StoreFixture fixture;
+    return fixture;
+  }
+};
+
+TEST(ModelStore, RoundTripsVerdicts) {
+  StoreFixture& f = StoreFixture::Get();
+  const auto blob = core::SerializeChecker(f.checker);
+  ASSERT_FALSE(blob.empty());
+  auto restored = core::DeserializeChecker(f.universe, blob);
+  ASSERT_TRUE(restored.ok()) << restored.error();
+  EXPECT_EQ(restored->selection().key_apis, f.checker.selection().key_apis);
+  EXPECT_EQ(restored->schema().num_features(), f.checker.schema().num_features());
+
+  // Identical verdicts on fresh submissions.
+  synth::CorpusConfig corpus_config;
+  corpus_config.seed = 99;
+  synth::CorpusGenerator generator(f.universe, corpus_config);
+  const emu::DynamicAnalysisEngine engine(f.universe, {});
+  const emu::TrackedApiSet tracked = f.checker.MakeTrackedSet();
+  for (int i = 0; i < 40; ++i) {
+    auto apk = apk::ParseApk(synth::BuildApkBytes(generator.Next(), f.universe));
+    ASSERT_TRUE(apk.ok());
+    const auto report = engine.Run(*apk, tracked);
+    EXPECT_DOUBLE_EQ(f.checker.Classify(report).score, restored->Classify(report).score);
+  }
+}
+
+TEST(ModelStore, UntrainedCheckerDoesNotSerialize) {
+  StoreFixture& f = StoreFixture::Get();
+  core::ApiChecker untrained(f.universe, {});
+  EXPECT_TRUE(core::SerializeChecker(untrained).empty());
+}
+
+TEST(ModelStore, RejectsGarbageAndTruncation) {
+  StoreFixture& f = StoreFixture::Get();
+  EXPECT_FALSE(core::DeserializeChecker(f.universe, std::vector<uint8_t>{1, 2, 3}).ok());
+  auto blob = core::SerializeChecker(f.checker);
+  blob.resize(blob.size() / 2);
+  EXPECT_FALSE(core::DeserializeChecker(f.universe, blob).ok());
+}
+
+TEST(ModelStore, RejectsOutOfRangeApiIds) {
+  StoreFixture& f = StoreFixture::Get();
+  auto blob = core::SerializeChecker(f.checker);
+  // Corrupt the first id of the Set-C list (header is 18 bytes + u32 count):
+  // forcing continuation bits yields an id far beyond the universe (or a
+  // truncated varint) — either way deserialization must fail cleanly.
+  ASSERT_GT(blob.size(), 30u);
+  for (size_t i = 22; i < 27; ++i) {
+    blob[i] = 0xFF;
+  }
+  EXPECT_FALSE(core::DeserializeChecker(f.universe, blob).ok());
+}
+
+TEST(ModelStore, FileRoundTrip) {
+  StoreFixture& f = StoreFixture::Get();
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apichecker_model_test.bin").string();
+  auto saved = core::SaveCheckerToFile(f.checker, path);
+  ASSERT_TRUE(saved.ok()) << saved.error();
+  auto loaded = core::LoadCheckerFromFile(f.universe, path);
+  ASSERT_TRUE(loaded.ok()) << loaded.error();
+  EXPECT_EQ(loaded->selection().key_apis.size(), f.checker.selection().key_apis.size());
+  std::filesystem::remove(path);
+  EXPECT_FALSE(core::LoadCheckerFromFile(f.universe, path).ok());
+}
+
+// ---- Model registry ----
+
+TEST(ModelRegistry, FirstCandidateAlwaysPromoted) {
+  market::ModelRegistry registry;
+  market::ModelRecord record;
+  record.month = 1;
+  record.validation_f1 = 0.5;
+  EXPECT_TRUE(registry.Consider(record));
+  ASSERT_NE(registry.production(), nullptr);
+  EXPECT_EQ(registry.production()->month, 1u);
+}
+
+TEST(ModelRegistry, GuardRejectsRegressions) {
+  market::ModelRegistry registry;
+  market::ModelRecord good;
+  good.month = 1;
+  good.validation_f1 = 0.95;
+  registry.Consider(good);
+
+  market::ModelRecord regressed;
+  regressed.month = 2;
+  regressed.validation_f1 = 0.80;
+  EXPECT_FALSE(registry.Consider(regressed, 0.02));
+  EXPECT_EQ(registry.production()->month, 1u);  // Incumbent stays live.
+  EXPECT_EQ(registry.rejections(), 1u);
+  EXPECT_EQ(registry.history().size(), 2u);
+  EXPECT_FALSE(registry.history()[1].promoted);
+
+  market::ModelRecord recovered;
+  recovered.month = 3;
+  recovered.validation_f1 = 0.94;  // Within tolerance of 0.95.
+  EXPECT_TRUE(registry.Consider(recovered, 0.02));
+  EXPECT_EQ(registry.production()->month, 3u);
+}
+
+TEST(ModelRegistry, ArchiveHonorsExternalDecision) {
+  market::ModelRegistry registry;
+  market::ModelRecord record;
+  record.month = 1;
+  record.validation_f1 = 0.9;
+  registry.Archive(record, /*promoted=*/false);
+  EXPECT_EQ(registry.production(), nullptr);
+  EXPECT_EQ(registry.rejections(), 1u);
+}
+
+}  // namespace
+}  // namespace apichecker

@@ -1,0 +1,126 @@
+// Unit tests for src/market: code fingerprinting, the review pipeline, and a
+// scaled-down deployment simulation.
+
+#include <gtest/gtest.h>
+
+#include "market/review_pipeline.h"
+#include "market/simulation.h"
+#include "synth/corpus.h"
+
+namespace apichecker::market {
+namespace {
+
+android::ApiUniverse MakeUniverse() {
+  android::UniverseConfig config;
+  config.num_apis = 6'000;
+  return android::ApiUniverse::Generate(config);
+}
+
+TEST(CodeFingerprint, IgnoresVersionButNotCode) {
+  const android::ApiUniverse universe = MakeUniverse();
+  synth::CorpusConfig corpus_config;
+  synth::CorpusGenerator gen(universe, corpus_config);
+  const synth::AppProfile profile = gen.Next();
+
+  apk::Manifest m1 = synth::BuildManifest(profile, universe);
+  const apk::DexFile dex = synth::BuildDex(profile, universe);
+  m1.version_code = 1;
+  apk::Manifest m2 = m1;
+  m2.version_code = 2;
+
+  auto apk1 = apk::ParseApk(apk::BuildApk(m1, dex, false));
+  auto apk2 = apk::ParseApk(apk::BuildApk(m2, dex, false));
+  ASSERT_TRUE(apk1.ok());
+  ASSERT_TRUE(apk2.ok());
+  // Different APK identities (digest) but identical code fingerprints:
+  // exactly what fingerprint antivirus relies on for repackaged clones.
+  EXPECT_NE(apk1->digest, apk2->digest);
+  EXPECT_EQ(CodeFingerprint(apk1->dex), CodeFingerprint(apk2->dex));
+
+  apk::DexFile altered = dex;
+  if (!altered.behaviors.empty()) {
+    altered.behaviors[0].invocations_per_kevent += 100.0f;
+  } else {
+    altered.behavior_seed ^= 1;
+    altered.strings.push_back("x");
+  }
+  EXPECT_NE(CodeFingerprint(dex), CodeFingerprint(altered));
+}
+
+TEST(FingerprintDatabase, Membership) {
+  FingerprintDatabase db;
+  EXPECT_FALSE(db.IsKnownMalware(42));
+  db.AddMalware(42);
+  EXPECT_TRUE(db.IsKnownMalware(42));
+  db.AddMalware(42);
+  EXPECT_EQ(db.size(), 1u);
+}
+
+TEST(ReviewOutcome, NamesAreStable) {
+  EXPECT_STREQ(ReviewOutcomeName(ReviewOutcome::kPublished), "published");
+  EXPECT_STREQ(ReviewOutcomeName(ReviewOutcome::kRejectedFingerprint),
+               "rejected-fingerprint");
+  EXPECT_STREQ(ReviewOutcomeName(ReviewOutcome::kRejectedByChecker), "rejected-apichecker");
+  EXPECT_STREQ(ReviewOutcomeName(ReviewOutcome::kFalsePositiveReleased),
+               "false-positive-released");
+}
+
+TEST(MarketSimulation, TwoMonthsProduceSaneStats) {
+  android::ApiUniverse universe = MakeUniverse();
+  MarketConfig config;
+  config.months = 2;
+  config.days_per_month = 6;
+  config.apps_per_day = 60;
+  config.initial_study_apps = 2'000;
+  config.checker.forest.num_trees = 24;
+  config.sdk_update_every_months = 2;
+  config.new_apis_per_sdk_update = 100;
+
+  MarketSimulation sim(universe, config);
+  const std::vector<MonthlyStats> months = sim.Run();
+  ASSERT_EQ(months.size(), 2u);
+
+  for (const MonthlyStats& m : months) {
+    EXPECT_EQ(m.submitted, m.caught_by_fingerprint + m.checker_cm.total());
+    EXPECT_GT(m.checker_cm.Precision(), 0.75) << m.checker_cm.ToString();
+    EXPECT_GT(m.checker_cm.Recall(), 0.6) << m.checker_cm.ToString();
+    EXPECT_GT(m.key_api_count, 100u);
+    EXPECT_GT(m.avg_scan_minutes, 0.2);
+    EXPECT_LT(m.avg_scan_minutes, 10.0);
+    EXPECT_GE(m.flagged_by_checker, m.fp_complaints);
+  }
+  // Most flagged apps are updates (§5.2's ~90% observation, loosely).
+  uint64_t flagged = 0, flagged_updates = 0;
+  for (const MonthlyStats& m : months) {
+    flagged += m.flagged_by_checker;
+    flagged_updates += m.flagged_updates;
+  }
+  if (flagged > 20) {
+    EXPECT_GT(static_cast<double>(flagged_updates) / static_cast<double>(flagged), 0.5);
+  }
+  // The SDK update fired at month 2.
+  EXPECT_EQ(months.back().sdk_level, 27);          // Stats snapshot before evolution...
+  EXPECT_EQ(universe.sdk_level(), 28);             // ...but the universe evolved after.
+  EXPECT_GT(sim.fingerprints().size(), 0u);
+}
+
+TEST(MarketSimulation, FingerprintStageCatchesResubmissions) {
+  android::ApiUniverse universe = MakeUniverse();
+  MarketConfig config;
+  config.months = 1;
+  config.days_per_month = 10;
+  config.apps_per_day = 80;
+  config.initial_study_apps = 1'500;
+  config.checker.forest.num_trees = 16;
+  config.sdk_update_every_months = 0;  // No SDK churn in this test.
+
+  MarketSimulation sim(universe, config);
+  const auto months = sim.Run();
+  ASSERT_EQ(months.size(), 1u);
+  // With 85% updates and clone lineages, known-malware fingerprints start
+  // catching resubmitted malicious packages within the month.
+  EXPECT_GT(months[0].caught_by_fingerprint, 0u);
+}
+
+}  // namespace
+}  // namespace apichecker::market

@@ -1,0 +1,245 @@
+// Unit tests for src/stats: descriptive statistics, CDFs, correlation, curve
+// fitting, histograms.
+
+#include <array>
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "stats/cdf.h"
+#include "stats/correlation.h"
+#include "stats/descriptive.h"
+#include "stats/fitting.h"
+#include "stats/histogram.h"
+#include "stats/reservoir.h"
+#include "util/rng.h"
+
+namespace apichecker::stats {
+namespace {
+
+TEST(Descriptive, KnownValues) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = Summarize(xs);
+  EXPECT_EQ(s.count, 8u);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  EXPECT_DOUBLE_EQ(s.median, 4.5);
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Descriptive, EmptyInputIsZero) {
+  const Summary s = Summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0.0);
+  EXPECT_EQ(Median({}), 0.0);
+}
+
+TEST(Descriptive, PercentileInterpolates) {
+  const std::vector<double> xs = {10.0, 20.0, 30.0, 40.0};
+  EXPECT_DOUBLE_EQ(Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 100.0), 40.0);
+  EXPECT_DOUBLE_EQ(Percentile(xs, 50.0), 25.0);
+  EXPECT_NEAR(Percentile(xs, 25.0), 17.5, 1e-12);
+}
+
+TEST(EmpiricalCdf, AtAndQuantile) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const EmpiricalCdf cdf(xs);
+  EXPECT_DOUBLE_EQ(cdf.At(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.At(2.0), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.At(10.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(1.0), 4.0);
+  EXPECT_DOUBLE_EQ(cdf.Quantile(0.5), 2.5);
+}
+
+TEST(EmpiricalCdf, CurveIsMonotone) {
+  util::Rng rng(5);
+  std::vector<double> xs;
+  for (int i = 0; i < 500; ++i) {
+    xs.push_back(rng.LogNormal(3.0, 0.5));
+  }
+  const EmpiricalCdf cdf(xs);
+  const auto curve = cdf.Curve(50);
+  ASSERT_EQ(curve.size(), 50u);
+  for (size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].first, curve[i - 1].first);
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().second, 1.0);
+}
+
+TEST(Correlation, PearsonPerfect) {
+  const std::vector<double> x = {1, 2, 3, 4, 5};
+  const std::vector<double> y = {2, 4, 6, 8, 10};
+  const std::vector<double> yn = {10, 8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(PearsonCorrelation(x, yn), -1.0, 1e-12);
+}
+
+TEST(Correlation, PearsonDegenerate) {
+  const std::vector<double> short_x = {1, 2};
+  const std::vector<double> const_x = {1, 1, 1};
+  const std::vector<double> y = {1, 2, 3};
+  EXPECT_EQ(PearsonCorrelation(short_x, y), 0.0);
+  EXPECT_EQ(PearsonCorrelation(const_x, y), 0.0);
+}
+
+TEST(Correlation, FractionalRanksHandleTies) {
+  const std::vector<double> v = {10, 20, 20, 30};
+  const std::vector<double> ranks = FractionalRanks(v);
+  EXPECT_DOUBLE_EQ(ranks[0], 1.0);
+  EXPECT_DOUBLE_EQ(ranks[1], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[2], 2.5);
+  EXPECT_DOUBLE_EQ(ranks[3], 4.0);
+}
+
+TEST(Correlation, SpearmanMonotoneNonlinear) {
+  // Spearman is 1 for any strictly increasing relationship.
+  std::vector<double> x, y;
+  for (int i = 1; i <= 20; ++i) {
+    x.push_back(i);
+    y.push_back(std::exp(i * 0.3));
+  }
+  EXPECT_NEAR(SpearmanCorrelation(x, y), 1.0, 1e-12);
+}
+
+TEST(Correlation, BinarySpearmanMatchesGeneric) {
+  util::Rng rng(9);
+  std::vector<uint8_t> f, l;
+  std::vector<double> fd, ld;
+  for (int i = 0; i < 500; ++i) {
+    const bool label = rng.Bernoulli(0.3);
+    const bool feature = rng.Bernoulli(label ? 0.7 : 0.2);
+    f.push_back(feature);
+    l.push_back(label);
+    fd.push_back(feature);
+    ld.push_back(label);
+  }
+  EXPECT_NEAR(BinarySpearman(f, l), SpearmanCorrelation(fd, ld), 1e-9);
+}
+
+TEST(Correlation, BinarySpearmanDegenerate) {
+  EXPECT_EQ(BinarySpearman({}, {}), 0.0);
+  const std::vector<uint8_t> ones = {1, 1, 1};
+  const std::vector<uint8_t> mixed = {0, 1, 0};
+  EXPECT_EQ(BinarySpearman(ones, mixed), 0.0);  // Zero feature variance.
+}
+
+TEST(Fitting, LinearExactRecovery) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 30; ++i) {
+    x.push_back(i);
+    y.push_back(3.5 * i - 7.0);
+  }
+  const LinearFit fit = FitLinear(x, y);
+  EXPECT_NEAR(fit.a, 3.5, 1e-9);
+  EXPECT_NEAR(fit.b, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Fitting, PowerExactRecovery) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(2.0 * std::pow(i, 1.7));
+  }
+  const PowerFit fit = FitPower(x, y);
+  EXPECT_NEAR(fit.a, 2.0, 1e-6);
+  EXPECT_NEAR(fit.b, 1.7, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Fitting, LogExactRecovery) {
+  std::vector<double> x, y;
+  for (int i = 1; i <= 30; ++i) {
+    x.push_back(i);
+    y.push_back(6.4 * std::log(i) - 43.36);
+  }
+  const LogFit fit = FitLog(x, y);
+  EXPECT_NEAR(fit.a, 6.4, 1e-9);
+  EXPECT_NEAR(fit.b, -43.36, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+}
+
+TEST(Fitting, RSquaredPenalizesBadFit) {
+  const std::vector<double> obs = {1, 2, 3, 4};
+  const std::vector<double> good = {1.1, 1.9, 3.05, 3.95};
+  const std::vector<double> bad = {4, 3, 2, 1};
+  EXPECT_GT(RSquared(obs, good), 0.98);
+  EXPECT_LT(RSquared(obs, bad), 0.0);  // Worse than predicting the mean.
+}
+
+TEST(Fitting, TriModalRecoversPaperEquation) {
+  // Synthesize data from Eq. 1 of the paper and check segment recovery.
+  std::vector<double> x, y;
+  for (double n = 1; n < 800; n += 20) {
+    x.push_back(n);
+    y.push_back(0.006 * n + 2.06);
+  }
+  for (double n = 800; n <= 1000; n += 10) {
+    x.push_back(n);
+    y.push_back(1e-9 * std::pow(n, 3.44));
+  }
+  for (double n = 1500; n <= 50'000; n *= 1.4) {
+    x.push_back(n);
+    y.push_back(6.4 * std::log(n) - 43.36);
+  }
+  const TriModalFit fit = FitTriModal(x, y, 800, 1000);
+  EXPECT_NEAR(fit.linear.a, 0.006, 1e-6);
+  EXPECT_NEAR(fit.power.b, 3.44, 1e-3);
+  EXPECT_NEAR(fit.log.a, 6.4, 1e-6);
+  EXPECT_GT(fit.linear.r_squared, 0.999);
+  EXPECT_GT(fit.power.r_squared, 0.999);
+  EXPECT_GT(fit.log.r_squared, 0.999);
+  // Eval dispatches to the right segment.
+  EXPECT_NEAR(fit.Eval(100), 0.006 * 100 + 2.06, 1e-3);
+  EXPECT_NEAR(fit.Eval(900), 1e-9 * std::pow(900, 3.44), 0.3);
+  EXPECT_NEAR(fit.Eval(10'000), 6.4 * std::log(10'000) - 43.36, 1e-3);
+  EXPECT_FALSE(fit.ToString().empty());
+}
+
+TEST(Histogram, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.AddAll({-1.0, 0.5, 2.5, 9.9, 100.0});
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.BinCount(0), 2u);  // -1 clamps into the first bin with 0.5.
+  EXPECT_EQ(h.BinCount(1), 1u);
+  EXPECT_EQ(h.BinCount(4), 2u);  // 100 clamps into the last bin with 9.9.
+  EXPECT_DOUBLE_EQ(h.BinLow(1), 2.0);
+  EXPECT_DOUBLE_EQ(h.BinHigh(1), 4.0);
+  EXPECT_FALSE(h.Render().empty());
+}
+
+TEST(ReservoirSampler, KeepsEverythingBelowCapacity) {
+  ReservoirSampler<int> sampler(10, 1);
+  for (int i = 0; i < 7; ++i) {
+    sampler.Add(i);
+  }
+  EXPECT_EQ(sampler.sample().size(), 7u);
+  EXPECT_EQ(sampler.seen(), 7u);
+}
+
+TEST(ReservoirSampler, UniformOverLongStream) {
+  // Each of 1000 stream items should land in a 100-slot reservoir with
+  // probability ~0.1; check per-decile occupancy over many trials.
+  std::array<int, 10> decile_hits{};
+  for (uint64_t trial = 0; trial < 200; ++trial) {
+    ReservoirSampler<int> sampler(100, trial);
+    for (int i = 0; i < 1'000; ++i) {
+      sampler.Add(i);
+    }
+    EXPECT_EQ(sampler.sample().size(), 100u);
+    for (int v : sampler.sample()) {
+      ++decile_hits[static_cast<size_t>(v / 100)];
+    }
+  }
+  for (int hits : decile_hits) {
+    // Expected 200 trials * 10 per decile = 2000 each.
+    EXPECT_NEAR(hits, 2000, 250);
+  }
+}
+
+}  // namespace
+}  // namespace apichecker::stats

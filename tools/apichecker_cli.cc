@@ -1,0 +1,248 @@
+// apichecker: command-line front end for the whole system. Works with real
+// files on disk — synthesized .apk archives and serialized model blobs — so
+// the full production flow can be driven from a shell:
+//
+//   apichecker universe                      # framework model stats
+//   apichecker corpus --apps 50 --out dir/   # write .apk files (+ labels)
+//   apichecker study --apps 6000 --model m.bin   # train + save APICHECKER
+//   apichecker vet --model m.bin dir/*.apk   # scan APKs, print verdicts
+//   apichecker market --months 3             # deployment simulation
+//
+// Common flags: --apis N, --seed S. The universe is regenerated from the
+// seed, so a model trained with one seed must be used with the same seed.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/model_store.h"
+#include "core/study.h"
+#include "market/simulation.h"
+#include "synth/corpus.h"
+#include "util/strings.h"
+
+using namespace apichecker;
+
+namespace {
+
+struct CommonFlags {
+  size_t apis = 30'000;
+  uint64_t seed = 42;
+  size_t apps = 2'000;
+  size_t months = 3;
+  std::string model_path = "apichecker_model.bin";
+  std::string out_dir = "corpus_out";
+  std::vector<std::string> positional;
+};
+
+CommonFlags ParseFlags(int argc, char** argv, int first) {
+  CommonFlags flags;
+  for (int i = first; i < argc; ++i) {
+    auto next_value = [&](const char* name) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", name);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(argv[i], "--apis") == 0) {
+      flags.apis = std::strtoull(next_value("--apis"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--seed") == 0) {
+      flags.seed = std::strtoull(next_value("--seed"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--apps") == 0) {
+      flags.apps = std::strtoull(next_value("--apps"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--months") == 0) {
+      flags.months = std::strtoull(next_value("--months"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--model") == 0) {
+      flags.model_path = next_value("--model");
+    } else if (std::strcmp(argv[i], "--out") == 0) {
+      flags.out_dir = next_value("--out");
+    } else {
+      flags.positional.emplace_back(argv[i]);
+    }
+  }
+  return flags;
+}
+
+android::ApiUniverse MakeUniverse(const CommonFlags& flags) {
+  android::UniverseConfig config;
+  config.num_apis = flags.apis;
+  config.seed = flags.seed ^ 0xA11D;
+  return android::ApiUniverse::Generate(config);
+}
+
+int CmdUniverse(const CommonFlags& flags) {
+  const android::ApiUniverse universe = MakeUniverse(flags);
+  std::printf("framework universe (seed %llu)\n",
+              static_cast<unsigned long long>(flags.seed));
+  std::printf("  APIs                      : %zu (SDK level %u)\n", universe.num_apis(),
+              universe.sdk_level());
+  std::printf("  restrictive-permission    : %zu\n",
+              universe.RestrictivePermissionApis().size());
+  std::printf("  sensitive-operation       : %zu\n", universe.SensitiveOperationApis().size());
+  std::printf("  permissions catalogued    : %zu\n", universe.permissions().size());
+  std::printf("  intent actions catalogued : %zu\n", universe.intents().size());
+  const auto key_like = universe.RestrictivePermissionApis();
+  const auto dependents = universe.TransitiveDependents(key_like);
+  std::printf("  APIs implemented via restrictive APIs: %zu\n", dependents.size());
+  return 0;
+}
+
+int CmdCorpus(const CommonFlags& flags) {
+  const android::ApiUniverse universe = MakeUniverse(flags);
+  synth::CorpusConfig corpus_config;
+  corpus_config.seed = flags.seed;
+  synth::CorpusGenerator generator(universe, corpus_config);
+
+  std::filesystem::create_directories(flags.out_dir);
+  const std::string labels_path = flags.out_dir + "/labels.csv";
+  std::ofstream labels(labels_path);
+  labels << "file,package,version,ground_truth\n";
+  for (size_t i = 0; i < flags.apps; ++i) {
+    const synth::AppProfile profile = generator.Next();
+    const std::vector<uint8_t> bytes = synth::BuildApkBytes(profile, universe);
+    const std::string file = util::StrFormat("%s/app_%05zu.apk", flags.out_dir.c_str(), i);
+    std::ofstream out(file, std::ios::binary);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+    labels << util::StrFormat("app_%05zu.apk,%s,%u,%s\n", i, profile.package_name.c_str(),
+                              profile.version_code, profile.malicious ? "malicious" : "benign");
+  }
+  std::printf("wrote %zu APKs and %s\n", flags.apps, labels_path.c_str());
+  return 0;
+}
+
+int CmdStudy(const CommonFlags& flags) {
+  const android::ApiUniverse universe = MakeUniverse(flags);
+  synth::CorpusConfig corpus_config;
+  corpus_config.seed = flags.seed;
+  synth::CorpusGenerator generator(universe, corpus_config);
+
+  std::printf("study: emulating %zu apps with all %zu APIs hooked...\n", flags.apps,
+              universe.num_apis());
+  core::StudyConfig study_config;
+  study_config.num_apps = flags.apps;
+  const core::StudyDataset study = core::RunStudy(universe, generator, study_config);
+
+  core::ApiChecker checker(universe, {});
+  checker.TrainFromStudy(study);
+  std::printf("trained: %zu key APIs, %u features\n", checker.selection().key_apis.size(),
+              checker.schema().num_features());
+
+  auto saved = core::SaveCheckerToFile(checker, flags.model_path);
+  if (!saved.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", saved.error().c_str());
+    return 1;
+  }
+  std::printf("model written to %s\n", flags.model_path.c_str());
+  return 0;
+}
+
+int CmdVet(const CommonFlags& flags) {
+  const android::ApiUniverse universe = MakeUniverse(flags);
+  auto checker = core::LoadCheckerFromFile(universe, flags.model_path);
+  if (!checker.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n", checker.error().c_str());
+    return 1;
+  }
+  if (flags.positional.empty()) {
+    std::fprintf(stderr, "vet: no .apk files given\n");
+    return 2;
+  }
+
+  emu::EngineConfig engine_config;
+  engine_config.kind = emu::EngineKind::kLightweight;
+  const emu::DynamicAnalysisEngine engine(universe, engine_config);
+  const emu::TrackedApiSet tracked = checker->MakeTrackedSet();
+
+  int exit_code = 0;
+  for (const std::string& path : flags.positional) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::printf("%-28s ERROR: cannot open\n", path.c_str());
+      exit_code = 1;
+      continue;
+    }
+    const std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
+                                     std::istreambuf_iterator<char>());
+    auto report = engine.RunBytes(bytes, tracked);
+    if (!report.ok()) {
+      std::printf("%-28s ERROR: %s\n", path.c_str(), report.error().c_str());
+      exit_code = 1;
+      continue;
+    }
+    const core::ApiChecker::Verdict verdict = checker->Classify(*report);
+    std::printf("%-28s scan=%4.1f min  score=%.3f  %s\n", path.c_str(),
+                report->emulation_minutes, verdict.score,
+                verdict.malicious ? "MALICIOUS" : "benign");
+  }
+  return exit_code;
+}
+
+int CmdMarket(const CommonFlags& flags) {
+  android::ApiUniverse universe = MakeUniverse(flags);
+  market::MarketConfig config;
+  config.months = flags.months;
+  config.days_per_month = 8;
+  config.apps_per_day = std::max<size_t>(20, flags.apps / (config.months * 8));
+  config.initial_study_apps = std::max<size_t>(1'000, flags.apps);
+  config.seed = flags.seed;
+
+  market::MarketSimulation sim(universe, config);
+  const auto months = sim.Run();
+  std::printf("%-6s %-10s %-8s %-8s %-10s %-9s %-9s\n", "month", "submitted", "P", "R",
+              "key APIs", "scan min", "promoted");
+  for (const market::MonthlyStats& m : months) {
+    std::printf("%-6zu %-10llu %-8s %-8s %-10zu %-9.2f %-9s\n", m.month,
+                static_cast<unsigned long long>(m.submitted),
+                util::FormatPercent(m.checker_cm.Precision()).c_str(),
+                util::FormatPercent(m.checker_cm.Recall()).c_str(), m.key_api_count,
+                m.avg_scan_minutes, m.model_promoted ? "yes" : "ROLLBACK");
+  }
+  std::printf("model registry: %zu archived, %zu rejected by the guard\n",
+              sim.registry().history().size(), sim.registry().rejections());
+  return 0;
+}
+
+void PrintUsage() {
+  std::printf(
+      "usage: apichecker <command> [flags]\n"
+      "commands:\n"
+      "  universe   print framework-model statistics\n"
+      "  corpus     synthesize .apk files to a directory (--apps, --out)\n"
+      "  study      run the track-all study and save a model (--apps, --model)\n"
+      "  vet        scan .apk files with a saved model (--model, files...)\n"
+      "  market     run the deployment simulation (--months, --apps)\n"
+      "common flags: --apis N (default 30000), --seed S (default 42)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    PrintUsage();
+    return 2;
+  }
+  const std::string command = argv[1];
+  const CommonFlags flags = ParseFlags(argc, argv, 2);
+  if (command == "universe") {
+    return CmdUniverse(flags);
+  }
+  if (command == "corpus") {
+    return CmdCorpus(flags);
+  }
+  if (command == "study") {
+    return CmdStudy(flags);
+  }
+  if (command == "vet") {
+    return CmdVet(flags);
+  }
+  if (command == "market") {
+    return CmdMarket(flags);
+  }
+  PrintUsage();
+  return 2;
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# End-to-end CLI smoke test: corpus -> study -> vet on real files.
+set -e
+CLI="$1"
+DIR=$(mktemp -d)
+trap 'rm -rf "$DIR"' EXIT
+
+"$CLI" universe --apis 8000 --seed 7 > "$DIR/universe.txt"
+grep -q "APIs *: 8000" "$DIR/universe.txt"
+
+"$CLI" corpus --apis 8000 --seed 7 --apps 6 --out "$DIR/apks"
+[ "$(ls "$DIR"/apks/*.apk | wc -l)" = "6" ]
+[ -f "$DIR/apks/labels.csv" ]
+
+"$CLI" study --apis 8000 --seed 7 --apps 400 --model "$DIR/model.bin"
+[ -s "$DIR/model.bin" ]
+
+"$CLI" vet --apis 8000 --seed 7 --model "$DIR/model.bin" "$DIR"/apks/*.apk > "$DIR/verdicts.txt"
+[ "$(grep -cE 'benign|MALICIOUS' "$DIR/verdicts.txt")" = "6" ]
+
+# Vet must fail cleanly on garbage input.
+echo "not an apk" > "$DIR/garbage.apk"
+if "$CLI" vet --apis 8000 --seed 7 --model "$DIR/model.bin" "$DIR/garbage.apk" | grep -q ERROR; then
+  echo "CLI OK"
+else
+  echo "garbage handling failed" >&2
+  exit 1
+fi

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_fuzzing_exploration.dir/bench_ext_fuzzing_exploration.cc.o"
+  "CMakeFiles/bench_ext_fuzzing_exploration.dir/bench_ext_fuzzing_exploration.cc.o.d"
+  "bench_ext_fuzzing_exploration"
+  "bench_ext_fuzzing_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_fuzzing_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ext_update_attack.cc" "bench/CMakeFiles/bench_ext_update_attack.dir/bench_ext_update_attack.cc.o" "gcc" "bench/CMakeFiles/bench_ext_update_attack.dir/bench_ext_update_attack.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/market/CMakeFiles/apichecker_market.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/apichecker_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/apichecker_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/apichecker_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apichecker_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/apichecker_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/android/CMakeFiles/apichecker_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/apichecker_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apichecker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_update_attack.dir/bench_ext_update_attack.cc.o"
+  "CMakeFiles/bench_ext_update_attack.dir/bench_ext_update_attack.cc.o.d"
+  "bench_ext_update_attack"
+  "bench_ext_update_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_update_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_rac_events.dir/bench_fig01_rac_events.cc.o"
+  "CMakeFiles/bench_fig01_rac_events.dir/bench_fig01_rac_events.cc.o.d"
+  "bench_fig01_rac_events"
+  "bench_fig01_rac_events.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_rac_events.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig01_rac_events.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig03_track_all_vs_none.dir/bench_fig03_track_all_vs_none.cc.o"
+  "CMakeFiles/bench_fig03_track_all_vs_none.dir/bench_fig03_track_all_vs_none.cc.o.d"
+  "bench_fig03_track_all_vs_none"
+  "bench_fig03_track_all_vs_none.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig03_track_all_vs_none.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

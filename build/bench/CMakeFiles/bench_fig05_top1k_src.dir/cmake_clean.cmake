@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_top1k_src.dir/bench_fig05_top1k_src.cc.o"
+  "CMakeFiles/bench_fig05_top1k_src.dir/bench_fig05_top1k_src.cc.o.d"
+  "bench_fig05_top1k_src"
+  "bench_fig05_top1k_src.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_top1k_src.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

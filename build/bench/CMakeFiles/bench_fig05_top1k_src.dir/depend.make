@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_top1k_src.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig07_accuracy_vs_topn.dir/bench_fig07_accuracy_vs_topn.cc.o"
+  "CMakeFiles/bench_fig07_accuracy_vs_topn.dir/bench_fig07_accuracy_vs_topn.cc.o.d"
+  "bench_fig07_accuracy_vs_topn"
+  "bench_fig07_accuracy_vs_topn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig07_accuracy_vs_topn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

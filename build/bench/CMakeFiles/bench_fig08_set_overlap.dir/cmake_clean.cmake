@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig08_set_overlap.dir/bench_fig08_set_overlap.cc.o"
+  "CMakeFiles/bench_fig08_set_overlap.dir/bench_fig08_set_overlap.cc.o.d"
+  "bench_fig08_set_overlap"
+  "bench_fig08_set_overlap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig08_set_overlap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

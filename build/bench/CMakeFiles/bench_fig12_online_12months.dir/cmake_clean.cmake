@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_online_12months.dir/bench_fig12_online_12months.cc.o"
+  "CMakeFiles/bench_fig12_online_12months.dir/bench_fig12_online_12months.cc.o.d"
+  "bench_fig12_online_12months"
+  "bench_fig12_online_12months.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_online_12months.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

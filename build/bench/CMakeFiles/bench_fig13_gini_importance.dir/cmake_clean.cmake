@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_gini_importance.dir/bench_fig13_gini_importance.cc.o"
+  "CMakeFiles/bench_fig13_gini_importance.dir/bench_fig13_gini_importance.cc.o.d"
+  "bench_fig13_gini_importance"
+  "bench_fig13_gini_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_gini_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

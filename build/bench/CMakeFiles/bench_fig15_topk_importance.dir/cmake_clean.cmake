@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_topk_importance.dir/bench_fig15_topk_importance.cc.o"
+  "CMakeFiles/bench_fig15_topk_importance.dir/bench_fig15_topk_importance.cc.o.d"
+  "bench_fig15_topk_importance"
+  "bench_fig15_topk_importance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_topk_importance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig16_track_150.dir/bench_fig16_track_150.cc.o"
+  "CMakeFiles/bench_fig16_track_150.dir/bench_fig16_track_150.cc.o.d"
+  "bench_fig16_track_150"
+  "bench_fig16_track_150.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_track_150.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/market_deployment.dir/market_deployment.cpp.o"
+  "CMakeFiles/market_deployment.dir/market_deployment.cpp.o.d"
+  "market_deployment"
+  "market_deployment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/market_deployment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

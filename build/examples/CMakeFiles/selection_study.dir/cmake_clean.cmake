@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/selection_study.dir/selection_study.cpp.o"
+  "CMakeFiles/selection_study.dir/selection_study.cpp.o.d"
+  "selection_study"
+  "selection_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/selection_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

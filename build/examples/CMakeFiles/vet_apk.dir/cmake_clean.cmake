@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vet_apk.dir/vet_apk.cpp.o"
+  "CMakeFiles/vet_apk.dir/vet_apk.cpp.o.d"
+  "vet_apk"
+  "vet_apk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vet_apk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

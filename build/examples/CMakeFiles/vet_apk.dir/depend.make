@@ -1,0 +1,2 @@
+# Empty dependencies file for vet_apk.
+# This may be replaced when dependencies are built.

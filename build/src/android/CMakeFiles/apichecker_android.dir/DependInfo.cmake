@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/android/api_universe.cc" "src/android/CMakeFiles/apichecker_android.dir/api_universe.cc.o" "gcc" "src/android/CMakeFiles/apichecker_android.dir/api_universe.cc.o.d"
+  "/root/repo/src/android/catalogues.cc" "src/android/CMakeFiles/apichecker_android.dir/catalogues.cc.o" "gcc" "src/android/CMakeFiles/apichecker_android.dir/catalogues.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apichecker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

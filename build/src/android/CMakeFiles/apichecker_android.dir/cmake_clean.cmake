@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_android.dir/api_universe.cc.o"
+  "CMakeFiles/apichecker_android.dir/api_universe.cc.o.d"
+  "CMakeFiles/apichecker_android.dir/catalogues.cc.o"
+  "CMakeFiles/apichecker_android.dir/catalogues.cc.o.d"
+  "libapichecker_android.a"
+  "libapichecker_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apk/apk.cc" "src/apk/CMakeFiles/apichecker_apk.dir/apk.cc.o" "gcc" "src/apk/CMakeFiles/apichecker_apk.dir/apk.cc.o.d"
+  "/root/repo/src/apk/dex.cc" "src/apk/CMakeFiles/apichecker_apk.dir/dex.cc.o" "gcc" "src/apk/CMakeFiles/apichecker_apk.dir/dex.cc.o.d"
+  "/root/repo/src/apk/manifest.cc" "src/apk/CMakeFiles/apichecker_apk.dir/manifest.cc.o" "gcc" "src/apk/CMakeFiles/apichecker_apk.dir/manifest.cc.o.d"
+  "/root/repo/src/apk/zip.cc" "src/apk/CMakeFiles/apichecker_apk.dir/zip.cc.o" "gcc" "src/apk/CMakeFiles/apichecker_apk.dir/zip.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apichecker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_apk.dir/apk.cc.o"
+  "CMakeFiles/apichecker_apk.dir/apk.cc.o.d"
+  "CMakeFiles/apichecker_apk.dir/dex.cc.o"
+  "CMakeFiles/apichecker_apk.dir/dex.cc.o.d"
+  "CMakeFiles/apichecker_apk.dir/manifest.cc.o"
+  "CMakeFiles/apichecker_apk.dir/manifest.cc.o.d"
+  "CMakeFiles/apichecker_apk.dir/zip.cc.o"
+  "CMakeFiles/apichecker_apk.dir/zip.cc.o.d"
+  "libapichecker_apk.a"
+  "libapichecker_apk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_apk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

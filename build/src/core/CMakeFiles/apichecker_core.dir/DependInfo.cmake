@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/baselines.cc" "src/core/CMakeFiles/apichecker_core.dir/baselines.cc.o" "gcc" "src/core/CMakeFiles/apichecker_core.dir/baselines.cc.o.d"
+  "/root/repo/src/core/checker.cc" "src/core/CMakeFiles/apichecker_core.dir/checker.cc.o" "gcc" "src/core/CMakeFiles/apichecker_core.dir/checker.cc.o.d"
+  "/root/repo/src/core/feature_schema.cc" "src/core/CMakeFiles/apichecker_core.dir/feature_schema.cc.o" "gcc" "src/core/CMakeFiles/apichecker_core.dir/feature_schema.cc.o.d"
+  "/root/repo/src/core/model_store.cc" "src/core/CMakeFiles/apichecker_core.dir/model_store.cc.o" "gcc" "src/core/CMakeFiles/apichecker_core.dir/model_store.cc.o.d"
+  "/root/repo/src/core/selection.cc" "src/core/CMakeFiles/apichecker_core.dir/selection.cc.o" "gcc" "src/core/CMakeFiles/apichecker_core.dir/selection.cc.o.d"
+  "/root/repo/src/core/study.cc" "src/core/CMakeFiles/apichecker_core.dir/study.cc.o" "gcc" "src/core/CMakeFiles/apichecker_core.dir/study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/apichecker_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/apichecker_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/emu/CMakeFiles/apichecker_emu.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/apichecker_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apichecker_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/apichecker_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apichecker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_core.dir/baselines.cc.o"
+  "CMakeFiles/apichecker_core.dir/baselines.cc.o.d"
+  "CMakeFiles/apichecker_core.dir/checker.cc.o"
+  "CMakeFiles/apichecker_core.dir/checker.cc.o.d"
+  "CMakeFiles/apichecker_core.dir/feature_schema.cc.o"
+  "CMakeFiles/apichecker_core.dir/feature_schema.cc.o.d"
+  "CMakeFiles/apichecker_core.dir/model_store.cc.o"
+  "CMakeFiles/apichecker_core.dir/model_store.cc.o.d"
+  "CMakeFiles/apichecker_core.dir/selection.cc.o"
+  "CMakeFiles/apichecker_core.dir/selection.cc.o.d"
+  "CMakeFiles/apichecker_core.dir/study.cc.o"
+  "CMakeFiles/apichecker_core.dir/study.cc.o.d"
+  "libapichecker_core.a"
+  "libapichecker_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/emu/coverage.cc" "src/emu/CMakeFiles/apichecker_emu.dir/coverage.cc.o" "gcc" "src/emu/CMakeFiles/apichecker_emu.dir/coverage.cc.o.d"
+  "/root/repo/src/emu/engine.cc" "src/emu/CMakeFiles/apichecker_emu.dir/engine.cc.o" "gcc" "src/emu/CMakeFiles/apichecker_emu.dir/engine.cc.o.d"
+  "/root/repo/src/emu/farm.cc" "src/emu/CMakeFiles/apichecker_emu.dir/farm.cc.o" "gcc" "src/emu/CMakeFiles/apichecker_emu.dir/farm.cc.o.d"
+  "/root/repo/src/emu/monkey.cc" "src/emu/CMakeFiles/apichecker_emu.dir/monkey.cc.o" "gcc" "src/emu/CMakeFiles/apichecker_emu.dir/monkey.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/apichecker_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/apichecker_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apichecker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

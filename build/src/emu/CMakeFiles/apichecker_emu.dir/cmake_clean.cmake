@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_emu.dir/coverage.cc.o"
+  "CMakeFiles/apichecker_emu.dir/coverage.cc.o.d"
+  "CMakeFiles/apichecker_emu.dir/engine.cc.o"
+  "CMakeFiles/apichecker_emu.dir/engine.cc.o.d"
+  "CMakeFiles/apichecker_emu.dir/farm.cc.o"
+  "CMakeFiles/apichecker_emu.dir/farm.cc.o.d"
+  "CMakeFiles/apichecker_emu.dir/monkey.cc.o"
+  "CMakeFiles/apichecker_emu.dir/monkey.cc.o.d"
+  "libapichecker_emu.a"
+  "libapichecker_emu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_emu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_market.dir/model_registry.cc.o"
+  "CMakeFiles/apichecker_market.dir/model_registry.cc.o.d"
+  "CMakeFiles/apichecker_market.dir/review_pipeline.cc.o"
+  "CMakeFiles/apichecker_market.dir/review_pipeline.cc.o.d"
+  "CMakeFiles/apichecker_market.dir/simulation.cc.o"
+  "CMakeFiles/apichecker_market.dir/simulation.cc.o.d"
+  "libapichecker_market.a"
+  "libapichecker_market.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_market.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cart.cc" "src/ml/CMakeFiles/apichecker_ml.dir/cart.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/cart.cc.o.d"
+  "/root/repo/src/ml/classifier.cc" "src/ml/CMakeFiles/apichecker_ml.dir/classifier.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/classifier.cc.o.d"
+  "/root/repo/src/ml/cross_validation.cc" "src/ml/CMakeFiles/apichecker_ml.dir/cross_validation.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/cross_validation.cc.o.d"
+  "/root/repo/src/ml/dataset.cc" "src/ml/CMakeFiles/apichecker_ml.dir/dataset.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/dataset.cc.o.d"
+  "/root/repo/src/ml/evaluation.cc" "src/ml/CMakeFiles/apichecker_ml.dir/evaluation.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/evaluation.cc.o.d"
+  "/root/repo/src/ml/gbdt.cc" "src/ml/CMakeFiles/apichecker_ml.dir/gbdt.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/gbdt.cc.o.d"
+  "/root/repo/src/ml/knn.cc" "src/ml/CMakeFiles/apichecker_ml.dir/knn.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/knn.cc.o.d"
+  "/root/repo/src/ml/linear_model.cc" "src/ml/CMakeFiles/apichecker_ml.dir/linear_model.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/linear_model.cc.o.d"
+  "/root/repo/src/ml/metrics.cc" "src/ml/CMakeFiles/apichecker_ml.dir/metrics.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/metrics.cc.o.d"
+  "/root/repo/src/ml/mlp.cc" "src/ml/CMakeFiles/apichecker_ml.dir/mlp.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/mlp.cc.o.d"
+  "/root/repo/src/ml/naive_bayes.cc" "src/ml/CMakeFiles/apichecker_ml.dir/naive_bayes.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/naive_bayes.cc.o.d"
+  "/root/repo/src/ml/random_forest.cc" "src/ml/CMakeFiles/apichecker_ml.dir/random_forest.cc.o" "gcc" "src/ml/CMakeFiles/apichecker_ml.dir/random_forest.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/apichecker_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/apichecker_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_ml.dir/cart.cc.o"
+  "CMakeFiles/apichecker_ml.dir/cart.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/classifier.cc.o"
+  "CMakeFiles/apichecker_ml.dir/classifier.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/cross_validation.cc.o"
+  "CMakeFiles/apichecker_ml.dir/cross_validation.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/dataset.cc.o"
+  "CMakeFiles/apichecker_ml.dir/dataset.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/evaluation.cc.o"
+  "CMakeFiles/apichecker_ml.dir/evaluation.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/gbdt.cc.o"
+  "CMakeFiles/apichecker_ml.dir/gbdt.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/knn.cc.o"
+  "CMakeFiles/apichecker_ml.dir/knn.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/linear_model.cc.o"
+  "CMakeFiles/apichecker_ml.dir/linear_model.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/metrics.cc.o"
+  "CMakeFiles/apichecker_ml.dir/metrics.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/mlp.cc.o"
+  "CMakeFiles/apichecker_ml.dir/mlp.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/naive_bayes.cc.o"
+  "CMakeFiles/apichecker_ml.dir/naive_bayes.cc.o.d"
+  "CMakeFiles/apichecker_ml.dir/random_forest.cc.o"
+  "CMakeFiles/apichecker_ml.dir/random_forest.cc.o.d"
+  "libapichecker_ml.a"
+  "libapichecker_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_stats.dir/cdf.cc.o"
+  "CMakeFiles/apichecker_stats.dir/cdf.cc.o.d"
+  "CMakeFiles/apichecker_stats.dir/correlation.cc.o"
+  "CMakeFiles/apichecker_stats.dir/correlation.cc.o.d"
+  "CMakeFiles/apichecker_stats.dir/descriptive.cc.o"
+  "CMakeFiles/apichecker_stats.dir/descriptive.cc.o.d"
+  "CMakeFiles/apichecker_stats.dir/fitting.cc.o"
+  "CMakeFiles/apichecker_stats.dir/fitting.cc.o.d"
+  "CMakeFiles/apichecker_stats.dir/histogram.cc.o"
+  "CMakeFiles/apichecker_stats.dir/histogram.cc.o.d"
+  "libapichecker_stats.a"
+  "libapichecker_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/synth/behavior_templates.cc" "src/synth/CMakeFiles/apichecker_synth.dir/behavior_templates.cc.o" "gcc" "src/synth/CMakeFiles/apichecker_synth.dir/behavior_templates.cc.o.d"
+  "/root/repo/src/synth/corpus.cc" "src/synth/CMakeFiles/apichecker_synth.dir/corpus.cc.o" "gcc" "src/synth/CMakeFiles/apichecker_synth.dir/corpus.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/android/CMakeFiles/apichecker_android.dir/DependInfo.cmake"
+  "/root/repo/build/src/apk/CMakeFiles/apichecker_apk.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/apichecker_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_synth.dir/behavior_templates.cc.o"
+  "CMakeFiles/apichecker_synth.dir/behavior_templates.cc.o.d"
+  "CMakeFiles/apichecker_synth.dir/corpus.cc.o"
+  "CMakeFiles/apichecker_synth.dir/corpus.cc.o.d"
+  "libapichecker_synth.a"
+  "libapichecker_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_util.dir/byte_io.cc.o"
+  "CMakeFiles/apichecker_util.dir/byte_io.cc.o.d"
+  "CMakeFiles/apichecker_util.dir/crc32.cc.o"
+  "CMakeFiles/apichecker_util.dir/crc32.cc.o.d"
+  "CMakeFiles/apichecker_util.dir/logging.cc.o"
+  "CMakeFiles/apichecker_util.dir/logging.cc.o.d"
+  "CMakeFiles/apichecker_util.dir/rng.cc.o"
+  "CMakeFiles/apichecker_util.dir/rng.cc.o.d"
+  "CMakeFiles/apichecker_util.dir/strings.cc.o"
+  "CMakeFiles/apichecker_util.dir/strings.cc.o.d"
+  "CMakeFiles/apichecker_util.dir/table.cc.o"
+  "CMakeFiles/apichecker_util.dir/table.cc.o.d"
+  "CMakeFiles/apichecker_util.dir/thread_pool.cc.o"
+  "CMakeFiles/apichecker_util.dir/thread_pool.cc.o.d"
+  "libapichecker_util.a"
+  "libapichecker_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

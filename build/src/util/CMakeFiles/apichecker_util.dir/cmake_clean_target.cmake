@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libapichecker_util.a"
+)

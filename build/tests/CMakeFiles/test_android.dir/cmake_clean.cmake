@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_android.dir/test_android.cc.o"
+  "CMakeFiles/test_android.dir/test_android.cc.o.d"
+  "test_android"
+  "test_android.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_android.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_apk.dir/test_apk.cc.o"
+  "CMakeFiles/test_apk.dir/test_apk.cc.o.d"
+  "test_apk"
+  "test_apk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_apk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_evaluation.dir/test_evaluation.cc.o"
+  "CMakeFiles/test_evaluation.dir/test_evaluation.cc.o.d"
+  "test_evaluation"
+  "test_evaluation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_evaluation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(test_util "/root/repo/build/tests/test_util")
+set_tests_properties(test_util PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;8;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_stats "/root/repo/build/tests/test_stats")
+set_tests_properties(test_stats PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;9;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_ml "/root/repo/build/tests/test_ml")
+set_tests_properties(test_ml PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;10;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_android "/root/repo/build/tests/test_android")
+set_tests_properties(test_android PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;11;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_apk "/root/repo/build/tests/test_apk")
+set_tests_properties(test_apk PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;12;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_synth "/root/repo/build/tests/test_synth")
+set_tests_properties(test_synth PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;13;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_emu "/root/repo/build/tests/test_emu")
+set_tests_properties(test_emu PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;14;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_core "/root/repo/build/tests/test_core")
+set_tests_properties(test_core PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;15;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_market "/root/repo/build/tests/test_market")
+set_tests_properties(test_market PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;16;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_integration "/root/repo/build/tests/test_integration")
+set_tests_properties(test_integration PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;17;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")
+add_test(test_evaluation "/root/repo/build/tests/test_evaluation")
+set_tests_properties(test_evaluation PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;5;add_test;/root/repo/tests/CMakeLists.txt;18;apichecker_test;/root/repo/tests/CMakeLists.txt;0;")

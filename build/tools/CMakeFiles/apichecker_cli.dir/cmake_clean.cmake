@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/apichecker_cli.dir/apichecker_cli.cc.o"
+  "CMakeFiles/apichecker_cli.dir/apichecker_cli.cc.o.d"
+  "apichecker"
+  "apichecker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/apichecker_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

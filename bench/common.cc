@@ -4,13 +4,43 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "stats/cdf.h"
 #include "stats/descriptive.h"
 
 namespace apichecker::bench {
 
+namespace {
+
+std::string* MetricsOutPath() {
+  static std::string* path = new std::string();
+  return path;
+}
+
+// atexit hook: every bench run ends with its metrics JSON, so BENCH_* output
+// trajectories pick up the pipeline stage latencies without per-bench code.
+void EmitMetricsAtExit() {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  const std::string json = obs::ToJson(registry, &obs::TraceLog::Default());
+  if (!MetricsOutPath()->empty()) {
+    auto written = obs::WriteMetricsFile(*MetricsOutPath(), registry,
+                                         &obs::TraceLog::Default());
+    if (!written.ok()) {
+      std::fprintf(stderr, "metrics dump failed: %s\n", written.error().c_str());
+    }
+  }
+  std::printf("\n=== metrics json ===\n%s=== end metrics json ===\n", json.c_str());
+}
+
+}  // namespace
+
 BenchArgs BenchArgs::Parse(int argc, char** argv) {
   BenchArgs args;
+  if (const char* env_path = std::getenv("APICHECKER_METRICS_OUT")) {
+    args.metrics_out = env_path;
+  }
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--quick") == 0) {
       args.quick = true;
@@ -20,14 +50,20 @@ BenchArgs BenchArgs::Parse(int argc, char** argv) {
       args.apis = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--seed") == 0 && i + 1 < argc) {
       args.seed = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0 && i + 1 < argc) {
+      args.metrics_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      args.metrics_out = argv[i] + 14;
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("flags: --apps N --apis N --seed S --quick\n");
+      std::printf("flags: --apps N --apis N --seed S --quick --metrics-out FILE\n");
       std::exit(0);
     }
   }
   if (args.quick && args.apis == 50'000) {
     args.apis = 10'000;
   }
+  *MetricsOutPath() = args.metrics_out;
+  std::atexit(EmitMetricsAtExit);
   return args;
 }
 

@@ -27,6 +27,11 @@ struct BenchArgs {
   size_t apis = 50'000;
   uint64_t seed = 42;
   bool quick = false;    // Shrinks everything for CI smoke runs.
+  // Where to write the metrics JSON at exit (--metrics-out flag or the
+  // APICHECKER_METRICS_OUT env var). A delimited "=== metrics json ===" block
+  // also goes to stdout at exit so captured bench output carries the stage
+  // latencies either way.
+  std::string metrics_out;
 
   static BenchArgs Parse(int argc, char** argv);
 

@@ -2,21 +2,40 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+
 namespace apichecker::core {
 
 ApiChecker::ApiChecker(const android::ApiUniverse& universe, ApiCheckerConfig config)
     : universe_(universe), config_(config) {}
 
 void ApiChecker::TrainFromStudy(const StudyDataset& study) {
-  const std::vector<ApiCorrelation> correlations =
-      ComputeApiCorrelations(study, universe_.num_apis());
-  selection_ = SelectKeyApis(correlations, universe_, study.size(), config_.selection);
-  schema_ = FeatureSchema(selection_.key_apis, universe_, config_.features);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  obs::TraceSpan span("core.train");
+  obs::ScopedTimer timer(metrics.histogram(obs::names::kCoreTrainMs));
+  {
+    obs::TraceSpan selection_span("core.select_key_apis");
+    const std::vector<ApiCorrelation> correlations =
+        ComputeApiCorrelations(study, universe_.num_apis());
+    selection_ = SelectKeyApis(correlations, universe_, study.size(), config_.selection);
+    schema_ = FeatureSchema(selection_.key_apis, universe_, config_.features);
+  }
 
+  obs::TraceSpan fit_span("core.fit_forest");
   const ml::Dataset data = BuildDataset(study, schema_, universe_);
   model_ = std::make_unique<ml::RandomForest>(config_.forest);
   model_->set_threshold(config_.threshold);
   model_->Train(data);
+
+  metrics.gauge(obs::names::kCoreKeyApis).Set(static_cast<double>(selection_.key_apis.size()));
+  metrics.gauge(obs::names::kCoreFeatures).Set(static_cast<double>(schema_.num_features()));
+  APICHECKER_SLOG(Debug, "core.trained")
+      .With("corpus", study.size())
+      .With("key_apis", selection_.key_apis.size())
+      .With("features", schema_.num_features());
 }
 
 void ApiChecker::RestoreTrained(KeyApiSelection selection, FeatureOptions features,
@@ -38,9 +57,17 @@ ApiChecker::Verdict ApiChecker::Classify(const emu::EmulationReport& report) con
   if (model_ == nullptr) {
     return verdict;
   }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  obs::ScopedTimer timer(metrics.histogram(obs::names::kCoreClassifyLatencyUs),
+                         obs::ScopedTimer::Unit::kMicros);
   const ml::SparseRow row = schema_.Encode(report);
   verdict.score = model_->PredictScore(row);
   verdict.malicious = verdict.score >= config_.threshold;
+  metrics.histogram(obs::names::kCoreScore).Observe(verdict.score);
+  metrics
+      .counter(verdict.malicious ? obs::names::kCoreVerdictMaliciousTotal
+                                 : obs::names::kCoreVerdictBenignTotal)
+      .Increment();
   return verdict;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace apichecker::core {
@@ -68,6 +69,7 @@ StudyRecord StudyRecorder::BuildRecord(const apk::ApkFile& apk,
 
 StudyDataset RunStudy(const android::ApiUniverse& universe, synth::CorpusGenerator& generator,
                       const StudyConfig& config, util::ThreadPool* pool) {
+  obs::TraceSpan span("core.run_study");
   StudyDataset study;
   study.records.resize(config.num_apps);
 
@@ -94,7 +96,7 @@ StudyDataset RunStudy(const android::ApiUniverse& universe, synth::CorpusGenerat
       const std::vector<uint8_t> apk_bytes = synth::BuildApkBytes(profile, universe);
       auto apk = apk::ParseApk(apk_bytes);
       if (!apk.ok()) {
-        APICHECKER_LOG(Error) << "study: generated APK failed to parse: " << apk.error();
+        APICHECKER_SLOG(Error, "study.bad_apk").With("error", apk.error());
         return;
       }
       const emu::EmulationReport report = engine.Run(*apk, track_all);

@@ -4,6 +4,9 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/logging.h"
 #include "util/rng.h"
 
 namespace apichecker::emu {
@@ -177,6 +180,10 @@ EmulationReport DynamicAnalysisEngine::Run(const apk::ApkFile& apk,
     if (incompatible && config_.enable_fallback) {
       report.fell_back = true;
       minutes = 0.4 * minutes + (base_minutes + hook_minutes);
+      APICHECKER_SLOG(Warning, "emu.fallback")
+          .With("package", apk.manifest.package_name)
+          .With("has_native_code", dex.has_native_code())
+          .With("minutes", minutes);
     }
   }
 
@@ -188,9 +195,33 @@ EmulationReport DynamicAnalysisEngine::Run(const apk::ApkFile& apk,
     minutes += minutes * config_.crash_retry_overhead;
     if (time_rng.Bernoulli(crash_p)) {
       report.crashed = true;  // Second failure: give up with partial data.
+      APICHECKER_SLOG(Warning, "emu.crash")
+          .With("package", apk.manifest.package_name)
+          .With("retried", true)
+          .With("minutes", minutes);
     }
   }
   report.emulation_minutes = minutes;
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  metrics.counter(obs::names::kEmuAppsTotal).Increment();
+  metrics.histogram(obs::names::kEmuAppMinutes).Observe(minutes);
+  metrics.counter(obs::names::kEmuTotalInvocationsTotal)
+      .Increment(report.total_invocations);
+  metrics.counter(obs::names::kEmuTrackedInvocationsTotal)
+      .Increment(report.tracked_invocations);
+  if (report.emulator_detected) {
+    metrics.counter(obs::names::kEmuDetectedTotal).Increment();
+  }
+  if (report.retried) {
+    metrics.counter(obs::names::kEmuRetriesTotal).Increment();
+  }
+  if (report.crashed) {
+    metrics.counter(obs::names::kEmuCrashesTotal).Increment();
+  }
+  if (report.fell_back) {
+    metrics.counter(obs::names::kEmuFallbacksTotal).Increment();
+  }
   return report;
 }
 

@@ -2,6 +2,10 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
 namespace apichecker::emu {
 
 DeviceFarm::DeviceFarm(const android::ApiUniverse& universe, FarmConfig config)
@@ -9,18 +13,24 @@ DeviceFarm::DeviceFarm(const android::ApiUniverse& universe, FarmConfig config)
 
 BatchResult DeviceFarm::RunBatch(std::span<const apk::ApkFile> apks,
                                  const TrackedApiSet& tracked) {
+  obs::TraceSpan span("emu.run_batch");
   BatchResult result;
   result.reports.resize(apks.size());
   pool_.ParallelFor(0, apks.size(), [&](size_t i) {
     result.reports[i] = engine_.Run(apks[i], tracked);
   });
 
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  obs::Histogram& queue_wait = metrics.histogram(obs::names::kEmuFarmQueueWaitMinutes);
+
   // Simulated makespan: greedy assignment of each app (in submission order)
-  // to the emulator that frees up first.
+  // to the emulator that frees up first. The app's queue wait is the busy
+  // time already scheduled on that emulator.
   std::vector<double> emulator_busy_until(std::max<size_t>(1, config_.num_emulators), 0.0);
   for (const EmulationReport& report : result.reports) {
     auto next_free =
         std::min_element(emulator_busy_until.begin(), emulator_busy_until.end());
+    queue_wait.Observe(*next_free);
     *next_free += report.emulation_minutes;
     result.total_emulation_minutes += report.emulation_minutes;
     result.crashes += report.crashed ? 1 : 0;
@@ -28,6 +38,10 @@ BatchResult DeviceFarm::RunBatch(std::span<const apk::ApkFile> apks,
   }
   result.makespan_minutes =
       *std::max_element(emulator_busy_until.begin(), emulator_busy_until.end());
+
+  metrics.counter(obs::names::kEmuFarmBatchesTotal).Increment();
+  metrics.histogram(obs::names::kEmuFarmMakespanMinutes).Observe(result.makespan_minutes);
+  metrics.gauge(obs::names::kEmuFarmLastMakespanMinutes).Set(result.makespan_minutes);
   return result;
 }
 

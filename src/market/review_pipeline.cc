@@ -2,6 +2,8 @@
 
 #include <bit>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
 #include "util/rng.h"
 
 namespace apichecker::market {
@@ -42,6 +44,26 @@ const char* ReviewOutcomeName(ReviewOutcome outcome) {
       return "false-positive-released";
   }
   return "?";
+}
+
+const char* ReviewOutcomeMetricName(ReviewOutcome outcome) {
+  switch (outcome) {
+    case ReviewOutcome::kPublished:
+      return obs::names::kMarketOutcomePublishedTotal;
+    case ReviewOutcome::kRejectedFingerprint:
+      return obs::names::kMarketOutcomeRejectedFingerprintTotal;
+    case ReviewOutcome::kRejectedByChecker:
+      return obs::names::kMarketOutcomeRejectedCheckerTotal;
+    case ReviewOutcome::kFalsePositiveReleased:
+      return obs::names::kMarketOutcomeFalsePositiveReleasedTotal;
+  }
+  return obs::names::kMarketOutcomePublishedTotal;
+}
+
+void RecordReviewOutcome(ReviewOutcome outcome) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  metrics.counter(obs::names::kMarketSubmissionsTotal).Increment();
+  metrics.counter(ReviewOutcomeMetricName(outcome)).Increment();
 }
 
 }  // namespace apichecker::market

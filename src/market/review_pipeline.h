@@ -42,6 +42,15 @@ enum class ReviewOutcome : uint8_t {
 
 const char* ReviewOutcomeName(ReviewOutcome outcome);
 
+// Canonical per-outcome counter name (obs/names.h) for telemetry.
+const char* ReviewOutcomeMetricName(ReviewOutcome outcome);
+
+// Bumps apichecker_market_submissions_total plus the per-outcome counter in
+// the default metrics registry. Every path that resolves a submission — the
+// simulator, the CLI's vet command — reports through this single choke point
+// so the review-outcome telemetry stays consistent across entry points.
+void RecordReviewOutcome(ReviewOutcome outcome);
+
 }  // namespace apichecker::market
 
 #endif  // APICHECKER_MARKET_REVIEW_PIPELINE_H_

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "util/logging.h"
 
 namespace apichecker::market {
@@ -25,11 +28,13 @@ std::vector<MonthlyStats> MarketSimulation::Run() {
   study_config.engine = config_.study_engine;
   training_corpus_ = core::RunStudy(universe_, generator_, study_config);
   checker_->TrainFromStudy(training_corpus_);
-  APICHECKER_LOG(Info) << "market: initial model trained, key APIs = "
-                       << checker_->selection().key_apis.size();
+  APICHECKER_SLOG(Info, "market.initial_model")
+      .With("key_apis", checker_->selection().key_apis.size())
+      .With("corpus", training_corpus_.size());
 
   std::vector<MonthlyStats> months;
   for (size_t month = 1; month <= config_.months; ++month) {
+    obs::TraceSpan month_span("market.month");
     MonthlyStats stats;
     stats.month = month;
     scan_minutes_sum_ = 0.0;
@@ -56,6 +61,9 @@ std::vector<MonthlyStats> MarketSimulation::Run() {
 }
 
 void MarketSimulation::RunDay(MonthlyStats& stats, size_t /*day_index*/) {
+  obs::TraceSpan day_span("market.day");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  obs::Histogram& scan_minutes = metrics.histogram(obs::names::kMarketScanMinutes);
   const emu::DynamicAnalysisEngine production_engine(universe_, config_.production_engine);
   const emu::DynamicAnalysisEngine study_engine(universe_, config_.study_engine);
   const emu::TrackedApiSet tracked = checker_->MakeTrackedSet();
@@ -68,7 +76,7 @@ void MarketSimulation::RunDay(MonthlyStats& stats, size_t /*day_index*/) {
     const std::vector<uint8_t> apk_bytes = synth::BuildApkBytes(profile, universe_);
     auto apk = apk::ParseApk(apk_bytes);
     if (!apk.ok()) {
-      APICHECKER_LOG(Error) << "market: bad submission: " << apk.error();
+      APICHECKER_SLOG(Error, "market.bad_submission").With("error", apk.error());
       continue;
     }
     ++stats.submitted;
@@ -77,6 +85,7 @@ void MarketSimulation::RunDay(MonthlyStats& stats, size_t /*day_index*/) {
     const uint64_t fingerprint = CodeFingerprint(apk->dex);
     if (fingerprints_.IsKnownMalware(fingerprint)) {
       ++stats.caught_by_fingerprint;
+      RecordReviewOutcome(ReviewOutcome::kRejectedFingerprint);
       continue;  // Rejected before emulation.
     }
 
@@ -85,6 +94,7 @@ void MarketSimulation::RunDay(MonthlyStats& stats, size_t /*day_index*/) {
     const core::ApiChecker::Verdict verdict = checker_->Classify(report);
     scan_minutes_sum_ += report.emulation_minutes;
     day_minutes += report.emulation_minutes;
+    scan_minutes.Observe(report.emulation_minutes);
     ++scans_;
     stats.checker_cm.Record(profile.malicious, verdict.malicious);
     if (profile.is_update_attack) {
@@ -102,10 +112,12 @@ void MarketSimulation::RunDay(MonthlyStats& stats, size_t /*day_index*/) {
       if (profile.malicious) {
         resolved_malicious = true;  // Confirmed; quarantined.
         fingerprints_.AddMalware(fingerprint);
+        RecordReviewOutcome(ReviewOutcome::kRejectedByChecker);
       } else {
         // Developer complaint -> manual inspection -> release. The paper
         // actively drives this queue to zero daily.
         ++stats.fp_complaints;
+        RecordReviewOutcome(ReviewOutcome::kFalsePositiveReleased);
       }
     } else if (profile.malicious) {
       // False negative. §5.2 analysis: most FNs barely touch the key APIs
@@ -114,12 +126,16 @@ void MarketSimulation::RunDay(MonthlyStats& stats, size_t /*day_index*/) {
       if (report.observed_apis.size() <= 10) {
         ++stats.fn_barely_uses_key_apis;
       }
+      RecordReviewOutcome(ReviewOutcome::kPublished);  // Slipped through review.
       // Caught only if end users report it.
       if (rng_.Bernoulli(config_.fn_user_report_rate)) {
         ++stats.fn_user_reports;
         resolved_malicious = true;
         fingerprints_.AddMalware(fingerprint);
+        metrics.counter(obs::names::kMarketFnReportedTotal).Increment();
       }
+    } else {
+      RecordReviewOutcome(ReviewOutcome::kPublished);
     }
 
     // Retraining sampler: replay a slice of the stream offline with all-API
@@ -133,7 +149,10 @@ void MarketSimulation::RunDay(MonthlyStats& stats, size_t /*day_index*/) {
       training_corpus_.records.push_back(std::move(record));
     }
   }
-  makespan_sum_ += day_minutes / static_cast<double>(std::max<size_t>(1, config_.num_emulators));
+  const double day_makespan =
+      day_minutes / static_cast<double>(std::max<size_t>(1, config_.num_emulators));
+  makespan_sum_ += day_makespan;
+  metrics.histogram(obs::names::kMarketDayMakespanMinutes).Observe(day_makespan);
   ++days_in_month_so_far_;
 }
 
@@ -155,6 +174,10 @@ double MarketSimulation::ValidationF1(const core::ApiChecker& checker,
 }
 
 bool MarketSimulation::MonthlyEvolution(size_t month_index) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  obs::TraceSpan span("market.monthly_evolution");
+  obs::ScopedTimer retrain_timer(metrics.histogram(obs::names::kMarketRetrainMs));
+
   // Quarterly SDK growth: new framework APIs appear and newly generated apps
   // begin adopting them.
   if (config_.sdk_update_every_months > 0 &&
@@ -166,8 +189,9 @@ bool MarketSimulation::MonthlyEvolution(size_t month_index) {
     // identity but newly generated apps start adopting the new SDK APIs
     // (pool-append draws perturb families only incrementally).
     generator_.RefreshTemplates(generator_.config().template_seed);
-    APICHECKER_LOG(Info) << "market: SDK level " << new_level << " released ("
-                         << config_.new_apis_per_sdk_update << " new APIs)";
+    APICHECKER_SLOG(Info, "market.sdk_update")
+        .With("level", new_level)
+        .With("new_apis", config_.new_apis_per_sdk_update);
   }
 
   // Monthly re-selection + retraining on the cumulative corpus (§5.3), with
@@ -195,13 +219,16 @@ bool MarketSimulation::MonthlyEvolution(size_t month_index) {
 
   if (promoted) {
     checker_ = std::make_unique<core::ApiChecker>(std::move(candidate));
+    metrics.counter(obs::names::kMarketModelPromotionsTotal).Increment();
   } else {
-    APICHECKER_LOG(Warning) << "market: month " << month_index
-                            << " candidate rejected by the model guard";
+    metrics.counter(obs::names::kMarketModelRollbacksTotal).Increment();
+    APICHECKER_SLOG(Warning, "market.model_guard_rollback").With("month", month_index);
   }
-  APICHECKER_LOG(Info) << "market: month " << month_index << " retrain, key APIs = "
-                       << checker_->selection().key_apis.size() << ", corpus = "
-                       << training_corpus_.size() << (promoted ? "" : " (rolled back)");
+  APICHECKER_SLOG(Info, "market.retrain")
+      .With("month", month_index)
+      .With("key_apis", checker_->selection().key_apis.size())
+      .With("corpus", training_corpus_.size())
+      .With("promoted", promoted);
   return promoted;
 }
 

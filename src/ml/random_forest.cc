@@ -3,7 +3,11 @@
 #include <bit>
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace apichecker::ml {
 
@@ -25,9 +29,22 @@ void RandomForest::Train(const Dataset& data) {
     mtry = std::max<size_t>(1, mtry);
   }
 
-  util::Rng rng(config_.seed);
-  trees_.reserve(config_.num_trees);
-  for (size_t t = 0; t < config_.num_trees; ++t) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  obs::ScopedTimer forest_timer(metrics.histogram(obs::names::kMlForestTrainMs));
+  obs::Histogram& tree_train_ms = metrics.histogram(obs::names::kMlTreeTrainMs);
+
+  // Trees train in parallel. Rng::Fork is a pure function of the seed lineage
+  // and the stream id, so every tree's randomness is fixed up front and the
+  // result is identical to the historical serial loop. Each tree records Gini
+  // importance into its own buffer; buffers are folded in tree order below so
+  // the floating-point accumulation order stays deterministic too.
+  const util::Rng rng(config_.seed);
+  trees_.resize(config_.num_trees);
+  std::vector<std::vector<double>> tree_importance(
+      config_.num_trees, std::vector<double>(data.num_features, 0.0));
+  util::ThreadPool pool(config_.train_threads);
+  pool.ParallelFor(0, config_.num_trees, [&](size_t t) {
+    obs::ScopedTimer tree_timer(tree_train_ms);
     // Bootstrap bag: n draws with replacement.
     util::Rng bag_rng = rng.Fork(t * 2 + 1);
     std::vector<uint32_t> bag(data.size());
@@ -41,9 +58,15 @@ void RandomForest::Train(const Dataset& data) {
     tree_config.features_per_split = mtry;
     tree_config.seed = rng.Fork(t * 2 + 2).Next();
     CartTree tree(tree_config);
-    tree.TrainOnRows(data, bag, &importance_);
-    trees_.push_back(std::move(tree));
+    tree.TrainOnRows(data, bag, &tree_importance[t]);
+    trees_[t] = std::move(tree);
+  });
+  for (const std::vector<double>& per_tree : tree_importance) {
+    for (size_t f = 0; f < importance_.size(); ++f) {
+      importance_[f] += per_tree[f];
+    }
   }
+  metrics.counter(obs::names::kMlForestTrainsTotal).Increment();
 
   double total = 0.0;
   for (double v : importance_) {

@@ -1,0 +1,86 @@
+// Metric exporters: Prometheus text exposition and a JSON dump (plus a
+// parser for the dump, so telemetry consumers — and the round-trip tests —
+// can read it back without a JSON library), and a periodic reporter that
+// flushes snapshots from a background thread.
+
+#ifndef APICHECKER_OBS_EXPORT_H_
+#define APICHECKER_OBS_EXPORT_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/result.h"
+
+namespace apichecker::obs {
+
+// Prometheus text exposition format (# HELP / # TYPE / samples).
+std::string ToPrometheusText(const MetricsRegistry& registry);
+
+// JSON dump: {"counters": {...}, "gauges": {...}, "histograms": {...},
+// "spans": [...]}. Histograms carry count/sum/min/max, cumulative buckets,
+// and p50/p90/p95/p99. Pass a TraceLog to include finished spans.
+std::string ToJson(const MetricsRegistry& registry, const TraceLog* trace = nullptr);
+
+// Writes ToJson (or Prometheus text when `path` ends in ".prom") to `path`.
+util::Result<bool> WriteMetricsFile(const std::string& path,
+                                    const MetricsRegistry& registry,
+                                    const TraceLog* trace = nullptr);
+
+// Parsed form of the JSON dump, for round-tripping and telemetry consumers.
+struct ParsedHistogram {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::map<std::string, double> quantiles;  // "p50" -> value.
+};
+
+struct ParsedDump {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, ParsedHistogram> histograms;
+  size_t num_spans = 0;
+};
+
+util::Result<ParsedDump> ParseJsonDump(std::string_view json);
+
+// Background thread invoking `flush` every `interval` (and once on Stop).
+// Typical use: periodically dump ToJson to a sidecar file during long runs.
+class PeriodicReporter {
+ public:
+  using FlushFn = std::function<void(const MetricsRegistry&)>;
+
+  PeriodicReporter(std::chrono::milliseconds interval, FlushFn flush,
+                   MetricsRegistry& registry = MetricsRegistry::Default());
+  ~PeriodicReporter();
+
+  PeriodicReporter(const PeriodicReporter&) = delete;
+  PeriodicReporter& operator=(const PeriodicReporter&) = delete;
+
+  // Idempotent; joins the reporter thread and runs one final flush.
+  void Stop();
+
+  uint64_t flush_count() const { return flushes_.load(std::memory_order_relaxed); }
+
+ private:
+  void Loop();
+
+  std::chrono::milliseconds interval_;
+  FlushFn flush_;
+  MetricsRegistry& registry_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+  std::atomic<uint64_t> flushes_{0};
+  std::thread thread_;
+};
+
+}  // namespace apichecker::obs
+
+#endif  // APICHECKER_OBS_EXPORT_H_

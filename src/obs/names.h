@@ -1,0 +1,67 @@
+// Canonical metric names for the vetting pipeline, one constant per metric so
+// call sites and tests cannot drift apart. Scheme: apichecker_<layer>_<name>
+// with a unit suffix (_total for counters, _minutes/_ms/_us for times).
+
+#ifndef APICHECKER_OBS_NAMES_H_
+#define APICHECKER_OBS_NAMES_H_
+
+namespace apichecker::obs::names {
+
+// emu layer — device farm and dynamic-analysis engine.
+inline constexpr char kEmuAppsTotal[] = "apichecker_emu_apps_total";
+inline constexpr char kEmuAppMinutes[] = "apichecker_emu_app_minutes";
+inline constexpr char kEmuTrackedInvocationsTotal[] =
+    "apichecker_emu_tracked_invocations_total";
+inline constexpr char kEmuTotalInvocationsTotal[] =
+    "apichecker_emu_total_invocations_total";
+inline constexpr char kEmuDetectedTotal[] = "apichecker_emu_detected_total";
+inline constexpr char kEmuCrashesTotal[] = "apichecker_emu_crashes_total";
+inline constexpr char kEmuRetriesTotal[] = "apichecker_emu_retries_total";
+inline constexpr char kEmuFallbacksTotal[] = "apichecker_emu_fallbacks_total";
+inline constexpr char kEmuFarmBatchesTotal[] = "apichecker_emu_farm_batches_total";
+inline constexpr char kEmuFarmMakespanMinutes[] =
+    "apichecker_emu_farm_makespan_minutes";
+inline constexpr char kEmuFarmQueueWaitMinutes[] =
+    "apichecker_emu_farm_queue_wait_minutes";
+inline constexpr char kEmuFarmLastMakespanMinutes[] =
+    "apichecker_emu_farm_last_makespan_minutes";
+
+// core layer — APICHECKER train/classify.
+inline constexpr char kCoreTrainMs[] = "apichecker_core_train_ms";
+inline constexpr char kCoreClassifyLatencyUs[] = "apichecker_core_classify_latency_us";
+inline constexpr char kCoreScore[] = "apichecker_core_score";
+inline constexpr char kCoreVerdictMaliciousTotal[] =
+    "apichecker_core_verdict_malicious_total";
+inline constexpr char kCoreVerdictBenignTotal[] =
+    "apichecker_core_verdict_benign_total";
+inline constexpr char kCoreKeyApis[] = "apichecker_core_key_apis";
+inline constexpr char kCoreFeatures[] = "apichecker_core_features";
+
+// ml layer — random-forest training.
+inline constexpr char kMlTreeTrainMs[] = "apichecker_ml_tree_train_ms";
+inline constexpr char kMlForestTrainMs[] = "apichecker_ml_forest_train_ms";
+inline constexpr char kMlForestTrainsTotal[] = "apichecker_ml_forest_trains_total";
+
+// market layer — review pipeline and deployment simulation.
+inline constexpr char kMarketSubmissionsTotal[] = "apichecker_market_submissions_total";
+inline constexpr char kMarketOutcomePublishedTotal[] =
+    "apichecker_market_outcome_published_total";
+inline constexpr char kMarketOutcomeRejectedFingerprintTotal[] =
+    "apichecker_market_outcome_rejected_fingerprint_total";
+inline constexpr char kMarketOutcomeRejectedCheckerTotal[] =
+    "apichecker_market_outcome_rejected_apichecker_total";
+inline constexpr char kMarketOutcomeFalsePositiveReleasedTotal[] =
+    "apichecker_market_outcome_false_positive_released_total";
+inline constexpr char kMarketFnReportedTotal[] = "apichecker_market_fn_reported_total";
+inline constexpr char kMarketScanMinutes[] = "apichecker_market_scan_minutes";
+inline constexpr char kMarketDayMakespanMinutes[] =
+    "apichecker_market_day_makespan_minutes";
+inline constexpr char kMarketRetrainMs[] = "apichecker_market_retrain_ms";
+inline constexpr char kMarketModelPromotionsTotal[] =
+    "apichecker_market_model_promotions_total";
+inline constexpr char kMarketModelRollbacksTotal[] =
+    "apichecker_market_model_rollbacks_total";
+
+}  // namespace apichecker::obs::names
+
+#endif  // APICHECKER_OBS_NAMES_H_

@@ -1,0 +1,277 @@
+// Unit tests for src/obs: counters, gauges, lock-striped histograms and
+// their quantiles, span tracing, scoped timers, exporters, and the JSON
+// dump round-trip.
+
+#include <atomic>
+#include <chrono>
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace apichecker::obs {
+namespace {
+
+TEST(Counter, IncrementsMonotonically) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Gauge, SetAndAdd) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.Set(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+}
+
+TEST(Histogram, BucketsCountSumMinMax) {
+  Histogram h(Histogram::LinearBounds(1.0, 1.0, 3));  // bounds {1, 2, 3}.
+  h.Observe(0.5);   // bucket 0 (<= 1).
+  h.Observe(1.5);   // bucket 1 (<= 2).
+  h.Observe(2.5);   // bucket 2 (<= 3).
+  h.Observe(99.0);  // overflow bucket.
+  const HistogramSnapshot snap = h.Snapshot();
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.bucket_counts.size(), 4u);
+  EXPECT_EQ(snap.bucket_counts[0], 1u);
+  EXPECT_EQ(snap.bucket_counts[1], 1u);
+  EXPECT_EQ(snap.bucket_counts[2], 1u);
+  EXPECT_EQ(snap.bucket_counts[3], 1u);
+  EXPECT_EQ(snap.count, 4u);
+  EXPECT_DOUBLE_EQ(snap.sum, 0.5 + 1.5 + 2.5 + 99.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.5);
+  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+}
+
+TEST(Histogram, BoundGenerators) {
+  const std::vector<double> exp = Histogram::ExponentialBounds(1.0, 2.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp[3], 8.0);
+  const std::vector<double> lin = Histogram::LinearBounds(0.5, 0.5, 4);
+  ASSERT_EQ(lin.size(), 4u);
+  EXPECT_DOUBLE_EQ(lin[0], 0.5);
+  EXPECT_DOUBLE_EQ(lin[3], 2.0);
+}
+
+TEST(Histogram, QuantilesExactWhileStreamFitsReservoir) {
+  // 500 observations from one thread stay inside one stripe's 512-slot
+  // reservoir, so quantiles are exact (up to interpolation).
+  Histogram h(Histogram::LinearBounds(50.0, 50.0, 10));
+  for (int i = 1; i <= 500; ++i) {
+    h.Observe(static_cast<double>(i));
+  }
+  EXPECT_NEAR(h.Quantile(0.5), 250.5, 1.0);
+  EXPECT_NEAR(h.Quantile(0.95), 475.0, 1.5);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 500.0);
+}
+
+TEST(Histogram, EmptySnapshotIsSane) {
+  Histogram h;
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 0.0);
+  EXPECT_DOUBLE_EQ(snap.Quantile(0.5), 0.0);
+}
+
+TEST(Metrics, ConcurrentIncrementsLoseNothing) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("apichecker_test_events_total");
+  Histogram& hist = registry.histogram("apichecker_test_latency_ms");
+  constexpr size_t kIters = 20'000;
+  util::ThreadPool pool(8);
+  pool.ParallelFor(0, kIters, [&](size_t i) {
+    counter.Increment();
+    hist.Observe(static_cast<double>(i % 100));
+  });
+  EXPECT_EQ(counter.value(), kIters);
+  const HistogramSnapshot snap = hist.Snapshot();
+  EXPECT_EQ(snap.count, kIters);
+  // Sum over i % 100 for kIters observations: kIters/100 full cycles of 0..99.
+  EXPECT_DOUBLE_EQ(snap.sum, static_cast<double>(kIters / 100) * 4950.0);
+  EXPECT_DOUBLE_EQ(snap.min, 0.0);
+  EXPECT_DOUBLE_EQ(snap.max, 99.0);
+}
+
+TEST(Metrics, RegistryReturnsStableAddresses) {
+  MetricsRegistry registry;
+  Counter& a = registry.counter("apichecker_test_a_total");
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("apichecker_test_filler_" + std::to_string(i) + "_total");
+  }
+  EXPECT_EQ(&a, &registry.counter("apichecker_test_a_total"));
+}
+
+TEST(Metrics, KindMismatchFallsBackToDummy) {
+  MetricsRegistry registry;
+  Counter& counter = registry.counter("apichecker_test_kind_total");
+  counter.Increment(5);
+  // Asking for the same name as a gauge must not crash and must not clobber
+  // the real counter.
+  Gauge& dummy = registry.gauge("apichecker_test_kind_total");
+  dummy.Set(123.0);
+  EXPECT_EQ(registry.counter("apichecker_test_kind_total").value(), 5u);
+}
+
+TEST(Metrics, StandardMetricsRegisteredInDefault) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  const std::vector<MetricSnapshot> snap = reg.Snapshot();
+  auto has = [&](std::string_view name) {
+    for (const MetricSnapshot& m : snap) {
+      if (m.name == name) {
+        return true;
+      }
+    }
+    return false;
+  };
+  EXPECT_TRUE(has(names::kEmuFarmMakespanMinutes));
+  EXPECT_TRUE(has(names::kEmuAppMinutes));
+  EXPECT_TRUE(has(names::kCoreClassifyLatencyUs));
+  EXPECT_TRUE(has(names::kCoreVerdictMaliciousTotal));
+  EXPECT_TRUE(has(names::kMarketOutcomePublishedTotal));
+  // Idempotent: re-registering changes nothing.
+  const size_t before = reg.size();
+  RegisterStandardMetrics(reg);
+  EXPECT_EQ(reg.size(), before);
+}
+
+TEST(Trace, NestedSpansTrackParentage) {
+  MetricsRegistry registry;
+  TraceLog log(64);
+  EXPECT_EQ(TraceSpan::Current(), nullptr);
+  {
+    TraceSpan outer("outer", &registry, &log);
+    EXPECT_EQ(TraceSpan::Current(), &outer);
+    EXPECT_EQ(outer.depth(), 0u);
+    EXPECT_EQ(outer.parent(), nullptr);
+    {
+      TraceSpan inner("inner", &registry, &log);
+      EXPECT_EQ(TraceSpan::Current(), &inner);
+      EXPECT_EQ(inner.depth(), 1u);
+      ASSERT_NE(inner.parent(), nullptr);
+      EXPECT_EQ(inner.parent()->name(), "outer");
+    }
+    EXPECT_EQ(TraceSpan::Current(), &outer);
+  }
+  EXPECT_EQ(TraceSpan::Current(), nullptr);
+
+  const std::vector<SpanRecord> spans = log.Snapshot();
+  ASSERT_EQ(spans.size(), 2u);  // inner finished first.
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[0].parent, "outer");
+  EXPECT_EQ(spans[0].depth, 1u);
+  EXPECT_EQ(spans[1].name, "outer");
+  EXPECT_EQ(spans[1].parent, "");
+  // Each span also landed in a per-name latency histogram.
+  EXPECT_EQ(registry.histogram("apichecker_trace_inner_ms").count(), 1u);
+  EXPECT_EQ(registry.histogram("apichecker_trace_outer_ms").count(), 1u);
+}
+
+TEST(Trace, LogDropsOldestWhenFull) {
+  TraceLog log(8);
+  for (int i = 0; i < 20; ++i) {
+    SpanRecord r;
+    r.name = "s" + std::to_string(i);
+    log.Record(std::move(r));
+  }
+  EXPECT_GT(log.dropped(), 0u);
+  const std::vector<SpanRecord> spans = log.Snapshot();
+  EXPECT_LE(spans.size(), log.capacity());
+  // The newest record always survives.
+  ASSERT_FALSE(spans.empty());
+  EXPECT_EQ(spans.back().name, "s19");
+}
+
+TEST(Trace, ScopedTimerRecordsOnce) {
+  MetricsRegistry registry;
+  Histogram& hist = registry.histogram("apichecker_test_timer_ms");
+  {
+    ScopedTimer timer(hist, ScopedTimer::Unit::kMicros);
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    const double elapsed_us = timer.Stop();
+    EXPECT_GE(elapsed_us, 500.0);
+    timer.Stop();  // Second stop is a no-op.
+  }  // Destructor must not record again after Stop().
+  EXPECT_EQ(hist.count(), 1u);
+}
+
+TEST(Export, PrometheusTextHasHelpTypeAndSamples) {
+  MetricsRegistry registry;
+  registry.counter("apichecker_test_events_total", "events").Increment(3);
+  registry.gauge("apichecker_test_level", "level").Set(1.5);
+  registry.histogram("apichecker_test_ms", Histogram::LinearBounds(1, 1, 2)).Observe(0.5);
+  const std::string text = ToPrometheusText(registry);
+  EXPECT_NE(text.find("# HELP apichecker_test_events_total events"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE apichecker_test_events_total counter"), std::string::npos);
+  EXPECT_NE(text.find("apichecker_test_events_total 3"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE apichecker_test_level gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE apichecker_test_ms histogram"), std::string::npos);
+  EXPECT_NE(text.find("apichecker_test_ms_bucket{le=\"+Inf\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("apichecker_test_ms_count 1"), std::string::npos);
+}
+
+TEST(Export, JsonRoundTrip) {
+  MetricsRegistry registry;
+  registry.counter("apichecker_test_events_total").Increment(7);
+  registry.gauge("apichecker_test_level").Set(-2.25);
+  Histogram& hist = registry.histogram("apichecker_test_ms", Histogram::LinearBounds(10, 10, 4));
+  for (int i = 1; i <= 100; ++i) {
+    hist.Observe(static_cast<double>(i));
+  }
+  TraceLog log(16);
+  {
+    TraceSpan span("roundtrip", &registry, &log);
+  }
+
+  const std::string json = ToJson(registry, &log);
+  auto parsed = ParseJsonDump(json);
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  EXPECT_DOUBLE_EQ(parsed->counters.at("apichecker_test_events_total"), 7.0);
+  EXPECT_DOUBLE_EQ(parsed->gauges.at("apichecker_test_level"), -2.25);
+  const ParsedHistogram& h = parsed->histograms.at("apichecker_test_ms");
+  EXPECT_EQ(h.count, 100u);
+  EXPECT_DOUBLE_EQ(h.sum, 5050.0);
+  EXPECT_DOUBLE_EQ(h.min, 1.0);
+  EXPECT_DOUBLE_EQ(h.max, 100.0);
+  EXPECT_NEAR(h.quantiles.at("p50"), 50.5, 1.0);
+  EXPECT_EQ(parsed->num_spans, 1u);
+  // The roundtrip span's latency histogram also made it into the dump.
+  EXPECT_TRUE(parsed->histograms.count("apichecker_trace_roundtrip_ms"));
+}
+
+TEST(Export, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseJsonDump("not json").ok());
+  EXPECT_FALSE(ParseJsonDump("{\"counters\": [1,2]").ok());
+}
+
+TEST(Export, PeriodicReporterFlushesAtLeastOnce) {
+  MetricsRegistry registry;
+  std::atomic<uint64_t> seen{0};
+  {
+    PeriodicReporter reporter(std::chrono::milliseconds(5),
+                              [&](const MetricsRegistry&) { seen.fetch_add(1); },
+                              registry);
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    reporter.Stop();
+    EXPECT_GE(reporter.flush_count(), 1u);
+  }
+  EXPECT_GE(seen.load(), 1u);
+}
+
+}  // namespace
+}  // namespace apichecker::obs

@@ -10,6 +10,10 @@
 //
 // Common flags: --apis N, --seed S. The universe is regenerated from the
 // seed, so a model trained with one seed must be used with the same seed.
+// Observability: --metrics-out=<file> dumps the metrics registry (JSON, or
+// Prometheus text when the path ends in .prom) after any command; vet/study/
+// market additionally print a stats summary. APICHECKER_LOG_LEVEL=debug|info|
+// warn|error controls stderr logging.
 
 #include <cstdio>
 #include <cstring>
@@ -20,7 +24,13 @@
 
 #include "core/model_store.h"
 #include "core/study.h"
+#include "emu/farm.h"
+#include "market/review_pipeline.h"
 #include "market/simulation.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
 #include "synth/corpus.h"
 #include "util/strings.h"
 
@@ -35,6 +45,7 @@ struct CommonFlags {
   size_t months = 3;
   std::string model_path = "apichecker_model.bin";
   std::string out_dir = "corpus_out";
+  std::string metrics_out;  // Empty = no dump.
   std::vector<std::string> positional;
 };
 
@@ -60,11 +71,55 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.model_path = next_value("--model");
     } else if (std::strcmp(argv[i], "--out") == 0) {
       flags.out_dir = next_value("--out");
+    } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
+      flags.metrics_out = next_value("--metrics-out");
+    } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
+      flags.metrics_out = argv[i] + 14;
     } else {
       flags.positional.emplace_back(argv[i]);
     }
   }
   return flags;
+}
+
+// Compact human-readable dump of every metric that recorded anything: the
+// "stats" block printed after vet/study/market runs.
+void PrintStatsSummary() {
+  std::printf("\nstats\n");
+  for (const obs::MetricSnapshot& metric : obs::MetricsRegistry::Default().Snapshot()) {
+    switch (metric.kind) {
+      case obs::MetricKind::kCounter:
+      case obs::MetricKind::kGauge:
+        if (metric.value != 0.0) {
+          std::printf("  %-52s %.6g\n", metric.name.c_str(), metric.value);
+        }
+        break;
+      case obs::MetricKind::kHistogram: {
+        const obs::HistogramSnapshot& hist = metric.histogram;
+        if (hist.count > 0) {
+          std::printf("  %-52s n=%llu mean=%.3f p50=%.3f p95=%.3f max=%.3f\n",
+                      metric.name.c_str(), static_cast<unsigned long long>(hist.count),
+                      hist.Mean(), hist.Quantile(0.50), hist.Quantile(0.95), hist.max);
+        }
+        break;
+      }
+    }
+  }
+}
+
+// Honors --metrics-out. Returns false (changing the exit code) on I/O errors.
+bool MaybeWriteMetrics(const CommonFlags& flags) {
+  if (flags.metrics_out.empty()) {
+    return true;
+  }
+  auto written = obs::WriteMetricsFile(flags.metrics_out, obs::MetricsRegistry::Default(),
+                                       &obs::TraceLog::Default());
+  if (!written.ok()) {
+    std::fprintf(stderr, "metrics dump failed: %s\n", written.error().c_str());
+    return false;
+  }
+  std::printf("metrics written to %s\n", flags.metrics_out.c_str());
+  return true;
 }
 
 android::ApiUniverse MakeUniverse(const CommonFlags& flags) {
@@ -152,32 +207,57 @@ int CmdVet(const CommonFlags& flags) {
     std::fprintf(stderr, "vet: no .apk files given\n");
     return 2;
   }
+  obs::TraceSpan span("cli.vet");
 
-  emu::EngineConfig engine_config;
-  engine_config.kind = emu::EngineKind::kLightweight;
-  const emu::DynamicAnalysisEngine engine(universe, engine_config);
-  const emu::TrackedApiSet tracked = checker->MakeTrackedSet();
-
+  // Parse everything first, then run the parseable APKs as one device-farm
+  // batch (the production shape: N emulators vetting a submission queue).
   int exit_code = 0;
-  for (const std::string& path : flags.positional) {
+  std::vector<apk::ApkFile> apks;
+  std::vector<std::string> errors(flags.positional.size());
+  std::vector<int64_t> batch_slot(flags.positional.size(), -1);
+  for (size_t i = 0; i < flags.positional.size(); ++i) {
+    const std::string& path = flags.positional[i];
     std::ifstream in(path, std::ios::binary);
     if (!in) {
-      std::printf("%-28s ERROR: cannot open\n", path.c_str());
-      exit_code = 1;
+      errors[i] = "cannot open";
       continue;
     }
     const std::vector<uint8_t> bytes((std::istreambuf_iterator<char>(in)),
                                      std::istreambuf_iterator<char>());
-    auto report = engine.RunBytes(bytes, tracked);
-    if (!report.ok()) {
-      std::printf("%-28s ERROR: %s\n", path.c_str(), report.error().c_str());
+    auto apk = apk::ParseApk(bytes);
+    if (!apk.ok()) {
+      errors[i] = apk.error();
+      continue;
+    }
+    batch_slot[i] = static_cast<int64_t>(apks.size());
+    apks.push_back(std::move(*apk));
+  }
+
+  emu::FarmConfig farm_config;
+  farm_config.engine.kind = emu::EngineKind::kLightweight;
+  emu::DeviceFarm farm(universe, farm_config);
+  const emu::BatchResult batch = farm.RunBatch(apks, checker->MakeTrackedSet());
+
+  for (size_t i = 0; i < flags.positional.size(); ++i) {
+    const std::string& path = flags.positional[i];
+    if (batch_slot[i] < 0) {
+      std::printf("%-28s ERROR: %s\n", path.c_str(), errors[i].c_str());
       exit_code = 1;
       continue;
     }
-    const core::ApiChecker::Verdict verdict = checker->Classify(*report);
+    const emu::EmulationReport& report = batch.reports[static_cast<size_t>(batch_slot[i])];
+    const core::ApiChecker::Verdict verdict = checker->Classify(report);
+    market::RecordReviewOutcome(verdict.malicious
+                                    ? market::ReviewOutcome::kRejectedByChecker
+                                    : market::ReviewOutcome::kPublished);
     std::printf("%-28s scan=%4.1f min  score=%.3f  %s\n", path.c_str(),
-                report->emulation_minutes, verdict.score,
+                report.emulation_minutes, verdict.score,
                 verdict.malicious ? "MALICIOUS" : "benign");
+  }
+  if (!apks.empty()) {
+    std::printf("farm: %zu apps on %zu emulators, makespan %.1f min (total %.1f min)\n",
+                apks.size(), farm.config().num_emulators, batch.makespan_minutes,
+                batch.total_emulation_minutes);
   }
   return exit_code;
 }
@@ -216,7 +296,10 @@ void PrintUsage() {
       "  study      run the track-all study and save a model (--apps, --model)\n"
       "  vet        scan .apk files with a saved model (--model, files...)\n"
       "  market     run the deployment simulation (--months, --apps)\n"
-      "common flags: --apis N (default 30000), --seed S (default 42)\n");
+      "common flags: --apis N (default 30000), --seed S (default 42),\n"
+      "              --metrics-out FILE (dump metrics JSON; .prom for Prometheus)\n"
+      "environment:  APICHECKER_LOG_LEVEL=debug|info|warn|error,\n"
+      "              APICHECKER_LOG_FORMAT=text|json\n");
 }
 
 }  // namespace
@@ -228,21 +311,26 @@ int main(int argc, char** argv) {
   }
   const std::string command = argv[1];
   const CommonFlags flags = ParseFlags(argc, argv, 2);
+  int exit_code = 2;
   if (command == "universe") {
-    return CmdUniverse(flags);
+    exit_code = CmdUniverse(flags);
+  } else if (command == "corpus") {
+    exit_code = CmdCorpus(flags);
+  } else if (command == "study") {
+    exit_code = CmdStudy(flags);
+    PrintStatsSummary();
+  } else if (command == "vet") {
+    exit_code = CmdVet(flags);
+    PrintStatsSummary();
+  } else if (command == "market") {
+    exit_code = CmdMarket(flags);
+    PrintStatsSummary();
+  } else {
+    PrintUsage();
+    return 2;
   }
-  if (command == "corpus") {
-    return CmdCorpus(flags);
+  if (!MaybeWriteMetrics(flags) && exit_code == 0) {
+    exit_code = 1;
   }
-  if (command == "study") {
-    return CmdStudy(flags);
-  }
-  if (command == "vet") {
-    return CmdVet(flags);
-  }
-  if (command == "market") {
-    return CmdMarket(flags);
-  }
-  PrintUsage();
-  return 2;
+  return exit_code;
 }

@@ -1,0 +1,26 @@
+#!/bin/sh
+# Tier-1 verification script: configure, build, and run the full ctest suite,
+# then rebuild the observability tests under AddressSanitizer.
+#
+# Usage: sh tools/ci.sh [--no-asan]
+set -e
+
+ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+ASAN=1
+[ "${1:-}" = "--no-asan" ] && ASAN=0
+
+echo "=== tier-1: configure + build ==="
+cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
+cmake --build "$ROOT/build" -j
+
+echo "=== tier-1: ctest ==="
+(cd "$ROOT/build" && ctest --output-on-failure -j)
+
+if [ "$ASAN" = "1" ]; then
+  echo "=== asan: build + run test_obs ==="
+  cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
+  cmake --build "$ROOT/build-asan" -j --target test_obs
+  "$ROOT/build-asan/tests/test_obs"
+fi
+
+echo "CI OK"

@@ -15,8 +15,18 @@ grep -q "APIs *: 8000" "$DIR/universe.txt"
 "$CLI" study --apis 8000 --seed 7 --apps 400 --model "$DIR/model.bin"
 [ -s "$DIR/model.bin" ]
 
-"$CLI" vet --apis 8000 --seed 7 --model "$DIR/model.bin" "$DIR"/apks/*.apk > "$DIR/verdicts.txt"
-[ "$(grep -cE 'benign|MALICIOUS' "$DIR/verdicts.txt")" = "6" ]
+# Verdicts end the per-file line, so anchor to end-of-line (the stats summary
+# also mentions metric names like apichecker_core_verdict_benign_total).
+"$CLI" vet --apis 8000 --seed 7 --model "$DIR/model.bin" \
+       --metrics-out "$DIR/metrics.json" "$DIR"/apks/*.apk > "$DIR/verdicts.txt"
+[ "$(grep -cE '(benign|MALICIOUS)$' "$DIR/verdicts.txt")" = "6" ]
+
+# The metrics dump must carry the farm, classifier, and review-outcome series.
+grep -q 'apichecker_emu_farm_makespan_minutes' "$DIR/metrics.json"
+grep -q 'apichecker_emu_app_minutes' "$DIR/metrics.json"
+grep -q 'apichecker_core_classify_latency_us' "$DIR/metrics.json"
+grep -q 'apichecker_core_verdict_malicious_total' "$DIR/metrics.json"
+grep -q 'apichecker_market_outcome_published_total' "$DIR/metrics.json"
 
 # Vet must fail cleanly on garbage input.
 echo "not an apk" > "$DIR/garbage.apk"

@@ -4,12 +4,21 @@
 // pre-filtering, developer-complaint and user-report manual loops, monthly
 // key-API re-selection + retraining, and quarterly Android SDK growth.
 //
+// After the simulation, the promoted production model is stood up behind the
+// online vetting service and wired to a model registry, showing the
+// registry-promotion -> live hot-swap path a real deployment would use.
+//
 // Flags: --months N (default 4), --apps-per-day N (default 120), --seed S.
 
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <vector>
 
+#include "core/model_store.h"
 #include "market/simulation.h"
+#include "serve/service.h"
+#include "synth/corpus.h"
 #include "util/strings.h"
 
 using namespace apichecker;
@@ -72,5 +81,69 @@ int main(int argc, char** argv) {
   for (const auto& [name, importance] : sim.checker().TopFeatures(10)) {
     std::printf("  %-55s %.4f\n", name.c_str(), importance);
   }
+
+  // Deployment epilogue: serve the promoted production model online. A fresh
+  // registry is attached to the service, so the next promotion (here: the
+  // production blob re-considered as a new candidate) hot-swaps the serving
+  // snapshot with zero downtime, mid-traffic.
+  const market::ModelRecord* production = sim.registry().production();
+  if (production == nullptr) {
+    std::printf("\nno promoted model to serve\n");
+    return 0;
+  }
+  auto serving_checker = core::DeserializeChecker(universe, production->blob);
+  if (!serving_checker.ok()) {
+    std::fprintf(stderr, "cannot deserialize production model: %s\n",
+                 serving_checker.error().c_str());
+    return 1;
+  }
+  std::printf("\n== serving the production model (month-%zu promotion, F1 %s) ==\n",
+              production->month, util::FormatPercent(production->validation_f1).c_str());
+
+  serve::ServiceConfig service_config;
+  service_config.farm.engine.kind = emu::EngineKind::kLightweight;
+  serve::VettingService service(universe, service_config, std::move(*serving_checker));
+
+  market::ModelRegistry live_registry;
+  service.AttachToRegistry(live_registry);
+
+  synth::CorpusConfig fresh_corpus;
+  fresh_corpus.seed = seed ^ 0xf00d;
+  synth::CorpusGenerator fresh(universe, fresh_corpus);
+  const auto submit_wave = [&](size_t count) {
+    std::vector<std::future<serve::VettingResult>> futures;
+    for (size_t i = 0; i < count; ++i) {
+      serve::Submission submission;
+      submission.apk_bytes = synth::BuildApkBytes(fresh.Next(), universe);
+      if (auto accepted = service.Submit(std::move(submission)); accepted.ok()) {
+        futures.push_back(std::move(*accepted));
+      }
+    }
+    size_t malicious = 0;
+    uint32_t version = 0;
+    for (auto& future : futures) {
+      const serve::VettingResult result = future.get();
+      malicious += result.status == serve::VetStatus::kOk && result.malicious;
+      version = result.model_version;
+    }
+    std::printf("  vetted %zu fresh submissions under snapshot v%u (%zu flagged)\n",
+                futures.size(), version, malicious);
+  };
+
+  submit_wave(8);
+  market::ModelRecord next_month = *production;  // Same weights, next cycle.
+  next_month.month += 1;
+  if (live_registry.Consider(std::move(next_month))) {
+    std::printf("  registry promoted the month-%zu candidate -> serving v%u (no restart)\n",
+                production->month + 1, service.model_version());
+  }
+  submit_wave(8);
+  live_registry.SetPromotionListener(nullptr);
+  service.Shutdown();
+  const serve::ServiceStats stats = service.stats();
+  std::printf("  service totals: %llu accepted == %llu resolved, %llu model swaps\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.resolved()),
+              static_cast<unsigned long long>(stats.model_swaps));
   return 0;
 }

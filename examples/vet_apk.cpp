@@ -3,6 +3,9 @@
 // (manifest metadata, DEX string pool / method table / behaviour records),
 // runs it on the un-hardened and hardened emulators plus a real device, and
 // shows how emulator detection and sensor gating change what the hooks see.
+// Finally routes the same APK through the online vetting service, where a
+// byte-identical resubmission hits the digest cache and a model hot-swap
+// forces a recompute under the new snapshot — with an unchanged verdict.
 //
 // Flags: --seed S, --malicious (force a malware sample).
 
@@ -10,7 +13,10 @@
 #include <cstring>
 
 #include "android/api_universe.h"
+#include "core/model_store.h"
+#include "core/study.h"
 #include "emu/engine.h"
+#include "serve/service.h"
 #include "synth/corpus.h"
 #include "util/strings.h"
 
@@ -122,5 +128,54 @@ int main(int argc, char** argv) {
                   universe.api(intent.carrier).name.c_str());
     }
   }
+
+  // Production path: the same bytes go through the online vetting service
+  // instead of a hand-driven engine. Train a small checker, stand the service
+  // up around it, and watch the digest cache and the hot-swap at work.
+  std::printf("\n== online vetting service ==\n");
+  synth::CorpusConfig study_corpus;
+  study_corpus.seed = seed ^ 0x57d9;
+  synth::CorpusGenerator study_generator(universe, study_corpus);
+  core::StudyConfig study_config;
+  study_config.num_apps = 1'500;
+  const core::StudyDataset study = core::RunStudy(universe, study_generator, study_config);
+  core::ApiChecker checker(universe, {});
+  checker.TrainFromStudy(study);
+  const std::vector<uint8_t> model_blob = core::SerializeChecker(checker);
+
+  serve::ServiceConfig service_config;
+  service_config.farm.engine.kind = emu::EngineKind::kLightweight;
+  serve::VettingService service(universe, service_config, std::move(checker));
+
+  const auto vet = [&](const char* label) {
+    serve::Submission submission;
+    submission.apk_bytes = apk_bytes;
+    auto accepted = service.Submit(std::move(submission));
+    if (!accepted.ok()) {
+      std::printf("  %-26s rejected: %s\n", label, accepted.error().c_str());
+      return;
+    }
+    const serve::VettingResult result = accepted->get();
+    std::printf("  %-26s %-9s score=%.3f  model=v%u  cache=%s  e2e=%.1f ms\n", label,
+                result.malicious ? "MALICIOUS" : "benign", result.score,
+                result.model_version, result.from_cache ? "HIT" : "miss",
+                result.total_ms);
+  };
+  vet("first submission:");
+  vet("byte-identical resubmit:");  // Served from the digest cache.
+  // Republish the same weights as snapshot v2 — e.g. the monthly retrain
+  // promoted a model. The v1 cache entry is now stale, so the resubmission
+  // recomputes under v2 and must reach the same verdict.
+  if (auto swapped = service.SwapModelFromBlob(model_blob); swapped.ok()) {
+    std::printf("  hot-swapped serving model -> v%u\n", *swapped);
+  }
+  vet("resubmit after hot swap:");
+  service.Shutdown();
+  const serve::ServiceStats stats = service.stats();
+  std::printf("  service: %llu accepted, %llu cache hits, %llu batches, %llu swaps\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.cache_hits),
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.model_swaps));
   return 0;
 }

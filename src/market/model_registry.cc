@@ -15,6 +15,9 @@ void ModelRegistry::Archive(ModelRecord candidate, bool promoted) {
   records_.push_back(std::move(candidate));
   if (promoted) {
     production_index_ = records_.size() - 1;
+    if (promotion_listener_) {
+      promotion_listener_(records_.back());
+    }
   } else {
     ++rejections_;
   }

@@ -8,6 +8,7 @@
 #define APICHECKER_MARKET_MODEL_REGISTRY_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "core/model_store.h"
@@ -40,10 +41,20 @@ class ModelRegistry {
   const std::vector<ModelRecord>& history() const { return records_; }
   size_t rejections() const { return rejections_; }
 
+  // Invoked (synchronously) with each newly promoted record. This is the
+  // deployment hook: serve::VettingService::AttachToRegistry wires it to a
+  // live hot-swap so a promoted monthly model goes into serving without a
+  // restart. Pass nullptr to detach.
+  using PromotionListener = std::function<void(const ModelRecord&)>;
+  void SetPromotionListener(PromotionListener listener) {
+    promotion_listener_ = std::move(listener);
+  }
+
  private:
   std::vector<ModelRecord> records_;
   size_t production_index_ = SIZE_MAX;
   size_t rejections_ = 0;
+  PromotionListener promotion_listener_;
 };
 
 }  // namespace apichecker::market

@@ -322,6 +322,27 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
   registry.histogram(kMarketRetrainMs, {}, "monthly retrain wall-clock, ms");
   registry.counter(kMarketModelPromotionsTotal, "monthly candidates promoted");
   registry.counter(kMarketModelRollbacksTotal, "monthly candidates rejected by the guard");
+
+  registry.counter(kServeSubmissionsTotal, "submissions offered to the vetting service");
+  registry.counter(kServeAcceptedTotal, "submissions admitted onto a shard queue");
+  registry.counter(kServeRejectedTotal,
+                   "submissions rejected by admission control (backpressure)");
+  registry.counter(kServeCompletedTotal, "submissions resolved with a verdict");
+  registry.counter(kServeDeadlineExpiredTotal,
+                   "submissions whose deadline passed before emulation");
+  registry.counter(kServeParseErrorsTotal, "submissions that failed APK parsing");
+  registry.counter(kServeCacheHitsTotal, "verdicts served from the digest cache");
+  registry.counter(kServeCacheMissesTotal, "digest-cache lookups that missed");
+  registry.counter(kServeModelSwapsTotal, "serving-model hot swaps published");
+  registry.gauge(kServeModelVersion, "serving-model snapshot version in production");
+  registry.gauge(kServeQueueDepth, "submissions queued across all shards");
+  registry.counter(kServeBatchesTotal, "scheduler batches executed");
+  registry.histogram(kServeBatchSize, Histogram::LinearBounds(1.0, 1.0, 64),
+                     "submissions per scheduler batch");
+  registry.histogram(kServeQueueWaitMs, Histogram::ExponentialBounds(0.5, 2.0, 18),
+                     "admission -> batch assembly wait, ms");
+  registry.histogram(kServeE2eLatencyMs, Histogram::ExponentialBounds(0.5, 2.0, 18),
+                     "admission -> verdict end-to-end latency, ms");
 }
 
 }  // namespace apichecker::obs

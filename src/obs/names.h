@@ -62,6 +62,24 @@ inline constexpr char kMarketModelPromotionsTotal[] =
 inline constexpr char kMarketModelRollbacksTotal[] =
     "apichecker_market_model_rollbacks_total";
 
+// serve layer — online vetting service (admission, batching, cache, swap).
+inline constexpr char kServeSubmissionsTotal[] = "apichecker_serve_submissions_total";
+inline constexpr char kServeAcceptedTotal[] = "apichecker_serve_accepted_total";
+inline constexpr char kServeRejectedTotal[] = "apichecker_serve_rejected_total";
+inline constexpr char kServeCompletedTotal[] = "apichecker_serve_completed_total";
+inline constexpr char kServeDeadlineExpiredTotal[] =
+    "apichecker_serve_deadline_expired_total";
+inline constexpr char kServeParseErrorsTotal[] = "apichecker_serve_parse_errors_total";
+inline constexpr char kServeCacheHitsTotal[] = "apichecker_serve_cache_hits_total";
+inline constexpr char kServeCacheMissesTotal[] = "apichecker_serve_cache_misses_total";
+inline constexpr char kServeModelSwapsTotal[] = "apichecker_serve_model_swaps_total";
+inline constexpr char kServeModelVersion[] = "apichecker_serve_model_version";
+inline constexpr char kServeQueueDepth[] = "apichecker_serve_queue_depth";
+inline constexpr char kServeBatchesTotal[] = "apichecker_serve_batches_total";
+inline constexpr char kServeBatchSize[] = "apichecker_serve_batch_size";
+inline constexpr char kServeQueueWaitMs[] = "apichecker_serve_queue_wait_ms";
+inline constexpr char kServeE2eLatencyMs[] = "apichecker_serve_e2e_latency_ms";
+
 }  // namespace apichecker::obs::names
 
 #endif  // APICHECKER_OBS_NAMES_H_

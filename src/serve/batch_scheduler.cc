@@ -1,0 +1,222 @@
+#include "serve/batch_scheduler.h"
+
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <utility>
+
+#include "apk/apk.h"
+#include "market/review_pipeline.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+
+namespace apichecker::serve {
+
+namespace {
+
+double MsSince(Clock::time_point start, Clock::time_point now) {
+  return std::chrono::duration<double, std::milli>(now - start).count();
+}
+
+}  // namespace
+
+BatchScheduler::BatchScheduler(BatchSchedulerConfig config, SubmissionShards& shards,
+                               DigestCache& cache, ServingModel& model,
+                               emu::DeviceFarm& farm, ServiceCounters& counters)
+    : config_(config), shards_(shards), cache_(cache), model_(model), farm_(farm),
+      counters_(counters) {
+  if (config_.batch_size == 0) {
+    config_.batch_size = 1;
+  }
+}
+
+BatchScheduler::~BatchScheduler() {
+  if (thread_.joinable()) {
+    shards_.Close();
+    thread_.join();
+  }
+}
+
+void BatchScheduler::Start() {
+  if (!thread_.joinable()) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+void BatchScheduler::Join() {
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+}
+
+void BatchScheduler::Loop() {
+  for (;;) {
+    std::vector<PendingSubmission> batch;
+    Clock::time_point linger_deadline{};
+    for (;;) {
+      std::chrono::milliseconds timeout = config_.idle_poll;
+      if (!batch.empty()) {
+        const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+            linger_deadline - Clock::now());
+        if (remaining <= std::chrono::milliseconds::zero()) {
+          break;  // Linger expired: flush the partial batch.
+        }
+        timeout = remaining;
+      }
+      std::optional<PendingSubmission> popped = shards_.PopAnyFor(timeout);
+      if (popped) {
+        if (batch.empty()) {
+          linger_deadline = Clock::now() + config_.max_linger;
+        }
+        batch.push_back(std::move(*popped));
+        if (batch.size() >= config_.batch_size) {
+          break;
+        }
+        continue;
+      }
+      if (shards_.closed()) {
+        if (batch.empty()) {
+          return;  // Closed and drained: scheduler exits.
+        }
+        break;  // Closed mid-batch: flush what we have.
+      }
+      if (!batch.empty() && Clock::now() >= linger_deadline) {
+        break;
+      }
+    }
+    if (!batch.empty()) {
+      ExecuteBatch(std::move(batch));
+    }
+  }
+}
+
+void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
+  obs::TraceSpan span("serve.batch");
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  metrics.counter(obs::names::kServeBatchesTotal).Increment();
+  metrics.histogram(obs::names::kServeBatchSize)
+      .Observe(static_cast<double>(batch.size()));
+  metrics.gauge(obs::names::kServeQueueDepth)
+      .Set(static_cast<double>(shards_.ApproxDepth()));
+  counters_.batches.fetch_add(1, std::memory_order_relaxed);
+
+  // One snapshot for the whole batch: a concurrent hot-swap becomes visible
+  // at the next batch boundary, never inside one.
+  const std::shared_ptr<const ModelSnapshot> snapshot = model_.Acquire();
+  const Clock::time_point assembled_at = Clock::now();
+
+  obs::Histogram& queue_wait = metrics.histogram(obs::names::kServeQueueWaitMs);
+  obs::Histogram& e2e = metrics.histogram(obs::names::kServeE2eLatencyMs);
+
+  auto resolve = [&](PendingSubmission& pending, VettingResult result) {
+    result.queue_ms = MsSince(pending.admitted_at, assembled_at);
+    result.total_ms = MsSince(pending.admitted_at, Clock::now());
+    e2e.Observe(result.total_ms);
+    switch (result.status) {
+      case VetStatus::kOk:
+        counters_.completed.fetch_add(1, std::memory_order_relaxed);
+        metrics.counter(obs::names::kServeCompletedTotal).Increment();
+        market::RecordReviewOutcome(result.malicious
+                                        ? market::ReviewOutcome::kRejectedByChecker
+                                        : market::ReviewOutcome::kPublished);
+        break;
+      case VetStatus::kDeadlineExpired:
+        counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        metrics.counter(obs::names::kServeDeadlineExpiredTotal).Increment();
+        break;
+      case VetStatus::kParseError:
+        counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
+        metrics.counter(obs::names::kServeParseErrorsTotal).Increment();
+        break;
+    }
+    pending.promise.set_value(std::move(result));
+  };
+
+  // Triage: expired deadlines and digest-cache hits resolve without touching
+  // an emulator; byte-identical members of the same batch emulate once.
+  struct EmulationSlot {
+    size_t leader;                 // Index into `batch`.
+    std::vector<size_t> followers; // Same digest, resolved off the leader.
+  };
+  std::vector<apk::ApkFile> apks;
+  std::vector<EmulationSlot> slots;
+  std::unordered_map<std::string, size_t> digest_to_slot;
+
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingSubmission& pending = batch[i];
+    queue_wait.Observe(MsSince(pending.admitted_at, assembled_at));
+
+    if (assembled_at >= pending.deadline) {
+      VettingResult result;
+      result.status = VetStatus::kDeadlineExpired;
+      result.model_version = snapshot->version;
+      resolve(pending, std::move(result));
+      continue;
+    }
+
+    if (auto cached = cache_.Get(pending.digest, snapshot->version)) {
+      VettingResult result;
+      result.malicious = cached->malicious;
+      result.score = cached->score;
+      result.from_cache = true;
+      result.model_version = snapshot->version;
+      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      metrics.counter(obs::names::kServeCacheHitsTotal).Increment();
+      resolve(pending, std::move(result));
+      continue;
+    }
+    metrics.counter(obs::names::kServeCacheMissesTotal).Increment();
+
+    if (auto it = digest_to_slot.find(pending.digest); it != digest_to_slot.end()) {
+      slots[it->second].followers.push_back(i);
+      continue;
+    }
+
+    auto parsed = apk::ParseApk(pending.apk_bytes);
+    if (!parsed.ok()) {
+      VettingResult result;
+      result.status = VetStatus::kParseError;
+      result.error = parsed.error();
+      result.model_version = snapshot->version;
+      resolve(pending, std::move(result));
+      continue;
+    }
+    digest_to_slot.emplace(pending.digest, slots.size());
+    slots.push_back({i, {}});
+    apks.push_back(std::move(*parsed));
+  }
+
+  if (apks.empty()) {
+    return;
+  }
+
+  const emu::BatchResult farm_result = farm_.RunBatch(apks, snapshot->tracked);
+
+  for (size_t s = 0; s < slots.size(); ++s) {
+    PendingSubmission& leader = batch[slots[s].leader];
+    const core::ApiChecker::Verdict verdict =
+        snapshot->checker.Classify(farm_result.reports[s]);
+    cache_.Put(leader.digest,
+               {snapshot->version, verdict.malicious, verdict.score});
+
+    VettingResult result;
+    result.malicious = verdict.malicious;
+    result.score = verdict.score;
+    result.model_version = snapshot->version;
+    resolve(leader, std::move(result));
+
+    for (size_t follower_idx : slots[s].followers) {
+      VettingResult dup;
+      dup.malicious = verdict.malicious;
+      dup.score = verdict.score;
+      dup.from_cache = true;  // Emulation skipped via in-batch dedup.
+      dup.model_version = snapshot->version;
+      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+      metrics.counter(obs::names::kServeCacheHitsTotal).Increment();
+      resolve(batch[follower_idx], std::move(dup));
+    }
+  }
+}
+
+}  // namespace apichecker::serve

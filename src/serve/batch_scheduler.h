@@ -1,0 +1,70 @@
+// Batch scheduler: drains the sharded submission queues into DeviceFarm-sized
+// batches and drives each batch through parse -> emulate -> classify ->
+// cache-fill. Flushes on batch-full OR when the oldest queued member has
+// lingered past max_linger — the classic throughput/latency coalescing
+// trade-off (a full farm batch keeps all emulators busy; the linger cap keeps
+// a trickle of submissions from waiting forever). Acquires one model snapshot
+// per batch, so hot-swaps take effect at the next batch boundary and a batch
+// is never classified by two different models.
+
+#ifndef APICHECKER_SERVE_BATCH_SCHEDULER_H_
+#define APICHECKER_SERVE_BATCH_SCHEDULER_H_
+
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "emu/farm.h"
+#include "serve/digest_cache.h"
+#include "serve/serving_model.h"
+#include "serve/submission_shards.h"
+#include "serve/types.h"
+
+namespace apichecker::serve {
+
+struct BatchSchedulerConfig {
+  // Target batch size; defaults to one submission per farm emulator.
+  size_t batch_size = 16;
+  // Max time the oldest batch member may wait before a partial flush.
+  std::chrono::milliseconds max_linger{20};
+  // Poll granularity while the batch is empty (bounds shutdown latency).
+  std::chrono::milliseconds idle_poll{50};
+};
+
+class BatchScheduler {
+ public:
+  BatchScheduler(BatchSchedulerConfig config, SubmissionShards& shards,
+                 DigestCache& cache, ServingModel& model, emu::DeviceFarm& farm,
+                 ServiceCounters& counters);
+  ~BatchScheduler();
+
+  BatchScheduler(const BatchScheduler&) = delete;
+  BatchScheduler& operator=(const BatchScheduler&) = delete;
+
+  // Idempotent. The scheduler thread runs until the shards are closed and
+  // drained.
+  void Start();
+
+  // Joins the scheduler thread; every queued submission is resolved first
+  // (the shards must already be closed, or this blocks until they are).
+  void Join();
+
+  bool running() const { return thread_.joinable(); }
+
+ private:
+  void Loop();
+  void ExecuteBatch(std::vector<PendingSubmission> batch);
+
+  BatchSchedulerConfig config_;
+  SubmissionShards& shards_;
+  DigestCache& cache_;
+  ServingModel& model_;
+  emu::DeviceFarm& farm_;
+  ServiceCounters& counters_;
+  std::thread thread_;
+};
+
+}  // namespace apichecker::serve
+
+#endif  // APICHECKER_SERVE_BATCH_SCHEDULER_H_

@@ -1,0 +1,74 @@
+#include "serve/digest_cache.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace apichecker::serve {
+
+DigestCache::DigestCache(size_t capacity, size_t num_shards)
+    : capacity_(std::max<size_t>(1, capacity)),
+      per_shard_capacity_(std::max<size_t>(
+          1, (capacity_ + std::max<size_t>(1, num_shards) - 1) /
+                 std::max<size_t>(1, num_shards))),
+      num_shards_(std::max<size_t>(1, num_shards)),
+      shards_(std::make_unique<Shard[]>(std::max<size_t>(1, num_shards))) {}
+
+DigestCache::Shard& DigestCache::ShardFor(const std::string& digest) {
+  return shards_[std::hash<std::string>{}(digest) % num_shards_];
+}
+
+std::optional<CachedVerdict> DigestCache::Get(const std::string& digest,
+                                              uint32_t model_version) {
+  Shard& shard = ShardFor(digest);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(digest);
+  if (it == shard.index.end()) {
+    return std::nullopt;
+  }
+  if (it->second->second.model_version != model_version) {
+    // Verdict from a superseded model: drop it so the slot can be reused.
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return std::nullopt;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  return it->second->second;
+}
+
+void DigestCache::Put(const std::string& digest, const CachedVerdict& verdict) {
+  Shard& shard = ShardFor(digest);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(digest);
+  if (it != shard.index.end()) {
+    it->second->second = verdict;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    return;
+  }
+  if (shard.lru.size() >= per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    ++shard.evictions;
+  }
+  shard.lru.emplace_front(digest, verdict);
+  shard.index.emplace(digest, shard.lru.begin());
+}
+
+size_t DigestCache::size() const {
+  size_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].lru.size();
+  }
+  return total;
+}
+
+uint64_t DigestCache::evictions() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < num_shards_; ++i) {
+    std::lock_guard<std::mutex> lock(shards_[i].mu);
+    total += shards_[i].evictions;
+  }
+  return total;
+}
+
+}  // namespace apichecker::serve

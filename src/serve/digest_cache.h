@@ -1,0 +1,67 @@
+// Sharded LRU verdict cache keyed by the SHA-1 of the submitted APK bytes.
+// Markets see heavy byte-identical resubmission traffic (re-uploads, cloned
+// listings, semantically identical repacks — see "On Impact of Semantically
+// Similar Apps in Android Malware Datasets"); a digest hit skips emulation
+// entirely, which is the single biggest per-submission saving the serving
+// layer has. Entries are stamped with the serving-model version that produced
+// them so a hot-swap implicitly invalidates stale verdicts.
+
+#ifndef APICHECKER_SERVE_DIGEST_CACHE_H_
+#define APICHECKER_SERVE_DIGEST_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace apichecker::serve {
+
+struct CachedVerdict {
+  uint32_t model_version = 0;
+  bool malicious = false;
+  double score = 0.0;
+};
+
+class DigestCache {
+ public:
+  // `capacity` is the total entry budget, split evenly across `num_shards`
+  // independently locked LRU shards.
+  explicit DigestCache(size_t capacity, size_t num_shards = 8);
+
+  // Hit only when the entry exists AND was produced by `model_version`
+  // (stale-model entries are evicted on sight). Refreshes LRU order.
+  std::optional<CachedVerdict> Get(const std::string& digest, uint32_t model_version);
+
+  // Insert-or-overwrite; evicts the shard's least-recently-used entry at
+  // capacity.
+  void Put(const std::string& digest, const CachedVerdict& verdict);
+
+  size_t size() const;
+  uint64_t evictions() const;
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    // Most-recently-used at the front.
+    std::list<std::pair<std::string, CachedVerdict>> lru;
+    std::unordered_map<std::string,
+                       std::list<std::pair<std::string, CachedVerdict>>::iterator>
+        index;
+    uint64_t evictions = 0;
+  };
+
+  Shard& ShardFor(const std::string& digest);
+
+  const size_t capacity_;
+  const size_t per_shard_capacity_;
+  const size_t num_shards_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace apichecker::serve
+
+#endif  // APICHECKER_SERVE_DIGEST_CACHE_H_

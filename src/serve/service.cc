@@ -1,0 +1,134 @@
+#include "serve/service.h"
+
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/logging.h"
+#include "util/sha1.h"
+
+namespace apichecker::serve {
+
+namespace {
+
+BatchSchedulerConfig ResolveSchedulerConfig(const ServiceConfig& config) {
+  BatchSchedulerConfig resolved = config.scheduler;
+  if (resolved.batch_size == 0) {
+    resolved.batch_size = std::max<size_t>(1, config.farm.num_emulators);
+  }
+  return resolved;
+}
+
+}  // namespace
+
+VettingService::VettingService(const android::ApiUniverse& universe,
+                               ServiceConfig config, core::ApiChecker initial_model)
+    : universe_(universe),
+      config_(config),
+      cache_(config.cache_capacity),
+      model_(std::move(initial_model)),
+      farm_(universe, config.farm),
+      shards_(config.num_shards, config.shard_capacity),
+      scheduler_(ResolveSchedulerConfig(config), shards_, cache_, model_, farm_,
+                 counters_) {
+  if (!config_.start_paused) {
+    scheduler_.Start();
+  }
+}
+
+VettingService::~VettingService() { Shutdown(); }
+
+void VettingService::Start() { scheduler_.Start(); }
+
+util::Result<std::future<VettingResult>> VettingService::Submit(Submission submission) {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  counters_.submitted.fetch_add(1, std::memory_order_relaxed);
+  metrics.counter(obs::names::kServeSubmissionsTotal).Increment();
+
+  if (shut_down_.load(std::memory_order_acquire)) {
+    counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+    metrics.counter(obs::names::kServeRejectedTotal).Increment();
+    return util::Err("service is shut down");
+  }
+
+  PendingSubmission pending;
+  pending.id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  pending.digest = util::Sha1Hex(submission.apk_bytes);
+  pending.apk_bytes = std::move(submission.apk_bytes);
+  pending.priority = submission.priority;
+  pending.admitted_at = Clock::now();
+  pending.deadline = submission.deadline.count() > 0
+                         ? pending.admitted_at + submission.deadline
+                         : Clock::time_point::max();
+  std::future<VettingResult> future = pending.promise.get_future();
+
+  switch (shards_.TryPush(std::move(pending))) {
+    case AdmissionOutcome::kAccepted:
+      counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+      metrics.counter(obs::names::kServeAcceptedTotal).Increment();
+      metrics.gauge(obs::names::kServeQueueDepth)
+          .Set(static_cast<double>(shards_.ApproxDepth()));
+      return future;
+    case AdmissionOutcome::kQueueFull:
+      counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+      metrics.counter(obs::names::kServeRejectedTotal).Increment();
+      return util::Err("admission queue full");
+    case AdmissionOutcome::kClosed:
+      break;
+  }
+  counters_.rejected.fetch_add(1, std::memory_order_relaxed);
+  metrics.counter(obs::names::kServeRejectedTotal).Increment();
+  return util::Err("service is shut down");
+}
+
+void VettingService::Shutdown() {
+  if (shut_down_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  // Scheduler must be running to drain whatever is queued (covers the
+  // start_paused case where Start() was never called).
+  scheduler_.Start();
+  shards_.Close();
+  scheduler_.Join();
+  APICHECKER_SLOG(Info, "serve.drained")
+      .With("accepted", counters_.accepted.load())
+      .With("resolved", counters_.resolved());
+}
+
+uint32_t VettingService::SwapModel(core::ApiChecker next) {
+  counters_.model_swaps.fetch_add(1, std::memory_order_relaxed);
+  return model_.Swap(std::move(next));
+}
+
+util::Result<uint32_t> VettingService::SwapModelFromBlob(std::span<const uint8_t> blob) {
+  auto version = model_.SwapFromBlob(universe_, blob);
+  if (version.ok()) {
+    counters_.model_swaps.fetch_add(1, std::memory_order_relaxed);
+  }
+  return version;
+}
+
+void VettingService::AttachToRegistry(market::ModelRegistry& registry) {
+  registry.SetPromotionListener([this](const market::ModelRecord& record) {
+    auto swapped = SwapModelFromBlob(record.blob);
+    if (!swapped.ok()) {
+      APICHECKER_LOG(Error) << "registry promotion not deployed: " << swapped.error();
+    }
+  });
+}
+
+ServiceStats VettingService::stats() const {
+  ServiceStats stats;
+  stats.submitted = counters_.submitted.load(std::memory_order_relaxed);
+  stats.accepted = counters_.accepted.load(std::memory_order_relaxed);
+  stats.rejected = counters_.rejected.load(std::memory_order_relaxed);
+  stats.completed = counters_.completed.load(std::memory_order_relaxed);
+  stats.deadline_expired = counters_.deadline_expired.load(std::memory_order_relaxed);
+  stats.parse_errors = counters_.parse_errors.load(std::memory_order_relaxed);
+  stats.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  stats.model_swaps = counters_.model_swaps.load(std::memory_order_relaxed);
+  stats.batches = counters_.batches.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace apichecker::serve

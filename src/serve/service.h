@@ -1,0 +1,105 @@
+// VettingService: the online serving facade over the whole pipeline. Accepts
+// a stream of APK submissions (the paper's production reality: T-Market
+// pushes ~10K APKs/day through APICHECKER and swaps the model monthly with
+// zero downtime, §5), applies admission control on sharded bounded queues,
+// resolves byte-identical resubmissions from the digest cache, coalesces the
+// rest into device-farm batches, and classifies against an RCU-hot-swappable
+// model snapshot.
+//
+// Invariants:
+//  * Backpressure, not OOM — a full shard rejects at Submit() with a Result
+//    error; accepted work is bounded by num_shards * shard_capacity.
+//  * No lost submissions — after Shutdown(), accepted == completed +
+//    deadline_expired + parse_errors.
+//  * No torn models — each batch classifies under exactly one ModelSnapshot;
+//    swaps publish atomically and in-flight batches pin the old snapshot.
+
+#ifndef APICHECKER_SERVE_SERVICE_H_
+#define APICHECKER_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <memory>
+#include <span>
+
+#include "core/checker.h"
+#include "emu/farm.h"
+#include "market/model_registry.h"
+#include "serve/batch_scheduler.h"
+#include "serve/digest_cache.h"
+#include "serve/serving_model.h"
+#include "serve/submission_shards.h"
+#include "serve/types.h"
+#include "util/result.h"
+
+namespace apichecker::serve {
+
+struct ServiceConfig {
+  size_t num_shards = 4;
+  size_t shard_capacity = 256;   // Bounded admission: max queued per shard.
+  size_t cache_capacity = 8192;  // Digest-cache entries.
+  emu::FarmConfig farm;          // batch_size defaults to farm.num_emulators.
+  BatchSchedulerConfig scheduler;
+  // When true the scheduler thread is not started; submissions queue up until
+  // Start() — the drain-control switch (and how tests fill queues
+  // deterministically).
+  bool start_paused = false;
+};
+
+class VettingService {
+ public:
+  // `initial_model` must be trained; it is published as model version 1.
+  VettingService(const android::ApiUniverse& universe, ServiceConfig config,
+                 core::ApiChecker initial_model);
+  ~VettingService();
+
+  VettingService(const VettingService&) = delete;
+  VettingService& operator=(const VettingService&) = delete;
+
+  // Admission: digest the bytes, enqueue onto the digest's shard. Errors:
+  // "admission queue full" (backpressure) or "service is shut down". The
+  // future resolves when the submission is classified, expires, or fails to
+  // parse — never silently dropped.
+  util::Result<std::future<VettingResult>> Submit(Submission submission);
+
+  // Starts the scheduler if start_paused was set. Idempotent.
+  void Start();
+
+  // Closes admission, drains every queued submission, joins the scheduler.
+  // Idempotent; the destructor calls it.
+  void Shutdown();
+
+  // Hot-swap: publishes a new model; in-flight batches finish on the old
+  // snapshot. Returns the new version.
+  uint32_t SwapModel(core::ApiChecker next);
+  // Same, from a core/model_store blob (what market::ModelRegistry archives).
+  util::Result<uint32_t> SwapModelFromBlob(std::span<const uint8_t> blob);
+
+  // Wires the registry's promotion event to SwapModelFromBlob, so a model
+  // promoted by the monthly evolution loop goes live here without a restart.
+  // The registry must outlive this service or be detached first.
+  void AttachToRegistry(market::ModelRegistry& registry);
+
+  ServiceStats stats() const;
+  uint32_t model_version() const { return model_.version(); }
+  size_t queue_depth() const { return shards_.ApproxDepth(); }
+  const ServiceConfig& config() const { return config_; }
+  const DigestCache& cache() const { return cache_; }
+
+ private:
+  const android::ApiUniverse& universe_;
+  ServiceConfig config_;
+  ServiceCounters counters_;
+  DigestCache cache_;
+  ServingModel model_;
+  emu::DeviceFarm farm_;
+  SubmissionShards shards_;
+  BatchScheduler scheduler_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<bool> shut_down_{false};
+};
+
+}  // namespace apichecker::serve
+
+#endif  // APICHECKER_SERVE_SERVICE_H_

@@ -1,0 +1,47 @@
+#include "serve/serving_model.h"
+
+#include <utility>
+
+#include "core/model_store.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace apichecker::serve {
+
+ServingModel::ServingModel(core::ApiChecker initial) {
+  current_ = std::make_shared<const ModelSnapshot>(1, std::move(initial));
+  version_.store(1, std::memory_order_release);
+  obs::MetricsRegistry::Default().gauge(obs::names::kServeModelVersion).Set(1.0);
+}
+
+std::shared_ptr<const ModelSnapshot> ServingModel::Acquire() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+uint32_t ServingModel::Swap(core::ApiChecker next) {
+  std::shared_ptr<const ModelSnapshot> fresh;
+  uint32_t version;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    version = version_.load(std::memory_order_relaxed) + 1;
+    fresh = std::make_shared<const ModelSnapshot>(version, std::move(next));
+    current_ = std::move(fresh);
+    version_.store(version, std::memory_order_release);
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  metrics.counter(obs::names::kServeModelSwapsTotal).Increment();
+  metrics.gauge(obs::names::kServeModelVersion).Set(static_cast<double>(version));
+  return version;
+}
+
+util::Result<uint32_t> ServingModel::SwapFromBlob(const android::ApiUniverse& universe,
+                                                  std::span<const uint8_t> blob) {
+  auto checker = core::DeserializeChecker(universe, blob);
+  if (!checker.ok()) {
+    return util::Err("serving model swap rejected: " + checker.error());
+  }
+  return Swap(std::move(*checker));
+}
+
+}  // namespace apichecker::serve

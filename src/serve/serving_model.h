@@ -1,0 +1,66 @@
+// RCU-style hot-swappable model handle. The paper replaces the production
+// model monthly without stopping the vetting service (§5.3); here a swap
+// atomically publishes a new immutable ModelSnapshot (checker + its tracked
+// hook set + version) while any in-flight batch keeps classifying against the
+// snapshot it acquired — readers pin their snapshot with a shared_ptr, so the
+// old model is destroyed only after its last batch finishes. Verdicts are
+// therefore never torn between two models.
+
+#ifndef APICHECKER_SERVE_SERVING_MODEL_H_
+#define APICHECKER_SERVE_SERVING_MODEL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+
+#include "core/checker.h"
+#include "emu/engine.h"
+#include "util/result.h"
+
+namespace apichecker::serve {
+
+// Immutable once published. The tracked set is derived at swap time so the
+// emulators always hook exactly what the classifying model was trained on.
+struct ModelSnapshot {
+  uint32_t version = 0;
+  core::ApiChecker checker;
+  emu::TrackedApiSet tracked;
+
+  ModelSnapshot(uint32_t v, core::ApiChecker c)
+      : version(v), checker(std::move(c)), tracked(checker.MakeTrackedSet()) {}
+};
+
+class ServingModel {
+ public:
+  // The initial model is published as version 1.
+  explicit ServingModel(core::ApiChecker initial);
+
+  ServingModel(const ServingModel&) = delete;
+  ServingModel& operator=(const ServingModel&) = delete;
+
+  // Cheap (one mutex-guarded shared_ptr copy). The returned snapshot stays
+  // valid for as long as the caller holds it, across any number of swaps.
+  std::shared_ptr<const ModelSnapshot> Acquire() const;
+
+  // Publishes `next` as the new production model; returns its version.
+  // In-flight readers keep their old snapshot.
+  uint32_t Swap(core::ApiChecker next);
+
+  // Restores a checker from a model-store blob (core/model_store format, the
+  // same bytes market::ModelRegistry archives) and swaps it in.
+  util::Result<uint32_t> SwapFromBlob(const android::ApiUniverse& universe,
+                                      std::span<const uint8_t> blob);
+
+  uint32_t version() const { return version_.load(std::memory_order_acquire); }
+
+ private:
+  mutable std::mutex mu_;
+  std::shared_ptr<const ModelSnapshot> current_;
+  std::atomic<uint32_t> version_{0};
+};
+
+}  // namespace apichecker::serve
+
+#endif  // APICHECKER_SERVE_SERVING_MODEL_H_

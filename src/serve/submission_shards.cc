@@ -1,0 +1,106 @@
+#include "serve/submission_shards.h"
+
+#include <algorithm>
+#include <functional>
+
+namespace apichecker::serve {
+
+SubmissionShards::SubmissionShards(size_t num_shards, size_t per_shard_capacity)
+    : per_shard_capacity_(std::max<size_t>(1, per_shard_capacity)) {
+  shards_.reserve(std::max<size_t>(1, num_shards));
+  for (size_t i = 0; i < std::max<size_t>(1, num_shards); ++i) {
+    shards_.push_back(
+        std::make_unique<util::BoundedQueue<PendingSubmission>>(per_shard_capacity_));
+  }
+}
+
+size_t SubmissionShards::ShardIndexFor(const PendingSubmission& pending) const {
+  return std::hash<std::string>{}(pending.digest) % shards_.size();
+}
+
+AdmissionOutcome SubmissionShards::TryPush(PendingSubmission pending) {
+  {
+    std::lock_guard<std::mutex> lock(signal_mu_);
+    if (closed_) {
+      return AdmissionOutcome::kClosed;
+    }
+  }
+  const size_t shard = ShardIndexFor(pending);
+  const bool urgent = pending.priority > 0;
+  if (!shards_[shard]->TryPush(std::move(pending), urgent)) {
+    return shards_[shard]->closed() ? AdmissionOutcome::kClosed
+                                    : AdmissionOutcome::kQueueFull;
+  }
+  {
+    std::lock_guard<std::mutex> lock(signal_mu_);
+    ++pushes_;
+  }
+  signal_cv_.notify_one();
+  return AdmissionOutcome::kAccepted;
+}
+
+std::optional<PendingSubmission> SubmissionShards::TryPopAny() {
+  size_t start;
+  {
+    std::lock_guard<std::mutex> lock(signal_mu_);
+    start = cursor_;
+    cursor_ = (cursor_ + 1) % shards_.size();
+  }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    if (auto pending = shards_[(start + i) % shards_.size()]->TryPop()) {
+      return pending;
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<PendingSubmission> SubmissionShards::PopAnyFor(
+    std::chrono::milliseconds timeout) {
+  const auto deadline = Clock::now() + timeout;
+  for (;;) {
+    // Read the push counter BEFORE sweeping: a push that lands mid-sweep
+    // changes the counter, so the wait below wakes instead of stalling.
+    uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lock(signal_mu_);
+      seen = pushes_;
+    }
+    if (auto pending = TryPopAny()) {
+      return pending;
+    }
+    std::unique_lock<std::mutex> lock(signal_mu_);
+    if (closed_ && pushes_ == seen) {
+      return std::nullopt;  // Closed and the sweep found nothing: drained.
+    }
+    if (!signal_cv_.wait_until(lock, deadline,
+                               [&] { return pushes_ != seen || closed_; })) {
+      return std::nullopt;  // Timed out.
+    }
+  }
+}
+
+void SubmissionShards::Close() {
+  {
+    std::lock_guard<std::mutex> lock(signal_mu_);
+    closed_ = true;
+  }
+  for (auto& shard : shards_) {
+    shard->Close();
+  }
+  signal_cv_.notify_all();
+}
+
+bool SubmissionShards::closed() const {
+  std::lock_guard<std::mutex> lock(signal_mu_);
+  return closed_;
+}
+
+size_t SubmissionShards::ApproxDepth() const {
+  size_t depth = 0;
+  for (const auto& shard : shards_) {
+    depth += shard->size();
+  }
+  return depth;
+}
+
+}  // namespace apichecker::serve

@@ -1,0 +1,73 @@
+// N sharded, bounded MPMC submission queues with admission control. Producers
+// hash a submission's content digest onto a shard (byte-identical resubmits
+// land on the same shard, keeping shard load balanced under clone-heavy
+// traffic) and TryPush — a full shard rejects the submission outright, which
+// is the service's backpressure contract: bounded memory, explicit errors,
+// never OOM. Priority submissions jump their shard's line. The consumer side
+// is a cross-shard timed pop the batch scheduler uses to assemble batches.
+
+#ifndef APICHECKER_SERVE_SUBMISSION_SHARDS_H_
+#define APICHECKER_SERVE_SUBMISSION_SHARDS_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "serve/types.h"
+#include "util/bounded_queue.h"
+
+namespace apichecker::serve {
+
+enum class AdmissionOutcome : uint8_t {
+  kAccepted = 0,
+  kQueueFull = 1,  // Shard at capacity — backpressure.
+  kClosed = 2,     // Service shutting down.
+};
+
+class SubmissionShards {
+ public:
+  SubmissionShards(size_t num_shards, size_t per_shard_capacity);
+
+  // Routes by digest hash; priority > 0 pushes to the shard's front.
+  AdmissionOutcome TryPush(PendingSubmission pending);
+
+  // Pops from any shard (round-robin sweep from a rotating cursor, so no
+  // shard starves). Blocks up to `timeout` when everything is empty; nullopt
+  // on timeout or when closed and fully drained.
+  std::optional<PendingSubmission> PopAnyFor(std::chrono::milliseconds timeout);
+
+  // Non-blocking variant of PopAnyFor.
+  std::optional<PendingSubmission> TryPopAny();
+
+  // Idempotent: fails further pushes, wakes consumers, lets pops drain.
+  void Close();
+  bool closed() const;
+
+  // Total queued across shards (approximate under concurrency).
+  size_t ApproxDepth() const;
+
+  size_t num_shards() const { return shards_.size(); }
+  size_t per_shard_capacity() const { return per_shard_capacity_; }
+
+ private:
+  size_t ShardIndexFor(const PendingSubmission& pending) const;
+
+  std::vector<std::unique_ptr<util::BoundedQueue<PendingSubmission>>> shards_;
+  const size_t per_shard_capacity_;
+
+  // Consumer wakeup: pushes bump `pushes_` so a sweeping consumer can sleep
+  // without missing a submission that lands mid-sweep.
+  mutable std::mutex signal_mu_;
+  std::condition_variable signal_cv_;
+  uint64_t pushes_ = 0;
+  bool closed_ = false;
+  size_t cursor_ = 0;  // Guarded by signal_mu_; rotates the sweep start.
+};
+
+}  // namespace apichecker::serve
+
+#endif  // APICHECKER_SERVE_SUBMISSION_SHARDS_H_

@@ -1,0 +1,112 @@
+// Shared types of the online vetting service: the submission request, the
+// resolved vetting result, the in-queue pending record, and the counter block
+// every stage reports into. The service models the paper's production loop —
+// T-Market submits ~10K APKs/day and expects verdicts back within the hour
+// (§5) — as an in-process request/response system with explicit backpressure.
+
+#ifndef APICHECKER_SERVE_TYPES_H_
+#define APICHECKER_SERVE_TYPES_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <future>
+#include <string>
+#include <vector>
+
+namespace apichecker::serve {
+
+using Clock = std::chrono::steady_clock;
+
+// One vetting request: the raw APK archive as uploaded by a developer.
+struct Submission {
+  std::vector<uint8_t> apk_bytes;
+  // Submissions with priority > 0 jump their shard's queue (the market's
+  // "expedited re-review" lane).
+  int priority = 0;
+  // Relative deadline; zero means no deadline. Expired submissions resolve
+  // with kDeadlineExpired instead of occupying an emulator.
+  std::chrono::milliseconds deadline{0};
+};
+
+enum class VetStatus : uint8_t {
+  kOk = 0,               // Classified (fresh emulation or digest-cache hit).
+  kDeadlineExpired = 1,  // Deadline passed before an emulator picked it up.
+  kParseError = 2,       // Not a valid APK archive.
+};
+
+inline const char* VetStatusName(VetStatus status) {
+  switch (status) {
+    case VetStatus::kOk:
+      return "ok";
+    case VetStatus::kDeadlineExpired:
+      return "deadline_expired";
+    case VetStatus::kParseError:
+      return "parse_error";
+  }
+  return "unknown";
+}
+
+// The resolved outcome delivered through the future returned by Submit().
+struct VettingResult {
+  VetStatus status = VetStatus::kOk;
+  bool malicious = false;
+  double score = 0.0;
+  bool from_cache = false;      // Digest cache hit — emulation was skipped.
+  uint32_t model_version = 0;   // Serving-model snapshot that classified it.
+  double queue_ms = 0.0;        // Admission -> batch assembly.
+  double total_ms = 0.0;        // Admission -> resolution.
+  std::string error;            // Parse-error message when kParseError.
+};
+
+// Internal record travelling from admission through the sharded queues to the
+// batch scheduler. Move-only (owns the promise).
+struct PendingSubmission {
+  uint64_t id = 0;
+  std::string digest;             // SHA-1 hex of apk_bytes.
+  std::vector<uint8_t> apk_bytes;
+  int priority = 0;
+  Clock::time_point admitted_at;
+  Clock::time_point deadline;     // Clock::time_point::max() = none.
+  std::promise<VettingResult> promise;
+};
+
+// Lifecycle accounting shared by admission, scheduler, and cache. The serving
+// invariant — no lost submissions — is `accepted == resolved` after a drain,
+// where resolved = completed + deadline_expired + parse_errors.
+struct ServiceCounters {
+  std::atomic<uint64_t> submitted{0};
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};          // Admission-control rejections.
+  std::atomic<uint64_t> completed{0};         // kOk results (incl. cache hits).
+  std::atomic<uint64_t> deadline_expired{0};
+  std::atomic<uint64_t> parse_errors{0};
+  std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> model_swaps{0};
+  std::atomic<uint64_t> batches{0};
+
+  uint64_t resolved() const {
+    return completed.load(std::memory_order_relaxed) +
+           deadline_expired.load(std::memory_order_relaxed) +
+           parse_errors.load(std::memory_order_relaxed);
+  }
+};
+
+// Value copy of the counters for callers.
+struct ServiceStats {
+  uint64_t submitted = 0;
+  uint64_t accepted = 0;
+  uint64_t rejected = 0;
+  uint64_t completed = 0;
+  uint64_t deadline_expired = 0;
+  uint64_t parse_errors = 0;
+  uint64_t cache_hits = 0;
+  uint64_t model_swaps = 0;
+  uint64_t batches = 0;
+
+  uint64_t resolved() const { return completed + deadline_expired + parse_errors; }
+};
+
+}  // namespace apichecker::serve
+
+#endif  // APICHECKER_SERVE_TYPES_H_

@@ -1,0 +1,136 @@
+// Capacity-bounded MPMC queue (mutex + condition variables) with close
+// semantics: the serving layer's admission-control primitive. TryPush gives
+// producers a non-blocking rejection path (backpressure instead of unbounded
+// growth), Close() wakes every waiter, fails further pushes, and lets
+// consumers drain what is already queued. `front` pushes jump the line — the
+// priority lane for urgent submissions.
+
+#ifndef APICHECKER_UTIL_BOUNDED_QUEUE_H_
+#define APICHECKER_UTIL_BOUNDED_QUEUE_H_
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+namespace apichecker::util {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  // Non-blocking. Returns false when the queue is full or closed.
+  bool TryPush(T value, bool front = false) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) {
+        return false;
+      }
+      if (front) {
+        items_.push_front(std::move(value));
+      } else {
+        items_.push_back(std::move(value));
+      }
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks while full. Returns false if the queue was (or becomes) closed.
+  bool Push(T value, bool front = false) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) {
+        return false;
+      }
+      if (front) {
+        items_.push_front(std::move(value));
+      } else {
+        items_.push_back(std::move(value));
+      }
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  // Blocks until an item arrives or the queue is closed and drained.
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  std::optional<T> TryPop() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (items_.empty()) {
+      return std::nullopt;
+    }
+    return PopUnconditionallyLocked();
+  }
+
+  // Blocks up to `timeout`; nullopt on timeout or on closed-and-drained.
+  template <typename Rep, typename Period>
+  std::optional<T> PopFor(std::chrono::duration<Rep, Period> timeout) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait_for(lock, timeout, [this] { return closed_ || !items_.empty(); });
+    return PopLocked();
+  }
+
+  // Idempotent. Further pushes fail; pops drain the remaining items.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  // Both helpers require mu_ held.
+  std::optional<T> PopLocked() {
+    if (items_.empty()) {
+      return std::nullopt;  // Closed and drained (or timed out).
+    }
+    return PopUnconditionallyLocked();
+  }
+
+  std::optional<T> PopUnconditionallyLocked() {
+    std::optional<T> value(std::move(items_.front()));
+    items_.pop_front();
+    not_full_.notify_one();
+    return value;
+  }
+
+  mutable std::mutex mu_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  const size_t capacity_;
+  bool closed_ = false;
+};
+
+}  // namespace apichecker::util
+
+#endif  // APICHECKER_UTIL_BOUNDED_QUEUE_H_

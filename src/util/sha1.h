@@ -1,0 +1,26 @@
+// Hand-rolled SHA-1 (FIPS 180-1), dependency-free. The serving layer keys its
+// digest cache on the SHA-1 of the raw submitted APK bytes — the role the
+// paper's MD5 content hash plays in §4.1 (same package + different digest is
+// a different app; same digest is a resubmission and can skip re-analysis).
+// Not a security boundary here: collisions only cost a stale cache entry.
+
+#ifndef APICHECKER_UTIL_SHA1_H_
+#define APICHECKER_UTIL_SHA1_H_
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace apichecker::util {
+
+inline constexpr size_t kSha1DigestSize = 20;
+
+std::array<uint8_t, kSha1DigestSize> Sha1(std::span<const uint8_t> data);
+
+// 40 lowercase hex characters.
+std::string Sha1Hex(std::span<const uint8_t> data);
+
+}  // namespace apichecker::util
+
+#endif  // APICHECKER_UTIL_SHA1_H_

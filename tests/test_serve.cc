@@ -1,0 +1,375 @@
+// Unit tests for src/serve: digest cache, serving-model hot swap, admission
+// control / backpressure, deadline expiry, cache-hit emulation skipping, the
+// no-lost-submissions invariant, and hot-swap-under-load consistency. The
+// concurrency-heavy tests double as the ASan/TSan targets in tools/ci.sh.
+
+#include <atomic>
+#include <chrono>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/model_store.h"
+#include "core/study.h"
+#include "market/model_registry.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "serve/digest_cache.h"
+#include "serve/service.h"
+#include "serve/serving_model.h"
+#include "synth/corpus.h"
+
+namespace apichecker::serve {
+namespace {
+
+const android::ApiUniverse& TestUniverse() {
+  static const android::ApiUniverse universe = [] {
+    android::UniverseConfig config;
+    config.num_apis = 6'000;
+    return android::ApiUniverse::Generate(config);
+  }();
+  return universe;
+}
+
+// One small model trained once and round-tripped through the model store, so
+// every test gets an identical, independently owned checker.
+const std::vector<uint8_t>& TrainedBlob() {
+  static const std::vector<uint8_t> blob = [] {
+    synth::CorpusConfig corpus_config;
+    synth::CorpusGenerator generator(TestUniverse(), corpus_config);
+    core::StudyConfig study_config;
+    study_config.num_apps = 1'200;
+    const core::StudyDataset study =
+        core::RunStudy(TestUniverse(), generator, study_config);
+    core::ApiChecker checker(TestUniverse(), {});
+    checker.TrainFromStudy(study);
+    return core::SerializeChecker(checker);
+  }();
+  return blob;
+}
+
+core::ApiChecker TrainedChecker() {
+  auto checker = core::DeserializeChecker(TestUniverse(), TrainedBlob());
+  EXPECT_TRUE(checker.ok());
+  return std::move(*checker);
+}
+
+std::vector<uint8_t> MakeApkBytes(uint64_t seed) {
+  synth::CorpusConfig config;
+  config.seed = seed;
+  config.update_fraction = 0.0;  // Fresh packages only: distinct bytes.
+  synth::CorpusGenerator generator(TestUniverse(), config);
+  return synth::BuildApkBytes(generator.Next(), TestUniverse());
+}
+
+Submission MakeSubmission(std::vector<uint8_t> bytes, int priority = 0,
+                          std::chrono::milliseconds deadline = {}) {
+  Submission submission;
+  submission.apk_bytes = std::move(bytes);
+  submission.priority = priority;
+  submission.deadline = deadline;
+  return submission;
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Default().counter(name).value();
+}
+
+ServiceConfig SmallConfig() {
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.shard_capacity = 64;
+  config.farm.num_emulators = 4;
+  config.farm.worker_threads = 2;
+  config.scheduler.batch_size = 4;
+  config.scheduler.max_linger = std::chrono::milliseconds(5);
+  return config;
+}
+
+TEST(DigestCache, LruEvictsOldestWithinShard) {
+  DigestCache cache(4, /*num_shards=*/1);
+  for (int i = 0; i < 4; ++i) {
+    cache.Put("digest" + std::to_string(i), {1, false, 0.1});
+  }
+  EXPECT_EQ(cache.size(), 4u);
+  ASSERT_TRUE(cache.Get("digest0", 1).has_value());  // Refresh digest0.
+  cache.Put("digest4", {1, true, 0.9});              // Evicts digest1 (LRU).
+  EXPECT_EQ(cache.size(), 4u);
+  EXPECT_EQ(cache.evictions(), 1u);
+  EXPECT_TRUE(cache.Get("digest0", 1).has_value());
+  EXPECT_FALSE(cache.Get("digest1", 1).has_value());
+  EXPECT_TRUE(cache.Get("digest4", 1)->malicious);
+}
+
+TEST(DigestCache, StaleModelVersionIsAMissAndEvicted) {
+  DigestCache cache(8);
+  cache.Put("d", {1, true, 0.8});
+  EXPECT_TRUE(cache.Get("d", 1).has_value());
+  EXPECT_FALSE(cache.Get("d", 2).has_value());  // Hot swap happened.
+  EXPECT_EQ(cache.size(), 0u);                  // Stale entry dropped.
+}
+
+TEST(ServingModel, SwapPublishesNewVersionWhileReadersKeepTheirSnapshot) {
+  ServingModel model(TrainedChecker());
+  EXPECT_EQ(model.version(), 1u);
+  auto pinned = model.Acquire();
+  EXPECT_EQ(pinned->version, 1u);
+  EXPECT_EQ(model.Swap(TrainedChecker()), 2u);
+  EXPECT_EQ(model.version(), 2u);
+  // The pinned snapshot is unaffected by the swap.
+  EXPECT_EQ(pinned->version, 1u);
+  EXPECT_TRUE(pinned->checker.trained());
+  EXPECT_EQ(model.Acquire()->version, 2u);
+}
+
+TEST(ServingModel, SwapFromBlobRejectsGarbage) {
+  ServingModel model(TrainedChecker());
+  const std::vector<uint8_t> garbage = {1, 2, 3, 4};
+  auto swapped = model.SwapFromBlob(TestUniverse(), garbage);
+  EXPECT_FALSE(swapped.ok());
+  EXPECT_EQ(model.version(), 1u);  // Bad blob never goes live.
+}
+
+TEST(VettingService, AdmissionRejectsWhenQueuesFull) {
+  ServiceConfig config = SmallConfig();
+  config.num_shards = 1;
+  config.shard_capacity = 2;
+  config.start_paused = true;  // Queues fill; nothing drains yet.
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  std::vector<std::future<VettingResult>> futures;
+  // Distinct seeds -> distinct digests, all landing on the single shard.
+  for (uint64_t seed = 1; seed <= 2; ++seed) {
+    auto accepted = service.Submit(MakeSubmission(MakeApkBytes(seed)));
+    ASSERT_TRUE(accepted.ok());
+    futures.push_back(std::move(*accepted));
+  }
+  auto rejected = service.Submit(MakeSubmission(MakeApkBytes(3)));
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error(), "admission queue full");
+
+  service.Start();
+  for (auto& future : futures) {
+    EXPECT_EQ(future.get().status, VetStatus::kOk);
+  }
+  service.Shutdown();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, 2u);
+  EXPECT_EQ(stats.rejected, 1u);
+  EXPECT_EQ(stats.accepted, stats.resolved());
+}
+
+TEST(VettingService, DeadlineExpiryReturnsTimeoutOutcome) {
+  ServiceConfig config = SmallConfig();
+  // Batch never fills, so the submission waits out the full linger — far past
+  // its own deadline — before the scheduler executes it.
+  config.scheduler.batch_size = 8;
+  config.scheduler.max_linger = std::chrono::milliseconds(200);
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  auto accepted = service.Submit(
+      MakeSubmission(MakeApkBytes(11), 0, std::chrono::milliseconds(1)));
+  ASSERT_TRUE(accepted.ok());
+  const VettingResult result = accepted->get();
+  EXPECT_EQ(result.status, VetStatus::kDeadlineExpired);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().deadline_expired, 1u);
+  EXPECT_EQ(service.stats().accepted, service.stats().resolved());
+}
+
+TEST(VettingService, DigestCacheHitSkipsEmulation) {
+  VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
+  const std::vector<uint8_t> bytes = MakeApkBytes(21);
+
+  auto first = service.Submit(MakeSubmission(bytes));
+  ASSERT_TRUE(first.ok());
+  const VettingResult fresh = first->get();
+  EXPECT_EQ(fresh.status, VetStatus::kOk);
+  EXPECT_FALSE(fresh.from_cache);
+
+  const uint64_t emu_apps_before = CounterValue(obs::names::kEmuAppsTotal);
+  const uint64_t cache_hits_before = CounterValue(obs::names::kServeCacheHitsTotal);
+  auto second = service.Submit(MakeSubmission(bytes));
+  ASSERT_TRUE(second.ok());
+  const VettingResult cached = second->get();
+  EXPECT_EQ(cached.status, VetStatus::kOk);
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_EQ(cached.malicious, fresh.malicious);
+  EXPECT_DOUBLE_EQ(cached.score, fresh.score);
+  // The resubmission reached a verdict without a single emulator run.
+  EXPECT_EQ(CounterValue(obs::names::kEmuAppsTotal), emu_apps_before);
+  EXPECT_EQ(CounterValue(obs::names::kServeCacheHitsTotal), cache_hits_before + 1);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().cache_hits, 1u);
+}
+
+TEST(VettingService, InBatchDedupEmulatesIdenticalBytesOnce) {
+  ServiceConfig config = SmallConfig();
+  config.start_paused = true;  // Both copies land in the same batch.
+  VettingService service(TestUniverse(), config, TrainedChecker());
+  const std::vector<uint8_t> bytes = MakeApkBytes(22);
+
+  auto a = service.Submit(MakeSubmission(bytes));
+  auto b = service.Submit(MakeSubmission(bytes));
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  const uint64_t emu_apps_before = CounterValue(obs::names::kEmuAppsTotal);
+  service.Start();
+  const VettingResult ra = a->get();
+  const VettingResult rb = b->get();
+  EXPECT_EQ(CounterValue(obs::names::kEmuAppsTotal), emu_apps_before + 1);
+  EXPECT_EQ(ra.malicious, rb.malicious);
+  EXPECT_DOUBLE_EQ(ra.score, rb.score);
+  EXPECT_TRUE(ra.from_cache || rb.from_cache);  // The follower skipped emulation.
+}
+
+TEST(VettingService, ParseErrorResolvesInsteadOfDropping) {
+  VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
+  auto accepted = service.Submit(MakeSubmission({'n', 'o', 't', 'a', 'p', 'k'}));
+  ASSERT_TRUE(accepted.ok());
+  const VettingResult result = accepted->get();
+  EXPECT_EQ(result.status, VetStatus::kParseError);
+  EXPECT_FALSE(result.error.empty());
+  service.Shutdown();
+  EXPECT_EQ(service.stats().parse_errors, 1u);
+  EXPECT_EQ(service.stats().accepted, service.stats().resolved());
+}
+
+TEST(VettingService, HotSwapInvalidatesCachedVerdicts) {
+  VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
+  const std::vector<uint8_t> bytes = MakeApkBytes(23);
+
+  auto first = service.Submit(MakeSubmission(bytes));
+  ASSERT_TRUE(first.ok());
+  const VettingResult before = first->get();
+  EXPECT_EQ(before.model_version, 1u);
+
+  EXPECT_EQ(service.SwapModel(TrainedChecker()), 2u);
+
+  auto second = service.Submit(MakeSubmission(bytes));
+  ASSERT_TRUE(second.ok());
+  const VettingResult after = second->get();
+  EXPECT_EQ(after.model_version, 2u);
+  EXPECT_FALSE(after.from_cache);  // v1 cache entry is stale for v2.
+  // Same weights round-tripped: the verdict itself must not change.
+  EXPECT_EQ(after.malicious, before.malicious);
+  EXPECT_DOUBLE_EQ(after.score, before.score);
+  service.Shutdown();
+}
+
+TEST(VettingService, RegistryPromotionHotSwapsTheServingModel) {
+  VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
+  market::ModelRegistry registry;
+  service.AttachToRegistry(registry);
+  EXPECT_EQ(service.model_version(), 1u);
+
+  market::ModelRecord candidate;
+  candidate.month = 1;
+  candidate.blob = TrainedBlob();
+  candidate.validation_f1 = 0.95;
+  EXPECT_TRUE(registry.Consider(std::move(candidate)));
+  EXPECT_EQ(service.model_version(), 2u);  // Promotion went live immediately.
+
+  // A guard-rejected candidate must NOT touch the serving model.
+  market::ModelRecord regression;
+  regression.month = 2;
+  regression.blob = TrainedBlob();
+  regression.validation_f1 = 0.10;
+  EXPECT_FALSE(registry.Consider(std::move(regression)));
+  EXPECT_EQ(service.model_version(), 2u);
+  registry.SetPromotionListener(nullptr);  // Detach before the service dies.
+  service.Shutdown();
+}
+
+// Hot-swap under load: writers republish the model while submitters hammer a
+// small APK set. Every identical digest must produce an identical verdict no
+// matter which snapshot classified it (all snapshots carry the same
+// round-tripped weights), and nothing may be lost or torn. Run under
+// ASan/TSan by tools/ci.sh.
+TEST(VettingService, HotSwapUnderLoadKeepsVerdictsConsistent) {
+  ServiceConfig config = SmallConfig();
+  config.num_shards = 4;
+  config.shard_capacity = 512;
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  constexpr size_t kDistinctApks = 6;
+  constexpr size_t kSubmitsPerThread = 48;
+  constexpr size_t kSubmitters = 3;
+  constexpr size_t kSwaps = 12;
+  std::vector<std::vector<uint8_t>> apks;
+  for (size_t i = 0; i < kDistinctApks; ++i) {
+    apks.push_back(MakeApkBytes(100 + i));
+  }
+
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    for (size_t i = 0; i < kSwaps && !stop_swapping.load(); ++i) {
+      auto swapped = service.SwapModelFromBlob(TrainedBlob());
+      EXPECT_TRUE(swapped.ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  });
+
+  std::vector<std::thread> submitters;
+  std::vector<std::vector<std::future<VettingResult>>> futures(kSubmitters);
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      for (size_t i = 0; i < kSubmitsPerThread; ++i) {
+        auto accepted =
+            service.Submit(MakeSubmission(apks[(t + i) % kDistinctApks],
+                                          /*priority=*/i % 8 == 0 ? 1 : 0));
+        if (accepted.ok()) {
+          futures[t].push_back(std::move(*accepted));
+        }
+      }
+    });
+  }
+  for (auto& thread : submitters) {
+    thread.join();
+  }
+  stop_swapping.store(true);
+  swapper.join();
+
+  // Per-digest verdict agreement across every model snapshot that served.
+  struct Agreed {
+    bool seen = false;
+    bool malicious = false;
+    double score = 0.0;
+  };
+  std::vector<Agreed> agreed(kDistinctApks);
+  size_t resolved = 0;
+  for (size_t t = 0; t < kSubmitters; ++t) {
+    for (size_t i = 0; i < futures[t].size(); ++i) {
+      const VettingResult result = futures[t][i].get();
+      ASSERT_EQ(result.status, VetStatus::kOk);
+      EXPECT_GE(result.model_version, 1u);
+      Agreed& expect = agreed[(t + i) % kDistinctApks];
+      if (!expect.seen) {
+        expect = {true, result.malicious, result.score};
+      } else {
+        EXPECT_EQ(result.malicious, expect.malicious);
+        EXPECT_DOUBLE_EQ(result.score, expect.score);
+      }
+      ++resolved;
+    }
+  }
+  service.Shutdown();
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, stats.resolved());  // Zero lost submissions.
+  EXPECT_EQ(stats.accepted, resolved);
+  EXPECT_GT(stats.cache_hits, 0u);  // Identical resubmits hit the cache.
+  EXPECT_GE(stats.model_swaps, 1u);
+}
+
+TEST(VettingService, SubmitAfterShutdownIsRejected) {
+  VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
+  service.Shutdown();
+  auto rejected = service.Submit(MakeSubmission(MakeApkBytes(31)));
+  EXPECT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.error(), "service is shut down");
+}
+
+}  // namespace
+}  // namespace apichecker::serve

@@ -2,12 +2,16 @@
 // thread pool.
 
 #include <atomic>
+#include <chrono>
 #include <cmath>
 #include <set>
+#include <thread>
 
 #include <gtest/gtest.h>
 
+#include "util/bounded_queue.h"
 #include "util/byte_io.h"
+#include "util/sha1.h"
 #include "util/crc32.h"
 #include "util/result.h"
 #include "util/rng.h"
@@ -323,6 +327,129 @@ TEST(ThreadPool, SubmitAndWait) {
   }
   pool.Wait();
   EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPool, TrySubmitRejectsAboveMaxPending) {
+  ThreadPool pool(1);
+  std::atomic<bool> release{false};
+  // Occupy the single worker so further tasks stay pending.
+  ASSERT_TRUE(pool.TrySubmit(
+      [&] {
+        while (!release.load()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        }
+      },
+      /*max_pending=*/4));
+  int accepted = 0;
+  while (pool.TrySubmit([] {}, /*max_pending=*/4)) {
+    ++accepted;
+    ASSERT_LT(accepted, 100);  // Must hit the cap, not loop forever.
+  }
+  EXPECT_EQ(accepted, 3);  // Blocker + 3 queued == max_pending of 4.
+  release.store(true);
+  pool.Wait();
+  // Capacity freed up again after the drain.
+  EXPECT_TRUE(pool.TrySubmit([] {}, /*max_pending=*/4));
+  pool.Wait();
+}
+
+TEST(Sha1, KnownVectors) {
+  const auto hex = [](const char* s) {
+    return Sha1Hex(std::span<const uint8_t>(
+        reinterpret_cast<const uint8_t*>(s), std::char_traits<char>::length(s)));
+  };
+  EXPECT_EQ(hex(""), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  EXPECT_EQ(hex("abc"), "a9993e364706816aba3e25717850c26c9cd0d89d");
+  EXPECT_EQ(hex("abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"),
+            "84983e441c3bd26ebaae4aa1f95129e5e54670f1");
+  // 1000 'a's: exercises multi-block input and the two-block length tail.
+  const std::string a1000(1000, 'a');
+  EXPECT_EQ(hex(a1000.c_str()), "291e9a6c66994949b57ba5e650361e98fc36b1ba");
+}
+
+TEST(Sha1, DistinctInputsDistinctDigests) {
+  std::vector<uint8_t> a = {1, 2, 3, 4};
+  std::vector<uint8_t> b = {1, 2, 3, 5};
+  EXPECT_NE(Sha1Hex(a), Sha1Hex(b));
+  EXPECT_EQ(Sha1Hex(a).size(), 2 * kSha1DigestSize);
+}
+
+TEST(BoundedQueue, TryPushRejectsWhenFull) {
+  BoundedQueue<int> queue(2);
+  EXPECT_TRUE(queue.TryPush(1));
+  EXPECT_TRUE(queue.TryPush(2));
+  EXPECT_FALSE(queue.TryPush(3));  // Backpressure: reject, don't grow.
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.capacity(), 2u);
+}
+
+TEST(BoundedQueue, FrontPushJumpsTheLine) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(1));
+  ASSERT_TRUE(queue.TryPush(2));
+  ASSERT_TRUE(queue.TryPush(99, /*front=*/true));
+  EXPECT_EQ(queue.TryPop(), 99);
+  EXPECT_EQ(queue.TryPop(), 1);
+  EXPECT_EQ(queue.TryPop(), 2);
+  EXPECT_EQ(queue.TryPop(), std::nullopt);
+}
+
+TEST(BoundedQueue, CloseDrainsRemainingThenReturnsNullopt) {
+  BoundedQueue<int> queue(4);
+  ASSERT_TRUE(queue.TryPush(7));
+  ASSERT_TRUE(queue.TryPush(8));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_FALSE(queue.TryPush(9));  // No new work after close.
+  EXPECT_EQ(queue.Pop(), 7);       // Existing work still drains.
+  EXPECT_EQ(queue.Pop(), 8);
+  EXPECT_EQ(queue.Pop(), std::nullopt);
+  EXPECT_EQ(queue.PopFor(std::chrono::milliseconds(1)), std::nullopt);
+}
+
+TEST(BoundedQueue, PopForTimesOutOnEmptyQueue) {
+  BoundedQueue<int> queue(2);
+  const auto start = std::chrono::steady_clock::now();
+  EXPECT_EQ(queue.PopFor(std::chrono::milliseconds(10)), std::nullopt);
+  EXPECT_GE(std::chrono::steady_clock::now() - start,
+            std::chrono::milliseconds(5));
+}
+
+TEST(BoundedQueue, MpmcStressAccountsForEveryItem) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 3;
+  constexpr int kPerProducer = 500;
+  BoundedQueue<int> queue(16);
+  std::atomic<long> sum{0};
+  std::atomic<int> popped{0};
+
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&] {
+      while (auto item = queue.Pop()) {
+        sum.fetch_add(*item);
+        popped.fetch_add(1);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        queue.Push(p * kPerProducer + i);  // Blocking push: never drops.
+      }
+    });
+  }
+  for (auto& t : producers) {
+    t.join();
+  }
+  queue.Close();
+  for (auto& t : consumers) {
+    t.join();
+  }
+  constexpr long kTotal = kProducers * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);
 }
 
 }  // namespace

@@ -22,6 +22,9 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+#include <future>
+
 #include "core/model_store.h"
 #include "core/study.h"
 #include "emu/farm.h"
@@ -31,7 +34,9 @@
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
+#include "serve/service.h"
 #include "synth/corpus.h"
+#include "util/rng.h"
 #include "util/strings.h"
 
 using namespace apichecker;
@@ -46,6 +51,10 @@ struct CommonFlags {
   std::string model_path = "apichecker_model.bin";
   std::string out_dir = "corpus_out";
   std::string metrics_out;  // Empty = no dump.
+  // serve command tuning.
+  size_t shards = 4;
+  size_t batch = 0;       // 0 = one per farm emulator.
+  size_t linger_ms = 10;
   std::vector<std::string> positional;
 };
 
@@ -71,6 +80,12 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.model_path = next_value("--model");
     } else if (std::strcmp(argv[i], "--out") == 0) {
       flags.out_dir = next_value("--out");
+    } else if (std::strcmp(argv[i], "--shards") == 0) {
+      flags.shards = std::strtoull(next_value("--shards"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      flags.batch = std::strtoull(next_value("--batch"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--linger-ms") == 0) {
+      flags.linger_ms = std::strtoull(next_value("--linger-ms"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       flags.metrics_out = next_value("--metrics-out");
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -262,6 +277,123 @@ int CmdVet(const CommonFlags& flags) {
   return exit_code;
 }
 
+// Replays a synthetic submission trace through the online vetting service:
+// fresh corpus submissions mixed with byte-identical resubmissions (digest-
+// cache traffic), a mid-run model hot-swap, and a final accounting check of
+// the no-lost-submissions invariant.
+int CmdServe(const CommonFlags& flags) {
+  const android::ApiUniverse universe = MakeUniverse(flags);
+  auto checker = core::LoadCheckerFromFile(universe, flags.model_path);
+  if (!checker.ok()) {
+    std::fprintf(stderr, "cannot load model: %s\n", checker.error().c_str());
+    return 1;
+  }
+  // Round-trip the model into a blob now: the mid-run hot-swap republishes
+  // the same weights as a new snapshot version, so verdicts stay comparable
+  // across the swap.
+  const std::vector<uint8_t> swap_blob = core::SerializeChecker(*checker);
+
+  serve::ServiceConfig config;
+  config.num_shards = std::max<size_t>(1, flags.shards);
+  config.shard_capacity = 512;
+  config.farm.engine.kind = emu::EngineKind::kLightweight;
+  config.scheduler.batch_size = flags.batch;  // 0 = one per emulator.
+  config.scheduler.max_linger = std::chrono::milliseconds(flags.linger_ms);
+  serve::VettingService service(universe, config, std::move(*checker));
+
+  // Build the trace up front so submission pacing measures the service, not
+  // APK synthesis. ~20% of the trace resubmits an earlier APK byte-for-byte.
+  synth::CorpusConfig corpus_config;
+  corpus_config.seed = flags.seed ^ 0x5e7e;
+  synth::CorpusGenerator generator(universe, corpus_config);
+  util::Rng resubmit_rng(flags.seed ^ 0xca11);
+  std::vector<std::vector<uint8_t>> trace;
+  trace.reserve(flags.apps);
+  size_t resubmissions = 0;
+  for (size_t i = 0; i < flags.apps; ++i) {
+    if (!trace.empty() && resubmit_rng.NextDouble() < 0.20) {
+      trace.push_back(trace[resubmit_rng.NextBounded(trace.size())]);
+      ++resubmissions;
+    } else {
+      trace.push_back(synth::BuildApkBytes(generator.Next(), universe));
+    }
+  }
+  std::printf("serve: replaying %zu submissions (%zu byte-identical resubmissions) "
+              "on %zu shards, batch %zu, linger %zu ms\n",
+              trace.size(), resubmissions, config.num_shards,
+              config.scheduler.batch_size == 0 ? config.farm.num_emulators
+                                               : config.scheduler.batch_size,
+              flags.linger_ms);
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::future<serve::VettingResult>> futures;
+  futures.reserve(trace.size());
+  size_t rejected_at_submit = 0;
+  for (size_t i = 0; i < trace.size(); ++i) {
+    if (i == trace.size() / 2) {
+      auto swapped = service.SwapModelFromBlob(swap_blob);
+      if (swapped.ok()) {
+        std::printf("serve: hot-swapped model mid-trace -> snapshot v%u\n", *swapped);
+      } else {
+        std::fprintf(stderr, "hot swap failed: %s\n", swapped.error().c_str());
+      }
+    }
+    serve::Submission submission;
+    submission.apk_bytes = trace[i];
+    submission.priority = i % 16 == 0 ? 1 : 0;  // Expedited lane sample.
+    auto accepted = service.Submit(std::move(submission));
+    if (accepted.ok()) {
+      futures.push_back(std::move(*accepted));
+    } else {
+      ++rejected_at_submit;
+    }
+  }
+
+  size_t malicious = 0, benign = 0, cache_hits = 0, expired = 0, parse_errors = 0;
+  for (auto& future : futures) {
+    const serve::VettingResult result = future.get();
+    switch (result.status) {
+      case serve::VetStatus::kOk:
+        (result.malicious ? malicious : benign) += 1;
+        cache_hits += result.from_cache ? 1 : 0;
+        break;
+      case serve::VetStatus::kDeadlineExpired:
+        ++expired;
+        break;
+      case serve::VetStatus::kParseError:
+        ++parse_errors;
+        break;
+    }
+  }
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
+  service.Shutdown();
+
+  const serve::ServiceStats stats = service.stats();
+  const obs::HistogramSnapshot e2e = obs::MetricsRegistry::Default()
+                                         .histogram(obs::names::kServeE2eLatencyMs)
+                                         .Snapshot();
+  std::printf("serve: accepted %llu, rejected %llu (backpressure)\n",
+              static_cast<unsigned long long>(stats.accepted),
+              static_cast<unsigned long long>(stats.rejected));
+  std::printf("serve: verdicts %zu malicious / %zu benign; %zu cache hits, "
+              "%zu expired, %zu parse errors, %llu batches\n",
+              malicious, benign, cache_hits, expired, parse_errors,
+              static_cast<unsigned long long>(stats.batches));
+  std::printf("serve: model swaps %llu (serving v%u)\n",
+              static_cast<unsigned long long>(stats.model_swaps),
+              service.model_version());
+  std::printf("serve: %.0f submissions/sec sustained; e2e latency p50 %.1f ms, "
+              "p99 %.1f ms\n",
+              elapsed_s > 0 ? static_cast<double>(futures.size()) / elapsed_s : 0.0,
+              e2e.Quantile(0.50), e2e.Quantile(0.99));
+
+  const bool no_lost = stats.accepted == stats.resolved();
+  std::printf("serve: invariant accepted == resolved: %s\n", no_lost ? "OK" : "VIOLATED");
+  (void)rejected_at_submit;
+  return no_lost ? 0 : 1;
+}
+
 int CmdMarket(const CommonFlags& flags) {
   android::ApiUniverse universe = MakeUniverse(flags);
   market::MarketConfig config;
@@ -295,6 +427,8 @@ void PrintUsage() {
       "  corpus     synthesize .apk files to a directory (--apps, --out)\n"
       "  study      run the track-all study and save a model (--apps, --model)\n"
       "  vet        scan .apk files with a saved model (--model, files...)\n"
+      "  serve      replay a synthetic trace through the online vetting service\n"
+      "             (--model, --apps, --shards, --batch, --linger-ms)\n"
       "  market     run the deployment simulation (--months, --apps)\n"
       "common flags: --apis N (default 30000), --seed S (default 42),\n"
       "              --metrics-out FILE (dump metrics JSON; .prom for Prometheus)\n"
@@ -321,6 +455,9 @@ int main(int argc, char** argv) {
     PrintStatsSummary();
   } else if (command == "vet") {
     exit_code = CmdVet(flags);
+    PrintStatsSummary();
+  } else if (command == "serve") {
+    exit_code = CmdServe(flags);
     PrintStatsSummary();
   } else if (command == "market") {
     exit_code = CmdMarket(flags);

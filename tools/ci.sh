@@ -1,13 +1,19 @@
 #!/bin/sh
 # Tier-1 verification script: configure, build, and run the full ctest suite,
-# then rebuild the observability tests under AddressSanitizer.
+# then a serving-layer smoke test of the CLI (trace replay + metrics dump),
+# then rebuild the concurrency-sensitive tests under AddressSanitizer (and,
+# unless skipped, the serving tests under ThreadSanitizer too).
 #
-# Usage: sh tools/ci.sh [--no-asan]
+# Usage: sh tools/ci.sh [--no-asan] [--no-tsan]
 set -e
 
 ROOT=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
 ASAN=1
-[ "${1:-}" = "--no-asan" ] && ASAN=0
+TSAN=1
+for arg in "$@"; do
+  [ "$arg" = "--no-asan" ] && ASAN=0
+  [ "$arg" = "--no-tsan" ] && TSAN=0
+done
 
 echo "=== tier-1: configure + build ==="
 cmake -B "$ROOT/build" -S "$ROOT" >/dev/null
@@ -16,11 +22,35 @@ cmake --build "$ROOT/build" -j
 echo "=== tier-1: ctest ==="
 (cd "$ROOT/build" && ctest --output-on-failure -j)
 
+echo "=== serve: CLI smoke (trace replay + metrics) ==="
+SERVE_TMP=$(mktemp -d)
+trap 'rm -rf "$SERVE_TMP"' EXIT
+"$ROOT/build/tools/apichecker" study --apps 800 --apis 8000 \
+  --model "$SERVE_TMP/model.bin" >/dev/null
+"$ROOT/build/tools/apichecker" serve --apps 60 --apis 8000 \
+  --model "$SERVE_TMP/model.bin" --metrics-out "$SERVE_TMP/metrics.json" \
+  | grep "invariant accepted == resolved: OK"
+for series in apichecker_serve_submissions_total apichecker_serve_batches_total \
+              apichecker_serve_cache_hits_total apichecker_serve_model_swaps_total \
+              apichecker_serve_e2e_latency_ms; do
+  grep -q "$series" "$SERVE_TMP/metrics.json" || {
+    echo "missing metric series: $series"; exit 1; }
+done
+echo "serve smoke OK (metrics dump carries the apichecker_serve_* series)"
+
 if [ "$ASAN" = "1" ]; then
-  echo "=== asan: build + run test_obs ==="
+  echo "=== asan: build + run test_obs test_serve ==="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
-  cmake --build "$ROOT/build-asan" -j --target test_obs
+  cmake --build "$ROOT/build-asan" -j --target test_obs test_serve
   "$ROOT/build-asan/tests/test_obs"
+  "$ROOT/build-asan/tests/test_serve"
+fi
+
+if [ "$TSAN" = "1" ]; then
+  echo "=== tsan: build + run test_serve (hot-swap/backpressure races) ==="
+  cmake -B "$ROOT/build-tsan" -S "$ROOT" -DAPICHECKER_SANITIZE=thread >/dev/null
+  cmake --build "$ROOT/build-tsan" -j --target test_serve
+  "$ROOT/build-tsan/tests/test_serve"
 fi
 
 echo "CI OK"

@@ -28,6 +28,15 @@ grep -q 'apichecker_core_classify_latency_us' "$DIR/metrics.json"
 grep -q 'apichecker_core_verdict_malicious_total' "$DIR/metrics.json"
 grep -q 'apichecker_market_outcome_published_total' "$DIR/metrics.json"
 
+# Online serving: replay a small trace through the vetting service. The run
+# must keep the no-lost-submissions invariant and dump the serve series.
+"$CLI" serve --apis 8000 --seed 7 --apps 40 --model "$DIR/model.bin" \
+       --metrics-out "$DIR/serve_metrics.json" > "$DIR/serve.txt"
+grep -q "invariant accepted == resolved: OK" "$DIR/serve.txt"
+grep -q "hot-swapped model mid-trace" "$DIR/serve.txt"
+grep -q 'apichecker_serve_submissions_total' "$DIR/serve_metrics.json"
+grep -q 'apichecker_serve_e2e_latency_ms' "$DIR/serve_metrics.json"
+
 # Vet must fail cleanly on garbage input.
 echo "not an apk" > "$DIR/garbage.apk"
 if "$CLI" vet --apis 8000 --seed 7 --model "$DIR/model.bin" "$DIR/garbage.apk" | grep -q ERROR; then

@@ -8,10 +8,15 @@
 //   2. hot-swap verdict invariance — a probe APK classified before and after
 //      the swap (same weights, round-tripped through the model store) gets a
 //      byte-identical verdict from both snapshots.
-// Reported: sustained submissions/sec (target >= 1000), e2e latency p50/p99.
+// Reported: sustained submissions/sec (target >= 1000), e2e latency p50/p99,
+// and — when run with --farms M [--fault-rate P] — per-farm utilisation skew
+// plus fault/failover accounting. Both invariants must hold under injected
+// farm faults too: failover retries keep verdicts flowing and nothing is lost.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <future>
 #include <thread>
 #include <vector>
@@ -29,17 +34,27 @@ using namespace apichecker;
 namespace {
 
 // Submits one APK and blocks for its verdict (used for the determinism probes
-// that bracket the hot swap).
+// that bracket the hot swap). Under fault injection a probe batch can land on
+// a farm mid-outage and come back rejected-unhealthy; that is the pool telling
+// us to resubmit, not a lost verdict — so the probe retries a few times.
 serve::VettingResult VetNow(serve::VettingService& service,
                             const std::vector<uint8_t>& bytes) {
-  serve::Submission submission;
-  submission.apk_bytes = bytes;
-  auto accepted = service.Submit(std::move(submission));
-  if (!accepted.ok()) {
-    std::fprintf(stderr, "probe submission rejected: %s\n", accepted.error().c_str());
-    std::exit(1);
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    serve::Submission submission;
+    submission.apk_bytes = bytes;
+    auto accepted = service.Submit(std::move(submission));
+    if (!accepted.ok()) {
+      std::fprintf(stderr, "probe submission rejected: %s\n", accepted.error().c_str());
+      std::exit(1);
+    }
+    serve::VettingResult result = accepted->get();
+    if (result.status != serve::VetStatus::kRejectedUnhealthy) {
+      return result;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));  // Cooldown.
   }
-  return accepted->get();
+  std::fprintf(stderr, "probe never cleared the farm pool (all farms unhealthy)\n");
+  std::exit(1);
 }
 
 // Fans `slice` of the trace out from `kProducers` threads, collecting every
@@ -80,6 +95,16 @@ void SubmitSlice(serve::VettingService& service,
 
 int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
+  // Pool flags are bench-specific; BenchArgs ignores flags it doesn't know.
+  size_t farms = 1;
+  double fault_rate = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--farms") == 0 && i + 1 < argc) {
+      farms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
+      fault_rate = std::strtod(argv[++i], nullptr);
+    }
+  }
   const size_t trace_size = args.AppsOr(4'000);
   bench::PrintHeader(
       "Serving throughput — online vetting under load with a mid-run hot swap",
@@ -97,6 +122,11 @@ int main(int argc, char** argv) {
   config.shard_capacity = 2'048;
   config.farm.engine.kind = emu::EngineKind::kLightweight;
   config.scheduler.max_linger = std::chrono::milliseconds(5);
+  config.pool.num_farms = std::max<size_t>(1, farms);
+  config.pool.fault_plan.seed = args.seed;
+  config.pool.fault_plan.fault_rate = fault_rate;
+  std::printf("farm pool: %zu farms, fault rate %.2f\n", config.pool.num_farms,
+              fault_rate);
   serve::VettingService service(context.universe(), config, std::move(checker));
 
   // Build the whole trace up front so the measured window contains service
@@ -150,12 +180,14 @@ int main(int argc, char** argv) {
   }
 
   size_t malicious = 0, cache_hits = 0, expired = 0, parse_errors = 0;
+  size_t unhealthy = 0;
   for (auto& future : futures) {
     const serve::VettingResult result = future.get();
     malicious += result.status == serve::VetStatus::kOk && result.malicious;
     cache_hits += result.from_cache;
     expired += result.status == serve::VetStatus::kDeadlineExpired;
     parse_errors += result.status == serve::VetStatus::kParseError;
+    unhealthy += result.status == serve::VetStatus::kRejectedUnhealthy;
   }
   const double elapsed_s =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
@@ -196,9 +228,33 @@ int main(int argc, char** argv) {
                                          .histogram(obs::names::kServeE2eLatencyMs)
                                          .Snapshot();
   std::printf("\n%zu submissions end-to-end in %.2f s; %zu cache hits, %zu malicious, "
-              "%zu expired, %zu parse errors, %llu batches\n",
+              "%zu expired, %zu parse errors, %zu rejected-unhealthy, %llu batches\n",
               resolved, elapsed_s, cache_hits, malicious, expired, parse_errors,
-              static_cast<unsigned long long>(stats.batches));
+              unhealthy, static_cast<unsigned long long>(stats.batches));
+
+  // Per-farm utilisation: simulated busy minutes per farm, plus the skew
+  // (max/mean) — 1.00 is a perfectly level pool; least-loaded routing should
+  // keep this close to 1 even while faults shift load around.
+  const serve::FarmPoolStats pool_stats = service.farm_pool_stats();
+  double total_busy = 0.0, max_busy = 0.0;
+  for (const serve::FarmStats& farm : pool_stats.farms) {
+    std::printf("farm %u: %llu batches, %llu faults, %llu retries absorbed, "
+                "%llu breaker opens, busy %.1f sim-min\n",
+                farm.farm_id, static_cast<unsigned long long>(farm.batches_completed),
+                static_cast<unsigned long long>(farm.faults),
+                static_cast<unsigned long long>(farm.retries_absorbed),
+                static_cast<unsigned long long>(farm.breaker_opens), farm.busy_minutes);
+    total_busy += farm.busy_minutes;
+    max_busy = std::max(max_busy, farm.busy_minutes);
+  }
+  const double mean_busy =
+      pool_stats.farms.empty() ? 0.0 : total_busy / static_cast<double>(pool_stats.farms.size());
+  std::printf("farm pool: %llu routed, %llu faults, %llu retries, utilisation "
+              "skew %.2f (max/mean busy)\n",
+              static_cast<unsigned long long>(pool_stats.batches_routed),
+              static_cast<unsigned long long>(pool_stats.faults),
+              static_cast<unsigned long long>(pool_stats.retries),
+              mean_busy > 0 ? max_busy / mean_busy : 1.0);
   std::printf("e2e latency: p50 %.1f ms, p99 %.1f ms\n", e2e.Quantile(0.50),
               e2e.Quantile(0.99));
   bench::PrintComparison("sustained throughput",

@@ -1,20 +1,63 @@
 #include "emu/farm.h"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
+#include "util/strings.h"
 
 namespace apichecker::emu {
 
 DeviceFarm::DeviceFarm(const android::ApiUniverse& universe, FarmConfig config)
-    : config_(config), engine_(universe, config.engine), pool_(config.worker_threads) {}
+    : config_(config), engine_(universe, config.engine), pool_(config.worker_threads),
+      fault_rng_(util::SplitMix64(config.fault_plan.seed ^
+                                  (0x9e3779b97f4a7c15ull * (config.farm_id + 1)))) {}
+
+std::string DeviceFarm::FaultFor(uint64_t ordinal) {
+  for (const FaultWindow& window : config_.fault_plan.windows) {
+    if (window.farm_id == config_.farm_id && ordinal >= window.from_batch &&
+        ordinal <= window.to_batch) {
+      return util::StrFormat("scripted fault (farm %u, batch %llu)", config_.farm_id,
+                             static_cast<unsigned long long>(ordinal));
+    }
+  }
+  if (config_.fault_plan.fault_rate > 0.0) {
+    std::lock_guard<std::mutex> lock(fault_mu_);
+    if (fault_rng_.Bernoulli(config_.fault_plan.fault_rate)) {
+      return util::StrFormat("random fault (farm %u, batch %llu, rate %.2f)",
+                             config_.farm_id, static_cast<unsigned long long>(ordinal),
+                             config_.fault_plan.fault_rate);
+    }
+  }
+  return {};
+}
 
 BatchResult DeviceFarm::RunBatch(std::span<const apk::ApkFile> apks,
                                  const TrackedApiSet& tracked) {
   obs::TraceSpan span("emu.run_batch");
   BatchResult result;
+
+  if (config_.fault_plan.enabled()) {
+    const uint64_t ordinal = batch_ordinal_.fetch_add(1, std::memory_order_relaxed) + 1;
+    if (config_.fault_plan.induced_latency_ms > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(
+          config_.fault_plan.induced_latency_ms));
+    }
+    if (std::string reason = FaultFor(ordinal); !reason.empty()) {
+      result.farm_fault = true;
+      result.fault_reason = std::move(reason);
+      obs::MetricsRegistry::Default()
+          .counter(obs::names::kEmuFarmInjectedFaultsTotal)
+          .Increment();
+      return result;
+    }
+  } else {
+    batch_ordinal_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   result.reports.resize(apks.size());
   pool_.ParallelFor(0, apks.size(), [&](size_t i) {
     result.reports[i] = engine_.Run(apks[i], tracked);

@@ -8,19 +8,59 @@
 #ifndef APICHECKER_EMU_FARM_H_
 #define APICHECKER_EMU_FARM_H_
 
+#include <atomic>
 #include <cstdint>
+#include <limits>
+#include <mutex>
+#include <string>
 #include <vector>
 
 #include "emu/engine.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace apichecker::emu {
+
+// One scripted fault: farm `farm_id` fails every batch whose ordinal (1-based,
+// counted per farm) falls in [from_batch, to_batch]. to_batch defaults to
+// "forever", which models a farm that dies and stays dead; a finite window
+// models a transient outage the farm recovers from.
+struct FaultWindow {
+  uint32_t farm_id = 0;
+  uint64_t from_batch = 1;
+  uint64_t to_batch = std::numeric_limits<uint64_t>::max();
+};
+
+// Deterministic fault-injection plan for resilience testing. Built in rather
+// than bolted on: the plan threads from FarmPoolConfig through the service
+// down to every DeviceFarm, so tests, benches, and the CLI can exercise crash,
+// flap, and slow-farm scenarios on demand. An empty plan is free: the hook is
+// a single branch at the top of RunBatch.
+struct FaultPlan {
+  // Seeds the per-farm Bernoulli fault stream (farm_id is mixed in, so farms
+  // fault independently but reproducibly).
+  uint64_t seed = 1;
+  // Per-batch probability that a farm faults (randomized stress mode).
+  double fault_rate = 0.0;
+  // Scripted faults (deterministic mode; both modes compose).
+  std::vector<FaultWindow> windows;
+  // Real wall-clock delay added to every batch (slow-farm simulation).
+  double induced_latency_ms = 0.0;
+
+  bool enabled() const {
+    return fault_rate > 0.0 || !windows.empty() || induced_latency_ms > 0.0;
+  }
+};
 
 struct FarmConfig {
   size_t num_emulators = 16;
   EngineConfig engine;
   // Worker threads for the real computation (0 = hardware concurrency).
   size_t worker_threads = 0;
+  // Identity within a FarmPool; selects this farm's FaultWindows and fault
+  // RNG stream.
+  uint32_t farm_id = 0;
+  FaultPlan fault_plan;
 };
 
 struct BatchResult {
@@ -29,6 +69,11 @@ struct BatchResult {
   double total_emulation_minutes = 0.0;  // Sum of per-app minutes.
   size_t crashes = 0;
   size_t fallbacks = 0;
+  // Farm-level fault: the whole batch produced no usable reports (emulator
+  // server crash/hang). Callers must treat `reports` as invalid and fail the
+  // batch over; serve::FarmPool retries it on a healthy farm.
+  bool farm_fault = false;
+  std::string fault_reason;
 };
 
 class DeviceFarm {
@@ -39,11 +84,19 @@ class DeviceFarm {
 
   const FarmConfig& config() const { return config_; }
   const DynamicAnalysisEngine& engine() const { return engine_; }
+  // Batches attempted so far (faulted ones included).
+  uint64_t batches_run() const { return batch_ordinal_.load(std::memory_order_relaxed); }
 
  private:
+  // Returns a non-empty reason when the fault plan fires for `ordinal`.
+  std::string FaultFor(uint64_t ordinal);
+
   FarmConfig config_;
   DynamicAnalysisEngine engine_;
   util::ThreadPool pool_;
+  std::atomic<uint64_t> batch_ordinal_{0};
+  std::mutex fault_mu_;  // Guards fault_rng_ (RunBatch may be called concurrently).
+  util::Rng fault_rng_;
 };
 
 }  // namespace apichecker::emu

@@ -291,6 +291,8 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
   registry.histogram(kEmuFarmQueueWaitMinutes, {},
                      "simulated per-app wait for a free emulator, minutes");
   registry.gauge(kEmuFarmLastMakespanMinutes, "makespan of the most recent batch");
+  registry.counter(kEmuFarmInjectedFaultsTotal,
+                   "farm-level faults raised by the fault-injection plan");
 
   registry.histogram(kCoreTrainMs, {}, "APICHECKER end-to-end training time, ms");
   registry.histogram(kCoreClassifyLatencyUs,
@@ -343,6 +345,19 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
                      "admission -> batch assembly wait, ms");
   registry.histogram(kServeE2eLatencyMs, Histogram::ExponentialBounds(0.5, 2.0, 18),
                      "admission -> verdict end-to-end latency, ms");
+
+  registry.gauge(kServeFarmPoolSize, "device farms behind the batch scheduler");
+  registry.gauge(kServeFarmHealthy, "farms whose circuit breaker is closed");
+  registry.counter(kServeFarmBatchesRoutedTotal, "batches dispatched to a farm");
+  registry.counter(kServeFarmFaultsTotal, "farm-level batch faults observed by the pool");
+  registry.counter(kServeFarmRetriesTotal, "faulted batches re-routed to another farm");
+  registry.counter(kServeFarmRejectedUnhealthyTotal,
+                   "submissions rejected because no healthy farm was available");
+  registry.counter(kServeFarmBreakerOpenTotal, "circuit-breaker open transitions");
+  registry.counter(kServeFarmBreakerReprobeTotal,
+                   "half-open probe batches sent to a cooling farm");
+  registry.histogram(kServeFarmMakespanMinutes, {},
+                     "per-farm simulated makespan per routed batch, minutes");
 }
 
 }  // namespace apichecker::obs

@@ -25,6 +25,8 @@ inline constexpr char kEmuFarmQueueWaitMinutes[] =
     "apichecker_emu_farm_queue_wait_minutes";
 inline constexpr char kEmuFarmLastMakespanMinutes[] =
     "apichecker_emu_farm_last_makespan_minutes";
+inline constexpr char kEmuFarmInjectedFaultsTotal[] =
+    "apichecker_emu_farm_injected_faults_total";
 
 // core layer — APICHECKER train/classify.
 inline constexpr char kCoreTrainMs[] = "apichecker_core_train_ms";
@@ -79,6 +81,25 @@ inline constexpr char kServeBatchesTotal[] = "apichecker_serve_batches_total";
 inline constexpr char kServeBatchSize[] = "apichecker_serve_batch_size";
 inline constexpr char kServeQueueWaitMs[] = "apichecker_serve_queue_wait_ms";
 inline constexpr char kServeE2eLatencyMs[] = "apichecker_serve_e2e_latency_ms";
+
+// serve layer — multi-farm pool (routing, failover, circuit breakers). The
+// aggregate series below also exist as per-farm variants with an embedded
+// Prometheus label, e.g. apichecker_serve_farm_batches_routed_total{farm="2"}
+// (see serve::FarmSeriesName).
+inline constexpr char kServeFarmPoolSize[] = "apichecker_serve_farm_pool_size";
+inline constexpr char kServeFarmHealthy[] = "apichecker_serve_farm_healthy";
+inline constexpr char kServeFarmBatchesRoutedTotal[] =
+    "apichecker_serve_farm_batches_routed_total";
+inline constexpr char kServeFarmFaultsTotal[] = "apichecker_serve_farm_faults_total";
+inline constexpr char kServeFarmRetriesTotal[] = "apichecker_serve_farm_retries_total";
+inline constexpr char kServeFarmRejectedUnhealthyTotal[] =
+    "apichecker_serve_farm_rejected_unhealthy_total";
+inline constexpr char kServeFarmBreakerOpenTotal[] =
+    "apichecker_serve_farm_breaker_open_total";
+inline constexpr char kServeFarmBreakerReprobeTotal[] =
+    "apichecker_serve_farm_breaker_reprobe_total";
+inline constexpr char kServeFarmMakespanMinutes[] =
+    "apichecker_serve_farm_makespan_minutes";
 
 }  // namespace apichecker::obs::names
 

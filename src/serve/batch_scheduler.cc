@@ -1,5 +1,7 @@
 #include "serve/batch_scheduler.h"
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -19,12 +21,28 @@ double MsSince(Clock::time_point start, Clock::time_point now) {
   return std::chrono::duration<double, std::milli>(now - start).count();
 }
 
+// One emulation slot per distinct digest: the leader is parsed and emulated,
+// followers (byte-identical batch members) resolve off the leader's verdict.
+struct EmulationSlot {
+  size_t leader;
+  std::vector<size_t> followers;
+};
+
+// Everything the asynchronous pool completion needs to resolve the batch.
+// Owned by a shared_ptr captured in both pool callbacks (exactly one fires).
+struct BatchState {
+  std::vector<PendingSubmission> batch;
+  std::vector<EmulationSlot> slots;
+  std::shared_ptr<const ModelSnapshot> snapshot;
+  Clock::time_point assembled_at;
+};
+
 }  // namespace
 
 BatchScheduler::BatchScheduler(BatchSchedulerConfig config, SubmissionShards& shards,
                                DigestCache& cache, ServingModel& model,
-                               emu::DeviceFarm& farm, ServiceCounters& counters)
-    : config_(config), shards_(shards), cache_(cache), model_(model), farm_(farm),
+                               FarmPool& pool, ServiceCounters& counters)
+    : config_(config), shards_(shards), cache_(cache), model_(model), pool_(pool),
       counters_(counters) {
   if (config_.batch_size == 0) {
     config_.batch_size = 1;
@@ -55,33 +73,30 @@ void BatchScheduler::Loop() {
     std::vector<PendingSubmission> batch;
     Clock::time_point linger_deadline{};
     for (;;) {
-      std::chrono::milliseconds timeout = config_.idle_poll;
-      if (!batch.empty()) {
+      std::optional<PendingSubmission> popped;
+      if (batch.empty()) {
+        // Idle: sleep on the shards' condition variable. The next push (or
+        // Close) wakes this immediately — there is no poll interval.
+        popped = shards_.PopAnyBlocking();
+        if (!popped) {
+          return;  // Closed and drained: scheduler exits.
+        }
+      } else {
         const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
             linger_deadline - Clock::now());
         if (remaining <= std::chrono::milliseconds::zero()) {
           break;  // Linger expired: flush the partial batch.
         }
-        timeout = remaining;
-      }
-      std::optional<PendingSubmission> popped = shards_.PopAnyFor(timeout);
-      if (popped) {
-        if (batch.empty()) {
-          linger_deadline = Clock::now() + config_.max_linger;
+        popped = shards_.PopAnyFor(remaining);
+        if (!popped) {
+          break;  // Linger expired or shards closed: flush what we have.
         }
-        batch.push_back(std::move(*popped));
-        if (batch.size() >= config_.batch_size) {
-          break;
-        }
-        continue;
       }
-      if (shards_.closed()) {
-        if (batch.empty()) {
-          return;  // Closed and drained: scheduler exits.
-        }
-        break;  // Closed mid-batch: flush what we have.
+      if (batch.empty()) {
+        linger_deadline = Clock::now() + config_.max_linger;
       }
-      if (!batch.empty() && Clock::now() >= linger_deadline) {
+      batch.push_back(std::move(*popped));
+      if (batch.size() >= config_.batch_size) {
         break;
       }
     }
@@ -101,75 +116,79 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
       .Set(static_cast<double>(shards_.ApproxDepth()));
   counters_.batches.fetch_add(1, std::memory_order_relaxed);
 
+  auto state = std::make_shared<BatchState>();
+  state->batch = std::move(batch);
   // One snapshot for the whole batch: a concurrent hot-swap becomes visible
   // at the next batch boundary, never inside one.
-  const std::shared_ptr<const ModelSnapshot> snapshot = model_.Acquire();
-  const Clock::time_point assembled_at = Clock::now();
+  state->snapshot = model_.Acquire();
+  state->assembled_at = Clock::now();
 
-  obs::Histogram& queue_wait = metrics.histogram(obs::names::kServeQueueWaitMs);
-  obs::Histogram& e2e = metrics.histogram(obs::names::kServeE2eLatencyMs);
-
-  auto resolve = [&](PendingSubmission& pending, VettingResult result) {
-    result.queue_ms = MsSince(pending.admitted_at, assembled_at);
+  // Resolution is invoked from the scheduler thread (triage) and from pool
+  // worker threads (async completion); everything it touches is thread-safe.
+  auto resolve = [this](const BatchState& s, PendingSubmission& pending,
+                        VettingResult result) {
+    obs::MetricsRegistry& m = obs::MetricsRegistry::Default();
+    result.queue_ms = MsSince(pending.admitted_at, s.assembled_at);
     result.total_ms = MsSince(pending.admitted_at, Clock::now());
-    e2e.Observe(result.total_ms);
+    m.histogram(obs::names::kServeE2eLatencyMs).Observe(result.total_ms);
     switch (result.status) {
       case VetStatus::kOk:
         counters_.completed.fetch_add(1, std::memory_order_relaxed);
-        metrics.counter(obs::names::kServeCompletedTotal).Increment();
+        m.counter(obs::names::kServeCompletedTotal).Increment();
         market::RecordReviewOutcome(result.malicious
                                         ? market::ReviewOutcome::kRejectedByChecker
                                         : market::ReviewOutcome::kPublished);
         break;
       case VetStatus::kDeadlineExpired:
         counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
-        metrics.counter(obs::names::kServeDeadlineExpiredTotal).Increment();
+        m.counter(obs::names::kServeDeadlineExpiredTotal).Increment();
         break;
       case VetStatus::kParseError:
         counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
-        metrics.counter(obs::names::kServeParseErrorsTotal).Increment();
+        m.counter(obs::names::kServeParseErrorsTotal).Increment();
+        break;
+      case VetStatus::kRejectedUnhealthy:
+        counters_.rejected_unhealthy.fetch_add(1, std::memory_order_relaxed);
+        m.counter(obs::names::kServeFarmRejectedUnhealthyTotal).Increment();
         break;
     }
     pending.promise.set_value(std::move(result));
   };
 
-  // Triage: expired deadlines and digest-cache hits resolve without touching
-  // an emulator; byte-identical members of the same batch emulate once.
-  struct EmulationSlot {
-    size_t leader;                 // Index into `batch`.
-    std::vector<size_t> followers; // Same digest, resolved off the leader.
-  };
+  // Triage on the scheduler thread: expired deadlines and digest-cache hits
+  // resolve without touching an emulator; byte-identical members of the same
+  // batch emulate once; unparseable members fail fast.
+  obs::Histogram& queue_wait = metrics.histogram(obs::names::kServeQueueWaitMs);
   std::vector<apk::ApkFile> apks;
-  std::vector<EmulationSlot> slots;
   std::unordered_map<std::string, size_t> digest_to_slot;
 
-  for (size_t i = 0; i < batch.size(); ++i) {
-    PendingSubmission& pending = batch[i];
-    queue_wait.Observe(MsSince(pending.admitted_at, assembled_at));
+  for (size_t i = 0; i < state->batch.size(); ++i) {
+    PendingSubmission& pending = state->batch[i];
+    queue_wait.Observe(MsSince(pending.admitted_at, state->assembled_at));
 
-    if (assembled_at >= pending.deadline) {
+    if (state->assembled_at >= pending.deadline) {
       VettingResult result;
       result.status = VetStatus::kDeadlineExpired;
-      result.model_version = snapshot->version;
-      resolve(pending, std::move(result));
+      result.model_version = state->snapshot->version;
+      resolve(*state, pending, std::move(result));
       continue;
     }
 
-    if (auto cached = cache_.Get(pending.digest, snapshot->version)) {
+    if (auto cached = cache_.Get(pending.digest, state->snapshot->version)) {
       VettingResult result;
       result.malicious = cached->malicious;
       result.score = cached->score;
       result.from_cache = true;
-      result.model_version = snapshot->version;
+      result.model_version = state->snapshot->version;
       counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       metrics.counter(obs::names::kServeCacheHitsTotal).Increment();
-      resolve(pending, std::move(result));
+      resolve(*state, pending, std::move(result));
       continue;
     }
     metrics.counter(obs::names::kServeCacheMissesTotal).Increment();
 
     if (auto it = digest_to_slot.find(pending.digest); it != digest_to_slot.end()) {
-      slots[it->second].followers.push_back(i);
+      state->slots[it->second].followers.push_back(i);
       continue;
     }
 
@@ -178,12 +197,12 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
       VettingResult result;
       result.status = VetStatus::kParseError;
       result.error = parsed.error();
-      result.model_version = snapshot->version;
-      resolve(pending, std::move(result));
+      result.model_version = state->snapshot->version;
+      resolve(*state, pending, std::move(result));
       continue;
     }
-    digest_to_slot.emplace(pending.digest, slots.size());
-    slots.push_back({i, {}});
+    digest_to_slot.emplace(pending.digest, state->slots.size());
+    state->slots.push_back({i, {}});
     apks.push_back(std::move(*parsed));
   }
 
@@ -191,31 +210,64 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
     return;
   }
 
-  const emu::BatchResult farm_result = farm_.RunBatch(apks, snapshot->tracked);
+  // Hand the emulation work to the pool; classification happens on the pool
+  // worker that completes the batch. Affinity-hash the first leader's digest
+  // so byte-similar traffic prefers the same farm when loads tie.
+  const uint64_t affinity =
+      std::hash<std::string>{}(state->batch[state->slots.front().leader].digest);
 
-  for (size_t s = 0; s < slots.size(); ++s) {
-    PendingSubmission& leader = batch[slots[s].leader];
-    const core::ApiChecker::Verdict verdict =
-        snapshot->checker.Classify(farm_result.reports[s]);
-    cache_.Put(leader.digest,
-               {snapshot->version, verdict.malicious, verdict.score});
+  auto on_complete = [this, state, resolve](const emu::BatchResult& farm_result) {
+    for (size_t s = 0; s < state->slots.size(); ++s) {
+      PendingSubmission& leader = state->batch[state->slots[s].leader];
+      const core::ApiChecker::Verdict verdict =
+          state->snapshot->checker.Classify(farm_result.reports[s]);
+      cache_.Put(leader.digest,
+                 {state->snapshot->version, verdict.malicious, verdict.score});
 
-    VettingResult result;
-    result.malicious = verdict.malicious;
-    result.score = verdict.score;
-    result.model_version = snapshot->version;
-    resolve(leader, std::move(result));
+      VettingResult result;
+      result.malicious = verdict.malicious;
+      result.score = verdict.score;
+      result.model_version = state->snapshot->version;
+      resolve(*state, leader, std::move(result));
 
-    for (size_t follower_idx : slots[s].followers) {
-      VettingResult dup;
-      dup.malicious = verdict.malicious;
-      dup.score = verdict.score;
-      dup.from_cache = true;  // Emulation skipped via in-batch dedup.
-      dup.model_version = snapshot->version;
-      counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
-      metrics.counter(obs::names::kServeCacheHitsTotal).Increment();
-      resolve(batch[follower_idx], std::move(dup));
+      for (size_t follower_idx : state->slots[s].followers) {
+        VettingResult dup;
+        dup.malicious = verdict.malicious;
+        dup.score = verdict.score;
+        dup.from_cache = true;  // Emulation skipped via in-batch dedup.
+        dup.model_version = state->snapshot->version;
+        counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
+        obs::MetricsRegistry::Default()
+            .counter(obs::names::kServeCacheHitsTotal)
+            .Increment();
+        resolve(*state, state->batch[follower_idx], std::move(dup));
+      }
     }
+  };
+
+  auto on_reject = [this, state, resolve](PoolRejectReason reason) {
+    (void)this;
+    for (const EmulationSlot& slot : state->slots) {
+      VettingResult result;
+      result.status = VetStatus::kRejectedUnhealthy;
+      result.error = PoolRejectReasonName(reason);
+      result.model_version = state->snapshot->version;
+      resolve(*state, state->batch[slot.leader], std::move(result));
+      for (size_t follower_idx : slot.followers) {
+        VettingResult dup;
+        dup.status = VetStatus::kRejectedUnhealthy;
+        dup.error = PoolRejectReasonName(reason);
+        dup.model_version = state->snapshot->version;
+        resolve(*state, state->batch[follower_idx], std::move(dup));
+      }
+    }
+  };
+
+  if (!pool_.Submit(std::move(apks), state->snapshot, affinity, on_complete,
+                    on_reject)) {
+    // Shutdown race: the pool closed before this batch reached it. Resolve
+    // everything visibly rather than dropping it.
+    on_reject(PoolRejectReason::kClosed);
   }
 }
 

@@ -1,11 +1,20 @@
-// Batch scheduler: drains the sharded submission queues into DeviceFarm-sized
+// Batch scheduler: drains the sharded submission queues into farm-sized
 // batches and drives each batch through parse -> emulate -> classify ->
 // cache-fill. Flushes on batch-full OR when the oldest queued member has
 // lingered past max_linger — the classic throughput/latency coalescing
 // trade-off (a full farm batch keeps all emulators busy; the linger cap keeps
-// a trickle of submissions from waiting forever). Acquires one model snapshot
-// per batch, so hot-swaps take effect at the next batch boundary and a batch
-// is never classified by two different models.
+// a trickle of submissions from waiting forever). When the batch is empty the
+// scheduler blocks on the shards' condition variable, so the first submission
+// after an idle stretch wakes it immediately (no poll granularity).
+//
+// Emulation routes through a FarmPool: triage (deadline expiry, digest-cache
+// hits, in-batch dedup, parsing) runs on the scheduler thread, then the batch
+// is handed to the pool and classified asynchronously on a pool worker when
+// its farm finishes — so M farms stay busy while the scheduler assembles the
+// next batch. A pool-level failure (all farms down, retry budget exhausted)
+// resolves every member with kRejectedUnhealthy rather than dropping it.
+// Acquires one model snapshot per batch, so hot-swaps take effect at the next
+// batch boundary and a batch is never classified by two different models.
 
 #ifndef APICHECKER_SERVE_BATCH_SCHEDULER_H_
 #define APICHECKER_SERVE_BATCH_SCHEDULER_H_
@@ -15,8 +24,8 @@
 #include <thread>
 #include <vector>
 
-#include "emu/farm.h"
 #include "serve/digest_cache.h"
+#include "serve/farm_pool.h"
 #include "serve/serving_model.h"
 #include "serve/submission_shards.h"
 #include "serve/types.h"
@@ -28,14 +37,12 @@ struct BatchSchedulerConfig {
   size_t batch_size = 16;
   // Max time the oldest batch member may wait before a partial flush.
   std::chrono::milliseconds max_linger{20};
-  // Poll granularity while the batch is empty (bounds shutdown latency).
-  std::chrono::milliseconds idle_poll{50};
 };
 
 class BatchScheduler {
  public:
   BatchScheduler(BatchSchedulerConfig config, SubmissionShards& shards,
-                 DigestCache& cache, ServingModel& model, emu::DeviceFarm& farm,
+                 DigestCache& cache, ServingModel& model, FarmPool& pool,
                  ServiceCounters& counters);
   ~BatchScheduler();
 
@@ -46,8 +53,10 @@ class BatchScheduler {
   // drained.
   void Start();
 
-  // Joins the scheduler thread; every queued submission is resolved first
-  // (the shards must already be closed, or this blocks until they are).
+  // Joins the scheduler thread; every queued submission has been handed to
+  // the pool (or resolved) first. The pool must be drained separately to
+  // resolve in-flight batches (the shards must already be closed, or this
+  // blocks until they are).
   void Join();
 
   bool running() const { return thread_.joinable(); }
@@ -60,7 +69,7 @@ class BatchScheduler {
   SubmissionShards& shards_;
   DigestCache& cache_;
   ServingModel& model_;
-  emu::DeviceFarm& farm_;
+  FarmPool& pool_;
   ServiceCounters& counters_;
   std::thread thread_;
 };

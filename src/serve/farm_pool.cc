@@ -1,0 +1,355 @@
+#include "serve/farm_pool.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace apichecker::serve {
+
+const char* PoolRejectReasonName(PoolRejectReason reason) {
+  switch (reason) {
+    case PoolRejectReason::kNoHealthyFarms:
+      return "no healthy farms";
+    case PoolRejectReason::kRetryBudgetExhausted:
+      return "retry budget exhausted";
+    case PoolRejectReason::kClosed:
+      return "farm pool closed";
+  }
+  return "unknown";
+}
+
+const char* BreakerStateName(BreakerState state) {
+  switch (state) {
+    case BreakerState::kClosed:
+      return "closed";
+    case BreakerState::kOpen:
+      return "open";
+    case BreakerState::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+std::string FarmSeriesName(const char* base, uint32_t farm_id) {
+  return util::StrFormat("%s{farm=\"%u\"}", base, farm_id);
+}
+
+FarmPool::FarmPool(const android::ApiUniverse& universe, FarmPoolConfig config,
+                   const emu::FarmConfig& farm_template)
+    : config_(config) {
+  const size_t num_farms = std::max<size_t>(1, config_.num_farms);
+  config_.num_farms = num_farms;
+  config_.max_attempts = std::max<size_t>(1, config_.max_attempts);
+  config_.breaker_failure_streak = std::max<size_t>(1, config_.breaker_failure_streak);
+
+  farms_.reserve(num_farms);
+  for (size_t i = 0; i < num_farms; ++i) {
+    emu::FarmConfig farm_config = farm_template;
+    farm_config.farm_id = static_cast<uint32_t>(i);
+    farm_config.fault_plan = config_.fault_plan;
+    farms_.push_back(std::make_unique<emu::DeviceFarm>(universe, farm_config));
+  }
+  queues_.resize(num_farms);
+  in_flight_.assign(num_farms, 0);
+  health_.resize(num_farms);
+  farm_stats_.resize(num_farms);
+  for (size_t i = 0; i < num_farms; ++i) {
+    farm_stats_[i].farm_id = static_cast<uint32_t>(i);
+  }
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  metrics.gauge(obs::names::kServeFarmPoolSize).Set(static_cast<double>(num_farms));
+  metrics.gauge(obs::names::kServeFarmHealthy).Set(static_cast<double>(num_farms));
+
+  workers_.reserve(num_farms);
+  for (size_t i = 0; i < num_farms; ++i) {
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+FarmPool::~FarmPool() { Close(); }
+
+void FarmPool::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) {
+      worker.join();
+    }
+  }
+}
+
+size_t FarmPool::HealthyFarmsLocked() const {
+  size_t healthy = 0;
+  for (const FarmHealth& h : health_) {
+    healthy += h.state == BreakerState::kClosed ? 1 : 0;
+  }
+  return healthy;
+}
+
+void FarmPool::PublishHealthGaugeLocked() const {
+  obs::MetricsRegistry::Default()
+      .gauge(obs::names::kServeFarmHealthy)
+      .Set(static_cast<double>(HealthyFarmsLocked()));
+}
+
+size_t FarmPool::healthy_farms() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return HealthyFarmsLocked();
+}
+
+std::optional<size_t> FarmPool::RouteLocked(const PoolBatch& batch) {
+  const Clock::time_point now = Clock::now();
+  // Two passes: closed breakers first; a cooled-down open breaker is only
+  // used when no fully healthy farm remains, and then as a single half-open
+  // probe. Within a pass: least loaded wins, affinity breaks ties.
+  auto pick = [&](bool probe_pass) -> std::optional<size_t> {
+    size_t best_load = std::numeric_limits<size_t>::max();
+    std::vector<size_t> candidates;
+    for (size_t i = 0; i < farms_.size(); ++i) {
+      if (batch.tried[i]) {
+        continue;
+      }
+      const FarmHealth& h = health_[i];
+      if (!probe_pass ? h.state != BreakerState::kClosed
+                      : h.state != BreakerState::kOpen || now < h.open_until) {
+        continue;
+      }
+      const size_t load = queues_[i].size() + (in_flight_[i] ? 1 : 0);
+      if (load < best_load) {
+        best_load = load;
+        candidates.clear();
+      }
+      if (load == best_load) {
+        candidates.push_back(i);
+      }
+    }
+    if (candidates.empty()) {
+      return std::nullopt;
+    }
+    return candidates[batch.affinity % candidates.size()];
+  };
+
+  if (auto farm = pick(/*probe_pass=*/false)) {
+    return farm;
+  }
+  if (auto farm = pick(/*probe_pass=*/true)) {
+    health_[*farm].state = BreakerState::kHalfOpen;
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+    metrics.counter(obs::names::kServeFarmBreakerReprobeTotal).Increment();
+    metrics.counter(FarmSeriesName(obs::names::kServeFarmBreakerReprobeTotal,
+                                   farm_stats_[*farm].farm_id))
+        .Increment();
+    return farm;
+  }
+  return std::nullopt;
+}
+
+void FarmPool::RecordSuccessLocked(size_t farm_index, const emu::BatchResult& result,
+                                   bool was_retry) {
+  FarmHealth& h = health_[farm_index];
+  const bool was_unhealthy = h.state != BreakerState::kClosed;
+  h.consecutive_failures = 0;
+  h.state = BreakerState::kClosed;
+  if (was_unhealthy) {
+    APICHECKER_SLOG(Info, "serve.farm_pool.breaker_closed")
+        .With("farm", farm_stats_[farm_index].farm_id);
+    PublishHealthGaugeLocked();
+  }
+  FarmStats& stats = farm_stats_[farm_index];
+  ++stats.batches_completed;
+  stats.retries_absorbed += was_retry ? 1 : 0;
+  stats.busy_minutes += result.makespan_minutes;
+}
+
+void FarmPool::RecordFaultLocked(size_t farm_index) {
+  FarmHealth& h = health_[farm_index];
+  FarmStats& stats = farm_stats_[farm_index];
+  ++stats.faults;
+  ++faults_;
+  ++h.consecutive_failures;
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  metrics.counter(obs::names::kServeFarmFaultsTotal).Increment();
+  metrics.counter(FarmSeriesName(obs::names::kServeFarmFaultsTotal, stats.farm_id))
+      .Increment();
+
+  const bool reopen = h.state == BreakerState::kHalfOpen;  // Probe failed.
+  const bool trip = h.state == BreakerState::kClosed &&
+                    h.consecutive_failures >= config_.breaker_failure_streak;
+  if (reopen || trip) {
+    h.state = BreakerState::kOpen;
+    h.open_until = Clock::now() + config_.breaker_cooldown;
+    ++h.breaker_opens;
+    ++stats.breaker_opens;
+    metrics.counter(obs::names::kServeFarmBreakerOpenTotal).Increment();
+    metrics
+        .counter(FarmSeriesName(obs::names::kServeFarmBreakerOpenTotal, stats.farm_id))
+        .Increment();
+    APICHECKER_SLOG(Warning, "serve.farm_pool.breaker_open")
+        .With("farm", stats.farm_id)
+        .With("streak", h.consecutive_failures)
+        .With("reprobe", reopen);
+    PublishHealthGaugeLocked();
+  }
+}
+
+bool FarmPool::Submit(std::vector<apk::ApkFile> apks,
+                      std::shared_ptr<const ModelSnapshot> snapshot,
+                      uint64_t affinity, CompleteFn on_complete, RejectFn on_reject) {
+  auto batch = std::make_unique<PoolBatch>();
+  batch->apks = std::move(apks);
+  batch->snapshot = std::move(snapshot);
+  batch->affinity = affinity;
+  batch->tried.assign(farms_.size(), 0);
+  batch->on_complete = std::move(on_complete);
+  batch->on_reject = std::move(on_reject);
+
+  RejectFn reject_now;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      return false;
+    }
+    std::optional<size_t> target = RouteLocked(*batch);
+    if (!target) {
+      ++rejected_batches_;
+      reject_now = std::move(batch->on_reject);
+    } else {
+      ++routed_;
+      ++outstanding_;
+      obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+      metrics.counter(obs::names::kServeFarmBatchesRoutedTotal).Increment();
+      metrics
+          .counter(FarmSeriesName(obs::names::kServeFarmBatchesRoutedTotal,
+                                  farm_stats_[*target].farm_id))
+          .Increment();
+      queues_[*target].push_back(std::move(batch));
+    }
+  }
+  if (reject_now) {
+    // The per-submission rejected_unhealthy metric is the caller's to count
+    // (the pool only sees batches); we track batch-level rejects in stats().
+    reject_now(PoolRejectReason::kNoHealthyFarms);
+    return true;
+  }
+  cv_.notify_all();
+  return true;
+}
+
+void FarmPool::WorkerLoop(size_t farm_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    cv_.wait(lock, [&] {
+      return !queues_[farm_index].empty() || (closed_ && outstanding_ == 0);
+    });
+    if (queues_[farm_index].empty()) {
+      return;  // Closed and fully drained (retries included).
+    }
+    std::unique_ptr<PoolBatch> batch = std::move(queues_[farm_index].front());
+    queues_[farm_index].pop_front();
+    in_flight_[farm_index] = 1;
+    lock.unlock();
+
+    emu::BatchResult result;
+    {
+      obs::TraceSpan span("serve.farm_pool.batch");
+      result = farms_[farm_index]->RunBatch(batch->apks, batch->snapshot->tracked);
+    }
+
+    lock.lock();
+    in_flight_[farm_index] = 0;
+
+    if (!result.farm_fault) {
+      RecordSuccessLocked(farm_index, result, batch->attempts > 0);
+      obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+      metrics.histogram(obs::names::kServeFarmMakespanMinutes)
+          .Observe(result.makespan_minutes);
+      metrics
+          .histogram(FarmSeriesName(obs::names::kServeFarmMakespanMinutes,
+                                    farm_stats_[farm_index].farm_id))
+          .Observe(result.makespan_minutes);
+      --outstanding_;
+      const bool drained = closed_ && outstanding_ == 0;
+      lock.unlock();
+      batch->on_complete(result);
+      batch.reset();
+      if (drained) {
+        cv_.notify_all();
+      }
+      lock.lock();
+      continue;
+    }
+
+    // Farm-level fault: mark health, then fail the batch over to a farm it
+    // has not tried, bounded by max_attempts; otherwise reject visibly.
+    APICHECKER_SLOG(Warning, "serve.farm_pool.fault")
+        .With("farm", farm_stats_[farm_index].farm_id)
+        .With("reason", result.fault_reason);
+    RecordFaultLocked(farm_index);
+    batch->tried[farm_index] = 1;
+    ++batch->attempts;
+
+    std::optional<size_t> target;
+    PoolRejectReason reason = PoolRejectReason::kRetryBudgetExhausted;
+    if (batch->attempts < config_.max_attempts) {
+      target = RouteLocked(*batch);
+      if (!target) {
+        reason = PoolRejectReason::kNoHealthyFarms;
+      }
+    }
+
+    obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+    if (target) {
+      ++retries_;
+      ++routed_;
+      metrics.counter(obs::names::kServeFarmRetriesTotal).Increment();
+      metrics.counter(obs::names::kServeFarmBatchesRoutedTotal).Increment();
+      metrics
+          .counter(FarmSeriesName(obs::names::kServeFarmBatchesRoutedTotal,
+                                  farm_stats_[*target].farm_id))
+          .Increment();
+      queues_[*target].push_back(std::move(batch));
+      lock.unlock();
+      cv_.notify_all();
+      lock.lock();
+    } else {
+      ++rejected_batches_;
+      --outstanding_;
+      const bool drained = closed_ && outstanding_ == 0;
+      lock.unlock();
+      batch->on_reject(reason);
+      batch.reset();
+      if (drained) {
+        cv_.notify_all();
+      }
+      lock.lock();
+    }
+  }
+}
+
+FarmPoolStats FarmPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  FarmPoolStats stats;
+  stats.farms = farm_stats_;
+  for (size_t i = 0; i < stats.farms.size(); ++i) {
+    stats.farms[i].breaker = health_[i].state;
+  }
+  stats.batches_routed = routed_;
+  stats.faults = faults_;
+  stats.retries = retries_;
+  stats.rejected_batches = rejected_batches_;
+  stats.healthy_farms = HealthyFarmsLocked();
+  return stats;
+}
+
+}  // namespace apichecker::serve

@@ -1,0 +1,170 @@
+// FarmPool: M emu::DeviceFarm instances behind the batch scheduler — the
+// paper's scale-out story (§5.1: 16 emulators per 20-core server, more
+// servers added as market load grows) made explicit as a routed, health-
+// checked pool. Each farm gets a dedicated dispatch thread, so M farms chew
+// M batches concurrently while the scheduler keeps assembling the next one.
+//
+// Routing: least-loaded healthy farm (queued + in-flight batches), with a
+// digest-affinity tiebreak so byte-similar traffic tends to revisit the same
+// farm. Health: a per-farm circuit breaker opens after a configurable streak
+// of consecutive farm-level faults, cools down, then admits a single
+// half-open probe batch; the probe's outcome closes or re-opens the breaker.
+// Failover: a batch whose farm faults is retried on a healthy farm it has not
+// tried yet, up to max_attempts farms; when no healthy farm remains the batch
+// is rejected visibly (PoolRejectReason) — the pool never hangs a submission.
+//
+// Fault injection is built in: FarmPoolConfig carries an emu::FaultPlan that
+// is threaded into every farm (farm_id selects each farm's fault windows and
+// RNG stream), so every failover path above is exercisable deterministically
+// from tests, benches, and the CLI.
+
+#ifndef APICHECKER_SERVE_FARM_POOL_H_
+#define APICHECKER_SERVE_FARM_POOL_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "apk/apk.h"
+#include "emu/farm.h"
+#include "serve/serving_model.h"
+#include "serve/types.h"
+
+namespace apichecker::serve {
+
+struct FarmPoolConfig {
+  size_t num_farms = 1;
+  // Max distinct farms one batch may be attempted on before rejection.
+  size_t max_attempts = 3;
+  // Consecutive farm-level faults that open a farm's circuit breaker.
+  size_t breaker_failure_streak = 3;
+  // How long an open breaker blocks routing before a half-open re-probe.
+  std::chrono::milliseconds breaker_cooldown{250};
+  // Threaded into every farm's FarmConfig (farm_id is assigned by the pool).
+  emu::FaultPlan fault_plan;
+};
+
+enum class PoolRejectReason : uint8_t {
+  kNoHealthyFarms = 0,       // Every untried farm is faulted or circuit-broken.
+  kRetryBudgetExhausted = 1, // Faulted on max_attempts distinct farms.
+  kClosed = 2,               // Pool already closed (shutdown race).
+};
+
+const char* PoolRejectReasonName(PoolRejectReason reason);
+
+enum class BreakerState : uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+const char* BreakerStateName(BreakerState state);
+
+// Per-farm accounting, exposed through FarmPoolStats.
+struct FarmStats {
+  uint32_t farm_id = 0;
+  uint64_t batches_completed = 0;   // Successful batches executed here.
+  uint64_t faults = 0;              // Farm-level faults observed here.
+  uint64_t retries_absorbed = 0;    // Batches completed here after faulting elsewhere.
+  uint64_t breaker_opens = 0;
+  BreakerState breaker = BreakerState::kClosed;
+  double busy_minutes = 0.0;        // Sum of simulated batch makespans.
+};
+
+struct FarmPoolStats {
+  std::vector<FarmStats> farms;
+  uint64_t batches_routed = 0;      // Dispatches, retries included.
+  uint64_t faults = 0;
+  uint64_t retries = 0;             // Faulted batches re-routed to another farm.
+  uint64_t rejected_batches = 0;    // Batches that exhausted the pool.
+  size_t healthy_farms = 0;         // Breaker currently closed.
+};
+
+// Per-farm metric series name with an embedded Prometheus label, e.g.
+// apichecker_serve_farm_batches_routed_total{farm="2"}.
+std::string FarmSeriesName(const char* base, uint32_t farm_id);
+
+class FarmPool {
+ public:
+  // Exactly one of the two callbacks fires per submitted batch, on a pool
+  // worker thread. on_complete receives a fault-free BatchResult.
+  using CompleteFn = std::function<void(const emu::BatchResult&)>;
+  using RejectFn = std::function<void(PoolRejectReason)>;
+
+  // `farm_template` is cloned per farm with farm_id = 0..num_farms-1 and the
+  // pool's fault plan attached. Workers start immediately.
+  FarmPool(const android::ApiUniverse& universe, FarmPoolConfig config,
+           const emu::FarmConfig& farm_template);
+  ~FarmPool();
+
+  FarmPool(const FarmPool&) = delete;
+  FarmPool& operator=(const FarmPool&) = delete;
+
+  // Routes the batch to a healthy farm. If none is available the reject
+  // callback fires synchronously (visible degradation, never a hang). Returns
+  // false only when the pool is closed (no callback has fired).
+  bool Submit(std::vector<apk::ApkFile> apks,
+              std::shared_ptr<const ModelSnapshot> snapshot, uint64_t affinity,
+              CompleteFn on_complete, RejectFn on_reject);
+
+  // Stops admission, executes everything still queued (retries included),
+  // joins the workers. Idempotent; the destructor calls it.
+  void Close();
+
+  size_t num_farms() const { return farms_.size(); }
+  FarmPoolStats stats() const;
+  size_t healthy_farms() const;
+
+ private:
+  struct PoolBatch {
+    std::vector<apk::ApkFile> apks;
+    std::shared_ptr<const ModelSnapshot> snapshot;
+    uint64_t affinity = 0;
+    std::vector<char> tried;  // One flag per farm.
+    size_t attempts = 0;      // Farms this batch has faulted on.
+    CompleteFn on_complete;
+    RejectFn on_reject;
+  };
+
+  struct FarmHealth {
+    BreakerState state = BreakerState::kClosed;
+    size_t consecutive_failures = 0;
+    Clock::time_point open_until{};
+    uint64_t breaker_opens = 0;
+  };
+
+  void WorkerLoop(size_t farm_index);
+  // All *Locked methods require mu_.
+  std::optional<size_t> RouteLocked(const PoolBatch& batch);
+  void RecordSuccessLocked(size_t farm_index, const emu::BatchResult& result,
+                           bool was_retry);
+  void RecordFaultLocked(size_t farm_index);
+  size_t HealthyFarmsLocked() const;
+  void PublishHealthGaugeLocked() const;
+
+  FarmPoolConfig config_;
+  std::vector<std::unique_ptr<emu::DeviceFarm>> farms_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<std::deque<std::unique_ptr<PoolBatch>>> queues_;  // Per farm.
+  std::vector<char> in_flight_;                                 // Per farm.
+  std::vector<FarmHealth> health_;
+  std::vector<FarmStats> farm_stats_;
+  uint64_t routed_ = 0;
+  uint64_t faults_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t rejected_batches_ = 0;
+  size_t outstanding_ = 0;  // Batches accepted but not yet completed/rejected.
+  bool closed_ = false;
+
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace apichecker::serve
+
+#endif  // APICHECKER_SERVE_FARM_POOL_H_

@@ -27,9 +27,9 @@ VettingService::VettingService(const android::ApiUniverse& universe,
       config_(config),
       cache_(config.cache_capacity),
       model_(std::move(initial_model)),
-      farm_(universe, config.farm),
+      pool_(universe, config.pool, config.farm),
       shards_(config.num_shards, config.shard_capacity),
-      scheduler_(ResolveSchedulerConfig(config), shards_, cache_, model_, farm_,
+      scheduler_(ResolveSchedulerConfig(config), shards_, cache_, model_, pool_,
                  counters_) {
   if (!config_.start_paused) {
     scheduler_.Start();
@@ -86,10 +86,13 @@ void VettingService::Shutdown() {
     return;
   }
   // Scheduler must be running to drain whatever is queued (covers the
-  // start_paused case where Start() was never called).
+  // start_paused case where Start() was never called). Order matters: the
+  // scheduler hands its last batches to the pool before Join() returns, and
+  // only then may the pool close — so every accepted submission resolves.
   scheduler_.Start();
   shards_.Close();
   scheduler_.Join();
+  pool_.Close();
   APICHECKER_SLOG(Info, "serve.drained")
       .With("accepted", counters_.accepted.load())
       .With("resolved", counters_.resolved());
@@ -128,6 +131,11 @@ ServiceStats VettingService::stats() const {
   stats.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
   stats.model_swaps = counters_.model_swaps.load(std::memory_order_relaxed);
   stats.batches = counters_.batches.load(std::memory_order_relaxed);
+  stats.rejected_unhealthy =
+      counters_.rejected_unhealthy.load(std::memory_order_relaxed);
+  const FarmPoolStats pool_stats = pool_.stats();
+  stats.farm_faults = pool_stats.faults;
+  stats.farm_retries = pool_stats.retries;
   return stats;
 }
 

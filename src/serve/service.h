@@ -10,7 +10,8 @@
 //  * Backpressure, not OOM — a full shard rejects at Submit() with a Result
 //    error; accepted work is bounded by num_shards * shard_capacity.
 //  * No lost submissions — after Shutdown(), accepted == completed +
-//    deadline_expired + parse_errors.
+//    deadline_expired + parse_errors + rejected_unhealthy. Even with every
+//    farm circuit-broken, a submission resolves visibly; it never hangs.
 //  * No torn models — each batch classifies under exactly one ModelSnapshot;
 //    swaps publish atomically and in-flight batches pin the old snapshot.
 
@@ -28,6 +29,7 @@
 #include "market/model_registry.h"
 #include "serve/batch_scheduler.h"
 #include "serve/digest_cache.h"
+#include "serve/farm_pool.h"
 #include "serve/serving_model.h"
 #include "serve/submission_shards.h"
 #include "serve/types.h"
@@ -39,7 +41,9 @@ struct ServiceConfig {
   size_t num_shards = 4;
   size_t shard_capacity = 256;   // Bounded admission: max queued per shard.
   size_t cache_capacity = 8192;  // Digest-cache entries.
-  emu::FarmConfig farm;          // batch_size defaults to farm.num_emulators.
+  emu::FarmConfig farm;  // Per-farm template; batch_size defaults to
+                         // farm.num_emulators.
+  FarmPoolConfig pool;   // Farm count, failover budget, breaker, fault plan.
   BatchSchedulerConfig scheduler;
   // When true the scheduler thread is not started; submissions queue up until
   // Start() — the drain-control switch (and how tests fill queues
@@ -82,6 +86,7 @@ class VettingService {
   void AttachToRegistry(market::ModelRegistry& registry);
 
   ServiceStats stats() const;
+  FarmPoolStats farm_pool_stats() const { return pool_.stats(); }
   uint32_t model_version() const { return model_.version(); }
   size_t queue_depth() const { return shards_.ApproxDepth(); }
   const ServiceConfig& config() const { return config_; }
@@ -93,7 +98,7 @@ class VettingService {
   ServiceCounters counters_;
   DigestCache cache_;
   ServingModel model_;
-  emu::DeviceFarm farm_;
+  FarmPool pool_;
   SubmissionShards shards_;
   BatchScheduler scheduler_;
   std::atomic<uint64_t> next_id_{1};

@@ -79,6 +79,24 @@ std::optional<PendingSubmission> SubmissionShards::PopAnyFor(
   }
 }
 
+std::optional<PendingSubmission> SubmissionShards::PopAnyBlocking() {
+  for (;;) {
+    uint64_t seen;
+    {
+      std::lock_guard<std::mutex> lock(signal_mu_);
+      seen = pushes_;
+    }
+    if (auto pending = TryPopAny()) {
+      return pending;
+    }
+    std::unique_lock<std::mutex> lock(signal_mu_);
+    if (closed_ && pushes_ == seen) {
+      return std::nullopt;  // Closed and the sweep found nothing: drained.
+    }
+    signal_cv_.wait(lock, [&] { return pushes_ != seen || closed_; });
+  }
+}
+
 void SubmissionShards::Close() {
   {
     std::lock_guard<std::mutex> lock(signal_mu_);

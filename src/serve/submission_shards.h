@@ -40,6 +40,12 @@ class SubmissionShards {
   // on timeout or when closed and fully drained.
   std::optional<PendingSubmission> PopAnyFor(std::chrono::milliseconds timeout);
 
+  // Untimed variant: sleeps on the push/close condition variable until a
+  // submission arrives or the shards close. Nullopt only when closed and
+  // drained — this is what lets an idle consumer wake on the next push
+  // immediately instead of at some poll granularity.
+  std::optional<PendingSubmission> PopAnyBlocking();
+
   // Non-blocking variant of PopAnyFor.
   std::optional<PendingSubmission> TryPopAny();
 

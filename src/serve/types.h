@@ -33,6 +33,9 @@ enum class VetStatus : uint8_t {
   kOk = 0,               // Classified (fresh emulation or digest-cache hit).
   kDeadlineExpired = 1,  // Deadline passed before an emulator picked it up.
   kParseError = 2,       // Not a valid APK archive.
+  // Every farm in the pool was faulted/circuit-broken (or the batch exhausted
+  // its retry budget): the submission is rejected visibly instead of hanging.
+  kRejectedUnhealthy = 3,
 };
 
 inline const char* VetStatusName(VetStatus status) {
@@ -43,6 +46,8 @@ inline const char* VetStatusName(VetStatus status) {
       return "deadline_expired";
     case VetStatus::kParseError:
       return "parse_error";
+    case VetStatus::kRejectedUnhealthy:
+      return "rejected_unhealthy";
   }
   return "unknown";
 }
@@ -71,9 +76,10 @@ struct PendingSubmission {
   std::promise<VettingResult> promise;
 };
 
-// Lifecycle accounting shared by admission, scheduler, and cache. The serving
-// invariant — no lost submissions — is `accepted == resolved` after a drain,
-// where resolved = completed + deadline_expired + parse_errors.
+// Lifecycle accounting shared by admission, scheduler, farm pool, and cache.
+// The serving invariant — no lost submissions — is `accepted == resolved`
+// after a drain, where resolved = completed + deadline_expired + parse_errors
+// + rejected_unhealthy. The invariant must hold even when farms die mid-run.
 struct ServiceCounters {
   std::atomic<uint64_t> submitted{0};
   std::atomic<uint64_t> accepted{0};
@@ -81,6 +87,7 @@ struct ServiceCounters {
   std::atomic<uint64_t> completed{0};         // kOk results (incl. cache hits).
   std::atomic<uint64_t> deadline_expired{0};
   std::atomic<uint64_t> parse_errors{0};
+  std::atomic<uint64_t> rejected_unhealthy{0};  // No healthy farm / retries spent.
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> model_swaps{0};
   std::atomic<uint64_t> batches{0};
@@ -88,7 +95,8 @@ struct ServiceCounters {
   uint64_t resolved() const {
     return completed.load(std::memory_order_relaxed) +
            deadline_expired.load(std::memory_order_relaxed) +
-           parse_errors.load(std::memory_order_relaxed);
+           parse_errors.load(std::memory_order_relaxed) +
+           rejected_unhealthy.load(std::memory_order_relaxed);
   }
 };
 
@@ -100,11 +108,17 @@ struct ServiceStats {
   uint64_t completed = 0;
   uint64_t deadline_expired = 0;
   uint64_t parse_errors = 0;
+  uint64_t rejected_unhealthy = 0;
   uint64_t cache_hits = 0;
   uint64_t model_swaps = 0;
   uint64_t batches = 0;
+  // Farm-pool accounting (mirrors FarmPoolStats aggregates).
+  uint64_t farm_faults = 0;
+  uint64_t farm_retries = 0;
 
-  uint64_t resolved() const { return completed + deadline_expired + parse_errors; }
+  uint64_t resolved() const {
+    return completed + deadline_expired + parse_errors + rejected_unhealthy;
+  }
 };
 
 }  // namespace apichecker::serve

@@ -363,6 +363,152 @@ TEST(VettingService, HotSwapUnderLoadKeepsVerdictsConsistent) {
   EXPECT_GE(stats.model_swaps, 1u);
 }
 
+// The scheduler parks on the shards' condition variable when idle; the next
+// push must wake it immediately, so a lone submission resolves in roughly
+// max_linger + one emulation — not at some polling granularity.
+TEST(VettingService, IdleSchedulerWakesOnPushWithinLingerBound) {
+  ServiceConfig config = SmallConfig();
+  config.scheduler.batch_size = 8;  // One submission never fills the batch.
+  config.scheduler.max_linger = std::chrono::milliseconds(25);
+  VettingService service(TestUniverse(), config, TrainedChecker());
+  // Let the scheduler reach its idle park before the probe submission.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  const auto start = Clock::now();
+  auto accepted = service.Submit(MakeSubmission(MakeApkBytes(41)));
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->get().status, VetStatus::kOk);
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  // Linger (25ms) + one-apk emulation + slack. Generous for CI noise but far
+  // below anything a sleep-poll idle loop would allow.
+  EXPECT_LT(elapsed_ms, 750.0);
+  service.Shutdown();
+}
+
+// Soak test (ctest label: stress; tools/ci.sh runs it under TSan): several
+// producers churn duplicate-digest submissions through a 3-farm pool while
+// the model hot-swaps and one farm flaps through scripted outage windows.
+// After the drain, nothing may be lost, torn, or disagreeing.
+TEST(VettingServiceSoak, ChurnWithFlappingFarmHotSwapsAndDupDigests) {
+  ServiceConfig config;
+  config.num_shards = 4;
+  config.shard_capacity = 512;
+  config.cache_capacity = 4096;
+  config.farm.num_emulators = 4;
+  config.farm.worker_threads = 2;
+  config.scheduler.batch_size = 4;
+  config.scheduler.max_linger = std::chrono::milliseconds(2);
+  config.pool.num_farms = 3;
+  config.pool.max_attempts = 3;
+  config.pool.breaker_failure_streak = 2;
+  config.pool.breaker_cooldown = std::chrono::milliseconds(30);
+  // Farm 0 flaps: repeated short outages with recovery in between, so the
+  // breaker opens, cools down, re-probes, and closes — repeatedly — while
+  // farms 1 and 2 absorb the failovers.
+  for (uint64_t from = 1; from <= 19; from += 6) {
+    emu::FaultWindow window;
+    window.farm_id = 0;
+    window.from_batch = from;
+    window.to_batch = from + 2;
+    config.pool.fault_plan.windows.push_back(window);
+  }
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  constexpr size_t kDistinctApks = 8;
+  constexpr size_t kSubmitsPerThread = 50;
+  constexpr size_t kProducers = 4;
+  std::vector<std::vector<uint8_t>> apks;
+  for (size_t i = 0; i < kDistinctApks; ++i) {
+    apks.push_back(MakeApkBytes(500 + i));
+  }
+
+  std::atomic<bool> stop_swapping{false};
+  std::thread swapper([&] {
+    for (int i = 0; i < 10 && !stop_swapping.load(); ++i) {
+      EXPECT_TRUE(service.SwapModelFromBlob(TrainedBlob()).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(3));
+    }
+  });
+
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<VettingResult>>> futures(kProducers);
+  std::vector<std::vector<size_t>> apk_index(kProducers);
+  std::atomic<size_t> admission_rejected{0};
+  for (size_t t = 0; t < kProducers; ++t) {
+    producers.emplace_back([&, t] {
+      for (size_t i = 0; i < kSubmitsPerThread; ++i) {
+        // Heavy digest reuse: every producer cycles the same small APK set
+        // (the market's resubmission pattern), some expedited.
+        const size_t which = (t * 3 + i) % kDistinctApks;
+        auto accepted = service.Submit(
+            MakeSubmission(apks[which], /*priority=*/i % 16 == 0 ? 1 : 0));
+        if (accepted.ok()) {
+          futures[t].push_back(std::move(*accepted));
+          apk_index[t].push_back(which);
+        } else {
+          admission_rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+  stop_swapping.store(true);
+  swapper.join();
+
+  // Every accepted submission resolves kOk — farm flaps are absorbed by
+  // failover, never surfaced to a client — and byte-identical submissions
+  // agree on the verdict no matter which farm/snapshot served them.
+  struct Agreed {
+    bool seen = false;
+    bool malicious = false;
+    double score = 0.0;
+  };
+  std::vector<Agreed> agreed(kDistinctApks);
+  size_t resolved = 0;
+  for (size_t t = 0; t < kProducers; ++t) {
+    for (size_t i = 0; i < futures[t].size(); ++i) {
+      ASSERT_EQ(futures[t][i].wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << "submission hung";
+      const VettingResult result = futures[t][i].get();
+      ASSERT_EQ(result.status, VetStatus::kOk);
+      Agreed& expect = agreed[apk_index[t][i]];
+      if (!expect.seen) {
+        expect = {true, result.malicious, result.score};
+      } else {
+        EXPECT_EQ(result.malicious, expect.malicious);
+        EXPECT_DOUBLE_EQ(result.score, expect.score);
+      }
+      ++resolved;
+    }
+  }
+  service.Shutdown();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, stats.resolved());  // Zero lost, even under faults.
+  EXPECT_EQ(stats.accepted, resolved);
+  EXPECT_EQ(stats.accepted + admission_rejected.load(),
+            kProducers * kSubmitsPerThread);
+  EXPECT_EQ(stats.rejected_unhealthy, 0u);  // Two farms always stayed up.
+  EXPECT_GT(stats.farm_faults, 0u);         // The flap windows actually fired...
+  EXPECT_GT(stats.farm_retries, 0u);        // ...and every fault failed over.
+  EXPECT_GT(stats.cache_hits, 0u);
+  EXPECT_GE(stats.model_swaps, 1u);
+
+  const FarmPoolStats pool_stats = service.farm_pool_stats();
+  EXPECT_EQ(pool_stats.rejected_batches, 0u);
+  uint64_t completed_across_farms = 0;
+  for (const FarmStats& farm : pool_stats.farms) {
+    completed_across_farms += farm.batches_completed;
+  }
+  EXPECT_EQ(completed_across_farms + pool_stats.retries,
+            pool_stats.batches_routed);
+  EXPECT_GE(pool_stats.farms[0].breaker_opens, 1u);
+}
+
 TEST(VettingService, SubmitAfterShutdownIsRejected) {
   VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
   service.Shutdown();

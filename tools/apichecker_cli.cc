@@ -55,6 +55,8 @@ struct CommonFlags {
   size_t shards = 4;
   size_t batch = 0;       // 0 = one per farm emulator.
   size_t linger_ms = 10;
+  size_t farms = 1;       // Device farms in the serving pool.
+  double fault_rate = 0;  // Per-batch farm fault probability (fault injection).
   std::vector<std::string> positional;
 };
 
@@ -86,6 +88,10 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.batch = std::strtoull(next_value("--batch"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--linger-ms") == 0) {
       flags.linger_ms = std::strtoull(next_value("--linger-ms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--farms") == 0) {
+      flags.farms = std::strtoull(next_value("--farms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
+      flags.fault_rate = std::strtod(next_value("--fault-rate"), nullptr);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       flags.metrics_out = next_value("--metrics-out");
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -299,6 +305,9 @@ int CmdServe(const CommonFlags& flags) {
   config.farm.engine.kind = emu::EngineKind::kLightweight;
   config.scheduler.batch_size = flags.batch;  // 0 = one per emulator.
   config.scheduler.max_linger = std::chrono::milliseconds(flags.linger_ms);
+  config.pool.num_farms = std::max<size_t>(1, flags.farms);
+  config.pool.fault_plan.seed = flags.seed;
+  config.pool.fault_plan.fault_rate = flags.fault_rate;
   serve::VettingService service(universe, config, std::move(*checker));
 
   // Build the trace up front so submission pacing measures the service, not
@@ -319,11 +328,11 @@ int CmdServe(const CommonFlags& flags) {
     }
   }
   std::printf("serve: replaying %zu submissions (%zu byte-identical resubmissions) "
-              "on %zu shards, batch %zu, linger %zu ms\n",
-              trace.size(), resubmissions, config.num_shards,
+              "on %zu shards, %zu farms, batch %zu, linger %zu ms, fault rate %.2f\n",
+              trace.size(), resubmissions, config.num_shards, config.pool.num_farms,
               config.scheduler.batch_size == 0 ? config.farm.num_emulators
                                                : config.scheduler.batch_size,
-              flags.linger_ms);
+              flags.linger_ms, flags.fault_rate);
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::future<serve::VettingResult>> futures;
@@ -350,6 +359,7 @@ int CmdServe(const CommonFlags& flags) {
   }
 
   size_t malicious = 0, benign = 0, cache_hits = 0, expired = 0, parse_errors = 0;
+  size_t unhealthy = 0;
   for (auto& future : futures) {
     const serve::VettingResult result = future.get();
     switch (result.status) {
@@ -362,6 +372,9 @@ int CmdServe(const CommonFlags& flags) {
         break;
       case serve::VetStatus::kParseError:
         ++parse_errors;
+        break;
+      case serve::VetStatus::kRejectedUnhealthy:
+        ++unhealthy;
         break;
     }
   }
@@ -377,9 +390,26 @@ int CmdServe(const CommonFlags& flags) {
               static_cast<unsigned long long>(stats.accepted),
               static_cast<unsigned long long>(stats.rejected));
   std::printf("serve: verdicts %zu malicious / %zu benign; %zu cache hits, "
-              "%zu expired, %zu parse errors, %llu batches\n",
-              malicious, benign, cache_hits, expired, parse_errors,
+              "%zu expired, %zu parse errors, %zu rejected-unhealthy, %llu batches\n",
+              malicious, benign, cache_hits, expired, parse_errors, unhealthy,
               static_cast<unsigned long long>(stats.batches));
+  const serve::FarmPoolStats pool_stats = service.farm_pool_stats();
+  std::printf("serve: farm pool — %llu routed, %llu faults, %llu retries, "
+              "%llu rejected batches, %zu/%zu farms healthy\n",
+              static_cast<unsigned long long>(pool_stats.batches_routed),
+              static_cast<unsigned long long>(pool_stats.faults),
+              static_cast<unsigned long long>(pool_stats.retries),
+              static_cast<unsigned long long>(pool_stats.rejected_batches),
+              pool_stats.healthy_farms, pool_stats.farms.size());
+  for (const serve::FarmStats& farm : pool_stats.farms) {
+    std::printf("serve:   farm %u — %llu batches, %llu faults, %llu retries "
+                "absorbed, %llu breaker opens, busy %.1f min, breaker %s\n",
+                farm.farm_id, static_cast<unsigned long long>(farm.batches_completed),
+                static_cast<unsigned long long>(farm.faults),
+                static_cast<unsigned long long>(farm.retries_absorbed),
+                static_cast<unsigned long long>(farm.breaker_opens), farm.busy_minutes,
+                serve::BreakerStateName(farm.breaker));
+  }
   std::printf("serve: model swaps %llu (serving v%u)\n",
               static_cast<unsigned long long>(stats.model_swaps),
               service.model_version());
@@ -428,7 +458,8 @@ void PrintUsage() {
       "  study      run the track-all study and save a model (--apps, --model)\n"
       "  vet        scan .apk files with a saved model (--model, files...)\n"
       "  serve      replay a synthetic trace through the online vetting service\n"
-      "             (--model, --apps, --shards, --batch, --linger-ms)\n"
+      "             (--model, --apps, --shards, --batch, --linger-ms,\n"
+      "              --farms M, --fault-rate P for multi-farm fault injection)\n"
       "  market     run the deployment simulation (--months, --apps)\n"
       "common flags: --apis N (default 30000), --seed S (default 42),\n"
       "              --metrics-out FILE (dump metrics JSON; .prom for Prometheus)\n"

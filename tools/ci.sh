@@ -1,8 +1,11 @@
 #!/bin/sh
 # Tier-1 verification script: configure, build, and run the full ctest suite,
 # then a serving-layer smoke test of the CLI (trace replay + metrics dump),
-# then rebuild the concurrency-sensitive tests under AddressSanitizer (and,
-# unless skipped, the serving tests under ThreadSanitizer too).
+# then a fault-injected multi-farm smoke (3 farms, 20% fault rate: failover
+# must absorb every fault with zero lost submissions), then rebuild the
+# concurrency-sensitive tests under AddressSanitizer and — unless skipped —
+# run the stress-labelled suites (farm-pool fault injection + the serve soak
+# test) under ThreadSanitizer.
 #
 # Usage: sh tools/ci.sh [--no-asan] [--no-tsan]
 set -e
@@ -38,19 +41,41 @@ for series in apichecker_serve_submissions_total apichecker_serve_batches_total 
 done
 echo "serve smoke OK (metrics dump carries the apichecker_serve_* series)"
 
+echo "=== stress: fault-injected multi-farm serve smoke ==="
+# 3 farms with a 20% per-batch fault rate: the pool must retry faulted batches
+# on healthy farms (retries > 0 in the metrics dump) and still lose nothing
+# (the CLI exits non-zero if accepted != resolved).
+"$ROOT/build/tools/apichecker" serve --apps 160 --apis 8000 --batch 4 \
+  --model "$SERVE_TMP/model.bin" --farms 3 --fault-rate 0.2 \
+  --metrics-out "$SERVE_TMP/metrics-faulted.json" \
+  | grep "invariant accepted == resolved: OK"
+# Integer counters serialize bare in the JSON dump, so a nonzero value is
+# simply a leading digit 1-9.
+grep -q '"apichecker_serve_farm_faults_total": [1-9]' "$SERVE_TMP/metrics-faulted.json" || {
+  echo "fault injection produced no farm faults"; exit 1; }
+grep -q '"apichecker_serve_farm_retries_total": [1-9]' "$SERVE_TMP/metrics-faulted.json" || {
+  echo "farm faults were not retried"; exit 1; }
+grep -q '"apichecker_emu_farm_injected_faults_total": [1-9]' "$SERVE_TMP/metrics-faulted.json" || {
+  echo "missing emu-level injected-fault accounting"; exit 1; }
+echo "fault smoke OK (faults injected, failover retries observed, zero lost)"
+
 if [ "$ASAN" = "1" ]; then
-  echo "=== asan: build + run test_obs test_serve ==="
+  echo "=== asan: build + run test_obs test_serve test_farm_pool ==="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
-  cmake --build "$ROOT/build-asan" -j --target test_obs test_serve
+  cmake --build "$ROOT/build-asan" -j --target test_obs test_serve test_farm_pool
   "$ROOT/build-asan/tests/test_obs"
   "$ROOT/build-asan/tests/test_serve"
+  "$ROOT/build-asan/tests/test_farm_pool"
 fi
 
 if [ "$TSAN" = "1" ]; then
-  echo "=== tsan: build + run test_serve (hot-swap/backpressure races) ==="
+  echo "=== tsan: serve races + stress-labelled suites ==="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DAPICHECKER_SANITIZE=thread >/dev/null
-  cmake --build "$ROOT/build-tsan" -j --target test_serve
+  cmake --build "$ROOT/build-tsan" -j --target test_serve test_farm_pool
   "$ROOT/build-tsan/tests/test_serve"
+  # Stress label = the farm-pool fault suite + the multi-producer soak test
+  # (tests/CMakeLists.txt tags them), i.e. the heaviest concurrency paths.
+  (cd "$ROOT/build-tsan" && ctest -L stress --output-on-failure)
 fi
 
 echo "CI OK"

@@ -26,6 +26,7 @@
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "serve/service.h"
+#include "store/verdict_store.h"
 #include "util/rng.h"
 #include "util/strings.h"
 
@@ -98,11 +99,14 @@ int main(int argc, char** argv) {
   // Pool flags are bench-specific; BenchArgs ignores flags it doesn't know.
   size_t farms = 1;
   double fault_rate = 0.0;
+  const char* store_dir = nullptr;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--farms") == 0 && i + 1 < argc) {
       farms = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
       fault_rate = std::strtod(argv[++i], nullptr);
+    } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
+      store_dir = argv[++i];
     }
   }
   const size_t trace_size = args.AppsOr(4'000);
@@ -127,6 +131,14 @@ int main(int argc, char** argv) {
   config.pool.fault_plan.fault_rate = fault_rate;
   std::printf("farm pool: %zu farms, fault rate %.2f\n", config.pool.num_farms,
               fault_rate);
+  if (store_dir != nullptr) {
+    // Durability cost is part of the serving number: group-commit is the
+    // production default, so the bench measures it too.
+    config.store.dir = store_dir;
+    config.store.fault_plan.seed = args.seed;
+    std::printf("verdict store: %s (policy %s)\n", store_dir,
+                store::FsyncPolicyName(config.store.fsync_policy));
+  }
   serve::VettingService service(context.universe(), config, std::move(checker));
 
   // Build the whole trace up front so the measured window contains service
@@ -257,6 +269,16 @@ int main(int argc, char** argv) {
               mean_busy > 0 ? max_busy / mean_busy : 1.0);
   std::printf("e2e latency: p50 %.1f ms, p99 %.1f ms\n", e2e.Quantile(0.50),
               e2e.Quantile(0.99));
+  if (const store::VerdictStore* store = service.verdict_store()) {
+    const store::StoreStats ss = store->stats();
+    std::printf("verdict store: %llu appends, %llu fsyncs, %zu segments, "
+                "%llu live records, %llu recovered at open, %llu warm-start hits\n",
+                static_cast<unsigned long long>(ss.appends),
+                static_cast<unsigned long long>(ss.fsyncs), ss.segments,
+                static_cast<unsigned long long>(ss.live_records),
+                static_cast<unsigned long long>(ss.recovery.records_recovered),
+                static_cast<unsigned long long>(stats.warm_start_hits));
+  }
   bench::PrintComparison("sustained throughput",
                          "10K/day (~0.12 subs/sec market arrival rate)",
                          util::StrFormat("%.0f subs/sec (target >= 1000)", per_sec));

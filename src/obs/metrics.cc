@@ -358,6 +358,26 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
                    "half-open probe batches sent to a cooling farm");
   registry.histogram(kServeFarmMakespanMinutes, {},
                      "per-farm simulated makespan per routed batch, minutes");
+
+  registry.counter(kStoreAppendsTotal, "verdict records appended to the WAL");
+  registry.counter(kStoreAppendErrorsTotal,
+                   "WAL appends that failed (injected faults included)");
+  registry.counter(kStoreFsyncsTotal, "WAL fsyncs issued");
+  registry.counter(kStoreFsyncFailuresTotal, "WAL fsyncs that failed");
+  registry.counter(kStoreInjectedFaultsTotal,
+                   "store-level faults raised by the I/O fault plan");
+  registry.counter(kStoreCompactionsTotal, "segment compactions completed");
+  registry.counter(kStoreRecoveredRecordsTotal,
+                   "valid records replayed during store recovery");
+  registry.counter(kStoreTruncatedTailsTotal,
+                   "torn segment tails truncated during recovery");
+  registry.counter(kStoreQuarantinedSegmentsTotal,
+                   "corrupt sealed segments quarantined during recovery");
+  registry.counter(kStoreWarmStartHitsTotal,
+                   "digest-cache hits served from store-recovered verdicts");
+  registry.gauge(kStoreSegments, "segment files in the store (active included)");
+  registry.gauge(kStoreLiveRecords, "distinct digests in the live index");
+  registry.gauge(kStoreDeadRecords, "superseded record frames still on disk");
 }
 
 }  // namespace apichecker::obs

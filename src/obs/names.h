@@ -101,6 +101,30 @@ inline constexpr char kServeFarmBreakerReprobeTotal[] =
 inline constexpr char kServeFarmMakespanMinutes[] =
     "apichecker_serve_farm_makespan_minutes";
 
+// store layer — persistent verdict store (WAL append, fsync, recovery,
+// compaction) and its warm-start handoff into the serve digest cache.
+inline constexpr char kStoreAppendsTotal[] = "apichecker_store_appends_total";
+inline constexpr char kStoreAppendErrorsTotal[] =
+    "apichecker_store_append_errors_total";
+inline constexpr char kStoreFsyncsTotal[] = "apichecker_store_fsyncs_total";
+inline constexpr char kStoreFsyncFailuresTotal[] =
+    "apichecker_store_fsync_failures_total";
+inline constexpr char kStoreInjectedFaultsTotal[] =
+    "apichecker_store_injected_faults_total";
+inline constexpr char kStoreCompactionsTotal[] =
+    "apichecker_store_compactions_total";
+inline constexpr char kStoreRecoveredRecordsTotal[] =
+    "apichecker_store_recovered_records_total";
+inline constexpr char kStoreTruncatedTailsTotal[] =
+    "apichecker_store_truncated_tails_total";
+inline constexpr char kStoreQuarantinedSegmentsTotal[] =
+    "apichecker_store_quarantined_segments_total";
+inline constexpr char kStoreWarmStartHitsTotal[] =
+    "apichecker_store_warm_start_hits_total";
+inline constexpr char kStoreSegments[] = "apichecker_store_segments";
+inline constexpr char kStoreLiveRecords[] = "apichecker_store_live_records";
+inline constexpr char kStoreDeadRecords[] = "apichecker_store_dead_records";
+
 }  // namespace apichecker::obs::names
 
 #endif  // APICHECKER_OBS_NAMES_H_

@@ -12,6 +12,7 @@
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
+#include "util/logging.h"
 
 namespace apichecker::serve {
 
@@ -41,9 +42,10 @@ struct BatchState {
 
 BatchScheduler::BatchScheduler(BatchSchedulerConfig config, SubmissionShards& shards,
                                DigestCache& cache, ServingModel& model,
-                               FarmPool& pool, ServiceCounters& counters)
+                               FarmPool& pool, ServiceCounters& counters,
+                               store::VerdictStore* store)
     : config_(config), shards_(shards), cache_(cache), model_(model), pool_(pool),
-      counters_(counters) {
+      counters_(counters), store_(store) {
   if (config_.batch_size == 0) {
     config_.batch_size = 1;
   }
@@ -182,6 +184,12 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
       result.model_version = state->snapshot->version;
       counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
       metrics.counter(obs::names::kServeCacheHitsTotal).Increment();
+      if (cached->warm) {
+        // The verdict came from the persistent store's recovery replay, not
+        // from any emulation this process ran — the warm start paid off.
+        counters_.warm_start_hits.fetch_add(1, std::memory_order_relaxed);
+        metrics.counter(obs::names::kStoreWarmStartHitsTotal).Increment();
+      }
       resolve(*state, pending, std::move(result));
       continue;
     }
@@ -223,6 +231,25 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
           state->snapshot->checker.Classify(farm_result.reports[s]);
       cache_.Put(leader.digest,
                  {state->snapshot->version, verdict.malicious, verdict.score});
+      if (store_ != nullptr) {
+        store::VerdictRecord record;
+        record.digest = leader.digest;
+        record.model_version = state->snapshot->version;
+        record.malicious = verdict.malicious;
+        record.score = verdict.score;
+        record.timestamp_ms = static_cast<uint64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count());
+        auto appended = store_->Append(std::move(record));
+        if (!appended.ok()) {
+          // Persistence is best-effort from the serving path: the verdict is
+          // already cached and resolving; a dead/faulted store must not take
+          // submissions down with it.
+          APICHECKER_LOG(Warning)
+              << "verdict store append failed: " << appended.error();
+        }
+      }
 
       VettingResult result;
       result.malicious = verdict.malicious;

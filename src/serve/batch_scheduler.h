@@ -29,6 +29,7 @@
 #include "serve/serving_model.h"
 #include "serve/submission_shards.h"
 #include "serve/types.h"
+#include "store/verdict_store.h"
 
 namespace apichecker::serve {
 
@@ -41,9 +42,11 @@ struct BatchSchedulerConfig {
 
 class BatchScheduler {
  public:
+  // `store` may be null (persistence disabled); when set, every fresh verdict
+  // is appended to it right after the cache fill, on the pool worker thread.
   BatchScheduler(BatchSchedulerConfig config, SubmissionShards& shards,
                  DigestCache& cache, ServingModel& model, FarmPool& pool,
-                 ServiceCounters& counters);
+                 ServiceCounters& counters, store::VerdictStore* store = nullptr);
   ~BatchScheduler();
 
   BatchScheduler(const BatchScheduler&) = delete;
@@ -71,6 +74,7 @@ class BatchScheduler {
   ServingModel& model_;
   FarmPool& pool_;
   ServiceCounters& counters_;
+  store::VerdictStore* store_;  // Not owned; null when persistence is off.
   std::thread thread_;
 };
 

@@ -23,6 +23,10 @@ struct CachedVerdict {
   uint32_t model_version = 0;
   bool malicious = false;
   double score = 0.0;
+  // True when the entry was replayed from the persistent verdict store at
+  // startup rather than produced by this process — lets hit accounting prove
+  // a warm start actually paid off.
+  bool warm = false;
 };
 
 class DigestCache {

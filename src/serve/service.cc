@@ -19,6 +19,21 @@ BatchSchedulerConfig ResolveSchedulerConfig(const ServiceConfig& config) {
   return resolved;
 }
 
+// Opens the verdict store when configured. A store that fails to open (bad
+// disk, unwritable dir) degrades to cold-start serving rather than refusing
+// to serve at all.
+std::unique_ptr<store::VerdictStore> OpenStoreOrNull(const ServiceConfig& config) {
+  if (config.store.dir.empty()) {
+    return nullptr;
+  }
+  auto opened = store::VerdictStore::Open(config.store);
+  if (!opened.ok()) {
+    APICHECKER_LOG(Error) << "verdict store disabled: " << opened.error();
+    return nullptr;
+  }
+  return std::move(*opened);
+}
+
 }  // namespace
 
 VettingService::VettingService(const android::ApiUniverse& universe,
@@ -26,13 +41,47 @@ VettingService::VettingService(const android::ApiUniverse& universe,
     : universe_(universe),
       config_(config),
       cache_(config.cache_capacity),
+      store_(OpenStoreOrNull(config)),
       model_(std::move(initial_model)),
       pool_(universe, config.pool, config.farm),
       shards_(config.num_shards, config.shard_capacity),
       scheduler_(ResolveSchedulerConfig(config), shards_, cache_, model_, pool_,
-                 counters_) {
+                 counters_, store_.get()) {
+  WarmStartFromStore();
   if (!config_.start_paused) {
     scheduler_.Start();
+  }
+}
+
+void VettingService::WarmStartFromStore() {
+  if (store_ == nullptr) {
+    return;
+  }
+  const uint32_t version = model_.version();
+  size_t warmed = 0;
+  size_t stale = 0;
+  store_->ForEachLive([&](const store::VerdictRecord& record) {
+    // Model-version-stamp invalidation: a verdict from another model version
+    // must not be served by this one. (DigestCache::Get would evict it on
+    // first touch anyway; filtering here keeps stale records from displacing
+    // useful capacity.)
+    if (record.model_version != version) {
+      ++stale;
+      return;
+    }
+    CachedVerdict verdict;
+    verdict.model_version = record.model_version;
+    verdict.malicious = record.malicious;
+    verdict.score = record.score;
+    verdict.warm = true;
+    cache_.Put(record.digest, verdict);
+    ++warmed;
+  });
+  if (warmed > 0 || stale > 0) {
+    APICHECKER_SLOG(Info, "serve.warm_start")
+        .With("cached", static_cast<uint64_t>(warmed))
+        .With("stale_skipped", static_cast<uint64_t>(stale))
+        .With("model_version", version);
   }
 }
 
@@ -93,6 +142,17 @@ void VettingService::Shutdown() {
   shards_.Close();
   scheduler_.Join();
   pool_.Close();
+  // Only after pool_.Close() have all in-flight completions run, so every
+  // verdict this process produced has been handed to the store — flush the
+  // group-commit tail now, while the store is still alive. (Flushing before
+  // the pool drains would race the last appends and lose them to a crash.)
+  if (store_ != nullptr) {
+    auto flushed = store_->Flush();
+    if (!flushed.ok()) {
+      APICHECKER_LOG(Warning) << "verdict store flush at shutdown: "
+                              << flushed.error();
+    }
+  }
   APICHECKER_SLOG(Info, "serve.drained")
       .With("accepted", counters_.accepted.load())
       .With("resolved", counters_.resolved());
@@ -129,6 +189,7 @@ ServiceStats VettingService::stats() const {
   stats.deadline_expired = counters_.deadline_expired.load(std::memory_order_relaxed);
   stats.parse_errors = counters_.parse_errors.load(std::memory_order_relaxed);
   stats.cache_hits = counters_.cache_hits.load(std::memory_order_relaxed);
+  stats.warm_start_hits = counters_.warm_start_hits.load(std::memory_order_relaxed);
   stats.model_swaps = counters_.model_swaps.load(std::memory_order_relaxed);
   stats.batches = counters_.batches.load(std::memory_order_relaxed);
   stats.rejected_unhealthy =

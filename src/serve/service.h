@@ -33,6 +33,7 @@
 #include "serve/serving_model.h"
 #include "serve/submission_shards.h"
 #include "serve/types.h"
+#include "store/verdict_store.h"
 #include "util/result.h"
 
 namespace apichecker::serve {
@@ -45,6 +46,10 @@ struct ServiceConfig {
                          // farm.num_emulators.
   FarmPoolConfig pool;   // Farm count, failover budget, breaker, fault plan.
   BatchSchedulerConfig scheduler;
+  // Persistent verdict store; store.dir empty = persistence disabled. When
+  // set, verdicts survive restarts: recovery replays them into the digest
+  // cache (stale model versions skipped) before the scheduler starts.
+  store::StoreConfig store;
   // When true the scheduler thread is not started; submissions queue up until
   // Start() — the drain-control switch (and how tests fill queues
   // deterministically).
@@ -87,16 +92,23 @@ class VettingService {
 
   ServiceStats stats() const;
   FarmPoolStats farm_pool_stats() const { return pool_.stats(); }
+  // Null when persistence is disabled or the store failed to open.
+  const store::VerdictStore* verdict_store() const { return store_.get(); }
   uint32_t model_version() const { return model_.version(); }
   size_t queue_depth() const { return shards_.ApproxDepth(); }
   const ServiceConfig& config() const { return config_; }
   const DigestCache& cache() const { return cache_; }
 
  private:
+  void WarmStartFromStore();
+
   const android::ApiUniverse& universe_;
   ServiceConfig config_;
   ServiceCounters counters_;
   DigestCache cache_;
+  // Declared before pool_/scheduler_ so it outlives the threads that append
+  // to it; Shutdown() flushes it after the pool drains (see Shutdown()).
+  std::unique_ptr<store::VerdictStore> store_;
   ServingModel model_;
   FarmPool pool_;
   SubmissionShards shards_;

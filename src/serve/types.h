@@ -89,6 +89,7 @@ struct ServiceCounters {
   std::atomic<uint64_t> parse_errors{0};
   std::atomic<uint64_t> rejected_unhealthy{0};  // No healthy farm / retries spent.
   std::atomic<uint64_t> cache_hits{0};
+  std::atomic<uint64_t> warm_start_hits{0};  // Cache hits on store-recovered entries.
   std::atomic<uint64_t> model_swaps{0};
   std::atomic<uint64_t> batches{0};
 
@@ -110,6 +111,7 @@ struct ServiceStats {
   uint64_t parse_errors = 0;
   uint64_t rejected_unhealthy = 0;
   uint64_t cache_hits = 0;
+  uint64_t warm_start_hits = 0;
   uint64_t model_swaps = 0;
   uint64_t batches = 0;
   // Farm-pool accounting (mirrors FarmPoolStats aggregates).

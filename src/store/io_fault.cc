@@ -1,0 +1,44 @@
+#include "store/io_fault.h"
+
+#include <algorithm>
+
+namespace apichecker::store {
+
+namespace {
+
+bool Scripted(const std::vector<uint64_t>& ordinals, uint64_t ordinal) {
+  return std::find(ordinals.begin(), ordinals.end(), ordinal) != ordinals.end();
+}
+
+}  // namespace
+
+IoFaultInjector::IoFaultInjector(const IoFaultPlan& plan)
+    : plan_(plan),
+      write_rng_(util::SplitMix64(plan.seed ^ 0x57A7E)),
+      fsync_rng_(util::SplitMix64(plan.seed ^ 0xF51C)) {}
+
+AppendFault IoFaultInjector::OnAppend(uint64_t append_ordinal) {
+  if (Scripted(plan_.crash_at, append_ordinal)) {
+    return AppendFault::kCrash;
+  }
+  if (Scripted(plan_.short_write_at, append_ordinal)) {
+    return AppendFault::kShortWrite;
+  }
+  // The Bernoulli stream advances once per append regardless of outcome, so a
+  // given seed produces the same fault ordinals whatever the scripted lists
+  // add on top.
+  if (plan_.short_write_rate > 0.0 && write_rng_.Bernoulli(plan_.short_write_rate)) {
+    return AppendFault::kShortWrite;
+  }
+  return AppendFault::kNone;
+}
+
+bool IoFaultInjector::FsyncFails(uint64_t fsync_ordinal) {
+  if (Scripted(plan_.fsync_fail_at, fsync_ordinal)) {
+    return true;
+  }
+  return plan_.fsync_failure_rate > 0.0 &&
+         fsync_rng_.Bernoulli(plan_.fsync_failure_rate);
+}
+
+}  // namespace apichecker::store

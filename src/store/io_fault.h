@@ -1,0 +1,72 @@
+// Deterministic I/O fault injection for the verdict store, mirroring
+// emu::FaultPlan: robustness is built in rather than bolted on. The plan
+// threads from StoreConfig through the service, CLI, and bench, so torn
+// writes, fsync failures, and mid-append crash-points can be scripted at
+// exact record ordinals and every recovery path exercised bit-for-bit. An
+// empty plan costs one branch per append.
+
+#ifndef APICHECKER_STORE_IO_FAULT_H_
+#define APICHECKER_STORE_IO_FAULT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apichecker::store {
+
+// Faults are keyed by 1-based operation ordinals counted per store instance:
+// append ordinals for write faults, fsync ordinals for fsync faults. The
+// scripted lists and the seeded Bernoulli streams compose, exactly like
+// emu::FaultPlan's windows + fault_rate.
+struct IoFaultPlan {
+  // Seeds the Bernoulli fault streams (independent per fault kind).
+  uint64_t seed = 1;
+  // Per-append probability of a short write (randomized stress mode).
+  double short_write_rate = 0.0;
+  // Per-fsync probability of an fsync failure.
+  double fsync_failure_rate = 0.0;
+  // Scripted short writes: the Nth append persists only a prefix of the
+  // record; the store repairs the torn tail and reports the append failed.
+  std::vector<uint64_t> short_write_at;
+  // Scripted fsync failures: the Nth fsync reports failure.
+  std::vector<uint64_t> fsync_fail_at;
+  // Scripted crash-points: the Nth append dies mid-record — a prefix of the
+  // frame reaches disk and the store goes dead (simulated process kill), so
+  // reopening exercises torn-write truncation on a bit-identical log.
+  std::vector<uint64_t> crash_at;
+
+  bool enabled() const {
+    return short_write_rate > 0.0 || fsync_failure_rate > 0.0 ||
+           !short_write_at.empty() || !fsync_fail_at.empty() || !crash_at.empty();
+  }
+};
+
+enum class AppendFault : uint8_t {
+  kNone = 0,
+  kShortWrite = 1,  // Partial frame on disk; store repairs and continues.
+  kCrash = 2,       // Partial frame on disk; store is dead until reopened.
+};
+
+// Stateful evaluator of an IoFaultPlan. Not thread-safe; the store consults
+// it under its own mutex.
+class IoFaultInjector {
+ public:
+  explicit IoFaultInjector(const IoFaultPlan& plan);
+
+  // Consulted once per append, before any bytes are written. Crash-points
+  // take precedence over short writes when both fire on one ordinal.
+  AppendFault OnAppend(uint64_t append_ordinal);
+
+  // Consulted once per fsync attempt.
+  bool FsyncFails(uint64_t fsync_ordinal);
+
+ private:
+  IoFaultPlan plan_;
+  util::Rng write_rng_;
+  util::Rng fsync_rng_;
+};
+
+}  // namespace apichecker::store
+
+#endif  // APICHECKER_STORE_IO_FAULT_H_

@@ -1,0 +1,586 @@
+#include "store/verdict_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/logging.h"
+#include "util/strings.h"
+
+namespace apichecker::store {
+
+namespace fs = std::filesystem;
+
+const char* FsyncPolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kEveryRecord:
+      return "every";
+    case FsyncPolicy::kGroupCommit:
+      return "group";
+    case FsyncPolicy::kOsBuffered:
+      return "buffered";
+  }
+  return "unknown";
+}
+
+util::Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name) {
+  if (name == "every" || name == "every-record") {
+    return FsyncPolicy::kEveryRecord;
+  }
+  if (name == "group" || name == "group-commit") {
+    return FsyncPolicy::kGroupCommit;
+  }
+  if (name == "buffered" || name == "os-buffered") {
+    return FsyncPolicy::kOsBuffered;
+  }
+  return util::Err(util::StrFormat("unknown fsync policy '%.*s' "
+                                   "(want every|group|buffered)",
+                                   static_cast<int>(name.size()), name.data()));
+}
+
+namespace {
+
+util::Result<bool> WriteAll(int fd, std::span<const uint8_t> bytes) {
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return util::Err(util::StrFormat("write failed: %s", std::strerror(errno)));
+    }
+    written += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+// Best-effort directory fsync so creates/renames/unlinks are durable.
+void FsyncDir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+}
+
+util::Result<std::vector<uint8_t>> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return util::Err(util::StrFormat("cannot open %s", path.c_str()));
+  }
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+// Parses the numeric id out of "segment-<id>.<ext>"; nullopt for other names.
+std::optional<uint64_t> SegmentIdFromName(const std::string& name) {
+  constexpr std::string_view kPrefix = "segment-";
+  if (name.rfind(kPrefix, 0) != 0) {
+    return std::nullopt;
+  }
+  const size_t dot = name.find('.', kPrefix.size());
+  if (dot == std::string::npos || dot == kPrefix.size()) {
+    return std::nullopt;
+  }
+  uint64_t id = 0;
+  for (size_t i = kPrefix.size(); i < dot; ++i) {
+    if (name[i] < '0' || name[i] > '9') {
+      return std::nullopt;
+    }
+    id = id * 10 + static_cast<uint64_t>(name[i] - '0');
+  }
+  return id;
+}
+
+}  // namespace
+
+VerdictStore::VerdictStore(StoreConfig config)
+    : config_(std::move(config)), injector_(config_.fault_plan) {}
+
+util::Result<std::unique_ptr<VerdictStore>> VerdictStore::Open(StoreConfig config) {
+  if (config.dir.empty()) {
+    return util::Err("store directory not configured");
+  }
+  if (config.fsync_policy == FsyncPolicy::kGroupCommit &&
+      config.group_commit_records == 0) {
+    config.group_commit_records = 1;
+  }
+  config.segment_max_bytes = std::max<size_t>(config.segment_max_bytes, 4096);
+
+  std::error_code ec;
+  fs::create_directories(config.dir, ec);
+  if (ec) {
+    return util::Err(util::StrFormat("cannot create store dir %s: %s",
+                                     config.dir.c_str(), ec.message().c_str()));
+  }
+
+  std::unique_ptr<VerdictStore> self(new VerdictStore(std::move(config)));
+  std::lock_guard<std::mutex> lock(self->mu_);
+  auto recovered = self->RecoverLocked();
+  if (!recovered.ok()) {
+    return util::Err(recovered.error());
+  }
+  auto opened = self->OpenActiveSegmentLocked();
+  if (!opened.ok()) {
+    return util::Err(opened.error());
+  }
+  if (self->config_.auto_compact_segments > 0 &&
+      self->sealed_segments_.size() >= self->config_.auto_compact_segments) {
+    auto compacted = self->CompactLocked();
+    if (!compacted.ok()) {
+      APICHECKER_LOG(Warning) << "store compaction at open failed: "
+                              << compacted.error();
+    }
+  }
+  self->PublishGaugesLocked();
+  return self;
+}
+
+VerdictStore::~VerdictStore() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (active_fd_ >= 0) {
+    if (!failed_) {
+      ::fsync(active_fd_);
+    }
+    ::close(active_fd_);
+    active_fd_ = -1;
+  }
+}
+
+std::string VerdictStore::SegmentPath(uint64_t id) const {
+  return util::StrFormat("%s/segment-%08llu.wal", config_.dir.c_str(),
+                         static_cast<unsigned long long>(id));
+}
+
+util::Result<bool> VerdictStore::RecoverLocked() {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  uint64_t max_seen_id = 0;
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(config_.dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const auto id = SegmentIdFromName(name);
+    if (!id) {
+      continue;
+    }
+    max_seen_id = std::max(max_seen_id, *id);
+    if (entry.path().extension() == ".tmp") {
+      // Unpublished compaction output from a previous crash: the rename never
+      // happened, so the old segments are still authoritative. Discard.
+      fs::remove(entry.path(), ec);
+      continue;
+    }
+    if (entry.path().extension() == ".wal") {
+      segments.emplace_back(*id, entry.path().string());
+    }
+    // *.quarantined files are preserved for forensics but never replayed.
+  }
+  std::sort(segments.begin(), segments.end());
+
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const auto& [id, path] = segments[i];
+    const bool newest = i + 1 == segments.size();
+    auto bytes = ReadFileBytes(path);
+    if (!bytes.ok()) {
+      return util::Err(bytes.error());
+    }
+    SegmentScan scan = ScanSegment(*bytes);
+    ++recovery_.segments_scanned;
+
+    if (!scan.clean) {
+      if (newest) {
+        // Torn tail of the segment that was being appended when the previous
+        // process died: trust everything before the first bad CRC, drop the
+        // partial frame.
+        std::error_code resize_ec;
+        fs::resize_file(path, scan.valid_bytes, resize_ec);
+        if (resize_ec) {
+          return util::Err(util::StrFormat("cannot truncate torn tail of %s: %s",
+                                           path.c_str(),
+                                           resize_ec.message().c_str()));
+        }
+        ++recovery_.tails_truncated;
+        recovery_.bytes_truncated += bytes->size() - scan.valid_bytes;
+        metrics.counter(obs::names::kStoreTruncatedTailsTotal).Increment();
+        APICHECKER_SLOG(Warning, "store.recovery.truncated")
+            .With("segment", path)
+            .With("valid_bytes", static_cast<uint64_t>(scan.valid_bytes))
+            .With("dropped_bytes",
+                  static_cast<uint64_t>(bytes->size() - scan.valid_bytes))
+            .With("reason", scan.error);
+      } else {
+        // A sealed segment never has a legitimately torn tail (it was fsynced
+        // and closed), so a failed scan means on-disk corruption. Quarantine
+        // the whole file — availability over completeness — and keep serving.
+        const std::string quarantined =
+            path.substr(0, path.size() - 4) + ".quarantined";
+        std::error_code rename_ec;
+        fs::rename(path, quarantined, rename_ec);
+        if (rename_ec) {
+          return util::Err(util::StrFormat("cannot quarantine %s: %s", path.c_str(),
+                                           rename_ec.message().c_str()));
+        }
+        ++recovery_.segments_quarantined;
+        recovery_.records_quarantined += scan.records.size();
+        metrics.counter(obs::names::kStoreQuarantinedSegmentsTotal).Increment();
+        APICHECKER_SLOG(Error, "store.recovery.quarantined")
+            .With("segment", path)
+            .With("records_excluded", static_cast<uint64_t>(scan.records.size()))
+            .With("reason", scan.error);
+        continue;
+      }
+    }
+
+    for (VerdictRecord& record : scan.records) {
+      next_seq_ = std::max(next_seq_, record.seq + 1);
+      ++records_on_disk_;
+      ++recovery_.records_recovered;
+      ApplyLocked(std::move(record));
+    }
+    sealed_segments_.push_back(id);
+  }
+  FsyncDir(config_.dir);
+  metrics.counter(obs::names::kStoreRecoveredRecordsTotal)
+      .Increment(recovery_.records_recovered);
+  if (recovery_.records_recovered > 0 || recovery_.segments_quarantined > 0) {
+    APICHECKER_SLOG(Info, "store.recovered")
+        .With("segments", static_cast<uint64_t>(recovery_.segments_scanned))
+        .With("records", recovery_.records_recovered)
+        .With("live", static_cast<uint64_t>(live_.size()))
+        .With("quarantined", static_cast<uint64_t>(recovery_.segments_quarantined));
+  }
+  active_segment_ = max_seen_id;  // OpenActiveSegmentLocked bumps to the next id.
+  return true;
+}
+
+util::Result<bool> VerdictStore::OpenActiveSegmentLocked() {
+  ++active_segment_;
+  const std::string path = SegmentPath(active_segment_);
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) {
+    return util::Err(util::StrFormat("cannot create segment %s: %s", path.c_str(),
+                                     std::strerror(errno)));
+  }
+  FsyncDir(config_.dir);
+  active_fd_ = fd;
+  active_bytes_ = 0;
+  active_records_ = 0;
+  unsynced_records_ = 0;
+  return true;
+}
+
+util::Result<bool> VerdictStore::SealActiveLocked() {
+  if (active_fd_ < 0) {
+    return true;
+  }
+  auto synced = FsyncActiveLocked();
+  ::close(active_fd_);
+  active_fd_ = -1;
+  sealed_segments_.push_back(active_segment_);
+  if (!synced.ok()) {
+    return synced;
+  }
+  return true;
+}
+
+util::Result<bool> VerdictStore::FsyncActiveLocked() {
+  if (active_fd_ < 0 || unsynced_records_ == 0) {
+    return true;
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  const uint64_t ordinal = ++fsync_ordinal_;
+  if (injector_.FsyncFails(ordinal)) {
+    ++fsync_failures_;
+    ++injected_faults_;
+    metrics.counter(obs::names::kStoreFsyncFailuresTotal).Increment();
+    metrics.counter(obs::names::kStoreInjectedFaultsTotal).Increment();
+    return util::Err(util::StrFormat("injected fsync failure at fsync %llu",
+                                     static_cast<unsigned long long>(ordinal)));
+  }
+  if (::fsync(active_fd_) != 0) {
+    ++fsync_failures_;
+    metrics.counter(obs::names::kStoreFsyncFailuresTotal).Increment();
+    return util::Err(util::StrFormat("fsync failed: %s", std::strerror(errno)));
+  }
+  ++fsyncs_;
+  unsynced_records_ = 0;
+  metrics.counter(obs::names::kStoreFsyncsTotal).Increment();
+  return true;
+}
+
+void VerdictStore::ApplyLocked(VerdictRecord record) {
+  auto it = live_.find(record.digest);
+  if (it == live_.end()) {
+    live_.emplace(record.digest, std::move(record));
+    return;
+  }
+  if (record.seq >= it->second.seq) {
+    it->second = std::move(record);
+  }
+}
+
+void VerdictStore::PublishGaugesLocked() const {
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  metrics.gauge(obs::names::kStoreSegments)
+      .Set(static_cast<double>(sealed_segments_.size() + (active_fd_ >= 0 ? 1 : 0)));
+  metrics.gauge(obs::names::kStoreLiveRecords).Set(static_cast<double>(live_.size()));
+  metrics.gauge(obs::names::kStoreDeadRecords)
+      .Set(static_cast<double>(records_on_disk_ - live_.size()));
+}
+
+util::Result<bool> VerdictStore::Append(VerdictRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  if (failed_) {
+    ++append_errors_;
+    metrics.counter(obs::names::kStoreAppendErrorsTotal).Increment();
+    return util::Err("store is dead after an injected crash; reopen to recover");
+  }
+
+  record.seq = next_seq_;
+  const std::vector<uint8_t> frame = EncodeRecord(record);
+  const uint64_t ordinal = ++append_ordinal_;
+
+  switch (injector_.OnAppend(ordinal)) {
+    case AppendFault::kCrash: {
+      // Simulated process death mid-write: a prefix of the frame reaches the
+      // file and nothing else ever will. The partial frame stays on disk so
+      // the next Open exercises torn-tail truncation bit-for-bit.
+      (void)WriteAll(active_fd_,
+                     std::span<const uint8_t>(frame).first(frame.size() / 2));
+      failed_ = true;
+      ++injected_faults_;
+      ++append_errors_;
+      metrics.counter(obs::names::kStoreInjectedFaultsTotal).Increment();
+      metrics.counter(obs::names::kStoreAppendErrorsTotal).Increment();
+      APICHECKER_SLOG(Warning, "store.injected_crash")
+          .With("append_ordinal", ordinal);
+      return util::Err(util::StrFormat("injected crash-point at append %llu",
+                                       static_cast<unsigned long long>(ordinal)));
+    }
+    case AppendFault::kShortWrite: {
+      // Transient torn write the application notices: repair by truncating
+      // back to the last good frame; the caller sees a visible error and the
+      // record is not durable.
+      (void)WriteAll(active_fd_,
+                     std::span<const uint8_t>(frame).first(frame.size() / 2));
+      ++injected_faults_;
+      ++append_errors_;
+      metrics.counter(obs::names::kStoreInjectedFaultsTotal).Increment();
+      metrics.counter(obs::names::kStoreAppendErrorsTotal).Increment();
+      if (::ftruncate(active_fd_, static_cast<off_t>(active_bytes_)) != 0 ||
+          ::lseek(active_fd_, 0, SEEK_END) < 0) {
+        failed_ = true;
+        return util::Err(util::StrFormat(
+            "injected short write at append %llu and repair failed: %s",
+            static_cast<unsigned long long>(ordinal), std::strerror(errno)));
+      }
+      return util::Err(util::StrFormat("injected short write at append %llu",
+                                       static_cast<unsigned long long>(ordinal)));
+    }
+    case AppendFault::kNone:
+      break;
+  }
+
+  auto written = WriteAll(active_fd_, frame);
+  if (!written.ok()) {
+    ++append_errors_;
+    metrics.counter(obs::names::kStoreAppendErrorsTotal).Increment();
+    // Repair whatever partial frame a real failure may have left behind.
+    (void)::ftruncate(active_fd_, static_cast<off_t>(active_bytes_));
+    (void)::lseek(active_fd_, 0, SEEK_END);
+    return written;
+  }
+
+  active_bytes_ += frame.size();
+  ++active_records_;
+  ++records_on_disk_;
+  ++next_seq_;
+  ++appends_;
+  ++unsynced_records_;
+  ApplyLocked(std::move(record));
+  metrics.counter(obs::names::kStoreAppendsTotal).Increment();
+
+  util::Result<bool> synced = true;
+  if (config_.fsync_policy == FsyncPolicy::kEveryRecord ||
+      (config_.fsync_policy == FsyncPolicy::kGroupCommit &&
+       unsynced_records_ >= config_.group_commit_records)) {
+    synced = FsyncActiveLocked();
+  }
+
+  if (active_bytes_ >= config_.segment_max_bytes) {
+    auto sealed = SealActiveLocked();
+    auto opened = OpenActiveSegmentLocked();
+    if (!opened.ok()) {
+      failed_ = true;
+      return opened;
+    }
+    if (sealed.ok() && config_.auto_compact_segments > 0 &&
+        sealed_segments_.size() >= config_.auto_compact_segments) {
+      auto compacted = CompactLocked();
+      if (!compacted.ok()) {
+        APICHECKER_LOG(Warning) << "store auto-compaction failed: "
+                                << compacted.error();
+      }
+    }
+  }
+  PublishGaugesLocked();
+  return synced;
+}
+
+util::Result<bool> VerdictStore::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) {
+    return util::Err("store is dead after an injected crash; reopen to recover");
+  }
+  return FsyncActiveLocked();
+}
+
+util::Result<bool> VerdictStore::Compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) {
+    return util::Err("store is dead after an injected crash; reopen to recover");
+  }
+  return CompactLocked();
+}
+
+util::Result<bool> VerdictStore::CompactLocked() {
+  if (sealed_segments_.empty()) {
+    return true;
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+
+  // Seal the active segment first, so the compacted output supersedes every
+  // file on disk and the fresh active opened below is again the single
+  // highest-numbered segment. Recovery's torn-tail rule — "only the newest
+  // segment may end mid-frame" — depends on the active segment always being
+  // that newest file; publishing the compacted segment above a still-open
+  // active would get a subsequent crash's torn tail quarantined (records
+  // lost) instead of truncated. A failed seal fsync is not fatal here: the
+  // compacted output below is fsynced and contains every live record anyway.
+  (void)SealActiveLocked();
+
+  // Reopens a fresh active segment before returning, so a failed compaction
+  // leaves the store append-able.
+  auto fail = [&](util::Result<bool> error) -> util::Result<bool> {
+    auto opened = OpenActiveSegmentLocked();
+    if (!opened.ok()) {
+      failed_ = true;
+    }
+    return error;
+  };
+
+  // Write every live record (seq preserved) into the next segment id; replay
+  // order does not matter because last-writer-wins is by seq.
+  const uint64_t new_id = active_segment_ + 1;
+  const std::string tmp_path = util::StrFormat(
+      "%s/segment-%08llu.tmp", config_.dir.c_str(),
+      static_cast<unsigned long long>(new_id));
+  const int fd = ::open(tmp_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return fail(util::Err(util::StrFormat("cannot create %s: %s", tmp_path.c_str(),
+                                          std::strerror(errno))));
+  }
+  for (const auto& [digest, record] : live_) {
+    auto written = WriteAll(fd, EncodeRecord(record));
+    if (!written.ok()) {
+      ::close(fd);
+      std::error_code ec;
+      fs::remove(tmp_path, ec);
+      return fail(std::move(written));
+    }
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    std::error_code ec;
+    fs::remove(tmp_path, ec);
+    return fail(util::Err(util::StrFormat("fsync of compacted segment failed: %s",
+                                          std::strerror(errno))));
+  }
+  ::close(fd);
+
+  const std::string final_path = SegmentPath(new_id);
+  std::error_code ec;
+  fs::rename(tmp_path, final_path, ec);
+  if (ec) {
+    const std::string message = ec.message();
+    fs::remove(tmp_path, ec);
+    return fail(util::Err(util::StrFormat("cannot publish compacted segment: %s",
+                                          message.c_str())));
+  }
+  FsyncDir(config_.dir);
+
+  // The compacted segment is durable and published: the old sealed segments
+  // are now garbage. A crash here merely leaves duplicates, which replay
+  // dedups by seq.
+  for (uint64_t id : sealed_segments_) {
+    fs::remove(SegmentPath(id), ec);
+  }
+  FsyncDir(config_.dir);
+
+  sealed_segments_.assign(1, new_id);
+  active_segment_ = new_id;  // The fresh active opens at new_id + 1.
+  records_on_disk_ = live_.size();
+  ++compactions_;
+  metrics.counter(obs::names::kStoreCompactionsTotal).Increment();
+  auto opened = OpenActiveSegmentLocked();
+  if (!opened.ok()) {
+    failed_ = true;
+    return opened;
+  }
+  records_on_disk_ = live_.size();
+  PublishGaugesLocked();
+  APICHECKER_SLOG(Info, "store.compacted")
+      .With("live_records", static_cast<uint64_t>(live_.size()))
+      .With("segment", final_path);
+  return true;
+}
+
+void VerdictStore::ForEachLive(
+    const std::function<void(const VerdictRecord&)>& fn) const {
+  std::vector<VerdictRecord> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    snapshot.reserve(live_.size());
+    for (const auto& [digest, record] : live_) {
+      snapshot.push_back(record);
+    }
+  }
+  for (const VerdictRecord& record : snapshot) {
+    fn(record);
+  }
+}
+
+StoreStats VerdictStore::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  StoreStats stats;
+  stats.appends = appends_;
+  stats.append_errors = append_errors_;
+  stats.fsyncs = fsyncs_;
+  stats.fsync_failures = fsync_failures_;
+  stats.injected_faults = injected_faults_;
+  stats.compactions = compactions_;
+  stats.segments = sealed_segments_.size() + (active_fd_ >= 0 ? 1 : 0);
+  stats.live_records = live_.size();
+  stats.dead_records = records_on_disk_ - live_.size();
+  stats.failed = failed_;
+  stats.recovery = recovery_;
+  return stats;
+}
+
+size_t VerdictStore::live_size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return live_.size();
+}
+
+}  // namespace apichecker::store

@@ -1,0 +1,176 @@
+// Durable, crash-safe verdict store backing the serve-layer digest cache.
+// The paper's deployment depends on verdicts surviving vetting-server
+// restarts and the monthly model-evolution cycle (§6); without persistence a
+// restart re-emulates the entire hot set — exactly the cost the digest cache
+// exists to avoid. The store is an append-only write-ahead log of checksummed
+// records (digest -> verdict, model_version, timestamp, flags) in numbered
+// segment files under one directory:
+//
+//   <dir>/segment-00000001.wal, segment-00000002.wal, ...
+//
+// Invariants:
+//  * Appended-then-acknowledged is durable per the fsync policy: every-record
+//    fsyncs each append, group-commit fsyncs every N appends (and on Flush/
+//    rotation/close), os-buffered leaves flushing to the kernel.
+//  * Last-writer-wins by record seq, not file position: every record carries
+//    a store-wide monotone sequence number, so compaction may rewrite live
+//    records into a new segment in any order and recovery still converges.
+//  * Recovery tolerates torn writes: the newest segment truncates at the
+//    first bad CRC (partial trailing frame = interrupted append). A sealed
+//    segment that fails its scan is corruption, not a torn write — the file
+//    is quarantined (renamed *.quarantined, excluded from replay) instead of
+//    aborting the open; serving continues with what survives.
+//  * Compaction rewrites live records into a fresh segment, fsyncs it, and
+//    atomically publishes via rename before unlinking the segments it
+//    replaces — a crash at any point leaves either the old or the new files,
+//    and seq-based replay dedups any overlap.
+//  * A fresh segment is opened on every Open(), so recovery never appends to
+//    a possibly-torn tail.
+//
+// Fault injection (store::IoFaultPlan, mirroring emu::FaultPlan) is wired
+// through Append/fsync so short writes, fsync failures, and mid-append
+// crash-points are scriptable at exact record ordinals.
+
+#ifndef APICHECKER_STORE_VERDICT_STORE_H_
+#define APICHECKER_STORE_VERDICT_STORE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "store/io_fault.h"
+#include "store/wal.h"
+#include "util/result.h"
+
+namespace apichecker::store {
+
+enum class FsyncPolicy : uint8_t {
+  kEveryRecord = 0,  // fsync after every append (max durability, slowest).
+  kGroupCommit = 1,  // fsync every group_commit_records appends + on Flush.
+  kOsBuffered = 2,   // never fsync explicitly except at rotation/close.
+};
+
+const char* FsyncPolicyName(FsyncPolicy policy);
+util::Result<FsyncPolicy> ParseFsyncPolicy(std::string_view name);
+
+struct StoreConfig {
+  std::string dir;  // Segment directory; created if missing. Empty = disabled
+                    // (callers gate on this; Open rejects it).
+  FsyncPolicy fsync_policy = FsyncPolicy::kGroupCommit;
+  size_t group_commit_records = 32;  // Appends per fsync under kGroupCommit.
+  size_t segment_max_bytes = 4u << 20;  // Rotation threshold for the active segment.
+  // Sealed-segment count that triggers background compaction at rotation;
+  // 0 disables auto-compaction (Compact() stays available).
+  size_t auto_compact_segments = 8;
+  IoFaultPlan fault_plan;
+};
+
+// What recovery found and did, kept for stats/reporting.
+struct RecoveryOutcome {
+  size_t segments_scanned = 0;
+  size_t segments_quarantined = 0;
+  uint64_t records_recovered = 0;   // Valid records replayed (duplicates included).
+  uint64_t records_quarantined = 0; // Valid records inside quarantined segments
+                                    // (excluded from replay: the file is distrusted).
+  uint64_t tails_truncated = 0;     // Torn-tail truncations performed.
+  uint64_t bytes_truncated = 0;
+};
+
+struct StoreStats {
+  uint64_t appends = 0;         // Successful appends this process.
+  uint64_t append_errors = 0;   // Failed appends (faults included).
+  uint64_t fsyncs = 0;
+  uint64_t fsync_failures = 0;
+  uint64_t injected_faults = 0;
+  uint64_t compactions = 0;
+  size_t segments = 0;          // Live segment files (active included).
+  uint64_t live_records = 0;    // Distinct digests (latest writer).
+  uint64_t dead_records = 0;    // Superseded frames still on disk.
+  bool failed = false;          // A crash-point fired: appends are rejected
+                                // until the store is reopened.
+  RecoveryOutcome recovery;
+};
+
+class VerdictStore {
+ public:
+  // Opens (creating the directory if needed), recovers every segment, and
+  // starts a fresh active segment. Errors only on unusable configuration or
+  // an unwritable directory — corrupt segments are quarantined, not fatal.
+  static util::Result<std::unique_ptr<VerdictStore>> Open(StoreConfig config);
+
+  ~VerdictStore();
+  VerdictStore(const VerdictStore&) = delete;
+  VerdictStore& operator=(const VerdictStore&) = delete;
+
+  // Appends one record (seq is assigned internally; the caller's seq is
+  // ignored). Thread-safe. An error means the record is NOT durable: short
+  // writes are repaired in place and reported, an injected crash-point kills
+  // the store until reopen, an fsync failure reports the uncertain flush.
+  util::Result<bool> Append(VerdictRecord record);
+
+  // Fsyncs any buffered appends (group-commit / os-buffered tail).
+  util::Result<bool> Flush();
+
+  // Rewrites live records into a new segment and unlinks the sealed segments
+  // it replaces. Safe under concurrent Append.
+  util::Result<bool> Compact();
+
+  // Visits the live (last-writer-wins) record set. Snapshot semantics: the
+  // visit runs over a copy, so callbacks may touch the store.
+  void ForEachLive(const std::function<void(const VerdictRecord&)>& fn) const;
+
+  StoreStats stats() const;
+  const StoreConfig& config() const { return config_; }
+  size_t live_size() const;
+
+ private:
+  explicit VerdictStore(StoreConfig config);
+
+  util::Result<bool> RecoverLocked();
+  util::Result<bool> OpenActiveSegmentLocked();
+  util::Result<bool> SealActiveLocked();     // fsync + close the active segment.
+  util::Result<bool> FsyncActiveLocked();    // Counts + fault-injects.
+  util::Result<bool> CompactLocked();
+  void ApplyLocked(VerdictRecord record);    // seq-LWW index update.
+  void PublishGaugesLocked() const;
+  std::string SegmentPath(uint64_t id) const;
+
+  const StoreConfig config_;
+  mutable std::mutex mu_;
+  IoFaultInjector injector_;
+
+  // Live index: digest -> newest record (by seq).
+  std::unordered_map<std::string, VerdictRecord> live_;
+  uint64_t next_seq_ = 1;
+  uint64_t records_on_disk_ = 0;  // Frames across live segment files.
+
+  std::vector<uint64_t> sealed_segments_;  // Ascending ids, replay-order only
+                                           // for bookkeeping (seq decides LWW).
+  uint64_t active_segment_ = 0;
+  int active_fd_ = -1;
+  size_t active_bytes_ = 0;
+  size_t active_records_ = 0;  // Frames appended to the active segment.
+  size_t unsynced_records_ = 0;
+
+  uint64_t append_ordinal_ = 0;  // Fault-plan clock: attempts, 1-based.
+  uint64_t fsync_ordinal_ = 0;
+  bool failed_ = false;
+
+  // Counters mirrored into StoreStats (obs metrics are updated inline).
+  uint64_t appends_ = 0;
+  uint64_t append_errors_ = 0;
+  uint64_t fsyncs_ = 0;
+  uint64_t fsync_failures_ = 0;
+  uint64_t injected_faults_ = 0;
+  uint64_t compactions_ = 0;
+  RecoveryOutcome recovery_;
+};
+
+}  // namespace apichecker::store
+
+#endif  // APICHECKER_STORE_VERDICT_STORE_H_

@@ -1,0 +1,61 @@
+// Write-ahead-log record framing for the verdict store. One record per
+// vetted digest:
+//
+//   u32  magic   'VDR1' (0x31524456 little-endian on disk)
+//   u32  payload_len
+//   ...  payload (ByteWriter little-endian):
+//          string digest        (ULEB128 length + bytes)
+//          u64    seq           (store-wide monotone; last-writer-wins key)
+//          u32    model_version (serving snapshot that produced the verdict)
+//          u32    flags         (reserved)
+//          u8     malicious
+//          u64    score_bits    (IEEE-754 of the classifier score)
+//          u64    timestamp_ms  (wall clock, for provenance/auditing)
+//   u32  crc     CRC-32 (util::Crc32, shared with the ZIP codec) of payload
+//
+// The CRC is the durability contract: recovery scans a segment front to back
+// and stops at the first frame whose magic, length, CRC, or payload decode
+// fails — everything before that offset is trusted, everything after is a
+// torn write (truncate) or corruption (quarantine), decided by the store.
+
+#ifndef APICHECKER_STORE_WAL_H_
+#define APICHECKER_STORE_WAL_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apichecker::store {
+
+inline constexpr uint32_t kRecordMagic = 0x31524456u;  // "VDR1"
+// Upper bound on one payload; a corrupt length field must not drive a huge
+// allocation during recovery.
+inline constexpr uint32_t kMaxPayloadBytes = 1u << 20;
+
+struct VerdictRecord {
+  std::string digest;          // SHA-1 hex of the APK bytes (cache key).
+  uint64_t seq = 0;            // Assigned by the store on append.
+  uint32_t model_version = 0;
+  uint32_t flags = 0;
+  bool malicious = false;
+  double score = 0.0;
+  uint64_t timestamp_ms = 0;
+};
+
+// Serializes one record into its on-disk frame (header + payload + CRC).
+std::vector<uint8_t> EncodeRecord(const VerdictRecord& record);
+
+// Result of scanning one segment file front to back.
+struct SegmentScan {
+  std::vector<VerdictRecord> records;  // Valid records, file order.
+  size_t valid_bytes = 0;              // Offset just past the last valid record.
+  bool clean = false;                  // True when the whole file parsed.
+  std::string error;                   // Why the scan stopped, when !clean.
+};
+
+SegmentScan ScanSegment(std::span<const uint8_t> bytes);
+
+}  // namespace apichecker::store
+
+#endif  // APICHECKER_STORE_WAL_H_

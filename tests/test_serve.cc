@@ -111,6 +111,17 @@ TEST(DigestCache, StaleModelVersionIsAMissAndEvicted) {
   EXPECT_EQ(cache.size(), 0u);                  // Stale entry dropped.
 }
 
+TEST(DigestCache, WarmFlagSurvivesLookupAndIsClearedByOverwrite) {
+  DigestCache cache(8);
+  CachedVerdict warmed{1, true, 0.9, /*warm=*/true};
+  cache.Put("d", warmed);
+  auto hit = cache.Get("d", 1);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->warm);  // Warm-start hits are countable at Get time.
+  cache.Put("d", {1, true, 0.9});  // Re-vetted this process: no longer warm.
+  EXPECT_FALSE(cache.Get("d", 1)->warm);
+}
+
 TEST(ServingModel, SwapPublishesNewVersionWhileReadersKeepTheirSnapshot) {
   ServingModel model(TrainedChecker());
   EXPECT_EQ(model.version(), 1u);

@@ -35,6 +35,7 @@
 #include "obs/names.h"
 #include "obs/trace.h"
 #include "serve/service.h"
+#include "store/verdict_store.h"
 #include "synth/corpus.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -57,6 +58,9 @@ struct CommonFlags {
   size_t linger_ms = 10;
   size_t farms = 1;       // Device farms in the serving pool.
   double fault_rate = 0;  // Per-batch farm fault probability (fault injection).
+  std::string store_dir;  // Persistent verdict store; empty = disabled.
+  std::string fsync_policy = "group";  // every | group | buffered.
+  double store_fault_rate = 0;  // Store short-write/fsync fault probability.
   std::vector<std::string> positional;
 };
 
@@ -92,6 +96,12 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.farms = std::strtoull(next_value("--farms"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
       flags.fault_rate = std::strtod(next_value("--fault-rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--store-dir") == 0) {
+      flags.store_dir = next_value("--store-dir");
+    } else if (std::strcmp(argv[i], "--fsync-policy") == 0) {
+      flags.fsync_policy = next_value("--fsync-policy");
+    } else if (std::strcmp(argv[i], "--store-fault-rate") == 0) {
+      flags.store_fault_rate = std::strtod(next_value("--store-fault-rate"), nullptr);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       flags.metrics_out = next_value("--metrics-out");
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -308,6 +318,18 @@ int CmdServe(const CommonFlags& flags) {
   config.pool.num_farms = std::max<size_t>(1, flags.farms);
   config.pool.fault_plan.seed = flags.seed;
   config.pool.fault_plan.fault_rate = flags.fault_rate;
+  if (!flags.store_dir.empty()) {
+    auto policy = store::ParseFsyncPolicy(flags.fsync_policy);
+    if (!policy.ok()) {
+      std::fprintf(stderr, "%s\n", policy.error().c_str());
+      return 2;
+    }
+    config.store.dir = flags.store_dir;
+    config.store.fsync_policy = *policy;
+    config.store.fault_plan.seed = flags.seed;
+    config.store.fault_plan.short_write_rate = flags.store_fault_rate;
+    config.store.fault_plan.fsync_failure_rate = flags.store_fault_rate;
+  }
   serve::VettingService service(universe, config, std::move(*checker));
 
   // Build the trace up front so submission pacing measures the service, not
@@ -413,6 +435,30 @@ int CmdServe(const CommonFlags& flags) {
   std::printf("serve: model swaps %llu (serving v%u)\n",
               static_cast<unsigned long long>(stats.model_swaps),
               service.model_version());
+  if (const store::VerdictStore* store = service.verdict_store()) {
+    const store::StoreStats ss = store->stats();
+    std::printf("serve: verdict store — %zu segments, %llu live / %llu dead "
+                "records, %llu appends (%llu errors), %llu fsyncs "
+                "(%llu failures), %llu compactions, policy %s%s\n",
+                ss.segments, static_cast<unsigned long long>(ss.live_records),
+                static_cast<unsigned long long>(ss.dead_records),
+                static_cast<unsigned long long>(ss.appends),
+                static_cast<unsigned long long>(ss.append_errors),
+                static_cast<unsigned long long>(ss.fsyncs),
+                static_cast<unsigned long long>(ss.fsync_failures),
+                static_cast<unsigned long long>(ss.compactions),
+                store::FsyncPolicyName(store->config().fsync_policy),
+                ss.failed ? " [DEAD: injected crash, reopen to recover]" : "");
+    std::printf("serve: store recovery — %zu segments scanned, %llu records "
+                "replayed, %llu tails truncated (%llu bytes), %zu quarantined; "
+                "%llu warm-start cache hits this run\n",
+                ss.recovery.segments_scanned,
+                static_cast<unsigned long long>(ss.recovery.records_recovered),
+                static_cast<unsigned long long>(ss.recovery.tails_truncated),
+                static_cast<unsigned long long>(ss.recovery.bytes_truncated),
+                ss.recovery.segments_quarantined,
+                static_cast<unsigned long long>(stats.warm_start_hits));
+  }
   std::printf("serve: %.0f submissions/sec sustained; e2e latency p50 %.1f ms, "
               "p99 %.1f ms\n",
               elapsed_s > 0 ? static_cast<double>(futures.size()) / elapsed_s : 0.0,
@@ -459,7 +505,10 @@ void PrintUsage() {
       "  vet        scan .apk files with a saved model (--model, files...)\n"
       "  serve      replay a synthetic trace through the online vetting service\n"
       "             (--model, --apps, --shards, --batch, --linger-ms,\n"
-      "              --farms M, --fault-rate P for multi-farm fault injection)\n"
+      "              --farms M, --fault-rate P for multi-farm fault injection;\n"
+      "              --store-dir D persists verdicts across restarts,\n"
+      "              --fsync-policy every|group|buffered, --store-fault-rate P\n"
+      "              injects store short-writes/fsync failures)\n"
       "  market     run the deployment simulation (--months, --apps)\n"
       "common flags: --apis N (default 30000), --seed S (default 42),\n"
       "              --metrics-out FILE (dump metrics JSON; .prom for Prometheus)\n"

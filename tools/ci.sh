@@ -2,10 +2,12 @@
 # Tier-1 verification script: configure, build, and run the full ctest suite,
 # then a serving-layer smoke test of the CLI (trace replay + metrics dump),
 # then a fault-injected multi-farm smoke (3 farms, 20% fault rate: failover
-# must absorb every fault with zero lost submissions), then rebuild the
+# must absorb every fault with zero lost submissions), then a verdict-store
+# restart smoke (serve, kill, re-serve the same --store-dir: recovery must
+# replay records and the warmed cache must produce hits), then rebuild the
 # concurrency-sensitive tests under AddressSanitizer and — unless skipped —
-# run the stress-labelled suites (farm-pool fault injection + the serve soak
-# test) under ThreadSanitizer.
+# run the stress-labelled suites (farm-pool fault injection + the serve and
+# store soak tests) under ThreadSanitizer.
 #
 # Usage: sh tools/ci.sh [--no-asan] [--no-tsan]
 set -e
@@ -59,19 +61,37 @@ grep -q '"apichecker_emu_farm_injected_faults_total": [1-9]' "$SERVE_TMP/metrics
   echo "missing emu-level injected-fault accounting"; exit 1; }
 echo "fault smoke OK (faults injected, failover retries observed, zero lost)"
 
+echo "=== store: restart smoke (persist, kill, warm start) ==="
+# Run the serve trace twice against the same --store-dir. The second process
+# must recover the first one's verdicts from the WAL and serve warm-start
+# cache hits (the metric the restart exists to produce).
+"$ROOT/build/tools/apichecker" serve --apps 60 --apis 8000 \
+  --model "$SERVE_TMP/model.bin" --store-dir "$SERVE_TMP/store" \
+  | grep "invariant accepted == resolved: OK"
+"$ROOT/build/tools/apichecker" serve --apps 60 --apis 8000 \
+  --model "$SERVE_TMP/model.bin" --store-dir "$SERVE_TMP/store" \
+  --metrics-out "$SERVE_TMP/metrics-restart.json" \
+  | grep "invariant accepted == resolved: OK"
+grep -q '"apichecker_store_recovered_records_total": [1-9]' "$SERVE_TMP/metrics-restart.json" || {
+  echo "restart recovered no records from the verdict store"; exit 1; }
+grep -q '"apichecker_store_warm_start_hits_total": [1-9]' "$SERVE_TMP/metrics-restart.json" || {
+  echo "warm-started cache produced no hits after restart"; exit 1; }
+echo "store restart smoke OK (records recovered, warm-start hits observed)"
+
 if [ "$ASAN" = "1" ]; then
-  echo "=== asan: build + run test_obs test_serve test_farm_pool ==="
+  echo "=== asan: build + run test_obs test_serve test_store test_farm_pool ==="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
-  cmake --build "$ROOT/build-asan" -j --target test_obs test_serve test_farm_pool
+  cmake --build "$ROOT/build-asan" -j --target test_obs test_serve test_store test_farm_pool
   "$ROOT/build-asan/tests/test_obs"
   "$ROOT/build-asan/tests/test_serve"
+  "$ROOT/build-asan/tests/test_store"
   "$ROOT/build-asan/tests/test_farm_pool"
 fi
 
 if [ "$TSAN" = "1" ]; then
   echo "=== tsan: serve races + stress-labelled suites ==="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DAPICHECKER_SANITIZE=thread >/dev/null
-  cmake --build "$ROOT/build-tsan" -j --target test_serve test_farm_pool
+  cmake --build "$ROOT/build-tsan" -j --target test_serve test_store test_farm_pool
   "$ROOT/build-tsan/tests/test_serve"
   # Stress label = the farm-pool fault suite + the multi-producer soak test
   # (tests/CMakeLists.txt tags them), i.e. the heaviest concurrency paths.

@@ -21,8 +21,11 @@
 #include <thread>
 #include <vector>
 
+#include "apk/apk.h"
 #include "bench/common.h"
 #include "core/model_store.h"
+#include "ingest/apk_blob.h"
+#include "ingest/stream_reader.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "serve/service.h"
@@ -39,10 +42,10 @@ namespace {
 // a farm mid-outage and come back rejected-unhealthy; that is the pool telling
 // us to resubmit, not a lost verdict — so the probe retries a few times.
 serve::VettingResult VetNow(serve::VettingService& service,
-                            const std::vector<uint8_t>& bytes) {
+                            const ingest::ApkBlob& blob) {
   for (int attempt = 0; attempt < 5; ++attempt) {
     serve::Submission submission;
-    submission.apk_bytes = bytes;
+    submission.blob = blob;
     auto accepted = service.Submit(std::move(submission));
     if (!accepted.ok()) {
       std::fprintf(stderr, "probe submission rejected: %s\n", accepted.error().c_str());
@@ -61,7 +64,7 @@ serve::VettingResult VetNow(serve::VettingService& service,
 // Fans `slice` of the trace out from `kProducers` threads, collecting every
 // accepted future. Rejections (admission backpressure) are counted, not lost.
 void SubmitSlice(serve::VettingService& service,
-                 const std::vector<std::vector<uint8_t>>& trace, size_t begin,
+                 const std::vector<ingest::ApkBlob>& trace, size_t begin,
                  size_t end, std::vector<std::future<serve::VettingResult>>& futures,
                  size_t& rejected) {
   constexpr size_t kProducers = 4;
@@ -72,7 +75,7 @@ void SubmitSlice(serve::VettingService& service,
     producers.emplace_back([&, t] {
       for (size_t i = begin + t; i < end; i += kProducers) {
         serve::Submission submission;
-        submission.apk_bytes = trace[i];
+        submission.blob = trace[i];
         submission.priority = i % 32 == 0 ? 1 : 0;
         auto accepted = service.Submit(std::move(submission));
         if (accepted.ok()) {
@@ -100,6 +103,8 @@ int main(int argc, char** argv) {
   size_t farms = 1;
   double fault_rate = 0.0;
   const char* store_dir = nullptr;
+  size_t large_every = 16;   // Every Nth distinct APK padded large; 0 = off.
+  size_t large_kb = 8'192;   // Padding target for "large" APKs.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--farms") == 0 && i + 1 < argc) {
       farms = std::strtoull(argv[++i], nullptr, 10);
@@ -107,6 +112,10 @@ int main(int argc, char** argv) {
       fault_rate = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
       store_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--large-every") == 0 && i + 1 < argc) {
+      large_every = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--large-kb") == 0 && i + 1 < argc) {
+      large_kb = std::strtoull(argv[++i], nullptr, 10);
     }
   }
   const size_t trace_size = args.AppsOr(4'000);
@@ -143,23 +152,46 @@ int main(int argc, char** argv) {
 
   // Build the whole trace up front so the measured window contains service
   // work only. ~25% byte-identical resubmissions model version-unchanged
-  // re-uploads (digest-cache traffic).
+  // re-uploads (digest-cache traffic); resubmitted blobs share the original
+  // handle, so each distinct APK's bytes exist exactly once. Every Nth
+  // distinct APK is padded to ~--large-kb KB so the size-bucketed admission
+  // histogram exercises the large path.
   synth::CorpusConfig corpus_config;
   corpus_config.seed = args.seed ^ 0x5e77e;
   synth::CorpusGenerator generator(context.universe(), corpus_config);
   util::Rng resubmit_rng(args.seed ^ 0xca11);
-  std::vector<std::vector<uint8_t>> trace;
+  auto make_blob = [&](std::vector<uint8_t> bytes) {
+    ingest::MemoryStreamReader reader(bytes);
+    auto blob = ingest::ReadApkBlob(reader);
+    if (!blob.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", blob.error().c_str());
+      std::exit(1);
+    }
+    return std::move(*blob);
+  };
+  std::vector<ingest::ApkBlob> trace;
   trace.reserve(trace_size);
+  size_t fresh = 0;
   for (size_t i = 0; i < trace_size; ++i) {
     if (!trace.empty() && resubmit_rng.NextDouble() < 0.25) {
       trace.push_back(trace[resubmit_rng.NextBounded(trace.size())]);
-    } else {
-      trace.push_back(synth::BuildApkBytes(generator.Next(), context.universe()));
+      continue;
     }
+    std::vector<uint8_t> bytes =
+        synth::BuildApkBytes(generator.Next(), context.universe());
+    ++fresh;
+    if (large_every > 0 && fresh % large_every == 0) {
+      auto inflated = apk::PadApk(bytes, large_kb * 1024, args.seed ^ fresh);
+      if (inflated.ok()) {
+        bytes = std::move(*inflated);
+      }
+    }
+    trace.push_back(make_blob(std::move(bytes)));
   }
-  std::vector<std::vector<uint8_t>> probes;
+  std::vector<ingest::ApkBlob> probes;
   for (int i = 0; i < 3; ++i) {
-    probes.push_back(synth::BuildApkBytes(generator.Next(), context.universe()));
+    probes.push_back(
+        make_blob(synth::BuildApkBytes(generator.Next(), context.universe())));
   }
 
   const auto start = std::chrono::steady_clock::now();
@@ -269,6 +301,31 @@ int main(int argc, char** argv) {
               mean_busy > 0 ? max_busy / mean_busy : 1.0);
   std::printf("e2e latency: p50 %.1f ms, p99 %.1f ms\n", e2e.Quantile(0.50),
               e2e.Quantile(0.99));
+
+  // Admission latency by APK size bucket: the whole point of blob-handle
+  // admission is that Submit() cost does not scale with APK bytes — large
+  // should sit within a small constant factor of small.
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  std::printf("admission latency (Submit() wall time):");
+  for (const char* bucket : {"small", "medium", "large"}) {
+    const obs::HistogramSnapshot snap =
+        registry
+            .histogram(serve::AdmissionSeriesName(
+                obs::names::kServeAdmissionLatencyMs, bucket))
+            .Snapshot();
+    std::printf(" %s p50 %.4f / p99 %.4f ms (n=%llu)", bucket,
+                snap.Quantile(0.50), snap.Quantile(0.99),
+                static_cast<unsigned long long>(snap.count));
+  }
+  std::printf("\n");
+  std::printf(
+      "blob pool: peak resident %.1f MB (%llu blobs streamed, %llu SHA-1 "
+      "passes — exactly one per distinct blob)\n",
+      static_cast<double>(ingest::ApkBlob::PoolPeakBytes()) / (1024.0 * 1024.0),
+      static_cast<unsigned long long>(
+          registry.counter(obs::names::kIngestBlobsTotal).value()),
+      static_cast<unsigned long long>(
+          registry.counter(obs::names::kServeHashOpsTotal).value()));
   if (const store::VerdictStore* store = service.verdict_store()) {
     const store::StoreStats ss = store->stats();
     std::printf("verdict store: %llu appends, %llu fsyncs, %zu segments, "

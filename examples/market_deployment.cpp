@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "core/model_store.h"
+#include "ingest/apk_blob.h"
 #include "market/simulation.h"
 #include "serve/service.h"
 #include "synth/corpus.h"
@@ -114,7 +115,8 @@ int main(int argc, char** argv) {
     std::vector<std::future<serve::VettingResult>> futures;
     for (size_t i = 0; i < count; ++i) {
       serve::Submission submission;
-      submission.apk_bytes = synth::BuildApkBytes(fresh.Next(), universe);
+      submission.blob =
+          ingest::ApkBlob::FromBytes(synth::BuildApkBytes(fresh.Next(), universe));
       if (auto accepted = service.Submit(std::move(submission)); accepted.ok()) {
         futures.push_back(std::move(*accepted));
       }

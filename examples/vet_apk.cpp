@@ -16,6 +16,7 @@
 #include "core/model_store.h"
 #include "core/study.h"
 #include "emu/engine.h"
+#include "ingest/stream_reader.h"
 #include "serve/service.h"
 #include "synth/corpus.h"
 #include "util/strings.h"
@@ -147,9 +148,18 @@ int main(int argc, char** argv) {
   service_config.farm.engine.kind = emu::EngineKind::kLightweight;
   serve::VettingService service(universe, service_config, std::move(checker));
 
+  // Ingest once: the chunked reader streams the upload into an immutable
+  // ref-counted blob, hashing incrementally as bytes arrive. Every submission
+  // below shares this one handle — no copies, no re-hashing.
+  ingest::MemoryStreamReader upload(apk_bytes);
+  auto blob = ingest::ReadApkBlob(upload, /*chunk_bytes=*/64 * 1024);
+  if (!blob.ok()) {
+    std::fprintf(stderr, "ingest failed: %s\n", blob.error().c_str());
+    return 1;
+  }
   const auto vet = [&](const char* label) {
     serve::Submission submission;
-    submission.apk_bytes = apk_bytes;
+    submission.blob = *blob;
     auto accepted = service.Submit(std::move(submission));
     if (!accepted.ok()) {
       std::printf("  %-26s rejected: %s\n", label, accepted.error().c_str());

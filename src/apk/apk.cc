@@ -1,5 +1,7 @@
 #include "apk/apk.h"
 
+#include <algorithm>
+
 #include "apk/zip.h"
 #include "util/rng.h"
 #include "util/strings.h"
@@ -99,6 +101,32 @@ util::Result<ApkFile> ParseApk(std::span<const uint8_t> bytes) {
   apk.has_native_lib = zip->Find(kNativeLibEntry) != nullptr;
   apk.digest = stored_digest;
   return apk;
+}
+
+util::Result<std::vector<uint8_t>> PadApk(std::span<const uint8_t> bytes,
+                                          size_t target_bytes, uint64_t seed) {
+  if (bytes.size() >= target_bytes) {
+    return std::vector<uint8_t>(bytes.begin(), bytes.end());
+  }
+  auto zip = ZipReader::Parse(bytes);
+  if (!zip.ok()) {
+    return util::Err("apk container: " + zip.error());
+  }
+  // Headroom for the padding entry's local header + central record (~150 B).
+  const size_t overhead = 160;
+  const size_t pad_size =
+      target_bytes - std::min(target_bytes, bytes.size() + overhead);
+  std::vector<uint8_t> filler(pad_size);
+  util::Rng rng(seed);
+  for (auto& byte : filler) {
+    byte = static_cast<uint8_t>(rng.Next() & 0xFF);
+  }
+  ZipWriter writer;
+  for (const ZipEntry& entry : zip->entries()) {
+    writer.AddEntry(entry.name, entry.data);
+  }
+  writer.AddEntry("assets/padding.bin", filler);
+  return writer.Finish();
 }
 
 }  // namespace apichecker::apk

@@ -43,6 +43,16 @@ std::vector<uint8_t> BuildApk(const Manifest& manifest, const DexFile& dex,
 // codecs, and the signature digest.
 util::Result<ApkFile> ParseApk(std::span<const uint8_t> bytes);
 
+// Rewrites a valid APK with an extra `assets/padding.bin` entry so the
+// archive grows to roughly `target_bytes` (deterministic filler seeded by
+// `seed`). The signature digest covers only manifest+dex, so the padded APK
+// still parses; only its byte-level SHA-1 changes. Used to synthesize
+// market-realistic large APKs for ingest benchmarks and the ci.sh
+// admission-latency smoke. No-op (returns the original bytes) when the APK
+// is already at least `target_bytes`.
+util::Result<std::vector<uint8_t>> PadApk(std::span<const uint8_t> bytes,
+                                          size_t target_bytes, uint64_t seed = 1);
+
 }  // namespace apichecker::apk
 
 #endif  // APICHECKER_APK_APK_H_

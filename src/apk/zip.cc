@@ -116,8 +116,13 @@ util::Result<ZipReader> ZipReader::Parse(std::span<const uint8_t> bytes) {
       !central_offset.ok()) {
     return util::Err("truncated EOCD");
   }
-  if (*central_offset + *central_size > bytes.size()) {
+  // 64-bit arithmetic: both fields are attacker-controlled uint32s whose sum
+  // can wrap at 32 bits and sneak past the bounds check.
+  if (static_cast<uint64_t>(*central_offset) + *central_size > bytes.size()) {
     return util::Err("central directory out of bounds");
+  }
+  if (*total_entries == 0) {
+    return util::Err("zero-entry archive");
   }
 
   ZipReader reader;

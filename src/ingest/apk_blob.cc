@@ -1,0 +1,83 @@
+#include "ingest/apk_blob.h"
+
+#include <atomic>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/sha1.h"
+
+namespace apichecker::ingest {
+
+namespace {
+
+std::atomic<uint64_t> g_pool_bytes{0};
+std::atomic<uint64_t> g_pool_peak_bytes{0};
+
+void TrackAlloc(size_t bytes) {
+  const uint64_t now = g_pool_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  uint64_t peak = g_pool_peak_bytes.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !g_pool_peak_bytes.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.gauge(obs::names::kIngestBlobPoolBytes).Set(static_cast<double>(now));
+  registry.gauge(obs::names::kIngestBlobPoolPeakBytes)
+      .Set(static_cast<double>(g_pool_peak_bytes.load(std::memory_order_relaxed)));
+}
+
+void TrackFree(size_t bytes) {
+  const uint64_t now = g_pool_bytes.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  obs::MetricsRegistry::Default()
+      .gauge(obs::names::kIngestBlobPoolBytes)
+      .Set(static_cast<double>(now));
+}
+
+}  // namespace
+
+struct ApkBlob::Rep {
+  std::vector<uint8_t> bytes;
+  std::string digest;
+
+  Rep(std::vector<uint8_t> b, std::string d)
+      : bytes(std::move(b)), digest(std::move(d)) {
+    TrackAlloc(bytes.size());
+  }
+  ~Rep() { TrackFree(bytes.size()); }
+
+  Rep(const Rep&) = delete;
+  Rep& operator=(const Rep&) = delete;
+};
+
+ApkBlob ApkBlob::FromBytes(std::vector<uint8_t> bytes) {
+  std::string digest = util::Sha1Hex(bytes);
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.counter(obs::names::kServeHashOpsTotal).Increment();
+  registry.counter(obs::names::kIngestBlobsTotal).Increment();
+  return ApkBlob(std::make_shared<const Rep>(std::move(bytes), std::move(digest)));
+}
+
+std::span<const uint8_t> ApkBlob::bytes() const {
+  if (!rep_) return {};
+  return rep_->bytes;
+}
+
+const std::string& ApkBlob::digest() const {
+  static const std::string kEmpty;
+  return rep_ ? rep_->digest : kEmpty;
+}
+
+size_t ApkBlob::size() const { return rep_ ? rep_->bytes.size() : 0; }
+
+uint64_t ApkBlob::PoolBytes() { return g_pool_bytes.load(std::memory_order_relaxed); }
+
+uint64_t ApkBlob::PoolPeakBytes() {
+  return g_pool_peak_bytes.load(std::memory_order_relaxed);
+}
+
+ApkBlob BlobBuilder::Finish(std::vector<uint8_t> bytes, std::string digest_hex) {
+  obs::MetricsRegistry::Default().counter(obs::names::kIngestBlobsTotal).Increment();
+  return ApkBlob(
+      std::make_shared<const ApkBlob::Rep>(std::move(bytes), std::move(digest_hex)));
+}
+
+}  // namespace apichecker::ingest

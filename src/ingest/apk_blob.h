@@ -1,0 +1,64 @@
+// Immutable, ref-counted APK payload. Every stage of the serving stack
+// (shard queue -> scheduler -> farm-pool worker -> verdict store) passes the
+// same underlying buffer by handle, so an APK is allocated exactly once at
+// ingest and never copied again — the frontend property the paper needs to
+// vet ~10K market submissions/day without the intake becoming the bottleneck.
+//
+// Ownership rules:
+//  - The bytes and the digest are set at construction and never mutated.
+//  - Copying an ApkBlob bumps a refcount; the buffer dies with the last handle.
+//  - The SHA-1 digest is computed exactly once per blob (incrementally when
+//    the blob is streamed in; see stream_reader.h) and cached alongside the
+//    bytes, so downstream stages never re-hash.
+// A process-wide gauge tracks resident blob bytes plus its high-water mark
+// (apichecker_ingest_blob_pool_bytes / _peak_bytes).
+
+#ifndef APICHECKER_INGEST_APK_BLOB_H_
+#define APICHECKER_INGEST_APK_BLOB_H_
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apichecker::ingest {
+
+class ApkBlob {
+ public:
+  // Empty handle: no bytes, empty digest, use_count() == 0.
+  ApkBlob() = default;
+
+  // Hashes `bytes` (exactly once) and takes ownership. Counts one
+  // apichecker_serve_hash_ops_total and one apichecker_ingest_blobs_total.
+  static ApkBlob FromBytes(std::vector<uint8_t> bytes);
+
+  std::span<const uint8_t> bytes() const;
+  // 40-char lowercase SHA-1 hex of bytes(); empty string for an empty handle.
+  const std::string& digest() const;
+  size_t size() const;
+  bool empty() const { return rep_ == nullptr; }
+  long use_count() const { return rep_.use_count(); }
+
+  // Live bytes across all blobs in the process, and the high-water mark.
+  static uint64_t PoolBytes();
+  static uint64_t PoolPeakBytes();
+
+ private:
+  friend class BlobBuilder;
+  struct Rep;
+  explicit ApkBlob(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  std::shared_ptr<const Rep> rep_;
+};
+
+// Internal assembly helper for readers that already streamed the bytes
+// through an incremental hasher: builds a blob without re-hashing.
+class BlobBuilder {
+ public:
+  static ApkBlob Finish(std::vector<uint8_t> bytes, std::string digest_hex);
+};
+
+}  // namespace apichecker::ingest
+
+#endif  // APICHECKER_INGEST_APK_BLOB_H_

@@ -1,0 +1,87 @@
+#include "ingest/stream_reader.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/sha1.h"
+#include "util/strings.h"
+
+namespace apichecker::ingest {
+
+util::Result<size_t> MemoryStreamReader::Read(std::span<uint8_t> out) {
+  const size_t take = std::min(out.size(), bytes_.size() - offset_);
+  if (take > 0) {
+    std::memcpy(out.data(), bytes_.data() + offset_, take);
+    offset_ += take;
+  }
+  return take;
+}
+
+FileStreamReader::FileStreamReader(std::string path) : path_(std::move(path)) {
+  FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f != nullptr) {
+    if (std::fseek(f, 0, SEEK_END) == 0) {
+      const long end = std::ftell(f);
+      if (end >= 0) size_hint_ = static_cast<size_t>(end);
+      std::fseek(f, 0, SEEK_SET);
+    }
+  }
+  file_ = f;
+}
+
+FileStreamReader::~FileStreamReader() {
+  if (file_ != nullptr) std::fclose(static_cast<FILE*>(file_));
+}
+
+util::Result<size_t> FileStreamReader::Read(std::span<uint8_t> out) {
+  if (file_ == nullptr) {
+    return util::Err(util::StrFormat("cannot open %s", path_.c_str()));
+  }
+  FILE* f = static_cast<FILE*>(file_);
+  const size_t n = std::fread(out.data(), 1, out.size(), f);
+  if (n < out.size() && std::ferror(f)) {
+    return util::Err(util::StrFormat("read error on %s", path_.c_str()));
+  }
+  return n;
+}
+
+std::optional<size_t> FileStreamReader::SizeHint() const { return size_hint_; }
+
+util::Result<ApkBlob> ReadApkBlob(ApkStreamReader& reader, size_t chunk_bytes) {
+  if (chunk_bytes == 0) chunk_bytes = kDefaultChunkBytes;
+  auto& registry = obs::MetricsRegistry::Default();
+  obs::Counter& bytes_streamed =
+      registry.counter(obs::names::kIngestBytesStreamedTotal);
+  obs::Counter& chunks = registry.counter(obs::names::kIngestChunksTotal);
+
+  std::vector<uint8_t> bytes;
+  if (auto hint = reader.SizeHint()) {
+    bytes.reserve(*hint);
+  }
+  std::vector<uint8_t> chunk(chunk_bytes);
+  util::Sha1Hasher hasher;
+  for (;;) {
+    auto n = reader.Read(chunk);
+    if (!n.ok()) {
+      return util::Err(n.error());
+    }
+    if (*n == 0) break;
+    hasher.Update(std::span<const uint8_t>(chunk.data(), *n));
+    bytes.insert(bytes.end(), chunk.begin(), chunk.begin() + *n);
+    bytes_streamed.Increment(*n);
+    chunks.Increment();
+  }
+  registry.counter(obs::names::kServeHashOpsTotal).Increment();
+  return BlobBuilder::Finish(std::move(bytes), hasher.FinalHex());
+}
+
+util::Result<ApkBlob> ReadApkBlobFromFile(const std::string& path,
+                                          size_t chunk_bytes) {
+  FileStreamReader reader(path);
+  return ReadApkBlob(reader, chunk_bytes);
+}
+
+}  // namespace apichecker::ingest

@@ -1,0 +1,81 @@
+// Chunked APK intake. An ApkStreamReader yields the payload in bounded
+// chunks (file- or memory-backed); ReadApkBlob() drains one through a
+// streaming util::Sha1Hasher so the digest is ready the moment the last
+// chunk lands — the submitter never holds two copies of the APK and never
+// makes a second hashing pass over it. Chunk size is configurable
+// (kDefaultChunkBytes, CLI --chunk-kb) so operators can trade syscall count
+// against resident buffer size for very large APKs.
+
+#ifndef APICHECKER_INGEST_STREAM_READER_H_
+#define APICHECKER_INGEST_STREAM_READER_H_
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ingest/apk_blob.h"
+#include "util/result.h"
+
+namespace apichecker::ingest {
+
+inline constexpr size_t kDefaultChunkBytes = 64 * 1024;
+
+// Pull-based byte source. Read() fills up to out.size() bytes and returns the
+// number written; 0 means end of stream. Implementations are single-pass.
+class ApkStreamReader {
+ public:
+  virtual ~ApkStreamReader() = default;
+
+  virtual util::Result<size_t> Read(std::span<uint8_t> out) = 0;
+
+  // Total payload size when known up front (lets the drain pre-reserve).
+  virtual std::optional<size_t> SizeHint() const { return std::nullopt; }
+};
+
+// Replays an in-memory buffer chunk by chunk (tests, synthetic traces, and
+// network frontends that already hold the upload buffer).
+class MemoryStreamReader : public ApkStreamReader {
+ public:
+  explicit MemoryStreamReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  util::Result<size_t> Read(std::span<uint8_t> out) override;
+  std::optional<size_t> SizeHint() const override { return bytes_.size(); }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t offset_ = 0;
+};
+
+// Streams a file from disk without ever mapping it whole.
+class FileStreamReader : public ApkStreamReader {
+ public:
+  explicit FileStreamReader(std::string path);
+  ~FileStreamReader() override;
+
+  FileStreamReader(const FileStreamReader&) = delete;
+  FileStreamReader& operator=(const FileStreamReader&) = delete;
+
+  util::Result<size_t> Read(std::span<uint8_t> out) override;
+  std::optional<size_t> SizeHint() const override;
+
+ private:
+  std::string path_;
+  void* file_ = nullptr;  // FILE*, kept out of the header.
+  std::optional<size_t> size_hint_;
+};
+
+// Drains `reader` in `chunk_bytes` slices, hashing incrementally, and returns
+// the finished blob. Exactly one SHA-1 pass (apichecker_serve_hash_ops_total)
+// and one allocation per APK; bytes/chunks are accounted in the
+// apichecker_ingest_* counters.
+util::Result<ApkBlob> ReadApkBlob(ApkStreamReader& reader,
+                                  size_t chunk_bytes = kDefaultChunkBytes);
+
+util::Result<ApkBlob> ReadApkBlobFromFile(const std::string& path,
+                                          size_t chunk_bytes = kDefaultChunkBytes);
+
+}  // namespace apichecker::ingest
+
+#endif  // APICHECKER_INGEST_STREAM_READER_H_

@@ -345,6 +345,23 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
                      "admission -> batch assembly wait, ms");
   registry.histogram(kServeE2eLatencyMs, Histogram::ExponentialBounds(0.5, 2.0, 18),
                      "admission -> verdict end-to-end latency, ms");
+  registry.counter(kServeHashOpsTotal,
+                   "full-APK SHA-1 passes on the submit path (one per blob)");
+  registry.counter(kServeCacheFastpathHitsTotal,
+                   "submissions resolved at Submit() without a queue round-trip");
+  registry.histogram(kServeAdmissionLatencyMs,
+                     Histogram::ExponentialBounds(0.001, 2.0, 24),
+                     "Submit() entry -> future handed back, ms");
+
+  registry.counter(kIngestBlobsTotal, "APK blobs materialized by the ingest layer");
+  registry.counter(kIngestBytesStreamedTotal,
+                   "APK bytes streamed through chunked readers");
+  registry.counter(kIngestChunksTotal, "chunks read by the streaming ingest path");
+  registry.gauge(kIngestBlobPoolBytes, "bytes held by live APK blobs right now");
+  registry.gauge(kIngestBlobPoolPeakBytes,
+                 "high-water mark of resident APK blob bytes");
+  registry.histogram(kIngestParseStageMs, Histogram::ExponentialBounds(0.01, 2.0, 20),
+                     "per-APK off-thread parse-stage latency, ms");
 
   registry.gauge(kServeFarmPoolSize, "device farms behind the batch scheduler");
   registry.gauge(kServeFarmHealthy, "farms whose circuit breaker is closed");

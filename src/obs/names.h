@@ -81,6 +81,25 @@ inline constexpr char kServeBatchesTotal[] = "apichecker_serve_batches_total";
 inline constexpr char kServeBatchSize[] = "apichecker_serve_batch_size";
 inline constexpr char kServeQueueWaitMs[] = "apichecker_serve_queue_wait_ms";
 inline constexpr char kServeE2eLatencyMs[] = "apichecker_serve_e2e_latency_ms";
+inline constexpr char kServeHashOpsTotal[] = "apichecker_serve_hash_ops_total";
+inline constexpr char kServeCacheFastpathHitsTotal[] =
+    "apichecker_serve_cache_fastpath_hits_total";
+// Also emitted as per-size-bucket variants with an embedded Prometheus label,
+// e.g. apichecker_serve_admission_latency_ms{size="large"}
+// (see serve::AdmissionSeriesName).
+inline constexpr char kServeAdmissionLatencyMs[] =
+    "apichecker_serve_admission_latency_ms";
+
+// ingest layer — streaming APK intake (chunked read, incremental hash,
+// ref-counted blob pool, off-thread parse stage).
+inline constexpr char kIngestBlobsTotal[] = "apichecker_ingest_blobs_total";
+inline constexpr char kIngestBytesStreamedTotal[] =
+    "apichecker_ingest_bytes_streamed_total";
+inline constexpr char kIngestChunksTotal[] = "apichecker_ingest_chunks_total";
+inline constexpr char kIngestBlobPoolBytes[] = "apichecker_ingest_blob_pool_bytes";
+inline constexpr char kIngestBlobPoolPeakBytes[] =
+    "apichecker_ingest_blob_pool_peak_bytes";
+inline constexpr char kIngestParseStageMs[] = "apichecker_ingest_parse_stage_ms";
 
 // serve layer — multi-farm pool (routing, failover, circuit breakers). The
 // aggregate series below also exist as per-farm variants with an embedded

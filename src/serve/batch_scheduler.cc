@@ -7,7 +7,7 @@
 #include <unordered_map>
 #include <utility>
 
-#include "apk/apk.h"
+#include "ingest/apk_blob.h"
 #include "market/review_pipeline.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
@@ -159,9 +159,11 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
 
   // Triage on the scheduler thread: expired deadlines and digest-cache hits
   // resolve without touching an emulator; byte-identical members of the same
-  // batch emulate once; unparseable members fail fast.
+  // batch emulate once. Parsing is NOT done here — the pool's first worker to
+  // pick the batch up runs it (off the scheduler, off the submitter), so the
+  // scheduler goes straight back to assembling the next batch.
   obs::Histogram& queue_wait = metrics.histogram(obs::names::kServeQueueWaitMs);
-  std::vector<apk::ApkFile> apks;
+  std::vector<ingest::ApkBlob> blobs;  // One per slot leader; refcount bumps only.
   std::unordered_map<std::string, size_t> digest_to_slot;
 
   for (size_t i = 0; i < state->batch.size(); ++i) {
@@ -176,7 +178,7 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
       continue;
     }
 
-    if (auto cached = cache_.Get(pending.digest, state->snapshot->version)) {
+    if (auto cached = cache_.Get(pending.digest(), state->snapshot->version)) {
       VettingResult result;
       result.malicious = cached->malicious;
       result.score = cached->score;
@@ -195,45 +197,53 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
     }
     metrics.counter(obs::names::kServeCacheMissesTotal).Increment();
 
-    if (auto it = digest_to_slot.find(pending.digest); it != digest_to_slot.end()) {
+    if (auto it = digest_to_slot.find(pending.digest()); it != digest_to_slot.end()) {
       state->slots[it->second].followers.push_back(i);
       continue;
     }
-
-    auto parsed = apk::ParseApk(pending.apk_bytes);
-    if (!parsed.ok()) {
-      VettingResult result;
-      result.status = VetStatus::kParseError;
-      result.error = parsed.error();
-      result.model_version = state->snapshot->version;
-      resolve(*state, pending, std::move(result));
-      continue;
-    }
-    digest_to_slot.emplace(pending.digest, state->slots.size());
+    digest_to_slot.emplace(pending.digest(), state->slots.size());
     state->slots.push_back({i, {}});
-    apks.push_back(std::move(*parsed));
+    blobs.push_back(pending.blob);
   }
 
-  if (apks.empty()) {
+  if (blobs.empty()) {
     return;
   }
 
-  // Hand the emulation work to the pool; classification happens on the pool
-  // worker that completes the batch. Affinity-hash the first leader's digest
-  // so byte-similar traffic prefers the same farm when loads tie.
+  // Hand the blobs to the pool; the parse stage and classification both
+  // happen on the pool worker that picks the batch up. Affinity-hash the
+  // first leader's digest so byte-similar traffic prefers the same farm when
+  // loads tie.
   const uint64_t affinity =
-      std::hash<std::string>{}(state->batch[state->slots.front().leader].digest);
+      std::hash<std::string>{}(state->batch[state->slots.front().leader].digest());
 
-  auto on_complete = [this, state, resolve](const emu::BatchResult& farm_result) {
-    for (size_t s = 0; s < state->slots.size(); ++s) {
-      PendingSubmission& leader = state->batch[state->slots[s].leader];
+  // Slot index s == blob index s in the vector handed to the pool.
+  auto on_parse_error = [this, state, resolve](size_t slot_index,
+                                               const std::string& error) {
+    (void)this;
+    const EmulationSlot& slot = state->slots[slot_index];
+    VettingResult result;
+    result.status = VetStatus::kParseError;
+    result.error = error;
+    result.model_version = state->snapshot->version;
+    resolve(*state, state->batch[slot.leader], VettingResult(result));
+    for (size_t follower_idx : slot.followers) {
+      resolve(*state, state->batch[follower_idx], VettingResult(result));
+    }
+  };
+
+  auto on_complete = [this, state, resolve](const emu::BatchResult& farm_result,
+                                            const std::vector<size_t>& emulated) {
+    for (size_t j = 0; j < emulated.size(); ++j) {
+      const EmulationSlot& slot = state->slots[emulated[j]];
+      PendingSubmission& leader = state->batch[slot.leader];
       const core::ApiChecker::Verdict verdict =
-          state->snapshot->checker.Classify(farm_result.reports[s]);
-      cache_.Put(leader.digest,
+          state->snapshot->checker.Classify(farm_result.reports[j]);
+      cache_.Put(leader.digest(),
                  {state->snapshot->version, verdict.malicious, verdict.score});
       if (store_ != nullptr) {
         store::VerdictRecord record;
-        record.digest = leader.digest;
+        record.digest = leader.digest();
         record.model_version = state->snapshot->version;
         record.malicious = verdict.malicious;
         record.score = verdict.score;
@@ -257,7 +267,7 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
       result.model_version = state->snapshot->version;
       resolve(*state, leader, std::move(result));
 
-      for (size_t follower_idx : state->slots[s].followers) {
+      for (size_t follower_idx : slot.followers) {
         VettingResult dup;
         dup.malicious = verdict.malicious;
         dup.score = verdict.score;
@@ -272,9 +282,11 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
     }
   };
 
-  auto on_reject = [this, state, resolve](PoolRejectReason reason) {
+  auto on_reject = [this, state, resolve](PoolRejectReason reason,
+                                          const std::vector<size_t>& affected) {
     (void)this;
-    for (const EmulationSlot& slot : state->slots) {
+    for (size_t slot_index : affected) {
+      const EmulationSlot& slot = state->slots[slot_index];
       VettingResult result;
       result.status = VetStatus::kRejectedUnhealthy;
       result.error = PoolRejectReasonName(reason);
@@ -290,11 +302,17 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
     }
   };
 
-  if (!pool_.Submit(std::move(apks), state->snapshot, affinity, on_complete,
-                    on_reject)) {
+  const size_t num_slots = state->slots.size();
+  if (!pool_.Submit(std::move(blobs), state->snapshot, affinity, on_complete,
+                    on_reject, on_parse_error)) {
     // Shutdown race: the pool closed before this batch reached it. Resolve
-    // everything visibly rather than dropping it.
-    on_reject(PoolRejectReason::kClosed);
+    // everything visibly rather than dropping it (nothing was parsed, so
+    // every slot is affected).
+    std::vector<size_t> all(num_slots);
+    for (size_t s = 0; s < num_slots; ++s) {
+      all[s] = s;
+    }
+    on_reject(PoolRejectReason::kClosed, all);
   }
 }
 

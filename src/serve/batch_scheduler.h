@@ -8,10 +8,13 @@
 // after an idle stretch wakes it immediately (no poll granularity).
 //
 // Emulation routes through a FarmPool: triage (deadline expiry, digest-cache
-// hits, in-batch dedup, parsing) runs on the scheduler thread, then the batch
-// is handed to the pool and classified asynchronously on a pool worker when
-// its farm finishes — so M farms stay busy while the scheduler assembles the
-// next batch. A pool-level failure (all farms down, retry budget exhausted)
+// hits, in-batch dedup) runs on the scheduler thread over blob handles only —
+// APK parsing is the pool's pipelined parse stage, run by the first worker
+// that dequeues the batch, so neither the submitter nor the scheduler ever
+// blocks on ZIP/dex decoding. Parse failures fast-fail with kParseError from
+// the worker; the rest are emulated and classified asynchronously when their
+// farm finishes — so M farms stay busy while the scheduler assembles the next
+// batch. A pool-level failure (all farms down, retry budget exhausted)
 // resolves every member with kRejectedUnhealthy rather than dropping it.
 // Acquires one model snapshot per batch, so hot-swaps take effect at the next
 // batch boundary and a batch is never classified by two different models.

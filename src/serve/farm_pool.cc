@@ -203,16 +203,53 @@ void FarmPool::RecordFaultLocked(size_t farm_index) {
   }
 }
 
-bool FarmPool::Submit(std::vector<apk::ApkFile> apks,
+std::vector<size_t> FarmPool::PoolBatch::AffectedIndices() const {
+  if (parsed) {
+    return emulated;
+  }
+  std::vector<size_t> all(total_items);
+  for (size_t i = 0; i < total_items; ++i) {
+    all[i] = i;
+  }
+  return all;
+}
+
+void FarmPool::ParseStage(PoolBatch& batch) {
+  obs::Histogram& parse_ms = obs::MetricsRegistry::Default().histogram(
+      obs::names::kIngestParseStageMs);
+  batch.apks.reserve(batch.blobs.size());
+  for (size_t i = 0; i < batch.blobs.size(); ++i) {
+    const Clock::time_point start = Clock::now();
+    auto parsed = apk::ParseApk(batch.blobs[i].bytes());
+    parse_ms.Observe(
+        std::chrono::duration<double, std::milli>(Clock::now() - start).count());
+    if (parsed.ok()) {
+      batch.apks.push_back(std::move(*parsed));
+      batch.emulated.push_back(i);
+    } else if (batch.on_parse_error) {
+      batch.on_parse_error(i, parsed.error());
+    }
+  }
+  batch.parsed = true;
+  // The bytes are never needed again (retries reuse the parsed ApkFiles);
+  // release the blob references so the pool stops pinning them.
+  batch.blobs.clear();
+  batch.blobs.shrink_to_fit();
+}
+
+bool FarmPool::Submit(std::vector<ingest::ApkBlob> blobs,
                       std::shared_ptr<const ModelSnapshot> snapshot,
-                      uint64_t affinity, CompleteFn on_complete, RejectFn on_reject) {
+                      uint64_t affinity, CompleteFn on_complete, RejectFn on_reject,
+                      ParseErrorFn on_parse_error) {
   auto batch = std::make_unique<PoolBatch>();
-  batch->apks = std::move(apks);
+  batch->blobs = std::move(blobs);
+  batch->total_items = batch->blobs.size();
   batch->snapshot = std::move(snapshot);
   batch->affinity = affinity;
   batch->tried.assign(farms_.size(), 0);
   batch->on_complete = std::move(on_complete);
   batch->on_reject = std::move(on_reject);
+  batch->on_parse_error = std::move(on_parse_error);
 
   RejectFn reject_now;
   {
@@ -239,7 +276,8 @@ bool FarmPool::Submit(std::vector<apk::ApkFile> apks,
   if (reject_now) {
     // The per-submission rejected_unhealthy metric is the caller's to count
     // (the pool only sees batches); we track batch-level rejects in stats().
-    reject_now(PoolRejectReason::kNoHealthyFarms);
+    // Nothing parsed yet, so every index is affected.
+    reject_now(PoolRejectReason::kNoHealthyFarms, batch->AffectedIndices());
     return true;
   }
   cv_.notify_all();
@@ -259,6 +297,31 @@ void FarmPool::WorkerLoop(size_t farm_index) {
     queues_[farm_index].pop_front();
     in_flight_[farm_index] = 1;
     lock.unlock();
+
+    // Parse stage (first attempt only): the blobs become ApkFiles here, on a
+    // pool worker — never on the submitter or scheduler thread. Failover
+    // retries reuse the cached parse.
+    if (!batch->parsed) {
+      obs::TraceSpan parse_span("serve.farm_pool.parse");
+      ParseStage(*batch);
+    }
+
+    if (batch->apks.empty()) {
+      // Every member failed the parse stage (each already resolved through
+      // on_parse_error). Terminate the batch without consuming a farm run.
+      lock.lock();
+      in_flight_[farm_index] = 0;
+      --outstanding_;
+      const bool drained = closed_ && outstanding_ == 0;
+      lock.unlock();
+      batch->on_complete(emu::BatchResult{}, {});
+      batch.reset();
+      if (drained) {
+        cv_.notify_all();
+      }
+      lock.lock();
+      continue;
+    }
 
     emu::BatchResult result;
     {
@@ -281,7 +344,7 @@ void FarmPool::WorkerLoop(size_t farm_index) {
       --outstanding_;
       const bool drained = closed_ && outstanding_ == 0;
       lock.unlock();
-      batch->on_complete(result);
+      batch->on_complete(result, batch->emulated);
       batch.reset();
       if (drained) {
         cv_.notify_all();
@@ -327,7 +390,7 @@ void FarmPool::WorkerLoop(size_t farm_index) {
       --outstanding_;
       const bool drained = closed_ && outstanding_ == 0;
       lock.unlock();
-      batch->on_reject(reason);
+      batch->on_reject(reason, batch->AffectedIndices());
       batch.reset();
       if (drained) {
         cv_.notify_all();

@@ -35,6 +35,7 @@
 
 #include "apk/apk.h"
 #include "emu/farm.h"
+#include "ingest/apk_blob.h"
 #include "serve/serving_model.h"
 #include "serve/types.h"
 
@@ -90,10 +91,24 @@ std::string FarmSeriesName(const char* base, uint32_t farm_id);
 
 class FarmPool {
  public:
-  // Exactly one of the two callbacks fires per submitted batch, on a pool
-  // worker thread. on_complete receives a fault-free BatchResult.
-  using CompleteFn = std::function<void(const emu::BatchResult&)>;
-  using RejectFn = std::function<void(PoolRejectReason)>;
+  // Batches enter as raw blobs; the first worker that picks a batch up runs
+  // the parse stage (apk::ParseApk per blob, off the scheduler thread) and
+  // caches the result, so a failover retry never re-parses. Per blob index
+  // exactly one of these fires, each on a pool worker thread:
+  //  - on_parse_error(index, error): the blob is not a valid APK (resolved
+  //    fast-fail; it never occupies an emulator);
+  //  - on_complete(result, emulated): fault-free emulation, result.reports[j]
+  //    belongs to blob index emulated[j] (parse failures are skipped);
+  //  - on_reject(reason, affected): no healthy farm / retry budget spent for
+  //    the listed indices (parse failures already resolved are excluded).
+  // on_complete also fires (with an empty result) when every member failed
+  // parse, so exactly one of complete/reject terminates each batch.
+  using CompleteFn = std::function<void(const emu::BatchResult& result,
+                                        const std::vector<size_t>& emulated)>;
+  using RejectFn = std::function<void(PoolRejectReason reason,
+                                      const std::vector<size_t>& affected)>;
+  using ParseErrorFn =
+      std::function<void(size_t index, const std::string& error)>;
 
   // `farm_template` is cloned per farm with farm_id = 0..num_farms-1 and the
   // pool's fault plan attached. Workers start immediately.
@@ -107,9 +122,10 @@ class FarmPool {
   // Routes the batch to a healthy farm. If none is available the reject
   // callback fires synchronously (visible degradation, never a hang). Returns
   // false only when the pool is closed (no callback has fired).
-  bool Submit(std::vector<apk::ApkFile> apks,
+  bool Submit(std::vector<ingest::ApkBlob> blobs,
               std::shared_ptr<const ModelSnapshot> snapshot, uint64_t affinity,
-              CompleteFn on_complete, RejectFn on_reject);
+              CompleteFn on_complete, RejectFn on_reject,
+              ParseErrorFn on_parse_error = nullptr);
 
   // Stops admission, executes everything still queued (retries included),
   // joins the workers. Idempotent; the destructor calls it.
@@ -121,13 +137,22 @@ class FarmPool {
 
  private:
   struct PoolBatch {
-    std::vector<apk::ApkFile> apks;
+    std::vector<ingest::ApkBlob> blobs;  // Released once the parse stage ran.
+    bool parsed = false;
+    std::vector<apk::ApkFile> apks;  // Parse successes, batch order.
+    std::vector<size_t> emulated;    // Original blob index per apks entry.
+    size_t total_items = 0;          // Blobs at submit time.
     std::shared_ptr<const ModelSnapshot> snapshot;
     uint64_t affinity = 0;
     std::vector<char> tried;  // One flag per farm.
     size_t attempts = 0;      // Farms this batch has faulted on.
     CompleteFn on_complete;
     RejectFn on_reject;
+    ParseErrorFn on_parse_error;
+
+    // Indices a rejection applies to: everything before the parse stage ran,
+    // only the parse survivors after.
+    std::vector<size_t> AffectedIndices() const;
   };
 
   struct FarmHealth {
@@ -138,6 +163,10 @@ class FarmPool {
   };
 
   void WorkerLoop(size_t farm_index);
+  // Parse stage: runs once per batch on the first worker that dequeues it,
+  // outside mu_. Resolves parse failures via on_parse_error and drops the
+  // blob handles (the pool keeps only the parsed ApkFiles afterwards).
+  static void ParseStage(PoolBatch& batch);
   // All *Locked methods require mu_.
   std::optional<size_t> RouteLocked(const PoolBatch& batch);
   void RecordSuccessLocked(size_t farm_index, const emu::BatchResult& result,

@@ -66,10 +66,14 @@ class VettingService {
   VettingService(const VettingService&) = delete;
   VettingService& operator=(const VettingService&) = delete;
 
-  // Admission: digest the bytes, enqueue onto the digest's shard. Errors:
-  // "admission queue full" (backpressure) or "service is shut down". The
-  // future resolves when the submission is classified, expires, or fails to
-  // parse — never silently dropped.
+  // Admission: constant-time regardless of APK size — the blob carries its
+  // digest (hashed once, incrementally, at ingest), so Submit() returns as
+  // soon as the handle is routed; parsing happens later on a pool worker. A
+  // digest the cache already holds for the live model resolves immediately
+  // (fast-path), never touching a shard queue. Errors: "admission queue full"
+  // (backpressure) or "service is shut down". The future resolves when the
+  // submission is classified, expires, or fails to parse — never silently
+  // dropped.
   util::Result<std::future<VettingResult>> Submit(Submission submission);
 
   // Starts the scheduler if start_paused was set. Idempotent.
@@ -96,6 +100,9 @@ class VettingService {
   const store::VerdictStore* verdict_store() const { return store_.get(); }
   uint32_t model_version() const { return model_.version(); }
   size_t queue_depth() const { return shards_.ApproxDepth(); }
+  // Lifetime shard-queue pushes; lets tests prove the admission fast-path
+  // resolved a duplicate without enqueueing it.
+  uint64_t shard_pushes() const { return shards_.total_pushes(); }
   const ServiceConfig& config() const { return config_; }
   const DigestCache& cache() const { return cache_; }
 

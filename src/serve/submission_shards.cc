@@ -15,7 +15,12 @@ SubmissionShards::SubmissionShards(size_t num_shards, size_t per_shard_capacity)
 }
 
 size_t SubmissionShards::ShardIndexFor(const PendingSubmission& pending) const {
-  return std::hash<std::string>{}(pending.digest) % shards_.size();
+  return std::hash<std::string>{}(pending.digest()) % shards_.size();
+}
+
+uint64_t SubmissionShards::total_pushes() const {
+  std::lock_guard<std::mutex> lock(signal_mu_);
+  return pushes_;
 }
 
 AdmissionOutcome SubmissionShards::TryPush(PendingSubmission pending) {

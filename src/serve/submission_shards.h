@@ -59,6 +59,10 @@ class SubmissionShards {
   size_t num_shards() const { return shards_.size(); }
   size_t per_shard_capacity() const { return per_shard_capacity_; }
 
+  // Lifetime count of successful pushes. Lets tests prove a fast-path
+  // admission (digest-cache hit at Submit) never touched a shard queue.
+  uint64_t total_pushes() const;
+
  private:
   size_t ShardIndexFor(const PendingSubmission& pending) const;
 

@@ -14,13 +14,17 @@
 #include <string>
 #include <vector>
 
+#include "ingest/apk_blob.h"
+
 namespace apichecker::serve {
 
 using Clock = std::chrono::steady_clock;
 
-// One vetting request: the raw APK archive as uploaded by a developer.
+// One vetting request: the APK archive as uploaded by a developer, held as a
+// ref-counted immutable blob (streamed in and hashed incrementally by the
+// ingest layer). Every downstream stage shares this one allocation.
 struct Submission {
-  std::vector<uint8_t> apk_bytes;
+  ingest::ApkBlob blob;
   // Submissions with priority > 0 jump their shard's queue (the market's
   // "expedited re-review" lane).
   int priority = 0;
@@ -65,16 +69,35 @@ struct VettingResult {
 };
 
 // Internal record travelling from admission through the sharded queues to the
-// batch scheduler. Move-only (owns the promise).
+// batch scheduler. Move-only (owns the promise). The APK bytes and their
+// digest live in the shared blob — moving this record through the queue moves
+// a handle, never the payload.
 struct PendingSubmission {
   uint64_t id = 0;
-  std::string digest;             // SHA-1 hex of apk_bytes.
-  std::vector<uint8_t> apk_bytes;
+  ingest::ApkBlob blob;
   int priority = 0;
   Clock::time_point admitted_at;
   Clock::time_point deadline;     // Clock::time_point::max() = none.
   std::promise<VettingResult> promise;
+
+  // SHA-1 hex of the blob bytes, computed once at blob creation.
+  const std::string& digest() const { return blob.digest(); }
 };
+
+// Coarse APK size classes for the admission-latency histograms. The flat-
+// admission property the ingest refactor buys is exactly "the large bucket's
+// p99 tracks the small bucket's" — ci.sh asserts it from the metrics JSON.
+inline const char* ApkSizeBucket(size_t bytes) {
+  if (bytes < 256 * 1024) return "small";
+  if (bytes < 4 * 1024 * 1024) return "medium";
+  return "large";
+}
+
+// Per-size-bucket metric series name with an embedded Prometheus label, e.g.
+// apichecker_serve_admission_latency_ms{size="large"}.
+inline std::string AdmissionSeriesName(const char* base, const char* bucket) {
+  return std::string(base) + "{size=\"" + bucket + "\"}";
+}
 
 // Lifecycle accounting shared by admission, scheduler, farm pool, and cache.
 // The serving invariant — no lost submissions — is `accepted == resolved`

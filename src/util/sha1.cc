@@ -9,97 +9,133 @@ namespace {
 
 inline uint32_t Rotl(uint32_t value, int bits) { return std::rotl(value, bits); }
 
-struct Sha1State {
-  uint32_t h[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu, 0x10325476u, 0xC3D2E1F0u};
-
-  void ProcessBlock(const uint8_t* block) {
-    uint32_t w[80];
-    for (int t = 0; t < 16; ++t) {
-      w[t] = (static_cast<uint32_t>(block[t * 4]) << 24) |
-             (static_cast<uint32_t>(block[t * 4 + 1]) << 16) |
-             (static_cast<uint32_t>(block[t * 4 + 2]) << 8) |
-             static_cast<uint32_t>(block[t * 4 + 3]);
-    }
-    for (int t = 16; t < 80; ++t) {
-      w[t] = Rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
-    }
-    uint32_t a = h[0], b = h[1], c = h[2], d = h[3], e = h[4];
-    for (int t = 0; t < 80; ++t) {
-      uint32_t f, k;
-      if (t < 20) {
-        f = (b & c) | ((~b) & d);
-        k = 0x5A827999u;
-      } else if (t < 40) {
-        f = b ^ c ^ d;
-        k = 0x6ED9EBA1u;
-      } else if (t < 60) {
-        f = (b & c) | (b & d) | (c & d);
-        k = 0x8F1BBCDCu;
-      } else {
-        f = b ^ c ^ d;
-        k = 0xCA62C1D6u;
-      }
-      const uint32_t temp = Rotl(a, 5) + f + e + k + w[t];
-      e = d;
-      d = c;
-      c = Rotl(b, 30);
-      b = a;
-      a = temp;
-    }
-    h[0] += a;
-    h[1] += b;
-    h[2] += c;
-    h[3] += d;
-    h[4] += e;
-  }
-};
-
 }  // namespace
 
-std::array<uint8_t, kSha1DigestSize> Sha1(std::span<const uint8_t> data) {
-  Sha1State state;
+void Sha1Hasher::Reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  buffer_len_ = 0;
+  total_bytes_ = 0;
+}
+
+void Sha1Hasher::ProcessBlock(const uint8_t* block) {
+  uint32_t w[80];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<uint32_t>(block[t * 4]) << 24) |
+           (static_cast<uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 80; ++t) {
+    w[t] = Rotl(w[t - 3] ^ w[t - 8] ^ w[t - 14] ^ w[t - 16], 1);
+  }
+  uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int t = 0; t < 80; ++t) {
+    uint32_t f, k;
+    if (t < 20) {
+      f = (b & c) | ((~b) & d);
+      k = 0x5A827999u;
+    } else if (t < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (t < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const uint32_t temp = Rotl(a, 5) + f + e + k + w[t];
+    e = d;
+    d = c;
+    c = Rotl(b, 30);
+    b = a;
+    a = temp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1Hasher::Update(std::span<const uint8_t> data) {
+  total_bytes_ += data.size();
   size_t offset = 0;
+  if (buffer_len_ > 0) {
+    const size_t take = std::min(data.size(), 64 - buffer_len_);
+    std::memcpy(buffer_ + buffer_len_, data.data(), take);
+    buffer_len_ += take;
+    offset = take;
+    if (buffer_len_ < 64) {
+      return;
+    }
+    ProcessBlock(buffer_);
+    buffer_len_ = 0;
+  }
   while (data.size() - offset >= 64) {
-    state.ProcessBlock(data.data() + offset);
+    ProcessBlock(data.data() + offset);
     offset += 64;
   }
-
-  // Final block(s): 0x80 terminator, zero pad, 64-bit big-endian bit length.
-  uint8_t tail[128] = {0};
   const size_t rem = data.size() - offset;
   if (rem > 0) {
-    std::memcpy(tail, data.data() + offset, rem);
+    std::memcpy(buffer_, data.data() + offset, rem);
+    buffer_len_ = rem;
+  }
+}
+
+std::array<uint8_t, kSha1DigestSize> Sha1Hasher::Final() {
+  // Final block(s): 0x80 terminator, zero pad, 64-bit big-endian bit length.
+  uint8_t tail[128] = {0};
+  const size_t rem = buffer_len_;
+  if (rem > 0) {
+    std::memcpy(tail, buffer_, rem);
   }
   tail[rem] = 0x80;
   const size_t tail_len = rem + 1 + 8 <= 64 ? 64 : 128;
-  const uint64_t bit_len = static_cast<uint64_t>(data.size()) * 8;
+  const uint64_t bit_len = total_bytes_ * 8;
   for (int i = 0; i < 8; ++i) {
     tail[tail_len - 1 - i] = static_cast<uint8_t>(bit_len >> (8 * i));
   }
-  state.ProcessBlock(tail);
+  ProcessBlock(tail);
   if (tail_len == 128) {
-    state.ProcessBlock(tail + 64);
+    ProcessBlock(tail + 64);
   }
 
   std::array<uint8_t, kSha1DigestSize> digest;
   for (int i = 0; i < 5; ++i) {
-    digest[i * 4] = static_cast<uint8_t>(state.h[i] >> 24);
-    digest[i * 4 + 1] = static_cast<uint8_t>(state.h[i] >> 16);
-    digest[i * 4 + 2] = static_cast<uint8_t>(state.h[i] >> 8);
-    digest[i * 4 + 3] = static_cast<uint8_t>(state.h[i]);
+    digest[i * 4] = static_cast<uint8_t>(h_[i] >> 24);
+    digest[i * 4 + 1] = static_cast<uint8_t>(h_[i] >> 16);
+    digest[i * 4 + 2] = static_cast<uint8_t>(h_[i] >> 8);
+    digest[i * 4 + 3] = static_cast<uint8_t>(h_[i]);
   }
+  Reset();
   return digest;
 }
 
-std::string Sha1Hex(std::span<const uint8_t> data) {
+std::string Sha1Hasher::FinalHex() { return Sha1DigestHex(Final()); }
+
+std::array<uint8_t, kSha1DigestSize> Sha1(std::span<const uint8_t> data) {
+  Sha1Hasher hasher;
+  hasher.Update(data);
+  return hasher.Final();
+}
+
+std::string Sha1DigestHex(const std::array<uint8_t, kSha1DigestSize>& digest) {
   static constexpr char kHex[] = "0123456789abcdef";
-  const auto digest = Sha1(data);
   std::string hex(kSha1DigestSize * 2, '0');
   for (size_t i = 0; i < digest.size(); ++i) {
     hex[i * 2] = kHex[digest[i] >> 4];
     hex[i * 2 + 1] = kHex[digest[i] & 0xF];
   }
   return hex;
+}
+
+std::string Sha1Hex(std::span<const uint8_t> data) {
+  return Sha1DigestHex(Sha1(data));
 }
 
 }  // namespace apichecker::util

@@ -70,6 +70,107 @@ TEST(Zip, RejectsTruncatedAndGarbage) {
   EXPECT_FALSE(ZipReader::Parse(archive).ok());
 }
 
+// --- Hostile-input suite: attacker-shaped archives must come back as Result
+// errors, never crashes or out-of-range reads (ci.sh runs these under ASan).
+
+// Overwrites the little-endian u32 at `offset`.
+void PutU32At(std::vector<uint8_t>& bytes, size_t offset, uint32_t value) {
+  ASSERT_LE(offset + 4, bytes.size());
+  bytes[offset] = static_cast<uint8_t>(value & 0xFF);
+  bytes[offset + 1] = static_cast<uint8_t>((value >> 8) & 0xFF);
+  bytes[offset + 2] = static_cast<uint8_t>((value >> 16) & 0xFF);
+  bytes[offset + 3] = static_cast<uint8_t>((value >> 24) & 0xFF);
+}
+
+// One-entry archive plus the offsets an attacker would aim at. The EOCD is the
+// last 22 bytes (no comment); its central_size/central_offset u32s sit at
+// EOCD+12 and EOCD+16. The entry's central record starts at central_offset;
+// its uncompressed-size field is 24 bytes in.
+struct HostileArchive {
+  std::vector<uint8_t> bytes;
+  size_t eocd;
+  size_t central;
+
+  static HostileArchive Make() {
+    ZipWriter writer;
+    writer.AddEntry("a.txt", Bytes("attack surface payload"));
+    HostileArchive archive;
+    archive.bytes = writer.Finish();
+    archive.eocd = archive.bytes.size() - 22;
+    archive.central = archive.eocd - 46 - 5;  // One record + "a.txt".
+    return archive;
+  }
+};
+
+TEST(ZipHostile, ZeroEntryArchiveRejected) {
+  ZipWriter writer;
+  const auto archive = writer.Finish();  // Structurally valid, zero entries.
+  const auto reader = ZipReader::Parse(archive);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("zero-entry"), std::string::npos);
+}
+
+TEST(ZipHostile, TruncatedCentralDirectoryRejected) {
+  // Shrinking the advertised central size truncates the record mid-field.
+  HostileArchive archive = HostileArchive::Make();
+  PutU32At(archive.bytes, archive.eocd + 12, 10);
+  EXPECT_FALSE(ZipReader::Parse(archive.bytes).ok());
+
+  // Growing it past the archive end must be caught by the bounds check.
+  HostileArchive oversized = HostileArchive::Make();
+  PutU32At(oversized.bytes, oversized.eocd + 12, 1u << 20);
+  const auto reader = ZipReader::Parse(oversized.bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("out of bounds"), std::string::npos);
+}
+
+TEST(ZipHostile, Eocd32BitWrapDoesNotBypassBoundsCheck) {
+  // offset + size wraps past 2^32 to a small number: with 32-bit arithmetic
+  // the bounds check would pass and the subspan would read out of range.
+  HostileArchive archive = HostileArchive::Make();
+  PutU32At(archive.bytes, archive.eocd + 16, 0xFFFFFFF0u);  // central_offset
+  PutU32At(archive.bytes, archive.eocd + 12, 0x20u);        // central_size
+  const auto reader = ZipReader::Parse(archive.bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("out of bounds"), std::string::npos);
+}
+
+TEST(ZipHostile, TornLocalHeaderRejected) {
+  // Corrupt the local header signature the central record points at.
+  HostileArchive torn = HostileArchive::Make();
+  torn.bytes[0] ^= 0xFF;
+  auto reader = ZipReader::Parse(torn.bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("local header"), std::string::npos);
+
+  // Point the central record's local-header offset past the archive.
+  HostileArchive wild = HostileArchive::Make();
+  PutU32At(wild.bytes, wild.central + 42, 1u << 24);
+  reader = ZipReader::Parse(wild.bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("offset out of bounds"), std::string::npos);
+}
+
+TEST(ZipHostile, EntrySizeOverrunRejected) {
+  // Inflate the uncompressed size so extraction would run past the payload
+  // into the central directory and beyond.
+  HostileArchive archive = HostileArchive::Make();
+  PutU32At(archive.bytes, archive.central + 24, 1u << 16);
+  const auto reader = ZipReader::Parse(archive.bytes);
+  ASSERT_FALSE(reader.ok());
+  // Either the data read or the CRC cross-check trips — both are clean errors.
+}
+
+TEST(ZipHostile, CrcMismatchNamesTheEntry) {
+  HostileArchive archive = HostileArchive::Make();
+  // Flip one payload byte (30-byte local header + 5-byte name).
+  archive.bytes[35] ^= 0xFF;
+  const auto reader = ZipReader::Parse(archive.bytes);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_NE(reader.error().find("CRC mismatch"), std::string::npos);
+  EXPECT_NE(reader.error().find("a.txt"), std::string::npos);
+}
+
 TEST(Manifest, RoundTrips) {
   Manifest m;
   m.package_name = "com.example.app";
@@ -233,6 +334,45 @@ TEST(Apk, DetectsTamperedDex) {
   const auto result = ParseApk(writer.Finish());
   ASSERT_FALSE(result.ok());
   EXPECT_NE(result.error().find("digest"), std::string::npos);
+}
+
+TEST(Apk, PadApkGrowsToTargetAndStillParses) {
+  Manifest m;
+  m.package_name = "com.x";
+  const auto original = BuildApk(m, MakeDex(), /*include_native_lib=*/false);
+  ASSERT_LT(original.size(), 64u * 1024);
+
+  auto padded = PadApk(original, 64 * 1024, /*seed=*/9);
+  ASSERT_TRUE(padded.ok()) << padded.error();
+  EXPECT_GE(padded->size(), 63u * 1024);  // Within the entry-overhead slack.
+  EXPECT_LE(padded->size(), 65u * 1024);
+
+  // The signature digest covers only manifest+dex, so padding never breaks
+  // parsing — and the parsed identity digest is unchanged.
+  auto before = ParseApk(original);
+  auto after = ParseApk(*padded);
+  ASSERT_TRUE(before.ok());
+  ASSERT_TRUE(after.ok()) << after.error();
+  EXPECT_EQ(before->digest, after->digest);
+  EXPECT_EQ(after->manifest, m);
+
+  // Deterministic: same seed, same bytes; the filler entry is present.
+  auto again = PadApk(original, 64 * 1024, /*seed=*/9);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(*padded, *again);
+  auto zip = ZipReader::Parse(*padded);
+  ASSERT_TRUE(zip.ok());
+  EXPECT_NE(zip->Find("assets/padding.bin"), nullptr);
+}
+
+TEST(Apk, PadApkIsANoOpAtOrAboveTarget) {
+  Manifest m;
+  m.package_name = "com.x";
+  const auto original = BuildApk(m, MakeDex(), false);
+  auto padded = PadApk(original, original.size() / 2, 1);
+  ASSERT_TRUE(padded.ok());
+  EXPECT_EQ(*padded, original);  // Already large enough: bytes unchanged.
+  EXPECT_FALSE(PadApk(Bytes("not a zip"), 4096, 1).ok());
 }
 
 TEST(Apk, MissingEntriesRejected) {

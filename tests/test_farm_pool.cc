@@ -3,6 +3,7 @@
 // open/half-open-probe/close transitions, the all-farms-down visible-rejection
 // path (never a hang), and reproducibility of the seeded fault stream.
 
+#include <atomic>
 #include <chrono>
 #include <future>
 #include <memory>
@@ -15,11 +16,11 @@
 #include "core/model_store.h"
 #include "core/study.h"
 #include "emu/farm.h"
+#include "ingest/apk_blob.h"
 #include "serve/farm_pool.h"
 #include "serve/service.h"
 #include "serve/serving_model.h"
 #include "synth/corpus.h"
-#include "util/sha1.h"
 
 namespace apichecker::serve {
 namespace {
@@ -68,8 +69,17 @@ std::vector<uint8_t> MakeApkBytes(uint64_t seed) {
   return synth::BuildApkBytes(generator.Next(), TestUniverse());
 }
 
-// A one-APK batch payload for direct pool submissions.
-std::vector<apk::ApkFile> MakeBatch(uint64_t seed) {
+// A one-blob batch payload for direct pool submissions (the pool's own
+// workers run the parse stage).
+std::vector<ingest::ApkBlob> MakeBatch(uint64_t seed) {
+  std::vector<ingest::ApkBlob> blobs;
+  blobs.push_back(ingest::ApkBlob::FromBytes(MakeApkBytes(seed)));
+  return blobs;
+}
+
+// Parsed payload for driving emu::DeviceFarm directly (below the pool's
+// parse stage).
+std::vector<apk::ApkFile> MakeApks(uint64_t seed) {
   auto parsed = apk::ParseApk(MakeApkBytes(seed));
   EXPECT_TRUE(parsed.ok());
   std::vector<apk::ApkFile> apks;
@@ -101,13 +111,13 @@ struct Probe {
   PoolRejectReason reason = PoolRejectReason::kNoHealthyFarms;
 
   FarmPool::CompleteFn on_complete() {
-    return [this](const emu::BatchResult& result) {
+    return [this](const emu::BatchResult& result, const std::vector<size_t>&) {
       EXPECT_FALSE(result.farm_fault);  // Faulted results never reach callers.
       done.set_value(true);
     };
   }
   FarmPool::RejectFn on_reject() {
-    return [this](PoolRejectReason r) {
+    return [this](PoolRejectReason r, const std::vector<size_t>&) {
       reason = r;
       done.set_value(false);
     };
@@ -276,6 +286,121 @@ TEST(FarmPool, AllFarmsDownRejectsEveryBatchWithoutHanging) {
   EXPECT_EQ(stats.farms[0].batches_completed + stats.farms[1].batches_completed, 0u);
 }
 
+// The pool's parse stage: corrupt members resolve through on_parse_error
+// exactly once, valid members ride on to the farm, and the emulated-index
+// mapping ties reports back to original batch positions.
+TEST(FarmPool, ParseErrorsResolvePerIndexAndValidMembersComplete) {
+  FarmPool pool(TestUniverse(), FarmPoolConfig{}, SmallFarm());
+  std::vector<ingest::ApkBlob> blobs;
+  blobs.push_back(ingest::ApkBlob::FromBytes(MakeApkBytes(11)));
+  blobs.push_back(ingest::ApkBlob::FromBytes({0xde, 0xad, 0xbe, 0xef}));
+  blobs.push_back(ingest::ApkBlob::FromBytes(MakeApkBytes(12)));
+
+  std::promise<void> done;
+  std::vector<std::pair<size_t, std::string>> parse_errors;
+  std::vector<size_t> completed_indices;
+  size_t reports = 0;
+  ASSERT_TRUE(pool.Submit(
+      std::move(blobs), Snapshot(), 0,
+      [&](const emu::BatchResult& result, const std::vector<size_t>& emulated) {
+        completed_indices = emulated;
+        reports = result.reports.size();
+        done.set_value();
+      },
+      [&](PoolRejectReason, const std::vector<size_t>&) { FAIL() << "rejected"; },
+      [&](size_t index, const std::string& error) {
+        parse_errors.emplace_back(index, error);
+      }));
+  ASSERT_EQ(done.get_future().wait_for(milliseconds(10'000)),
+            std::future_status::ready);
+  pool.Close();
+
+  ASSERT_EQ(parse_errors.size(), 1u);
+  EXPECT_EQ(parse_errors[0].first, 1u);
+  EXPECT_FALSE(parse_errors[0].second.empty());
+  EXPECT_EQ(completed_indices, (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(reports, 2u);
+}
+
+// A batch whose every member fails the parse stage completes with an empty
+// result and never consumes a farm run (fault-plan batch ordinals stay put).
+TEST(FarmPool, AllParseFailuresCompleteWithoutConsumingAFarmRun) {
+  FarmPool pool(TestUniverse(), FarmPoolConfig{}, SmallFarm());
+  std::vector<ingest::ApkBlob> blobs;
+  blobs.push_back(ingest::ApkBlob::FromBytes({1, 2, 3}));
+  blobs.push_back(ingest::ApkBlob::FromBytes(std::vector<uint8_t>(64, 0)));
+
+  std::promise<void> done;
+  size_t parse_errors = 0;
+  ASSERT_TRUE(pool.Submit(
+      std::move(blobs), Snapshot(), 0,
+      [&](const emu::BatchResult& result, const std::vector<size_t>& emulated) {
+        EXPECT_TRUE(result.reports.empty());
+        EXPECT_TRUE(emulated.empty());
+        done.set_value();
+      },
+      [&](PoolRejectReason, const std::vector<size_t>&) { FAIL() << "rejected"; },
+      [&](size_t, const std::string&) { ++parse_errors; }));
+  ASSERT_EQ(done.get_future().wait_for(milliseconds(10'000)),
+            std::future_status::ready);
+  pool.Close();
+
+  EXPECT_EQ(parse_errors, 2u);
+  const FarmPoolStats stats = pool.stats();
+  size_t farm_batches = 0;
+  for (const FarmStats& farm : stats.farms) {
+    farm_batches += farm.batches_completed;
+  }
+  EXPECT_EQ(farm_batches, 0u);  // No RunBatch: ordinals undisturbed.
+  EXPECT_EQ(stats.rejected_batches, 0u);
+}
+
+// Parse runs once per batch even when the farm run behind it faults and fails
+// over: the corrupt member's error fires exactly once, and the valid member
+// still completes on the healthy farm.
+TEST(FarmPool, ParseStageSurvivesFailoverWithoutDoubleResolution) {
+  FarmPoolConfig config;
+  config.num_farms = 2;
+  config.max_attempts = 2;
+  config.fault_plan.windows = {DeadForever(0)};
+  FarmPool pool(TestUniverse(), config, SmallFarm());
+  auto snapshot = Snapshot();
+
+  // Drive several mixed batches so at least one lands on the dead farm first.
+  constexpr size_t kBatches = 6;
+  std::vector<std::promise<void>> done(kBatches);
+  std::atomic<size_t> parse_errors{0};
+  std::atomic<size_t> completed_members{0};
+  for (size_t i = 0; i < kBatches; ++i) {
+    std::vector<ingest::ApkBlob> blobs;
+    blobs.push_back(ingest::ApkBlob::FromBytes(MakeApkBytes(500 + i)));
+    blobs.push_back(ingest::ApkBlob::FromBytes({0xbd, static_cast<uint8_t>(i)}));
+    ASSERT_TRUE(pool.Submit(
+        std::move(blobs), snapshot, /*affinity=*/i,
+        [&, i](const emu::BatchResult& result, const std::vector<size_t>& emulated) {
+          EXPECT_EQ(emulated, (std::vector<size_t>{0}));
+          completed_members += result.reports.size();
+          done[i].set_value();
+        },
+        [&](PoolRejectReason, const std::vector<size_t>&) { FAIL() << "rejected"; },
+        [&](size_t index, const std::string&) {
+          EXPECT_EQ(index, 1u);
+          ++parse_errors;  // A doubled callback would overshoot kBatches.
+        }));
+  }
+  for (auto& promise : done) {
+    ASSERT_EQ(promise.get_future().wait_for(milliseconds(10'000)),
+              std::future_status::ready);
+  }
+  pool.Close();
+
+  EXPECT_EQ(parse_errors.load(), kBatches);
+  EXPECT_EQ(completed_members.load(), kBatches);
+  const FarmPoolStats stats = pool.stats();
+  EXPECT_GT(stats.faults, 0u);  // The dead farm was actually exercised.
+  EXPECT_EQ(stats.farms[0].batches_completed, 0u);
+}
+
 TEST(FarmPool, SubmitAfterCloseReturnsFalseWithoutCallbacks) {
   FarmPool pool(TestUniverse(), FarmPoolConfig{}, SmallFarm());
   pool.Close();
@@ -295,7 +420,7 @@ TEST(DeviceFarmFaults, SeededFaultStreamIsDeterministicPerFarm) {
     config.fault_plan.fault_rate = 0.5;
     emu::DeviceFarm farm(TestUniverse(), config);
     auto snapshot = Snapshot();
-    const std::vector<apk::ApkFile> apks = MakeBatch(7);
+    const std::vector<apk::ApkFile> apks = MakeApks(7);
     std::vector<bool> faulted;
     for (int i = 0; i < 24; ++i) {
       faulted.push_back(farm.RunBatch(apks, snapshot->tracked).farm_fault);
@@ -332,7 +457,7 @@ TEST(DeviceFarmFaults, ScriptedWindowOnlyHitsItsOwnFarmAndRange) {
   emu::DeviceFarm other(TestUniverse(), other_config);
 
   auto snapshot = Snapshot();
-  const std::vector<apk::ApkFile> apks = MakeBatch(8);
+  const std::vector<apk::ApkFile> apks = MakeApks(8);
   std::vector<bool> expected = {false, true, true, false};
   for (size_t i = 0; i < expected.size(); ++i) {
     const emu::BatchResult result = farm.RunBatch(apks, snapshot->tracked);
@@ -366,17 +491,17 @@ TEST(VettingServiceFaults, FailoverKeepsVerdictsFlowing) {
   // tie towards farm 0 (the dead one) — the scheduler hashes the first
   // leader's digest exactly like this. Submitted alone into an idle pool, its
   // batch MUST hit farm 0, fault, and fail over.
-  std::vector<uint8_t> farm0_bytes;
+  ingest::ApkBlob farm0_blob;
   for (uint64_t seed = 200;; ++seed) {
-    std::vector<uint8_t> bytes = MakeApkBytes(seed);
-    if (std::hash<std::string>{}(util::Sha1Hex(bytes)) % 2 == 0) {
-      farm0_bytes = std::move(bytes);
+    ingest::ApkBlob blob = ingest::ApkBlob::FromBytes(MakeApkBytes(seed));
+    if (std::hash<std::string>{}(blob.digest()) % 2 == 0) {
+      farm0_blob = std::move(blob);
       break;
     }
   }
   auto pinned = service.Submit([&] {
     Submission submission;
-    submission.apk_bytes = std::move(farm0_bytes);
+    submission.blob = std::move(farm0_blob);
     return submission;
   }());
   ASSERT_TRUE(pinned.ok());
@@ -386,7 +511,7 @@ TEST(VettingServiceFaults, FailoverKeepsVerdictsFlowing) {
   for (uint64_t seed = 1; seed <= 8; ++seed) {
     auto accepted = service.Submit([&] {
       Submission submission;
-      submission.apk_bytes = MakeApkBytes(300'000 + seed);
+      submission.blob = ingest::ApkBlob::FromBytes(MakeApkBytes(300'000 + seed));
       return submission;
     }());
     ASSERT_TRUE(accepted.ok());
@@ -424,7 +549,7 @@ TEST(VettingServiceFaults, AllFarmsDownResolvesRejectedUnhealthy) {
   for (uint64_t seed = 1; seed <= 6; ++seed) {
     auto accepted = service.Submit([&] {
       Submission submission;
-      submission.apk_bytes = MakeApkBytes(300 + seed);
+      submission.blob = ingest::ApkBlob::FromBytes(MakeApkBytes(300 + seed));
       return submission;
     }());
     ASSERT_TRUE(accepted.ok());

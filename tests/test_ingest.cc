@@ -1,0 +1,228 @@
+// Unit tests for src/ingest and util::Sha1Hasher: incremental hashing agrees
+// with the one-shot digest across every block boundary, the chunked readers
+// (memory and file) produce identical blobs with exactly one SHA-1 pass, and
+// the process-wide blob pool gauge rises and falls with blob lifetimes. The
+// ApkBlobSoak suite (ctest label: stress) churns concurrent handle
+// copy/release across threads and runs under TSan in tools/ci.sh.
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ingest/apk_blob.h"
+#include "ingest/stream_reader.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/rng.h"
+#include "util/sha1.h"
+
+namespace apichecker::ingest {
+namespace {
+
+std::vector<uint8_t> DeterministicBytes(size_t n, uint64_t seed = 7) {
+  std::vector<uint8_t> bytes(n);
+  util::Rng rng(seed);
+  for (auto& byte : bytes) {
+    byte = static_cast<uint8_t>(rng.Next() & 0xFF);
+  }
+  return bytes;
+}
+
+uint64_t CounterValue(const char* name) {
+  return obs::MetricsRegistry::Default().counter(name).value();
+}
+
+TEST(Sha1Hasher, MatchesKnownVectors) {
+  // FIPS 180-1 appendix vectors.
+  util::Sha1Hasher hasher;
+  EXPECT_EQ(hasher.FinalHex(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+  const std::string abc = "abc";
+  hasher.Update(std::span<const uint8_t>(
+      reinterpret_cast<const uint8_t*>(abc.data()), abc.size()));
+  EXPECT_EQ(hasher.FinalHex(), "a9993e364706816aba3e25717850c26c9cd0d89d");
+}
+
+TEST(Sha1Hasher, StreamingMatchesOneShotAcrossBlockBoundaries) {
+  // 55/56 straddle the padding split, 63/64/65 the block edge; larger sizes
+  // cover multi-block processing.
+  for (size_t n : {0u, 1u, 31u, 55u, 56u, 57u, 63u, 64u, 65u, 127u, 128u,
+                   1000u, 4096u, 70'000u}) {
+    const std::vector<uint8_t> bytes = DeterministicBytes(n, 100 + n);
+    const std::string expected = util::Sha1Hex(bytes);
+    // Feed byte-at-a-time for small inputs, odd-sized slices for big ones.
+    util::Sha1Hasher hasher;
+    const size_t step = n < 256 ? 1 : 337;
+    for (size_t offset = 0; offset < n; offset += step) {
+      const size_t len = std::min(step, n - offset);
+      hasher.Update(std::span<const uint8_t>(bytes.data() + offset, len));
+    }
+    EXPECT_EQ(hasher.FinalHex(), expected) << "n=" << n;
+  }
+}
+
+TEST(Sha1Hasher, FinalResetsForReuse) {
+  const std::vector<uint8_t> bytes = DeterministicBytes(513);
+  util::Sha1Hasher hasher;
+  hasher.Update(bytes);
+  const std::string first = hasher.FinalHex();
+  hasher.Update(bytes);  // Same input after the implicit reset...
+  EXPECT_EQ(hasher.FinalHex(), first);  // ...same digest.
+  EXPECT_EQ(first, util::Sha1Hex(bytes));
+}
+
+TEST(ApkBlob, FromBytesHashesOnceAndExposesPayload) {
+  const std::vector<uint8_t> bytes = DeterministicBytes(777);
+  const uint64_t hashes_before = CounterValue(obs::names::kServeHashOpsTotal);
+  const uint64_t blobs_before = CounterValue(obs::names::kIngestBlobsTotal);
+  ApkBlob blob = ApkBlob::FromBytes(bytes);
+  EXPECT_EQ(CounterValue(obs::names::kServeHashOpsTotal), hashes_before + 1);
+  EXPECT_EQ(CounterValue(obs::names::kIngestBlobsTotal), blobs_before + 1);
+  EXPECT_EQ(blob.size(), bytes.size());
+  EXPECT_EQ(blob.digest(), util::Sha1Hex(bytes));
+  EXPECT_TRUE(std::equal(blob.bytes().begin(), blob.bytes().end(), bytes.begin()));
+  // Copying the handle is refcounting, not hashing or allocating.
+  ApkBlob copy = blob;
+  EXPECT_EQ(blob.use_count(), 2u);
+  EXPECT_EQ(copy.digest(), blob.digest());
+  EXPECT_EQ(CounterValue(obs::names::kServeHashOpsTotal), hashes_before + 1);
+  EXPECT_EQ(CounterValue(obs::names::kIngestBlobsTotal), blobs_before + 1);
+}
+
+TEST(ApkBlob, EmptyHandleIsInert) {
+  ApkBlob blob;
+  EXPECT_TRUE(blob.empty());
+  EXPECT_EQ(blob.size(), 0u);
+  EXPECT_EQ(blob.use_count(), 0);
+  EXPECT_TRUE(blob.digest().empty());
+  EXPECT_TRUE(blob.bytes().empty());
+}
+
+TEST(ApkBlob, PoolGaugeRisesAndFallsWithBlobLifetimes) {
+  const uint64_t baseline = ApkBlob::PoolBytes();
+  {
+    ApkBlob a = ApkBlob::FromBytes(DeterministicBytes(10'000));
+    EXPECT_EQ(ApkBlob::PoolBytes(), baseline + 10'000);
+    {
+      ApkBlob b = ApkBlob::FromBytes(DeterministicBytes(5'000));
+      ApkBlob b2 = b;  // A second handle must NOT double-count the bytes.
+      EXPECT_EQ(ApkBlob::PoolBytes(), baseline + 15'000);
+      EXPECT_GE(ApkBlob::PoolPeakBytes(), baseline + 15'000);
+    }
+    EXPECT_EQ(ApkBlob::PoolBytes(), baseline + 10'000);
+  }
+  EXPECT_EQ(ApkBlob::PoolBytes(), baseline);
+  EXPECT_GE(ApkBlob::PoolPeakBytes(), baseline + 15'000);
+}
+
+TEST(StreamReader, MemoryReaderChunksAndDigestMatchesOneShot) {
+  const std::vector<uint8_t> bytes = DeterministicBytes(10'000);
+  const uint64_t chunks_before = CounterValue(obs::names::kIngestChunksTotal);
+  const uint64_t streamed_before =
+      CounterValue(obs::names::kIngestBytesStreamedTotal);
+  const uint64_t hashes_before = CounterValue(obs::names::kServeHashOpsTotal);
+
+  MemoryStreamReader reader(bytes);
+  ASSERT_EQ(reader.SizeHint(), bytes.size());
+  auto blob = ReadApkBlob(reader, /*chunk_bytes=*/1024);
+  ASSERT_TRUE(blob.ok()) << blob.error();
+  EXPECT_EQ(blob->size(), bytes.size());
+  EXPECT_EQ(blob->digest(), util::Sha1Hex(bytes));
+  // ceil(10000 / 1024) chunks, one hash pass, every byte accounted.
+  EXPECT_EQ(CounterValue(obs::names::kIngestChunksTotal), chunks_before + 10);
+  EXPECT_EQ(CounterValue(obs::names::kIngestBytesStreamedTotal),
+            streamed_before + bytes.size());
+  EXPECT_EQ(CounterValue(obs::names::kServeHashOpsTotal), hashes_before + 1);
+}
+
+TEST(StreamReader, ChunkSizeIsConfigurable) {
+  const std::vector<uint8_t> bytes = DeterministicBytes(4'096);
+  const uint64_t chunks_before = CounterValue(obs::names::kIngestChunksTotal);
+  MemoryStreamReader coarse(bytes);
+  ASSERT_TRUE(ReadApkBlob(coarse, 4'096).ok());
+  const uint64_t after_coarse = CounterValue(obs::names::kIngestChunksTotal);
+  EXPECT_EQ(after_coarse, chunks_before + 1);
+  MemoryStreamReader fine(bytes);
+  ASSERT_TRUE(ReadApkBlob(fine, 256).ok());
+  EXPECT_EQ(CounterValue(obs::names::kIngestChunksTotal), after_coarse + 16);
+}
+
+TEST(StreamReader, FileReaderStreamsFromDiskIdenticallyToMemory) {
+  const std::vector<uint8_t> bytes = DeterministicBytes(50'000, 42);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apichecker_ingest_test.apk")
+          .string();
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  FileStreamReader reader(path);
+  EXPECT_EQ(reader.SizeHint(), bytes.size());
+  auto from_file = ReadApkBlob(reader, /*chunk_bytes=*/4'096);
+  ASSERT_TRUE(from_file.ok()) << from_file.error();
+  auto from_path = ReadApkBlobFromFile(path, /*chunk_bytes=*/512);
+  ASSERT_TRUE(from_path.ok()) << from_path.error();
+  EXPECT_EQ(from_file->digest(), util::Sha1Hex(bytes));
+  EXPECT_EQ(from_path->digest(), from_file->digest());
+  EXPECT_EQ(from_path->size(), bytes.size());
+  std::filesystem::remove(path);
+}
+
+TEST(StreamReader, MissingFileIsAResultErrorNotACrash) {
+  auto blob = ReadApkBlobFromFile("/nonexistent/apichecker/nope.apk");
+  ASSERT_FALSE(blob.ok());
+  EXPECT_NE(blob.error().find("nope.apk"), std::string::npos);
+}
+
+// Stress suite (ctest label "stress"; tools/ci.sh runs it under TSan):
+// concurrent handle churn over shared blobs. The refcount, the pool gauge,
+// and the peak tracker are all cross-thread state; a race here corrupts the
+// accounting or double-frees the buffer.
+TEST(ApkBlobSoak, ConcurrentCopyAndReleaseKeepsPoolAccountingExact) {
+  const uint64_t baseline = ApkBlob::PoolBytes();
+  constexpr size_t kThreads = 8;
+  constexpr size_t kRounds = 400;
+  std::vector<ApkBlob> shared;
+  for (size_t i = 0; i < 4; ++i) {
+    shared.push_back(ApkBlob::FromBytes(DeterministicBytes(8'192, i)));
+  }
+  const uint64_t with_shared = ApkBlob::PoolBytes();
+
+  std::atomic<uint64_t> digests_checked{0};
+  std::vector<std::thread> threads;
+  for (size_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      util::Rng rng(t);
+      for (size_t round = 0; round < kRounds; ++round) {
+        // Copy a shared handle, ingest a private blob, drop both.
+        ApkBlob copy = shared[rng.NextBounded(shared.size())];
+        ApkBlob own = ApkBlob::FromBytes(
+            DeterministicBytes(512 + rng.NextBounded(2'048), t * 10'000 + round));
+        if (!copy.digest().empty() && own.size() >= 512) {
+          digests_checked.fetch_add(1, std::memory_order_relaxed);
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+
+  EXPECT_EQ(digests_checked.load(), kThreads * kRounds);
+  EXPECT_EQ(ApkBlob::PoolBytes(), with_shared);  // Private blobs all released.
+  for (const ApkBlob& blob : shared) {
+    EXPECT_EQ(blob.use_count(), 1u);  // Every cross-thread copy released.
+  }
+  shared.clear();
+  EXPECT_EQ(ApkBlob::PoolBytes(), baseline);
+  EXPECT_GT(ApkBlob::PoolPeakBytes(), baseline);
+}
+
+}  // namespace
+}  // namespace apichecker::ingest

@@ -13,6 +13,7 @@
 
 #include "core/model_store.h"
 #include "core/study.h"
+#include "ingest/apk_blob.h"
 #include "market/model_registry.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
@@ -64,17 +65,27 @@ std::vector<uint8_t> MakeApkBytes(uint64_t seed) {
   return synth::BuildApkBytes(generator.Next(), TestUniverse());
 }
 
-Submission MakeSubmission(std::vector<uint8_t> bytes, int priority = 0,
+Submission MakeSubmission(ingest::ApkBlob blob, int priority = 0,
                           std::chrono::milliseconds deadline = {}) {
   Submission submission;
-  submission.apk_bytes = std::move(bytes);
+  submission.blob = std::move(blob);
   submission.priority = priority;
   submission.deadline = deadline;
   return submission;
 }
 
+Submission MakeSubmission(std::vector<uint8_t> bytes, int priority = 0,
+                          std::chrono::milliseconds deadline = {}) {
+  return MakeSubmission(ingest::ApkBlob::FromBytes(std::move(bytes)), priority,
+                        deadline);
+}
+
 uint64_t CounterValue(const char* name) {
   return obs::MetricsRegistry::Default().counter(name).value();
+}
+
+uint64_t HistogramCount(const char* name) {
+  return obs::MetricsRegistry::Default().histogram(name).count();
 }
 
 ServiceConfig SmallConfig() {
@@ -518,6 +529,84 @@ TEST(VettingServiceSoak, ChurnWithFlappingFarmHotSwapsAndDupDigests) {
   EXPECT_EQ(completed_across_farms + pool_stats.retries,
             pool_stats.batches_routed);
   EXPECT_GE(pool_stats.farms[0].breaker_opens, 1u);
+}
+
+// Tentpole invariant: one allocation per APK, zero copies after Submit().
+// The blob handle threads through shard -> scheduler -> pool -> verdict with
+// reference bumps only; SHA-1 runs exactly once, at blob creation.
+TEST(VettingService, BlobFlowsThroughThePipelineWithoutCopiesOrRehashing) {
+  VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
+
+  const uint64_t blobs_before = CounterValue(obs::names::kIngestBlobsTotal);
+  const uint64_t hashes_before = CounterValue(obs::names::kServeHashOpsTotal);
+  ingest::ApkBlob blob = ingest::ApkBlob::FromBytes(MakeApkBytes(61));
+  EXPECT_EQ(CounterValue(obs::names::kIngestBlobsTotal), blobs_before + 1);
+  EXPECT_EQ(CounterValue(obs::names::kServeHashOpsTotal), hashes_before + 1);
+  EXPECT_EQ(blob.use_count(), 1u);
+  const uint64_t pool_bytes_at_creation = ingest::ApkBlob::PoolBytes();
+
+  auto accepted = service.Submit(MakeSubmission(blob));  // Handle copy, not bytes.
+  ASSERT_TRUE(accepted.ok());
+  EXPECT_EQ(accepted->get().status, VetStatus::kOk);
+  service.Shutdown();
+
+  // The whole trip — admission, shard queue, batch build, pool parse stage,
+  // emulation, verdict — minted no new blob and ran no second hash.
+  EXPECT_EQ(CounterValue(obs::names::kIngestBlobsTotal), blobs_before + 1);
+  EXPECT_EQ(CounterValue(obs::names::kServeHashOpsTotal), hashes_before + 1);
+  // Every pipeline reference was released; ours is the last one, and the pool
+  // gauge accounts exactly this blob's bytes relative to creation time.
+  EXPECT_EQ(blob.use_count(), 1u);
+  EXPECT_EQ(ingest::ApkBlob::PoolBytes(), pool_bytes_at_creation);
+  EXPECT_GE(ingest::ApkBlob::PoolPeakBytes(), pool_bytes_at_creation);
+}
+
+// Satellite: a digest the cache already holds resolves at Submit() itself —
+// the fast-path never touches a shard queue, counted by its own metric.
+TEST(VettingService, CachedDigestFastPathSkipsTheShardQueues) {
+  VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
+  const std::vector<uint8_t> bytes = MakeApkBytes(62);
+
+  auto first = service.Submit(MakeSubmission(bytes));
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->get().status, VetStatus::kOk);
+
+  const uint64_t pushes_before = service.shard_pushes();
+  const uint64_t fastpath_before =
+      CounterValue(obs::names::kServeCacheFastpathHitsTotal);
+  auto second = service.Submit(MakeSubmission(bytes));
+  ASSERT_TRUE(second.ok());
+  // Already resolved: the promise was satisfied inside Submit().
+  ASSERT_EQ(second->wait_for(std::chrono::milliseconds(0)),
+            std::future_status::ready);
+  const VettingResult cached = second->get();
+  EXPECT_EQ(cached.status, VetStatus::kOk);
+  EXPECT_TRUE(cached.from_cache);
+  // Not one shard push happened for the duplicate.
+  EXPECT_EQ(service.shard_pushes(), pushes_before);
+  EXPECT_EQ(CounterValue(obs::names::kServeCacheFastpathHitsTotal),
+            fastpath_before + 1);
+  service.Shutdown();
+  EXPECT_EQ(service.stats().accepted, service.stats().resolved());
+}
+
+// Tentpole: Submit() returns before ParseApk runs. With the scheduler paused
+// nothing downstream can parse; the accepted future exists while the parse-
+// stage histogram is still unmoved, and only Start() makes it tick.
+TEST(VettingService, SubmitReturnsBeforeParseExecutes) {
+  ServiceConfig config = SmallConfig();
+  config.start_paused = true;
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  const uint64_t parses_before = HistogramCount(obs::names::kIngestParseStageMs);
+  auto accepted = service.Submit(MakeSubmission(MakeApkBytes(63)));
+  ASSERT_TRUE(accepted.ok());  // Admission done — and nothing parsed yet.
+  EXPECT_EQ(HistogramCount(obs::names::kIngestParseStageMs), parses_before);
+
+  service.Start();
+  EXPECT_EQ(accepted->get().status, VetStatus::kOk);
+  EXPECT_GT(HistogramCount(obs::names::kIngestParseStageMs), parses_before);
+  service.Shutdown();
 }
 
 TEST(VettingService, SubmitAfterShutdownIsRejected) {

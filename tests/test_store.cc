@@ -20,6 +20,7 @@
 
 #include "core/model_store.h"
 #include "core/study.h"
+#include "ingest/apk_blob.h"
 #include "serve/service.h"
 #include "store/io_fault.h"
 #include "store/verdict_store.h"
@@ -516,7 +517,7 @@ ServiceStats RunOnce(const std::string& dir,
   std::vector<std::future<VettingResult>> futures;
   for (const auto& apk : apks) {
     Submission submission;
-    submission.apk_bytes = apk;
+    submission.blob = ingest::ApkBlob::FromBytes(apk);
     auto accepted = service.Submit(std::move(submission));
     if (accepted.ok()) {
       futures.push_back(std::move(*accepted));
@@ -589,7 +590,7 @@ TEST(VettingServiceStore, ShutdownFlushesInFlightCompletionsToStore) {
     std::vector<std::future<VettingResult>> futures;
     for (const auto& apk : apks) {
       Submission submission;
-      submission.apk_bytes = apk;
+      submission.blob = ingest::ApkBlob::FromBytes(apk);
       auto accepted = service.Submit(std::move(submission));
       ASSERT_TRUE(accepted.ok());
       futures.push_back(std::move(*accepted));

@@ -25,9 +25,12 @@
 #include <chrono>
 #include <future>
 
+#include "apk/apk.h"
 #include "core/model_store.h"
 #include "core/study.h"
 #include "emu/farm.h"
+#include "ingest/apk_blob.h"
+#include "ingest/stream_reader.h"
 #include "market/review_pipeline.h"
 #include "market/simulation.h"
 #include "obs/export.h"
@@ -61,6 +64,9 @@ struct CommonFlags {
   std::string store_dir;  // Persistent verdict store; empty = disabled.
   std::string fsync_policy = "group";  // every | group | buffered.
   double store_fault_rate = 0;  // Store short-write/fsync fault probability.
+  size_t chunk_kb = 64;    // Streaming-ingest chunk size.
+  size_t large_every = 0;  // Pad every Nth trace APK to --large-kb (0 = off).
+  size_t large_kb = 8192;  // Target size of padded "large" APKs.
   std::vector<std::string> positional;
 };
 
@@ -102,6 +108,12 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.fsync_policy = next_value("--fsync-policy");
     } else if (std::strcmp(argv[i], "--store-fault-rate") == 0) {
       flags.store_fault_rate = std::strtod(next_value("--store-fault-rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--chunk-kb") == 0) {
+      flags.chunk_kb = std::strtoull(next_value("--chunk-kb"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--large-every") == 0) {
+      flags.large_every = std::strtoull(next_value("--large-every"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--large-kb") == 0) {
+      flags.large_kb = std::strtoull(next_value("--large-kb"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--metrics-out") == 0) {
       flags.metrics_out = next_value("--metrics-out");
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
@@ -333,28 +345,67 @@ int CmdServe(const CommonFlags& flags) {
   serve::VettingService service(universe, config, std::move(*checker));
 
   // Build the trace up front so submission pacing measures the service, not
-  // APK synthesis. ~20% of the trace resubmits an earlier APK byte-for-byte.
+  // APK synthesis. ~20% of the trace resubmits an earlier APK byte-for-byte
+  // (its blob handle is shared — the bytes exist once). Every blob enters
+  // through the chunked streaming reader, hashing incrementally as the
+  // production frontend would while an upload arrives. --large-every N pads
+  // every Nth distinct APK to ~--large-kb KB so the size-bucketed admission
+  // histograms get a "large" population.
+  const size_t chunk_bytes = std::max<size_t>(1, flags.chunk_kb) * 1024;
+  auto ingest_blob = [&](const std::vector<uint8_t>& bytes)
+      -> util::Result<ingest::ApkBlob> {
+    ingest::MemoryStreamReader reader(bytes);
+    return ingest::ReadApkBlob(reader, chunk_bytes);
+  };
   synth::CorpusConfig corpus_config;
   corpus_config.seed = flags.seed ^ 0x5e7e;
   synth::CorpusGenerator generator(universe, corpus_config);
   util::Rng resubmit_rng(flags.seed ^ 0xca11);
-  std::vector<std::vector<uint8_t>> trace;
+  std::vector<ingest::ApkBlob> trace;
   trace.reserve(flags.apps);
   size_t resubmissions = 0;
+  size_t padded = 0;
+  size_t fresh = 0;
   for (size_t i = 0; i < flags.apps; ++i) {
     if (!trace.empty() && resubmit_rng.NextDouble() < 0.20) {
       trace.push_back(trace[resubmit_rng.NextBounded(trace.size())]);
       ++resubmissions;
-    } else {
-      trace.push_back(synth::BuildApkBytes(generator.Next(), universe));
+      continue;
     }
+    std::vector<uint8_t> bytes = synth::BuildApkBytes(generator.Next(), universe);
+    ++fresh;
+    if (flags.large_every > 0 && fresh % flags.large_every == 0) {
+      auto inflated = apk::PadApk(bytes, flags.large_kb * 1024, flags.seed ^ fresh);
+      if (inflated.ok()) {
+        bytes = std::move(*inflated);
+        ++padded;
+      }
+    }
+    auto blob = ingest_blob(bytes);
+    if (!blob.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", blob.error().c_str());
+      return 1;
+    }
+    trace.push_back(std::move(*blob));
   }
-  std::printf("serve: replaying %zu submissions (%zu byte-identical resubmissions) "
-              "on %zu shards, %zu farms, batch %zu, linger %zu ms, fault rate %.2f\n",
-              trace.size(), resubmissions, config.num_shards, config.pool.num_farms,
+  // Positional .apk files stream straight from disk through the same chunked
+  // reader and are prepended to the trace.
+  for (auto it = flags.positional.rbegin(); it != flags.positional.rend(); ++it) {
+    auto blob = ingest::ReadApkBlobFromFile(*it, chunk_bytes);
+    if (!blob.ok()) {
+      std::fprintf(stderr, "ingest failed: %s\n", blob.error().c_str());
+      return 1;
+    }
+    trace.insert(trace.begin(), std::move(*blob));
+  }
+  std::printf("serve: replaying %zu submissions (%zu byte-identical resubmissions, "
+              "%zu padded large) on %zu shards, %zu farms, batch %zu, linger %zu ms, "
+              "fault rate %.2f, chunk %zu KB\n",
+              trace.size(), resubmissions, padded, config.num_shards,
+              config.pool.num_farms,
               config.scheduler.batch_size == 0 ? config.farm.num_emulators
                                                : config.scheduler.batch_size,
-              flags.linger_ms, flags.fault_rate);
+              flags.linger_ms, flags.fault_rate, chunk_bytes / 1024);
 
   const auto start = std::chrono::steady_clock::now();
   std::vector<std::future<serve::VettingResult>> futures;
@@ -370,7 +421,7 @@ int CmdServe(const CommonFlags& flags) {
       }
     }
     serve::Submission submission;
-    submission.apk_bytes = trace[i];
+    submission.blob = trace[i];
     submission.priority = i % 16 == 0 ? 1 : 0;  // Expedited lane sample.
     auto accepted = service.Submit(std::move(submission));
     if (accepted.ok()) {
@@ -463,6 +514,34 @@ int CmdServe(const CommonFlags& flags) {
               "p99 %.1f ms\n",
               elapsed_s > 0 ? static_cast<double>(futures.size()) / elapsed_s : 0.0,
               e2e.Quantile(0.50), e2e.Quantile(0.99));
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  std::printf("serve: ingest — %llu blobs, %llu bytes in %llu chunks "
+              "(%zu KB each), %llu SHA-1 passes, pool peak %llu KB\n",
+              static_cast<unsigned long long>(
+                  registry.counter(obs::names::kIngestBlobsTotal).value()),
+              static_cast<unsigned long long>(
+                  registry.counter(obs::names::kIngestBytesStreamedTotal).value()),
+              static_cast<unsigned long long>(
+                  registry.counter(obs::names::kIngestChunksTotal).value()),
+              chunk_bytes / 1024,
+              static_cast<unsigned long long>(
+                  registry.counter(obs::names::kServeHashOpsTotal).value()),
+              static_cast<unsigned long long>(ingest::ApkBlob::PoolPeakBytes() / 1024));
+  std::printf("serve: admission — p99 %.3f ms overall; by size:",
+              registry.histogram(obs::names::kServeAdmissionLatencyMs).Quantile(0.99));
+  for (const char* bucket : {"small", "medium", "large"}) {
+    const obs::HistogramSnapshot snap =
+        registry
+            .histogram(serve::AdmissionSeriesName(obs::names::kServeAdmissionLatencyMs,
+                                                  bucket))
+            .Snapshot();
+    std::printf(" %s p99 %.3f ms (%llu)", bucket, snap.Quantile(0.99),
+                static_cast<unsigned long long>(snap.count));
+  }
+  std::printf("; fast-path cache hits %llu\n",
+              static_cast<unsigned long long>(
+                  registry.counter(obs::names::kServeCacheFastpathHitsTotal).value()));
 
   const bool no_lost = stats.accepted == stats.resolved();
   std::printf("serve: invariant accepted == resolved: %s\n", no_lost ? "OK" : "VIOLATED");

@@ -4,8 +4,11 @@
 # then a fault-injected multi-farm smoke (3 farms, 20% fault rate: failover
 # must absorb every fault with zero lost submissions), then a verdict-store
 # restart smoke (serve, kill, re-serve the same --store-dir: recovery must
-# replay records and the warmed cache must produce hits), then rebuild the
-# concurrency-sensitive tests under AddressSanitizer and — unless skipped —
+# replay records and the warmed cache must produce hits), then an ingest
+# admission-latency smoke (mixed ~64KB/~8MB APKs through the chunked reader:
+# the large bucket's Submit() p99 must stay within 2x of the small bucket's),
+# then rebuild the concurrency-sensitive tests under AddressSanitizer and —
+# unless skipped —
 # run the stress-labelled suites (farm-pool fault injection + the serve and
 # store soak tests) under ThreadSanitizer.
 #
@@ -78,11 +81,51 @@ grep -q '"apichecker_store_warm_start_hits_total": [1-9]' "$SERVE_TMP/metrics-re
   echo "warm-started cache produced no hits after restart"; exit 1; }
 echo "store restart smoke OK (records recovered, warm-start hits observed)"
 
+echo "=== ingest: admission-latency smoke (blob handles keep Submit flat) ==="
+# Mix ~64KB synthetic APKs with every-3rd padded to ~8MB through the chunked
+# streaming reader. Admission cost must not scale with APK size: the large
+# bucket's Submit() p99 has to stay within 2x of the small bucket's (with a
+# floor absorbing microsecond-scale jitter on near-zero p99s).
+"$ROOT/build/tools/apichecker" serve --apps 48 --apis 8000 --batch 4 \
+  --model "$SERVE_TMP/model.bin" --large-every 3 --large-kb 8192 --chunk-kb 128 \
+  --metrics-out "$SERVE_TMP/metrics-ingest.json" \
+  | grep "invariant accepted == resolved: OK"
+for series in apichecker_ingest_blobs_total apichecker_ingest_bytes_streamed_total \
+              apichecker_ingest_chunks_total apichecker_ingest_blob_pool_peak_bytes \
+              apichecker_serve_hash_ops_total apichecker_ingest_parse_stage_ms; do
+  grep -q "$series" "$SERVE_TMP/metrics-ingest.json" || {
+    echo "missing metric series: $series"; exit 1; }
+done
+python3 - "$SERVE_TMP/metrics-ingest.json" <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+hist = metrics["histograms"]
+def p99(bucket):
+    series = hist['apichecker_serve_admission_latency_ms{size="%s"}' % bucket]
+    if series["count"] == 0:
+        raise SystemExit("no %s-bucket admission samples" % bucket)
+    return series["quantiles"]["p99"], series["count"]
+small, small_n = p99("small")
+large, large_n = p99("large")
+# Floor: sub-0.2ms p99s are all "instant"; the 2x bound only means something
+# above scheduler-jitter scale.
+bound = 2.0 * max(small, 0.2)
+print("admission p99: small %.4f ms (n=%d), large %.4f ms (n=%d), bound %.4f ms"
+      % (small, small_n, large, large_n, bound))
+if large > bound:
+    raise SystemExit("large-APK admission p99 %.4f ms exceeds 2x small (%.4f ms): "
+                     "Submit() is scaling with APK size" % (large, bound))
+PYEOF
+echo "ingest smoke OK (large-APK admission p99 within 2x of small)"
+
 if [ "$ASAN" = "1" ]; then
-  echo "=== asan: build + run test_obs test_serve test_store test_farm_pool ==="
+  echo "=== asan: build + run test_obs test_apk test_ingest test_serve test_store test_farm_pool ==="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
-  cmake --build "$ROOT/build-asan" -j --target test_obs test_serve test_store test_farm_pool
+  cmake --build "$ROOT/build-asan" -j --target test_obs test_apk test_ingest \
+    test_serve test_store test_farm_pool
   "$ROOT/build-asan/tests/test_obs"
+  "$ROOT/build-asan/tests/test_apk"
+  "$ROOT/build-asan/tests/test_ingest"
   "$ROOT/build-asan/tests/test_serve"
   "$ROOT/build-asan/tests/test_store"
   "$ROOT/build-asan/tests/test_farm_pool"
@@ -91,10 +134,11 @@ fi
 if [ "$TSAN" = "1" ]; then
   echo "=== tsan: serve races + stress-labelled suites ==="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DAPICHECKER_SANITIZE=thread >/dev/null
-  cmake --build "$ROOT/build-tsan" -j --target test_serve test_store test_farm_pool
+  cmake --build "$ROOT/build-tsan" -j --target test_serve test_store test_farm_pool test_ingest
   "$ROOT/build-tsan/tests/test_serve"
-  # Stress label = the farm-pool fault suite + the multi-producer soak test
-  # (tests/CMakeLists.txt tags them), i.e. the heaviest concurrency paths.
+  # Stress label = the farm-pool fault suite, the multi-producer serve/store
+  # soaks, and the concurrent blob-release soak (tests/CMakeLists.txt tags
+  # them), i.e. the heaviest concurrency paths.
   (cd "$ROOT/build-tsan" && ctest -L stress --output-on-failure)
 fi
 

@@ -26,8 +26,10 @@
 #include "core/model_store.h"
 #include "ingest/apk_blob.h"
 #include "ingest/stream_reader.h"
+#include "obs/bench_report.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/trace_collector.h"
 #include "serve/service.h"
 #include "store/verdict_store.h"
 #include "util/rng.h"
@@ -105,6 +107,8 @@ int main(int argc, char** argv) {
   const char* store_dir = nullptr;
   size_t large_every = 16;   // Every Nth distinct APK padded large; 0 = off.
   size_t large_kb = 8'192;   // Padding target for "large" APKs.
+  const char* bench_out = "BENCH_serve.json";  // "" disables the report.
+  double sample_rate = 0.01;  // Trace-sampling rate of the traced pass.
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--farms") == 0 && i + 1 < argc) {
       farms = std::strtoull(argv[++i], nullptr, 10);
@@ -116,6 +120,10 @@ int main(int argc, char** argv) {
       large_every = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--large-kb") == 0 && i + 1 < argc) {
       large_kb = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--bench-out") == 0 && i + 1 < argc) {
+      bench_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--sample-rate") == 0 && i + 1 < argc) {
+      sample_rate = std::strtod(argv[++i], nullptr);
     }
   }
   const size_t trace_size = args.AppsOr(4'000);
@@ -129,26 +137,6 @@ int main(int argc, char** argv) {
   core::ApiChecker checker(context.universe(), {});
   checker.TrainFromStudy(context.study());
   const std::vector<uint8_t> blob = core::SerializeChecker(checker);
-
-  serve::ServiceConfig config;
-  config.num_shards = 8;
-  config.shard_capacity = 2'048;
-  config.farm.engine.kind = emu::EngineKind::kLightweight;
-  config.scheduler.max_linger = std::chrono::milliseconds(5);
-  config.pool.num_farms = std::max<size_t>(1, farms);
-  config.pool.fault_plan.seed = args.seed;
-  config.pool.fault_plan.fault_rate = fault_rate;
-  std::printf("farm pool: %zu farms, fault rate %.2f\n", config.pool.num_farms,
-              fault_rate);
-  if (store_dir != nullptr) {
-    // Durability cost is part of the serving number: group-commit is the
-    // production default, so the bench measures it too.
-    config.store.dir = store_dir;
-    config.store.fault_plan.seed = args.seed;
-    std::printf("verdict store: %s (policy %s)\n", store_dir,
-                store::FsyncPolicyName(config.store.fsync_policy));
-  }
-  serve::VettingService service(context.universe(), config, std::move(checker));
 
   // Build the whole trace up front so the measured window contains service
   // work only. ~25% byte-identical resubmissions model version-unchanged
@@ -194,118 +182,182 @@ int main(int argc, char** argv) {
         make_blob(synth::BuildApkBytes(generator.Next(), context.universe())));
   }
 
-  const auto start = std::chrono::steady_clock::now();
+  // Two passes over the identical workload: pass 1 with tracing off (the
+  // baseline), pass 2 sampled at --sample-rate. Each pass gets its own
+  // service (deserialized from the same trained-model blob) so cache state,
+  // store contents, and farm health start identical — the throughput delta
+  // between the passes IS the tracing overhead, measured in the same run and
+  // recorded in BENCH_serve.json.
+  struct PassOutcome {
+    double elapsed_s = 0.0;
+    size_t resolved = 0;
+    double per_sec = 0.0;
+    bool ok = true;
+  };
 
-  // Probe verdicts on snapshot v1, then half the trace, then the hot swap,
-  // then the other half, then the probes again on v2. The v2 probes cannot be
-  // cache hits: the swap stamps a new model version, which invalidates every
-  // v1 cache entry.
-  std::vector<serve::VettingResult> probes_v1;
-  for (const auto& probe : probes) {
-    probes_v1.push_back(VetNow(service, probe));
-  }
-  std::vector<std::future<serve::VettingResult>> futures;
-  futures.reserve(trace.size());
-  size_t rejected_at_submit = 0;
-  SubmitSlice(service, trace, 0, trace.size() / 2, futures, rejected_at_submit);
-
-  auto swapped = service.SwapModelFromBlob(blob);
-  if (!swapped.ok()) {
-    std::fprintf(stderr, "hot swap failed: %s\n", swapped.error().c_str());
-    return 1;
-  }
-  std::printf("hot-swapped serving model mid-run -> snapshot v%u\n", *swapped);
-
-  SubmitSlice(service, trace, trace.size() / 2, trace.size(), futures,
-              rejected_at_submit);
-  std::vector<serve::VettingResult> probes_v2;
-  for (const auto& probe : probes) {
-    probes_v2.push_back(VetNow(service, probe));
-  }
-
-  size_t malicious = 0, cache_hits = 0, expired = 0, parse_errors = 0;
-  size_t unhealthy = 0;
-  for (auto& future : futures) {
-    const serve::VettingResult result = future.get();
-    malicious += result.status == serve::VetStatus::kOk && result.malicious;
-    cache_hits += result.from_cache;
-    expired += result.status == serve::VetStatus::kDeadlineExpired;
-    parse_errors += result.status == serve::VetStatus::kParseError;
-    unhealthy += result.status == serve::VetStatus::kRejectedUnhealthy;
-  }
-  const double elapsed_s =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - start).count();
-  service.Shutdown();
-
-  bool ok = true;
-  for (size_t i = 0; i < probes.size(); ++i) {
-    if (probes_v1[i].malicious != probes_v2[i].malicious ||
-        probes_v1[i].score != probes_v2[i].score) {
-      std::printf("FAIL: probe %zu verdict changed across the hot swap "
-                  "(v%u score %.6f -> v%u score %.6f)\n",
-                  i, probes_v1[i].model_version, probes_v1[i].score,
-                  probes_v2[i].model_version, probes_v2[i].score);
-      ok = false;
+  auto run_pass = [&](double rate, const char* label) -> PassOutcome {
+    PassOutcome out;
+    serve::ServiceConfig config;
+    config.num_shards = 8;
+    config.shard_capacity = 2'048;
+    config.farm.engine.kind = emu::EngineKind::kLightweight;
+    config.scheduler.max_linger = std::chrono::milliseconds(5);
+    config.pool.num_farms = std::max<size_t>(1, farms);
+    config.pool.fault_plan.seed = args.seed;
+    config.pool.fault_plan.fault_rate = fault_rate;
+    config.trace_sample_rate = rate;
+    std::printf("\n--- pass %s: sample rate %.3f, %zu farms, fault rate %.2f ---\n",
+                label, rate, config.pool.num_farms, fault_rate);
+    if (store_dir != nullptr) {
+      // Durability cost is part of the serving number: group-commit is the
+      // production default, so the bench measures it too. Per-pass subdir so
+      // the baseline's verdicts cannot warm-start the traced pass.
+      config.store.dir = std::string(store_dir) + "/" + label;
+      config.store.fault_plan.seed = args.seed;
+      std::printf("verdict store: %s (policy %s)\n", config.store.dir.c_str(),
+                  store::FsyncPolicyName(config.store.fsync_policy));
     }
-  }
-  if (ok) {
-    std::printf("hot-swap verdict invariance: OK (%zu probes identical on v1 and v2)\n",
-                probes.size());
-  }
+    auto restored = core::DeserializeChecker(context.universe(), blob);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "model restore failed: %s\n", restored.error().c_str());
+      std::exit(1);
+    }
+    serve::VettingService service(context.universe(), config, std::move(*restored));
 
-  const serve::ServiceStats stats = service.stats();
-  if (stats.accepted != stats.resolved()) {
-    std::printf("FAIL: lost submissions — accepted %llu but resolved %llu\n",
-                static_cast<unsigned long long>(stats.accepted),
-                static_cast<unsigned long long>(stats.resolved()));
-    ok = false;
-  } else {
-    std::printf("zero lost submissions: OK (accepted %llu == resolved %llu; "
-                "%zu rejected by admission control)\n",
-                static_cast<unsigned long long>(stats.accepted),
-                static_cast<unsigned long long>(stats.resolved()), rejected_at_submit);
-  }
+    const auto start = std::chrono::steady_clock::now();
 
-  const size_t resolved = futures.size() + probes.size() * 2;
-  const double per_sec = elapsed_s > 0 ? static_cast<double>(resolved) / elapsed_s : 0.0;
-  const obs::HistogramSnapshot e2e = obs::MetricsRegistry::Default()
-                                         .histogram(obs::names::kServeE2eLatencyMs)
-                                         .Snapshot();
-  std::printf("\n%zu submissions end-to-end in %.2f s; %zu cache hits, %zu malicious, "
-              "%zu expired, %zu parse errors, %zu rejected-unhealthy, %llu batches\n",
-              resolved, elapsed_s, cache_hits, malicious, expired, parse_errors,
-              unhealthy, static_cast<unsigned long long>(stats.batches));
+    // Probe verdicts on snapshot v1, then half the trace, then the hot swap,
+    // then the other half, then the probes again on v2. The v2 probes cannot
+    // be cache hits: the swap stamps a new model version, which invalidates
+    // every v1 cache entry.
+    std::vector<serve::VettingResult> probes_v1;
+    for (const auto& probe : probes) {
+      probes_v1.push_back(VetNow(service, probe));
+    }
+    std::vector<std::future<serve::VettingResult>> futures;
+    futures.reserve(trace.size());
+    size_t rejected_at_submit = 0;
+    SubmitSlice(service, trace, 0, trace.size() / 2, futures, rejected_at_submit);
 
-  // Per-farm utilisation: simulated busy minutes per farm, plus the skew
-  // (max/mean) — 1.00 is a perfectly level pool; least-loaded routing should
-  // keep this close to 1 even while faults shift load around.
-  const serve::FarmPoolStats pool_stats = service.farm_pool_stats();
-  double total_busy = 0.0, max_busy = 0.0;
-  for (const serve::FarmStats& farm : pool_stats.farms) {
-    std::printf("farm %u: %llu batches, %llu faults, %llu retries absorbed, "
-                "%llu breaker opens, busy %.1f sim-min\n",
-                farm.farm_id, static_cast<unsigned long long>(farm.batches_completed),
-                static_cast<unsigned long long>(farm.faults),
-                static_cast<unsigned long long>(farm.retries_absorbed),
-                static_cast<unsigned long long>(farm.breaker_opens), farm.busy_minutes);
-    total_busy += farm.busy_minutes;
-    max_busy = std::max(max_busy, farm.busy_minutes);
-  }
-  const double mean_busy =
-      pool_stats.farms.empty() ? 0.0 : total_busy / static_cast<double>(pool_stats.farms.size());
-  std::printf("farm pool: %llu routed, %llu faults, %llu retries, utilisation "
-              "skew %.2f (max/mean busy)\n",
-              static_cast<unsigned long long>(pool_stats.batches_routed),
-              static_cast<unsigned long long>(pool_stats.faults),
-              static_cast<unsigned long long>(pool_stats.retries),
-              mean_busy > 0 ? max_busy / mean_busy : 1.0);
-  std::printf("e2e latency: p50 %.1f ms, p99 %.1f ms\n", e2e.Quantile(0.50),
-              e2e.Quantile(0.99));
+    auto swapped = service.SwapModelFromBlob(blob);
+    if (!swapped.ok()) {
+      std::fprintf(stderr, "hot swap failed: %s\n", swapped.error().c_str());
+      std::exit(1);
+    }
+    std::printf("hot-swapped serving model mid-run -> snapshot v%u\n", *swapped);
+
+    SubmitSlice(service, trace, trace.size() / 2, trace.size(), futures,
+                rejected_at_submit);
+    std::vector<serve::VettingResult> probes_v2;
+    for (const auto& probe : probes) {
+      probes_v2.push_back(VetNow(service, probe));
+    }
+
+    size_t malicious = 0, cache_hits = 0, expired = 0, parse_errors = 0;
+    size_t unhealthy = 0;
+    for (auto& future : futures) {
+      const serve::VettingResult result = future.get();
+      malicious += result.status == serve::VetStatus::kOk && result.malicious;
+      cache_hits += result.from_cache;
+      expired += result.status == serve::VetStatus::kDeadlineExpired;
+      parse_errors += result.status == serve::VetStatus::kParseError;
+      unhealthy += result.status == serve::VetStatus::kRejectedUnhealthy;
+    }
+    out.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    service.Shutdown();
+
+    for (size_t i = 0; i < probes.size(); ++i) {
+      if (probes_v1[i].malicious != probes_v2[i].malicious ||
+          probes_v1[i].score != probes_v2[i].score) {
+        std::printf("FAIL: probe %zu verdict changed across the hot swap "
+                    "(v%u score %.6f -> v%u score %.6f)\n",
+                    i, probes_v1[i].model_version, probes_v1[i].score,
+                    probes_v2[i].model_version, probes_v2[i].score);
+        out.ok = false;
+      }
+    }
+    if (out.ok) {
+      std::printf("hot-swap verdict invariance: OK (%zu probes identical on v1 and v2)\n",
+                  probes.size());
+    }
+
+    const serve::ServiceStats stats = service.stats();
+    if (stats.accepted != stats.resolved()) {
+      std::printf("FAIL: lost submissions — accepted %llu but resolved %llu\n",
+                  static_cast<unsigned long long>(stats.accepted),
+                  static_cast<unsigned long long>(stats.resolved()));
+      out.ok = false;
+    } else {
+      std::printf("zero lost submissions: OK (accepted %llu == resolved %llu; "
+                  "%zu rejected by admission control)\n",
+                  static_cast<unsigned long long>(stats.accepted),
+                  static_cast<unsigned long long>(stats.resolved()),
+                  rejected_at_submit);
+    }
+
+    out.resolved = futures.size() + probes.size() * 2;
+    out.per_sec = out.elapsed_s > 0
+                      ? static_cast<double>(out.resolved) / out.elapsed_s
+                      : 0.0;
+    std::printf("%zu submissions end-to-end in %.2f s; %zu cache hits, %zu malicious, "
+                "%zu expired, %zu parse errors, %zu rejected-unhealthy, %llu batches\n",
+                out.resolved, out.elapsed_s, cache_hits, malicious, expired,
+                parse_errors, unhealthy,
+                static_cast<unsigned long long>(stats.batches));
+
+    // Per-farm utilisation: simulated busy minutes per farm, plus the skew
+    // (max/mean) — 1.00 is a perfectly level pool; least-loaded routing should
+    // keep this close to 1 even while faults shift load around.
+    const serve::FarmPoolStats pool_stats = service.farm_pool_stats();
+    double total_busy = 0.0, max_busy = 0.0;
+    for (const serve::FarmStats& farm : pool_stats.farms) {
+      std::printf("farm %u: %llu batches, %llu faults, %llu retries absorbed, "
+                  "%llu breaker opens, busy %.1f sim-min\n",
+                  farm.farm_id, static_cast<unsigned long long>(farm.batches_completed),
+                  static_cast<unsigned long long>(farm.faults),
+                  static_cast<unsigned long long>(farm.retries_absorbed),
+                  static_cast<unsigned long long>(farm.breaker_opens), farm.busy_minutes);
+      total_busy += farm.busy_minutes;
+      max_busy = std::max(max_busy, farm.busy_minutes);
+    }
+    const double mean_busy =
+        pool_stats.farms.empty()
+            ? 0.0
+            : total_busy / static_cast<double>(pool_stats.farms.size());
+    std::printf("farm pool: %llu routed, %llu faults, %llu retries, utilisation "
+                "skew %.2f (max/mean busy)\n",
+                static_cast<unsigned long long>(pool_stats.batches_routed),
+                static_cast<unsigned long long>(pool_stats.faults),
+                static_cast<unsigned long long>(pool_stats.retries),
+                mean_busy > 0 ? max_busy / mean_busy : 1.0);
+    if (const store::VerdictStore* store = service.verdict_store()) {
+      const store::StoreStats ss = store->stats();
+      std::printf("verdict store: %llu appends, %llu fsyncs, %zu segments, "
+                  "%llu live records, %llu recovered at open, %llu warm-start hits\n",
+                  static_cast<unsigned long long>(ss.appends),
+                  static_cast<unsigned long long>(ss.fsyncs), ss.segments,
+                  static_cast<unsigned long long>(ss.live_records),
+                  static_cast<unsigned long long>(ss.recovery.records_recovered),
+                  static_cast<unsigned long long>(stats.warm_start_hits));
+    }
+    return out;
+  };
+
+  const PassOutcome baseline = run_pass(0.0, "baseline");
+  const PassOutcome traced = run_pass(sample_rate, "traced");
+  bool ok = baseline.ok && traced.ok;
+
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  const obs::HistogramSnapshot e2e =
+      registry.histogram(obs::names::kServeE2eLatencyMs).Snapshot();
+  std::printf("\ne2e latency (both passes): p50 %.1f ms, p99 %.1f ms\n",
+              e2e.Quantile(0.50), e2e.Quantile(0.99));
 
   // Admission latency by APK size bucket: the whole point of blob-handle
   // admission is that Submit() cost does not scale with APK bytes — large
   // should sit within a small constant factor of small.
-  obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   std::printf("admission latency (Submit() wall time):");
   for (const char* bucket : {"small", "medium", "large"}) {
     const obs::HistogramSnapshot snap =
@@ -326,21 +378,68 @@ int main(int argc, char** argv) {
           registry.counter(obs::names::kIngestBlobsTotal).value()),
       static_cast<unsigned long long>(
           registry.counter(obs::names::kServeHashOpsTotal).value()));
-  if (const store::VerdictStore* store = service.verdict_store()) {
-    const store::StoreStats ss = store->stats();
-    std::printf("verdict store: %llu appends, %llu fsyncs, %zu segments, "
-                "%llu live records, %llu recovered at open, %llu warm-start hits\n",
-                static_cast<unsigned long long>(ss.appends),
-                static_cast<unsigned long long>(ss.fsyncs), ss.segments,
-                static_cast<unsigned long long>(ss.live_records),
-                static_cast<unsigned long long>(ss.recovery.records_recovered),
-                static_cast<unsigned long long>(stats.warm_start_hits));
+
+  // Tracing overhead: same workload, same run, only the sample rate differs.
+  // The precise number goes into the report for trend tracking; the bench
+  // only hard-fails on a gross (>15%) regression in full-scale runs, because
+  // small deltas at bench scale are mostly machine noise.
+  const double overhead_pct =
+      baseline.per_sec > 0
+          ? (baseline.per_sec - traced.per_sec) / baseline.per_sec * 100.0
+          : 0.0;
+  std::printf("tracing overhead at %.3f sampling: %.2f%% "
+              "(baseline %.0f subs/sec -> traced %.0f subs/sec; budget 5%%)\n",
+              sample_rate, overhead_pct, baseline.per_sec, traced.per_sec);
+  if (overhead_pct > 15.0 && !args.quick) {
+    std::printf("FAIL: tracing overhead %.2f%% is a gross regression (>15%%)\n",
+                overhead_pct);
+    ok = false;
   }
+
   bench::PrintComparison("sustained throughput",
                          "10K/day (~0.12 subs/sec market arrival rate)",
-                         util::StrFormat("%.0f subs/sec (target >= 1000)", per_sec));
-  if (per_sec < 1'000.0 && !args.quick) {
+                         util::StrFormat("%.0f subs/sec (target >= 1000)",
+                                         traced.per_sec));
+  if (traced.per_sec < 1'000.0 && !args.quick) {
     std::printf("WARNING: below the 1000 subs/sec target on this machine\n");
+  }
+
+  if (bench_out != nullptr && bench_out[0] != '\0') {
+    obs::BenchReport report;
+    report.bench = "serve_throughput";
+    report.git_rev = obs::GitRevisionOrUnknown();
+    report.submissions = traced.resolved;
+    report.wall_s = traced.elapsed_s;
+    report.throughput_per_sec = traced.per_sec;
+    report.baseline_throughput_per_sec = baseline.per_sec;
+    report.tracing_overhead_pct = overhead_pct;
+    report.sample_rate = sample_rate;
+    report.traces_completed = obs::TraceCollector::Default().traces_completed();
+    report.peak_rss_mb = obs::PeakRssMb();
+    report.peak_blob_pool_mb =
+        static_cast<double>(ingest::ApkBlob::PoolPeakBytes()) / (1024.0 * 1024.0);
+    report.stages["admission"] =
+        obs::StageFromHistogram(registry, obs::names::kServeAdmissionLatencyMs);
+    report.stages["e2e"] =
+        obs::StageFromHistogram(registry, obs::names::kServeE2eLatencyMs);
+    report.stages["traced_e2e"] =
+        obs::StageFromHistogram(registry, obs::names::kServeTracedE2eMs);
+    for (const char* stage :
+         {obs::stages::kSubmit, obs::stages::kShard, obs::stages::kBatch,
+          obs::stages::kFarm, obs::stages::kClassify, obs::stages::kStore,
+          obs::stages::kResolve}) {
+      report.stages[stage] =
+          obs::StageFromHistogram(registry, obs::StageHistogramName(stage));
+    }
+    auto written = obs::WriteBenchReport(bench_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench report write failed: %s\n",
+                   written.error().c_str());
+      ok = false;
+    } else {
+      std::printf("bench report: %s (schema %s, git %s)\n", bench_out,
+                  obs::kBenchServeSchema, report.git_rev.c_str());
+    }
   }
   return ok ? 0 : 1;
 }

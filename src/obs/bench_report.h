@@ -1,0 +1,66 @@
+// Schema-versioned benchmark reports (BENCH_*.json): the tracked perf
+// trajectory. bench_serve_throughput and the CLI `serve` command both emit
+// one, so every PR from here on has a recorded throughput + per-stage latency
+// baseline that CI validates (required keys present, values finite and
+// non-zero) and reviewers can diff in-repo. Writes go through a temp file
+// (<path>.tmp) and an atomic rename so a crashed bench never leaves a torn
+// report behind.
+
+#ifndef APICHECKER_OBS_BENCH_REPORT_H_
+#define APICHECKER_OBS_BENCH_REPORT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/result.h"
+
+namespace apichecker::obs {
+
+inline constexpr char kBenchServeSchema[] = "apichecker-bench-serve-v1";
+
+struct BenchStage {
+  double p50 = 0.0;
+  double p99 = 0.0;
+  uint64_t count = 0;
+};
+
+struct BenchReport {
+  std::string bench;            // e.g. "serve_throughput".
+  std::string git_rev;          // Short commit hash, or "unknown".
+  uint64_t submissions = 0;     // Resolved submissions in the measured window.
+  double wall_s = 0.0;
+  double throughput_per_sec = 0.0;          // With tracing at sample_rate.
+  double baseline_throughput_per_sec = 0.0; // Same workload, tracing off;
+                                            // 0 when not measured (CLI runs).
+  double tracing_overhead_pct = 0.0;        // (baseline - traced) / baseline.
+  double sample_rate = 0.0;
+  uint64_t traces_completed = 0;
+  double peak_rss_mb = 0.0;
+  double peak_blob_pool_mb = 0.0;
+  // Stage name -> quantiles: admission, e2e, plus the per-stage breakdown
+  // histograms (submit, shard, batch, farm, classify, store, resolve).
+  std::map<std::string, BenchStage> stages;
+};
+
+// Quantiles of one registry histogram, for filling BenchReport::stages.
+BenchStage StageFromHistogram(const MetricsRegistry& registry,
+                              const std::string& name);
+
+// Serializes the report (schema kBenchServeSchema). Always overwrites: a
+// trajectory file is meant to be regenerated run over run.
+util::Result<bool> WriteBenchReport(const std::string& path,
+                                    const BenchReport& report);
+std::string BenchReportToJson(const BenchReport& report);
+
+// Peak resident set of this process in MB (getrusage), 0 if unavailable.
+double PeakRssMb();
+
+// $APICHECKER_GIT_REV if set, else `git rev-parse --short HEAD`, else
+// "unknown" — benches run both inside and outside a checkout.
+std::string GitRevisionOrUnknown();
+
+}  // namespace apichecker::obs
+
+#endif  // APICHECKER_OBS_BENCH_REPORT_H_

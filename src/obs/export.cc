@@ -459,11 +459,16 @@ PeriodicReporter::PeriodicReporter(std::chrono::milliseconds interval, FlushFn f
 PeriodicReporter::~PeriodicReporter() { Stop(); }
 
 void PeriodicReporter::Stop() {
+  // Fully serialized: every Stop() caller returns only after the one final
+  // flush has run. Without this, a second concurrent caller would observe
+  // stopping_ == true and return while the first was still joining — the
+  // "service stopped between ticks" snapshot it relied on not yet written.
+  std::lock_guard<std::mutex> stop_lock(stop_mu_);
+  if (stopped_) {
+    return;
+  }
   {
     std::lock_guard<std::mutex> lock(mu_);
-    if (stopping_) {
-      return;
-    }
     stopping_ = true;
   }
   cv_.notify_all();
@@ -472,6 +477,7 @@ void PeriodicReporter::Stop() {
   }
   flush_(registry_);  // Final flush so short runs never lose their tail.
   flushes_.fetch_add(1, std::memory_order_relaxed);
+  stopped_ = true;
 }
 
 void PeriodicReporter::Loop() {

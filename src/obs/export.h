@@ -63,7 +63,9 @@ class PeriodicReporter {
   PeriodicReporter(const PeriodicReporter&) = delete;
   PeriodicReporter& operator=(const PeriodicReporter&) = delete;
 
-  // Idempotent; joins the reporter thread and runs one final flush.
+  // Idempotent and fully serialized: the first caller joins the thread and
+  // runs one final flush; any concurrent caller blocks until that flush has
+  // completed, so no caller ever returns before the last snapshot is out.
   void Stop();
 
   uint64_t flush_count() const { return flushes_.load(std::memory_order_relaxed); }
@@ -77,6 +79,8 @@ class PeriodicReporter {
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  std::mutex stop_mu_;   // Serializes Stop(); held across the final flush.
+  bool stopped_ = false; // Guarded by stop_mu_.
   std::atomic<uint64_t> flushes_{0};
   std::thread thread_;
 };

@@ -1,0 +1,56 @@
+// Prometheus label helpers. The registry keys metrics by a flat series name
+// that may embed a label, e.g. apichecker_serve_farm_faults_total{farm="2"}.
+// Anything file- or operator-derived (farm names, store paths) can contain
+// backslashes, quotes, or newlines — the exposition format requires them
+// escaped inside label values (\\, \", \n), and an unescaped quote would also
+// corrupt the series name itself. Build labeled names through these helpers
+// so every producer escapes identically and the JSON dump round-trips.
+
+#ifndef APICHECKER_OBS_LABELS_H_
+#define APICHECKER_OBS_LABELS_H_
+
+#include <string>
+#include <string_view>
+
+namespace apichecker::obs {
+
+// Escapes a Prometheus label value: backslash, double-quote, and newline per
+// the text exposition format. Everything else passes through untouched.
+inline std::string EscapeLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+// base{key="value"} with the value escaped.
+inline std::string LabeledSeriesName(std::string_view base, std::string_view key,
+                                     std::string_view value) {
+  std::string out;
+  out.reserve(base.size() + key.size() + value.size() + 5);
+  out += base;
+  out += '{';
+  out += key;
+  out += "=\"";
+  out += EscapeLabelValue(value);
+  out += "\"}";
+  return out;
+}
+
+}  // namespace apichecker::obs
+
+#endif  // APICHECKER_OBS_LABELS_H_

@@ -353,6 +353,35 @@ void RegisterStandardMetrics(MetricsRegistry& registry) {
                      Histogram::ExponentialBounds(0.001, 2.0, 24),
                      "Submit() entry -> future handed back, ms");
 
+  // Per-stage attribution for traced submissions: the seven histograms below
+  // observe one contiguous breakdown per trace, so their sums add up to
+  // kServeTracedE2eMs's sum (the ci.sh invariant).
+  const std::vector<double> stage_bounds = Histogram::ExponentialBounds(0.01, 2.0, 22);
+  registry.histogram(kServeStageSubmitMs, stage_bounds,
+                     "traced: admission entry -> shard enqueue, ms");
+  registry.histogram(kServeStageQueueWaitMs, stage_bounds,
+                     "traced: shard enqueue -> scheduler pop, ms");
+  registry.histogram(kServeStageBatchLingerMs, stage_bounds,
+                     "traced: scheduler pop -> pool dispatch, ms");
+  registry.histogram(kServeStageFarmExecuteMs, stage_bounds,
+                     "traced: pool dispatch -> emulation reports ready, ms");
+  registry.histogram(kServeStageClassifyMs, stage_bounds,
+                     "traced: model classification, ms");
+  registry.histogram(kServeStageStoreAppendMs, stage_bounds,
+                     "traced: verdict-store append, ms");
+  registry.histogram(kServeStageResolveMs, stage_bounds,
+                     "traced: bookkeeping + promise fulfilment, ms");
+  registry.histogram(kServeTracedE2eMs, Histogram::ExponentialBounds(0.5, 2.0, 18),
+                     "traced: admission -> resolution end-to-end, ms");
+
+  registry.counter(kObsTraceSpansTotal, "stage spans recorded by the trace collector");
+  registry.counter(kObsTraceSpansDroppedTotal,
+                   "spans dropped (unknown or already-sealed trace)");
+  registry.counter(kObsTracesStartedTotal, "traces opened by sampling decisions");
+  registry.counter(kObsTracesCompletedTotal, "traces sealed with a resolution");
+  registry.counter(kObsTracesDroppedTotal,
+                   "traces shed at birth by the open-trace bound");
+
   registry.counter(kIngestBlobsTotal, "APK blobs materialized by the ingest layer");
   registry.counter(kIngestBytesStreamedTotal,
                    "APK bytes streamed through chunked readers");

@@ -90,6 +90,36 @@ inline constexpr char kServeCacheFastpathHitsTotal[] =
 inline constexpr char kServeAdmissionLatencyMs[] =
     "apichecker_serve_admission_latency_ms";
 
+// serve layer — per-stage latency attribution for traced submissions. Each
+// histogram observes one entry of a trace's contiguous breakdown, so the
+// stage sums add up (within float error) to kServeTracedE2eMs's sum — the
+// invariant ci.sh checks from the metrics dump.
+inline constexpr char kServeStageSubmitMs[] = "apichecker_serve_stage_submit_ms";
+inline constexpr char kServeStageQueueWaitMs[] =
+    "apichecker_serve_stage_queue_wait_ms";
+inline constexpr char kServeStageBatchLingerMs[] =
+    "apichecker_serve_stage_batch_linger_ms";
+inline constexpr char kServeStageFarmExecuteMs[] =
+    "apichecker_serve_stage_farm_execute_ms";
+inline constexpr char kServeStageClassifyMs[] =
+    "apichecker_serve_stage_classify_ms";
+inline constexpr char kServeStageStoreAppendMs[] =
+    "apichecker_serve_stage_store_append_ms";
+inline constexpr char kServeStageResolveMs[] =
+    "apichecker_serve_stage_resolve_ms";
+inline constexpr char kServeTracedE2eMs[] = "apichecker_serve_traced_e2e_ms";
+
+// obs layer — the trace collector's own accounting.
+inline constexpr char kObsTraceSpansTotal[] = "apichecker_obs_trace_spans_total";
+inline constexpr char kObsTraceSpansDroppedTotal[] =
+    "apichecker_obs_trace_spans_dropped_total";
+inline constexpr char kObsTracesStartedTotal[] =
+    "apichecker_obs_traces_started_total";
+inline constexpr char kObsTracesCompletedTotal[] =
+    "apichecker_obs_traces_completed_total";
+inline constexpr char kObsTracesDroppedTotal[] =
+    "apichecker_obs_traces_dropped_total";
+
 // ingest layer — streaming APK intake (chunked read, incremental hash,
 // ref-counted blob pool, off-thread parse stage).
 inline constexpr char kIngestBlobsTotal[] = "apichecker_ingest_blobs_total";

@@ -1,17 +1,20 @@
 #include "serve/batch_scheduler.h"
 
+#include <algorithm>
 #include <functional>
 #include <memory>
 #include <optional>
 #include <string>
 #include <unordered_map>
 #include <utility>
+#include <vector>
 
 #include "ingest/apk_blob.h"
 #include "market/review_pipeline.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
+#include "obs/trace_collector.h"
 #include "util/logging.h"
 
 namespace apichecker::serve {
@@ -36,6 +39,15 @@ struct BatchState {
   std::vector<EmulationSlot> slots;
   std::shared_ptr<const ModelSnapshot> snapshot;
   Clock::time_point assembled_at;
+  Clock::time_point dispatched_at;  // Pool handoff; valid once dispatched.
+};
+
+// Per-slot stage timing measured on the pool completion path, consumed by
+// resolve() to build the contiguous per-trace latency breakdown.
+struct StageTimes {
+  Clock::time_point farm_done;  // Reports ready == classify start.
+  double classify_ms = 0.0;
+  double store_ms = -1.0;       // < 0: no store append happened.
 };
 
 }  // namespace
@@ -127,11 +139,16 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
 
   // Resolution is invoked from the scheduler thread (triage) and from pool
   // worker threads (async completion); everything it touches is thread-safe.
+  // `st` carries the completion path's per-slot stage timing (null for triage
+  // and rejection paths); `dispatched` says the batch reached the pool, which
+  // decides how post-pop time is attributed (batch vs farm stage).
   auto resolve = [this](const BatchState& s, PendingSubmission& pending,
-                        VettingResult result) {
+                        VettingResult result, const StageTimes* st,
+                        bool dispatched) {
+    const Clock::time_point resolve_entry = Clock::now();
     obs::MetricsRegistry& m = obs::MetricsRegistry::Default();
     result.queue_ms = MsSince(pending.admitted_at, s.assembled_at);
-    result.total_ms = MsSince(pending.admitted_at, Clock::now());
+    result.total_ms = MsSince(pending.admitted_at, resolve_entry);
     m.histogram(obs::names::kServeE2eLatencyMs).Observe(result.total_ms);
     switch (result.status) {
       case VetStatus::kOk:
@@ -154,6 +171,84 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
         m.counter(obs::names::kServeFarmRejectedUnhealthyTotal).Increment();
         break;
     }
+
+    if (pending.trace.sampled()) {
+      // Build the contiguous latency partition admitted -> now over the stage
+      // timestamps this submission accumulated. Each entry feeds its stage
+      // histogram; the remainder is the resolve stage — so the stage sums
+      // reconstruct the traced end-to-end latency exactly.
+      obs::TraceCollector& collector = obs::TraceCollector::Default();
+      const Clock::time_point end = Clock::now();
+      const double total = MsSince(pending.admitted_at, end);
+      std::vector<obs::StageMs> breakdown;
+      auto push = [&breakdown](const char* stage, double ms) {
+        breakdown.push_back({stage, std::max(0.0, ms)});
+      };
+      push(obs::stages::kSubmit, MsSince(pending.admitted_at, pending.enqueued_at));
+      push(obs::stages::kShard, MsSince(pending.enqueued_at, pending.popped_at));
+      if (dispatched) {
+        push(obs::stages::kBatch, MsSince(pending.popped_at, s.dispatched_at));
+        if (st != nullptr) {
+          push(obs::stages::kFarm, MsSince(s.dispatched_at, st->farm_done));
+          push(obs::stages::kClassify, st->classify_ms);
+          if (st->store_ms >= 0.0) {
+            push(obs::stages::kStore, st->store_ms);
+          }
+        } else {
+          // Parse error, pool rejection, or in-batch follower: the whole
+          // pool residency is farm time (the attempt spans the pool recorded
+          // tell the detailed story, faults included).
+          push(obs::stages::kFarm, MsSince(s.dispatched_at, resolve_entry));
+        }
+      } else {
+        // Triage-resolved (deadline, cache hit): never dispatched.
+        push(obs::stages::kBatch, MsSince(pending.popped_at, resolve_entry));
+      }
+      double consumed = 0.0;
+      for (const obs::StageMs& entry : breakdown) {
+        consumed += entry.ms;
+      }
+      push(obs::stages::kResolve, total - consumed);
+
+      const double base_ms = collector.ToEpochMs(pending.admitted_at);
+      obs::StageSpan shard_span;
+      shard_span.stage = obs::stages::kShard;
+      shard_span.start_ms = collector.ToEpochMs(pending.enqueued_at);
+      shard_span.duration_ms = MsSince(pending.enqueued_at, pending.popped_at);
+      collector.Record(pending.trace.trace_id, shard_span);
+      if (!dispatched) {
+        obs::StageSpan batch_span;
+        batch_span.stage = obs::stages::kBatch;
+        batch_span.start_ms = collector.ToEpochMs(pending.popped_at);
+        batch_span.duration_ms = MsSince(pending.popped_at, resolve_entry);
+        batch_span.queue_depth = s.batch.size();
+        collector.Record(pending.trace.trace_id, batch_span);
+      }
+      if (st != nullptr) {
+        obs::StageSpan classify_span;
+        classify_span.stage = obs::stages::kClassify;
+        classify_span.start_ms = collector.ToEpochMs(st->farm_done);
+        classify_span.duration_ms = st->classify_ms;
+        collector.Record(pending.trace.trace_id, classify_span);
+        if (st->store_ms >= 0.0) {
+          obs::StageSpan store_span;
+          store_span.stage = obs::stages::kStore;
+          store_span.start_ms = classify_span.start_ms + st->classify_ms;
+          store_span.duration_ms = st->store_ms;
+          collector.Record(pending.trace.trace_id, store_span);
+        }
+      }
+      obs::StageSpan resolve_span;
+      resolve_span.stage = obs::stages::kResolve;
+      resolve_span.start_ms = base_ms + consumed;
+      resolve_span.duration_ms = std::max(0.0, total - consumed);
+      collector.Record(pending.trace.trace_id, resolve_span);
+
+      obs::ObserveStageBreakdown(breakdown, total);
+      collector.Complete(pending.trace.trace_id, VetStatusName(result.status),
+                         result.from_cache, std::move(breakdown), total);
+    }
+
     pending.promise.set_value(std::move(result));
   };
 
@@ -174,7 +269,7 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
       VettingResult result;
       result.status = VetStatus::kDeadlineExpired;
       result.model_version = state->snapshot->version;
-      resolve(*state, pending, std::move(result));
+      resolve(*state, pending, std::move(result), nullptr, false);
       continue;
     }
 
@@ -192,7 +287,7 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
         counters_.warm_start_hits.fetch_add(1, std::memory_order_relaxed);
         metrics.counter(obs::names::kStoreWarmStartHitsTotal).Increment();
       }
-      resolve(*state, pending, std::move(result));
+      resolve(*state, pending, std::move(result), nullptr, false);
       continue;
     }
     metrics.counter(obs::names::kServeCacheMissesTotal).Increment();
@@ -226,9 +321,11 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
     result.status = VetStatus::kParseError;
     result.error = error;
     result.model_version = state->snapshot->version;
-    resolve(*state, state->batch[slot.leader], VettingResult(result));
+    resolve(*state, state->batch[slot.leader], VettingResult(result), nullptr,
+            true);
     for (size_t follower_idx : slot.followers) {
-      resolve(*state, state->batch[follower_idx], VettingResult(result));
+      resolve(*state, state->batch[follower_idx], VettingResult(result), nullptr,
+              true);
     }
   };
 
@@ -237,11 +334,15 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
     for (size_t j = 0; j < emulated.size(); ++j) {
       const EmulationSlot& slot = state->slots[emulated[j]];
       PendingSubmission& leader = state->batch[slot.leader];
+      StageTimes times;
+      times.farm_done = Clock::now();
       const core::ApiChecker::Verdict verdict =
           state->snapshot->checker.Classify(farm_result.reports[j]);
+      times.classify_ms = MsSince(times.farm_done, Clock::now());
       cache_.Put(leader.digest(),
                  {state->snapshot->version, verdict.malicious, verdict.score});
       if (store_ != nullptr) {
+        const Clock::time_point store_start = Clock::now();
         store::VerdictRecord record;
         record.digest = leader.digest();
         record.model_version = state->snapshot->version;
@@ -259,13 +360,14 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
           APICHECKER_LOG(Warning)
               << "verdict store append failed: " << appended.error();
         }
+        times.store_ms = MsSince(store_start, Clock::now());
       }
 
       VettingResult result;
       result.malicious = verdict.malicious;
       result.score = verdict.score;
       result.model_version = state->snapshot->version;
-      resolve(*state, leader, std::move(result));
+      resolve(*state, leader, std::move(result), &times, true);
 
       for (size_t follower_idx : slot.followers) {
         VettingResult dup;
@@ -277,7 +379,8 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
         obs::MetricsRegistry::Default()
             .counter(obs::names::kServeCacheHitsTotal)
             .Increment();
-        resolve(*state, state->batch[follower_idx], std::move(dup));
+        resolve(*state, state->batch[follower_idx], std::move(dup), nullptr,
+                true);
       }
     }
   };
@@ -291,20 +394,50 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
       result.status = VetStatus::kRejectedUnhealthy;
       result.error = PoolRejectReasonName(reason);
       result.model_version = state->snapshot->version;
-      resolve(*state, state->batch[slot.leader], std::move(result));
+      resolve(*state, state->batch[slot.leader], std::move(result), nullptr,
+              true);
       for (size_t follower_idx : slot.followers) {
         VettingResult dup;
         dup.status = VetStatus::kRejectedUnhealthy;
         dup.error = PoolRejectReasonName(reason);
         dup.model_version = state->snapshot->version;
-        resolve(*state, state->batch[follower_idx], std::move(dup));
+        resolve(*state, state->batch[follower_idx], std::move(dup), nullptr,
+                true);
       }
     }
   };
 
+  // Dispatch timestamp + per-member batch spans are recorded BEFORE the pool
+  // handoff: a worker may complete the batch (sealing its traces) before
+  // Submit() even returns, and a span recorded after Complete is dropped.
+  state->dispatched_at = Clock::now();
+  std::vector<obs::TraceContext> slot_traces;
+  slot_traces.reserve(state->slots.size());
+  {
+    obs::TraceCollector& collector = obs::TraceCollector::Default();
+    auto record_batch_span = [&](const PendingSubmission& member) {
+      if (!member.trace.sampled()) {
+        return;
+      }
+      obs::StageSpan span;
+      span.stage = obs::stages::kBatch;
+      span.start_ms = collector.ToEpochMs(member.popped_at);
+      span.duration_ms = MsSince(member.popped_at, state->dispatched_at);
+      span.queue_depth = state->batch.size();
+      collector.Record(member.trace.trace_id, span);
+    };
+    for (const EmulationSlot& slot : state->slots) {
+      slot_traces.push_back(state->batch[slot.leader].trace);
+      record_batch_span(state->batch[slot.leader]);
+      for (size_t follower_idx : slot.followers) {
+        record_batch_span(state->batch[follower_idx]);
+      }
+    }
+  }
+
   const size_t num_slots = state->slots.size();
   if (!pool_.Submit(std::move(blobs), state->snapshot, affinity, on_complete,
-                    on_reject, on_parse_error)) {
+                    on_reject, on_parse_error, std::move(slot_traces))) {
     // Shutdown race: the pool closed before this batch reached it. Resolve
     // everything visibly rather than dropping it (nothing was parsed, so
     // every slot is affected).

@@ -4,9 +4,11 @@
 #include <limits>
 #include <utility>
 
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
+#include "obs/trace_collector.h"
 #include "util/logging.h"
 #include "util/strings.h"
 
@@ -37,7 +39,7 @@ const char* BreakerStateName(BreakerState state) {
 }
 
 std::string FarmSeriesName(const char* base, uint32_t farm_id) {
-  return util::StrFormat("%s{farm=\"%u\"}", base, farm_id);
+  return obs::LabeledSeriesName(base, "farm", util::StrFormat("%u", farm_id));
 }
 
 FarmPool::FarmPool(const android::ApiUniverse& universe, FarmPoolConfig config,
@@ -240,7 +242,8 @@ void FarmPool::ParseStage(PoolBatch& batch) {
 bool FarmPool::Submit(std::vector<ingest::ApkBlob> blobs,
                       std::shared_ptr<const ModelSnapshot> snapshot,
                       uint64_t affinity, CompleteFn on_complete, RejectFn on_reject,
-                      ParseErrorFn on_parse_error) {
+                      ParseErrorFn on_parse_error,
+                      std::vector<obs::TraceContext> traces) {
   auto batch = std::make_unique<PoolBatch>();
   batch->blobs = std::move(blobs);
   batch->total_items = batch->blobs.size();
@@ -250,6 +253,7 @@ bool FarmPool::Submit(std::vector<ingest::ApkBlob> blobs,
   batch->on_complete = std::move(on_complete);
   batch->on_reject = std::move(on_reject);
   batch->on_parse_error = std::move(on_parse_error);
+  batch->traces = std::move(traces);
 
   RejectFn reject_now;
   {
@@ -295,8 +299,10 @@ void FarmPool::WorkerLoop(size_t farm_index) {
     }
     std::unique_ptr<PoolBatch> batch = std::move(queues_[farm_index].front());
     queues_[farm_index].pop_front();
+    const size_t depth_at_entry = queues_[farm_index].size();
     in_flight_[farm_index] = 1;
     lock.unlock();
+    const Clock::time_point attempt_start = Clock::now();
 
     // Parse stage (first attempt only): the blobs become ApkFiles here, on a
     // pool worker — never on the submitter or scheduler thread. Failover
@@ -327,6 +333,29 @@ void FarmPool::WorkerLoop(size_t farm_index) {
     {
       obs::TraceSpan span("serve.farm_pool.batch");
       result = farms_[farm_index]->RunBatch(batch->apks, batch->snapshot->tracked);
+    }
+
+    // Per-attempt farm span, recorded BEFORE any completion callback can seal
+    // the trace (and before the fault path re-queues the batch). A failed-over
+    // batch therefore shows one sibling `farm` span per farm it touched, the
+    // faulted attempts flagged.
+    if (!batch->traces.empty()) {
+      obs::TraceCollector& collector = obs::TraceCollector::Default();
+      obs::StageSpan span;
+      span.stage = obs::stages::kFarm;
+      span.label =
+          util::StrFormat("farm=%u", farm_stats_[farm_index].farm_id);
+      span.start_ms = collector.ToEpochMs(attempt_start);
+      span.duration_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - attempt_start)
+              .count();
+      span.queue_depth = depth_at_entry;
+      span.fault = result.farm_fault;
+      for (size_t idx : batch->emulated) {
+        if (idx < batch->traces.size() && batch->traces[idx].sampled()) {
+          collector.Record(batch->traces[idx].trace_id, span);
+        }
+      }
     }
 
     lock.lock();

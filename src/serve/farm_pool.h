@@ -121,11 +121,15 @@ class FarmPool {
 
   // Routes the batch to a healthy farm. If none is available the reject
   // callback fires synchronously (visible degradation, never a hang). Returns
-  // false only when the pool is closed (no callback has fired).
+  // false only when the pool is closed (no callback has fired). `traces`
+  // carries one TraceContext per blob index (the slot leader's); each farm
+  // attempt records a sibling `farm` span into every sampled one, so a
+  // failed-over batch shows every farm it touched.
   bool Submit(std::vector<ingest::ApkBlob> blobs,
               std::shared_ptr<const ModelSnapshot> snapshot, uint64_t affinity,
               CompleteFn on_complete, RejectFn on_reject,
-              ParseErrorFn on_parse_error = nullptr);
+              ParseErrorFn on_parse_error = nullptr,
+              std::vector<obs::TraceContext> traces = {});
 
   // Stops admission, executes everything still queued (retries included),
   // joins the workers. Idempotent; the destructor calls it.
@@ -149,6 +153,7 @@ class FarmPool {
     CompleteFn on_complete;
     RejectFn on_reject;
     ParseErrorFn on_parse_error;
+    std::vector<obs::TraceContext> traces;  // One per blob index (slot leader).
 
     // Indices a rejection applies to: everything before the parse stage ran,
     // only the parse survivors after.

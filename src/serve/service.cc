@@ -1,10 +1,12 @@
 #include "serve/service.h"
 
+#include <cmath>
 #include <utility>
 
 #include "market/review_pipeline.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/trace_collector.h"
 #include "util/logging.h"
 
 namespace apichecker::serve {
@@ -47,6 +49,10 @@ VettingService::VettingService(const android::ApiUniverse& universe,
       shards_(config.num_shards, config.shard_capacity),
       scheduler_(ResolveSchedulerConfig(config), shards_, cache_, model_, pool_,
                  counters_, store_.get()) {
+  if (config_.trace_sample_rate > 0.0) {
+    sample_every_ = static_cast<size_t>(
+        std::max<long long>(1, std::llround(1.0 / config_.trace_sample_rate)));
+  }
   WarmStartFromStore();
   if (!config_.start_paused) {
     scheduler_.Start();
@@ -128,6 +134,13 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
                          : Clock::time_point::max();
   std::future<VettingResult> future = pending.promise.get_future();
 
+  // Deterministic 1-in-N sampling on the submission id (ids start at 1, so
+  // `id % N == 1 % N` picks the first submission and every Nth after it).
+  obs::TraceCollector& collector = obs::TraceCollector::Default();
+  if (sample_every_ > 0 && pending.id % sample_every_ == 1 % sample_every_) {
+    pending.trace.trace_id = collector.StartTrace();
+  }
+
   // Admission fast-path: a digest this model version already judged resolves
   // here, without a queue round-trip — the duplicate-heavy market traffic the
   // paper describes never costs a scheduler wakeup.
@@ -155,10 +168,57 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
     market::RecordReviewOutcome(result.malicious
                                     ? market::ReviewOutcome::kRejectedByChecker
                                     : market::ReviewOutcome::kPublished);
+    if (pending.trace.sampled()) {
+      // Fast-path trace: the whole lifetime is the admission check itself.
+      // Breakdown = {submit: total, resolve: 0} so the partition still sums
+      // to the end-to-end latency.
+      obs::StageSpan submit_span;
+      submit_span.stage = obs::stages::kSubmit;
+      submit_span.start_ms = collector.ToEpochMs(entered_at);
+      submit_span.duration_ms = result.total_ms;
+      collector.Record(pending.trace.trace_id, submit_span);
+      obs::StageSpan resolve_span;
+      resolve_span.stage = obs::stages::kResolve;
+      resolve_span.start_ms = submit_span.start_ms + result.total_ms;
+      collector.Record(pending.trace.trace_id, resolve_span);
+      std::vector<obs::StageMs> breakdown;
+      breakdown.push_back({obs::stages::kSubmit, result.total_ms});
+      breakdown.push_back({obs::stages::kResolve, 0.0});
+      obs::ObserveStageBreakdown(breakdown, result.total_ms);
+      collector.Complete(pending.trace.trace_id, VetStatusName(result.status),
+                         /*from_cache=*/true, std::move(breakdown),
+                         result.total_ms);
+    }
     pending.promise.set_value(std::move(result));
     observe_admission();
     return future;
   }
+
+  // The submit span must be recorded BEFORE the push: once the record is in a
+  // shard queue the scheduler may pop, resolve, and seal the trace faster
+  // than this thread runs another statement.
+  pending.enqueued_at = Clock::now();
+  const obs::TraceContext trace = pending.trace;  // Survives the move below.
+  if (trace.sampled()) {
+    obs::StageSpan span;
+    span.stage = obs::stages::kSubmit;
+    span.start_ms = collector.ToEpochMs(entered_at);
+    span.duration_ms =
+        std::chrono::duration<double, std::milli>(pending.enqueued_at - entered_at)
+            .count();
+    span.queue_depth = shards_.ApproxDepth();
+    collector.Record(trace.trace_id, span);
+  }
+
+  // Admission-control rejections seal the trace with an empty breakdown (the
+  // submission never entered the pipeline, so it must not feed the per-stage
+  // histograms — those partition *resolved* submissions only).
+  auto complete_rejected = [&collector, &trace] {
+    if (trace.sampled()) {
+      collector.Complete(trace.trace_id, "rejected", /*from_cache=*/false, {},
+                         0.0);
+    }
+  };
 
   switch (shards_.TryPush(std::move(pending))) {
     case AdmissionOutcome::kAccepted:
@@ -171,12 +231,14 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
     case AdmissionOutcome::kQueueFull:
       counters_.rejected.fetch_add(1, std::memory_order_relaxed);
       metrics.counter(obs::names::kServeRejectedTotal).Increment();
+      complete_rejected();
       return util::Err("admission queue full");
     case AdmissionOutcome::kClosed:
       break;
   }
   counters_.rejected.fetch_add(1, std::memory_order_relaxed);
   metrics.counter(obs::names::kServeRejectedTotal).Increment();
+  complete_rejected();
   return util::Err("service is shut down");
 }
 

@@ -54,6 +54,11 @@ struct ServiceConfig {
   // Start() — the drain-control switch (and how tests fill queues
   // deterministically).
   bool start_paused = false;
+  // Fraction of submissions stamped with a TraceContext at admission (0 = off,
+  // 1.0 = every submission — tests; 0.01 = the bench's production-like rate).
+  // Implemented as deterministic 1-in-N on the submission id, so sampled
+  // traffic is reproducible run to run.
+  double trace_sample_rate = 0.0;
 };
 
 class VettingService {
@@ -122,6 +127,7 @@ class VettingService {
   BatchScheduler scheduler_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<bool> shut_down_{false};
+  size_t sample_every_ = 0;  // 0 = tracing off; N = every Nth submission.
 };
 
 }  // namespace apichecker::serve

@@ -53,6 +53,9 @@ std::optional<PendingSubmission> SubmissionShards::TryPopAny() {
   }
   for (size_t i = 0; i < shards_.size(); ++i) {
     if (auto pending = shards_[(start + i) % shards_.size()]->TryPop()) {
+      // Every pop path funnels through here: stamp the end of the shard-queue
+      // wait so latency attribution never depends on which pop variant ran.
+      pending->popped_at = Clock::now();
       return pending;
     }
   }

@@ -15,6 +15,8 @@
 #include <vector>
 
 #include "ingest/apk_blob.h"
+#include "obs/labels.h"
+#include "obs/trace_collector.h"
 
 namespace apichecker::serve {
 
@@ -77,7 +79,15 @@ struct PendingSubmission {
   ingest::ApkBlob blob;
   int priority = 0;
   Clock::time_point admitted_at;
+  // Contiguous stage timestamps for latency attribution: admitted_at ->
+  // enqueued_at (submit) -> popped_at (shard-queue wait) -> dispatch (batch
+  // assembly/linger) -> ... Stamped by Submit() and the shard pop path.
+  Clock::time_point enqueued_at;
+  Clock::time_point popped_at;
   Clock::time_point deadline;     // Clock::time_point::max() = none.
+  // Request-scoped trace identity, propagated by value through every stage;
+  // trace.sampled() == false makes all recording no-ops.
+  obs::TraceContext trace;
   std::promise<VettingResult> promise;
 
   // SHA-1 hex of the blob bytes, computed once at blob creation.
@@ -94,9 +104,10 @@ inline const char* ApkSizeBucket(size_t bytes) {
 }
 
 // Per-size-bucket metric series name with an embedded Prometheus label, e.g.
-// apichecker_serve_admission_latency_ms{size="large"}.
+// apichecker_serve_admission_latency_ms{size="large"}. Routed through the
+// shared label builder so the value is escaped like every other series.
 inline std::string AdmissionSeriesName(const char* base, const char* bucket) {
-  return std::string(base) + "{size=\"" + bucket + "\"}";
+  return obs::LabeledSeriesName(base, "size", bucket);
 }
 
 // Lifecycle accounting shared by admission, scheduler, farm pool, and cache.

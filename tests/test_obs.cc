@@ -1,20 +1,26 @@
 // Unit tests for src/obs: counters, gauges, lock-striped histograms and
-// their quantiles, span tracing, scoped timers, exporters, and the JSON
-// dump round-trip.
+// their quantiles, span tracing, scoped timers, exporters, the JSON
+// dump round-trip, the request-scoped TraceCollector, label escaping,
+// and the trace/bench file writers.
 
 #include <atomic>
 #include <chrono>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "obs/bench_report.h"
 #include "obs/export.h"
+#include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
 #include "obs/trace.h"
+#include "obs/trace_collector.h"
 #include "util/thread_pool.h"
 
 namespace apichecker::obs {
@@ -271,6 +277,358 @@ TEST(Export, PeriodicReporterFlushesAtLeastOnce) {
     EXPECT_GE(reporter.flush_count(), 1u);
   }
   EXPECT_GE(seen.load(), 1u);
+}
+
+TEST(Export, PeriodicReporterStopFlushesFinalInterval) {
+  // An interval far longer than the test: the loop never fires on its own, so
+  // the only flush is the one Stop() owes us. Counter increments made right
+  // before Stop() must be visible to that flush — the last partial interval
+  // is never dropped.
+  MetricsRegistry registry;
+  std::atomic<uint64_t> last_seen{0};
+  PeriodicReporter reporter(
+      std::chrono::hours(24),
+      [&](const MetricsRegistry&) {
+        last_seen.store(registry.counter("apichecker_test_final_total").value());
+      },
+      registry);
+  registry.counter("apichecker_test_final_total").Increment(7);
+  reporter.Stop();
+  EXPECT_EQ(reporter.flush_count(), 1u);
+  EXPECT_EQ(last_seen.load(), 7u);
+}
+
+TEST(Export, PeriodicReporterConcurrentStopNeverSkipsTheFinalFlush) {
+  // Two threads race Stop(). The loser must BLOCK until the winner's final
+  // flush has completed — neither caller may return while the last snapshot
+  // is still unwritten.
+  for (int round = 0; round < 20; ++round) {
+    MetricsRegistry registry;
+    std::atomic<uint64_t> flushes{0};
+    PeriodicReporter reporter(
+        std::chrono::hours(24),
+        [&](const MetricsRegistry&) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          flushes.fetch_add(1);
+        },
+        registry);
+    std::thread a([&] { reporter.Stop(); });
+    std::thread b([&] { reporter.Stop(); });
+    a.join();
+    b.join();
+    // Both callers returned => the single final flush must have run.
+    EXPECT_EQ(flushes.load(), 1u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Label escaping (Prometheus exposition + JSON dump round-trip).
+
+TEST(Labels, EscapesBackslashQuoteAndNewline) {
+  EXPECT_EQ(EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(EscapeLabelValue("say \"hi\""), "say \\\"hi\\\"");
+  EXPECT_EQ(EscapeLabelValue("line1\nline2"), "line1\\nline2");
+  EXPECT_EQ(LabeledSeriesName("base_total", "farm", "2"),
+            "base_total{farm=\"2\"}");
+}
+
+TEST(Labels, HostileValueRoundTripsThroughBothExporters) {
+  // A label value containing every character the exposition format treats
+  // specially. The series must survive Prometheus text rendering (escaped)
+  // and the JSON dump -> ParseJsonDump round trip (name preserved exactly).
+  MetricsRegistry registry;
+  const std::string name =
+      LabeledSeriesName("apichecker_test_hostile_total", "path",
+                        "C:\\tmp\n\"quoted\"");
+  registry.counter(name).Increment(3);
+
+  const std::string prom = ToPrometheusText(registry);
+  // Inside the quoted label value: \ -> \\, " -> \", newline -> \n.
+  EXPECT_NE(prom.find("path=\"C:\\\\tmp\\n\\\"quoted\\\"\""), std::string::npos)
+      << prom;
+  // The raw newline must NOT appear inside the sample line.
+  EXPECT_EQ(prom.find("C:\\tmp\n"), std::string::npos);
+
+  auto parsed = ParseJsonDump(ToJson(registry));
+  ASSERT_TRUE(parsed.ok()) << parsed.error();
+  ASSERT_TRUE(parsed->counters.count(name))
+      << "series name mangled by JSON round-trip";
+  EXPECT_DOUBLE_EQ(parsed->counters.at(name), 3.0);
+}
+
+// ---------------------------------------------------------------------------
+// Histogram quantile edge cases.
+
+TEST(Histogram, QuantileOfSingleSample) {
+  Histogram h;
+  h.Observe(42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.0), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.5), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(0.99), 42.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), 42.0);
+}
+
+TEST(Histogram, QuantileWhenAllSamplesEqual) {
+  Histogram h;
+  for (int i = 0; i < 1'000; ++i) {
+    h.Observe(7.5);
+  }
+  const HistogramSnapshot snap = h.Snapshot();
+  EXPECT_EQ(snap.count, 1'000u);
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(snap.Quantile(q), 7.5) << "q=" << q;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// TraceCollector: request-scoped tracing across thread hops.
+
+TEST(TraceCollector, RecordsSpansAndSealsOnComplete) {
+  TraceCollector collector;
+  const uint64_t id = collector.StartTrace();
+  ASSERT_NE(id, 0u);
+  EXPECT_EQ(collector.open_traces(), 1u);
+
+  StageSpan late;
+  late.stage = stages::kFarm;
+  late.start_ms = 5.0;
+  late.duration_ms = 2.0;
+  collector.Record(id, late);
+  StageSpan early;
+  early.stage = stages::kSubmit;
+  early.start_ms = 1.0;
+  early.duration_ms = 0.5;
+  collector.Record(id, early);
+
+  std::vector<StageMs> breakdown;
+  breakdown.push_back({stages::kSubmit, 4.0});
+  breakdown.push_back({stages::kFarm, 2.0});
+  breakdown.push_back({stages::kResolve, 1.0});
+  collector.Complete(id, "ok", false, std::move(breakdown), 7.0);
+
+  EXPECT_EQ(collector.open_traces(), 0u);
+  const std::vector<Trace> completed = collector.Completed();
+  ASSERT_EQ(completed.size(), 1u);
+  const Trace& trace = completed[0];
+  EXPECT_EQ(trace.trace_id, id);
+  EXPECT_EQ(trace.status, "ok");
+  ASSERT_EQ(trace.spans.size(), 2u);
+  // Spans are sorted by start time at Complete, regardless of record order.
+  EXPECT_EQ(trace.spans[0].stage, stages::kSubmit);
+  EXPECT_EQ(trace.spans[1].stage, stages::kFarm);
+  EXPECT_TRUE(trace.HasStage(stages::kSubmit));
+  EXPECT_FALSE(trace.HasStage(stages::kClassify));
+  EXPECT_NEAR(trace.BreakdownSumMs(), trace.total_ms, 1e-9);
+}
+
+TEST(TraceCollector, SpansAfterCompleteAreCountedDropped) {
+  TraceCollector collector;
+  const uint64_t id = collector.StartTrace();
+  collector.Complete(id, "ok", false, {}, 1.0);
+  StageSpan span;
+  span.stage = stages::kFarm;
+  collector.Record(id, span);  // Late: the trace is sealed.
+  EXPECT_EQ(collector.spans_recorded(), 0u);
+  EXPECT_EQ(collector.spans_dropped(), 1u);
+}
+
+TEST(TraceCollector, DropsNewTracesAtBirthWhenOverBound) {
+  TraceCollector::Options options;
+  options.max_open_traces = 8;  // 1 per stripe.
+  TraceCollector collector(options);
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 64; ++i) {
+    ids.push_back(collector.StartTrace());
+  }
+  EXPECT_EQ(collector.traces_started(), 64u);
+  EXPECT_LE(collector.open_traces(), 8u);
+  EXPECT_EQ(collector.traces_dropped(), 64u - collector.open_traces());
+  // Dropped ids are still safe to use — every call is a counted no-op.
+  for (uint64_t id : ids) {
+    StageSpan span;
+    span.stage = stages::kSubmit;
+    collector.Record(id, span);
+    collector.Complete(id, "ok", false, {}, 1.0);
+  }
+  EXPECT_EQ(collector.traces_completed(), 64u - collector.traces_dropped());
+  EXPECT_EQ(collector.open_traces(), 0u);
+}
+
+TEST(TraceCollector, CompletedRingDropsOldestButTailKeepsSlowest) {
+  TraceCollector::Options options;
+  options.completed_capacity = 8;  // 1 per stripe ring.
+  options.tail_keep = 4;
+  TraceCollector collector(options);
+  // 64 traces with increasing totals, then one huge outlier early in id order
+  // would be recycled by the ring — but the tail sampler must retain the
+  // slowest 4 regardless of ring churn.
+  for (int i = 1; i <= 64; ++i) {
+    const uint64_t id = collector.StartTrace();
+    collector.Complete(id, "ok", false, {}, static_cast<double>(i));
+  }
+  EXPECT_LE(collector.Completed().size(), 8u);
+  const std::vector<Trace> slowest = collector.Slowest();
+  ASSERT_EQ(slowest.size(), 4u);
+  EXPECT_DOUBLE_EQ(slowest[0].total_ms, 64.0);
+  EXPECT_DOUBLE_EQ(slowest[1].total_ms, 63.0);
+  EXPECT_DOUBLE_EQ(slowest[2].total_ms, 62.0);
+  EXPECT_DOUBLE_EQ(slowest[3].total_ms, 61.0);
+}
+
+TEST(TraceCollector, ClearDropsEverything) {
+  TraceCollector collector;
+  const uint64_t open_id = collector.StartTrace();
+  (void)open_id;
+  const uint64_t done_id = collector.StartTrace();
+  collector.Complete(done_id, "ok", false, {}, 1.0);
+  collector.Clear();
+  EXPECT_EQ(collector.open_traces(), 0u);
+  EXPECT_TRUE(collector.Completed().empty());
+  EXPECT_TRUE(collector.Slowest().empty());
+}
+
+TEST(TraceCollector, StageHistogramNamesCoverTheVocabulary) {
+  EXPECT_STREQ(StageHistogramName(stages::kSubmit),
+               names::kServeStageSubmitMs);
+  EXPECT_STREQ(StageHistogramName(stages::kShard),
+               names::kServeStageQueueWaitMs);
+  EXPECT_STREQ(StageHistogramName(stages::kBatch),
+               names::kServeStageBatchLingerMs);
+  EXPECT_STREQ(StageHistogramName(stages::kFarm),
+               names::kServeStageFarmExecuteMs);
+  EXPECT_STREQ(StageHistogramName(stages::kClassify),
+               names::kServeStageClassifyMs);
+  EXPECT_STREQ(StageHistogramName(stages::kStore),
+               names::kServeStageStoreAppendMs);
+  EXPECT_STREQ(StageHistogramName(stages::kResolve),
+               names::kServeStageResolveMs);
+  // Unknown stages are remainder time.
+  EXPECT_STREQ(StageHistogramName("mystery"), names::kServeStageResolveMs);
+}
+
+// ---------------------------------------------------------------------------
+// Trace export formats + file writer.
+
+std::vector<Trace> MakeExportFixture() {
+  TraceCollector collector;
+  const uint64_t id = collector.StartTrace();
+  StageSpan farm;
+  farm.stage = stages::kFarm;
+  farm.label = "farm=1";
+  farm.start_ms = 10.0;
+  farm.duration_ms = 3.5;
+  farm.queue_depth = 2;
+  farm.fault = true;
+  collector.Record(id, farm);
+  std::vector<StageMs> breakdown;
+  breakdown.push_back({stages::kFarm, 3.5});
+  collector.Complete(id, "rejected_unhealthy", false, std::move(breakdown), 3.5);
+  return collector.Completed();
+}
+
+TEST(TraceExport, ChromeJsonCarriesCompleteEvents) {
+  const std::string json = TracesToChromeJson(MakeExportFixture());
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"farm\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"farm=1\""), std::string::npos);
+  EXPECT_NE(json.find("\"fault\": true"), std::string::npos);
+  // ts/dur are microseconds: 10ms -> 10000us.
+  EXPECT_NE(json.find("\"ts\": 10000.0"), std::string::npos);
+}
+
+TEST(TraceExport, JsonLinesAreSelfContainedObjects) {
+  const std::string jsonl = TracesToJsonLines(MakeExportFixture());
+  EXPECT_EQ(jsonl.back(), '\n');
+  EXPECT_EQ(jsonl.find('\n'), jsonl.size() - 1) << "exactly one line per trace";
+  EXPECT_NE(jsonl.find("\"status\": \"rejected_unhealthy\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"breakdown\": {\"farm\": 3.500}"), std::string::npos);
+  EXPECT_NE(jsonl.find("\"queue_depth\": 2"), std::string::npos);
+}
+
+TEST(TraceExport, WriteRefusesToOverwriteWithoutForce) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "apichecker_obs_test.trace.json")
+          .string();
+  std::remove(path.c_str());
+  const std::vector<Trace> traces = MakeExportFixture();
+  auto first = WriteTraceFile(path, traces, /*force=*/false);
+  ASSERT_TRUE(first.ok()) << first.error();
+  auto second = WriteTraceFile(path, traces, /*force=*/false);
+  EXPECT_FALSE(second.ok());
+  EXPECT_NE(second.error().find("--force"), std::string::npos);
+  auto forced = WriteTraceFile(path, traces, /*force=*/true);
+  EXPECT_TRUE(forced.ok()) << forced.error();
+  std::remove(path.c_str());
+}
+
+TEST(BenchReport, JsonCarriesSchemaAndStages) {
+  BenchReport report;
+  report.bench = "serve_throughput";
+  report.git_rev = "abc123";
+  report.submissions = 100;
+  report.wall_s = 2.0;
+  report.throughput_per_sec = 50.0;
+  report.sample_rate = 0.01;
+  report.stages["farm"] = BenchStage{1.5, 9.0, 42};
+  const std::string json = BenchReportToJson(report);
+  EXPECT_NE(json.find("\"schema\": \"apichecker-bench-serve-v1\""),
+            std::string::npos);
+  EXPECT_NE(json.find("\"farm\": {\"p50_ms\": 1.5000"), std::string::npos);
+  EXPECT_NE(json.find("\"submissions\": 100"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// ObsSoak: concurrency suites, split out under the ctest "stress" label so
+// tools/ci.sh runs them under ThreadSanitizer.
+
+TEST(ObsSoak, ConcurrentObserveWhileSnapshottingQuantiles) {
+  Histogram h;
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      const HistogramSnapshot snap = h.Snapshot();
+      const double q = snap.Quantile(0.99);
+      // Quantiles of an in-flux histogram must stay inside the observed range.
+      if (snap.count > 0) {
+        EXPECT_GE(q, 0.0);
+        EXPECT_LE(q, 100.0);
+      }
+    }
+  });
+  util::ThreadPool pool(8);
+  pool.ParallelFor(0, 50'000, [&](size_t i) {
+    h.Observe(static_cast<double>(i % 101));
+  });
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(h.Snapshot().count, 50'000u);
+}
+
+TEST(ObsSoak, ConcurrentTraceLifecyclesLoseNoSpans) {
+  TraceCollector collector;
+  constexpr size_t kTraces = 4'000;
+  util::ThreadPool pool(8);
+  std::atomic<uint64_t> completed{0};
+  pool.ParallelFor(0, kTraces, [&](size_t i) {
+    const uint64_t id = collector.StartTrace();
+    StageSpan span;
+    span.stage = stages::kSubmit;
+    span.start_ms = static_cast<double>(i);
+    collector.Record(id, span);
+    std::vector<StageMs> breakdown;
+    breakdown.push_back({stages::kSubmit, 1.0});
+    collector.Complete(id, "ok", false, std::move(breakdown), 1.0);
+    completed.fetch_add(1, std::memory_order_relaxed);
+  });
+  EXPECT_EQ(completed.load(), kTraces);
+  // Every trace was completed before the next started on that thread, so no
+  // trace was ever dropped at birth and every span landed pre-Complete.
+  EXPECT_EQ(collector.traces_completed(), kTraces);
+  EXPECT_EQ(collector.spans_recorded(), kTraces);
+  EXPECT_EQ(collector.spans_dropped(), 0u);
+  EXPECT_EQ(collector.open_traces(), 0u);
 }
 
 }  // namespace

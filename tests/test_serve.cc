@@ -5,7 +5,9 @@
 
 #include <atomic>
 #include <chrono>
+#include <filesystem>
 #include <future>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -17,6 +19,7 @@
 #include "market/model_registry.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/trace_collector.h"
 #include "serve/digest_cache.h"
 #include "serve/service.h"
 #include "serve/serving_model.h"
@@ -615,6 +618,125 @@ TEST(VettingService, SubmitAfterShutdownIsRejected) {
   auto rejected = service.Submit(MakeSubmission(MakeApkBytes(31)));
   EXPECT_FALSE(rejected.ok());
   EXPECT_EQ(rejected.error(), "service is shut down");
+}
+
+TEST(VettingService, TracesCoverTheFullPipelineAndFailoverSiblings) {
+  // Deterministic end-to-end trace shapes, three submissions:
+  //   A: both farms scripted to fault their first batch -> the pool fails over
+  //      and rejects; A's trace carries one `farm` sibling span PER ATTEMPT,
+  //      both marked fault, on two distinct farms.
+  //   B: fault windows have passed -> classified ok; its trace must contain
+  //      every pipeline stage (submit, shard, batch, farm, classify, store,
+  //      resolve) and its breakdown must sum to the end-to-end latency.
+  //   C: byte-identical to B -> digest-cache fast-path; a from_cache trace
+  //      whose breakdown is submit + resolve only.
+  obs::TraceCollector& collector = obs::TraceCollector::Default();
+  collector.Clear();
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  const char* kStageNames[] = {
+      obs::stages::kSubmit,   obs::stages::kShard, obs::stages::kBatch,
+      obs::stages::kClassify, obs::stages::kFarm,  obs::stages::kStore,
+      obs::stages::kResolve};
+  double stage_sum_before = 0.0;
+  for (const char* stage : kStageNames) {
+    stage_sum_before += metrics.histogram(obs::StageHistogramName(stage)).sum();
+  }
+  const double traced_sum_before =
+      metrics.histogram(obs::names::kServeTracedE2eMs).sum();
+
+  ServiceConfig config = SmallConfig();
+  config.scheduler.batch_size = 1;
+  config.scheduler.max_linger = std::chrono::milliseconds(1);
+  config.pool.num_farms = 2;
+  config.pool.max_attempts = 3;
+  config.pool.breaker_failure_streak = 10;  // Breakers never open here.
+  for (uint32_t farm = 0; farm < 2; ++farm) {
+    emu::FaultWindow window;
+    window.farm_id = farm;
+    window.from_batch = 1;
+    window.to_batch = 1;
+    config.pool.fault_plan.windows.push_back(window);
+  }
+  config.trace_sample_rate = 1.0;
+  const auto store_dir =
+      std::filesystem::temp_directory_path() / "apichecker_trace_test_store";
+  std::filesystem::remove_all(store_dir);
+  config.store.dir = store_dir.string();
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  auto submission_a = service.Submit(MakeSubmission(MakeApkBytes(910)));
+  ASSERT_TRUE(submission_a.ok());
+  EXPECT_EQ(submission_a->get().status, VetStatus::kRejectedUnhealthy);
+
+  const std::vector<uint8_t> apk_b = MakeApkBytes(911);
+  auto submission_b = service.Submit(MakeSubmission(apk_b));
+  ASSERT_TRUE(submission_b.ok());
+  EXPECT_EQ(submission_b->get().status, VetStatus::kOk);
+
+  auto submission_c = service.Submit(MakeSubmission(apk_b));
+  ASSERT_TRUE(submission_c.ok());
+  const VettingResult result_c = submission_c->get();
+  EXPECT_EQ(result_c.status, VetStatus::kOk);
+  EXPECT_TRUE(result_c.from_cache);
+  service.Shutdown();
+
+  const std::vector<obs::Trace> traces = collector.Completed();
+  ASSERT_EQ(traces.size(), 3u);  // Completed() is ordered by start time.
+  const obs::Trace& rejected = traces[0];
+  const obs::Trace& classified = traces[1];
+  const obs::Trace& cached = traces[2];
+
+  // A: one farm span per failover attempt, faulted, on two distinct farms.
+  EXPECT_EQ(rejected.status, "rejected_unhealthy");
+  std::vector<std::string> attempt_labels;
+  for (const obs::StageSpan& span : rejected.spans) {
+    if (span.stage != obs::stages::kFarm) {
+      continue;
+    }
+    EXPECT_TRUE(span.fault) << span.label;
+    attempt_labels.push_back(span.label);
+  }
+  ASSERT_EQ(attempt_labels.size(), 2u);
+  EXPECT_NE(attempt_labels[0], attempt_labels[1]);
+  EXPECT_NEAR(rejected.BreakdownSumMs(), rejected.total_ms,
+              0.01 * rejected.total_ms + 0.05);
+
+  // B: every pipeline stage present, breakdown sums to the traced total.
+  EXPECT_EQ(classified.status, "ok");
+  EXPECT_FALSE(classified.from_cache);
+  for (const char* stage : kStageNames) {
+    EXPECT_TRUE(classified.HasStage(stage)) << stage;
+  }
+  EXPECT_NEAR(classified.BreakdownSumMs(), classified.total_ms,
+              0.01 * classified.total_ms + 0.05);
+
+  // C: cache fast-path — no queue/farm stages, just submit + resolve.
+  EXPECT_EQ(cached.status, "ok");
+  EXPECT_TRUE(cached.from_cache);
+  EXPECT_TRUE(cached.HasStage(obs::stages::kSubmit));
+  EXPECT_FALSE(cached.HasStage(obs::stages::kFarm));
+  EXPECT_NEAR(cached.BreakdownSumMs(), cached.total_ms,
+              0.01 * cached.total_ms + 0.05);
+
+  // The tail sampler retained the slowest of the three.
+  const std::vector<obs::Trace> slowest = collector.Slowest();
+  ASSERT_FALSE(slowest.empty());
+  EXPECT_GE(slowest.front().total_ms, slowest.back().total_ms);
+
+  // Registry-level invariant: per-stage histogram mass added by this test
+  // equals the traced end-to-end mass (the breakdown is a partition).
+  double stage_sum_after = 0.0;
+  for (const char* stage : kStageNames) {
+    stage_sum_after += metrics.histogram(obs::StageHistogramName(stage)).sum();
+  }
+  const double traced_sum_after =
+      metrics.histogram(obs::names::kServeTracedE2eMs).sum();
+  const double stage_delta = stage_sum_after - stage_sum_before;
+  const double traced_delta = traced_sum_after - traced_sum_before;
+  EXPECT_GT(traced_delta, 0.0);
+  EXPECT_NEAR(stage_delta, traced_delta, 0.01 * traced_delta + 0.1);
+
+  std::filesystem::remove_all(store_dir);
 }
 
 }  // namespace

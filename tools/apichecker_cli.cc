@@ -36,7 +36,9 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "obs/bench_report.h"
 #include "obs/trace.h"
+#include "obs/trace_collector.h"
 #include "serve/service.h"
 #include "store/verdict_store.h"
 #include "synth/corpus.h"
@@ -67,6 +69,14 @@ struct CommonFlags {
   size_t chunk_kb = 64;    // Streaming-ingest chunk size.
   size_t large_every = 0;  // Pad every Nth trace APK to --large-kb (0 = off).
   size_t large_kb = 8192;  // Target size of padded "large" APKs.
+  // Tracing: --trace-out writes completed traces (Chrome trace_event format
+  // when the path ends in .trace.json, JSON-lines otherwise). --trace-sample
+  // defaults to 1.0 when --trace-out is given, 0 (off) otherwise. An existing
+  // --trace-out file is never overwritten without --force.
+  std::string trace_out;
+  double trace_sample = -1.0;  // < 0 = unset.
+  bool force = false;
+  std::string bench_out;  // BENCH_*.json perf report; empty = no report.
   std::vector<std::string> positional;
 };
 
@@ -118,6 +128,18 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.metrics_out = next_value("--metrics-out");
     } else if (std::strncmp(argv[i], "--metrics-out=", 14) == 0) {
       flags.metrics_out = argv[i] + 14;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0) {
+      flags.trace_out = next_value("--trace-out");
+    } else if (std::strncmp(argv[i], "--trace-out=", 12) == 0) {
+      flags.trace_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--trace-sample") == 0) {
+      flags.trace_sample = std::strtod(next_value("--trace-sample"), nullptr);
+    } else if (std::strcmp(argv[i], "--force") == 0) {
+      flags.force = true;
+    } else if (std::strcmp(argv[i], "--bench-out") == 0) {
+      flags.bench_out = next_value("--bench-out");
+    } else if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
+      flags.bench_out = argv[i] + 12;
     } else {
       flags.positional.emplace_back(argv[i]);
     }
@@ -330,6 +352,12 @@ int CmdServe(const CommonFlags& flags) {
   config.pool.num_farms = std::max<size_t>(1, flags.farms);
   config.pool.fault_plan.seed = flags.seed;
   config.pool.fault_plan.fault_rate = flags.fault_rate;
+  // --trace-out with no explicit rate means "trace everything": a CLI run is
+  // small and the user asked to see traces. Without --trace-out, tracing
+  // stays off unless --trace-sample was given.
+  config.trace_sample_rate =
+      flags.trace_sample >= 0 ? flags.trace_sample
+                              : (flags.trace_out.empty() ? 0.0 : 1.0);
   if (!flags.store_dir.empty()) {
     auto policy = store::ParseFsyncPolicy(flags.fsync_policy);
     if (!policy.ok()) {
@@ -546,7 +574,74 @@ int CmdServe(const CommonFlags& flags) {
   const bool no_lost = stats.accepted == stats.resolved();
   std::printf("serve: invariant accepted == resolved: %s\n", no_lost ? "OK" : "VIOLATED");
   (void)rejected_at_submit;
-  return no_lost ? 0 : 1;
+
+  bool io_ok = true;
+  obs::TraceCollector& collector = obs::TraceCollector::Default();
+  if (!flags.trace_out.empty()) {
+    const std::vector<obs::Trace> traces = collector.Completed();
+    auto written = obs::WriteTraceFile(flags.trace_out, traces, flags.force);
+    if (!written.ok()) {
+      std::fprintf(stderr, "trace dump failed: %s\n", written.error().c_str());
+      io_ok = false;
+    } else {
+      std::printf("serve: %zu traces written to %s (%llu spans recorded, "
+                  "%llu dropped)\n",
+                  traces.size(), flags.trace_out.c_str(),
+                  static_cast<unsigned long long>(collector.spans_recorded()),
+                  static_cast<unsigned long long>(collector.spans_dropped()));
+      // Tail sampler: the slowest complete traces survive ring recycling, so
+      // a long run's worst-case submissions are always explainable.
+      const std::vector<obs::Trace> slowest = collector.Slowest();
+      const size_t show = std::min<size_t>(3, slowest.size());
+      for (size_t i = 0; i < show; ++i) {
+        std::string stages;
+        for (const obs::StageMs& stage : slowest[i].breakdown) {
+          stages += util::StrFormat(" %s=%.2fms", stage.stage.c_str(), stage.ms);
+        }
+        std::printf("serve: slow trace #%llu (%s, %.2f ms total):%s\n",
+                    static_cast<unsigned long long>(slowest[i].trace_id),
+                    slowest[i].status.c_str(), slowest[i].total_ms,
+                    stages.c_str());
+      }
+    }
+  }
+  if (!flags.bench_out.empty()) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    obs::BenchReport report;
+    report.bench = "serve_cli";
+    report.git_rev = obs::GitRevisionOrUnknown();
+    report.submissions = futures.size();
+    report.wall_s = elapsed_s;
+    report.throughput_per_sec =
+        elapsed_s > 0 ? static_cast<double>(futures.size()) / elapsed_s : 0.0;
+    report.sample_rate = config.trace_sample_rate;
+    report.traces_completed = collector.traces_completed();
+    report.peak_rss_mb = obs::PeakRssMb();
+    report.peak_blob_pool_mb =
+        static_cast<double>(ingest::ApkBlob::PoolPeakBytes()) / (1024.0 * 1024.0);
+    report.stages["admission"] =
+        obs::StageFromHistogram(reg, obs::names::kServeAdmissionLatencyMs);
+    report.stages["e2e"] =
+        obs::StageFromHistogram(reg, obs::names::kServeE2eLatencyMs);
+    report.stages["traced_e2e"] =
+        obs::StageFromHistogram(reg, obs::names::kServeTracedE2eMs);
+    for (const char* stage :
+         {obs::stages::kSubmit, obs::stages::kShard, obs::stages::kBatch,
+          obs::stages::kFarm, obs::stages::kClassify, obs::stages::kStore,
+          obs::stages::kResolve}) {
+      report.stages[stage] =
+          obs::StageFromHistogram(reg, obs::StageHistogramName(stage));
+    }
+    auto written = obs::WriteBenchReport(flags.bench_out, report);
+    if (!written.ok()) {
+      std::fprintf(stderr, "bench report write failed: %s\n",
+                   written.error().c_str());
+      io_ok = false;
+    } else {
+      std::printf("serve: bench report written to %s\n", flags.bench_out.c_str());
+    }
+  }
+  return no_lost && io_ok ? 0 : 1;
 }
 
 int CmdMarket(const CommonFlags& flags) {

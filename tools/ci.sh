@@ -118,6 +118,98 @@ if large > bound:
 PYEOF
 echo "ingest smoke OK (large-APK admission p99 within 2x of small)"
 
+echo "=== trace: end-to-end tracing + BENCH_serve.json schema smoke ==="
+# Trace every submission through a store-backed serve run, then require (a)
+# every fully-pipelined trace to carry all seven stages, (b) each trace's
+# breakdown to sum to its end-to-end latency, and (c) the bench report to be
+# schema-complete with finite, non-zero core values.
+"$ROOT/build/tools/apichecker" serve --apps 40 --apis 8000 --batch 4 \
+  --model "$SERVE_TMP/model.bin" --store-dir "$SERVE_TMP/trace-store" \
+  --trace-out "$SERVE_TMP/traces.jsonl" --trace-sample 1 \
+  --bench-out "$SERVE_TMP/BENCH_serve.json" \
+  | grep "invariant accepted == resolved: OK"
+python3 - "$SERVE_TMP/traces.jsonl" "$SERVE_TMP/BENCH_serve.json" <<'PYEOF'
+import json, math, sys
+
+STAGES = ["submit", "shard", "batch", "farm", "classify", "store", "resolve"]
+full, checked = 0, 0
+for line in open(sys.argv[1]):
+    trace = json.loads(line)
+    checked += 1
+    total = trace["total_ms"]
+    sum_ms = sum(trace["breakdown"].values())
+    if abs(sum_ms - total) > max(0.05, 0.01 * total):
+        raise SystemExit("trace %d breakdown sums to %.3f ms but total is %.3f ms"
+                         % (trace["trace_id"], sum_ms, total))
+    # Cache hits, parse errors, and rejections legitimately skip stages;
+    # a fresh fully-emulated verdict must touch every stage.
+    if trace["status"] != "ok" or trace["from_cache"]:
+        continue
+    seen = set(s["stage"] for s in trace["spans"]) | set(trace["breakdown"])
+    missing = [s for s in STAGES if s not in seen]
+    if missing:
+        raise SystemExit("trace %d (status ok, fresh) misses pipeline stages %s"
+                         % (trace["trace_id"], missing))
+    full += 1
+if full == 0:
+    raise SystemExit("no fully-pipelined trace found in %d traces" % checked)
+print("traces: %d checked, %d fully pipelined (all %d stages)"
+      % (checked, full, len(STAGES)))
+
+report = json.load(open(sys.argv[2]))
+if report.get("schema") != "apichecker-bench-serve-v1":
+    raise SystemExit("bad bench schema: %r" % report.get("schema"))
+for key in ["bench", "git_rev", "submissions", "wall_s", "throughput_per_sec",
+            "sample_rate", "traces_completed", "peak_rss_mb",
+            "peak_blob_pool_mb", "stages"]:
+    if key not in report:
+        raise SystemExit("bench report missing key: %s" % key)
+for key in ["submissions", "wall_s", "throughput_per_sec", "peak_rss_mb",
+            "traces_completed"]:
+    value = report[key]
+    if not (isinstance(value, (int, float)) and math.isfinite(value) and value > 0):
+        raise SystemExit("bench report %s must be finite and non-zero, got %r"
+                         % (key, value))
+for stage in STAGES + ["admission", "e2e", "traced_e2e"]:
+    if stage not in report["stages"]:
+        raise SystemExit("bench report missing stage quantiles: %s" % stage)
+    for q in ["p50_ms", "p99_ms", "count"]:
+        if not math.isfinite(report["stages"][stage].get(q, float("nan"))):
+            raise SystemExit("bench stage %s.%s not finite" % (stage, q))
+print("bench report: schema OK, %d submissions at %.0f/sec, %d traces"
+      % (report["submissions"], report["throughput_per_sec"],
+         report["traces_completed"]))
+PYEOF
+# Overwrite protection: a rerun against the existing trace file must refuse
+# without --force and succeed with it.
+if "$ROOT/build/tools/apichecker" serve --apps 10 --apis 8000 \
+  --model "$SERVE_TMP/model.bin" --trace-out "$SERVE_TMP/traces.jsonl" \
+  >/dev/null 2>&1; then
+  echo "trace-out overwrote an existing file without --force"; exit 1
+fi
+"$ROOT/build/tools/apichecker" serve --apps 10 --apis 8000 \
+  --model "$SERVE_TMP/model.bin" --trace-out "$SERVE_TMP/traces.jsonl" --force \
+  >/dev/null
+echo "trace smoke OK (stage-complete traces, schema-valid bench report, overwrite guarded)"
+
+echo "=== bench: serve throughput smoke (BENCH_serve.json trajectory) ==="
+# Quick two-pass run (baseline vs 1% sampling) of the tracked perf bench; the
+# report must land with the same schema the CLI emits.
+(cd "$SERVE_TMP" && "$ROOT/build/bench/bench_serve_throughput" --quick --farms 2 \
+  --bench-out "$SERVE_TMP/BENCH_serve_bench.json" >/dev/null)
+python3 - "$SERVE_TMP/BENCH_serve_bench.json" <<'PYEOF'
+import json, math, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "apichecker-bench-serve-v1", report["schema"]
+for key in ["throughput_per_sec", "baseline_throughput_per_sec", "submissions"]:
+    assert math.isfinite(report[key]) and report[key] > 0, (key, report[key])
+assert math.isfinite(report["tracing_overhead_pct"])
+print("bench smoke: baseline %.0f/sec, traced %.0f/sec, overhead %.2f%%"
+      % (report["baseline_throughput_per_sec"], report["throughput_per_sec"],
+         report["tracing_overhead_pct"]))
+PYEOF
+echo "bench smoke OK (two-pass BENCH_serve.json written and schema-valid)"
+
 if [ "$ASAN" = "1" ]; then
   echo "=== asan: build + run test_obs test_apk test_ingest test_serve test_store test_farm_pool ==="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
@@ -134,8 +226,10 @@ fi
 if [ "$TSAN" = "1" ]; then
   echo "=== tsan: serve races + stress-labelled suites ==="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DAPICHECKER_SANITIZE=thread >/dev/null
-  cmake --build "$ROOT/build-tsan" -j --target test_serve test_store test_farm_pool test_ingest
+  cmake --build "$ROOT/build-tsan" -j --target test_serve test_store test_farm_pool \
+    test_ingest test_obs
   "$ROOT/build-tsan/tests/test_serve"
+  "$ROOT/build-tsan/tests/test_obs"
   # Stress label = the farm-pool fault suite, the multi-producer serve/store
   # soaks, and the concurrent blob-release soak (tests/CMakeLists.txt tags
   # them), i.e. the heaviest concurrency paths.

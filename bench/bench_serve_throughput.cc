@@ -17,13 +17,18 @@
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <future>
+#include <memory>
+#include <string>
 #include <thread>
+#include <unistd.h>
 #include <vector>
 
 #include "apk/apk.h"
 #include "bench/common.h"
 #include "core/model_store.h"
+#include "fabric/worker.h"
 #include "ingest/apk_blob.h"
 #include "ingest/stream_reader.h"
 #include "obs/bench_report.h"
@@ -103,6 +108,9 @@ int main(int argc, char** argv) {
   const bench::BenchArgs args = bench::BenchArgs::Parse(argc, argv);
   // Pool flags are bench-specific; BenchArgs ignores flags it doesn't know.
   size_t farms = 1;
+  size_t fabric = 0;  // With N > 0: a third pass dispatching to N FarmWorker
+                      // servers over real unix sockets (in-process servers,
+                      // out-of-process wire path) to price the fabric hop.
   double fault_rate = 0.0;
   const char* store_dir = nullptr;
   size_t large_every = 16;   // Every Nth distinct APK padded large; 0 = off.
@@ -112,6 +120,8 @@ int main(int argc, char** argv) {
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--farms") == 0 && i + 1 < argc) {
       farms = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fabric") == 0 && i + 1 < argc) {
+      fabric = std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "--fault-rate") == 0 && i + 1 < argc) {
       fault_rate = std::strtod(argv[++i], nullptr);
     } else if (std::strcmp(argv[i], "--store-dir") == 0 && i + 1 < argc) {
@@ -195,7 +205,9 @@ int main(int argc, char** argv) {
     bool ok = true;
   };
 
-  auto run_pass = [&](double rate, const char* label) -> PassOutcome {
+  auto run_pass = [&](double rate, const char* label,
+                      const std::vector<std::string>& fabric_endpoints =
+                          {}) -> PassOutcome {
     PassOutcome out;
     serve::ServiceConfig config;
     config.num_shards = 8;
@@ -206,8 +218,17 @@ int main(int argc, char** argv) {
     config.pool.fault_plan.seed = args.seed;
     config.pool.fault_plan.fault_rate = fault_rate;
     config.trace_sample_rate = rate;
-    std::printf("\n--- pass %s: sample rate %.3f, %zu farms, fault rate %.2f ---\n",
-                label, rate, config.pool.num_farms, fault_rate);
+    config.fabric_endpoints = fabric_endpoints;
+    if (fabric_endpoints.empty()) {
+      std::printf(
+          "\n--- pass %s: sample rate %.3f, %zu farms, fault rate %.2f ---\n",
+          label, rate, config.pool.num_farms, fault_rate);
+    } else {
+      std::printf(
+          "\n--- pass %s: sample rate %.3f, %zu fabric workers (socket "
+          "dispatch), fault rate %.2f ---\n",
+          label, rate, fabric_endpoints.size(), fault_rate);
+    }
     if (store_dir != nullptr) {
       // Durability cost is part of the serving number: group-commit is the
       // production default, so the bench measures it too. Per-pass subdir so
@@ -349,6 +370,63 @@ int main(int argc, char** argv) {
   const PassOutcome traced = run_pass(sample_rate, "traced");
   bool ok = baseline.ok && traced.ok;
 
+  // Optional third pass: the identical workload, untraced, but dispatched to
+  // --fabric N FarmWorker servers over real unix-domain sockets. The workers
+  // run in-process (threads, not forks) so the measured delta vs the baseline
+  // pass is exactly the wire path: framing + CRC + socket hops + the model
+  // shipped once per connection. Throughput delta and the per-attempt rpc
+  // quantiles both land in BENCH_serve.json.
+  PassOutcome fabric_pass;
+  double fabric_overhead_pct = 0.0;
+  if (fabric > 0) {
+    const std::filesystem::path fabric_dir =
+        std::filesystem::temp_directory_path() /
+        util::StrFormat("apichecker_bench_fab_%d", static_cast<int>(::getpid()));
+    std::filesystem::create_directories(fabric_dir);
+    std::vector<std::unique_ptr<fabric::FarmWorker>> workers;
+    std::vector<std::string> endpoints;
+    for (size_t i = 0; i < fabric; ++i) {
+      fabric::FarmWorkerConfig worker_config;
+      const std::string endpoint =
+          "unix:" + (fabric_dir / util::StrFormat("w%zu.sock", i)).string();
+      worker_config.endpoint = endpoint;
+      worker_config.worker_id = static_cast<uint32_t>(i);
+      worker_config.farm.engine.kind = emu::EngineKind::kLightweight;
+      worker_config.farm.farm_id = static_cast<uint32_t>(i);
+      workers.push_back(std::make_unique<fabric::FarmWorker>(
+          context.universe(), std::move(worker_config)));
+      auto started = workers.back()->Start();
+      if (!started.ok()) {
+        std::fprintf(stderr, "fabric worker %zu failed to start: %s\n", i,
+                     started.error().c_str());
+        return 1;
+      }
+      endpoints.push_back(endpoint);
+    }
+    fabric_pass = run_pass(0.0, "fabric", endpoints);
+    ok = ok && fabric_pass.ok;
+    for (auto& worker : workers) {
+      worker->Stop();
+    }
+    std::error_code ec;
+    std::filesystem::remove_all(fabric_dir, ec);
+    fabric_overhead_pct =
+        baseline.per_sec > 0
+            ? (baseline.per_sec - fabric_pass.per_sec) / baseline.per_sec * 100.0
+            : 0.0;
+    const obs::HistogramSnapshot rpc =
+        obs::MetricsRegistry::Default()
+            .histogram(obs::names::kFabricRpcMs)
+            .Snapshot();
+    std::printf(
+        "\nfabric dispatch overhead: %.2f%% (in-process %.0f subs/sec -> "
+        "socket %.0f subs/sec across %zu workers); rpc p50 %.2f ms, p99 %.2f "
+        "ms (n=%llu)\n",
+        fabric_overhead_pct, baseline.per_sec, fabric_pass.per_sec, fabric,
+        rpc.Quantile(0.50), rpc.Quantile(0.99),
+        static_cast<unsigned long long>(rpc.count));
+  }
+
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
   const obs::HistogramSnapshot e2e =
       registry.histogram(obs::names::kServeE2eLatencyMs).Snapshot();
@@ -413,6 +491,8 @@ int main(int argc, char** argv) {
     report.throughput_per_sec = traced.per_sec;
     report.baseline_throughput_per_sec = baseline.per_sec;
     report.tracing_overhead_pct = overhead_pct;
+    report.fabric_throughput_per_sec = fabric_pass.per_sec;
+    report.fabric_dispatch_overhead_pct = fabric_overhead_pct;
     report.sample_rate = sample_rate;
     report.traces_completed = obs::TraceCollector::Default().traces_completed();
     report.peak_rss_mb = obs::PeakRssMb();
@@ -424,6 +504,10 @@ int main(int argc, char** argv) {
         obs::StageFromHistogram(registry, obs::names::kServeE2eLatencyMs);
     report.stages["traced_e2e"] =
         obs::StageFromHistogram(registry, obs::names::kServeTracedE2eMs);
+    if (fabric > 0) {
+      report.stages["rpc"] =
+          obs::StageFromHistogram(registry, obs::names::kFabricRpcMs);
+    }
     for (const char* stage :
          {obs::stages::kSubmit, obs::stages::kShard, obs::stages::kBatch,
           obs::stages::kFarm, obs::stages::kClassify, obs::stages::kStore,

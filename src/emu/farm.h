@@ -73,6 +73,11 @@ struct BatchResult {
   // server crash/hang). Callers must treat `reports` as invalid and fail the
   // batch over; serve::FarmPool retries it on a healthy farm.
   bool farm_fault = false;
+  // Set (alongside farm_fault) when the failure was the transport to a remote
+  // farm worker rather than the farm itself — the pool's breaker records the
+  // open under a different reason label so operators can tell a sick farm
+  // from a severed link.
+  bool transport_fault = false;
   std::string fault_reason;
 };
 

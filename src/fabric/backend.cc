@@ -1,0 +1,32 @@
+#include "fabric/backend.h"
+
+#include "util/strings.h"
+
+namespace apichecker::fabric {
+
+uint64_t UniverseChecksum(const android::ApiUniverse& universe) {
+  // FNV-1a over the generation-shaping parameters. Not cryptographic — it
+  // only needs to catch two processes launched with different --apis/--seed
+  // flags, which would otherwise exchange reports whose ApiIds mean
+  // different framework methods.
+  uint64_t h = 0xcbf29ce484222325ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xff;
+      h *= 0x100000001b3ull;
+    }
+  };
+  mix(universe.num_apis());
+  mix(universe.sdk_level());
+  mix(universe.permissions().size());
+  mix(universe.intents().size());
+  mix(universe.config().seed);
+  return h;
+}
+
+std::string LocalFarmBackend::describe() const {
+  return util::StrFormat("local farm %u (%zu emulators)", farm_.config().farm_id,
+                         farm_.config().num_emulators);
+}
+
+}  // namespace apichecker::fabric

@@ -1,0 +1,97 @@
+// Payload codecs for the fabric frame types. Each message has an Encode
+// returning raw payload bytes (to wrap in EncodeFrame) and a Result-returning
+// Decode that treats the payload as hostile: element counts are never trusted
+// for allocation beyond the bytes actually present, and any truncation or
+// malformed field is an error, not UB.
+
+#ifndef APICHECKER_FABRIC_MESSAGES_H_
+#define APICHECKER_FABRIC_MESSAGES_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "emu/farm.h"
+#include "util/result.h"
+
+namespace apichecker::fabric {
+
+// Which logical channel a connection carries. Batch RPCs can run for the
+// length of a whole emulation batch, so heartbeats get their own connection —
+// a ping must not queue behind a 30-second RunBatch.
+enum class Channel : uint8_t {
+  kRpc = 0,
+  kHeartbeat = 1,
+};
+
+struct Hello {
+  Channel channel = Channel::kRpc;
+  uint32_t farm_id = 0;
+  // Fingerprint of the API universe both sides must agree on; emulation
+  // reports are meaningless across different universes.
+  uint64_t universe_checksum = 0;
+  std::string client_name;
+};
+
+struct HelloAck {
+  uint32_t worker_id = 0;
+  uint32_t pid = 0;
+  uint64_t universe_checksum = 0;
+};
+
+struct Ping {
+  uint64_t seq = 0;
+};
+
+struct SetModel {
+  uint32_t model_version = 0;
+  std::vector<uint8_t> blob;  // core::SerializeChecker output.
+};
+
+struct SetModelAck {
+  uint32_t model_version = 0;
+  uint32_t tracked_count = 0;
+};
+
+struct RunBatchRequest {
+  uint32_t model_version = 0;
+  // APK container bytes, one per app; the worker re-parses each through the
+  // hostile-hardened apk::ParseApk.
+  std::vector<std::vector<uint8_t>> apks;
+};
+
+struct ErrorMsg {
+  std::string message;
+};
+
+std::vector<uint8_t> EncodeHello(const Hello& msg);
+util::Result<Hello> DecodeHello(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeHelloAck(const HelloAck& msg);
+util::Result<HelloAck> DecodeHelloAck(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodePing(const Ping& msg);
+util::Result<Ping> DecodePing(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeSetModel(const SetModel& msg);
+util::Result<SetModel> DecodeSetModel(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeSetModelAck(const SetModelAck& msg);
+util::Result<SetModelAck> DecodeSetModelAck(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeRunBatch(const RunBatchRequest& msg);
+util::Result<RunBatchRequest> DecodeRunBatch(std::span<const uint8_t> payload);
+
+// The full emu::BatchResult, including every EmulationReport field, crosses
+// the wire so a remote batch is indistinguishable from a local one to the
+// FarmPool and the batch scheduler's classify/store stages.
+std::vector<uint8_t> EncodeBatchResult(const emu::BatchResult& result);
+util::Result<emu::BatchResult> DecodeBatchResult(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeError(const ErrorMsg& msg);
+util::Result<ErrorMsg> DecodeError(std::span<const uint8_t> payload);
+
+}  // namespace apichecker::fabric
+
+#endif  // APICHECKER_FABRIC_MESSAGES_H_

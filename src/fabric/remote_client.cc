@@ -1,0 +1,340 @@
+#include "fabric/remote_client.h"
+
+#include <unistd.h>
+
+#include <utility>
+
+#include "core/model_store.h"
+#include "fabric/messages.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/strings.h"
+
+namespace apichecker::fabric {
+
+namespace {
+
+using MillisDouble = std::chrono::duration<double, std::milli>;
+
+}  // namespace
+
+RemoteFarmClient::RemoteFarmClient(const android::ApiUniverse& universe,
+                                   RemoteClientConfig config)
+    : universe_(universe),
+      config_(std::move(config)),
+      universe_checksum_(UniverseChecksum(universe)) {
+  auto endpoint = ParseEndpoint(config_.endpoint);
+  if (endpoint.ok()) {
+    endpoint_ = *endpoint;
+  } else {
+    // A malformed endpoint leaves the client permanently disconnected; every
+    // batch fails over and the breaker opens — same shape as a worker that
+    // never comes up, and visible in describe().
+    endpoint_.kind = EndpointKind::kUnix;
+    endpoint_.path = "";
+  }
+  monitor_ = std::thread([this] { MonitorLoop(); });
+}
+
+RemoteFarmClient::~RemoteFarmClient() { StopMonitor(); }
+
+void RemoteFarmClient::SetHealthListener(HealthListener listener) {
+  std::lock_guard<std::mutex> lock(mu_);
+  listener_ = std::move(listener);
+}
+
+void RemoteFarmClient::StopMonitor() {
+  bool expected = false;
+  if (!stop_.compare_exchange_strong(expected, true)) {
+    if (monitor_.joinable()) monitor_.join();
+    return;
+  }
+  wake_cv_.notify_all();
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn = conn_;
+    conn_.reset();
+    listener_ = nullptr;
+  }
+  if (conn) conn->Break();
+  if (monitor_.joinable()) monitor_.join();
+}
+
+std::string RemoteFarmClient::describe() const {
+  return util::StrFormat("remote farm %u @ %s%s", config_.farm_id,
+                         config_.endpoint.c_str(), connected() ? "" : " (disconnected)");
+}
+
+bool RemoteFarmClient::connected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return conn_ != nullptr && !conn_->broken.load(std::memory_order_acquire);
+}
+
+bool RemoteFarmClient::SleepFor(std::chrono::milliseconds delay) {
+  std::unique_lock<std::mutex> lock(wake_mu_);
+  wake_cv_.wait_for(lock, delay, [this] { return stop_.load(); });
+  return !stop_.load();
+}
+
+util::Result<Socket> RemoteFarmClient::OpenChannel(Channel channel, std::string* error) {
+  auto socket = Socket::Connect(endpoint_, config_.connect_timeout);
+  if (!socket.ok()) {
+    *error = socket.error();
+    return util::Err(socket.error());
+  }
+  socket->SetSendTimeout(config_.connect_timeout);
+  socket->SetRecvTimeout(config_.connect_timeout);
+  Hello hello;
+  hello.channel = channel;
+  hello.farm_id = config_.farm_id;
+  hello.universe_checksum = universe_checksum_;
+  hello.client_name = util::StrFormat("farm-pool/%d", static_cast<int>(::getpid()));
+  auto sent = socket->SendFrame(MsgType::kHello, EncodeHello(hello));
+  if (!sent.ok()) {
+    *error = "handshake send: " + sent.error();
+    return util::Err(*error);
+  }
+  auto frame = socket->RecvFrame();
+  if (!frame.ok()) {
+    *error = "handshake recv: " + frame.error();
+    return util::Err(*error);
+  }
+  if (frame->type == MsgType::kError) {
+    auto err = DecodeError(frame->payload);
+    *error = "worker rejected handshake: " + (err.ok() ? err->message : "malformed error");
+    return util::Err(*error);
+  }
+  if (frame->type != MsgType::kHelloAck) {
+    *error = util::StrFormat("handshake: unexpected %s frame", MsgTypeName(frame->type));
+    return util::Err(*error);
+  }
+  auto ack = DecodeHelloAck(frame->payload);
+  if (!ack.ok()) {
+    *error = "handshake: malformed hello_ack: " + ack.error();
+    return util::Err(*error);
+  }
+  if (ack->universe_checksum != universe_checksum_) {
+    *error = util::StrFormat("universe mismatch: ours %016llx, worker %016llx",
+                             static_cast<unsigned long long>(universe_checksum_),
+                             static_cast<unsigned long long>(ack->universe_checksum));
+    return util::Err(*error);
+  }
+  return std::move(*socket);
+}
+
+std::shared_ptr<RemoteFarmClient::Conn> RemoteFarmClient::TryConnect(std::string* error) {
+  auto& registry = obs::MetricsRegistry::Default();
+  auto conn = std::make_shared<Conn>();
+  auto rpc = OpenChannel(Channel::kRpc, error);
+  if (!rpc.ok()) {
+    registry.counter(obs::names::kFabricHandshakeFailuresTotal).Increment();
+    return nullptr;
+  }
+  auto heartbeat = OpenChannel(Channel::kHeartbeat, error);
+  if (!heartbeat.ok()) {
+    registry.counter(obs::names::kFabricHandshakeFailuresTotal).Increment();
+    return nullptr;
+  }
+  conn->rpc = std::move(*rpc);
+  conn->heartbeat = std::move(*heartbeat);
+  conn->rpc.SetSendTimeout(config_.rpc_timeout);
+  conn->rpc.SetRecvTimeout(config_.rpc_timeout);
+  conn->heartbeat.SetSendTimeout(config_.heartbeat_interval);
+  // The pong wait is the liveness bound: miss_threshold unanswered intervals
+  // and the connection is declared dead.
+  const auto pong_timeout =
+      config_.heartbeat_interval * std::max<uint32_t>(1, config_.heartbeat_miss_threshold);
+  conn->heartbeat.SetRecvTimeout(pong_timeout);
+  registry.counter(obs::names::kFabricHandshakesTotal).Increment(2);
+  return conn;
+}
+
+void RemoteFarmClient::MarkLost(const std::shared_ptr<Conn>& conn, const std::string& reason) {
+  conn->Break();
+  HealthListener listener;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (conn_ == conn) conn_.reset();
+    if (!lost_reported_) {
+      lost_reported_ = true;
+      listener = listener_;
+    }
+  }
+  obs::MetricsRegistry::Default().counter(obs::names::kFabricDisconnectsTotal).Increment();
+  if (listener) listener(Health::kLost, reason);
+}
+
+void RemoteFarmClient::MonitorLoop() {
+  auto& registry = obs::MetricsRegistry::Default();
+  auto backoff = config_.reconnect_backoff_min;
+  bool first_attempt = true;
+  uint64_t ping_seq = 0;
+  while (!stop_.load()) {
+    // -------- connect phase --------
+    std::string error;
+    std::shared_ptr<Conn> conn = TryConnect(&error);
+    if (!conn) {
+      if (first_attempt) {
+        // Report the initial outage too: a worker that never comes up should
+        // open its breaker rather than eat dispatch attempts.
+        first_attempt = false;
+        HealthListener listener;
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          if (!lost_reported_) {
+            lost_reported_ = true;
+            listener = listener_;
+          }
+        }
+        if (listener) listener(Health::kLost, "connect failed: " + error);
+      }
+      if (!SleepFor(backoff)) return;
+      backoff = std::min(backoff * 2, config_.reconnect_backoff_max);
+      continue;
+    }
+    first_attempt = false;
+    backoff = config_.reconnect_backoff_min;
+    HealthListener listener;
+    bool was_lost = false;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn_ = conn;
+      was_lost = lost_reported_;
+      lost_reported_ = false;
+      listener = listener_;
+    }
+    if (ever_connected_.exchange(true)) {
+      reconnects_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter(obs::names::kFabricReconnectsTotal).Increment();
+    }
+    if (was_lost && listener) listener(Health::kRestored, "reconnected");
+
+    // -------- heartbeat phase --------
+    while (!stop_.load() && !conn->broken.load(std::memory_order_acquire)) {
+      const auto ping_start = std::chrono::steady_clock::now();
+      auto sent = conn->heartbeat.SendFrame(MsgType::kPing, EncodePing({.seq = ++ping_seq}));
+      if (!sent.ok()) {
+        registry.counter(obs::names::kFabricHeartbeatMissesTotal).Increment();
+        MarkLost(conn, "heartbeat send failed: " + sent.error());
+        break;
+      }
+      auto pong = conn->heartbeat.RecvFrame();
+      if (!pong.ok() || pong->type != MsgType::kPong) {
+        registry.counter(obs::names::kFabricHeartbeatMissesTotal).Increment();
+        MarkLost(conn, !pong.ok() ? "heartbeat miss: " + pong.error()
+                                  : "heartbeat: unexpected frame");
+        break;
+      }
+      registry.counter(obs::names::kFabricHeartbeatsTotal).Increment();
+      const auto elapsed =
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              std::chrono::steady_clock::now() - ping_start);
+      if (elapsed < config_.heartbeat_interval &&
+          !SleepFor(config_.heartbeat_interval - elapsed)) {
+        return;
+      }
+    }
+    // If the rpc path broke the connection (broken set, conn_ maybe already
+    // cleared by MarkLost), fall through to reconnect.
+  }
+}
+
+emu::BatchResult RemoteFarmClient::TransportFault(const std::shared_ptr<Conn>& conn,
+                                                  std::string reason) {
+  if (conn) MarkLost(conn, reason);
+  emu::BatchResult result;
+  result.farm_fault = true;
+  result.transport_fault = true;
+  result.fault_reason = std::move(reason);
+  return result;
+}
+
+emu::BatchResult RemoteFarmClient::ExecuteBatch(std::span<const apk::ApkFile> apks,
+                                                uint32_t model_version,
+                                                const core::ApiChecker& checker,
+                                                const emu::TrackedApiSet& tracked) {
+  (void)tracked;  // The worker derives its own hook set from the shipped model.
+  std::shared_ptr<Conn> conn;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn = conn_;
+  }
+  if (!conn || conn->broken.load(std::memory_order_acquire)) {
+    return TransportFault(nullptr,
+                          util::StrFormat("fabric: farm %u not connected (%s)",
+                                          config_.farm_id, config_.endpoint.c_str()));
+  }
+  auto& registry = obs::MetricsRegistry::Default();
+  const auto rpc_start = std::chrono::steady_clock::now();
+
+  // Model sync: ship the checker when this connection hasn't seen this
+  // snapshot version yet (first batch after connect/reconnect, or a model
+  // evolution rollover).
+  if (conn->model_version_sent != model_version) {
+    SetModel set_model;
+    set_model.model_version = model_version;
+    set_model.blob = core::SerializeChecker(checker);
+    if (set_model.blob.empty()) {
+      return TransportFault(conn, "fabric: serving checker not trained");
+    }
+    auto sent = conn->rpc.SendFrame(MsgType::kSetModel, EncodeSetModel(set_model));
+    if (!sent.ok()) return TransportFault(conn, "fabric: set_model send: " + sent.error());
+    auto ack_frame = conn->rpc.RecvFrame();
+    if (!ack_frame.ok()) {
+      return TransportFault(conn, "fabric: set_model recv: " + ack_frame.error());
+    }
+    if (ack_frame->type != MsgType::kSetModelAck) {
+      std::string detail = "unexpected frame";
+      if (ack_frame->type == MsgType::kError) {
+        auto err = DecodeError(ack_frame->payload);
+        if (err.ok()) detail = err->message;
+      }
+      return TransportFault(conn, "fabric: set_model rejected: " + detail);
+    }
+    conn->model_version_sent = model_version;
+    registry.counter(obs::names::kFabricModelSyncsTotal).Increment();
+  }
+
+  RunBatchRequest request;
+  request.model_version = model_version;
+  request.apks.reserve(apks.size());
+  for (const auto& apk : apks) {
+    request.apks.push_back(apk::BuildApk(apk.manifest, apk.dex, apk.has_native_lib));
+  }
+  auto sent = conn->rpc.SendFrame(MsgType::kRunBatch, EncodeRunBatch(request));
+  if (!sent.ok()) return TransportFault(conn, "fabric: run_batch send: " + sent.error());
+  auto frame = conn->rpc.RecvFrame();
+  if (!frame.ok()) return TransportFault(conn, "fabric: run_batch recv: " + frame.error());
+  if (frame->type == MsgType::kError) {
+    auto err = DecodeError(frame->payload);
+    // An application-level error from the worker (e.g. an APK its parser
+    // rejected) is a farm fault but NOT a transport fault: the connection is
+    // intact and the breaker should treat it like a local farm failure.
+    emu::BatchResult result;
+    result.farm_fault = true;
+    result.fault_reason =
+        "fabric: worker error: " + (err.ok() ? err->message : "malformed error frame");
+    return result;
+  }
+  if (frame->type != MsgType::kBatchResult) {
+    return TransportFault(conn, util::StrFormat("fabric: unexpected %s frame",
+                                                MsgTypeName(frame->type)));
+  }
+  auto result = DecodeBatchResult(frame->payload);
+  if (!result.ok()) {
+    return TransportFault(conn, "fabric: malformed batch_result: " + result.error());
+  }
+  if (result->reports.size() != apks.size() && !result->farm_fault) {
+    return TransportFault(conn,
+                          util::StrFormat("fabric: report count mismatch: sent %zu, got %zu",
+                                          apks.size(), result->reports.size()));
+  }
+  const double rpc_ms =
+      MillisDouble(std::chrono::steady_clock::now() - rpc_start).count();
+  last_rpc_ms_.store(rpc_ms, std::memory_order_relaxed);
+  registry.histogram(obs::names::kFabricRpcMs).Observe(rpc_ms);
+  return std::move(*result);
+}
+
+}  // namespace apichecker::fabric

@@ -1,0 +1,130 @@
+// RemoteFarmClient: a FarmBackend that executes batches on an `apichecker
+// farm` worker process over the fabric protocol. Two connections per worker:
+// an rpc channel (model sync + batch execution; one request in flight at a
+// time, matching the pool's per-farm in-flight discipline) and a heartbeat
+// channel driven by a monitor thread, so liveness probing never queues
+// behind a long-running batch.
+//
+// Connection-state machine (monitor thread):
+//
+//   [disconnected] --connect+handshake ok--> [connected]
+//        ^  \--fail--> sleep(backoff*2, capped) --retry--/
+//        |
+//   [connected] --ping miss / EOF / rpc transport error--> Break()
+//        \--> listener(kLost) --> [disconnected], backoff reset
+//   reconnect success --> listener(kRestored)
+//
+// The pool maps kLost to "breaker force-open" and kRestored to "probe
+// eligible now", which is how a SIGKILLed worker opens its breaker within
+// one heartbeat interval and a returning worker re-enters service through
+// the existing half-open probe.
+
+#ifndef APICHECKER_FABRIC_REMOTE_CLIENT_H_
+#define APICHECKER_FABRIC_REMOTE_CLIENT_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "fabric/backend.h"
+#include "fabric/messages.h"
+#include "fabric/transport.h"
+
+namespace apichecker::fabric {
+
+struct RemoteClientConfig {
+  std::string endpoint;  // "unix:/path" or "tcp:host:port".
+  uint32_t farm_id = 0;
+  std::chrono::milliseconds connect_timeout{1000};
+  // Generous: covers model sync plus a full emulation batch.
+  std::chrono::milliseconds rpc_timeout{30'000};
+  std::chrono::milliseconds heartbeat_interval{100};
+  // Consecutive unanswered pings before the connection is declared lost.
+  // 1 keeps the ISSUE's "breaker opens within one heartbeat interval" bound.
+  uint32_t heartbeat_miss_threshold = 1;
+  std::chrono::milliseconds reconnect_backoff_min{50};
+  std::chrono::milliseconds reconnect_backoff_max{2000};
+};
+
+class RemoteFarmClient : public FarmBackend {
+ public:
+  // Starts the monitor thread immediately; the client connects (and keeps
+  // reconnecting) in the background while the pool runs.
+  RemoteFarmClient(const android::ApiUniverse& universe, RemoteClientConfig config);
+  ~RemoteFarmClient() override;
+
+  emu::BatchResult ExecuteBatch(std::span<const apk::ApkFile> apks, uint32_t model_version,
+                                const core::ApiChecker& checker,
+                                const emu::TrackedApiSet& tracked) override;
+
+  void SetHealthListener(HealthListener listener) override;
+  void StopMonitor() override;
+
+  const char* kind() const override { return "remote"; }
+  std::string describe() const override;
+  double last_rpc_ms() const override {
+    return last_rpc_ms_.load(std::memory_order_relaxed);
+  }
+
+  bool connected() const;
+  uint64_t reconnects() const { return reconnects_.load(std::memory_order_relaxed); }
+
+ private:
+  // One established worker connection. ExecuteBatch and the monitor thread
+  // both hold shared_ptrs; Break() shuts both sockets down (waking any
+  // blocked reader) without destroying them under a peer thread.
+  struct Conn {
+    Socket rpc;
+    Socket heartbeat;
+    std::atomic<bool> broken{false};
+    // Version of the model last shipped on this connection; UINT32_MAX means
+    // none yet. Touched only by ExecuteBatch (one in flight per backend).
+    uint32_t model_version_sent = UINT32_MAX;
+
+    void Break() {
+      broken.store(true, std::memory_order_release);
+      rpc.ShutdownBoth();
+      heartbeat.ShutdownBoth();
+    }
+  };
+
+  void MonitorLoop();
+  std::shared_ptr<Conn> TryConnect(std::string* error);
+  util::Result<Socket> OpenChannel(Channel channel, std::string* error);
+  // Marks `conn` lost: breaks it, clears conn_ (if current), notifies the
+  // listener once per connection.
+  void MarkLost(const std::shared_ptr<Conn>& conn, const std::string& reason);
+  // Sleeps up to `delay`, returning early (false) when stopping.
+  bool SleepFor(std::chrono::milliseconds delay);
+  emu::BatchResult TransportFault(const std::shared_ptr<Conn>& conn, std::string reason);
+
+  const android::ApiUniverse& universe_;
+  RemoteClientConfig config_;
+  Endpoint endpoint_;
+  uint64_t universe_checksum_ = 0;
+
+  mutable std::mutex mu_;  // Guards conn_, listener_, lost_reported_.
+  std::shared_ptr<Conn> conn_;
+  HealthListener listener_;
+  // True once kLost has been reported for the current outage, so flapping
+  // inside one outage doesn't spam the breaker.
+  bool lost_reported_ = false;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  std::atomic<bool> stop_{false};
+  std::thread monitor_;
+
+  std::atomic<double> last_rpc_ms_{0.0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<bool> ever_connected_{false};
+};
+
+}  // namespace apichecker::fabric
+
+#endif  // APICHECKER_FABRIC_REMOTE_CLIENT_H_

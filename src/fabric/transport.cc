@@ -1,0 +1,327 @@
+#include "fabric/transport.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/strings.h"
+
+namespace apichecker::fabric {
+
+namespace {
+
+std::string ErrnoMessage(const char* what) {
+  return util::StrFormat("%s: %s", what, std::strerror(errno));
+}
+
+void SetTimeout(int fd, int option, std::chrono::milliseconds timeout) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout.count() / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout.count() % 1000) * 1000);
+  ::setsockopt(fd, SOL_SOCKET, option, &tv, sizeof(tv));
+}
+
+util::Result<sockaddr_un> UnixAddr(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    return util::Err(util::StrFormat("unix socket path too long (%zu bytes): %s",
+                                     path.size(), path.c_str()));
+  }
+  std::memcpy(addr.sun_path, path.data(), path.size());
+  return addr;
+}
+
+}  // namespace
+
+std::string Endpoint::ToString() const {
+  if (kind == EndpointKind::kUnix) return "unix:" + path;
+  return util::StrFormat("tcp:%s:%u", host.c_str(), port);
+}
+
+util::Result<Endpoint> ParseEndpoint(const std::string& spec) {
+  Endpoint endpoint;
+  if (spec.rfind("unix:", 0) == 0) {
+    endpoint.kind = EndpointKind::kUnix;
+    endpoint.path = spec.substr(5);
+    if (endpoint.path.empty()) return util::Err("empty unix socket path: " + spec);
+    return endpoint;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    endpoint.kind = EndpointKind::kTcp;
+    const std::string rest = spec.substr(4);
+    const size_t colon = rest.rfind(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 == rest.size()) {
+      return util::Err("tcp endpoint must be tcp:host:port: " + spec);
+    }
+    endpoint.host = rest.substr(0, colon);
+    const std::string port_str = rest.substr(colon + 1);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(port_str.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || port > 65535) {
+      return util::Err("bad tcp port: " + spec);
+    }
+    endpoint.port = static_cast<uint16_t>(port);
+    return endpoint;
+  }
+  return util::Err("endpoint must start with unix: or tcp: — got " + spec);
+}
+
+Socket::Socket(Socket&& other) noexcept : fd_(std::exchange(other.fd_, -1)) {}
+
+Socket& Socket::operator=(Socket&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = std::exchange(other.fd_, -1);
+  }
+  return *this;
+}
+
+util::Result<Socket> Socket::Connect(const Endpoint& endpoint,
+                                     std::chrono::milliseconds timeout) {
+  int fd = -1;
+  if (endpoint.kind == EndpointKind::kUnix) {
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return util::Err(ErrnoMessage("socket(AF_UNIX)"));
+    auto addr = UnixAddr(endpoint.path);
+    if (!addr.ok()) {
+      ::close(fd);
+      return util::Err(addr.error());
+    }
+    // SO_SNDTIMEO bounds a blocking connect() just as it bounds send().
+    SetTimeout(fd, SO_SNDTIMEO, timeout);
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+      std::string err = ErrnoMessage("connect");
+      ::close(fd);
+      return util::Err(err + " (" + endpoint.ToString() + ")");
+    }
+  } else {
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    const std::string port_str = std::to_string(endpoint.port);
+    const int rc = ::getaddrinfo(endpoint.host.c_str(), port_str.c_str(), &hints, &res);
+    if (rc != 0) {
+      return util::Err(util::StrFormat("getaddrinfo(%s): %s", endpoint.host.c_str(),
+                                       ::gai_strerror(rc)));
+    }
+    std::string last_err = "no addresses";
+    for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+      fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+      if (fd < 0) {
+        last_err = ErrnoMessage("socket");
+        continue;
+      }
+      SetTimeout(fd, SO_SNDTIMEO, timeout);
+      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      last_err = ErrnoMessage("connect");
+      ::close(fd);
+      fd = -1;
+    }
+    ::freeaddrinfo(res);
+    if (fd < 0) return util::Err(last_err + " (" + endpoint.ToString() + ")");
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return Socket(fd);
+}
+
+void Socket::SetRecvTimeout(std::chrono::milliseconds timeout) {
+  if (fd_ >= 0) SetTimeout(fd_, SO_RCVTIMEO, timeout);
+}
+
+void Socket::SetSendTimeout(std::chrono::milliseconds timeout) {
+  if (fd_ >= 0) SetTimeout(fd_, SO_SNDTIMEO, timeout);
+}
+
+util::Result<bool> Socket::SendAll(const uint8_t* data, size_t len) {
+  size_t sent = 0;
+  while (sent < len) {
+    // MSG_NOSIGNAL: a peer that died mid-write must surface as EPIPE, not a
+    // process-killing SIGPIPE.
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Err(ErrnoMessage("send"));
+    }
+    if (n == 0) return util::Err("send: peer closed");
+    sent += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+util::Result<bool> Socket::RecvAll(uint8_t* data, size_t len) {
+  size_t got = 0;
+  while (got < len) {
+    const ssize_t n = ::recv(fd_, data + got, len - got, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::Err(ErrnoMessage("recv"));
+    }
+    if (n == 0) {
+      return util::Err(got == 0 ? "peer closed" : "recv: peer closed mid-frame");
+    }
+    got += static_cast<size_t>(n);
+  }
+  return true;
+}
+
+util::Result<bool> Socket::SendFrame(MsgType type, std::span<const uint8_t> payload) {
+  if (fd_ < 0) return util::Err("send on closed socket");
+  const std::vector<uint8_t> frame = EncodeFrame(type, payload);
+  auto sent = SendAll(frame.data(), frame.size());
+  if (!sent.ok()) return sent;
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.counter(obs::names::kFabricFramesSentTotal).Increment();
+  registry.counter(obs::names::kFabricBytesSentTotal).Increment(frame.size());
+  return true;
+}
+
+util::Result<Frame> Socket::RecvFrame() {
+  if (fd_ < 0) return util::Err("recv on closed socket");
+  std::vector<uint8_t> buffer(kFrameHeaderBytes);
+  auto header = RecvAll(buffer.data(), kFrameHeaderBytes);
+  if (!header.ok()) return util::Err(header.error());
+  // Validate the header before committing to the payload read: DecodeFrame on
+  // the bare header reports bad magic / oversized length immediately and
+  // kTruncated when the header itself is plausible.
+  DecodeResult peek = DecodeFrame(buffer);
+  if (peek.status != DecodeStatus::kOk && peek.status != DecodeStatus::kTruncated) {
+    CountProtocolError(peek.status);
+    return util::Err(util::StrFormat("protocol error: %s", DecodeStatusName(peek.status)));
+  }
+  uint32_t payload_len = 0;
+  std::memcpy(&payload_len, buffer.data() + 8, sizeof(payload_len));
+  const size_t rest = static_cast<size_t>(payload_len) + kFrameTrailerBytes;
+  buffer.resize(kFrameHeaderBytes + rest);
+  auto body = RecvAll(buffer.data() + kFrameHeaderBytes, rest);
+  if (!body.ok()) return util::Err(body.error());
+  DecodeResult decoded = DecodeFrame(buffer);
+  if (decoded.status != DecodeStatus::kOk) {
+    CountProtocolError(decoded.status);
+    return util::Err(util::StrFormat("protocol error: %s", DecodeStatusName(decoded.status)));
+  }
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.counter(obs::names::kFabricFramesReceivedTotal).Increment();
+  registry.counter(obs::names::kFabricBytesReceivedTotal).Increment(buffer.size());
+  return std::move(decoded.frame);
+}
+
+void Socket::ShutdownBoth() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Socket::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
+      endpoint_(std::move(other.endpoint_)) {}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
+              std::memory_order_release);
+    endpoint_ = std::move(other.endpoint_);
+  }
+  return *this;
+}
+
+util::Result<Listener> Listener::Bind(const Endpoint& endpoint) {
+  Listener listener;
+  listener.endpoint_ = endpoint;
+  if (endpoint.kind == EndpointKind::kUnix) {
+    auto addr = UnixAddr(endpoint.path);
+    if (!addr.ok()) return util::Err(addr.error());
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return util::Err(ErrnoMessage("socket(AF_UNIX)"));
+    // A previous worker that was SIGKILLed leaves its socket file behind;
+    // rebinding the same path must succeed.
+    ::unlink(endpoint.path.c_str());
+    if (::bind(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+      std::string err = ErrnoMessage("bind");
+      ::close(fd);
+      return util::Err(err + " (" + endpoint.ToString() + ")");
+    }
+    if (::listen(fd, 16) != 0) {
+      std::string err = ErrnoMessage("listen");
+      ::close(fd);
+      return util::Err(err);
+    }
+    listener.fd_ = fd;
+    return listener;
+  }
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return util::Err(ErrnoMessage("socket(AF_INET)"));
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(endpoint.port);
+  if (endpoint.host.empty() || endpoint.host == "*") {
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  } else if (::inet_pton(AF_INET, endpoint.host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return util::Err("tcp listen host must be an IPv4 address: " + endpoint.host);
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) != 0) {
+    std::string err = ErrnoMessage("bind");
+    ::close(fd);
+    return util::Err(err + " (" + endpoint.ToString() + ")");
+  }
+  if (::listen(fd, 16) != 0) {
+    std::string err = ErrnoMessage("listen");
+    ::close(fd);
+    return util::Err(err);
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &bound_len) == 0) {
+    listener.endpoint_.port = ntohs(bound.sin_port);
+  }
+  listener.fd_ = fd;
+  return listener;
+}
+
+util::Result<Socket> Listener::Accept() {
+  const int listen_fd = fd_.load(std::memory_order_acquire);
+  if (listen_fd < 0) return util::Err("accept on closed listener");
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return util::Err(ErrnoMessage("accept"));
+  if (endpoint_.kind == EndpointKind::kTcp) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return Socket(fd);
+}
+
+void Listener::Close() {
+  // Claim the fd atomically so a concurrent Close (or the destructor racing
+  // an explicit Close) shuts down and closes exactly once.
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() unblocks a thread parked in accept(); plain close() does not
+    // on Linux.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+    if (endpoint_.kind == EndpointKind::kUnix) ::unlink(endpoint_.path.c_str());
+  }
+}
+
+}  // namespace apichecker::fabric

@@ -1,0 +1,119 @@
+// Blocking socket transport for the farm fabric. Unix-domain sockets are the
+// default deployment shape (front-end and farm workers share a host, as in
+// the paper's per-server layout); TCP endpoints exist so a fleet can span
+// hosts. Frames are sent/received whole over a blocking fd with send/recv
+// timeouts — there is no async machinery because every connection is owned by
+// exactly one thread (a pool dispatch thread, a heartbeat monitor, or a
+// worker's per-connection server thread).
+
+#ifndef APICHECKER_FABRIC_TRANSPORT_H_
+#define APICHECKER_FABRIC_TRANSPORT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fabric/wire.h"
+#include "util/result.h"
+
+namespace apichecker::fabric {
+
+enum class EndpointKind : uint8_t {
+  kUnix = 0,
+  kTcp = 1,
+};
+
+// "unix:/path/to.sock" or "tcp:host:port".
+struct Endpoint {
+  EndpointKind kind = EndpointKind::kUnix;
+  std::string path;    // Unix socket path.
+  std::string host;    // TCP host.
+  uint16_t port = 0;   // TCP port (0 = kernel-assigned, Listener reports it).
+
+  std::string ToString() const;
+};
+
+util::Result<Endpoint> ParseEndpoint(const std::string& spec);
+
+// One connected stream socket. Movable, closes on destruction. All I/O is
+// blocking with the configured timeouts; any failure (timeout, EOF, protocol
+// error) poisons the socket — the fabric's error model is "disconnect and
+// let the reconnect/breaker machinery handle it", never "retry on the same
+// connection".
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+  Socket(Socket&& other) noexcept;
+  Socket& operator=(Socket&& other) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  static util::Result<Socket> Connect(const Endpoint& endpoint,
+                                      std::chrono::milliseconds timeout);
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  void SetRecvTimeout(std::chrono::milliseconds timeout);
+  void SetSendTimeout(std::chrono::milliseconds timeout);
+
+  // Writes one encoded frame. Counts fabric frames/bytes sent on success.
+  util::Result<bool> SendFrame(MsgType type, std::span<const uint8_t> payload);
+
+  // Reads exactly one frame. Hostile input (bad magic, oversized length, CRC
+  // or version mismatch) is counted via CountProtocolError and returned as an
+  // error; the caller must treat the connection as dead. A clean EOF before
+  // any header byte returns the error "peer closed".
+  util::Result<Frame> RecvFrame();
+
+  // Shuts down both directions without closing the fd — unblocks a thread
+  // parked in RecvFrame on this socket from another thread. (close() alone
+  // does not reliably wake a blocked reader, and would race fd reuse.)
+  void ShutdownBoth();
+
+  void Close();
+
+ private:
+  util::Result<bool> SendAll(const uint8_t* data, size_t len);
+  util::Result<bool> RecvAll(uint8_t* data, size_t len);
+
+  int fd_ = -1;
+};
+
+// A bound, listening socket. Accept blocks until a connection arrives or
+// Close() is called from another thread (which unblocks it with an error).
+// fd_ is atomic because Close() races the accept thread by design; Close
+// claims the fd with an exchange so it is shut down and closed exactly once.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { Close(); }
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  // Binds and listens. For unix endpoints a stale socket file is unlinked
+  // first. For "tcp:host:0" the kernel assigns a port; bound_endpoint()
+  // reports the real one.
+  static util::Result<Listener> Bind(const Endpoint& endpoint);
+
+  util::Result<Socket> Accept();
+
+  const Endpoint& bound_endpoint() const { return endpoint_; }
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+
+  void Close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  Endpoint endpoint_;
+};
+
+}  // namespace apichecker::fabric
+
+#endif  // APICHECKER_FABRIC_TRANSPORT_H_

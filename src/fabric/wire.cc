@@ -1,0 +1,141 @@
+#include "fabric/wire.h"
+
+#include "obs/labels.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/byte_io.h"
+#include "util/crc32.h"
+
+namespace apichecker::fabric {
+
+const char* MsgTypeName(MsgType type) {
+  switch (type) {
+    case MsgType::kHello:
+      return "hello";
+    case MsgType::kHelloAck:
+      return "hello_ack";
+    case MsgType::kPing:
+      return "ping";
+    case MsgType::kPong:
+      return "pong";
+    case MsgType::kSetModel:
+      return "set_model";
+    case MsgType::kSetModelAck:
+      return "set_model_ack";
+    case MsgType::kRunBatch:
+      return "run_batch";
+    case MsgType::kBatchResult:
+      return "batch_result";
+    case MsgType::kError:
+      return "error";
+  }
+  return "unknown";
+}
+
+const char* DecodeStatusName(DecodeStatus status) {
+  switch (status) {
+    case DecodeStatus::kOk:
+      return "ok";
+    case DecodeStatus::kTruncated:
+      return "truncated";
+    case DecodeStatus::kBadMagic:
+      return "bad_magic";
+    case DecodeStatus::kBadVersion:
+      return "bad_version";
+    case DecodeStatus::kOversized:
+      return "oversized";
+    case DecodeStatus::kCrcMismatch:
+      return "crc_mismatch";
+  }
+  return "unknown";
+}
+
+namespace {
+
+// CRC covers everything after the magic: version, type, payload_len, payload.
+// A flipped bit in the length field therefore fails the checksum even when
+// the mangled length happens to describe a readable frame.
+uint32_t FrameCrc(uint16_t version, uint16_t type, std::span<const uint8_t> payload) {
+  util::ByteWriter header;
+  header.PutU16(version);
+  header.PutU16(type);
+  header.PutU32(static_cast<uint32_t>(payload.size()));
+  uint32_t state = util::Crc32Init();
+  state = util::Crc32Update(state, header.bytes());
+  state = util::Crc32Update(state, payload);
+  return util::Crc32Final(state);
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeFrame(MsgType type, std::span<const uint8_t> payload) {
+  util::ByteWriter out;
+  out.PutU32(kFrameMagic);
+  out.PutU16(kProtocolVersion);
+  out.PutU16(static_cast<uint16_t>(type));
+  out.PutU32(static_cast<uint32_t>(payload.size()));
+  out.PutBytes(payload);
+  out.PutU32(FrameCrc(kProtocolVersion, static_cast<uint16_t>(type), payload));
+  return std::move(out).TakeBytes();
+}
+
+DecodeResult DecodeFrame(std::span<const uint8_t> bytes) {
+  DecodeResult result;
+  if (bytes.size() < kFrameHeaderBytes) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
+  util::ByteReader reader(bytes);
+  // Header reads cannot fail: size was checked above.
+  const uint32_t magic = *reader.ReadU32();
+  const uint16_t version = *reader.ReadU16();
+  const uint16_t type = *reader.ReadU16();
+  const uint32_t payload_len = *reader.ReadU32();
+  if (magic != kFrameMagic) {
+    result.status = DecodeStatus::kBadMagic;
+    return result;
+  }
+  // Length sanity comes before the version check: a hostile frame can claim
+  // any version, but an insane length must never drive the read loop to wait
+  // for (or allocate) gigabytes regardless of claimed version.
+  if (payload_len > kMaxFramePayload) {
+    result.status = DecodeStatus::kOversized;
+    return result;
+  }
+  const size_t total = kFrameHeaderBytes + payload_len + kFrameTrailerBytes;
+  if (bytes.size() < total) {
+    result.status = DecodeStatus::kTruncated;
+    return result;
+  }
+  std::span<const uint8_t> payload = bytes.subspan(kFrameHeaderBytes, payload_len);
+  util::ByteReader trailer(bytes.subspan(kFrameHeaderBytes + payload_len, kFrameTrailerBytes));
+  const uint32_t stored_crc = *trailer.ReadU32();
+  if (stored_crc != FrameCrc(version, type, payload)) {
+    result.status = DecodeStatus::kCrcMismatch;
+    return result;
+  }
+  // CRC before version: a version-mismatch report is only meaningful for a
+  // frame that arrived intact.
+  if (version != kProtocolVersion) {
+    result.status = DecodeStatus::kBadVersion;
+    return result;
+  }
+  result.status = DecodeStatus::kOk;
+  result.frame.version = version;
+  result.frame.type = static_cast<MsgType>(type);
+  result.frame.payload.assign(payload.begin(), payload.end());
+  result.consumed = total;
+  return result;
+}
+
+void CountProtocolError(DecodeStatus status) {
+  if (status == DecodeStatus::kOk) return;
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.counter(obs::names::kFabricProtocolErrorsTotal).Increment();
+  registry
+      .counter(obs::LabeledSeriesName(obs::names::kFabricProtocolErrorsTotal, "kind",
+                                      DecodeStatusName(status)))
+      .Increment();
+}
+
+}  // namespace apichecker::fabric

@@ -1,0 +1,91 @@
+// Wire framing for the cross-process farm fabric. Every message between the
+// vetting front-end and an `apichecker farm` worker travels as one frame:
+//
+//   u32  magic        'FAB1' (0x31424146 little-endian on disk/wire)
+//   u16  version      protocol version (handshake rejects a mismatch)
+//   u16  type         MsgType
+//   u32  payload_len  bytes of payload that follow (bounded, hostile-safe)
+//   ...  payload
+//   u32  crc          CRC-32 (util::Crc32) of version|type|payload_len|payload
+//
+// The codec is hostile-input safe in the same way the ZIP reader is: a
+// truncated header, an oversized declared length, a bad magic, a CRC
+// mismatch, or a version mismatch is a typed decode failure — the peer that
+// sent it gets disconnected and counted, never crashed on. The CRC covers
+// the header fields after the magic so a frame whose length field was
+// corrupted in flight cannot smuggle a valid-looking payload.
+
+#ifndef APICHECKER_FABRIC_WIRE_H_
+#define APICHECKER_FABRIC_WIRE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace apichecker::fabric {
+
+inline constexpr uint32_t kFrameMagic = 0x31424146u;  // "FAB1"
+inline constexpr uint16_t kProtocolVersion = 1;
+// Frame header bytes before the payload (magic + version + type + len).
+inline constexpr size_t kFrameHeaderBytes = 12;
+inline constexpr size_t kFrameTrailerBytes = 4;  // CRC.
+// Upper bound on one payload: a corrupt or malicious length field must not
+// drive a huge allocation. Batches of market-sized APKs fit comfortably.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+enum class MsgType : uint16_t {
+  kHello = 1,        // Client -> worker: open a channel (rpc or heartbeat).
+  kHelloAck = 2,     // Worker -> client: channel accepted.
+  kPing = 3,         // Heartbeat probe (client -> worker).
+  kPong = 4,         // Heartbeat echo (worker -> client).
+  kSetModel = 5,     // Ship the serving model blob to the worker.
+  kSetModelAck = 6,  // Model restored; tracked hook set derived.
+  kRunBatch = 7,     // Execute a batch of APKs.
+  kBatchResult = 8,  // Emulation reports for a kRunBatch.
+  kError = 9,        // Application-level failure (string payload).
+};
+
+const char* MsgTypeName(MsgType type);
+
+struct Frame {
+  uint16_t version = kProtocolVersion;
+  MsgType type = MsgType::kError;
+  std::vector<uint8_t> payload;
+};
+
+// Serializes one frame (header + payload + CRC).
+std::vector<uint8_t> EncodeFrame(MsgType type, std::span<const uint8_t> payload);
+
+// Typed decode failure, used both as the disconnect reason and as the `kind`
+// label on apichecker_fabric_protocol_errors_total.
+enum class DecodeStatus : uint8_t {
+  kOk = 0,
+  kTruncated = 1,     // Fewer bytes than the header + declared payload + CRC.
+  kBadMagic = 2,
+  kBadVersion = 3,    // Protocol version this build does not speak.
+  kOversized = 4,     // Declared payload length exceeds kMaxFramePayload.
+  kCrcMismatch = 5,
+};
+
+const char* DecodeStatusName(DecodeStatus status);
+
+struct DecodeResult {
+  DecodeStatus status = DecodeStatus::kTruncated;
+  Frame frame;          // Valid only when status == kOk.
+  size_t consumed = 0;  // Bytes the frame occupied when status == kOk.
+};
+
+// Decodes the frame at the front of `bytes`. kTruncated means "not enough
+// bytes yet" for a streaming caller — over a blocking socket it means the
+// peer died mid-frame.
+DecodeResult DecodeFrame(std::span<const uint8_t> bytes);
+
+// Increments apichecker_fabric_protocol_errors_total and its kind-labeled
+// variant; every decode-failure path funnels through here so the counter and
+// the disconnect policy cannot drift apart.
+void CountProtocolError(DecodeStatus status);
+
+}  // namespace apichecker::fabric
+
+#endif  // APICHECKER_FABRIC_WIRE_H_

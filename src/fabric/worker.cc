@@ -1,0 +1,225 @@
+#include "fabric/worker.h"
+
+#include <unistd.h>
+
+#include <optional>
+#include <utility>
+
+#include "apk/apk.h"
+#include "core/checker.h"
+#include "core/model_store.h"
+#include "fabric/backend.h"
+#include "fabric/messages.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/strings.h"
+
+namespace apichecker::fabric {
+
+FarmWorker::FarmWorker(const android::ApiUniverse& universe, FarmWorkerConfig config)
+    : universe_(universe),
+      config_(std::move(config)),
+      farm_(universe, config_.farm),
+      universe_checksum_(UniverseChecksum(universe)) {}
+
+FarmWorker::~FarmWorker() { Stop(); }
+
+util::Result<Endpoint> FarmWorker::Start() {
+  auto endpoint = ParseEndpoint(config_.endpoint);
+  if (!endpoint.ok()) return util::Err(endpoint.error());
+  auto listener = Listener::Bind(*endpoint);
+  if (!listener.ok()) return util::Err(listener.error());
+  listener_ = std::move(*listener);
+  bound_endpoint_ = listener_.bound_endpoint();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return bound_endpoint_;
+}
+
+void FarmWorker::Stop() {
+  bool expected = false;
+  if (!stopping_.compare_exchange_strong(expected, true)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_.Close();  // Unblocks the accept thread.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->socket.ShutdownBoth();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    stopped_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
+void FarmWorker::Wait() {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  wait_cv_.wait(lock, [this] { return stopped_; });
+}
+
+void FarmWorker::ReapLocked() {
+  std::erase_if(conns_, [](const std::unique_ptr<Connection>& conn) {
+    if (conn->done.load(std::memory_order_acquire) && conn->thread.joinable()) {
+      conn->thread.join();
+      return true;
+    }
+    return false;
+  });
+}
+
+void FarmWorker::AcceptLoop() {
+  while (!stopping_.load()) {
+    auto socket = listener_.Accept();
+    if (!socket.ok()) {
+      if (stopping_.load()) return;
+      // Transient accept failure (e.g. EMFILE); keep serving.
+      continue;
+    }
+    connections_accepted_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Default()
+        .counter(obs::names::kFabricWorkerConnectionsTotal)
+        .Increment();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapLocked();
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->socket = std::move(*socket);
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] {
+      ServeConnection(raw);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void FarmWorker::ServeConnection(Connection* conn) {
+  Socket& socket = conn->socket;
+  auto& registry = obs::MetricsRegistry::Default();
+  // Handshake first: anything else on a fresh connection is a protocol error.
+  auto hello_frame = socket.RecvFrame();
+  if (!hello_frame.ok() || hello_frame->type != MsgType::kHello) {
+    return;  // RecvFrame already counted any protocol error.
+  }
+  auto hello = DecodeHello(hello_frame->payload);
+  if (!hello.ok()) return;
+  if (hello->universe_checksum != universe_checksum_) {
+    registry.counter(obs::names::kFabricHandshakeFailuresTotal).Increment();
+    ErrorMsg err{util::StrFormat("universe mismatch: worker %016llx, client %016llx",
+                                 static_cast<unsigned long long>(universe_checksum_),
+                                 static_cast<unsigned long long>(hello->universe_checksum))};
+    (void)socket.SendFrame(MsgType::kError, EncodeError(err));
+    return;
+  }
+  HelloAck ack;
+  ack.worker_id = config_.worker_id;
+  ack.pid = static_cast<uint32_t>(::getpid());
+  ack.universe_checksum = universe_checksum_;
+  if (!socket.SendFrame(MsgType::kHelloAck, EncodeHelloAck(ack)).ok()) return;
+
+  // Per-connection serving model: shipped by the client, versioned so
+  // re-sends only happen on model evolution or reconnect.
+  std::optional<core::ApiChecker> checker;
+  emu::TrackedApiSet tracked;
+  uint32_t model_version = UINT32_MAX;
+
+  while (!stopping_.load()) {
+    auto frame = socket.RecvFrame();
+    if (!frame.ok()) return;  // Disconnect (EOF, timeout, or protocol error).
+    switch (frame->type) {
+      case MsgType::kPing: {
+        auto ping = DecodePing(frame->payload);
+        if (!ping.ok()) return;
+        if (!socket.SendFrame(MsgType::kPong, EncodePing(*ping)).ok()) return;
+        break;
+      }
+      case MsgType::kSetModel: {
+        auto set_model = DecodeSetModel(frame->payload);
+        if (!set_model.ok()) return;
+        auto restored = core::DeserializeChecker(universe_, set_model->blob);
+        if (!restored.ok()) {
+          ErrorMsg err{"model restore failed: " + restored.error()};
+          if (!socket.SendFrame(MsgType::kError, EncodeError(err)).ok()) return;
+          break;
+        }
+        checker.emplace(std::move(*restored));
+        tracked = checker->MakeTrackedSet();
+        model_version = set_model->model_version;
+        SetModelAck model_ack;
+        model_ack.model_version = model_version;
+        model_ack.tracked_count = static_cast<uint32_t>(tracked.count());
+        if (!socket.SendFrame(MsgType::kSetModelAck, EncodeSetModelAck(model_ack)).ok()) {
+          return;
+        }
+        break;
+      }
+      case MsgType::kRunBatch: {
+        auto request = DecodeRunBatch(frame->payload);
+        if (!request.ok()) return;
+        if (!checker.has_value() || request->model_version != model_version) {
+          ErrorMsg err{util::StrFormat(
+              "batch for model v%u but worker has %s", request->model_version,
+              checker.has_value() ? util::StrFormat("v%u", model_version).c_str()
+                                  : "no model")};
+          if (!socket.SendFrame(MsgType::kError, EncodeError(err)).ok()) return;
+          break;
+        }
+        // Re-parse every APK through the hostile-hardened container parser —
+        // the wire is no more trusted than a market submission.
+        std::vector<apk::ApkFile> apks;
+        apks.reserve(request->apks.size());
+        std::string parse_error;
+        for (size_t i = 0; i < request->apks.size(); ++i) {
+          auto parsed = apk::ParseApk(request->apks[i]);
+          if (!parsed.ok()) {
+            parse_error = util::StrFormat("apk %zu: %s", i, parsed.error().c_str());
+            break;
+          }
+          apks.push_back(std::move(*parsed));
+        }
+        if (!parse_error.empty()) {
+          ErrorMsg err{"apk parse failed: " + parse_error};
+          if (!socket.SendFrame(MsgType::kError, EncodeError(err)).ok()) return;
+          break;
+        }
+        emu::BatchResult result = farm_.RunBatch(apks, tracked);
+        batches_served_.fetch_add(1, std::memory_order_relaxed);
+        registry.counter(obs::names::kFabricWorkerBatchesTotal).Increment();
+        registry.counter(obs::names::kFabricWorkerAppsTotal).Increment(apks.size());
+        if (!result.farm_fault) {
+          // Worker-side classification: the farm tier sees its own malicious
+          // rate (ops visibility). Verdict persistence stays with the
+          // front-end, which owns the single-writer verdict store.
+          uint64_t malicious = 0;
+          for (const auto& report : result.reports) {
+            if (checker->Classify(report).malicious) ++malicious;
+          }
+          if (malicious > 0) {
+            registry.counter(obs::names::kFabricWorkerMaliciousTotal).Increment(malicious);
+          }
+        }
+        if (!socket.SendFrame(MsgType::kBatchResult, EncodeBatchResult(result)).ok()) {
+          return;
+        }
+        break;
+      }
+      default: {
+        // Unexpected but well-formed frame: tell the peer and drop them.
+        ErrorMsg err{util::StrFormat("unexpected %s frame", MsgTypeName(frame->type))};
+        (void)socket.SendFrame(MsgType::kError, EncodeError(err));
+        return;
+      }
+    }
+  }
+}
+
+}  // namespace apichecker::fabric

@@ -1,0 +1,96 @@
+// FarmWorker: the server side of the fabric — wraps one emu::DeviceFarm plus
+// a per-connection serving model (shipped over the wire by the client) and
+// answers Hello/Ping/SetModel/RunBatch frames. Runs inside the `apichecker
+// farm` CLI subcommand as its own process: the independently restartable
+// emulator-farm tier of the paper's deployment.
+//
+// Error model: any protocol violation on a connection (undecodable frame,
+// bad handshake, unexpected message) disconnects that peer and counts a
+// metric; the worker itself never crashes on hostile input and keeps
+// accepting new connections.
+
+#ifndef APICHECKER_FABRIC_WORKER_H_
+#define APICHECKER_FABRIC_WORKER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "android/api_universe.h"
+#include "emu/farm.h"
+#include "fabric/transport.h"
+#include "util/result.h"
+
+namespace apichecker::fabric {
+
+struct FarmWorkerConfig {
+  std::string endpoint;  // Listen address, "unix:/path" or "tcp:host:port".
+  emu::FarmConfig farm;
+  uint32_t worker_id = 0;
+};
+
+class FarmWorker {
+ public:
+  FarmWorker(const android::ApiUniverse& universe, FarmWorkerConfig config);
+  ~FarmWorker();
+
+  // Binds the endpoint and starts the accept thread. Returns the bound
+  // endpoint (meaningful for tcp:host:0) on success.
+  util::Result<Endpoint> Start();
+
+  // Closes the listener, severs live connections, joins all threads.
+  void Stop();
+
+  // Blocks until Stop() is called (from a signal handler path or another
+  // thread). The CLI subcommand's main thread parks here.
+  void Wait();
+
+  const Endpoint& bound_endpoint() const { return bound_endpoint_; }
+  uint64_t batches_served() const { return batches_served_.load(std::memory_order_relaxed); }
+  uint64_t connections_accepted() const {
+    return connections_accepted_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  // The socket stays in the slot (the serve thread borrows it) so Stop() can
+  // ShutdownBoth() a connection that is blocked mid-read.
+  struct Connection {
+    Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  // Reaps finished connection threads; called with conns_mu_ held.
+  void ReapLocked();
+
+  const android::ApiUniverse& universe_;
+  FarmWorkerConfig config_;
+  emu::DeviceFarm farm_;
+  uint64_t universe_checksum_ = 0;
+
+  Listener listener_;
+  Endpoint bound_endpoint_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  bool stopped_ = false;
+
+  std::atomic<uint64_t> batches_served_{0};
+  std::atomic<uint64_t> connections_accepted_{0};
+};
+
+}  // namespace apichecker::fabric
+
+#endif  // APICHECKER_FABRIC_WORKER_H_

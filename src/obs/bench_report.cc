@@ -58,6 +58,10 @@ std::string BenchReportToJson(const BenchReport& report) {
                          report.baseline_throughput_per_sec);
   out += util::StrFormat("  \"tracing_overhead_pct\": %.2f,\n",
                          report.tracing_overhead_pct);
+  out += util::StrFormat("  \"fabric_throughput_per_sec\": %.1f,\n",
+                         report.fabric_throughput_per_sec);
+  out += util::StrFormat("  \"fabric_dispatch_overhead_pct\": %.2f,\n",
+                         report.fabric_dispatch_overhead_pct);
   out += util::StrFormat("  \"sample_rate\": %.4f,\n", report.sample_rate);
   out += util::StrFormat("  \"traces_completed\": %llu,\n",
                          static_cast<unsigned long long>(report.traces_completed));

@@ -35,6 +35,12 @@ struct BenchReport {
   double baseline_throughput_per_sec = 0.0; // Same workload, tracing off;
                                             // 0 when not measured (CLI runs).
   double tracing_overhead_pct = 0.0;        // (baseline - traced) / baseline.
+  double fabric_throughput_per_sec = 0.0;   // Same workload over the socket
+                                            // fabric (--fabric N); 0 when the
+                                            // fabric pass was not run.
+  double fabric_dispatch_overhead_pct = 0.0;  // (baseline - fabric) / baseline:
+                                              // the cost of cross-process
+                                              // dispatch vs in-process farms.
   double sample_rate = 0.0;
   uint64_t traces_completed = 0;
   double peak_rss_mb = 0.0;

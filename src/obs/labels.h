@@ -51,6 +51,29 @@ inline std::string LabeledSeriesName(std::string_view base, std::string_view key
   return out;
 }
 
+// base{key1="value1",key2="value2"} with both values escaped. Keys must be
+// given in the order the series is always built with — the registry keys by
+// the flat string, so producers that disagree on label order would split one
+// logical series in two.
+inline std::string LabeledSeriesName2(std::string_view base, std::string_view key1,
+                                      std::string_view value1, std::string_view key2,
+                                      std::string_view value2) {
+  std::string out;
+  out.reserve(base.size() + key1.size() + value1.size() + key2.size() +
+              value2.size() + 9);
+  out += base;
+  out += '{';
+  out += key1;
+  out += "=\"";
+  out += EscapeLabelValue(value1);
+  out += "\",";
+  out += key2;
+  out += "=\"";
+  out += EscapeLabelValue(value2);
+  out += "\"}";
+  return out;
+}
+
 }  // namespace apichecker::obs
 
 #endif  // APICHECKER_OBS_LABELS_H_

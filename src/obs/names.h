@@ -150,6 +150,43 @@ inline constexpr char kServeFarmBreakerReprobeTotal[] =
 inline constexpr char kServeFarmMakespanMinutes[] =
     "apichecker_serve_farm_makespan_minutes";
 
+// fabric layer — cross-process farm fabric (framed RPC transport between the
+// vetting front-end and `apichecker farm` worker processes). Counter/byte
+// series exist on both sides; kFabricProtocolErrorsTotal is additionally
+// emitted with a kind label, e.g.
+// apichecker_fabric_protocol_errors_total{kind="crc_mismatch"}.
+inline constexpr char kFabricFramesSentTotal[] = "apichecker_fabric_frames_sent_total";
+inline constexpr char kFabricFramesReceivedTotal[] =
+    "apichecker_fabric_frames_received_total";
+inline constexpr char kFabricBytesSentTotal[] = "apichecker_fabric_bytes_sent_total";
+inline constexpr char kFabricBytesReceivedTotal[] =
+    "apichecker_fabric_bytes_received_total";
+inline constexpr char kFabricProtocolErrorsTotal[] =
+    "apichecker_fabric_protocol_errors_total";
+inline constexpr char kFabricHandshakesTotal[] =
+    "apichecker_fabric_handshakes_total";
+inline constexpr char kFabricHandshakeFailuresTotal[] =
+    "apichecker_fabric_handshake_failures_total";
+inline constexpr char kFabricHeartbeatsTotal[] =
+    "apichecker_fabric_heartbeats_total";
+inline constexpr char kFabricHeartbeatMissesTotal[] =
+    "apichecker_fabric_heartbeat_misses_total";
+inline constexpr char kFabricDisconnectsTotal[] =
+    "apichecker_fabric_disconnects_total";
+inline constexpr char kFabricReconnectsTotal[] =
+    "apichecker_fabric_reconnects_total";
+inline constexpr char kFabricModelSyncsTotal[] =
+    "apichecker_fabric_model_syncs_total";
+inline constexpr char kFabricRpcMs[] = "apichecker_fabric_rpc_ms";
+inline constexpr char kFabricWorkerConnectionsTotal[] =
+    "apichecker_fabric_worker_connections_total";
+inline constexpr char kFabricWorkerBatchesTotal[] =
+    "apichecker_fabric_worker_batches_total";
+inline constexpr char kFabricWorkerAppsTotal[] =
+    "apichecker_fabric_worker_apps_total";
+inline constexpr char kFabricWorkerMaliciousTotal[] =
+    "apichecker_fabric_worker_malicious_total";
+
 // store layer — persistent verdict store (WAL append, fsync, recovery,
 // compaction) and its warm-start handoff into the serve digest cache.
 inline constexpr char kStoreAppendsTotal[] = "apichecker_store_appends_total";
@@ -170,6 +207,17 @@ inline constexpr char kStoreQuarantinedSegmentsTotal[] =
     "apichecker_store_quarantined_segments_total";
 inline constexpr char kStoreWarmStartHitsTotal[] =
     "apichecker_store_warm_start_hits_total";
+// Fleet verdict-segment exchange (VerdictStore::ExportSegments/ImportSegments).
+inline constexpr char kStoreSegmentsExportedTotal[] =
+    "apichecker_store_segments_exported_total";
+inline constexpr char kStoreRecordsExportedTotal[] =
+    "apichecker_store_records_exported_total";
+inline constexpr char kStoreSegmentsImportedTotal[] =
+    "apichecker_store_segments_imported_total";
+inline constexpr char kStoreRecordsImportedTotal[] =
+    "apichecker_store_records_imported_total";
+inline constexpr char kStoreImportSupersededTotal[] =
+    "apichecker_store_import_superseded_total";
 inline constexpr char kStoreSegments[] = "apichecker_store_segments";
 inline constexpr char kStoreLiveRecords[] = "apichecker_store_live_records";
 inline constexpr char kStoreDeadRecords[] = "apichecker_store_dead_records";

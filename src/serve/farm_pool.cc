@@ -42,21 +42,39 @@ std::string FarmSeriesName(const char* base, uint32_t farm_id) {
   return obs::LabeledSeriesName(base, "farm", util::StrFormat("%u", farm_id));
 }
 
+std::string BreakerOpenSeriesName(uint32_t farm_id, const char* reason) {
+  return obs::LabeledSeriesName2(obs::names::kServeFarmBreakerOpenTotal, "farm",
+                                 util::StrFormat("%u", farm_id), "reason", reason);
+}
+
+std::vector<std::unique_ptr<fabric::FarmBackend>> MakeLocalFarmBackends(
+    const android::ApiUniverse& universe, const FarmPoolConfig& config,
+    const emu::FarmConfig& farm_template) {
+  const size_t num_farms = std::max<size_t>(1, config.num_farms);
+  std::vector<std::unique_ptr<fabric::FarmBackend>> backends;
+  backends.reserve(num_farms);
+  for (size_t i = 0; i < num_farms; ++i) {
+    emu::FarmConfig farm_config = farm_template;
+    farm_config.farm_id = static_cast<uint32_t>(i);
+    farm_config.fault_plan = config.fault_plan;
+    backends.push_back(
+        std::make_unique<fabric::LocalFarmBackend>(universe, std::move(farm_config)));
+  }
+  return backends;
+}
+
 FarmPool::FarmPool(const android::ApiUniverse& universe, FarmPoolConfig config,
                    const emu::FarmConfig& farm_template)
-    : config_(config) {
-  const size_t num_farms = std::max<size_t>(1, config_.num_farms);
+    : FarmPool(config, MakeLocalFarmBackends(universe, config, farm_template)) {}
+
+FarmPool::FarmPool(FarmPoolConfig config,
+                   std::vector<std::unique_ptr<fabric::FarmBackend>> backends)
+    : config_(config), backends_(std::move(backends)) {
+  const size_t num_farms = backends_.size();
   config_.num_farms = num_farms;
   config_.max_attempts = std::max<size_t>(1, config_.max_attempts);
   config_.breaker_failure_streak = std::max<size_t>(1, config_.breaker_failure_streak);
 
-  farms_.reserve(num_farms);
-  for (size_t i = 0; i < num_farms; ++i) {
-    emu::FarmConfig farm_config = farm_template;
-    farm_config.farm_id = static_cast<uint32_t>(i);
-    farm_config.fault_plan = config_.fault_plan;
-    farms_.push_back(std::make_unique<emu::DeviceFarm>(universe, farm_config));
-  }
   queues_.resize(num_farms);
   in_flight_.assign(num_farms, 0);
   health_.resize(num_farms);
@@ -68,6 +86,15 @@ FarmPool::FarmPool(const android::ApiUniverse& universe, FarmPoolConfig config,
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
   metrics.gauge(obs::names::kServeFarmPoolSize).Set(static_cast<double>(num_farms));
   metrics.gauge(obs::names::kServeFarmHealthy).Set(static_cast<double>(num_farms));
+
+  // Health listeners before workers: a remote backend may report its first
+  // connection-loss transition the moment its monitor thread starts probing.
+  for (size_t i = 0; i < num_farms; ++i) {
+    backends_[i]->SetHealthListener(
+        [this, i](fabric::FarmBackend::Health health, const std::string& reason) {
+          OnBackendHealth(i, health, reason);
+        });
+  }
 
   workers_.reserve(num_farms);
   for (size_t i = 0; i < num_farms; ++i) {
@@ -87,6 +114,12 @@ void FarmPool::Close() {
     if (worker.joinable()) {
       worker.join();
     }
+  }
+  // Stop backend monitor threads only after the drain: the health listeners
+  // they fire lock mu_, which must outlive them (member order destroys mu_
+  // before backends_). After StopMonitor returns no listener runs again.
+  for (auto& backend : backends_) {
+    backend->StopMonitor();
   }
 }
 
@@ -117,7 +150,7 @@ std::optional<size_t> FarmPool::RouteLocked(const PoolBatch& batch) {
   auto pick = [&](bool probe_pass) -> std::optional<size_t> {
     size_t best_load = std::numeric_limits<size_t>::max();
     std::vector<size_t> candidates;
-    for (size_t i = 0; i < farms_.size(); ++i) {
+    for (size_t i = 0; i < backends_.size(); ++i) {
       if (batch.tried[i]) {
         continue;
       }
@@ -162,6 +195,7 @@ void FarmPool::RecordSuccessLocked(size_t farm_index, const emu::BatchResult& re
   const bool was_unhealthy = h.state != BreakerState::kClosed;
   h.consecutive_failures = 0;
   h.state = BreakerState::kClosed;
+  h.conn_lost = false;  // A completed batch proves the link is up.
   if (was_unhealthy) {
     APICHECKER_SLOG(Info, "serve.farm_pool.breaker_closed")
         .With("farm", farm_stats_[farm_index].farm_id);
@@ -173,7 +207,7 @@ void FarmPool::RecordSuccessLocked(size_t farm_index, const emu::BatchResult& re
   stats.busy_minutes += result.makespan_minutes;
 }
 
-void FarmPool::RecordFaultLocked(size_t farm_index) {
+void FarmPool::RecordFaultLocked(size_t farm_index, bool transport_fault) {
   FarmHealth& h = health_[farm_index];
   FarmStats& stats = farm_stats_[farm_index];
   ++stats.faults;
@@ -190,18 +224,71 @@ void FarmPool::RecordFaultLocked(size_t farm_index) {
                     h.consecutive_failures >= config_.breaker_failure_streak;
   if (reopen || trip) {
     h.state = BreakerState::kOpen;
-    h.open_until = Clock::now() + config_.breaker_cooldown;
+    // While the backend reports the connection lost, the cooldown clock is
+    // meaningless — only a reconnect (OnBackendHealth kRestored) re-arms the
+    // half-open probe.
+    h.open_until = h.conn_lost ? Clock::time_point::max()
+                               : Clock::now() + config_.breaker_cooldown;
     ++h.breaker_opens;
     ++stats.breaker_opens;
+    const char* reason = transport_fault ? "connection_loss" : "fault";
+    if (transport_fault) {
+      ++stats.breaker_opens_conn;
+    } else {
+      ++stats.breaker_opens_fault;
+    }
     metrics.counter(obs::names::kServeFarmBreakerOpenTotal).Increment();
     metrics
         .counter(FarmSeriesName(obs::names::kServeFarmBreakerOpenTotal, stats.farm_id))
         .Increment();
+    metrics.counter(BreakerOpenSeriesName(stats.farm_id, reason)).Increment();
     APICHECKER_SLOG(Warning, "serve.farm_pool.breaker_open")
         .With("farm", stats.farm_id)
         .With("streak", h.consecutive_failures)
+        .With("reason", reason)
         .With("reprobe", reopen);
     PublishHealthGaugeLocked();
+  }
+}
+
+void FarmPool::OnBackendHealth(size_t farm_index, fabric::FarmBackend::Health health,
+                               const std::string& reason) {
+  std::lock_guard<std::mutex> lock(mu_);
+  FarmHealth& h = health_[farm_index];
+  FarmStats& stats = farm_stats_[farm_index];
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  if (health == fabric::FarmBackend::Health::kLost) {
+    if (!h.conn_lost) {
+      h.conn_lost = true;
+      ++h.breaker_opens;
+      ++stats.breaker_opens;
+      ++stats.breaker_opens_conn;
+      metrics.counter(obs::names::kServeFarmBreakerOpenTotal).Increment();
+      metrics
+          .counter(
+              FarmSeriesName(obs::names::kServeFarmBreakerOpenTotal, stats.farm_id))
+          .Increment();
+      metrics.counter(BreakerOpenSeriesName(stats.farm_id, "connection_loss"))
+          .Increment();
+      APICHECKER_SLOG(Warning, "serve.farm_pool.conn_lost")
+          .With("farm", stats.farm_id)
+          .With("reason", reason);
+    }
+    // Force-open: no cooldown while the link is down.
+    h.state = BreakerState::kOpen;
+    h.open_until = Clock::time_point::max();
+    h.consecutive_failures = 0;
+    PublishHealthGaugeLocked();
+  } else {
+    h.conn_lost = false;
+    if (h.state == BreakerState::kOpen) {
+      // Probe-eligible immediately: the next routed batch is the half-open
+      // probe that decides whether the reconnected worker re-enters service.
+      h.open_until = Clock::now();
+    }
+    APICHECKER_SLOG(Info, "serve.farm_pool.conn_restored")
+        .With("farm", stats.farm_id)
+        .With("reason", reason);
   }
 }
 
@@ -249,7 +336,7 @@ bool FarmPool::Submit(std::vector<ingest::ApkBlob> blobs,
   batch->total_items = batch->blobs.size();
   batch->snapshot = std::move(snapshot);
   batch->affinity = affinity;
-  batch->tried.assign(farms_.size(), 0);
+  batch->tried.assign(backends_.size(), 0);
   batch->on_complete = std::move(on_complete);
   batch->on_reject = std::move(on_reject);
   batch->on_parse_error = std::move(on_parse_error);
@@ -332,7 +419,9 @@ void FarmPool::WorkerLoop(size_t farm_index) {
     emu::BatchResult result;
     {
       obs::TraceSpan span("serve.farm_pool.batch");
-      result = farms_[farm_index]->RunBatch(batch->apks, batch->snapshot->tracked);
+      result = backends_[farm_index]->ExecuteBatch(
+          batch->apks, batch->snapshot->version, batch->snapshot->checker,
+          batch->snapshot->tracked);
     }
 
     // Per-attempt farm span, recorded BEFORE any completion callback can seal
@@ -354,6 +443,25 @@ void FarmPool::WorkerLoop(size_t farm_index) {
       for (size_t idx : batch->emulated) {
         if (idx < batch->traces.size() && batch->traces[idx].sampled()) {
           collector.Record(batch->traces[idx].trace_id, span);
+        }
+      }
+      // Remote attempts additionally record the wire time as a sibling span:
+      // same stage (the breakdown partition is untouched), rpc-prefixed
+      // label, so a trace shows how much of a farm attempt was socket + model
+      // sync + remote execution vs local parse/dispatch overhead.
+      const double rpc_ms = backends_[farm_index]->last_rpc_ms();
+      if (rpc_ms > 0.0 && !result.farm_fault) {
+        obs::StageSpan rpc_span;
+        rpc_span.stage = obs::stages::kFarm;
+        rpc_span.label =
+            util::StrFormat("rpc farm=%u", farm_stats_[farm_index].farm_id);
+        rpc_span.start_ms = span.start_ms;
+        rpc_span.duration_ms = rpc_ms;
+        rpc_span.queue_depth = depth_at_entry;
+        for (size_t idx : batch->emulated) {
+          if (idx < batch->traces.size() && batch->traces[idx].sampled()) {
+            collector.Record(batch->traces[idx].trace_id, rpc_span);
+          }
         }
       }
     }
@@ -386,8 +494,9 @@ void FarmPool::WorkerLoop(size_t farm_index) {
     // has not tried, bounded by max_attempts; otherwise reject visibly.
     APICHECKER_SLOG(Warning, "serve.farm_pool.fault")
         .With("farm", farm_stats_[farm_index].farm_id)
+        .With("transport", result.transport_fault)
         .With("reason", result.fault_reason);
-    RecordFaultLocked(farm_index);
+    RecordFaultLocked(farm_index, result.transport_fault);
     batch->tried[farm_index] = 1;
     ++batch->attempts;
 
@@ -435,6 +544,7 @@ FarmPoolStats FarmPool::stats() const {
   stats.farms = farm_stats_;
   for (size_t i = 0; i < stats.farms.size(); ++i) {
     stats.farms[i].breaker = health_[i].state;
+    stats.farms[i].conn_lost = health_[i].conn_lost;
   }
   stats.batches_routed = routed_;
   stats.faults = faults_;

@@ -35,6 +35,7 @@
 
 #include "apk/apk.h"
 #include "emu/farm.h"
+#include "fabric/backend.h"
 #include "ingest/apk_blob.h"
 #include "serve/serving_model.h"
 #include "serve/types.h"
@@ -72,7 +73,12 @@ struct FarmStats {
   uint64_t faults = 0;              // Farm-level faults observed here.
   uint64_t retries_absorbed = 0;    // Batches completed here after faulting elsewhere.
   uint64_t breaker_opens = 0;
+  // breaker_opens split by cause: emulation-level faults vs fabric
+  // connection loss / missed heartbeats. Sums to breaker_opens.
+  uint64_t breaker_opens_fault = 0;
+  uint64_t breaker_opens_conn = 0;
   BreakerState breaker = BreakerState::kClosed;
+  bool conn_lost = false;           // Remote backend currently disconnected.
   double busy_minutes = 0.0;        // Sum of simulated batch makespans.
 };
 
@@ -88,6 +94,20 @@ struct FarmPoolStats {
 // Per-farm metric series name with an embedded Prometheus label, e.g.
 // apichecker_serve_farm_batches_routed_total{farm="2"}.
 std::string FarmSeriesName(const char* base, uint32_t farm_id);
+
+// Breaker-open series with both the farm and the open's cause, e.g.
+// apichecker_serve_farm_breaker_open_total{farm="2",reason="connection_loss"}.
+// Reasons: "fault" (emulation-level farm fault streak / failed probe) and
+// "connection_loss" (fabric transport: heartbeat miss, EOF, connect failure).
+std::string BreakerOpenSeriesName(uint32_t farm_id, const char* reason);
+
+// The in-process backend set the universe-based FarmPool constructor uses:
+// num_farms LocalFarmBackends with the pool's fault plan attached. Exposed so
+// callers composing mixed fleets (VettingService with fabric endpoints) reuse
+// the same normalization.
+std::vector<std::unique_ptr<fabric::FarmBackend>> MakeLocalFarmBackends(
+    const android::ApiUniverse& universe, const FarmPoolConfig& config,
+    const emu::FarmConfig& farm_template);
 
 class FarmPool {
  public:
@@ -111,9 +131,17 @@ class FarmPool {
       std::function<void(size_t index, const std::string& error)>;
 
   // `farm_template` is cloned per farm with farm_id = 0..num_farms-1 and the
-  // pool's fault plan attached. Workers start immediately.
+  // pool's fault plan attached; every farm runs in-process (LocalFarmBackend).
+  // Workers start immediately.
   FarmPool(const android::ApiUniverse& universe, FarmPoolConfig config,
            const emu::FarmConfig& farm_template);
+
+  // Generalized form: one dispatch thread per backend, local and remote
+  // freely mixed. Remote backends report connection-health transitions that
+  // drive the breaker directly (force-open on loss, probe-eligible on
+  // reconnect). config.num_farms is overridden by backends.size().
+  FarmPool(FarmPoolConfig config,
+           std::vector<std::unique_ptr<fabric::FarmBackend>> backends);
   ~FarmPool();
 
   FarmPool(const FarmPool&) = delete;
@@ -135,7 +163,7 @@ class FarmPool {
   // joins the workers. Idempotent; the destructor calls it.
   void Close();
 
-  size_t num_farms() const { return farms_.size(); }
+  size_t num_farms() const { return backends_.size(); }
   FarmPoolStats stats() const;
   size_t healthy_farms() const;
 
@@ -165,6 +193,10 @@ class FarmPool {
     size_t consecutive_failures = 0;
     Clock::time_point open_until{};
     uint64_t breaker_opens = 0;
+    // Set while the backend reports its connection lost. Pins open_until at
+    // time_point::max() so the breaker never half-open-probes a dead link;
+    // reconnect clears it and makes the breaker probe-eligible immediately.
+    bool conn_lost = false;
   };
 
   void WorkerLoop(size_t farm_index);
@@ -176,12 +208,17 @@ class FarmPool {
   std::optional<size_t> RouteLocked(const PoolBatch& batch);
   void RecordSuccessLocked(size_t farm_index, const emu::BatchResult& result,
                            bool was_retry);
-  void RecordFaultLocked(size_t farm_index);
+  void RecordFaultLocked(size_t farm_index, bool transport_fault);
   size_t HealthyFarmsLocked() const;
   void PublishHealthGaugeLocked() const;
+  // Breaker hook for backend connection-health transitions; called from
+  // backend monitor threads (and from a dispatch thread when an rpc fails)
+  // until Close() stops the monitors.
+  void OnBackendHealth(size_t farm_index, fabric::FarmBackend::Health health,
+                       const std::string& reason);
 
   FarmPoolConfig config_;
-  std::vector<std::unique_ptr<emu::DeviceFarm>> farms_;
+  std::vector<std::unique_ptr<fabric::FarmBackend>> backends_;
 
   mutable std::mutex mu_;
   std::condition_variable cv_;

@@ -36,6 +36,24 @@ std::unique_ptr<store::VerdictStore> OpenStoreOrNull(const ServiceConfig& config
   return std::move(*opened);
 }
 
+// Local farms by default; one RemoteFarmClient per fabric endpoint when the
+// service is fronting a multi-process fleet.
+std::vector<std::unique_ptr<fabric::FarmBackend>> MakeBackends(
+    const android::ApiUniverse& universe, const ServiceConfig& config) {
+  if (config.fabric_endpoints.empty()) {
+    return MakeLocalFarmBackends(universe, config.pool, config.farm);
+  }
+  std::vector<std::unique_ptr<fabric::FarmBackend>> backends;
+  backends.reserve(config.fabric_endpoints.size());
+  for (size_t i = 0; i < config.fabric_endpoints.size(); ++i) {
+    fabric::RemoteClientConfig remote = config.fabric_client;
+    remote.endpoint = config.fabric_endpoints[i];
+    remote.farm_id = static_cast<uint32_t>(i);
+    backends.push_back(std::make_unique<fabric::RemoteFarmClient>(universe, remote));
+  }
+  return backends;
+}
+
 }  // namespace
 
 VettingService::VettingService(const android::ApiUniverse& universe,
@@ -45,7 +63,7 @@ VettingService::VettingService(const android::ApiUniverse& universe,
       cache_(config.cache_capacity),
       store_(OpenStoreOrNull(config)),
       model_(std::move(initial_model)),
-      pool_(universe, config.pool, config.farm),
+      pool_(config.pool, MakeBackends(universe, config)),
       shards_(config.num_shards, config.shard_capacity),
       scheduler_(ResolveSchedulerConfig(config), shards_, cache_, model_, pool_,
                  counters_, store_.get()) {

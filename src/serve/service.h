@@ -26,6 +26,7 @@
 
 #include "core/checker.h"
 #include "emu/farm.h"
+#include "fabric/remote_client.h"
 #include "market/model_registry.h"
 #include "serve/batch_scheduler.h"
 #include "serve/digest_cache.h"
@@ -59,6 +60,15 @@ struct ServiceConfig {
   // Implemented as deterministic 1-in-N on the submission id, so sampled
   // traffic is reproducible run to run.
   double trace_sample_rate = 0.0;
+  // Farm fabric: when non-empty, the pool dispatches to one `apichecker farm`
+  // worker process per endpoint (RemoteFarmClient) instead of in-process
+  // farms; pool.num_farms is overridden by the endpoint count. The paper's
+  // actual deployment shape — front-end and emulator tier as separate,
+  // independently restartable processes.
+  std::vector<std::string> fabric_endpoints;
+  // Template for every remote client (endpoint and farm_id are assigned per
+  // entry above).
+  fabric::RemoteClientConfig fabric_client;
 };
 
 class VettingService {

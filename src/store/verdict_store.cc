@@ -546,6 +546,178 @@ util::Result<bool> VerdictStore::CompactLocked() {
   return true;
 }
 
+util::Result<SegmentExchangeOutcome> VerdictStore::ExportSegments(
+    const std::string& dest_dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) {
+    return util::Err("store is dead after an injected crash; reopen to recover");
+  }
+  if (dest_dir.empty() || fs::path(dest_dir).lexically_normal() ==
+                              fs::path(config_.dir).lexically_normal()) {
+    return util::Err("export destination must be a different directory");
+  }
+  std::error_code ec;
+  fs::create_directories(dest_dir, ec);
+  if (ec) {
+    return util::Err(util::StrFormat("cannot create export dir %s: %s",
+                                     dest_dir.c_str(), ec.message().c_str()));
+  }
+
+  // Seal the active segment so the export covers every durable record; an
+  // empty active is left in place (nothing to copy, no empty-file churn).
+  if (active_records_ > 0) {
+    auto sealed = SealActiveLocked();
+    auto opened = OpenActiveSegmentLocked();
+    if (!opened.ok()) {
+      failed_ = true;
+      return util::Err(opened.error());
+    }
+    if (!sealed.ok()) {
+      return util::Err(sealed.error());
+    }
+  } else {
+    auto synced = FsyncActiveLocked();
+    if (!synced.ok()) {
+      return util::Err(synced.error());
+    }
+  }
+
+  SegmentExchangeOutcome outcome;
+  for (uint64_t id : sealed_segments_) {
+    const std::string src = SegmentPath(id);
+    const fs::path dst = fs::path(dest_dir) / fs::path(src).filename();
+    fs::copy_file(src, dst, fs::copy_options::overwrite_existing, ec);
+    if (ec) {
+      return util::Err(util::StrFormat("cannot copy %s to %s: %s", src.c_str(),
+                                       dst.c_str(), ec.message().c_str()));
+    }
+    ++outcome.segments;
+  }
+  FsyncDir(dest_dir);
+  // After the seal above the active segment is empty, so every frame on disk
+  // lives in the sealed set that was just copied.
+  outcome.records = records_on_disk_;
+
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+  metrics.counter(obs::names::kStoreSegmentsExportedTotal)
+      .Increment(outcome.segments);
+  metrics.counter(obs::names::kStoreRecordsExportedTotal)
+      .Increment(outcome.records);
+  PublishGaugesLocked();
+  APICHECKER_SLOG(Info, "store.exported")
+      .With("segments", static_cast<uint64_t>(outcome.segments))
+      .With("records", outcome.records)
+      .With("dest", dest_dir);
+  return outcome;
+}
+
+util::Result<SegmentExchangeOutcome> VerdictStore::ImportSegments(
+    const std::string& src_dir) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) {
+    return util::Err("store is dead after an injected crash; reopen to recover");
+  }
+  if (src_dir.empty() || fs::path(src_dir).lexically_normal() ==
+                             fs::path(config_.dir).lexically_normal()) {
+    return util::Err("import source must be a different directory");
+  }
+  obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
+
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  std::error_code ec;
+  for (const fs::directory_entry& entry : fs::directory_iterator(src_dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    const auto id = SegmentIdFromName(name);
+    if (id && entry.path().extension() == ".wal") {
+      segments.emplace_back(*id, entry.path().string());
+    }
+  }
+  if (ec) {
+    return util::Err(util::StrFormat("cannot scan import dir %s: %s",
+                                     src_dir.c_str(), ec.message().c_str()));
+  }
+  std::sort(segments.begin(), segments.end());
+
+  SegmentExchangeOutcome outcome;
+  for (const auto& [id, path] : segments) {
+    auto bytes = ReadFileBytes(path);
+    if (!bytes.ok()) {
+      return util::Err(bytes.error());
+    }
+    SegmentScan scan = ScanSegment(*bytes);
+    if (!scan.clean) {
+      // Exported segments are sealed-and-fsynced copies, so a dirty scan
+      // means the transfer (or the source) corrupted the file. Import what
+      // scanned clean from OTHER files, never a partial file.
+      ++outcome.skipped_unclean;
+      APICHECKER_SLOG(Warning, "store.import.skipped")
+          .With("segment", path)
+          .With("reason", scan.error);
+      continue;
+    }
+    ++outcome.segments;
+    for (VerdictRecord& record : scan.records) {
+      next_seq_ = std::max(next_seq_, record.seq + 1);
+      const auto it = live_.find(record.digest);
+      // Strictly greater: on a seq tie the LOCAL record wins, which is what
+      // makes importing a store's own export (or the same export twice) a
+      // no-op instead of rewriting every record.
+      if (it != live_.end() && record.seq <= it->second.seq) {
+        ++outcome.superseded;
+        continue;
+      }
+      // Append to the local WAL preserving the foreign seq — replay after a
+      // crash re-merges to the same state. Bypasses Append(), which would
+      // re-stamp seq and run fault injection meant for the serve path.
+      const std::vector<uint8_t> frame = EncodeRecord(record);
+      auto written = WriteAll(active_fd_, frame);
+      if (!written.ok()) {
+        ++append_errors_;
+        metrics.counter(obs::names::kStoreAppendErrorsTotal).Increment();
+        (void)::ftruncate(active_fd_, static_cast<off_t>(active_bytes_));
+        (void)::lseek(active_fd_, 0, SEEK_END);
+        return util::Err(written.error());
+      }
+      active_bytes_ += frame.size();
+      ++active_records_;
+      ++records_on_disk_;
+      ++unsynced_records_;
+      ++outcome.records;
+      ApplyLocked(std::move(record));
+      if (active_bytes_ >= config_.segment_max_bytes) {
+        auto sealed = SealActiveLocked();
+        auto opened = OpenActiveSegmentLocked();
+        if (!opened.ok()) {
+          failed_ = true;
+          return util::Err(opened.error());
+        }
+        if (!sealed.ok()) {
+          return util::Err(sealed.error());
+        }
+      }
+    }
+  }
+
+  auto synced = FsyncActiveLocked();
+  if (!synced.ok()) {
+    return util::Err(synced.error());
+  }
+  metrics.counter(obs::names::kStoreSegmentsImportedTotal)
+      .Increment(outcome.segments);
+  metrics.counter(obs::names::kStoreRecordsImportedTotal)
+      .Increment(outcome.records);
+  metrics.counter(obs::names::kStoreImportSupersededTotal)
+      .Increment(outcome.superseded);
+  PublishGaugesLocked();
+  APICHECKER_SLOG(Info, "store.imported")
+      .With("segments", static_cast<uint64_t>(outcome.segments))
+      .With("records_applied", outcome.records)
+      .With("superseded", outcome.superseded)
+      .With("skipped_unclean", static_cast<uint64_t>(outcome.skipped_unclean))
+      .With("src", src_dir);
+  return outcome;
+}
+
 void VerdictStore::ForEachLive(
     const std::function<void(const VerdictRecord&)>& fn) const {
   std::vector<VerdictRecord> snapshot;

@@ -81,6 +81,18 @@ struct RecoveryOutcome {
   uint64_t bytes_truncated = 0;
 };
 
+// What a segment export or import moved, for stats/tests/CLI reporting.
+struct SegmentExchangeOutcome {
+  size_t segments = 0;         // Files copied (export) or replayed (import).
+  uint64_t records = 0;        // Frames copied (export) or applied (import).
+  uint64_t superseded = 0;     // Import only: foreign records that lost the
+                               // seq last-writer-wins race against a local
+                               // record for the same digest.
+  size_t skipped_unclean = 0;  // Import only: segments whose scan failed
+                               // (skipped with a warning, never partially
+                               //  applied past the first bad frame).
+};
+
 struct StoreStats {
   uint64_t appends = 0;         // Successful appends this process.
   uint64_t append_errors = 0;   // Failed appends (faults included).
@@ -119,6 +131,23 @@ class VerdictStore {
   // Rewrites live records into a new segment and unlinks the sealed segments
   // it replaces. Safe under concurrent Append.
   util::Result<bool> Compact();
+
+  // Verdict-segment exchange: how two stores (e.g. the front-end behind each
+  // fabric deployment) reconcile without sharing a directory.
+  //
+  // ExportSegments seals the active segment (fsynced first) and copies every
+  // sealed segment file into `dest_dir` (created if missing), so the export
+  // is a self-contained, replayable snapshot of everything durable here.
+  // ImportSegments scans `src_dir` for segment-*.wal files and replays their
+  // records through the same seq-LWW rule recovery uses, with one sharpening:
+  // a foreign record is applied only when its digest is absent locally or its
+  // seq is STRICTLY greater than the local record's — ties keep the local
+  // copy, so importing your own export back is a no-op (idempotent). Applied
+  // records keep their foreign seq (next_seq_ advances past them) and are
+  // appended to the local WAL, so the merge itself is durable and crash-safe.
+  // Both reject a dir equal to the store's own.
+  util::Result<SegmentExchangeOutcome> ExportSegments(const std::string& dest_dir);
+  util::Result<SegmentExchangeOutcome> ImportSegments(const std::string& src_dir);
 
   // Visits the live (last-writer-wins) record set. Snapshot semantics: the
   // visit runs over a copy, so callbacks may touch the store.

@@ -431,6 +431,156 @@ TEST(VerdictStore, AutoCompactionTriggersAtRotation) {
   fs::remove_all(dir);
 }
 
+// Two stores that evolved independently assign overlapping seq numbers to
+// different digests (and different verdicts to the same digest). A full
+// round-trip exchange — A's export into B, B's export into A — must converge
+// both live sets, with seq strictly-greater deciding the shared digest and
+// ties keeping the local copy.
+TEST(VerdictStoreExchange, RoundTripWithConflictingSeqsConverges) {
+  const std::string dir_a = ScratchDir();
+  const std::string dir_b = ScratchDir();
+  const std::string export_a = ScratchDir();
+  const std::string export_b = ScratchDir();
+
+  auto store_a = VerdictStore::Open(SmallStoreConfig(dir_a));
+  auto store_b = VerdictStore::Open(SmallStoreConfig(dir_b));
+  ASSERT_TRUE(store_a.ok());
+  ASSERT_TRUE(store_b.ok());
+
+  // A: "shared" at seq 1, "a-only" at seq 2.
+  ASSERT_TRUE((*store_a)->Append(MakeRecord("shared", 1, false, 0.10)).ok());
+  ASSERT_TRUE((*store_a)->Append(MakeRecord("a-only", 1, false, 0.20)).ok());
+  // B: "b-only" at seq 1, then a NEWER "shared" at seq 2 — same seq as A's
+  // "a-only", greater than A's "shared".
+  ASSERT_TRUE((*store_b)->Append(MakeRecord("b-only", 1, false, 0.30)).ok());
+  ASSERT_TRUE((*store_b)->Append(MakeRecord("shared", 2, true, 0.95)).ok());
+
+  auto exported_b = (*store_b)->ExportSegments(export_b);
+  ASSERT_TRUE(exported_b.ok());
+  EXPECT_GE(exported_b->segments, 1u);
+  EXPECT_EQ(exported_b->records, 2u);
+
+  // B -> A: both of B's records are newer or new, so both apply.
+  auto into_a = (*store_a)->ImportSegments(export_b);
+  ASSERT_TRUE(into_a.ok());
+  EXPECT_EQ(into_a->records, 2u);
+  EXPECT_EQ(into_a->superseded, 0u);
+
+  // A -> B (export AFTER the merge, so it carries B's seq-2 "shared" back):
+  // "a-only" applies, "shared" and "b-only" tie on seq and are superseded.
+  auto exported_a = (*store_a)->ExportSegments(export_a);
+  ASSERT_TRUE(exported_a.ok());
+  auto into_b = (*store_b)->ImportSegments(export_a);
+  ASSERT_TRUE(into_b.ok());
+  EXPECT_EQ(into_b->records, 1u);
+  EXPECT_EQ(into_b->superseded, 3u);
+
+  const auto live_a = LiveMap(**store_a);
+  const auto live_b = LiveMap(**store_b);
+  ASSERT_EQ(live_a.size(), 3u);
+  ASSERT_EQ(live_b.size(), 3u);
+  for (const auto& [digest, record] : live_a) {
+    ASSERT_TRUE(live_b.count(digest)) << digest;
+    EXPECT_EQ(live_b.at(digest).seq, record.seq) << digest;
+    EXPECT_EQ(live_b.at(digest).malicious, record.malicious) << digest;
+    EXPECT_EQ(live_b.at(digest).score, record.score) << digest;
+  }
+  // The conflicting digest resolved to B's newer verdict on both sides.
+  EXPECT_TRUE(live_a.at("shared").malicious);
+  EXPECT_EQ(live_a.at("shared").model_version, 2u);
+
+  // The merge is durable: a post-import append must outrank every imported
+  // seq, and replay after reopen converges to the same live set.
+  ASSERT_TRUE((*store_a)->Append(MakeRecord("shared", 3, false, 0.01)).ok());
+  store_a->reset();
+  auto reopened = VerdictStore::Open(SmallStoreConfig(dir_a));
+  ASSERT_TRUE(reopened.ok());
+  const auto live = LiveMap(**reopened);
+  ASSERT_EQ(live.size(), 3u);
+  EXPECT_FALSE(live.at("shared").malicious);
+  EXPECT_EQ(live.at("shared").model_version, 3u);
+
+  for (const auto& dir : {dir_a, dir_b, export_a, export_b}) {
+    fs::remove_all(dir);
+  }
+}
+
+TEST(VerdictStoreExchange, ReimportIsIdempotent) {
+  const std::string dir_a = ScratchDir();
+  const std::string dir_b = ScratchDir();
+  const std::string export_dir = ScratchDir();
+  auto store_a = VerdictStore::Open(SmallStoreConfig(dir_a));
+  auto store_b = VerdictStore::Open(SmallStoreConfig(dir_b));
+  ASSERT_TRUE(store_a.ok());
+  ASSERT_TRUE(store_b.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(
+        (*store_a)
+            ->Append(MakeRecord("digest" + std::to_string(i), 1, false, 0.1))
+            .ok());
+  }
+  ASSERT_TRUE((*store_a)->ExportSegments(export_dir).ok());
+
+  auto first = (*store_b)->ImportSegments(export_dir);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(first->records, 8u);
+  // Same export again: every record ties on seq against the local copy.
+  auto second = (*store_b)->ImportSegments(export_dir);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second->records, 0u);
+  EXPECT_EQ(second->superseded, 8u);
+  EXPECT_EQ((*store_b)->live_size(), 8u);
+
+  // Self-exchange is rejected rather than looping records through itself.
+  EXPECT_FALSE((*store_b)->ImportSegments((*store_b)->config().dir).ok());
+  EXPECT_FALSE((*store_b)->ExportSegments((*store_b)->config().dir).ok());
+
+  for (const auto& dir : {dir_a, dir_b, export_dir}) {
+    fs::remove_all(dir);
+  }
+}
+
+TEST(VerdictStoreExchange, CorruptTransferSegmentSkippedNeverPartiallyApplied) {
+  const std::string dir_a = ScratchDir();
+  const std::string dir_b = ScratchDir();
+  const std::string export_dir = ScratchDir();
+  auto store_a = VerdictStore::Open(SmallStoreConfig(dir_a));
+  auto store_b = VerdictStore::Open(SmallStoreConfig(dir_b));
+  ASSERT_TRUE(store_a.ok());
+  ASSERT_TRUE(store_b.ok());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(
+        (*store_a)
+            ->Append(MakeRecord("digest" + std::to_string(i), 1, false, 0.1))
+            .ok());
+  }
+  ASSERT_TRUE((*store_a)->ExportSegments(export_dir).ok());
+
+  // Flip one byte early in the only transferred segment: the scan fails, and
+  // the importer must skip the file wholesale — applying the records before
+  // the corruption would make the merge order-dependent.
+  std::string segment;
+  for (const auto& entry : fs::directory_iterator(export_dir)) {
+    segment = entry.path().string();
+  }
+  ASSERT_FALSE(segment.empty());
+  {
+    std::fstream f(segment, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekp(10);
+    f.put('\xff');
+  }
+  auto imported = (*store_b)->ImportSegments(export_dir);
+  ASSERT_TRUE(imported.ok());
+  EXPECT_EQ(imported->segments, 0u);
+  EXPECT_EQ(imported->records, 0u);
+  EXPECT_EQ(imported->skipped_unclean, 1u);
+  EXPECT_EQ((*store_b)->live_size(), 0u);
+
+  for (const auto& dir : {dir_a, dir_b, export_dir}) {
+    fs::remove_all(dir);
+  }
+}
+
 TEST(ParseFsyncPolicy, NamesRoundTrip) {
   for (FsyncPolicy policy : {FsyncPolicy::kEveryRecord, FsyncPolicy::kGroupCommit,
                              FsyncPolicy::kOsBuffered}) {

@@ -24,11 +24,18 @@
 
 #include <chrono>
 #include <future>
+#include <thread>
+
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
 
 #include "apk/apk.h"
 #include "core/model_store.h"
 #include "core/study.h"
 #include "emu/farm.h"
+#include "fabric/transport.h"
+#include "fabric/worker.h"
 #include "ingest/apk_blob.h"
 #include "ingest/stream_reader.h"
 #include "market/review_pipeline.h"
@@ -77,6 +84,15 @@ struct CommonFlags {
   double trace_sample = -1.0;  // < 0 = unset.
   bool force = false;
   std::string bench_out;  // BENCH_*.json perf report; empty = no report.
+  // Farm fabric: `serve --fabric N` spawns N `apichecker farm` worker
+  // processes on unix sockets and dispatches batches over the wire;
+  // --fabric-kill-one SIGKILLs one worker mid-trace to demonstrate the
+  // heartbeat-driven breaker + failover path. `farm --listen E` is the
+  // worker side (normally spawned by serve, usable standalone for tcp:).
+  size_t fabric = 0;
+  bool fabric_kill_one = false;
+  std::string listen;
+  uint32_t worker_id = 0;
   std::vector<std::string> positional;
 };
 
@@ -136,6 +152,15 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.trace_sample = std::strtod(next_value("--trace-sample"), nullptr);
     } else if (std::strcmp(argv[i], "--force") == 0) {
       flags.force = true;
+    } else if (std::strcmp(argv[i], "--fabric") == 0) {
+      flags.fabric = std::strtoull(next_value("--fabric"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--fabric-kill-one") == 0) {
+      flags.fabric_kill_one = true;
+    } else if (std::strcmp(argv[i], "--listen") == 0) {
+      flags.listen = next_value("--listen");
+    } else if (std::strcmp(argv[i], "--worker-id") == 0) {
+      flags.worker_id = static_cast<uint32_t>(
+          std::strtoul(next_value("--worker-id"), nullptr, 10));
     } else if (std::strcmp(argv[i], "--bench-out") == 0) {
       flags.bench_out = next_value("--bench-out");
     } else if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
@@ -331,6 +356,89 @@ int CmdVet(const CommonFlags& flags) {
 // fresh corpus submissions mixed with byte-identical resubmissions (digest-
 // cache traffic), a mid-run model hot-swap, and a final accounting check of
 // the no-lost-submissions invariant.
+// `apichecker farm --listen unix:/path` — the worker side of the farm
+// fabric: one DeviceFarm behind a framed-RPC endpoint, normally spawned by
+// `serve --fabric N` but equally usable standalone on tcp: for a real
+// two-machine split. The universe is regenerated from --apis/--seed exactly
+// as serve does, and the fabric handshake's universe checksum rejects a
+// client whose parameters differ.
+int CmdFarm(const CommonFlags& flags) {
+  if (flags.listen.empty()) {
+    std::fprintf(stderr, "farm: --listen unix:/path or tcp:host:port is required\n");
+    return 2;
+  }
+  // Terminate on SIGTERM/SIGINT via sigwait (async-signal-safe shutdown): the
+  // signals are blocked, Start() runs, and the main thread parks until one
+  // arrives, then stops the worker so the socket file is unlinked.
+  sigset_t term_signals;
+  sigemptyset(&term_signals);
+  sigaddset(&term_signals, SIGTERM);
+  sigaddset(&term_signals, SIGINT);
+  pthread_sigmask(SIG_BLOCK, &term_signals, nullptr);
+
+  const android::ApiUniverse universe = MakeUniverse(flags);
+  fabric::FarmWorkerConfig config;
+  config.endpoint = flags.listen;
+  config.worker_id = flags.worker_id;
+  config.farm.engine.kind = emu::EngineKind::kLightweight;
+  config.farm.farm_id = flags.worker_id;
+  config.farm.fault_plan.seed = flags.seed + flags.worker_id;
+  config.farm.fault_plan.fault_rate = flags.fault_rate;
+
+  fabric::FarmWorker worker(universe, config);
+  auto started = worker.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "farm: cannot start: %s\n", started.error().c_str());
+    return 1;
+  }
+  std::printf("farm: worker %u (pid %d) listening on %s\n", flags.worker_id,
+              static_cast<int>(::getpid()), started->ToString().c_str());
+  std::fflush(stdout);
+
+  int signo = 0;
+  sigwait(&term_signals, &signo);
+  worker.Stop();
+  std::printf("farm: worker %u stopping (signal %d) — %llu connections, "
+              "%llu batches served\n",
+              flags.worker_id, signo,
+              static_cast<unsigned long long>(worker.connections_accepted()),
+              static_cast<unsigned long long>(worker.batches_served()));
+  return 0;
+}
+
+// Forks and execs `apichecker farm` (via /proc/self/exe) for one fabric
+// worker. Returns the child pid, or -1 on fork failure.
+pid_t SpawnFarmWorker(const std::string& socket_path, size_t index,
+                      const CommonFlags& flags) {
+  std::vector<std::string> args = {
+      "apichecker",
+      "farm",
+      "--listen",
+      "unix:" + socket_path,
+      "--apis",
+      std::to_string(flags.apis),
+      "--seed",
+      std::to_string(flags.seed),
+      "--worker-id",
+      std::to_string(index),
+      "--fault-rate",
+      std::to_string(flags.fault_rate),
+  };
+  const pid_t pid = ::fork();
+  if (pid != 0) {
+    return pid;
+  }
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (std::string& arg : args) {
+    argv.push_back(arg.data());
+  }
+  argv.push_back(nullptr);
+  ::execv("/proc/self/exe", argv.data());
+  std::fprintf(stderr, "farm: execv failed: %s\n", std::strerror(errno));
+  ::_exit(127);
+}
+
 int CmdServe(const CommonFlags& flags) {
   const android::ApiUniverse universe = MakeUniverse(flags);
   auto checker = core::LoadCheckerFromFile(universe, flags.model_path);
@@ -370,6 +478,62 @@ int CmdServe(const CommonFlags& flags) {
     config.store.fault_plan.short_write_rate = flags.store_fault_rate;
     config.store.fault_plan.fsync_failure_rate = flags.store_fault_rate;
   }
+
+  // --fabric N: the emulator tier becomes N `apichecker farm` child
+  // processes on unix sockets; the pool dispatches over the framed RPC
+  // transport instead of in-process farms. Workers inherit --apis/--seed so
+  // the handshake's universe checksum matches, and --fault-rate so the fault
+  // smoke works identically across local and fabric modes.
+  std::vector<pid_t> fabric_pids;
+  std::string fabric_dir;
+  auto reap_fabric = [&]() {
+    for (pid_t pid : fabric_pids) {
+      ::kill(pid, SIGTERM);
+    }
+    for (pid_t pid : fabric_pids) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    fabric_pids.clear();
+    if (!fabric_dir.empty()) {
+      std::error_code ec;
+      std::filesystem::remove_all(fabric_dir, ec);
+    }
+  };
+  if (flags.fabric > 0) {
+    fabric_dir = (std::filesystem::temp_directory_path() /
+                  ("apichecker_fabric_" + std::to_string(::getpid())))
+                     .string();
+    std::error_code ec;
+    std::filesystem::create_directories(fabric_dir, ec);
+    for (size_t i = 0; i < flags.fabric; ++i) {
+      const std::string socket_path =
+          fabric_dir + "/worker-" + std::to_string(i) + ".sock";
+      const pid_t pid = SpawnFarmWorker(socket_path, i, flags);
+      if (pid < 0) {
+        std::fprintf(stderr, "serve: cannot spawn fabric worker %zu: %s\n", i,
+                     std::strerror(errno));
+        reap_fabric();
+        return 1;
+      }
+      fabric_pids.push_back(pid);
+      config.fabric_endpoints.push_back("unix:" + socket_path);
+    }
+    // Wait for every worker's socket to appear (bind unlinks-then-creates the
+    // file, so existence means the listener is up or a frame away from it;
+    // the client's reconnect loop absorbs any remaining race).
+    const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    for (const std::string& endpoint : config.fabric_endpoints) {
+      const std::string path = endpoint.substr(5);  // Strip "unix:".
+      while (!std::filesystem::exists(path) &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      }
+    }
+    std::printf("serve: fabric — %zu farm worker processes spawned under %s\n",
+                flags.fabric, fabric_dir.c_str());
+  }
+
   serve::VettingService service(universe, config, std::move(*checker));
 
   // Build the trace up front so submission pacing measures the service, not
@@ -447,6 +611,17 @@ int CmdServe(const CommonFlags& flags) {
       } else {
         std::fprintf(stderr, "hot swap failed: %s\n", swapped.error().c_str());
       }
+      // --fabric-kill-one: SIGKILL (not SIGTERM — no goodbye frame, the
+      // heartbeat has to notice) the last worker mid-trace. The breaker must
+      // open on the missed heartbeat and the remaining workers absorb the
+      // rest of the trace; the accepted == resolved invariant below proves no
+      // acknowledged submission was lost to the dead process.
+      if (flags.fabric_kill_one && !fabric_pids.empty()) {
+        const pid_t victim = fabric_pids.back();
+        ::kill(victim, SIGKILL);
+        std::printf("serve: fabric — SIGKILLed worker %zu (pid %d) mid-trace\n",
+                    fabric_pids.size() - 1, static_cast<int>(victim));
+      }
     }
     serve::Submission submission;
     submission.blob = trace[i];
@@ -503,13 +678,47 @@ int CmdServe(const CommonFlags& flags) {
               static_cast<unsigned long long>(pool_stats.rejected_batches),
               pool_stats.healthy_farms, pool_stats.farms.size());
   for (const serve::FarmStats& farm : pool_stats.farms) {
+    // Breaker opens are split by cause: "fault" is the farm itself (emulation
+    // faults tripping the streak or a failed probe), "conn-loss" is the
+    // fabric link (missed heartbeat, EOF, connect failure) — a sick farm and
+    // a severed worker need different operator responses.
     std::printf("serve:   farm %u — %llu batches, %llu faults, %llu retries "
-                "absorbed, %llu breaker opens, busy %.1f min, breaker %s\n",
+                "absorbed, %llu breaker opens (%llu fault, %llu conn-loss), "
+                "busy %.1f min, breaker %s%s\n",
                 farm.farm_id, static_cast<unsigned long long>(farm.batches_completed),
                 static_cast<unsigned long long>(farm.faults),
                 static_cast<unsigned long long>(farm.retries_absorbed),
-                static_cast<unsigned long long>(farm.breaker_opens), farm.busy_minutes,
-                serve::BreakerStateName(farm.breaker));
+                static_cast<unsigned long long>(farm.breaker_opens),
+                static_cast<unsigned long long>(farm.breaker_opens_fault),
+                static_cast<unsigned long long>(farm.breaker_opens_conn),
+                farm.busy_minutes, serve::BreakerStateName(farm.breaker),
+                farm.conn_lost ? " [link down]" : "");
+  }
+  if (flags.fabric > 0) {
+    obs::MetricsRegistry& reg = obs::MetricsRegistry::Default();
+    std::printf("serve: fabric — %llu handshakes (%llu failed), %llu heartbeats "
+                "(%llu missed), %llu disconnects, %llu reconnects, %llu model "
+                "syncs, %llu/%llu frames sent/received, %llu protocol errors\n",
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricHandshakesTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricHandshakeFailuresTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricHeartbeatsTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricHeartbeatMissesTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricDisconnectsTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricReconnectsTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricModelSyncsTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricFramesSentTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricFramesReceivedTotal).value()),
+                static_cast<unsigned long long>(
+                    reg.counter(obs::names::kFabricProtocolErrorsTotal).value()));
   }
   std::printf("serve: model swaps %llu (serving v%u)\n",
               static_cast<unsigned long long>(stats.model_swaps),
@@ -641,6 +850,7 @@ int CmdServe(const CommonFlags& flags) {
       std::printf("serve: bench report written to %s\n", flags.bench_out.c_str());
     }
   }
+  reap_fabric();
   return no_lost && io_ok ? 0 : 1;
 }
 
@@ -682,7 +892,12 @@ void PrintUsage() {
       "              --farms M, --fault-rate P for multi-farm fault injection;\n"
       "              --store-dir D persists verdicts across restarts,\n"
       "              --fsync-policy every|group|buffered, --store-fault-rate P\n"
-      "              injects store short-writes/fsync failures)\n"
+      "              injects store short-writes/fsync failures;\n"
+      "              --fabric N spawns N farm worker processes and dispatches\n"
+      "              over the fabric RPC transport, --fabric-kill-one SIGKILLs\n"
+      "              one mid-trace to exercise heartbeat breakers + failover)\n"
+      "  farm       run one fabric farm worker (--listen unix:/path|tcp:host:port,\n"
+      "              --worker-id N; --apis/--seed must match the serve front end)\n"
       "  market     run the deployment simulation (--months, --apps)\n"
       "common flags: --apis N (default 30000), --seed S (default 42),\n"
       "              --metrics-out FILE (dump metrics JSON; .prom for Prometheus)\n"
@@ -713,6 +928,8 @@ int main(int argc, char** argv) {
   } else if (command == "serve") {
     exit_code = CmdServe(flags);
     PrintStatsSummary();
+  } else if (command == "farm") {
+    exit_code = CmdFarm(flags);
   } else if (command == "market") {
     exit_code = CmdMarket(flags);
     PrintStatsSummary();

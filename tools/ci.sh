@@ -64,6 +64,59 @@ grep -q '"apichecker_emu_farm_injected_faults_total": [1-9]' "$SERVE_TMP/metrics
   echo "missing emu-level injected-fault accounting"; exit 1; }
 echo "fault smoke OK (faults injected, failover retries observed, zero lost)"
 
+echo "=== fabric: cross-process farm smoke (3 workers, one SIGKILLed mid-run) ==="
+# The emulator tier runs as 3 `apichecker farm` child processes behind the
+# fabric RPC transport; one is SIGKILLed mid-trace. The heartbeat-driven
+# breaker must open for the dead worker (reason="connection_loss"), the
+# remaining workers absorb the trace, and no acknowledged submission is lost:
+# accepted == completed + expired + parse_errors + rejected_unhealthy.
+"$ROOT/build/tools/apichecker" serve --apps 160 --apis 8000 --batch 4 \
+  --model "$SERVE_TMP/model.bin" --fabric 3 --fabric-kill-one \
+  --metrics-out "$SERVE_TMP/metrics-fabric.json" > "$SERVE_TMP/fabric-serve.out"
+grep -q "invariant accepted == resolved: OK" "$SERVE_TMP/fabric-serve.out" || {
+  echo "fabric serve lost submissions"; cat "$SERVE_TMP/fabric-serve.out"; exit 1; }
+grep -q "SIGKILLed worker" "$SERVE_TMP/fabric-serve.out" || {
+  echo "fabric smoke never killed a worker"; exit 1; }
+python3 - "$SERVE_TMP/metrics-fabric.json" <<'PYEOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+def count(name):
+    return int(counters.get(name, 0))
+accepted = count("apichecker_serve_accepted_total")
+resolved = (count("apichecker_serve_completed_total")
+            + count("apichecker_serve_deadline_expired_total")
+            + count("apichecker_serve_parse_errors_total")
+            + count("apichecker_serve_farm_rejected_unhealthy_total"))
+if accepted == 0:
+    raise SystemExit("fabric smoke accepted nothing")
+if accepted != resolved:
+    raise SystemExit("lost acknowledged verdicts: accepted %d != resolved %d"
+                     % (accepted, resolved))
+conn_opens = sum(v for k, v in counters.items()
+                 if k.startswith("apichecker_serve_farm_breaker_open_total{")
+                 and 'reason="connection_loss"' in k)
+if conn_opens < 1:
+    raise SystemExit("SIGKILLed worker never opened a connection-loss breaker")
+fault_opens = sum(v for k, v in counters.items()
+                  if k.startswith("apichecker_serve_farm_breaker_open_total{")
+                  and 'reason="fault"' in k)
+for series in ["apichecker_fabric_handshakes_total",
+               "apichecker_fabric_heartbeats_total",
+               "apichecker_fabric_frames_sent_total",
+               "apichecker_fabric_frames_received_total",
+               "apichecker_fabric_model_syncs_total",
+               "apichecker_fabric_disconnects_total"]:
+    if count(series) <= 0:
+        raise SystemExit("fabric metric %s missing or zero" % series)
+print("fabric: %d accepted == %d resolved; breaker opens: %d connection-loss, "
+      "%d fault; %d handshakes, %d heartbeats, %d disconnects"
+      % (accepted, resolved, conn_opens, fault_opens,
+         count("apichecker_fabric_handshakes_total"),
+         count("apichecker_fabric_heartbeats_total"),
+         count("apichecker_fabric_disconnects_total")))
+PYEOF
+echo "fabric smoke OK (worker killed mid-run, breaker opened on connection loss, zero lost)"
+
 echo "=== store: restart smoke (persist, kill, warm start) ==="
 # Run the serve trace twice against the same --store-dir. The second process
 # must recover the first one's verdicts from the WAL and serve warm-start
@@ -211,28 +264,30 @@ PYEOF
 echo "bench smoke OK (two-pass BENCH_serve.json written and schema-valid)"
 
 if [ "$ASAN" = "1" ]; then
-  echo "=== asan: build + run test_obs test_apk test_ingest test_serve test_store test_farm_pool ==="
+  echo "=== asan: build + run test_obs test_apk test_ingest test_serve test_store test_farm_pool test_fabric ==="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
   cmake --build "$ROOT/build-asan" -j --target test_obs test_apk test_ingest \
-    test_serve test_store test_farm_pool
+    test_serve test_store test_farm_pool test_fabric
   "$ROOT/build-asan/tests/test_obs"
   "$ROOT/build-asan/tests/test_apk"
   "$ROOT/build-asan/tests/test_ingest"
   "$ROOT/build-asan/tests/test_serve"
   "$ROOT/build-asan/tests/test_store"
   "$ROOT/build-asan/tests/test_farm_pool"
+  "$ROOT/build-asan/tests/test_fabric" --gtest_filter=-FabricSoak.*
 fi
 
 if [ "$TSAN" = "1" ]; then
   echo "=== tsan: serve races + stress-labelled suites ==="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DAPICHECKER_SANITIZE=thread >/dev/null
   cmake --build "$ROOT/build-tsan" -j --target test_serve test_store test_farm_pool \
-    test_ingest test_obs
+    test_ingest test_obs test_fabric
   "$ROOT/build-tsan/tests/test_serve"
   "$ROOT/build-tsan/tests/test_obs"
   # Stress label = the farm-pool fault suite, the multi-producer serve/store
-  # soaks, and the concurrent blob-release soak (tests/CMakeLists.txt tags
-  # them), i.e. the heaviest concurrency paths.
+  # soaks, the concurrent blob-release soak, and the fabric connect/disconnect
+  # churn soak (tests/CMakeLists.txt tags them), i.e. the heaviest
+  # concurrency paths.
   (cd "$ROOT/build-tsan" && ctest -L stress --output-on-failure)
 fi
 

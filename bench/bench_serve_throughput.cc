@@ -83,7 +83,8 @@ void SubmitSlice(serve::VettingService& service,
       for (size_t i = begin + t; i < end; i += kProducers) {
         serve::Submission submission;
         submission.blob = trace[i];
-        submission.priority = i % 32 == 0 ? 1 : 0;
+        submission.priority = i % 32 == 0 ? serve::Priority::kInteractive
+                                          : serve::Priority::kBulk;
         auto accepted = service.Submit(std::move(submission));
         if (accepted.ok()) {
           per_thread[t].push_back(std::move(*accepted));
@@ -427,7 +428,257 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(rpc.count));
   }
 
+  // -------------------------------------------------------------------------
+  // Pass 4: mixed-priority submission storm (overload control & QoS). Bulk is
+  // offered far beyond service capacity (small per-class lanes + shedding on,
+  // so the governor visibly sheds — proof the offered load exceeded capacity)
+  // while a 1-in-128 interactive trickle rides along under a hard SLO deadline.
+  // The pass holds when:
+  //   1. interactive p99 stays within the SLO (and none expired — each
+  //      interactive submission carries the SLO as a real deadline);
+  //   2. bulk completions stay within 10% of a bulk-only baseline run with
+  //      the identical config, after normalizing for the bulk slots the
+  //      trickle displaced (QoS for the few must not starve the many).
+  //      Completed COUNTS, not per-second rates: at a fixed trace length the
+  //      counts are governor-determined and repeatable, while sub-second
+  //      elapsed times put ±20% scheduler noise into any rate ratio;
+  //   3. the heap blob pool peak stays under the spill watermark — storm
+  //      blobs at/above the spill threshold go to unlinked temp files, so
+  //      the pool gauge BOUNDS resident set instead of tracking the storm.
+  // -------------------------------------------------------------------------
   obs::MetricsRegistry& registry = obs::MetricsRegistry::Default();
+  const double main_peak_blob_pool_mb =
+      static_cast<double>(ingest::ApkBlob::PoolPeakBytes()) / (1024.0 * 1024.0);
+  constexpr double kStormSloMs = 2'000.0;
+  constexpr size_t kStormSpillThreshold = 256 * 1024;      // 256 KB.
+  constexpr uint64_t kStormHeapAllowance = 64ull << 20;    // 64 MB of heap.
+  // Fixed storm length; both passes blast it, so the offered load is
+  // instantaneously far beyond capacity and the governor self-regulates.
+  const size_t storm_size = 2'048;
+
+  const auto prev_spill =
+      ingest::ApkBlob::SetSpillConfig({kStormSpillThreshold, ""});
+
+  std::printf("\n--- pass storm: %zu submissions, spill >= %zu KB, shed on, "
+              "interactive SLO %.0f ms ---\n",
+              storm_size, kStormSpillThreshold / 1024, kStormSloMs);
+
+  // The storm gets its own trace, built AFTER spilling is enabled: every 8th
+  // APK is padded to ~1 MB, so the bulk of the storm's bytes are file-backed
+  // from the start and the heap pool only carries the small tail.
+  std::vector<ingest::ApkBlob> storm_trace;
+  storm_trace.reserve(storm_size);
+  for (size_t i = 0; i < storm_size; ++i) {
+    std::vector<uint8_t> bytes =
+        synth::BuildApkBytes(generator.Next(), context.universe());
+    if (i % 8 == 0) {
+      auto inflated = apk::PadApk(bytes, 1'024 * 1024, args.seed ^ (0x570 + i));
+      if (inflated.ok()) {
+        bytes = std::move(*inflated);
+      }
+    }
+    storm_trace.push_back(make_blob(std::move(bytes)));
+  }
+
+  // Watermark baseline = the pool AFTER the trace is built: the trace's
+  // sub-threshold blobs legitimately sit on the heap for the whole pass (the
+  // trace vector holds them), and their total scales with the synthetic APK
+  // size. What the gate FORBIDS is the padded MB-scale payloads landing on
+  // the heap — a spill regression adds hundreds of MB and blows straight
+  // through the fixed in-flight allowance.
+  const uint64_t pool_after_trace = ingest::ApkBlob::PoolBytes();
+  ingest::ApkBlob::ResetPoolPeakBytes();
+  const double storm_watermark_mb =
+      static_cast<double>(pool_after_trace + kStormHeapAllowance) /
+      (1024.0 * 1024.0);
+  std::printf("storm baseline: %.1f MB heap pool (earlier passes + the "
+              "storm's sub-threshold tail), %.1f MB spilled to unlinked temp "
+              "files\n",
+              static_cast<double>(pool_after_trace) / (1024.0 * 1024.0),
+              static_cast<double>(ingest::ApkBlob::SpilledBytes()) /
+                  (1024.0 * 1024.0));
+
+  auto storm_config = [&]() {
+    serve::ServiceConfig config;
+    config.num_shards = 4;
+    config.shard_capacity = 64;  // Small lanes: the storm MUST overflow them.
+    config.farm.engine.kind = emu::EngineKind::kLightweight;
+    config.scheduler.max_linger = std::chrono::milliseconds(2);
+    config.pool.num_farms = std::max<size_t>(1, farms);
+    config.overload.shed = true;
+    config.overload.class_slo[static_cast<size_t>(
+        serve::Priority::kInteractive)] =
+        std::chrono::milliseconds(static_cast<int64_t>(kStormSloMs));
+    return config;
+  };
+
+  // Submits the storm trace from 4 producer threads; index % 128 == 0 becomes
+  // interactive when `mixed`, everything else is bulk. With offered_per_sec
+  // > 0 the producers pace submissions to that aggregate rate; 0 = blast
+  // (used once to calibrate the storm service's true drain capacity).
+  struct StormOutcome {
+    double elapsed_s = 0.0;
+    uint64_t bulk_completed = 0;
+    uint64_t interactive_expired = 0;
+    uint64_t shed = 0;
+    std::vector<double> interactive_ms;  // Wall latency per interactive verdict.
+    bool lost = false;
+  };
+  auto run_storm = [&](bool mixed, double offered_per_sec) {
+    StormOutcome out;
+    auto restored = core::DeserializeChecker(context.universe(), blob);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "model restore failed: %s\n", restored.error().c_str());
+      std::exit(1);
+    }
+    serve::VettingService service(context.universe(), storm_config(),
+                                  std::move(*restored));
+    constexpr size_t kProducers = 4;
+    std::vector<std::vector<std::pair<serve::Priority,
+                                      std::future<serve::VettingResult>>>>
+        per_thread(kProducers);
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> producers;
+    for (size_t t = 0; t < kProducers; ++t) {
+      producers.emplace_back([&, t] {
+        // Paced offering: submission i goes out at start + i / offered_rate,
+        // spread across the producers, so the overload is a sustained 2x —
+        // the storm shape — not one instantaneous burst.
+        const double interval_s =
+            offered_per_sec > 0 ? 1.0 / offered_per_sec : 0.0;
+        for (size_t i = t; i < storm_trace.size(); i += kProducers) {
+          if (interval_s > 0) {
+            std::this_thread::sleep_until(
+                start +
+                std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                    std::chrono::duration<double>(interval_s *
+                                                  static_cast<double>(i))));
+          }
+          serve::Submission submission;
+          submission.blob = storm_trace[i];
+          // 1/128 interactive trickle: all of it completes (never shed), and
+          // its capacity consumption sits comfortably inside the 10%
+          // bulk-throughput budget asserted below.
+          submission.priority = mixed && i % 128 == 0
+                                    ? serve::Priority::kInteractive
+                                    : serve::Priority::kBulk;
+          const serve::Priority priority = submission.priority;
+          auto accepted = service.Submit(std::move(submission));
+          if (accepted.ok()) {
+            per_thread[t].emplace_back(priority, std::move(*accepted));
+          }
+        }
+      });
+    }
+    for (auto& producer : producers) {
+      producer.join();
+    }
+    for (auto& slice : per_thread) {
+      for (auto& [priority, future] : slice) {
+        const serve::VettingResult result = future.get();
+        if (priority == serve::Priority::kInteractive) {
+          out.interactive_ms.push_back(result.total_ms);
+          out.interactive_expired +=
+              result.status == serve::VetStatus::kDeadlineExpired;
+        } else if (result.status == serve::VetStatus::kOk) {
+          ++out.bulk_completed;
+        }
+      }
+    }
+    out.elapsed_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    service.Shutdown();
+    const serve::ServiceStats stats = service.stats();
+    out.shed = stats.shed_overload;
+    out.lost = stats.accepted != stats.resolved();
+    if (mixed &&
+        stats.shed_by_class[static_cast<size_t>(serve::Priority::kInteractive)] !=
+            0) {
+      std::printf("FAIL: interactive submissions were shed\n");
+      out.lost = true;  // Treat as a storm failure below.
+    }
+    return out;
+  };
+
+  // Both passes blast the whole trace — instantaneous offered load far beyond
+  // any machine's capacity — and the backlog-driven governor self-regulates:
+  // it accepts until the end-to-end backlog crosses the watermarks, sheds
+  // until the hysteresis releases, and cycles. Steady-state bulk completion
+  // is therefore capacity-bound in BOTH passes, which is what makes the
+  // within-10% comparison meaningful.
+  const StormOutcome bulk_only = run_storm(/*mixed=*/false, 0.0);
+  const StormOutcome storm = run_storm(/*mixed=*/true, 0.0);
+  ingest::ApkBlob::SetSpillConfig(prev_spill);
+
+  const double storm_peak_pool_mb =
+      static_cast<double>(ingest::ApkBlob::PoolPeakBytes()) / (1024.0 * 1024.0);
+  std::vector<double> interactive_sorted = storm.interactive_ms;
+  std::sort(interactive_sorted.begin(), interactive_sorted.end());
+  const double interactive_p99 =
+      interactive_sorted.empty()
+          ? 0.0
+          : interactive_sorted[static_cast<size_t>(
+                static_cast<double>(interactive_sorted.size() - 1) * 0.99)];
+  const uint64_t storm_spilled =
+      static_cast<uint64_t>(registry.counter(obs::names::kIngestBlobsSpilledTotal)
+                                .value());
+
+  // The trickle converted 1/128 of the trace from bulk to interactive, so the
+  // mixed pass OFFERED fewer bulk submissions; scale the baseline down by the
+  // same fraction before comparing completions.
+  const size_t storm_interactive_offered = (storm_size + 127) / 128;
+  const double bulk_offered_ratio =
+      static_cast<double>(storm_size - storm_interactive_offered) /
+      static_cast<double>(storm_size);
+  const double bulk_completed_floor =
+      0.90 * bulk_offered_ratio * static_cast<double>(bulk_only.bulk_completed);
+
+  std::printf("storm: interactive p99 %.1f ms over %zu verdicts (SLO %.0f ms, "
+              "%llu expired); bulk completed %llu mixed vs %llu bulk-only "
+              "(floor %.0f); %llu + %llu shed; %llu blobs spilled, heap pool "
+              "peak %.1f MB (watermark %.1f MB)\n",
+              interactive_p99, interactive_sorted.size(), kStormSloMs,
+              static_cast<unsigned long long>(storm.interactive_expired),
+              static_cast<unsigned long long>(storm.bulk_completed),
+              static_cast<unsigned long long>(bulk_only.bulk_completed),
+              bulk_completed_floor,
+              static_cast<unsigned long long>(bulk_only.shed),
+              static_cast<unsigned long long>(storm.shed),
+              static_cast<unsigned long long>(storm_spilled),
+              storm_peak_pool_mb, storm_watermark_mb);
+  if (bulk_only.lost || storm.lost) {
+    std::printf("FAIL: storm lost submissions or shed interactive traffic\n");
+    ok = false;
+  }
+  if (storm.shed == 0 && !args.quick) {
+    std::printf("FAIL: storm never shed — offered load did not exceed capacity\n");
+    ok = false;
+  }
+  if ((interactive_p99 > kStormSloMs || storm.interactive_expired > 0) &&
+      !args.quick) {
+    std::printf("FAIL: interactive p99 %.1f ms blew the %.0f ms SLO under the "
+                "bulk storm\n",
+                interactive_p99, kStormSloMs);
+    ok = false;
+  }
+  if (static_cast<double>(storm.bulk_completed) < bulk_completed_floor &&
+      !args.quick) {
+    std::printf("FAIL: bulk completed %llu under the storm, more than 10%% "
+                "below the offered-normalized bulk-only baseline (floor %.0f "
+                "of %llu)\n",
+                static_cast<unsigned long long>(storm.bulk_completed),
+                bulk_completed_floor,
+                static_cast<unsigned long long>(bulk_only.bulk_completed));
+    ok = false;
+  }
+  if (storm_peak_pool_mb > storm_watermark_mb) {
+    std::printf("FAIL: heap blob pool peaked at %.1f MB, above the %.1f MB "
+                "spill watermark — spilling did not bound residency\n",
+                storm_peak_pool_mb, storm_watermark_mb);
+    ok = false;
+  }
+
   const obs::HistogramSnapshot e2e =
       registry.histogram(obs::names::kServeE2eLatencyMs).Snapshot();
   std::printf("\ne2e latency (both passes): p50 %.1f ms, p99 %.1f ms\n",
@@ -496,8 +747,17 @@ int main(int argc, char** argv) {
     report.sample_rate = sample_rate;
     report.traces_completed = obs::TraceCollector::Default().traces_completed();
     report.peak_rss_mb = obs::PeakRssMb();
-    report.peak_blob_pool_mb =
-        static_cast<double>(ingest::ApkBlob::PoolPeakBytes()) / (1024.0 * 1024.0);
+    // Main-workload pool peak, captured before the storm pass reset the
+    // high-water mark to measure its own bound.
+    report.peak_blob_pool_mb = main_peak_blob_pool_mb;
+    report.storm_interactive_p99_ms = interactive_p99;
+    report.storm_interactive_slo_ms = kStormSloMs;
+    report.storm_bulk_completed = storm.bulk_completed;
+    report.storm_bulk_baseline_completed = bulk_only.bulk_completed;
+    report.storm_bulk_completed_floor = bulk_completed_floor;
+    report.storm_shed_total = storm.shed;
+    report.storm_peak_blob_pool_mb = storm_peak_pool_mb;
+    report.storm_spill_watermark_mb = storm_watermark_mb;
     report.stages["admission"] =
         obs::StageFromHistogram(registry, obs::names::kServeAdmissionLatencyMs);
     report.stages["e2e"] =

@@ -1,9 +1,19 @@
 #include "ingest/apk_blob.h"
 
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <unistd.h>
+
 #include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <utility>
 
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "util/logging.h"
 #include "util/sha1.h"
 
 namespace apichecker::ingest {
@@ -12,6 +22,13 @@ namespace {
 
 std::atomic<uint64_t> g_pool_bytes{0};
 std::atomic<uint64_t> g_pool_peak_bytes{0};
+std::atomic<uint64_t> g_spilled_bytes{0};
+
+// Spill policy + fault hook, guarded by one mutex (consulted per creation).
+std::mutex g_spill_mu;
+ApkBlob::SpillConfig g_spill_config;
+ApkBlob::SpillWriteFaultHook g_spill_fault_hook;
+std::atomic<uint64_t> g_spill_ordinal{0};
 
 void TrackAlloc(size_t bytes) {
   const uint64_t now = g_pool_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
@@ -32,33 +49,152 @@ void TrackFree(size_t bytes) {
       .Set(static_cast<double>(now));
 }
 
+void TrackSpillAlloc(size_t bytes) {
+  const uint64_t now =
+      g_spilled_bytes.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  obs::MetricsRegistry::Default()
+      .gauge(obs::names::kIngestSpilledBlobBytes)
+      .Set(static_cast<double>(now));
+}
+
+void TrackSpillFree(size_t bytes) {
+  const uint64_t now =
+      g_spilled_bytes.fetch_sub(bytes, std::memory_order_relaxed) - bytes;
+  obs::MetricsRegistry::Default()
+      .gauge(obs::names::kIngestSpilledBlobBytes)
+      .Set(static_cast<double>(now));
+}
+
+// Writes `bytes` to an immediately-unlinked temp file under `dir` and maps it
+// read-only. Returns the mapping, or nullptr on any failure (caller falls
+// back to the heap — a storm must degrade to the old behavior, not drop the
+// payload).
+const uint8_t* SpillToDisk(const std::vector<uint8_t>& bytes,
+                           const std::string& dir) {
+  const uint64_t ordinal = g_spill_ordinal.fetch_add(1, std::memory_order_relaxed) + 1;
+  {
+    ApkBlob::SpillWriteFaultHook hook;
+    {
+      std::lock_guard<std::mutex> lock(g_spill_mu);
+      hook = g_spill_fault_hook;
+    }
+    if (hook && hook(ordinal)) {
+      errno = EIO;
+      return nullptr;  // Injected temp-file write fault.
+    }
+  }
+
+  std::string path = (dir.empty() ? std::string("/tmp") : dir) +
+                     "/apichecker-spill-XXXXXX";
+  const int fd = ::mkstemp(path.data());
+  if (fd < 0) {
+    return nullptr;
+  }
+  // Unlink first: the file is anonymous from here on — no cleanup to leak on
+  // crash, the pages die with the last mapping.
+  ::unlink(path.c_str());
+
+  size_t written = 0;
+  while (written < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + written, bytes.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      ::close(fd);
+      return nullptr;
+    }
+    written += static_cast<size_t>(n);
+  }
+
+  void* map = ::mmap(nullptr, bytes.size(), PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // The mapping keeps the (unlinked) file alive.
+  if (map == MAP_FAILED) {
+    return nullptr;
+  }
+  return static_cast<const uint8_t*>(map);
+}
+
 }  // namespace
 
 struct ApkBlob::Rep {
-  std::vector<uint8_t> bytes;
+  // Exactly one of the two storage modes holds the payload: `heap` (empty
+  // when spilled) or `map`/`map_len` (mmap of an unlinked temp file).
+  std::vector<uint8_t> heap;
+  const uint8_t* map = nullptr;
+  size_t map_len = 0;
   std::string digest;
 
+  // Heap-resident payload.
   Rep(std::vector<uint8_t> b, std::string d)
-      : bytes(std::move(b)), digest(std::move(d)) {
-    TrackAlloc(bytes.size());
+      : heap(std::move(b)), digest(std::move(d)) {
+    TrackAlloc(heap.size());
   }
-  ~Rep() { TrackFree(bytes.size()); }
+
+  // Spilled payload (takes ownership of the mapping).
+  Rep(const uint8_t* m, size_t len, std::string d)
+      : map(m), map_len(len), digest(std::move(d)) {
+    TrackSpillAlloc(map_len);
+  }
+
+  ~Rep() {
+    if (map != nullptr) {
+      ::munmap(const_cast<uint8_t*>(map), map_len);
+      TrackSpillFree(map_len);
+    } else {
+      TrackFree(heap.size());
+    }
+  }
+
+  std::span<const uint8_t> span() const {
+    if (map != nullptr) {
+      return {map, map_len};
+    }
+    return heap;
+  }
+  size_t size() const { return map != nullptr ? map_len : heap.size(); }
 
   Rep(const Rep&) = delete;
   Rep& operator=(const Rep&) = delete;
 };
+
+std::shared_ptr<const ApkBlob::Rep> ApkBlob::MakeRep(std::vector<uint8_t> bytes,
+                                                     std::string digest) {
+  ApkBlob::SpillConfig config;
+  {
+    std::lock_guard<std::mutex> lock(g_spill_mu);
+    config = g_spill_config;
+  }
+  if (config.threshold_bytes > 0 && bytes.size() >= config.threshold_bytes &&
+      !bytes.empty()) {
+    if (const uint8_t* map = SpillToDisk(bytes, config.dir)) {
+      obs::MetricsRegistry::Default()
+          .counter(obs::names::kIngestBlobsSpilledTotal)
+          .Increment();
+      return std::make_shared<const ApkBlob::Rep>(map, bytes.size(),
+                                                  std::move(digest));
+    }
+    obs::MetricsRegistry::Default()
+        .counter(obs::names::kIngestSpillFailuresTotal)
+        .Increment();
+    APICHECKER_LOG(Warning) << "blob spill failed (" << std::strerror(errno)
+                            << "); keeping " << bytes.size()
+                            << " bytes on the heap";
+  }
+  return std::make_shared<const ApkBlob::Rep>(std::move(bytes), std::move(digest));
+}
 
 ApkBlob ApkBlob::FromBytes(std::vector<uint8_t> bytes) {
   std::string digest = util::Sha1Hex(bytes);
   auto& registry = obs::MetricsRegistry::Default();
   registry.counter(obs::names::kServeHashOpsTotal).Increment();
   registry.counter(obs::names::kIngestBlobsTotal).Increment();
-  return ApkBlob(std::make_shared<const Rep>(std::move(bytes), std::move(digest)));
+  return ApkBlob(MakeRep(std::move(bytes), std::move(digest)));
 }
 
 std::span<const uint8_t> ApkBlob::bytes() const {
   if (!rep_) return {};
-  return rep_->bytes;
+  return rep_->span();
 }
 
 const std::string& ApkBlob::digest() const {
@@ -66,7 +202,9 @@ const std::string& ApkBlob::digest() const {
   return rep_ ? rep_->digest : kEmpty;
 }
 
-size_t ApkBlob::size() const { return rep_ ? rep_->bytes.size() : 0; }
+size_t ApkBlob::size() const { return rep_ ? rep_->size() : 0; }
+
+bool ApkBlob::spilled() const { return rep_ != nullptr && rep_->map != nullptr; }
 
 uint64_t ApkBlob::PoolBytes() { return g_pool_bytes.load(std::memory_order_relaxed); }
 
@@ -74,10 +212,37 @@ uint64_t ApkBlob::PoolPeakBytes() {
   return g_pool_peak_bytes.load(std::memory_order_relaxed);
 }
 
+uint64_t ApkBlob::SpilledBytes() {
+  return g_spilled_bytes.load(std::memory_order_relaxed);
+}
+
+void ApkBlob::ResetPoolPeakBytes() {
+  const uint64_t now = g_pool_bytes.load(std::memory_order_relaxed);
+  g_pool_peak_bytes.store(now, std::memory_order_relaxed);
+  obs::MetricsRegistry::Default()
+      .gauge(obs::names::kIngestBlobPoolPeakBytes)
+      .Set(static_cast<double>(now));
+}
+
+ApkBlob::SpillConfig ApkBlob::SetSpillConfig(SpillConfig config) {
+  std::lock_guard<std::mutex> lock(g_spill_mu);
+  std::swap(g_spill_config, config);
+  return config;
+}
+
+ApkBlob::SpillConfig ApkBlob::GetSpillConfig() {
+  std::lock_guard<std::mutex> lock(g_spill_mu);
+  return g_spill_config;
+}
+
+void ApkBlob::SetSpillWriteFaultHook(SpillWriteFaultHook hook) {
+  std::lock_guard<std::mutex> lock(g_spill_mu);
+  g_spill_fault_hook = std::move(hook);
+}
+
 ApkBlob BlobBuilder::Finish(std::vector<uint8_t> bytes, std::string digest_hex) {
   obs::MetricsRegistry::Default().counter(obs::names::kIngestBlobsTotal).Increment();
-  return ApkBlob(
-      std::make_shared<const ApkBlob::Rep>(std::move(bytes), std::move(digest_hex)));
+  return ApkBlob(ApkBlob::MakeRep(std::move(bytes), std::move(digest_hex)));
 }
 
 }  // namespace apichecker::ingest

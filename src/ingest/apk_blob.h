@@ -12,11 +12,20 @@
 //    bytes, so downstream stages never re-hash.
 // A process-wide gauge tracks resident blob bytes plus its high-water mark
 // (apichecker_ingest_blob_pool_bytes / _peak_bytes).
+//
+// Spill-to-disk: with a spill threshold configured, payloads at or above it
+// are written to an unlinked temp file and handed back as a read-only mmap —
+// same handle semantics, same zero-copy span, but the pages are file-backed
+// and evictable, so the heap blob-pool gauge BOUNDS resident set size under a
+// submission storm instead of merely tracking it. Spilled bytes are counted
+// by their own gauge (apichecker_ingest_spilled_blob_bytes), never by the
+// pool gauge — the pool watermarks in serve/overload.h gate on heap bytes.
 
 #ifndef APICHECKER_INGEST_APK_BLOB_H_
 #define APICHECKER_INGEST_APK_BLOB_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <string>
@@ -26,6 +35,18 @@ namespace apichecker::ingest {
 
 class ApkBlob {
  public:
+  struct SpillConfig {
+    // Payloads of size >= threshold_bytes spill to disk; 0 disables spilling.
+    size_t threshold_bytes = 0;
+    // Directory for the (immediately unlinked) temp files; empty = /tmp.
+    std::string dir;
+  };
+
+  // Decides whether a spill write fails, by 1-based write ordinal. Test-only
+  // seam for wiring a store::IoFaultInjector-style plan into the spill path;
+  // a failed (or faulted) spill falls back to the heap, never loses bytes.
+  using SpillWriteFaultHook = std::function<bool(uint64_t ordinal)>;
+
   // Empty handle: no bytes, empty digest, use_count() == 0.
   ApkBlob() = default;
 
@@ -39,15 +60,36 @@ class ApkBlob {
   size_t size() const;
   bool empty() const { return rep_ == nullptr; }
   long use_count() const { return rep_.use_count(); }
+  // True when the payload lives in an mmap'd temp file instead of the heap.
+  bool spilled() const;
 
-  // Live bytes across all blobs in the process, and the high-water mark.
+  // Live HEAP bytes across all blobs in the process, and the high-water mark.
+  // Spilled payloads are excluded by design (they are reclaimable pages).
   static uint64_t PoolBytes();
   static uint64_t PoolPeakBytes();
+  // Live mmap'd (spilled) payload bytes across all blobs.
+  static uint64_t SpilledBytes();
+
+  // Restarts the heap high-water mark from the current level — lets a bench
+  // pass measure its own peak instead of inheriting an earlier pass's.
+  static void ResetPoolPeakBytes();
+
+  // Process-wide spill policy. Thread-safe; affects blobs created after the
+  // call. Returns the previous config.
+  static SpillConfig SetSpillConfig(SpillConfig config);
+  static SpillConfig GetSpillConfig();
+  // Installs (or clears, with nullptr) the spill write fault hook.
+  static void SetSpillWriteFaultHook(SpillWriteFaultHook hook);
 
  private:
   friend class BlobBuilder;
   struct Rep;
   explicit ApkBlob(std::shared_ptr<const Rep> rep) : rep_(std::move(rep)) {}
+
+  // Shared creation funnel: applies the spill policy, falls back to the heap
+  // on any spill failure.
+  static std::shared_ptr<const Rep> MakeRep(std::vector<uint8_t> bytes,
+                                            std::string digest);
 
   std::shared_ptr<const Rep> rep_;
 };

@@ -68,6 +68,24 @@ std::string BenchReportToJson(const BenchReport& report) {
   out += util::StrFormat("  \"peak_rss_mb\": %.1f,\n", report.peak_rss_mb);
   out += util::StrFormat("  \"peak_blob_pool_mb\": %.2f,\n",
                          report.peak_blob_pool_mb);
+  out += util::StrFormat("  \"storm_interactive_p99_ms\": %.2f,\n",
+                         report.storm_interactive_p99_ms);
+  out += util::StrFormat("  \"storm_interactive_slo_ms\": %.1f,\n",
+                         report.storm_interactive_slo_ms);
+  out += util::StrFormat(
+      "  \"storm_bulk_completed\": %llu,\n",
+      static_cast<unsigned long long>(report.storm_bulk_completed));
+  out += util::StrFormat(
+      "  \"storm_bulk_baseline_completed\": %llu,\n",
+      static_cast<unsigned long long>(report.storm_bulk_baseline_completed));
+  out += util::StrFormat("  \"storm_bulk_completed_floor\": %.1f,\n",
+                         report.storm_bulk_completed_floor);
+  out += util::StrFormat("  \"storm_shed_total\": %llu,\n",
+                         static_cast<unsigned long long>(report.storm_shed_total));
+  out += util::StrFormat("  \"storm_peak_blob_pool_mb\": %.2f,\n",
+                         report.storm_peak_blob_pool_mb);
+  out += util::StrFormat("  \"storm_spill_watermark_mb\": %.2f,\n",
+                         report.storm_spill_watermark_mb);
   out += "  \"stages\": {";
   const char* sep = "";
   for (const auto& [name, stage] : report.stages) {

@@ -90,6 +90,17 @@ inline constexpr char kServeCacheFastpathHitsTotal[] =
 inline constexpr char kServeAdmissionLatencyMs[] =
     "apichecker_serve_admission_latency_ms";
 
+// serve layer — overload control & QoS. kServeShedTotal, kServeAcceptedTotal,
+// kServeCompletedTotal, kServeDeadlineExpiredTotal, and kServeE2eLatencyMs are
+// additionally emitted as per-priority-class variants with an embedded label,
+// e.g. apichecker_serve_shed_total{class="bulk"} (see serve::ClassSeriesName).
+// kServePressureState is the watermark state machine's current level
+// (0 normal, 1 pressure, 2 critical).
+inline constexpr char kServeShedTotal[] = "apichecker_serve_shed_total";
+inline constexpr char kServePressureState[] = "apichecker_serve_pressure_state";
+inline constexpr char kServePressureTransitionsTotal[] =
+    "apichecker_serve_pressure_transitions_total";
+
 // serve layer — per-stage latency attribution for traced submissions. Each
 // histogram observes one entry of a trace's contiguous breakdown, so the
 // stage sums add up (within float error) to kServeTracedE2eMs's sum — the
@@ -130,6 +141,14 @@ inline constexpr char kIngestBlobPoolBytes[] = "apichecker_ingest_blob_pool_byte
 inline constexpr char kIngestBlobPoolPeakBytes[] =
     "apichecker_ingest_blob_pool_peak_bytes";
 inline constexpr char kIngestParseStageMs[] = "apichecker_ingest_parse_stage_ms";
+// Spill-to-disk blobs: payloads above the spill threshold live in an mmap'd
+// unlinked temp file instead of the heap, so the blob-pool gauge bounds RSS.
+inline constexpr char kIngestBlobsSpilledTotal[] =
+    "apichecker_ingest_blobs_spilled_total";
+inline constexpr char kIngestSpilledBlobBytes[] =
+    "apichecker_ingest_spilled_blob_bytes";
+inline constexpr char kIngestSpillFailuresTotal[] =
+    "apichecker_ingest_spill_failures_total";
 
 // serve layer — multi-farm pool (routing, failover, circuit breakers). The
 // aggregate series below also exist as per-farm variants with an embedded

@@ -96,7 +96,10 @@ void BatchScheduler::Loop() {
           return;  // Closed and drained: scheduler exits.
         }
       } else {
-        const auto remaining = std::chrono::duration_cast<std::chrono::milliseconds>(
+        // Round UP: truncating a sub-millisecond remainder would flush the
+        // batch just before a member's deadline, letting it slip through the
+        // assembled_at >= deadline expiry triage.
+        const auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
             linger_deadline - Clock::now());
         if (remaining <= std::chrono::milliseconds::zero()) {
           break;  // Linger expired: flush the partial batch.
@@ -109,12 +112,25 @@ void BatchScheduler::Loop() {
       if (batch.empty()) {
         linger_deadline = Clock::now() + config_.max_linger;
       }
+      // SLO-aware linger: never linger past a member's deadline. A member
+      // whose (class-SLO-derived) deadline is tighter than the configured
+      // linger pulls the flush in, so a tight-SLO submission is dispatched —
+      // or expired visibly — at its deadline instead of at linger granularity.
+      linger_deadline = std::min(linger_deadline, popped->deadline);
       batch.push_back(std::move(*popped));
       if (batch.size() >= config_.batch_size) {
         break;
       }
     }
     if (!batch.empty()) {
+      // Earliest-deadline-first assembly: triage (and therefore expiry,
+      // cache-hit resolution, and slot-leader election) visits the tightest
+      // deadlines first. No-deadline members (time_point::max) sort last;
+      // ties keep the weighted-fair pop order.
+      std::stable_sort(batch.begin(), batch.end(),
+                       [](const PendingSubmission& a, const PendingSubmission& b) {
+                         return a.deadline < b.deadline;
+                       });
       ExecuteBatch(std::move(batch));
     }
   }
@@ -149,18 +165,29 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
     obs::MetricsRegistry& m = obs::MetricsRegistry::Default();
     result.queue_ms = MsSince(pending.admitted_at, s.assembled_at);
     result.total_ms = MsSince(pending.admitted_at, resolve_entry);
+    const size_t cls = static_cast<size_t>(pending.priority);
     m.histogram(obs::names::kServeE2eLatencyMs).Observe(result.total_ms);
+    m.histogram(ClassSeriesName(obs::names::kServeE2eLatencyMs, pending.priority))
+        .Observe(result.total_ms);
     switch (result.status) {
       case VetStatus::kOk:
         counters_.completed.fetch_add(1, std::memory_order_relaxed);
+        counters_.completed_by_class[cls].fetch_add(1, std::memory_order_relaxed);
         m.counter(obs::names::kServeCompletedTotal).Increment();
+        m.counter(ClassSeriesName(obs::names::kServeCompletedTotal,
+                                  pending.priority))
+            .Increment();
         market::RecordReviewOutcome(result.malicious
                                         ? market::ReviewOutcome::kRejectedByChecker
                                         : market::ReviewOutcome::kPublished);
         break;
       case VetStatus::kDeadlineExpired:
         counters_.deadline_expired.fetch_add(1, std::memory_order_relaxed);
+        counters_.expired_by_class[cls].fetch_add(1, std::memory_order_relaxed);
         m.counter(obs::names::kServeDeadlineExpiredTotal).Increment();
+        m.counter(ClassSeriesName(obs::names::kServeDeadlineExpiredTotal,
+                                  pending.priority))
+            .Increment();
         break;
       case VetStatus::kParseError:
         counters_.parse_errors.fetch_add(1, std::memory_order_relaxed);
@@ -169,6 +196,10 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
       case VetStatus::kRejectedUnhealthy:
         counters_.rejected_unhealthy.fetch_add(1, std::memory_order_relaxed);
         m.counter(obs::names::kServeFarmRejectedUnhealthyTotal).Increment();
+        break;
+      case VetStatus::kShedOverload:
+        // Shedding happens at admission (VettingService::Submit), which does
+        // its own accounting; a shed submission never reaches the scheduler.
         break;
     }
 

@@ -538,6 +538,15 @@ void FarmPool::WorkerLoop(size_t farm_index) {
   }
 }
 
+size_t FarmPool::ApproxBacklogBatches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t backlog = 0;
+  for (size_t i = 0; i < queues_.size(); ++i) {
+    backlog += queues_[i].size() + static_cast<size_t>(in_flight_[i] != 0);
+  }
+  return backlog;
+}
+
 FarmPoolStats FarmPool::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   FarmPoolStats stats;

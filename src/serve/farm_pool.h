@@ -167,6 +167,12 @@ class FarmPool {
   FarmPoolStats stats() const;
   size_t healthy_farms() const;
 
+  // Batches queued or executing across all farms — the downstream backlog
+  // the admission governor folds into its queue-depth input (the shard
+  // queues alone go shallow the moment the scheduler keeps up, even while
+  // the farms drown).
+  size_t ApproxBacklogBatches() const;
+
  private:
   struct PoolBatch {
     std::vector<ingest::ApkBlob> blobs;  // Released once the parse stage ran.

@@ -1,0 +1,76 @@
+#include "serve/overload.h"
+
+#include "obs/metrics.h"
+#include "obs/names.h"
+
+namespace apichecker::serve {
+
+OverloadGovernor::OverloadGovernor(const OverloadConfig& config)
+    : config_(config) {
+  obs::MetricsRegistry::Default().gauge(obs::names::kServePressureState).Set(0);
+}
+
+PressureState OverloadGovernor::Evaluate(size_t queue_depth,
+                                         size_t queue_capacity,
+                                         uint64_t pool_bytes) {
+  const double ratio =
+      queue_capacity == 0
+          ? 0.0
+          : static_cast<double>(queue_depth) / static_cast<double>(queue_capacity);
+  const bool pool_pressure = config_.pool_pressure_bytes > 0 &&
+                             pool_bytes >= config_.pool_pressure_bytes;
+  const bool pool_critical = config_.pool_critical_bytes > 0 &&
+                             pool_bytes >= config_.pool_critical_bytes;
+
+  PressureState raw = PressureState::kNormal;
+  if (ratio >= config_.queue_critical || pool_critical) {
+    raw = PressureState::kCritical;
+  } else if (ratio >= config_.queue_pressure || pool_pressure) {
+    raw = PressureState::kPressure;
+  }
+
+  std::lock_guard<std::mutex> lock(mu_);
+  PressureState next = state_;
+  if (raw > state_) {
+    // Escalate immediately: a crossed watermark means the storm is here.
+    next = raw;
+  } else if (raw < state_) {
+    // Release only once depth has drained below the hysteresis floor and the
+    // pool is out of pressure; otherwise hold the current state.
+    if (ratio < config_.queue_release && !pool_pressure) {
+      next = raw;
+    }
+  }
+  if (next != state_) {
+    state_ = next;
+    ++transitions_;
+    obs::MetricsRegistry& m = obs::MetricsRegistry::Default();
+    m.gauge(obs::names::kServePressureState).Set(static_cast<double>(state_));
+    m.counter(obs::names::kServePressureTransitionsTotal).Increment();
+  }
+  return state_;
+}
+
+bool OverloadGovernor::ShouldShed(PressureState state, Priority priority) {
+  switch (state) {
+    case PressureState::kNormal:
+      return false;
+    case PressureState::kPressure:
+      return priority == Priority::kBulk;
+    case PressureState::kCritical:
+      return priority != Priority::kInteractive;
+  }
+  return false;
+}
+
+PressureState OverloadGovernor::state() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return state_;
+}
+
+uint64_t OverloadGovernor::transitions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return transitions_;
+}
+
+}  // namespace apichecker::serve

@@ -1,0 +1,96 @@
+// Overload control for submission storms: a watermark state machine over
+// queue depth and blob-pool bytes that decides, per traffic class, whether a
+// submission is admitted or shed at the front door.
+//
+// The paper's market front end (§2, §5) absorbs bursty, heavily duplicated
+// traffic; a storm must degrade bulk sweeps first, then rescans, and never
+// developer-facing interactive submissions. The governor implements that
+// lattice: state kPressure sheds kBulk, state kCritical sheds kBulk and
+// kRescan, kInteractive is admitted in every state (its fate is then decided
+// by its own bounded lane, not by the storm in the bulk lanes).
+//
+// Hysteresis: the state escalates as soon as any watermark is crossed but
+// only releases once queue depth falls below the (lower) release watermark
+// and the blob pool is back under its pressure watermark — so the state does
+// not flap at the boundary while producers and consumers race.
+
+#ifndef APICHECKER_SERVE_OVERLOAD_H_
+#define APICHECKER_SERVE_OVERLOAD_H_
+
+#include <array>
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+
+#include "serve/types.h"
+
+namespace apichecker::serve {
+
+enum class PressureState : uint8_t {
+  kNormal = 0,    // All classes admitted.
+  kPressure = 1,  // Shed bulk.
+  kCritical = 2,  // Shed bulk and rescan; interactive only.
+};
+
+inline const char* PressureStateName(PressureState state) {
+  switch (state) {
+    case PressureState::kNormal:
+      return "normal";
+    case PressureState::kPressure:
+      return "pressure";
+    case PressureState::kCritical:
+      return "critical";
+  }
+  return "unknown";
+}
+
+struct OverloadConfig {
+  // Master switch. Off preserves the historical binary accept/reject
+  // admission (no shedding, no SLO-default deadlines' shed path).
+  bool shed = false;
+  // Queue-depth watermarks as a fraction of one class lane's total capacity
+  // (num_shards * per_shard_capacity). Depth is the sum across all lanes, so
+  // a bulk-only storm alone can drive the ratio past 1.0.
+  double queue_pressure = 0.70;
+  double queue_critical = 0.90;
+  double queue_release = 0.50;  // Hysteresis floor for de-escalation.
+  // Blob-pool watermarks in bytes; 0 disables the pool input. These gate on
+  // ingest::ApkBlob::PoolBytes(), i.e. heap-resident payload only — spilled
+  // blobs never count against them.
+  uint64_t pool_pressure_bytes = 0;
+  uint64_t pool_critical_bytes = 0;
+  // Weighted-fair pop shares for SubmissionShards, indexed by Priority.
+  std::array<uint32_t, kNumPriorityClasses> class_weights{{8, 3, 1}};
+  // Default relative deadline per class (the class SLO). Applied when a
+  // submission carries no explicit deadline; zero means none.
+  std::array<std::chrono::milliseconds, kNumPriorityClasses> class_slo{};
+};
+
+// Thread-safe; Evaluate() is called on every admission.
+class OverloadGovernor {
+ public:
+  explicit OverloadGovernor(const OverloadConfig& config);
+
+  // Re-evaluates the state machine against current load and returns the
+  // (possibly escalated or released) state. `queue_capacity` is one class
+  // lane's total capacity; `pool_bytes` is the heap blob pool's current size.
+  PressureState Evaluate(size_t queue_depth, size_t queue_capacity,
+                         uint64_t pool_bytes);
+
+  // Whether a submission of `priority` is shed in `state`. Static because the
+  // shed lattice is fixed; only the state is dynamic.
+  static bool ShouldShed(PressureState state, Priority priority);
+
+  PressureState state() const;
+  uint64_t transitions() const;
+
+ private:
+  const OverloadConfig config_;
+  mutable std::mutex mu_;
+  PressureState state_ = PressureState::kNormal;
+  uint64_t transitions_ = 0;
+};
+
+}  // namespace apichecker::serve
+
+#endif  // APICHECKER_SERVE_OVERLOAD_H_

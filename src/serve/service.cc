@@ -64,9 +64,12 @@ VettingService::VettingService(const android::ApiUniverse& universe,
       store_(OpenStoreOrNull(config)),
       model_(std::move(initial_model)),
       pool_(config.pool, MakeBackends(universe, config)),
-      shards_(config.num_shards, config.shard_capacity),
+      shards_(config.num_shards, config.shard_capacity,
+              config.overload.class_weights),
+      governor_(config.overload),
       scheduler_(ResolveSchedulerConfig(config), shards_, cache_, model_, pool_,
                  counters_, store_.get()) {
+  batch_size_hint_ = ResolveSchedulerConfig(config).batch_size;
   if (config_.trace_sample_rate > 0.0) {
     sample_every_ = static_cast<size_t>(
         std::max<long long>(1, std::llround(1.0 / config_.trace_sample_rate)));
@@ -147,8 +150,14 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
   pending.blob = std::move(submission.blob);
   pending.priority = submission.priority;
   pending.admitted_at = entered_at;
-  pending.deadline = submission.deadline.count() > 0
-                         ? pending.admitted_at + submission.deadline
+  const size_t cls = static_cast<size_t>(pending.priority);
+  // No explicit deadline → the class SLO default (which may itself be unset).
+  std::chrono::milliseconds relative_deadline = submission.deadline;
+  if (relative_deadline.count() <= 0) {
+    relative_deadline = config_.overload.class_slo[cls];
+  }
+  pending.deadline = relative_deadline.count() > 0
+                         ? pending.admitted_at + relative_deadline
                          : Clock::time_point::max();
   std::future<VettingResult> future = pending.promise.get_future();
 
@@ -164,7 +173,11 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
   // paper describes never costs a scheduler wakeup.
   if (auto cached = cache_.Get(pending.digest(), model_.version())) {
     counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+    counters_.accepted_by_class[cls].fetch_add(1, std::memory_order_relaxed);
     metrics.counter(obs::names::kServeAcceptedTotal).Increment();
+    metrics.counter(ClassSeriesName(obs::names::kServeAcceptedTotal,
+                                    pending.priority))
+        .Increment();
     VettingResult result;
     result.malicious = cached->malicious;
     result.score = cached->score;
@@ -174,7 +187,11 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
         std::chrono::duration<double, std::milli>(Clock::now() - entered_at)
             .count();
     counters_.completed.fetch_add(1, std::memory_order_relaxed);
+    counters_.completed_by_class[cls].fetch_add(1, std::memory_order_relaxed);
     metrics.counter(obs::names::kServeCompletedTotal).Increment();
+    metrics.counter(ClassSeriesName(obs::names::kServeCompletedTotal,
+                                    pending.priority))
+        .Increment();
     counters_.cache_hits.fetch_add(1, std::memory_order_relaxed);
     metrics.counter(obs::names::kServeCacheHitsTotal).Increment();
     metrics.counter(obs::names::kServeCacheFastpathHitsTotal).Increment();
@@ -183,6 +200,10 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
       metrics.counter(obs::names::kStoreWarmStartHitsTotal).Increment();
     }
     metrics.histogram(obs::names::kServeE2eLatencyMs).Observe(result.total_ms);
+    metrics
+        .histogram(ClassSeriesName(obs::names::kServeE2eLatencyMs,
+                                   pending.priority))
+        .Observe(result.total_ms);
     market::RecordReviewOutcome(result.malicious
                                     ? market::ReviewOutcome::kRejectedByChecker
                                     : market::ReviewOutcome::kPublished);
@@ -210,6 +231,67 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
     pending.promise.set_value(std::move(result));
     observe_admission();
     return future;
+  }
+
+  // Overload control: re-evaluate the watermark state machine on every
+  // admission that missed the cache, and shed sheddable classes while it is
+  // in pressure/critical. A shed submission is ACCEPTED and resolved
+  // immediately with kShedOverload — the caller gets a visible verdict-class
+  // drop (to retry later), never a hang, and the no-lost-submissions
+  // invariant extends to cover it. Interactive traffic is never shed; its
+  // fate is decided by its own isolated lane (kQueueFull backpressure).
+  if (config_.overload.shed) {
+    // Depth is the END-TO-END backlog: shard queues plus batches queued or
+    // executing in the farm pool (converted back to submissions). The shard
+    // queues alone go shallow whenever the scheduler keeps up, even while
+    // the farms drown — overload must be judged where the work actually piles.
+    const size_t backlog =
+        shards_.ApproxDepth() +
+        pool_.ApproxBacklogBatches() * batch_size_hint_;
+    const PressureState pressure = governor_.Evaluate(
+        backlog, shards_.class_capacity(), ingest::ApkBlob::PoolBytes());
+    if (OverloadGovernor::ShouldShed(pressure, pending.priority)) {
+      counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+      counters_.accepted_by_class[cls].fetch_add(1, std::memory_order_relaxed);
+      metrics.counter(obs::names::kServeAcceptedTotal).Increment();
+      metrics.counter(ClassSeriesName(obs::names::kServeAcceptedTotal,
+                                      pending.priority))
+          .Increment();
+      counters_.shed_overload.fetch_add(1, std::memory_order_relaxed);
+      counters_.shed_by_class[cls].fetch_add(1, std::memory_order_relaxed);
+      metrics.counter(obs::names::kServeShedTotal).Increment();
+      metrics.counter(ClassSeriesName(obs::names::kServeShedTotal,
+                                      pending.priority))
+          .Increment();
+      VettingResult result;
+      result.status = VetStatus::kShedOverload;
+      result.model_version = model_.version();
+      result.error = PressureStateName(pressure);
+      result.total_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() - entered_at)
+              .count();
+      metrics.histogram(obs::names::kServeE2eLatencyMs).Observe(result.total_ms);
+      metrics
+          .histogram(ClassSeriesName(obs::names::kServeE2eLatencyMs,
+                                     pending.priority))
+          .Observe(result.total_ms);
+      if (pending.trace.sampled()) {
+        obs::StageSpan submit_span;
+        submit_span.stage = obs::stages::kSubmit;
+        submit_span.start_ms = collector.ToEpochMs(entered_at);
+        submit_span.duration_ms = result.total_ms;
+        collector.Record(pending.trace.trace_id, submit_span);
+        std::vector<obs::StageMs> breakdown;
+        breakdown.push_back({obs::stages::kSubmit, result.total_ms});
+        obs::ObserveStageBreakdown(breakdown, result.total_ms);
+        collector.Complete(pending.trace.trace_id,
+                           VetStatusName(result.status), /*from_cache=*/false,
+                           std::move(breakdown), result.total_ms);
+      }
+      pending.promise.set_value(std::move(result));
+      observe_admission();
+      return future;
+    }
   }
 
   // The submit span must be recorded BEFORE the push: once the record is in a
@@ -241,7 +323,12 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
   switch (shards_.TryPush(std::move(pending))) {
     case AdmissionOutcome::kAccepted:
       counters_.accepted.fetch_add(1, std::memory_order_relaxed);
+      counters_.accepted_by_class[cls].fetch_add(1, std::memory_order_relaxed);
       metrics.counter(obs::names::kServeAcceptedTotal).Increment();
+      metrics
+          .counter(ClassSeriesName(obs::names::kServeAcceptedTotal,
+                                   static_cast<Priority>(cls)))
+          .Increment();
       metrics.gauge(obs::names::kServeQueueDepth)
           .Set(static_cast<double>(shards_.ApproxDepth()));
       observe_admission();
@@ -324,6 +411,17 @@ ServiceStats VettingService::stats() const {
   stats.batches = counters_.batches.load(std::memory_order_relaxed);
   stats.rejected_unhealthy =
       counters_.rejected_unhealthy.load(std::memory_order_relaxed);
+  stats.shed_overload = counters_.shed_overload.load(std::memory_order_relaxed);
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    stats.accepted_by_class[c] =
+        counters_.accepted_by_class[c].load(std::memory_order_relaxed);
+    stats.completed_by_class[c] =
+        counters_.completed_by_class[c].load(std::memory_order_relaxed);
+    stats.expired_by_class[c] =
+        counters_.expired_by_class[c].load(std::memory_order_relaxed);
+    stats.shed_by_class[c] =
+        counters_.shed_by_class[c].load(std::memory_order_relaxed);
+  }
   const FarmPoolStats pool_stats = pool_.stats();
   stats.farm_faults = pool_stats.faults;
   stats.farm_retries = pool_stats.retries;

@@ -10,8 +10,11 @@
 //  * Backpressure, not OOM — a full shard rejects at Submit() with a Result
 //    error; accepted work is bounded by num_shards * shard_capacity.
 //  * No lost submissions — after Shutdown(), accepted == completed +
-//    deadline_expired + parse_errors + rejected_unhealthy. Even with every
-//    farm circuit-broken, a submission resolves visibly; it never hangs.
+//    deadline_expired + parse_errors + rejected_unhealthy + shed_overload.
+//    Even with every farm circuit-broken or the overload governor shedding,
+//    a submission resolves visibly; it never hangs.
+//  * Graceful degradation — under pressure the governor sheds bulk first,
+//    then rescan, never interactive (see serve/overload.h).
 //  * No torn models — each batch classifies under exactly one ModelSnapshot;
 //    swaps publish atomically and in-flight batches pin the old snapshot.
 
@@ -31,6 +34,7 @@
 #include "serve/batch_scheduler.h"
 #include "serve/digest_cache.h"
 #include "serve/farm_pool.h"
+#include "serve/overload.h"
 #include "serve/serving_model.h"
 #include "serve/submission_shards.h"
 #include "serve/types.h"
@@ -41,8 +45,11 @@ namespace apichecker::serve {
 
 struct ServiceConfig {
   size_t num_shards = 4;
-  size_t shard_capacity = 256;   // Bounded admission: max queued per shard.
+  size_t shard_capacity = 256;   // Bounded admission: max queued per class lane.
   size_t cache_capacity = 8192;  // Digest-cache entries.
+  // Overload control: watermark shedding, weighted-fair class shares, and
+  // per-class SLO default deadlines (see serve/overload.h).
+  OverloadConfig overload;
   emu::FarmConfig farm;  // Per-farm template; batch_size defaults to
                          // farm.num_emulators.
   FarmPoolConfig pool;   // Farm count, failover budget, breaker, fault plan.
@@ -110,6 +117,9 @@ class VettingService {
   void AttachToRegistry(market::ModelRegistry& registry);
 
   ServiceStats stats() const;
+  // Current watermark state / lifetime transitions of the overload governor.
+  PressureState pressure_state() const { return governor_.state(); }
+  uint64_t pressure_transitions() const { return governor_.transitions(); }
   FarmPoolStats farm_pool_stats() const { return pool_.stats(); }
   // Null when persistence is disabled or the store failed to open.
   const store::VerdictStore* verdict_store() const { return store_.get(); }
@@ -134,10 +144,14 @@ class VettingService {
   ServingModel model_;
   FarmPool pool_;
   SubmissionShards shards_;
+  OverloadGovernor governor_;
   BatchScheduler scheduler_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<bool> shut_down_{false};
   size_t sample_every_ = 0;  // 0 = tracing off; N = every Nth submission.
+  // Resolved scheduler batch size (0-means-num_emulators already applied):
+  // converts the farm pool's batch backlog into submissions for the governor.
+  size_t batch_size_hint_ = 1;
 };
 
 }  // namespace apichecker::serve

@@ -2,15 +2,23 @@
 
 #include <algorithm>
 #include <functional>
+#include <numeric>
 
 namespace apichecker::serve {
 
-SubmissionShards::SubmissionShards(size_t num_shards, size_t per_shard_capacity)
+SubmissionShards::SubmissionShards(size_t num_shards, size_t per_shard_capacity,
+                                   ClassWeights class_weights)
     : per_shard_capacity_(std::max<size_t>(1, per_shard_capacity)) {
-  shards_.reserve(std::max<size_t>(1, num_shards));
-  for (size_t i = 0; i < std::max<size_t>(1, num_shards); ++i) {
-    shards_.push_back(
-        std::make_unique<util::BoundedQueue<PendingSubmission>>(per_shard_capacity_));
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    weights_[c] = std::max<uint32_t>(1, class_weights[c]);
+    total_weight_ += weights_[c];
+  }
+  shards_.resize(std::max<size_t>(1, num_shards));
+  for (Shard& shard : shards_) {
+    for (auto& lane : shard) {
+      lane = std::make_unique<util::BoundedQueue<PendingSubmission>>(
+          per_shard_capacity_);
+    }
   }
 }
 
@@ -31,10 +39,10 @@ AdmissionOutcome SubmissionShards::TryPush(PendingSubmission pending) {
     }
   }
   const size_t shard = ShardIndexFor(pending);
-  const bool urgent = pending.priority > 0;
-  if (!shards_[shard]->TryPush(std::move(pending), urgent)) {
-    return shards_[shard]->closed() ? AdmissionOutcome::kClosed
-                                    : AdmissionOutcome::kQueueFull;
+  const size_t lane = static_cast<size_t>(pending.priority);
+  if (!shards_[shard][lane]->TryPush(std::move(pending))) {
+    return shards_[shard][lane]->closed() ? AdmissionOutcome::kClosed
+                                          : AdmissionOutcome::kQueueFull;
   }
   {
     std::lock_guard<std::mutex> lock(signal_mu_);
@@ -45,18 +53,41 @@ AdmissionOutcome SubmissionShards::TryPush(PendingSubmission pending) {
 }
 
 std::optional<PendingSubmission> SubmissionShards::TryPopAny() {
+  // Smooth weighted round-robin: every class accrues its weight, the classes
+  // are swept richest-first (ties break toward the more urgent class), and
+  // the class that yields a submission pays the total weight. An empty sweep
+  // refunds the accrual so idle periods don't bank unbounded credit.
   size_t start;
+  std::array<size_t, kNumPriorityClasses> order;
   {
     std::lock_guard<std::mutex> lock(signal_mu_);
     start = cursor_;
     cursor_ = (cursor_ + 1) % shards_.size();
+    for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+      credit_[c] += weights_[c];
+      order[c] = c;
+    }
+    std::stable_sort(order.begin(), order.end(), [this](size_t a, size_t b) {
+      return credit_[a] > credit_[b];
+    });
   }
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    if (auto pending = shards_[(start + i) % shards_.size()]->TryPop()) {
-      // Every pop path funnels through here: stamp the end of the shard-queue
-      // wait so latency attribution never depends on which pop variant ran.
-      pending->popped_at = Clock::now();
-      return pending;
+  for (size_t lane : order) {
+    for (size_t i = 0; i < shards_.size(); ++i) {
+      if (auto pending = shards_[(start + i) % shards_.size()][lane]->TryPop()) {
+        // Every pop path funnels through here: stamp the end of the shard-
+        // queue wait so latency attribution never depends on which pop
+        // variant ran.
+        pending->popped_at = Clock::now();
+        std::lock_guard<std::mutex> lock(signal_mu_);
+        credit_[lane] -= static_cast<int64_t>(total_weight_);
+        return pending;
+      }
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(signal_mu_);
+    for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+      credit_[c] -= weights_[c];
     }
   }
   return std::nullopt;
@@ -110,8 +141,10 @@ void SubmissionShards::Close() {
     std::lock_guard<std::mutex> lock(signal_mu_);
     closed_ = true;
   }
-  for (auto& shard : shards_) {
-    shard->Close();
+  for (Shard& shard : shards_) {
+    for (auto& lane : shard) {
+      lane->Close();
+    }
   }
   signal_cv_.notify_all();
 }
@@ -123,8 +156,19 @@ bool SubmissionShards::closed() const {
 
 size_t SubmissionShards::ApproxDepth() const {
   size_t depth = 0;
-  for (const auto& shard : shards_) {
-    depth += shard->size();
+  for (const Shard& shard : shards_) {
+    for (const auto& lane : shard) {
+      depth += lane->size();
+    }
+  }
+  return depth;
+}
+
+size_t SubmissionShards::ApproxDepthByClass(Priority priority) const {
+  const size_t lane = static_cast<size_t>(priority);
+  size_t depth = 0;
+  for (const Shard& shard : shards_) {
+    depth += shard[lane]->size();
   }
   return depth;
 }

@@ -1,14 +1,23 @@
-// N sharded, bounded MPMC submission queues with admission control. Producers
-// hash a submission's content digest onto a shard (byte-identical resubmits
-// land on the same shard, keeping shard load balanced under clone-heavy
-// traffic) and TryPush — a full shard rejects the submission outright, which
-// is the service's backpressure contract: bounded memory, explicit errors,
-// never OOM. Priority submissions jump their shard's line. The consumer side
-// is a cross-shard timed pop the batch scheduler uses to assemble batches.
+// N sharded, bounded MPMC submission queues with admission control and
+// per-priority-class lanes. Producers hash a submission's content digest onto
+// a shard (byte-identical resubmits land on the same shard, keeping shard
+// load balanced under clone-heavy traffic), then route into the shard's lane
+// for the submission's traffic class and TryPush — a full lane rejects the
+// submission outright, which is the service's backpressure contract: bounded
+// memory, explicit errors, never OOM. Each class has its own capacity, so a
+// bulk storm can never occupy the slots interactive traffic needs.
+//
+// The consumer side is a cross-shard, cross-class timed pop the batch
+// scheduler uses to assemble batches. Classes are served by smooth weighted
+// round-robin: each class accrues credit equal to its weight per pop, the
+// richest class is swept first, and the winner pays the total weight — giving
+// interactive its configured share under contention while staying work-
+// conserving (an empty preferred class immediately yields to the next).
 
 #ifndef APICHECKER_SERVE_SUBMISSION_SHARDS_H_
 #define APICHECKER_SERVE_SUBMISSION_SHARDS_H_
 
+#include <array>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -24,20 +33,26 @@ namespace apichecker::serve {
 
 enum class AdmissionOutcome : uint8_t {
   kAccepted = 0,
-  kQueueFull = 1,  // Shard at capacity — backpressure.
+  kQueueFull = 1,  // Class lane at capacity — backpressure.
   kClosed = 2,     // Service shutting down.
 };
 
 class SubmissionShards {
  public:
-  SubmissionShards(size_t num_shards, size_t per_shard_capacity);
+  using ClassWeights = std::array<uint32_t, kNumPriorityClasses>;
 
-  // Routes by digest hash; priority > 0 pushes to the shard's front.
+  // `per_shard_capacity` bounds EACH class lane of a shard (classes are
+  // isolated, not pooled). Zero weights are clamped to 1.
+  SubmissionShards(size_t num_shards, size_t per_shard_capacity,
+                   ClassWeights class_weights = {{8, 3, 1}});
+
+  // Routes by digest hash onto a shard, then by priority into its class lane.
   AdmissionOutcome TryPush(PendingSubmission pending);
 
-  // Pops from any shard (round-robin sweep from a rotating cursor, so no
-  // shard starves). Blocks up to `timeout` when everything is empty; nullopt
-  // on timeout or when closed and fully drained.
+  // Pops from any shard (weighted-fair across classes, round-robin sweep from
+  // a rotating cursor within a class, so no shard starves). Blocks up to
+  // `timeout` when everything is empty; nullopt on timeout or when closed and
+  // fully drained.
   std::optional<PendingSubmission> PopAnyFor(std::chrono::milliseconds timeout);
 
   // Untimed variant: sleeps on the push/close condition variable until a
@@ -53,21 +68,33 @@ class SubmissionShards {
   void Close();
   bool closed() const;
 
-  // Total queued across shards (approximate under concurrency).
+  // Total queued across shards and classes (approximate under concurrency).
   size_t ApproxDepth() const;
+  // Queued in one class's lanes across shards (approximate).
+  size_t ApproxDepthByClass(Priority priority) const;
 
   size_t num_shards() const { return shards_.size(); }
   size_t per_shard_capacity() const { return per_shard_capacity_; }
+  // Total capacity of ONE class's lanes (num_shards * per_shard_capacity) —
+  // the denominator for the overload governor's queue-depth watermarks.
+  size_t class_capacity() const { return shards_.size() * per_shard_capacity_; }
 
   // Lifetime count of successful pushes. Lets tests prove a fast-path
-  // admission (digest-cache hit at Submit) never touched a shard queue.
+  // admission (digest-cache hit or shed at Submit) never touched a shard.
   uint64_t total_pushes() const;
 
  private:
+  // One shard = one bounded FIFO lane per priority class.
+  using Shard =
+      std::array<std::unique_ptr<util::BoundedQueue<PendingSubmission>>,
+                 kNumPriorityClasses>;
+
   size_t ShardIndexFor(const PendingSubmission& pending) const;
 
-  std::vector<std::unique_ptr<util::BoundedQueue<PendingSubmission>>> shards_;
+  std::vector<Shard> shards_;
   const size_t per_shard_capacity_;
+  ClassWeights weights_{};
+  uint32_t total_weight_ = 0;
 
   // Consumer wakeup: pushes bump `pushes_` so a sweeping consumer can sleep
   // without missing a submission that lands mid-sweep.
@@ -76,6 +103,8 @@ class SubmissionShards {
   uint64_t pushes_ = 0;
   bool closed_ = false;
   size_t cursor_ = 0;  // Guarded by signal_mu_; rotates the sweep start.
+  // Smooth-WRR credit per class; guarded by signal_mu_.
+  std::array<int64_t, kNumPriorityClasses> credit_{};
 };
 
 }  // namespace apichecker::serve

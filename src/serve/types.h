@@ -7,6 +7,7 @@
 #ifndef APICHECKER_SERVE_TYPES_H_
 #define APICHECKER_SERVE_TYPES_H_
 
+#include <array>
 #include <atomic>
 #include <chrono>
 #include <cstdint>
@@ -22,16 +23,48 @@ namespace apichecker::serve {
 
 using Clock = std::chrono::steady_clock;
 
+// Traffic classes of the market front end (§2, §5): developer resubmits and
+// security escalations must stay interactive while scheduled rescans and bulk
+// catalog sweeps absorb whatever capacity is left. The enum value doubles as
+// the shed order — higher values are shed first, kInteractive is never shed.
+enum class Priority : uint8_t {
+  kInteractive = 0,  // Developer-facing: publish gates, escalations.
+  kRescan = 1,       // Model-upgrade rescans of the existing catalog.
+  kBulk = 2,         // Bulk sweeps / crawler backfill; first to shed.
+};
+
+inline constexpr size_t kNumPriorityClasses = 3;
+
+inline const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kRescan:
+      return "rescan";
+    case Priority::kBulk:
+      return "bulk";
+  }
+  return "unknown";
+}
+
+// Per-priority-class metric series name with an embedded Prometheus label,
+// e.g. apichecker_serve_shed_total{class="bulk"}.
+inline std::string ClassSeriesName(const char* base, Priority priority) {
+  return obs::LabeledSeriesName(base, "class", PriorityName(priority));
+}
+
 // One vetting request: the APK archive as uploaded by a developer, held as a
 // ref-counted immutable blob (streamed in and hashed incrementally by the
 // ingest layer). Every downstream stage shares this one allocation.
 struct Submission {
   ingest::ApkBlob blob;
-  // Submissions with priority > 0 jump their shard's queue (the market's
-  // "expedited re-review" lane).
-  int priority = 0;
-  // Relative deadline; zero means no deadline. Expired submissions resolve
-  // with kDeadlineExpired instead of occupying an emulator.
+  // Traffic class: routes into the class's shard sub-queue (weighted-fair
+  // pop), selects the shed order under overload, and picks the default SLO
+  // deadline. Undeclared traffic is bulk — the first class to degrade.
+  Priority priority = Priority::kBulk;
+  // Relative deadline; zero means the class SLO default (or none if that is
+  // unset too). Expired submissions resolve with kDeadlineExpired instead of
+  // occupying an emulator.
   std::chrono::milliseconds deadline{0};
 };
 
@@ -42,6 +75,10 @@ enum class VetStatus : uint8_t {
   // Every farm in the pool was faulted/circuit-broken (or the batch exhausted
   // its retry budget): the submission is rejected visibly instead of hanging.
   kRejectedUnhealthy = 3,
+  // Dropped by overload control at admission: the watermark state machine was
+  // in pressure/critical and the submission's class is sheddable. Resolved
+  // immediately — the caller sees the drop instead of a timeout.
+  kShedOverload = 4,
 };
 
 inline const char* VetStatusName(VetStatus status) {
@@ -54,6 +91,8 @@ inline const char* VetStatusName(VetStatus status) {
       return "parse_error";
     case VetStatus::kRejectedUnhealthy:
       return "rejected_unhealthy";
+    case VetStatus::kShedOverload:
+      return "shed_overload";
   }
   return "unknown";
 }
@@ -77,7 +116,7 @@ struct VettingResult {
 struct PendingSubmission {
   uint64_t id = 0;
   ingest::ApkBlob blob;
-  int priority = 0;
+  Priority priority = Priority::kBulk;
   Clock::time_point admitted_at;
   // Contiguous stage timestamps for latency attribution: admitted_at ->
   // enqueued_at (submit) -> popped_at (shard-queue wait) -> dispatch (batch
@@ -113,7 +152,8 @@ inline std::string AdmissionSeriesName(const char* base, const char* bucket) {
 // Lifecycle accounting shared by admission, scheduler, farm pool, and cache.
 // The serving invariant — no lost submissions — is `accepted == resolved`
 // after a drain, where resolved = completed + deadline_expired + parse_errors
-// + rejected_unhealthy. The invariant must hold even when farms die mid-run.
+// + rejected_unhealthy + shed_overload. The invariant must hold even when
+// farms die mid-run and when overload control is actively shedding.
 struct ServiceCounters {
   std::atomic<uint64_t> submitted{0};
   std::atomic<uint64_t> accepted{0};
@@ -122,16 +162,24 @@ struct ServiceCounters {
   std::atomic<uint64_t> deadline_expired{0};
   std::atomic<uint64_t> parse_errors{0};
   std::atomic<uint64_t> rejected_unhealthy{0};  // No healthy farm / retries spent.
+  std::atomic<uint64_t> shed_overload{0};  // Dropped by the overload governor.
   std::atomic<uint64_t> cache_hits{0};
   std::atomic<uint64_t> warm_start_hits{0};  // Cache hits on store-recovered entries.
   std::atomic<uint64_t> model_swaps{0};
   std::atomic<uint64_t> batches{0};
+  // Per-traffic-class breakdowns, indexed by Priority. A shed submission
+  // counts as accepted (it received a verdict) and as shed.
+  std::array<std::atomic<uint64_t>, kNumPriorityClasses> accepted_by_class{};
+  std::array<std::atomic<uint64_t>, kNumPriorityClasses> completed_by_class{};
+  std::array<std::atomic<uint64_t>, kNumPriorityClasses> expired_by_class{};
+  std::array<std::atomic<uint64_t>, kNumPriorityClasses> shed_by_class{};
 
   uint64_t resolved() const {
     return completed.load(std::memory_order_relaxed) +
            deadline_expired.load(std::memory_order_relaxed) +
            parse_errors.load(std::memory_order_relaxed) +
-           rejected_unhealthy.load(std::memory_order_relaxed);
+           rejected_unhealthy.load(std::memory_order_relaxed) +
+           shed_overload.load(std::memory_order_relaxed);
   }
 };
 
@@ -144,16 +192,22 @@ struct ServiceStats {
   uint64_t deadline_expired = 0;
   uint64_t parse_errors = 0;
   uint64_t rejected_unhealthy = 0;
+  uint64_t shed_overload = 0;
   uint64_t cache_hits = 0;
   uint64_t warm_start_hits = 0;
   uint64_t model_swaps = 0;
   uint64_t batches = 0;
+  std::array<uint64_t, kNumPriorityClasses> accepted_by_class{};
+  std::array<uint64_t, kNumPriorityClasses> completed_by_class{};
+  std::array<uint64_t, kNumPriorityClasses> expired_by_class{};
+  std::array<uint64_t, kNumPriorityClasses> shed_by_class{};
   // Farm-pool accounting (mirrors FarmPoolStats aggregates).
   uint64_t farm_faults = 0;
   uint64_t farm_retries = 0;
 
   uint64_t resolved() const {
-    return completed + deadline_expired + parse_errors + rejected_unhealthy;
+    return completed + deadline_expired + parse_errors + rejected_unhealthy +
+           shed_overload;
   }
 };
 

@@ -1,9 +1,9 @@
-// Capacity-bounded MPMC queue (mutex + condition variables) with close
+// Capacity-bounded FIFO MPMC queue (mutex + condition variables) with close
 // semantics: the serving layer's admission-control primitive. TryPush gives
 // producers a non-blocking rejection path (backpressure instead of unbounded
 // growth), Close() wakes every waiter, fails further pushes, and lets
-// consumers drain what is already queued. `front` pushes jump the line — the
-// priority lane for urgent submissions.
+// consumers drain what is already queued. Priority ordering lives above this
+// queue (serve::SubmissionShards keeps one strict-FIFO lane per class).
 
 #ifndef APICHECKER_UTIL_BOUNDED_QUEUE_H_
 #define APICHECKER_UTIL_BOUNDED_QUEUE_H_
@@ -28,35 +28,27 @@ class BoundedQueue {
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
   // Non-blocking. Returns false when the queue is full or closed.
-  bool TryPush(T value, bool front = false) {
+  bool TryPush(T value) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (closed_ || items_.size() >= capacity_) {
         return false;
       }
-      if (front) {
-        items_.push_front(std::move(value));
-      } else {
-        items_.push_back(std::move(value));
-      }
+      items_.push_back(std::move(value));
     }
     not_empty_.notify_one();
     return true;
   }
 
   // Blocks while full. Returns false if the queue was (or becomes) closed.
-  bool Push(T value, bool front = false) {
+  bool Push(T value) {
     {
       std::unique_lock<std::mutex> lock(mu_);
       not_full_.wait(lock, [this] { return closed_ || items_.size() < capacity_; });
       if (closed_) {
         return false;
       }
-      if (front) {
-        items_.push_front(std::move(value));
-      } else {
-        items_.push_back(std::move(value));
-      }
+      items_.push_back(std::move(value));
     }
     not_empty_.notify_one();
     return true;

@@ -19,6 +19,7 @@
 #include "ingest/stream_reader.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
+#include "store/io_fault.h"
 #include "util/rng.h"
 #include "util/sha1.h"
 
@@ -222,6 +223,120 @@ TEST(ApkBlobSoak, ConcurrentCopyAndReleaseKeepsPoolAccountingExact) {
   shared.clear();
   EXPECT_EQ(ApkBlob::PoolBytes(), baseline);
   EXPECT_GT(ApkBlob::PoolPeakBytes(), baseline);
+}
+
+// ---------------------------------------------------------------------------
+// Spill-to-disk blobs: payloads at/above the threshold back onto an mmap'd,
+// immediately-unlinked temp file; handle semantics, digests, and accounting
+// must be indistinguishable from the heap mode.
+// ---------------------------------------------------------------------------
+
+// Restores the process-wide spill policy (and clears the fault hook) when a
+// test exits, pass or fail.
+struct SpillGuard {
+  ApkBlob::SpillConfig previous;
+  explicit SpillGuard(ApkBlob::SpillConfig config)
+      : previous(ApkBlob::SetSpillConfig(std::move(config))) {}
+  ~SpillGuard() {
+    ApkBlob::SetSpillConfig(previous);
+    ApkBlob::SetSpillWriteFaultHook(nullptr);
+  }
+};
+
+TEST(ApkBlobSpill, ThresholdBoundarySelectsStorageMode) {
+  constexpr size_t kThreshold = 4'096;
+  SpillGuard guard({kThreshold, ""});
+
+  ApkBlob below = ApkBlob::FromBytes(DeterministicBytes(kThreshold - 1, 11));
+  ApkBlob at = ApkBlob::FromBytes(DeterministicBytes(kThreshold, 12));
+  ApkBlob above = ApkBlob::FromBytes(DeterministicBytes(kThreshold + 1, 13));
+  EXPECT_FALSE(below.spilled());
+  EXPECT_TRUE(at.spilled());
+  EXPECT_TRUE(above.spilled());
+  EXPECT_EQ(below.size(), kThreshold - 1);
+  EXPECT_EQ(at.size(), kThreshold);
+  EXPECT_EQ(above.size(), kThreshold + 1);
+}
+
+TEST(ApkBlobSpill, SpilledBlobKeepsDigestBytesAndHandleSemantics) {
+  SpillGuard guard({1'024, ""});
+  const std::vector<uint8_t> bytes = DeterministicBytes(50'000, 21);
+
+  ApkBlob spilled = ApkBlob::FromBytes(bytes);
+  ASSERT_TRUE(spilled.spilled());
+  // Digest identity across the spill: same bytes, same SHA-1, bit-identical
+  // payload through the mmap.
+  EXPECT_EQ(spilled.digest(), util::Sha1Hex(bytes));
+  ASSERT_EQ(spilled.size(), bytes.size());
+  EXPECT_TRUE(
+      std::equal(spilled.bytes().begin(), spilled.bytes().end(), bytes.begin()));
+  // Zero-copy handle semantics are preserved: copies share the mapping.
+  ApkBlob copy = spilled;
+  EXPECT_EQ(spilled.use_count(), 2u);
+  EXPECT_EQ(copy.bytes().data(), spilled.bytes().data());
+}
+
+TEST(ApkBlobSpill, StreamedBlobsSpillThroughTheBuilderPath) {
+  SpillGuard guard({1'024, ""});
+  const std::vector<uint8_t> bytes = DeterministicBytes(20'000, 31);
+  MemoryStreamReader reader(bytes);
+  auto blob = ReadApkBlob(reader, /*chunk_bytes=*/1'024);
+  ASSERT_TRUE(blob.ok()) << blob.error();
+  EXPECT_TRUE(blob->spilled());
+  EXPECT_EQ(blob->digest(), util::Sha1Hex(bytes));
+}
+
+TEST(ApkBlobSpill, PoolGaugeExcludesSpilledBytesAndBoundsResidency) {
+  SpillGuard guard({16 * 1'024, ""});
+  const uint64_t pool_baseline = ApkBlob::PoolBytes();
+  const uint64_t spilled_baseline = ApkBlob::SpilledBytes();
+  ApkBlob::ResetPoolPeakBytes();
+  const uint64_t peak_baseline = ApkBlob::PoolPeakBytes();
+  {
+    std::vector<ApkBlob> storm;
+    for (uint64_t i = 0; i < 8; ++i) {
+      storm.push_back(ApkBlob::FromBytes(DeterministicBytes(64 * 1'024, 40 + i)));
+    }
+    // Every payload spilled: the HEAP pool gauge did not move — this is the
+    // "pool gauge bounds RSS" property the overload watermarks rely on.
+    EXPECT_EQ(ApkBlob::PoolBytes(), pool_baseline);
+    EXPECT_EQ(ApkBlob::PoolPeakBytes(), peak_baseline);
+    EXPECT_EQ(ApkBlob::SpilledBytes(), spilled_baseline + 8 * 64 * 1'024);
+  }
+  // Releasing the handles unmaps: spilled accounting returns to baseline.
+  EXPECT_EQ(ApkBlob::SpilledBytes(), spilled_baseline);
+  EXPECT_EQ(ApkBlob::PoolBytes(), pool_baseline);
+}
+
+TEST(ApkBlobSpill, WriteFaultFallsBackToHeapWithoutLosingBytes) {
+  SpillGuard guard({1'024, ""});
+  // Reuse the store layer's fault-injection plan as the spill-write fault
+  // source: the first write faults, the second succeeds.
+  store::IoFaultPlan plan;
+  plan.short_write_at = {1};
+  auto injector = std::make_shared<store::IoFaultInjector>(plan);
+  // The process-wide spill ordinal keeps counting across tests, so renumber
+  // locally: the injector sees this test's writes as ordinals 1, 2, ...
+  auto local_ordinal = std::make_shared<std::atomic<uint64_t>>(0);
+  ApkBlob::SetSpillWriteFaultHook([injector, local_ordinal](uint64_t) {
+    const uint64_t ordinal = local_ordinal->fetch_add(1) + 1;
+    return injector->OnAppend(ordinal) != store::AppendFault::kNone;
+  });
+
+  const uint64_t failures_before =
+      CounterValue(obs::names::kIngestSpillFailuresTotal);
+  const std::vector<uint8_t> bytes = DeterministicBytes(9'000, 51);
+
+  ApkBlob faulted = ApkBlob::FromBytes(bytes);
+  EXPECT_FALSE(faulted.spilled());  // Fault → heap fallback, bytes intact.
+  EXPECT_EQ(faulted.digest(), util::Sha1Hex(bytes));
+  EXPECT_TRUE(
+      std::equal(faulted.bytes().begin(), faulted.bytes().end(), bytes.begin()));
+  EXPECT_EQ(CounterValue(obs::names::kIngestSpillFailuresTotal),
+            failures_before + 1);
+
+  ApkBlob ok = ApkBlob::FromBytes(DeterministicBytes(9'000, 52));
+  EXPECT_TRUE(ok.spilled());  // Ordinal 2: no fault, spills normally.
 }
 
 }  // namespace

@@ -21,9 +21,12 @@
 #include "obs/names.h"
 #include "obs/trace_collector.h"
 #include "serve/digest_cache.h"
+#include "serve/overload.h"
 #include "serve/service.h"
 #include "serve/serving_model.h"
+#include "serve/submission_shards.h"
 #include "synth/corpus.h"
+#include "util/rng.h"
 
 namespace apichecker::serve {
 namespace {
@@ -68,7 +71,8 @@ std::vector<uint8_t> MakeApkBytes(uint64_t seed) {
   return synth::BuildApkBytes(generator.Next(), TestUniverse());
 }
 
-Submission MakeSubmission(ingest::ApkBlob blob, int priority = 0,
+Submission MakeSubmission(ingest::ApkBlob blob,
+                          Priority priority = Priority::kBulk,
                           std::chrono::milliseconds deadline = {}) {
   Submission submission;
   submission.blob = std::move(blob);
@@ -77,7 +81,8 @@ Submission MakeSubmission(ingest::ApkBlob blob, int priority = 0,
   return submission;
 }
 
-Submission MakeSubmission(std::vector<uint8_t> bytes, int priority = 0,
+Submission MakeSubmission(std::vector<uint8_t> bytes,
+                          Priority priority = Priority::kBulk,
                           std::chrono::milliseconds deadline = {}) {
   return MakeSubmission(ingest::ApkBlob::FromBytes(std::move(bytes)), priority,
                         deadline);
@@ -194,8 +199,8 @@ TEST(VettingService, DeadlineExpiryReturnsTimeoutOutcome) {
   config.scheduler.max_linger = std::chrono::milliseconds(200);
   VettingService service(TestUniverse(), config, TrainedChecker());
 
-  auto accepted = service.Submit(
-      MakeSubmission(MakeApkBytes(11), 0, std::chrono::milliseconds(1)));
+  auto accepted = service.Submit(MakeSubmission(
+      MakeApkBytes(11), Priority::kBulk, std::chrono::milliseconds(1)));
   ASSERT_TRUE(accepted.ok());
   const VettingResult result = accepted->get();
   EXPECT_EQ(result.status, VetStatus::kDeadlineExpired);
@@ -344,7 +349,8 @@ TEST(VettingService, HotSwapUnderLoadKeepsVerdictsConsistent) {
       for (size_t i = 0; i < kSubmitsPerThread; ++i) {
         auto accepted =
             service.Submit(MakeSubmission(apks[(t + i) % kDistinctApks],
-                                          /*priority=*/i % 8 == 0 ? 1 : 0));
+                                          i % 8 == 0 ? Priority::kInteractive
+                                                     : Priority::kBulk));
         if (accepted.ok()) {
           futures[t].push_back(std::move(*accepted));
         }
@@ -467,7 +473,8 @@ TEST(VettingServiceSoak, ChurnWithFlappingFarmHotSwapsAndDupDigests) {
         // (the market's resubmission pattern), some expedited.
         const size_t which = (t * 3 + i) % kDistinctApks;
         auto accepted = service.Submit(
-            MakeSubmission(apks[which], /*priority=*/i % 16 == 0 ? 1 : 0));
+            MakeSubmission(apks[which], i % 16 == 0 ? Priority::kInteractive
+                                                    : Priority::kBulk));
         if (accepted.ok()) {
           futures[t].push_back(std::move(*accepted));
           apk_index[t].push_back(which);
@@ -737,6 +744,497 @@ TEST(VettingService, TracesCoverTheFullPipelineAndFailoverSiblings) {
   EXPECT_NEAR(stage_delta, traced_delta, 0.01 * traced_delta + 0.1);
 
   std::filesystem::remove_all(store_dir);
+}
+
+// ---------------------------------------------------------------------------
+// Overload control & QoS: per-class lanes, weighted-fair pop, watermark
+// shedding, class SLO deadlines, and the storm-tier invariant tests.
+// ---------------------------------------------------------------------------
+
+PendingSubmission MakePending(Priority priority, uint64_t tag) {
+  PendingSubmission pending;
+  pending.blob = ingest::ApkBlob::FromBytes(
+      {static_cast<uint8_t>(tag), static_cast<uint8_t>(tag >> 8),
+       static_cast<uint8_t>(tag >> 16), 0x7e});
+  pending.priority = priority;
+  pending.admitted_at = Clock::now();
+  pending.deadline = Clock::time_point::max();
+  return pending;
+}
+
+// Smooth WRR with weights {4,2,1} serves classes in the exact cycle
+// I R I B I R I (interactive 4, rescan 2, bulk 1 per 7 pops).
+TEST(SubmissionShards, WeightedFairPopHonorsClassShares) {
+  SubmissionShards shards(/*num_shards=*/1, /*per_shard_capacity=*/32,
+                          {{4, 2, 1}});
+  uint64_t tag = 0;
+  for (size_t i = 0; i < 8; ++i) {
+    for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+      ASSERT_EQ(shards.TryPush(MakePending(static_cast<Priority>(c), ++tag)),
+                AdmissionOutcome::kAccepted);
+    }
+  }
+  std::array<size_t, kNumPriorityClasses> popped{};
+  for (size_t i = 0; i < 14; ++i) {
+    auto pending = shards.TryPopAny();
+    ASSERT_TRUE(pending.has_value());
+    ++popped[static_cast<size_t>(pending->priority)];
+  }
+  EXPECT_EQ(popped[static_cast<size_t>(Priority::kInteractive)], 8u);
+  EXPECT_EQ(popped[static_cast<size_t>(Priority::kRescan)], 4u);
+  EXPECT_EQ(popped[static_cast<size_t>(Priority::kBulk)], 2u);
+  shards.Close();
+}
+
+// Migrated from the PR-2 priority push-front semantics: an interactive
+// submission pushed after a bulk backlog is still served first — now because
+// its class lane outweighs bulk, not because it jumped a shared queue.
+TEST(SubmissionShards, InteractivePopsAheadOfEarlierBulkBacklog) {
+  SubmissionShards shards(/*num_shards=*/2, /*per_shard_capacity=*/8);
+  for (uint64_t i = 0; i < 5; ++i) {
+    ASSERT_EQ(shards.TryPush(MakePending(Priority::kBulk, 100 + i)),
+              AdmissionOutcome::kAccepted);
+  }
+  ASSERT_EQ(shards.TryPush(MakePending(Priority::kInteractive, 999)),
+            AdmissionOutcome::kAccepted);
+  auto first = shards.TryPopAny();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->priority, Priority::kInteractive);
+  shards.Close();
+}
+
+// Work conservation: an idle preferred class never blocks a busy one, and
+// banked credit from empty sweeps is refunded (no burst later).
+TEST(SubmissionShards, WeightedPopIsWorkConservingWhenClassesAreIdle) {
+  SubmissionShards shards(/*num_shards=*/1, /*per_shard_capacity=*/8,
+                          {{8, 3, 1}});
+  EXPECT_EQ(shards.TryPopAny(), std::nullopt);  // Empty sweep: credit refunded.
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_EQ(shards.TryPush(MakePending(Priority::kBulk, 200 + i)),
+              AdmissionOutcome::kAccepted);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto pending = shards.TryPopAny();
+    ASSERT_TRUE(pending.has_value());
+    EXPECT_EQ(pending->priority, Priority::kBulk);
+  }
+  shards.Close();
+}
+
+// Class isolation: a full bulk lane rejects bulk but interactive still has
+// its own slots — a storm cannot occupy the capacity interactive needs.
+TEST(SubmissionShards, ClassLanesIsolateCapacity) {
+  SubmissionShards shards(/*num_shards=*/1, /*per_shard_capacity=*/2);
+  ASSERT_EQ(shards.TryPush(MakePending(Priority::kBulk, 1)),
+            AdmissionOutcome::kAccepted);
+  ASSERT_EQ(shards.TryPush(MakePending(Priority::kBulk, 2)),
+            AdmissionOutcome::kAccepted);
+  EXPECT_EQ(shards.TryPush(MakePending(Priority::kBulk, 3)),
+            AdmissionOutcome::kQueueFull);
+  EXPECT_EQ(shards.TryPush(MakePending(Priority::kInteractive, 4)),
+            AdmissionOutcome::kAccepted);
+  EXPECT_EQ(shards.ApproxDepthByClass(Priority::kBulk), 2u);
+  EXPECT_EQ(shards.ApproxDepthByClass(Priority::kInteractive), 1u);
+  shards.Close();
+}
+
+TEST(OverloadGovernor, WatermarksEscalateImmediatelyAndReleaseWithHysteresis) {
+  OverloadConfig config;
+  config.shed = true;
+  config.queue_pressure = 0.5;
+  config.queue_critical = 0.8;
+  config.queue_release = 0.2;
+  OverloadGovernor governor(config);
+  EXPECT_EQ(governor.Evaluate(1, 10, 0), PressureState::kNormal);
+  EXPECT_EQ(governor.Evaluate(5, 10, 0), PressureState::kPressure);
+  // Dropping below pressure but above release holds the state (hysteresis).
+  EXPECT_EQ(governor.Evaluate(3, 10, 0), PressureState::kPressure);
+  EXPECT_EQ(governor.Evaluate(8, 10, 0), PressureState::kCritical);
+  EXPECT_EQ(governor.Evaluate(3, 10, 0), PressureState::kCritical);
+  EXPECT_EQ(governor.Evaluate(1, 10, 0), PressureState::kNormal);
+  EXPECT_EQ(governor.transitions(), 3u);
+
+  // The shed lattice: bulk first, then rescan, never interactive.
+  EXPECT_FALSE(OverloadGovernor::ShouldShed(PressureState::kNormal,
+                                            Priority::kBulk));
+  EXPECT_TRUE(OverloadGovernor::ShouldShed(PressureState::kPressure,
+                                           Priority::kBulk));
+  EXPECT_FALSE(OverloadGovernor::ShouldShed(PressureState::kPressure,
+                                            Priority::kRescan));
+  EXPECT_TRUE(OverloadGovernor::ShouldShed(PressureState::kCritical,
+                                           Priority::kRescan));
+  EXPECT_FALSE(OverloadGovernor::ShouldShed(PressureState::kCritical,
+                                            Priority::kInteractive));
+}
+
+TEST(OverloadGovernor, BlobPoolWatermarkAloneTriggersPressure) {
+  OverloadConfig config;
+  config.shed = true;
+  config.pool_pressure_bytes = 1000;
+  config.pool_critical_bytes = 2000;
+  OverloadGovernor governor(config);
+  EXPECT_EQ(governor.Evaluate(0, 10, 999), PressureState::kNormal);
+  EXPECT_EQ(governor.Evaluate(0, 10, 1000), PressureState::kPressure);
+  EXPECT_EQ(governor.Evaluate(0, 10, 2500), PressureState::kCritical);
+  // Queue is empty but the pool is still pressured: hold critical.
+  EXPECT_EQ(governor.Evaluate(0, 10, 1500), PressureState::kCritical);
+  EXPECT_EQ(governor.Evaluate(0, 10, 0), PressureState::kNormal);
+}
+
+// End-to-end shed order through the service: with a paused scheduler and a
+// tiny lane, bulk sheds at the pressure watermark, rescan at critical, and
+// interactive is admitted in every state.
+TEST(VettingService, ShedsBulkBeforeRescanAndNeverInteractive) {
+  ServiceConfig config = SmallConfig();
+  config.num_shards = 1;
+  config.shard_capacity = 8;  // class_capacity == 8.
+  config.start_paused = true;
+  config.overload.shed = true;
+  config.overload.queue_pressure = 0.25;  // Depth 2.
+  config.overload.queue_critical = 0.50;  // Depth 4.
+  config.overload.queue_release = 0.10;
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  uint64_t seed = 7000;
+  auto submit = [&](Priority priority) {
+    return service.Submit(MakeSubmission(MakeApkBytes(++seed), priority));
+  };
+  std::vector<std::future<VettingResult>> queued;
+
+  auto bulk1 = submit(Priority::kBulk);
+  auto bulk2 = submit(Priority::kBulk);
+  ASSERT_TRUE(bulk1.ok() && bulk2.ok());  // Depth 0, 1: below pressure.
+  queued.push_back(std::move(*bulk1));
+  queued.push_back(std::move(*bulk2));
+
+  // Depth 2 / 8 == pressure: this bulk submission is shed, immediately.
+  auto bulk3 = submit(Priority::kBulk);
+  ASSERT_TRUE(bulk3.ok());
+  ASSERT_EQ(bulk3->wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  const VettingResult shed_result = bulk3->get();
+  EXPECT_EQ(shed_result.status, VetStatus::kShedOverload);
+  EXPECT_EQ(shed_result.error, "pressure");
+  EXPECT_EQ(service.pressure_state(), PressureState::kPressure);
+
+  // Rescan still rides through pressure...
+  auto rescan1 = submit(Priority::kRescan);
+  auto rescan2 = submit(Priority::kRescan);
+  ASSERT_TRUE(rescan1.ok() && rescan2.ok());
+  queued.push_back(std::move(*rescan1));
+  queued.push_back(std::move(*rescan2));
+
+  // ...until depth 4 / 8 == critical sheds it too.
+  auto rescan3 = submit(Priority::kRescan);
+  ASSERT_TRUE(rescan3.ok());
+  ASSERT_EQ(rescan3->wait_for(std::chrono::seconds(0)),
+            std::future_status::ready);
+  EXPECT_EQ(rescan3->get().status, VetStatus::kShedOverload);
+  EXPECT_EQ(service.pressure_state(), PressureState::kCritical);
+
+  // Interactive is admitted even at critical.
+  for (int i = 0; i < 3; ++i) {
+    auto interactive = submit(Priority::kInteractive);
+    ASSERT_TRUE(interactive.ok());
+    EXPECT_NE(interactive->wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "interactive must be queued, not shed";
+    queued.push_back(std::move(*interactive));
+  }
+
+  service.Start();
+  for (auto& future : queued) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+              std::future_status::ready);
+    EXPECT_EQ(future.get().status, VetStatus::kOk);
+  }
+  service.Shutdown();
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, stats.resolved());
+  EXPECT_EQ(stats.shed_overload, 2u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<size_t>(Priority::kBulk)], 1u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<size_t>(Priority::kRescan)], 1u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<size_t>(Priority::kInteractive)],
+            0u);
+  EXPECT_GE(service.pressure_transitions(), 2u);
+  EXPECT_GE(CounterValue(obs::names::kServeShedTotal), 2u);
+  EXPECT_GE(
+      CounterValue(
+          ClassSeriesName(obs::names::kServeShedTotal, Priority::kBulk).c_str()),
+      1u);
+}
+
+// A class SLO acts as the default deadline AND pulls the linger in: a single
+// tight-SLO submission in a never-filling batch resolves (here: expires,
+// visibly, as class-labeled) at its deadline instead of the 500ms linger.
+TEST(VettingService, ClassSloSetsDefaultDeadlineAndBoundsLinger) {
+  ServiceConfig config = SmallConfig();
+  config.scheduler.batch_size = 16;
+  config.scheduler.max_linger = std::chrono::milliseconds(500);
+  config.overload.class_slo[static_cast<size_t>(Priority::kInteractive)] =
+      std::chrono::milliseconds(40);
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  const auto start = Clock::now();
+  auto accepted =
+      service.Submit(MakeSubmission(MakeApkBytes(8101), Priority::kInteractive));
+  ASSERT_TRUE(accepted.ok());
+  const VettingResult result = accepted->get();
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start).count();
+  EXPECT_EQ(result.status, VetStatus::kDeadlineExpired);
+  EXPECT_LT(elapsed_ms, 400.0);  // Flushed at the SLO, not the linger.
+  service.Shutdown();
+  EXPECT_EQ(service.stats().expired_by_class[static_cast<size_t>(
+                Priority::kInteractive)],
+            1u);
+}
+
+// ---------------------------------------------------------------------------
+// Property-style storm tier: randomized storms (seeded priorities, sizes,
+// fault rates, hot swaps, spill thresholds) must hold the extended accounting
+// invariant and the "interactive never shed" guarantee on every seed.
+// ---------------------------------------------------------------------------
+
+const std::vector<std::vector<uint8_t>>& StormApkPool() {
+  static const std::vector<std::vector<uint8_t>> pool = [] {
+    std::vector<std::vector<uint8_t>> apks;
+    for (uint64_t i = 0; i < 5; ++i) {
+      apks.push_back(MakeApkBytes(9100 + i));
+    }
+    return apks;
+  }();
+  return pool;
+}
+
+void RunStorm(uint64_t seed) {
+  SCOPED_TRACE("storm seed " + std::to_string(seed));
+  util::Rng rng(seed);
+
+  const ingest::ApkBlob::SpillConfig previous_spill =
+      ingest::ApkBlob::SetSpillConfig(
+          seed % 3 == 0
+              ? ingest::ApkBlob::SpillConfig{1 + rng.NextBounded(64 * 1024), ""}
+              : ingest::ApkBlob::SpillConfig{});
+
+  ServiceConfig config;
+  config.num_shards = 1 + rng.NextBounded(3);
+  config.shard_capacity = 2 + rng.NextBounded(12);
+  config.cache_capacity = 64;
+  config.farm.num_emulators = 2;
+  config.farm.worker_threads = 2;
+  config.scheduler.batch_size = 1 + rng.NextBounded(6);
+  config.scheduler.max_linger =
+      std::chrono::milliseconds(rng.NextBounded(5));
+  config.pool.num_farms = 1 + rng.NextBounded(2);
+  if (config.pool.num_farms > 1 && rng.Bernoulli(0.5)) {
+    emu::FaultWindow window;
+    window.farm_id = 0;
+    window.from_batch = 1;
+    window.to_batch = 1 + rng.NextBounded(3);
+    config.pool.fault_plan.windows.push_back(window);
+    config.pool.max_attempts = 2;
+  }
+  config.start_paused = rng.Bernoulli(0.5);
+  config.overload.shed = rng.Bernoulli(0.5);
+  config.overload.queue_pressure = rng.Uniform(0.2, 0.6);
+  config.overload.queue_critical = config.overload.queue_pressure + 0.2;
+  config.overload.queue_release = 0.1;
+  for (size_t c = 0; c < kNumPriorityClasses; ++c) {
+    config.overload.class_weights[c] =
+        static_cast<uint32_t>(1 + rng.NextBounded(8));
+  }
+  if (rng.Bernoulli(0.5)) {
+    config.overload.class_slo[static_cast<size_t>(Priority::kInteractive)] =
+        std::chrono::milliseconds(20 + rng.NextBounded(60));
+  }
+  if (rng.Bernoulli(0.3)) {
+    config.overload.class_slo[static_cast<size_t>(Priority::kBulk)] =
+        std::chrono::milliseconds(1 + rng.NextBounded(30));
+  }
+
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  constexpr size_t kSubmissions = 16;
+  std::vector<std::future<VettingResult>> futures;
+  size_t admission_rejected = 0;
+  for (size_t i = 0; i < kSubmissions; ++i) {
+    Submission submission;
+    submission.priority = static_cast<Priority>(rng.NextBounded(3));
+    if (rng.Bernoulli(0.15)) {
+      // Garbage bytes of a seeded size: the parse-error path under storm.
+      std::vector<uint8_t> junk(4 + rng.NextBounded(512));
+      for (auto& byte : junk) {
+        byte = static_cast<uint8_t>(rng.Next());
+      }
+      submission.blob = ingest::ApkBlob::FromBytes(std::move(junk));
+    } else {
+      submission.blob = ingest::ApkBlob::FromBytes(
+          StormApkPool()[rng.NextBounded(StormApkPool().size())]);
+    }
+    if (rng.Bernoulli(0.2)) {
+      submission.deadline = std::chrono::milliseconds(rng.NextBounded(3));
+    }
+    auto accepted = service.Submit(std::move(submission));
+    if (accepted.ok()) {
+      futures.push_back(std::move(*accepted));
+    } else {
+      ++admission_rejected;
+    }
+    if (i == kSubmissions / 2 && rng.Bernoulli(0.4)) {
+      EXPECT_TRUE(service.SwapModelFromBlob(TrainedBlob()).ok());
+    }
+  }
+  service.Start();
+
+  std::array<uint64_t, 5> by_status{};
+  for (auto& future : futures) {
+    ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+              std::future_status::ready)
+        << "submission hung";
+    ++by_status[static_cast<size_t>(future.get().status)];
+  }
+  service.Shutdown();
+  ingest::ApkBlob::SetSpillConfig(previous_spill);
+
+  const ServiceStats stats = service.stats();
+  // The tentpole invariant, extended for shedding: every accepted submission
+  // resolved with exactly one visible status.
+  EXPECT_EQ(stats.accepted, stats.resolved());
+  EXPECT_EQ(stats.accepted, futures.size());
+  EXPECT_EQ(stats.submitted, stats.accepted + stats.rejected);
+  EXPECT_EQ(stats.rejected, admission_rejected);
+  EXPECT_EQ(by_status[static_cast<size_t>(VetStatus::kOk)], stats.completed);
+  EXPECT_EQ(by_status[static_cast<size_t>(VetStatus::kDeadlineExpired)],
+            stats.deadline_expired);
+  EXPECT_EQ(by_status[static_cast<size_t>(VetStatus::kParseError)],
+            stats.parse_errors);
+  EXPECT_EQ(by_status[static_cast<size_t>(VetStatus::kRejectedUnhealthy)],
+            stats.rejected_unhealthy);
+  EXPECT_EQ(by_status[static_cast<size_t>(VetStatus::kShedOverload)],
+            stats.shed_overload);
+  // Interactive is never shed, no matter how the storm landed.
+  EXPECT_EQ(stats.shed_by_class[static_cast<size_t>(Priority::kInteractive)],
+            0u);
+  const uint64_t class_shed_sum =
+      stats.shed_by_class[0] + stats.shed_by_class[1] + stats.shed_by_class[2];
+  EXPECT_EQ(class_shed_sum, stats.shed_overload);
+}
+
+TEST(VettingServiceStorm, RandomizedStormsHoldTheAccountingInvariant) {
+  for (uint64_t seed = 1; seed <= 50; ++seed) {
+    RunStorm(seed);
+    if (testing::Test::HasFatalFailure()) {
+      return;
+    }
+  }
+}
+
+// Storm soak (ctest label: stress; runs under TSan in tools/ci.sh): four
+// producer classes flood a flapping 3-farm pool with shedding enabled while
+// the spill threshold crosses mid-storm from "nothing spills" to "everything
+// spills". Zero acknowledged verdicts may be lost and interactive is never
+// shed.
+TEST(VettingServiceSoak, MixedClassStormShedsSpillsAndLosesNothing) {
+  const ingest::ApkBlob::SpillConfig previous_spill =
+      ingest::ApkBlob::SetSpillConfig({1 << 30, ""});  // Effectively off.
+
+  ServiceConfig config;
+  config.num_shards = 2;
+  config.shard_capacity = 24;
+  config.cache_capacity = 4096;
+  config.farm.num_emulators = 4;
+  config.farm.worker_threads = 2;
+  config.scheduler.batch_size = 4;
+  config.scheduler.max_linger = std::chrono::milliseconds(2);
+  config.pool.num_farms = 3;
+  config.pool.max_attempts = 3;
+  config.pool.breaker_failure_streak = 2;
+  config.pool.breaker_cooldown = std::chrono::milliseconds(30);
+  for (uint64_t from = 1; from <= 13; from += 6) {
+    emu::FaultWindow window;
+    window.farm_id = 0;
+    window.from_batch = from;
+    window.to_batch = from + 2;
+    config.pool.fault_plan.windows.push_back(window);
+  }
+  config.overload.shed = true;
+  config.overload.queue_pressure = 0.5;
+  config.overload.queue_critical = 0.8;
+  config.overload.queue_release = 0.3;
+  config.overload.class_slo[static_cast<size_t>(Priority::kInteractive)] =
+      std::chrono::milliseconds(30'000);  // Generous: a deadline, not a trap.
+  VettingService service(TestUniverse(), config, TrainedChecker());
+
+  constexpr size_t kDistinctApks = 6;
+  constexpr size_t kSubmitsPerProducer = 40;
+  std::vector<std::vector<uint8_t>> apks;
+  for (size_t i = 0; i < kDistinctApks; ++i) {
+    apks.push_back(MakeApkBytes(9600 + i));
+  }
+
+  // Four producer classes: interactive, rescan, and two bulk storms. Blobs
+  // are materialized at submit time so the mid-storm spill threshold change
+  // actually changes where fresh payloads land.
+  const Priority producer_class[4] = {Priority::kInteractive, Priority::kRescan,
+                                      Priority::kBulk, Priority::kBulk};
+  std::vector<std::thread> producers;
+  std::vector<std::vector<std::future<VettingResult>>> futures(4);
+  std::atomic<size_t> admission_rejected{0};
+  for (size_t t = 0; t < 4; ++t) {
+    producers.emplace_back([&, t] {
+      for (size_t i = 0; i < kSubmitsPerProducer; ++i) {
+        if (t == 0 && i == kSubmitsPerProducer / 2) {
+          // Mid-storm spill-threshold crossing: from "nothing spills" to
+          // "every fresh APK spills".
+          ingest::ApkBlob::SetSpillConfig({8 * 1024, ""});
+        }
+        Submission submission;
+        submission.priority = producer_class[t];
+        submission.blob = ingest::ApkBlob::FromBytes(
+            apks[(t * 5 + i) % kDistinctApks]);
+        auto accepted = service.Submit(std::move(submission));
+        if (accepted.ok()) {
+          futures[t].push_back(std::move(*accepted));
+        } else {
+          admission_rejected.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& producer : producers) {
+    producer.join();
+  }
+
+  size_t resolved = 0;
+  size_t interactive_shed_seen = 0;
+  for (size_t t = 0; t < 4; ++t) {
+    for (auto& future : futures[t]) {
+      ASSERT_EQ(future.wait_for(std::chrono::seconds(60)),
+                std::future_status::ready)
+          << "submission hung";
+      const VettingResult result = future.get();
+      if (producer_class[t] == Priority::kInteractive &&
+          result.status == VetStatus::kShedOverload) {
+        ++interactive_shed_seen;
+      }
+      ++resolved;
+    }
+  }
+  service.Shutdown();
+  ingest::ApkBlob::SetSpillConfig(previous_spill);
+
+  const ServiceStats stats = service.stats();
+  EXPECT_EQ(stats.accepted, stats.resolved());  // Zero lost verdicts.
+  EXPECT_EQ(stats.accepted, resolved);
+  EXPECT_EQ(stats.accepted + admission_rejected.load(),
+            4 * kSubmitsPerProducer);
+  EXPECT_EQ(interactive_shed_seen, 0u);
+  EXPECT_EQ(stats.shed_by_class[static_cast<size_t>(Priority::kInteractive)],
+            0u);
+  // The threshold crossing actually spilled fresh payloads.
+  EXPECT_GT(CounterValue(obs::names::kIngestBlobsSpilledTotal), 0u);
 }
 
 }  // namespace

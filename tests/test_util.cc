@@ -383,14 +383,16 @@ TEST(BoundedQueue, TryPushRejectsWhenFull) {
   EXPECT_EQ(queue.capacity(), 2u);
 }
 
-TEST(BoundedQueue, FrontPushJumpsTheLine) {
+// Priority ordering moved up into serve::SubmissionShards' per-class lanes
+// (weighted-fair pop); the queue itself is strict FIFO.
+TEST(BoundedQueue, PopsInStrictFifoOrder) {
   BoundedQueue<int> queue(4);
   ASSERT_TRUE(queue.TryPush(1));
   ASSERT_TRUE(queue.TryPush(2));
-  ASSERT_TRUE(queue.TryPush(99, /*front=*/true));
-  EXPECT_EQ(queue.TryPop(), 99);
+  ASSERT_TRUE(queue.TryPush(99));
   EXPECT_EQ(queue.TryPop(), 1);
   EXPECT_EQ(queue.TryPop(), 2);
+  EXPECT_EQ(queue.TryPop(), 99);
   EXPECT_EQ(queue.TryPop(), std::nullopt);
 }
 

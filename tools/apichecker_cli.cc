@@ -93,8 +93,32 @@ struct CommonFlags {
   bool fabric_kill_one = false;
   std::string listen;
   uint32_t worker_id = 0;
+  // Overload control & QoS: `serve --shed` turns on watermark-driven load
+  // shedding (bulk first, interactive never); --class-weights I,R,B sets the
+  // weighted-fair pop shares, --slo-ms I,R,B per-class default deadlines
+  // (0 = none), --spill-threshold-kb spills blobs at/above the threshold to
+  // unlinked temp files so the blob pool bounds RSS during a storm.
+  bool shed = false;
+  size_t shard_capacity = 512;
+  std::string class_weights;  // "I,R,B"; empty = library default.
+  std::string slo_ms;         // "I,R,B" in ms; empty/0 = no class SLO.
+  size_t spill_threshold_kb = 0;  // 0 = spilling off.
   std::vector<std::string> positional;
 };
+
+// Parses "a,b,c" (interactive,rescan,bulk) into out[3]. Returns false on
+// malformed input.
+bool ParseClassTriple(const char* text, uint64_t out[3]) {
+  char* cursor = nullptr;
+  out[0] = std::strtoull(text, &cursor, 10);
+  if (cursor == text || *cursor != ',') return false;
+  const char* second = cursor + 1;
+  out[1] = std::strtoull(second, &cursor, 10);
+  if (cursor == second || *cursor != ',') return false;
+  const char* third = cursor + 1;
+  out[2] = std::strtoull(third, &cursor, 10);
+  return cursor != third && *cursor == '\0';
+}
 
 CommonFlags ParseFlags(int argc, char** argv, int first) {
   CommonFlags flags;
@@ -161,6 +185,18 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
     } else if (std::strcmp(argv[i], "--worker-id") == 0) {
       flags.worker_id = static_cast<uint32_t>(
           std::strtoul(next_value("--worker-id"), nullptr, 10));
+    } else if (std::strcmp(argv[i], "--shed") == 0) {
+      flags.shed = true;
+    } else if (std::strcmp(argv[i], "--shard-capacity") == 0) {
+      flags.shard_capacity =
+          std::strtoull(next_value("--shard-capacity"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--class-weights") == 0) {
+      flags.class_weights = next_value("--class-weights");
+    } else if (std::strcmp(argv[i], "--slo-ms") == 0) {
+      flags.slo_ms = next_value("--slo-ms");
+    } else if (std::strcmp(argv[i], "--spill-threshold-kb") == 0) {
+      flags.spill_threshold_kb =
+          std::strtoull(next_value("--spill-threshold-kb"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--bench-out") == 0) {
       flags.bench_out = next_value("--bench-out");
     } else if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
@@ -453,7 +489,31 @@ int CmdServe(const CommonFlags& flags) {
 
   serve::ServiceConfig config;
   config.num_shards = std::max<size_t>(1, flags.shards);
-  config.shard_capacity = 512;
+  config.shard_capacity = std::max<size_t>(1, flags.shard_capacity);
+  config.overload.shed = flags.shed;
+  if (!flags.class_weights.empty()) {
+    uint64_t weights[3];
+    if (!ParseClassTriple(flags.class_weights.c_str(), weights)) {
+      std::fprintf(stderr, "--class-weights wants I,R,B (e.g. 8,3,1)\n");
+      return 2;
+    }
+    for (size_t c = 0; c < serve::kNumPriorityClasses; ++c) {
+      config.overload.class_weights[c] = static_cast<uint32_t>(weights[c]);
+    }
+  }
+  if (!flags.slo_ms.empty()) {
+    uint64_t slo[3];
+    if (!ParseClassTriple(flags.slo_ms.c_str(), slo)) {
+      std::fprintf(stderr, "--slo-ms wants I,R,B milliseconds (0 = none)\n");
+      return 2;
+    }
+    for (size_t c = 0; c < serve::kNumPriorityClasses; ++c) {
+      config.overload.class_slo[c] = std::chrono::milliseconds(slo[c]);
+    }
+  }
+  if (flags.spill_threshold_kb > 0) {
+    ingest::ApkBlob::SetSpillConfig({flags.spill_threshold_kb * 1024, ""});
+  }
   config.farm.engine.kind = emu::EngineKind::kLightweight;
   config.scheduler.batch_size = flags.batch;  // 0 = one per emulator.
   config.scheduler.max_linger = std::chrono::milliseconds(flags.linger_ms);
@@ -625,7 +685,11 @@ int CmdServe(const CommonFlags& flags) {
     }
     serve::Submission submission;
     submission.blob = trace[i];
-    submission.priority = i % 16 == 0 ? 1 : 0;  // Expedited lane sample.
+    // Class mix: a trickle of interactive (1/16) and rescan (1/16) riding on
+    // a bulk backlog — the storm shape the overload layer is built for.
+    submission.priority = i % 16 == 0   ? serve::Priority::kInteractive
+                          : i % 16 == 8 ? serve::Priority::kRescan
+                                        : serve::Priority::kBulk;
     auto accepted = service.Submit(std::move(submission));
     if (accepted.ok()) {
       futures.push_back(std::move(*accepted));
@@ -635,7 +699,7 @@ int CmdServe(const CommonFlags& flags) {
   }
 
   size_t malicious = 0, benign = 0, cache_hits = 0, expired = 0, parse_errors = 0;
-  size_t unhealthy = 0;
+  size_t unhealthy = 0, shed = 0;
   for (auto& future : futures) {
     const serve::VettingResult result = future.get();
     switch (result.status) {
@@ -652,6 +716,9 @@ int CmdServe(const CommonFlags& flags) {
       case serve::VetStatus::kRejectedUnhealthy:
         ++unhealthy;
         break;
+      case serve::VetStatus::kShedOverload:
+        ++shed;
+        break;
     }
   }
   const double elapsed_s =
@@ -666,9 +733,39 @@ int CmdServe(const CommonFlags& flags) {
               static_cast<unsigned long long>(stats.accepted),
               static_cast<unsigned long long>(stats.rejected));
   std::printf("serve: verdicts %zu malicious / %zu benign; %zu cache hits, "
-              "%zu expired, %zu parse errors, %zu rejected-unhealthy, %llu batches\n",
+              "%zu expired, %zu parse errors, %zu rejected-unhealthy, "
+              "%zu shed, %llu batches\n",
               malicious, benign, cache_hits, expired, parse_errors, unhealthy,
-              static_cast<unsigned long long>(stats.batches));
+              shed, static_cast<unsigned long long>(stats.batches));
+  for (size_t c = 0; c < serve::kNumPriorityClasses; ++c) {
+    const auto priority = static_cast<serve::Priority>(c);
+    std::printf("serve:   class %-11s — %llu accepted, %llu completed, "
+                "%llu expired, %llu shed\n",
+                serve::PriorityName(priority),
+                static_cast<unsigned long long>(stats.accepted_by_class[c]),
+                static_cast<unsigned long long>(stats.completed_by_class[c]),
+                static_cast<unsigned long long>(stats.expired_by_class[c]),
+                static_cast<unsigned long long>(stats.shed_by_class[c]));
+  }
+  if (flags.shed) {
+    std::printf("serve: overload — pressure state %s, %llu transitions, "
+                "%llu shed total\n",
+                serve::PressureStateName(service.pressure_state()),
+                static_cast<unsigned long long>(service.pressure_transitions()),
+                static_cast<unsigned long long>(stats.shed_overload));
+  }
+  if (flags.spill_threshold_kb > 0) {
+    obs::MetricsRegistry& spill_reg = obs::MetricsRegistry::Default();
+    std::printf("serve: spill — %llu blobs spilled to disk (threshold %zu KB, "
+                "%llu failures), %llu KB still mapped\n",
+                static_cast<unsigned long long>(
+                    spill_reg.counter(obs::names::kIngestBlobsSpilledTotal).value()),
+                flags.spill_threshold_kb,
+                static_cast<unsigned long long>(
+                    spill_reg.counter(obs::names::kIngestSpillFailuresTotal).value()),
+                static_cast<unsigned long long>(ingest::ApkBlob::SpilledBytes() /
+                                                1024));
+  }
   const serve::FarmPoolStats pool_stats = service.farm_pool_stats();
   std::printf("serve: farm pool — %llu routed, %llu faults, %llu retries, "
               "%llu rejected batches, %zu/%zu farms healthy\n",
@@ -895,7 +992,13 @@ void PrintUsage() {
       "              injects store short-writes/fsync failures;\n"
       "              --fabric N spawns N farm worker processes and dispatches\n"
       "              over the fabric RPC transport, --fabric-kill-one SIGKILLs\n"
-      "              one mid-trace to exercise heartbeat breakers + failover)\n"
+      "              one mid-trace to exercise heartbeat breakers + failover;\n"
+      "              --shed turns on watermark load shedding (bulk first,\n"
+      "              interactive never), --shard-capacity N per-class lane\n"
+      "              depth, --class-weights I,R,B weighted-fair pop shares,\n"
+      "              --slo-ms I,R,B per-class default deadlines (0 = none),\n"
+      "              --spill-threshold-kb K spills blobs >= K KB to disk so\n"
+      "              the blob pool bounds RSS under a storm)\n"
       "  farm       run one fabric farm worker (--listen unix:/path|tcp:host:port,\n"
       "              --worker-id N; --apis/--seed must match the serve front end)\n"
       "  market     run the deployment simulation (--months, --apps)\n"

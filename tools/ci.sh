@@ -7,6 +7,8 @@
 # replay records and the warmed cache must produce hits), then an ingest
 # admission-latency smoke (mixed ~64KB/~8MB APKs through the chunked reader:
 # the large bucket's Submit() p99 must stay within 2x of the small bucket's),
+# then an overload-control storm smoke (shedding on against one small shard:
+# bulk sheds, interactive never, the SLO holds, blobs spill, nothing lost),
 # then rebuild the concurrency-sensitive tests under AddressSanitizer and —
 # unless skipped —
 # run the stress-labelled suites (farm-pool fault injection + the serve and
@@ -86,7 +88,8 @@ accepted = count("apichecker_serve_accepted_total")
 resolved = (count("apichecker_serve_completed_total")
             + count("apichecker_serve_deadline_expired_total")
             + count("apichecker_serve_parse_errors_total")
-            + count("apichecker_serve_farm_rejected_unhealthy_total"))
+            + count("apichecker_serve_farm_rejected_unhealthy_total")
+            + count("apichecker_serve_shed_total"))
 if accepted == 0:
     raise SystemExit("fabric smoke accepted nothing")
 if accepted != resolved:
@@ -170,6 +173,61 @@ if large > bound:
                      "Submit() is scaling with APK size" % (large, bound))
 PYEOF
 echo "ingest smoke OK (large-APK admission p99 within 2x of small)"
+
+echo "=== storm: overload control & QoS smoke (shed + SLO + spill) ==="
+# Blast the CLI's mixed-priority trace (1/16 interactive, 1/16 rescan, rest
+# bulk) at a single 40-deep shard with shedding on and a 16 KB spill
+# threshold. The governor must shed bulk under pressure but NEVER interactive,
+# interactive end-to-end p99 must hold its 10 s SLO, at least one blob must
+# spill to disk, and the accepted == resolved invariant must extend over the
+# shed class (shed submissions resolve visibly, they are not lost).
+"$ROOT/build/tools/apichecker" serve --apps 240 --apis 8000 --batch 4 \
+  --model "$SERVE_TMP/model.bin" --shards 1 --shard-capacity 40 --shed \
+  --slo-ms 10000,0,0 --spill-threshold-kb 16 \
+  --metrics-out "$SERVE_TMP/metrics-storm.json" \
+  | grep "invariant accepted == resolved: OK"
+python3 - "$SERVE_TMP/metrics-storm.json" <<'PYEOF'
+import json, sys
+metrics = json.load(open(sys.argv[1]))
+counters = metrics["counters"]
+def count(name):
+    return int(counters.get(name, 0))
+shed_bulk = count('apichecker_serve_shed_total{class="bulk"}')
+shed_interactive = count('apichecker_serve_shed_total{class="interactive"}')
+if shed_bulk == 0:
+    raise SystemExit("storm smoke: overload governor never shed bulk traffic")
+if shed_interactive != 0:
+    raise SystemExit("storm smoke: %d interactive submissions were shed"
+                     % shed_interactive)
+accepted = count("apichecker_serve_accepted_total")
+resolved = (count("apichecker_serve_completed_total")
+            + count("apichecker_serve_deadline_expired_total")
+            + count("apichecker_serve_parse_errors_total")
+            + count("apichecker_serve_farm_rejected_unhealthy_total")
+            + count("apichecker_serve_shed_total"))
+if accepted == 0 or accepted != resolved:
+    raise SystemExit("storm smoke lost verdicts: accepted %d != resolved %d"
+                     % (accepted, resolved))
+interactive = metrics["histograms"].get(
+    'apichecker_serve_e2e_latency_ms{class="interactive"}')
+if not interactive or interactive["count"] == 0:
+    raise SystemExit("storm smoke: no interactive e2e latency samples")
+p99 = interactive["quantiles"]["p99"]
+if p99 > 10000.0:
+    raise SystemExit("storm smoke: interactive e2e p99 %.1f ms blew the "
+                     "10000 ms SLO" % p99)
+spilled = count("apichecker_ingest_blobs_spilled_total")
+if spilled == 0:
+    raise SystemExit("storm smoke: no blob spilled past the 16 KB threshold")
+if count("apichecker_ingest_spill_failures_total") != 0:
+    raise SystemExit("storm smoke: spill write failures on a healthy disk")
+print("storm: %d accepted == %d resolved; shed bulk=%d rescan=%d "
+      "interactive=%d; interactive p99 %.1f ms; %d blobs spilled"
+      % (accepted, resolved, shed_bulk,
+         count('apichecker_serve_shed_total{class="rescan"}'),
+         shed_interactive, p99, spilled))
+PYEOF
+echo "storm smoke OK (bulk shed, interactive protected, SLO held, blobs spilled)"
 
 echo "=== trace: end-to-end tracing + BENCH_serve.json schema smoke ==="
 # Trace every submission through a store-backed serve run, then require (a)

@@ -19,6 +19,7 @@
 #include <cstring>
 #include <filesystem>
 #include <future>
+#include <atomic>
 #include <memory>
 #include <string>
 #include <thread>
@@ -29,6 +30,8 @@
 #include "bench/common.h"
 #include "core/model_store.h"
 #include "fabric/worker.h"
+#include "gateway/client.h"
+#include "gateway/gateway.h"
 #include "ingest/apk_blob.h"
 #include "ingest/stream_reader.h"
 #include "obs/bench_report.h"
@@ -679,6 +682,224 @@ int main(int argc, char** argv) {
     ok = false;
   }
 
+  // -------------------------------------------------------------------------
+  // Pass 5: network upload ingest. The same admission path, entered through
+  // the front door: an IngestGateway on a real unix socket, fed by concurrent
+  // UploadClients streaming framed APK bodies. Two legs over DISTINCT bodies
+  // (so the socket leg cannot warm-start from the in-memory leg's digest
+  // cache): leg A submits via ReadApkBlob + Submit() in-process — the
+  // no-network control — and leg B uploads over the socket with 10% of the
+  // clients given a scripted NetFaultPlan stall (transient, inside the read
+  // deadline: the gateway must absorb it, not evict). The delta prices the
+  // network admission path — framing + CRC + socket hops + streamed hashing —
+  // and the client-observed p99 shows what a stalled cohort does to the tail.
+  // The extended drain invariant (accepted == completed + aborted) is a hard
+  // gate, quick mode included.
+  // -------------------------------------------------------------------------
+  double upload_per_sec = 0.0;
+  double upload_inmemory_per_sec = 0.0;
+  double upload_admission_overhead_pct = 0.0;
+  double upload_admission_p99_ms = 0.0;
+  uint64_t upload_resolved = 0;
+  {
+    const size_t upload_count =
+        std::min<size_t>(512, std::max<size_t>(64, trace_size / 8));
+    constexpr size_t kUploadClients = 8;
+    constexpr double kStalledClientFraction = 0.10;
+    const auto stall_every =
+        static_cast<size_t>(1.0 / kStalledClientFraction);  // Every 10th.
+
+    auto make_bodies = [&](uint64_t pad_salt) {
+      std::vector<std::vector<uint8_t>> bodies;
+      bodies.reserve(upload_count);
+      for (size_t i = 0; i < upload_count; ++i) {
+        std::vector<uint8_t> bytes =
+            synth::BuildApkBytes(generator.Next(), context.universe());
+        if (i % 16 == 0) {
+          // Every 16th body padded to 256 KB so the chunked streaming path
+          // (multiple frames per upload) is part of the measured number.
+          auto inflated = apk::PadApk(bytes, 256 * 1024, args.seed ^ (pad_salt + i));
+          if (inflated.ok()) {
+            bytes = std::move(*inflated);
+          }
+        }
+        bodies.push_back(std::move(bytes));
+      }
+      return bodies;
+    };
+    const std::vector<std::vector<uint8_t>> mem_bodies = make_bodies(0x9a7e);
+    const std::vector<std::vector<uint8_t>> net_bodies = make_bodies(0x9a7f);
+
+    auto restored = core::DeserializeChecker(context.universe(), blob);
+    if (!restored.ok()) {
+      std::fprintf(stderr, "model restore failed: %s\n", restored.error().c_str());
+      std::exit(1);
+    }
+    serve::ServiceConfig upload_config;
+    upload_config.num_shards = 8;
+    upload_config.shard_capacity = 2'048;
+    upload_config.farm.engine.kind = emu::EngineKind::kLightweight;
+    upload_config.scheduler.max_linger = std::chrono::milliseconds(5);
+    upload_config.pool.num_farms = std::max<size_t>(1, farms);
+    serve::VettingService upload_service(context.universe(), upload_config,
+                                         std::move(*restored));
+
+    const std::filesystem::path gw_dir =
+        std::filesystem::temp_directory_path() /
+        util::StrFormat("apichecker_bench_gw_%d", static_cast<int>(::getpid()));
+    std::filesystem::create_directories(gw_dir);
+    gateway::GatewayConfig gw_config;
+    gw_config.endpoint = "unix:" + (gw_dir / "gw.sock").string();
+    gw_config.max_concurrent_uploads = kUploadClients * 2;
+    gateway::IngestGateway gw(upload_service, gw_config);
+    if (auto started = gw.Start(); !started.ok()) {
+      std::fprintf(stderr, "gateway failed to start: %s\n",
+                   started.error().c_str());
+      std::exit(1);
+    }
+
+    std::printf("\n--- pass upload: %zu bodies x 2 legs, %zu clients, %.0f%% "
+                "scripted stalls on the socket leg ---\n",
+                upload_count, kUploadClients, kStalledClientFraction * 100.0);
+
+    // Leg A: in-memory admission — identical bytes enter through
+    // ReadApkBlob + Submit(), no socket in the path.
+    const auto mem_start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::future<serve::VettingResult>> futures;
+      futures.reserve(mem_bodies.size());
+      for (const auto& bytes : mem_bodies) {
+        serve::Submission submission;
+        submission.blob = make_blob(bytes);
+        auto accepted = upload_service.Submit(std::move(submission));
+        if (accepted.ok()) {
+          futures.push_back(std::move(*accepted));
+        }
+      }
+      for (auto& future : futures) {
+        future.get();
+      }
+    }
+    const double mem_elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      mem_start)
+            .count();
+    upload_inmemory_per_sec =
+        mem_elapsed > 0 ? static_cast<double>(mem_bodies.size()) / mem_elapsed
+                        : 0.0;
+
+    // Leg B: the same admission over the socket. Every stall_every-th upload
+    // carries a scripted 100 ms stall before its first chunk — well inside
+    // the 2 s read deadline, so the gateway rides it out and the stall shows
+    // up only in the tail, not as an eviction.
+    std::vector<double> upload_wall_ms(net_bodies.size(), 0.0);
+    std::atomic<size_t> upload_failures{0};
+    const auto net_start = std::chrono::steady_clock::now();
+    {
+      std::vector<std::thread> clients;
+      for (size_t t = 0; t < kUploadClients; ++t) {
+        clients.emplace_back([&, t] {
+          for (size_t i = t; i < net_bodies.size(); i += kUploadClients) {
+            gateway::UploadClientConfig client_config;
+            client_config.endpoint = gw_config.endpoint;
+            client_config.client_name = util::StrFormat("bench-%zu", t);
+            client_config.jitter_seed = args.seed + i;
+            if (i % stall_every == 0) {
+              client_config.fault_plan.seed = args.seed + i;
+              client_config.fault_plan.stall_before = {1};
+              client_config.fault_plan.stall_ms = std::chrono::milliseconds(100);
+            }
+            gateway::UploadClient client(std::move(client_config));
+            const auto start = std::chrono::steady_clock::now();
+            auto outcome = client.Upload(net_bodies[i]);
+            upload_wall_ms[i] = std::chrono::duration<double, std::milli>(
+                                    std::chrono::steady_clock::now() - start)
+                                    .count();
+            if (!outcome.ok() ||
+                outcome->verdict.status !=
+                    static_cast<uint8_t>(serve::VetStatus::kOk)) {
+              upload_failures.fetch_add(1, std::memory_order_relaxed);
+            }
+          }
+        });
+      }
+      for (auto& client : clients) {
+        client.join();
+      }
+    }
+    const double net_elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      net_start)
+            .count();
+    upload_per_sec =
+        net_elapsed > 0 ? static_cast<double>(net_bodies.size()) / net_elapsed
+                        : 0.0;
+    upload_resolved = net_bodies.size() - upload_failures.load();
+
+    gw.Stop();
+    upload_service.Shutdown();
+    std::error_code gw_ec;
+    std::filesystem::remove_all(gw_dir, gw_ec);
+
+    std::sort(upload_wall_ms.begin(), upload_wall_ms.end());
+    upload_admission_p99_ms =
+        upload_wall_ms.empty()
+            ? 0.0
+            : upload_wall_ms[static_cast<size_t>(
+                  static_cast<double>(upload_wall_ms.size() - 1) * 0.99)];
+    upload_admission_overhead_pct =
+        upload_inmemory_per_sec > 0
+            ? (upload_inmemory_per_sec - upload_per_sec) /
+                  upload_inmemory_per_sec * 100.0
+            : 0.0;
+
+    const gateway::GatewayStats gw_stats = gw.stats();
+    const obs::HistogramSnapshot body_stage =
+        registry.histogram(obs::names::kGatewayUploadStageMs).Snapshot();
+    std::printf(
+        "upload ingest: in-memory %.0f subs/sec -> socket %.0f subs/sec "
+        "(%.2f%% admission overhead); verdict wall p50 %.2f ms, p99 %.2f ms "
+        "with %.0f%% stalled clients; body transfer p99 %.2f ms (n=%llu)\n",
+        upload_inmemory_per_sec, upload_per_sec, upload_admission_overhead_pct,
+        upload_wall_ms.empty()
+            ? 0.0
+            : upload_wall_ms[upload_wall_ms.size() / 2],
+        upload_admission_p99_ms, kStalledClientFraction * 100.0,
+        body_stage.Quantile(0.99),
+        static_cast<unsigned long long>(body_stage.count));
+    std::printf(
+        "gateway ledger: %llu accepted == %llu completed + %llu aborted; "
+        "%llu early verdicts, %llu slow-loris evictions, %.1f MB received\n",
+        static_cast<unsigned long long>(gw_stats.accepted),
+        static_cast<unsigned long long>(gw_stats.completed),
+        static_cast<unsigned long long>(gw_stats.aborted),
+        static_cast<unsigned long long>(gw_stats.early_verdicts),
+        static_cast<unsigned long long>(gw_stats.slow_loris_disconnects),
+        static_cast<double>(gw_stats.bytes_received) / (1024.0 * 1024.0));
+    if (!gw_stats.Balanced()) {
+      std::printf("FAIL: gateway drain invariant violated — accepted %llu != "
+                  "completed %llu + aborted %llu\n",
+                  static_cast<unsigned long long>(gw_stats.accepted),
+                  static_cast<unsigned long long>(gw_stats.completed),
+                  static_cast<unsigned long long>(gw_stats.aborted));
+      ok = false;
+    }
+    if (upload_failures.load() != 0) {
+      std::printf("FAIL: %zu of %zu socket uploads did not resolve to a "
+                  "terminal verdict\n",
+                  upload_failures.load(), net_bodies.size());
+      ok = false;
+    }
+    const serve::ServiceStats upload_stats = upload_service.stats();
+    if (upload_stats.accepted != upload_stats.resolved()) {
+      std::printf("FAIL: upload pass lost submissions — accepted %llu but "
+                  "resolved %llu\n",
+                  static_cast<unsigned long long>(upload_stats.accepted),
+                  static_cast<unsigned long long>(upload_stats.resolved()));
+      ok = false;
+    }
+  }
+
   const obs::HistogramSnapshot e2e =
       registry.histogram(obs::names::kServeE2eLatencyMs).Snapshot();
   std::printf("\ne2e latency (both passes): p50 %.1f ms, p99 %.1f ms\n",
@@ -758,12 +979,19 @@ int main(int argc, char** argv) {
     report.storm_shed_total = storm.shed;
     report.storm_peak_blob_pool_mb = storm_peak_pool_mb;
     report.storm_spill_watermark_mb = storm_watermark_mb;
+    report.upload_throughput_per_sec = upload_per_sec;
+    report.upload_inmemory_throughput_per_sec = upload_inmemory_per_sec;
+    report.upload_admission_overhead_pct = upload_admission_overhead_pct;
+    report.upload_admission_p99_ms = upload_admission_p99_ms;
+    report.upload_resolved = upload_resolved;
     report.stages["admission"] =
         obs::StageFromHistogram(registry, obs::names::kServeAdmissionLatencyMs);
     report.stages["e2e"] =
         obs::StageFromHistogram(registry, obs::names::kServeE2eLatencyMs);
     report.stages["traced_e2e"] =
         obs::StageFromHistogram(registry, obs::names::kServeTracedE2eMs);
+    report.stages[obs::stages::kUpload] =
+        obs::StageFromHistogram(registry, obs::names::kGatewayUploadStageMs);
     if (fabric > 0) {
       report.stages["rpc"] =
           obs::StageFromHistogram(registry, obs::names::kFabricRpcMs);

@@ -349,4 +349,136 @@ util::Result<ErrorMsg> DecodeError(std::span<const uint8_t> payload) {
   return ErrorMsg{.message = std::move(*message)};
 }
 
+std::vector<uint8_t> EncodeUploadOpen(const UploadOpen& msg) {
+  util::ByteWriter out;
+  out.PutU64(msg.declared_length);
+  out.PutString(msg.digest_hint);
+  out.PutU8(msg.priority);
+  out.PutString(msg.client_name);
+  return std::move(out).TakeBytes();
+}
+
+util::Result<UploadOpen> DecodeUploadOpen(std::span<const uint8_t> payload) {
+  util::ByteReader in(payload);
+  UploadOpen msg;
+  auto length = in.ReadU64();
+  if (!length.ok()) return util::Err(length.error());
+  msg.declared_length = *length;
+  auto digest = in.ReadString();
+  if (!digest.ok()) return util::Err(digest.error());
+  msg.digest_hint = std::move(*digest);
+  auto priority = in.ReadU8();
+  if (!priority.ok()) return util::Err(priority.error());
+  msg.priority = *priority;
+  auto name = in.ReadString();
+  if (!name.ok()) return util::Err(name.error());
+  msg.client_name = std::move(*name);
+  return msg;
+}
+
+namespace {
+
+void PutUploadVerdict(util::ByteWriter& out, const UploadVerdictMsg& msg) {
+  out.PutU8(msg.status);
+  uint8_t flags = 0;
+  if (msg.malicious) flags |= 1u << 0;
+  if (msg.from_cache) flags |= 1u << 1;
+  out.PutU8(flags);
+  PutF64(out, msg.score);
+  out.PutU32(msg.model_version);
+  out.PutString(msg.error);
+}
+
+util::Result<UploadVerdictMsg> ReadUploadVerdict(util::ByteReader& in) {
+  UploadVerdictMsg msg;
+  auto status = in.ReadU8();
+  if (!status.ok()) return util::Err(status.error());
+  msg.status = *status;
+  auto flags = in.ReadU8();
+  if (!flags.ok()) return util::Err(flags.error());
+  msg.malicious = (*flags & (1u << 0)) != 0;
+  msg.from_cache = (*flags & (1u << 1)) != 0;
+  auto score = ReadF64(in);
+  if (!score.ok()) return util::Err(score.error());
+  msg.score = *score;
+  auto version = in.ReadU32();
+  if (!version.ok()) return util::Err(version.error());
+  msg.model_version = *version;
+  auto error = in.ReadString();
+  if (!error.ok()) return util::Err(error.error());
+  msg.error = std::move(*error);
+  return msg;
+}
+
+}  // namespace
+
+std::vector<uint8_t> EncodeUploadAck(const UploadAck& msg) {
+  util::ByteWriter out;
+  out.PutU8(static_cast<uint8_t>(msg.decision));
+  out.PutU64(msg.max_chunk_bytes);
+  PutUploadVerdict(out, msg.verdict);
+  return std::move(out).TakeBytes();
+}
+
+util::Result<UploadAck> DecodeUploadAck(std::span<const uint8_t> payload) {
+  util::ByteReader in(payload);
+  UploadAck msg;
+  auto decision = in.ReadU8();
+  if (!decision.ok()) return util::Err(decision.error());
+  if (*decision > static_cast<uint8_t>(UploadDecision::kVerdict)) {
+    return util::Err("unknown upload decision");
+  }
+  msg.decision = static_cast<UploadDecision>(*decision);
+  auto chunk = in.ReadU64();
+  if (!chunk.ok()) return util::Err(chunk.error());
+  msg.max_chunk_bytes = *chunk;
+  auto verdict = ReadUploadVerdict(in);
+  if (!verdict.ok()) return util::Err(verdict.error());
+  msg.verdict = std::move(*verdict);
+  return msg;
+}
+
+std::vector<uint8_t> EncodeUploadChunk(const UploadChunk& msg) {
+  util::ByteWriter out;
+  out.PutU32(msg.seq);
+  PutBlob(out, msg.bytes);
+  return std::move(out).TakeBytes();
+}
+
+util::Result<UploadChunk> DecodeUploadChunk(std::span<const uint8_t> payload) {
+  util::ByteReader in(payload);
+  UploadChunk msg;
+  auto seq = in.ReadU32();
+  if (!seq.ok()) return util::Err(seq.error());
+  msg.seq = *seq;
+  auto bytes = ReadBlob(in);
+  if (!bytes.ok()) return util::Err(bytes.error());
+  msg.bytes = std::move(*bytes);
+  return msg;
+}
+
+std::vector<uint8_t> EncodeUploadEnd(const UploadEnd& msg) {
+  util::ByteWriter out;
+  out.PutU64(msg.sent_length);
+  return std::move(out).TakeBytes();
+}
+
+util::Result<UploadEnd> DecodeUploadEnd(std::span<const uint8_t> payload) {
+  util::ByteReader in(payload);
+  auto length = in.ReadU64();
+  if (!length.ok()) return util::Err(length.error());
+  return UploadEnd{.sent_length = *length};
+}
+
+std::vector<uint8_t> EncodeUploadVerdict(const UploadVerdictMsg& msg) {
+  util::ByteWriter out;
+  PutUploadVerdict(out, msg);
+  return std::move(out).TakeBytes();
+}
+
+util::Result<UploadVerdictMsg> DecodeUploadVerdict(std::span<const uint8_t> payload) {
+  util::ByteReader in(payload);
+  return ReadUploadVerdict(in);
+}
+
 }  // namespace apichecker::fabric

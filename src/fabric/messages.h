@@ -92,6 +92,70 @@ util::Result<emu::BatchResult> DecodeBatchResult(std::span<const uint8_t> payloa
 std::vector<uint8_t> EncodeError(const ErrorMsg& msg);
 util::Result<ErrorMsg> DecodeError(std::span<const uint8_t> payload);
 
+// ---------------------------------------------------------------------------
+// Ingest-gateway upload protocol. Priority and status fields travel as raw
+// bytes so the fabric layer stays independent of serve's enums; the gateway
+// (which links both) converts and range-checks at its boundary.
+
+struct UploadOpen {
+  uint64_t declared_length = 0;  // Body bytes the client promises to send.
+  // SHA-1 hex digest when the client already knows it (retry/resume path);
+  // empty on a first-contact upload. A known digest lets the gateway answer
+  // from the verdict cache before any body byte arrives.
+  std::string digest_hint;
+  uint8_t priority = 2;  // serve::Priority value (0 interactive .. 2 bulk).
+  std::string client_name;
+};
+
+// Gateway's answer to UploadOpen: either "send the body" or a terminal
+// verdict (digest-cache hit, or an overload shed) that ends the upload before
+// the body is transferred.
+struct UploadVerdictMsg {
+  uint8_t status = 0;  // serve::VetStatus value.
+  bool malicious = false;
+  bool from_cache = false;
+  double score = 0.0;
+  uint32_t model_version = 0;
+  std::string error;
+};
+
+enum class UploadDecision : uint8_t {
+  kGo = 0,       // Stream the body.
+  kVerdict = 1,  // `verdict` is terminal; the connection is done.
+};
+
+struct UploadAck {
+  UploadDecision decision = UploadDecision::kGo;
+  uint64_t max_chunk_bytes = 0;  // Gateway's per-chunk ceiling (advisory).
+  UploadVerdictMsg verdict;      // Meaningful only when decision == kVerdict.
+};
+
+struct UploadChunk {
+  uint32_t seq = 0;  // 1-based chunk ordinal; must arrive in order.
+  std::vector<uint8_t> bytes;
+};
+
+struct UploadEnd {
+  // Total body bytes the client believes it sent; the gateway enforces
+  // sent_length == declared_length == bytes actually received.
+  uint64_t sent_length = 0;
+};
+
+std::vector<uint8_t> EncodeUploadOpen(const UploadOpen& msg);
+util::Result<UploadOpen> DecodeUploadOpen(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeUploadAck(const UploadAck& msg);
+util::Result<UploadAck> DecodeUploadAck(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeUploadChunk(const UploadChunk& msg);
+util::Result<UploadChunk> DecodeUploadChunk(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeUploadEnd(const UploadEnd& msg);
+util::Result<UploadEnd> DecodeUploadEnd(std::span<const uint8_t> payload);
+
+std::vector<uint8_t> EncodeUploadVerdict(const UploadVerdictMsg& msg);
+util::Result<UploadVerdictMsg> DecodeUploadVerdict(std::span<const uint8_t> payload);
+
 }  // namespace apichecker::fabric
 
 #endif  // APICHECKER_FABRIC_MESSAGES_H_

@@ -42,6 +42,18 @@ util::Result<sockaddr_un> UnixAddr(const std::string& path) {
   return addr;
 }
 
+// connect() interrupted by a signal keeps completing asynchronously; the
+// retry then fails EISCONN ("already connected"), which is success here. The
+// send/recv loops already retry EINTR — connect and accept predate that
+// treatment.
+int ConnectRetryEintr(int fd, const sockaddr* addr, socklen_t len) {
+  while (::connect(fd, addr, len) != 0) {
+    if (errno == EISCONN) return 0;
+    if (errno != EINTR) return -1;
+  }
+  return 0;
+}
+
 }  // namespace
 
 std::string Endpoint::ToString() const {
@@ -100,7 +112,8 @@ util::Result<Socket> Socket::Connect(const Endpoint& endpoint,
     }
     // SO_SNDTIMEO bounds a blocking connect() just as it bounds send().
     SetTimeout(fd, SO_SNDTIMEO, timeout);
-    if (::connect(fd, reinterpret_cast<const sockaddr*>(&*addr), sizeof(*addr)) != 0) {
+    if (ConnectRetryEintr(fd, reinterpret_cast<const sockaddr*>(&*addr),
+                          sizeof(*addr)) != 0) {
       std::string err = ErrnoMessage("connect");
       ::close(fd);
       return util::Err(err + " (" + endpoint.ToString() + ")");
@@ -124,7 +137,7 @@ util::Result<Socket> Socket::Connect(const Endpoint& endpoint,
         continue;
       }
       SetTimeout(fd, SO_SNDTIMEO, timeout);
-      if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+      if (ConnectRetryEintr(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
       last_err = ErrnoMessage("connect");
       ::close(fd);
       fd = -1;
@@ -302,7 +315,14 @@ util::Result<Listener> Listener::Bind(const Endpoint& endpoint) {
 util::Result<Socket> Listener::Accept() {
   const int listen_fd = fd_.load(std::memory_order_acquire);
   if (listen_fd < 0) return util::Err("accept on closed listener");
-  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+    // EINTR must not tear down the accept loop (a SIGCHLD from a reaped farm
+    // worker used to kill the server's accept thread). Close() unblocks a
+    // parked accept via shutdown(), which surfaces as a non-EINTR errno, so
+    // this retry cannot spin past a shutdown.
+  } while (fd < 0 && errno == EINTR);
   if (fd < 0) return util::Err(ErrnoMessage("accept"));
   if (endpoint_.kind == EndpointKind::kTcp) {
     int one = 1;

@@ -28,6 +28,16 @@ const char* MsgTypeName(MsgType type) {
       return "batch_result";
     case MsgType::kError:
       return "error";
+    case MsgType::kUploadOpen:
+      return "upload_open";
+    case MsgType::kUploadAck:
+      return "upload_ack";
+    case MsgType::kUploadChunk:
+      return "upload_chunk";
+    case MsgType::kUploadEnd:
+      return "upload_end";
+    case MsgType::kUploadVerdict:
+      return "upload_verdict";
   }
   return "unknown";
 }

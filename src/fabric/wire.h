@@ -44,6 +44,12 @@ enum class MsgType : uint16_t {
   kRunBatch = 7,     // Execute a batch of APKs.
   kBatchResult = 8,  // Emulation reports for a kRunBatch.
   kError = 9,        // Application-level failure (string payload).
+  // Ingest gateway: framed APK upload (client -> gateway unless noted).
+  kUploadOpen = 10,     // Declare an upload (length, digest hint, priority).
+  kUploadAck = 11,      // Gateway -> client: go-ahead, or an early verdict.
+  kUploadChunk = 12,    // One chunk of APK body bytes.
+  kUploadEnd = 13,      // Body complete; declared-length contract check.
+  kUploadVerdict = 14,  // Gateway -> client: terminal vetting result.
 };
 
 const char* MsgTypeName(MsgType type);

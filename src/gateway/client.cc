@@ -1,0 +1,233 @@
+#include "gateway/client.h"
+
+#include <sys/socket.h>
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "fabric/transport.h"
+#include "fabric/wire.h"
+#include "serve/types.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/sha1.h"
+#include "util/strings.h"
+
+namespace apichecker::gateway {
+
+namespace {
+
+// Sends raw bytes on the socket's fd, bypassing the frame codec — the only
+// way to put a deliberately torn or corrupted frame on the wire.
+void SendRaw(const fabric::Socket& socket, std::span<const uint8_t> bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(socket.fd(), bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // Peer already gone; the attempt is failing anyway.
+    }
+    sent += static_cast<size_t>(n);
+  }
+}
+
+}  // namespace
+
+UploadClient::UploadClient(UploadClientConfig config)
+    : config_(std::move(config)),
+      jitter_rng_(util::SplitMix64(config_.jitter_seed ^ 0x75706c6f6164ull)) {}
+
+util::Result<UploadOutcome> UploadClient::Upload(std::span<const uint8_t> apk) {
+  auto endpoint = fabric::ParseEndpoint(config_.endpoint);
+  if (!endpoint.ok()) return util::Err(endpoint.error());
+  // One hashing pass, up front: the digest rides on every attempt's open so
+  // the gateway can resolve a retry from its cache without the body.
+  const std::string digest = util::Sha1Hex(apk);
+  const size_t chunk_bytes = std::max<size_t>(1, config_.chunk_bytes);
+
+  auto& registry = obs::MetricsRegistry::Default();
+  UploadOutcome outcome;
+  // Chunk ordinals run across the whole upload, attempts included, so a
+  // scripted fault fires exactly once per Upload() — the retry that follows
+  // it runs clean, like IoFaultPlan's per-instance append ordinals.
+  NetFaultInjector injector(config_.fault_plan);
+  uint64_t ordinal = 0;
+  std::string last_error = "no attempts";
+
+  for (size_t attempt = 1; attempt <= config_.max_attempts; ++attempt) {
+    if (attempt > 1) {
+      registry.counter(obs::names::kGatewayClientRetriesTotal).Increment();
+      // Capped exponential backoff with jitter in [0.5, 1.0): retries from a
+      // fleet of failed clients must not re-arrive in lockstep.
+      std::chrono::milliseconds backoff =
+          config_.backoff_base * (1ll << std::min<size_t>(attempt - 2, 20));
+      backoff = std::min(backoff, config_.backoff_cap);
+      const double jitter = 0.5 + 0.5 * jitter_rng_.NextDouble();
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds{static_cast<int64_t>(
+              static_cast<double>(backoff.count()) * jitter)});
+    }
+    outcome.attempts = attempt;
+
+    auto socket = fabric::Socket::Connect(*endpoint, config_.connect_timeout);
+    if (!socket.ok()) {
+      last_error = socket.error();
+      continue;
+    }
+    socket->SetRecvTimeout(config_.io_timeout);
+    socket->SetSendTimeout(config_.io_timeout);
+
+    fabric::UploadOpen open;
+    open.declared_length = apk.size();
+    open.digest_hint = digest;
+    open.priority = config_.priority;
+    open.client_name = config_.client_name;
+    if (auto sent = socket->SendFrame(fabric::MsgType::kUploadOpen,
+                                      fabric::EncodeUploadOpen(open));
+        !sent.ok()) {
+      last_error = sent.error();
+      continue;
+    }
+
+    auto ack_frame = socket->RecvFrame();
+    if (!ack_frame.ok()) {
+      last_error = ack_frame.error();
+      continue;
+    }
+    if (ack_frame->type == fabric::MsgType::kError) {
+      auto err = fabric::DecodeError(ack_frame->payload);
+      last_error = err.ok() ? err->message : err.error();
+      continue;
+    }
+    if (ack_frame->type != fabric::MsgType::kUploadAck) {
+      last_error = util::StrFormat("expected upload_ack, got %s",
+                                   fabric::MsgTypeName(ack_frame->type));
+      continue;
+    }
+    auto ack = fabric::DecodeUploadAck(ack_frame->payload);
+    if (!ack.ok()) {
+      last_error = ack.error();
+      continue;
+    }
+    if (ack->decision == fabric::UploadDecision::kVerdict) {
+      outcome.verdict = ack->verdict;
+      outcome.early_verdict = true;
+      outcome.resumed_by_digest = attempt > 1 && ack->verdict.from_cache;
+      return outcome;
+    }
+
+    // Stream the body.
+    bool attempt_failed = false;
+    uint32_t seq = 0;
+    for (size_t offset = 0; offset < apk.size() || (apk.empty() && seq == 0);) {
+      const size_t n = std::min(chunk_bytes, apk.size() - offset);
+      fabric::UploadChunk chunk;
+      chunk.seq = ++seq;
+      chunk.bytes.assign(apk.begin() + static_cast<ptrdiff_t>(offset),
+                         apk.begin() + static_cast<ptrdiff_t>(offset + n));
+      ++ordinal;
+
+      const NetFault fault = injector.OnChunk(ordinal);
+      if (fault != NetFault::kNone) {
+        ++outcome.injected_faults;
+        registry.counter(obs::names::kGatewayNetInjectedFaultsTotal).Increment();
+      }
+      if (fault == NetFault::kStall) {
+        std::this_thread::sleep_for(injector.stall_duration());
+      } else if (fault == NetFault::kDisconnect) {
+        socket->Close();
+        last_error = "injected: disconnect mid-stream";
+        attempt_failed = true;
+        break;
+      } else if (fault == NetFault::kTornFrame) {
+        const std::vector<uint8_t> frame =
+            fabric::EncodeFrame(fabric::MsgType::kUploadChunk,
+                                fabric::EncodeUploadChunk(chunk));
+        SendRaw(*socket, std::span(frame).first(frame.size() / 2));
+        socket->Close();
+        last_error = "injected: torn frame";
+        attempt_failed = true;
+        break;
+      } else if (fault == NetFault::kCorrupt) {
+        std::vector<uint8_t> frame =
+            fabric::EncodeFrame(fabric::MsgType::kUploadChunk,
+                                fabric::EncodeUploadChunk(chunk));
+        // Flip the first payload byte; the stale CRC makes the gateway
+        // disconnect us through the FAB1 disconnect-and-count path.
+        frame[fabric::kFrameHeaderBytes] ^= 0x40;
+        SendRaw(*socket, frame);
+        last_error = "injected: corrupt frame";
+        attempt_failed = true;
+        break;
+      }
+
+      if (auto sent = socket->SendFrame(fabric::MsgType::kUploadChunk,
+                                        fabric::EncodeUploadChunk(chunk));
+          !sent.ok()) {
+        last_error = sent.error();
+        attempt_failed = true;
+        break;
+      }
+      outcome.bytes_sent += n;
+      offset += n;
+      if (apk.empty()) break;
+
+      const auto delay = injector.ThrottleDelay(ordinal, n);
+      if (delay.count() > 0) std::this_thread::sleep_for(delay);
+    }
+    if (attempt_failed) continue;
+
+    fabric::UploadEnd end;
+    end.sent_length = apk.size();
+    if (auto sent = socket->SendFrame(fabric::MsgType::kUploadEnd,
+                                      fabric::EncodeUploadEnd(end));
+        !sent.ok()) {
+      last_error = sent.error();
+      continue;
+    }
+
+    // Impatient client: hang up instead of collecting the verdict. The
+    // gateway classifies the intact body anyway, so the next attempt's
+    // digest hint resolves from the cache — resume without re-transfer.
+    if (attempt <= config_.fault_plan.abandon_verdict_waits) {
+      ++outcome.injected_faults;
+      registry.counter(obs::names::kGatewayNetInjectedFaultsTotal).Increment();
+      socket->Close();
+      last_error = "injected: abandoned verdict wait";
+      continue;
+    }
+
+    auto verdict_frame = socket->RecvFrame();
+    if (!verdict_frame.ok()) {
+      last_error = verdict_frame.error();
+      continue;
+    }
+    if (verdict_frame->type != fabric::MsgType::kUploadVerdict) {
+      last_error = util::StrFormat("expected upload_verdict, got %s",
+                                   fabric::MsgTypeName(verdict_frame->type));
+      continue;
+    }
+    auto verdict = fabric::DecodeUploadVerdict(verdict_frame->payload);
+    if (!verdict.ok()) {
+      last_error = verdict.error();
+      continue;
+    }
+    // An aborted_upload verdict is the gateway saying "your transfer died,
+    // not your APK" — retryable, unless this was the last attempt (then the
+    // caller sees the abort it earned).
+    if (verdict->status == static_cast<uint8_t>(serve::VetStatus::kAbortedUpload) &&
+        attempt < config_.max_attempts) {
+      last_error = "upload aborted: " + verdict->error;
+      continue;
+    }
+    outcome.verdict = std::move(*verdict);
+    return outcome;
+  }
+  return util::Err(util::StrFormat("upload failed after %zu attempts: %s",
+                                   config_.max_attempts, last_error.c_str()));
+}
+
+}  // namespace apichecker::gateway

@@ -1,0 +1,64 @@
+// UploadClient: the submitting side of the ingest gateway protocol. Streams
+// one APK as framed chunks, optionally mangled by a NetFaultPlan (the
+// deterministic hostile-network harness), and retries failed attempts with
+// capped exponential backoff plus seeded jitter. Every attempt declares the
+// APK's digest up front, so a retry whose previous attempt already produced a
+// verdict resolves from the gateway's cache without re-transferring a byte —
+// resume-by-digest.
+
+#ifndef APICHECKER_GATEWAY_CLIENT_H_
+#define APICHECKER_GATEWAY_CLIENT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "fabric/messages.h"
+#include "gateway/net_fault.h"
+#include "util/result.h"
+
+namespace apichecker::gateway {
+
+struct UploadClientConfig {
+  std::string endpoint;  // Gateway address, "unix:/path" or "tcp:host:port".
+  std::string client_name = "submit";
+  std::chrono::milliseconds connect_timeout{1000};
+  std::chrono::milliseconds io_timeout{5000};
+  size_t chunk_bytes = 64 * 1024;
+  uint8_t priority = 2;  // serve::Priority value; default bulk.
+  // Retry policy: attempt N sleeps min(cap, base << (N-1)) scaled by a
+  // seeded jitter factor in [0.5, 1.0) before reconnecting.
+  size_t max_attempts = 4;
+  std::chrono::milliseconds backoff_base{50};
+  std::chrono::milliseconds backoff_cap{2000};
+  uint64_t jitter_seed = 1;
+  NetFaultPlan fault_plan;  // Scripted hostile-network behavior (per upload).
+};
+
+struct UploadOutcome {
+  fabric::UploadVerdictMsg verdict;
+  size_t attempts = 0;        // Connect attempts consumed (>= 1).
+  uint64_t bytes_sent = 0;    // Body bytes across all attempts.
+  bool early_verdict = false; // Resolved at open, before any body byte.
+  bool resumed_by_digest = false;  // Early verdict on a retry attempt.
+  uint64_t injected_faults = 0;
+};
+
+class UploadClient {
+ public:
+  explicit UploadClient(UploadClientConfig config);
+
+  // Uploads one APK and returns its terminal verdict. The digest is computed
+  // locally once and declared on every attempt. Errors only when every
+  // attempt failed (gateway unreachable, or the fault plan killed each one).
+  util::Result<UploadOutcome> Upload(std::span<const uint8_t> apk);
+
+ private:
+  UploadClientConfig config_;
+  util::Rng jitter_rng_;
+};
+
+}  // namespace apichecker::gateway
+
+#endif  // APICHECKER_GATEWAY_CLIENT_H_

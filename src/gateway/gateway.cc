@@ -1,0 +1,498 @@
+#include "gateway/gateway.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "fabric/messages.h"
+#include "ingest/stream_reader.h"
+#include "obs/labels.h"
+#include "obs/metrics.h"
+#include "obs/names.h"
+#include "util/strings.h"
+
+namespace apichecker::gateway {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+// Why an in-flight upload died. The reason travels on the terminal
+// kAbortedUpload verdict and as the reason label on
+// apichecker_gateway_uploads_aborted_total.
+enum class UploadFailure : uint8_t {
+  kNone = 0,
+  kSlowLoris,    // Read deadline or throughput-floor eviction.
+  kDisconnect,   // Peer vanished (EOF, torn frame, reset).
+  kProtocol,     // Undecodable/unexpected frame (FAB1 disconnect-and-count).
+  kContract,     // Declared-length vs received-length violation.
+  kDrain,        // Gateway shutdown severed the upload.
+};
+
+const char* UploadFailureName(UploadFailure failure) {
+  switch (failure) {
+    case UploadFailure::kNone:
+      return "none";
+    case UploadFailure::kSlowLoris:
+      return "slow_loris";
+    case UploadFailure::kDisconnect:
+      return "disconnect";
+    case UploadFailure::kProtocol:
+      return "protocol";
+    case UploadFailure::kContract:
+      return "length_contract";
+    case UploadFailure::kDrain:
+      return "drain";
+  }
+  return "unknown";
+}
+
+// Pulls kUploadChunk frames off the connection and presents them as a plain
+// ApkStreamReader, so the existing ReadApkBlob drain — incremental SHA-1,
+// spill-to-disk, ingest counters — runs unchanged while the body is still
+// arriving. All hostile-client policy lives here: frame-type checks, in-order
+// chunk sequencing, the declared-length contract, the read deadline, and the
+// sliding-window throughput floor.
+class SocketStreamReader : public ingest::ApkStreamReader {
+ public:
+  SocketStreamReader(fabric::Socket& socket, const GatewayConfig& config,
+                     uint64_t declared_length, const std::atomic<bool>& stopping)
+      : socket_(socket),
+        config_(config),
+        declared_(declared_length),
+        stopping_(stopping),
+        window_start_(Clock::now()) {}
+
+  util::Result<size_t> Read(std::span<uint8_t> out) override {
+    while (!eof_ && offset_ >= buffer_.size()) {
+      auto filled = Fill();
+      if (!filled.ok()) return util::Err(filled.error());
+    }
+    if (eof_ && offset_ >= buffer_.size()) return size_t{0};
+    const size_t n = std::min(out.size(), buffer_.size() - offset_);
+    std::copy_n(buffer_.begin() + static_cast<ptrdiff_t>(offset_), n, out.begin());
+    offset_ += n;
+    return n;
+  }
+
+  std::optional<size_t> SizeHint() const override {
+    return static_cast<size_t>(declared_);
+  }
+
+  UploadFailure failure() const { return failure_; }
+  uint64_t received() const { return received_; }
+
+ private:
+  util::Result<bool> Fail(UploadFailure failure, std::string message) {
+    failure_ = failure;
+    return util::Err(std::move(message));
+  }
+
+  // Receives exactly one frame and either appends its bytes to the buffer or
+  // marks EOF (kUploadEnd). Every failure is classified.
+  util::Result<bool> Fill() {
+    if (stopping_.load(std::memory_order_acquire)) {
+      return Fail(UploadFailure::kDrain, "gateway draining");
+    }
+    const Clock::time_point wait_start = Clock::now();
+    auto frame = socket_.RecvFrame();
+    if (!frame.ok()) {
+      if (stopping_.load(std::memory_order_acquire)) {
+        return Fail(UploadFailure::kDrain, "gateway draining");
+      }
+      if (frame.error().rfind("protocol error", 0) == 0) {
+        return Fail(UploadFailure::kProtocol, frame.error());
+      }
+      // A recv that blocked for (almost) the whole read deadline before
+      // failing is a silent client, not a crashed one: SO_RCVTIMEO expiring
+      // is the only way a blocking recv takes that long.
+      const auto waited = Clock::now() - wait_start;
+      if (waited >= config_.read_deadline - config_.read_deadline / 10) {
+        return Fail(UploadFailure::kSlowLoris,
+                    util::StrFormat("read deadline (%lld ms) expired mid-body",
+                                    static_cast<long long>(config_.read_deadline.count())));
+      }
+      return Fail(UploadFailure::kDisconnect, frame.error());
+    }
+    if (frame->type == fabric::MsgType::kUploadEnd) {
+      auto end = fabric::DecodeUploadEnd(frame->payload);
+      if (!end.ok()) return Fail(UploadFailure::kProtocol, end.error());
+      if (end->sent_length != declared_ || received_ != declared_) {
+        return Fail(UploadFailure::kContract,
+                    util::StrFormat("length contract: declared %llu, client says %llu, "
+                                    "received %llu",
+                                    static_cast<unsigned long long>(declared_),
+                                    static_cast<unsigned long long>(end->sent_length),
+                                    static_cast<unsigned long long>(received_)));
+      }
+      eof_ = true;
+      return true;
+    }
+    if (frame->type != fabric::MsgType::kUploadChunk) {
+      return Fail(UploadFailure::kProtocol,
+                  util::StrFormat("unexpected %s frame mid-upload",
+                                  fabric::MsgTypeName(frame->type)));
+    }
+    auto chunk = fabric::DecodeUploadChunk(frame->payload);
+    if (!chunk.ok()) return Fail(UploadFailure::kProtocol, chunk.error());
+    if (chunk->seq != next_seq_) {
+      return Fail(UploadFailure::kContract,
+                  util::StrFormat("chunk seq %u, expected %u", chunk->seq, next_seq_));
+    }
+    ++next_seq_;
+    received_ += chunk->bytes.size();
+    if (received_ > declared_) {
+      return Fail(UploadFailure::kContract,
+                  util::StrFormat("body exceeds declared length (%llu > %llu)",
+                                  static_cast<unsigned long long>(received_),
+                                  static_cast<unsigned long long>(declared_)));
+    }
+    obs::MetricsRegistry::Default()
+        .counter(obs::names::kGatewayBytesReceivedTotal)
+        .Increment(chunk->bytes.size());
+    // Throughput floor over a sliding window: a slow-loris that trickles one
+    // tiny chunk per deadline never trips the recv timeout, so sustained
+    // bytes/sec is the signal that actually catches it.
+    if (config_.min_bytes_per_sec > 0.0) {
+      window_bytes_ += chunk->bytes.size();
+      const auto elapsed = Clock::now() - window_start_;
+      if (elapsed >= config_.throughput_window) {
+        const double secs = std::chrono::duration<double>(elapsed).count();
+        const double rate = static_cast<double>(window_bytes_) / secs;
+        if (rate < config_.min_bytes_per_sec) {
+          return Fail(UploadFailure::kSlowLoris,
+                      util::StrFormat("throughput %.0f B/s below floor %.0f B/s",
+                                      rate, config_.min_bytes_per_sec));
+        }
+        window_start_ = Clock::now();
+        window_bytes_ = 0;
+      }
+    }
+    buffer_ = std::move(chunk->bytes);
+    offset_ = 0;
+    return true;
+  }
+
+  fabric::Socket& socket_;
+  const GatewayConfig& config_;
+  const uint64_t declared_;
+  const std::atomic<bool>& stopping_;
+
+  std::vector<uint8_t> buffer_;
+  size_t offset_ = 0;
+  bool eof_ = false;
+  uint32_t next_seq_ = 1;
+  uint64_t received_ = 0;
+  UploadFailure failure_ = UploadFailure::kNone;
+
+  Clock::time_point window_start_;
+  uint64_t window_bytes_ = 0;
+};
+
+fabric::UploadVerdictMsg ToWire(const serve::VettingResult& result) {
+  fabric::UploadVerdictMsg msg;
+  msg.status = static_cast<uint8_t>(result.status);
+  msg.malicious = result.malicious;
+  msg.from_cache = result.from_cache;
+  msg.score = result.score;
+  msg.model_version = result.model_version;
+  msg.error = result.error;
+  return msg;
+}
+
+}  // namespace
+
+IngestGateway::IngestGateway(serve::VettingService& service, GatewayConfig config)
+    : service_(service), config_(std::move(config)) {
+  // Uploads still on the wire are pipeline backlog the shard queues cannot
+  // see; feed them into the overload governor's depth input.
+  service_.SetIngressBacklogProbe([this] { return ActiveUploads(); });
+}
+
+IngestGateway::~IngestGateway() { Stop(); }
+
+util::Result<fabric::Endpoint> IngestGateway::Start() {
+  auto endpoint = fabric::ParseEndpoint(config_.endpoint);
+  if (!endpoint.ok()) return util::Err(endpoint.error());
+  auto listener = fabric::Listener::Bind(*endpoint);
+  if (!listener.ok()) return util::Err(listener.error());
+  listener_ = std::move(*listener);
+  bound_endpoint_ = listener_.bound_endpoint();
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  return bound_endpoint_;
+}
+
+void IngestGateway::Stop() {
+  if (stopped_once_.exchange(true, std::memory_order_acq_rel)) {
+    if (accept_thread_.joinable()) accept_thread_.join();
+    return;
+  }
+  listener_.Close();  // No new connections; unblocks the accept thread.
+  // Drain grace: in-flight uploads (and verdict waits) get a bounded chance
+  // to finish on their own.
+  const Clock::time_point sever_at = Clock::now() + config_.drain_grace;
+  for (;;) {
+    bool any_live = false;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      ReapLocked();
+      any_live = !conns_.empty();
+    }
+    if (!any_live || Clock::now() >= sever_at) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  }
+  // Stragglers are severed: their readers fail, classify the death as
+  // kDrain, and the upload resolves visibly as aborted — never silently.
+  stopping_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& conn : conns_) conn->socket.ShutdownBoth();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  std::vector<std::unique_ptr<Connection>> conns;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns.swap(conns_);
+  }
+  for (auto& conn : conns) {
+    if (conn->thread.joinable()) conn->thread.join();
+  }
+  {
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    stopped_ = true;
+  }
+  wait_cv_.notify_all();
+}
+
+void IngestGateway::Wait() {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  wait_cv_.wait(lock, [this] { return stopped_; });
+}
+
+void IngestGateway::ReapLocked() {
+  std::erase_if(conns_, [](const std::unique_ptr<Connection>& conn) {
+    if (conn->done.load(std::memory_order_acquire) && conn->thread.joinable()) {
+      conn->thread.join();
+      return true;
+    }
+    return false;
+  });
+}
+
+void IngestGateway::AcceptLoop() {
+  while (!stopping_.load() && listener_.valid()) {
+    auto socket = listener_.Accept();
+    if (!socket.ok()) {
+      if (stopping_.load() || !listener_.valid()) return;
+      // Transient accept failure (e.g. EMFILE); keep serving.
+      continue;
+    }
+    connections_.fetch_add(1, std::memory_order_relaxed);
+    obs::MetricsRegistry::Default()
+        .counter(obs::names::kGatewayConnectionsTotal)
+        .Increment();
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    ReapLocked();
+    auto conn = std::make_unique<Connection>();
+    Connection* raw = conn.get();
+    raw->socket = std::move(*socket);
+    conns_.push_back(std::move(conn));
+    raw->thread = std::thread([this, raw] {
+      ServeConnection(raw);
+      raw->done.store(true, std::memory_order_release);
+    });
+  }
+}
+
+void IngestGateway::AbortUpload(fabric::Socket& socket, const char* reason) {
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.counter(obs::names::kGatewayUploadsAbortedTotal).Increment();
+  registry
+      .counter(obs::LabeledSeriesName(obs::names::kGatewayUploadsAbortedTotal,
+                                      "reason", reason))
+      .Increment();
+  // Visible abort: best-effort terminal verdict so a still-listening client
+  // learns the upload died instead of timing out. A dead peer just fails the
+  // send, which is fine — the abort is already counted.
+  fabric::UploadVerdictMsg verdict;
+  verdict.status = static_cast<uint8_t>(serve::VetStatus::kAbortedUpload);
+  verdict.error = reason;
+  (void)socket.SendFrame(fabric::MsgType::kUploadVerdict,
+                         fabric::EncodeUploadVerdict(verdict));
+}
+
+void IngestGateway::ServeConnection(Connection* conn) {
+  fabric::Socket& socket = conn->socket;
+  auto& registry = obs::MetricsRegistry::Default();
+  socket.SetRecvTimeout(config_.idle_timeout);
+  socket.SetSendTimeout(config_.read_deadline);
+
+  // An upload connection leads with UploadOpen; anything else (including a
+  // frame that fails the FAB1 CRC codec) disconnects without admitting an
+  // upload — the accepted/completed/aborted ledger only covers valid opens.
+  auto open_frame = socket.RecvFrame();
+  if (!open_frame.ok()) return;  // RecvFrame already counted protocol errors.
+  if (open_frame->type != fabric::MsgType::kUploadOpen) {
+    (void)socket.SendFrame(
+        fabric::MsgType::kError,
+        fabric::EncodeError({util::StrFormat("expected upload_open, got %s",
+                                             fabric::MsgTypeName(open_frame->type))}));
+    return;
+  }
+  auto open = fabric::DecodeUploadOpen(open_frame->payload);
+  if (!open.ok()) {
+    (void)socket.SendFrame(fabric::MsgType::kError,
+                           fabric::EncodeError({open.error()}));
+    return;
+  }
+
+  accepted_.fetch_add(1, std::memory_order_relaxed);
+  registry.counter(obs::names::kGatewayUploadsAcceptedTotal).Increment();
+
+  // The open's fields are hostile input: range-check before use.
+  if (open->priority >= serve::kNumPriorityClasses) {
+    AbortUpload(socket, "protocol");
+    return;
+  }
+  if (open->declared_length > config_.max_declared_bytes) {
+    AbortUpload(socket, "declared_too_large");
+    return;
+  }
+  const auto priority = static_cast<serve::Priority>(open->priority);
+
+  auto send_early_verdict = [&](const fabric::UploadVerdictMsg& verdict) {
+    fabric::UploadAck ack;
+    ack.decision = fabric::UploadDecision::kVerdict;
+    ack.verdict = verdict;
+    completed_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter(obs::names::kGatewayUploadsCompletedTotal).Increment();
+    early_verdicts_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter(obs::names::kGatewayEarlyVerdictsTotal).Increment();
+    auto sent = socket.SendFrame(fabric::MsgType::kUploadAck,
+                                 fabric::EncodeUploadAck(ack));
+    if (sent.ok()) {
+      verdicts_sent_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter(obs::names::kGatewayVerdictsSentTotal).Increment();
+    } else {
+      verdict_send_failures_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter(obs::names::kGatewayVerdictSendFailuresTotal).Increment();
+    }
+  };
+
+  // Early admission 1 — digest fastpath: a declared digest the cache already
+  // holds for the live model resolves right here, before (instead of) the
+  // body transfer. This is also the resume path: a client whose first
+  // attempt's verdict got lost retries with the digest and never re-sends
+  // the bytes.
+  if (!open->digest_hint.empty()) {
+    if (auto cached = service_.PeekCachedVerdict(open->digest_hint)) {
+      resumed_by_digest_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter(obs::names::kGatewayResumedByDigestTotal).Increment();
+      fabric::UploadVerdictMsg verdict;
+      verdict.status = static_cast<uint8_t>(serve::VetStatus::kOk);
+      verdict.malicious = cached->malicious;
+      verdict.from_cache = true;
+      verdict.score = cached->score;
+      verdict.model_version = cached->model_version;
+      send_early_verdict(verdict);
+      return;
+    }
+  }
+
+  // Early admission 2 — shed before the body: the upload budget and the
+  // overload governor both answer at open time, so a refused client costs
+  // the gateway an ack frame instead of a multi-MB transfer.
+  const bool over_budget =
+      active_uploads_.load(std::memory_order_relaxed) >= config_.max_concurrent_uploads;
+  if (over_budget || service_.WouldShed(priority)) {
+    fabric::UploadVerdictMsg verdict;
+    verdict.status = static_cast<uint8_t>(serve::VetStatus::kShedOverload);
+    verdict.error = over_budget ? "upload budget exhausted" : "overload shed";
+    send_early_verdict(verdict);
+    return;
+  }
+
+  fabric::UploadAck go;
+  go.decision = fabric::UploadDecision::kGo;
+  go.max_chunk_bytes = config_.chunk_bytes;
+  if (auto sent = socket.SendFrame(fabric::MsgType::kUploadAck,
+                                   fabric::EncodeUploadAck(go));
+      !sent.ok()) {
+    AbortUpload(socket, "disconnect");
+    return;
+  }
+
+  // Body transfer. The reader feeds ReadApkBlob, so hashing and spill-to-disk
+  // run concurrently with the network transfer — the blob's digest is ready
+  // the moment the last chunk lands.
+  active_uploads_.fetch_add(1, std::memory_order_relaxed);
+  registry.gauge(obs::names::kGatewayActiveUploads)
+      .Set(static_cast<double>(active_uploads_.load(std::memory_order_relaxed)));
+  socket.SetRecvTimeout(config_.read_deadline);
+  SocketStreamReader reader(socket, config_, open->declared_length, stopping_);
+  const Clock::time_point body_start = Clock::now();
+  auto blob = ingest::ReadApkBlob(reader, config_.chunk_bytes);
+  const double body_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - body_start).count();
+  registry.histogram(obs::names::kGatewayUploadStageMs).Observe(body_ms);
+  bytes_received_.fetch_add(reader.received(), std::memory_order_relaxed);
+  active_uploads_.fetch_sub(1, std::memory_order_relaxed);
+  registry.gauge(obs::names::kGatewayActiveUploads)
+      .Set(static_cast<double>(active_uploads_.load(std::memory_order_relaxed)));
+
+  if (!blob.ok()) {
+    const UploadFailure failure = reader.failure();
+    if (failure == UploadFailure::kSlowLoris) {
+      slow_loris_disconnects_.fetch_add(1, std::memory_order_relaxed);
+      registry.counter(obs::names::kGatewaySlowLorisDisconnectsTotal).Increment();
+    }
+    AbortUpload(socket, UploadFailureName(failure));
+    return;
+  }
+
+  serve::Submission submission;
+  submission.blob = std::move(*blob);
+  submission.priority = priority;
+  auto future = service_.Submit(std::move(submission));
+  if (!future.ok()) {
+    // Admission backpressure (shard queues full) or service shutdown. The
+    // upload itself arrived intact; the refusal is visible as an abort with
+    // the backpressure reason so the client backs off and retries by digest.
+    AbortUpload(socket, "backpressure");
+    return;
+  }
+  const serve::VettingResult result = future->get();
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  registry.counter(obs::names::kGatewayUploadsCompletedTotal).Increment();
+  auto sent = socket.SendFrame(fabric::MsgType::kUploadVerdict,
+                               fabric::EncodeUploadVerdict(ToWire(result)));
+  if (sent.ok()) {
+    verdicts_sent_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter(obs::names::kGatewayVerdictsSentTotal).Increment();
+  } else {
+    // The verdict is already durable service-side; a client that missed it
+    // retries by digest and resolves from the cache without re-transfer.
+    verdict_send_failures_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter(obs::names::kGatewayVerdictSendFailuresTotal).Increment();
+  }
+}
+
+GatewayStats IngestGateway::stats() const {
+  GatewayStats stats;
+  stats.connections = connections_.load(std::memory_order_relaxed);
+  stats.accepted = accepted_.load(std::memory_order_relaxed);
+  stats.completed = completed_.load(std::memory_order_relaxed);
+  stats.aborted = aborted_.load(std::memory_order_relaxed);
+  stats.early_verdicts = early_verdicts_.load(std::memory_order_relaxed);
+  stats.resumed_by_digest = resumed_by_digest_.load(std::memory_order_relaxed);
+  stats.slow_loris_disconnects =
+      slow_loris_disconnects_.load(std::memory_order_relaxed);
+  stats.verdicts_sent = verdicts_sent_.load(std::memory_order_relaxed);
+  stats.verdict_send_failures =
+      verdict_send_failures_.load(std::memory_order_relaxed);
+  stats.bytes_received = bytes_received_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace apichecker::gateway

@@ -1,0 +1,164 @@
+// IngestGateway: the network front door of the vetting service. Accepts
+// framed APK uploads over the fabric transport (unix or TCP), streams the
+// body through ingest::ReadApkBlob so incremental SHA-1 hashing and
+// spill-to-disk overlap the transfer, and answers with the submission's
+// verdict on the same connection.
+//
+// Early admission: the gateway can resolve an upload BEFORE the body finishes
+// arriving — a declared digest the cache already holds for the live model is
+// answered at open time with zero body bytes transferred (the retry/resume
+// path), and an overload-governor shed refuses the body up front instead of
+// after multi-MB of hostile goodput.
+//
+// Robustness is the point. Per-connection read deadlines bound every frame
+// wait; a minimum-throughput floor over a sliding window evicts slow-loris
+// clients that trickle bytes just fast enough to defeat the deadline; a
+// declared-length vs received-length contract rejects both short and
+// oversending clients; undecodable frames reuse the FAB1 CRC codec's
+// disconnect-and-count semantics; the concurrent-upload budget is bounded and
+// the active-upload count feeds the OverloadGovernor's depth input. On
+// Stop(), in-flight uploads get a drain grace to finish; stragglers are
+// severed and resolve visibly as kAbortedUpload — extending the service's
+// drain invariant to the network edge:
+//
+//   uploads_accepted == uploads_completed + uploads_aborted
+//
+// where "completed" means a terminal verdict was produced (even if sending it
+// failed — the client retries by digest and resolves from the cache without
+// re-transfer).
+
+#ifndef APICHECKER_GATEWAY_GATEWAY_H_
+#define APICHECKER_GATEWAY_GATEWAY_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fabric/transport.h"
+#include "serve/service.h"
+#include "util/result.h"
+
+namespace apichecker::gateway {
+
+struct GatewayConfig {
+  std::string endpoint;  // Listen address, "unix:/path" or "tcp:host:port".
+  // Longest the gateway waits for the next frame of an upload in progress. A
+  // connection that goes completely silent mid-body for this long is evicted
+  // as a slow-loris.
+  std::chrono::milliseconds read_deadline{2000};
+  // Longest a fresh connection may sit idle before its UploadOpen arrives.
+  std::chrono::milliseconds idle_timeout{5000};
+  // Minimum sustained body throughput (0 = off). Checked over sliding windows
+  // of throughput_window: a client that keeps the connection technically
+  // alive but trickles below the floor is evicted as a slow-loris.
+  double min_bytes_per_sec = 0.0;
+  std::chrono::milliseconds throughput_window{1000};
+  // Hard ceiling on a declared body length; anything larger is refused at
+  // open (the length field is hostile input).
+  uint64_t max_declared_bytes = 64ull << 20;
+  // Concurrent-upload budget: connections beyond this are refused at open
+  // with a shed verdict rather than queued invisibly.
+  size_t max_concurrent_uploads = 64;
+  // Advertised per-chunk ceiling, and the granularity the body is re-chunked
+  // at through ReadApkBlob (hash + spill overlap the transfer).
+  size_t chunk_bytes = 64 * 1024;
+  // How long Stop() lets in-flight uploads finish before severing them.
+  std::chrono::milliseconds drain_grace{2000};
+};
+
+// Lifetime upload accounting; the extended drain invariant is checked over
+// these (see GatewayStats::Balanced).
+struct GatewayStats {
+  uint64_t connections = 0;
+  uint64_t accepted = 0;   // Valid UploadOpen frames admitted.
+  uint64_t completed = 0;  // Terminal verdict produced (incl. early verdicts).
+  uint64_t aborted = 0;    // Upload died visibly before a verdict.
+  uint64_t early_verdicts = 0;
+  uint64_t resumed_by_digest = 0;
+  uint64_t slow_loris_disconnects = 0;
+  uint64_t verdicts_sent = 0;
+  uint64_t verdict_send_failures = 0;
+  uint64_t bytes_received = 0;
+
+  bool Balanced() const { return accepted == completed + aborted; }
+};
+
+class IngestGateway {
+ public:
+  // `service` must outlive the gateway. Registers the active-upload count as
+  // the service's ingress-backlog probe.
+  IngestGateway(serve::VettingService& service, GatewayConfig config);
+  ~IngestGateway();
+
+  IngestGateway(const IngestGateway&) = delete;
+  IngestGateway& operator=(const IngestGateway&) = delete;
+
+  // Binds the endpoint and starts the accept thread. Returns the bound
+  // endpoint (meaningful for tcp:host:0) on success.
+  util::Result<fabric::Endpoint> Start();
+
+  // Graceful drain: close the listener, give in-flight uploads drain_grace
+  // to finish, sever the rest (they resolve as kAbortedUpload), join all
+  // threads. Idempotent.
+  void Stop();
+
+  // Blocks until Stop() is called from another thread.
+  void Wait();
+
+  const fabric::Endpoint& bound_endpoint() const { return bound_endpoint_; }
+  GatewayStats stats() const;
+  size_t ActiveUploads() const {
+    return active_uploads_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Connection {
+    fabric::Socket socket;
+    std::thread thread;
+    std::atomic<bool> done{false};
+  };
+
+  void AcceptLoop();
+  void ServeConnection(Connection* conn);
+  void ReapLocked();
+  // Best-effort terminal kAbortedUpload verdict + abort accounting.
+  void AbortUpload(fabric::Socket& socket, const char* reason);
+
+  serve::VettingService& service_;
+  GatewayConfig config_;
+
+  fabric::Listener listener_;
+  fabric::Endpoint bound_endpoint_;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> stopped_once_{false};
+
+  std::mutex conns_mu_;
+  std::vector<std::unique_ptr<Connection>> conns_;
+
+  std::mutex wait_mu_;
+  std::condition_variable wait_cv_;
+  bool stopped_ = false;
+
+  std::atomic<size_t> active_uploads_{0};
+  std::atomic<uint64_t> connections_{0};
+  std::atomic<uint64_t> accepted_{0};
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> early_verdicts_{0};
+  std::atomic<uint64_t> resumed_by_digest_{0};
+  std::atomic<uint64_t> slow_loris_disconnects_{0};
+  std::atomic<uint64_t> verdicts_sent_{0};
+  std::atomic<uint64_t> verdict_send_failures_{0};
+  std::atomic<uint64_t> bytes_received_{0};
+};
+
+}  // namespace apichecker::gateway
+
+#endif  // APICHECKER_GATEWAY_GATEWAY_H_

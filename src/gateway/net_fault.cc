@@ -1,0 +1,52 @@
+#include "gateway/net_fault.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace apichecker::gateway {
+
+const char* NetFaultName(NetFault fault) {
+  switch (fault) {
+    case NetFault::kNone:
+      return "none";
+    case NetFault::kStall:
+      return "stall";
+    case NetFault::kDisconnect:
+      return "disconnect";
+    case NetFault::kTornFrame:
+      return "torn_frame";
+    case NetFault::kCorrupt:
+      return "corrupt";
+  }
+  return "unknown";
+}
+
+NetFaultInjector::NetFaultInjector(const NetFaultPlan& plan)
+    : plan_(plan), stall_rng_(util::SplitMix64(plan.seed ^ 0x6e65746661756c74ull)) {}
+
+NetFault NetFaultInjector::OnChunk(uint64_t chunk_ordinal) {
+  auto scripted = [chunk_ordinal](const std::vector<uint64_t>& at) {
+    return std::find(at.begin(), at.end(), chunk_ordinal) != at.end();
+  };
+  if (scripted(plan_.disconnect_after)) return NetFault::kDisconnect;
+  if (scripted(plan_.torn_frame_at)) return NetFault::kTornFrame;
+  if (scripted(plan_.corrupt_at)) return NetFault::kCorrupt;
+  if (scripted(plan_.stall_before)) return NetFault::kStall;
+  if (plan_.stall_rate > 0.0 && stall_rng_.Bernoulli(plan_.stall_rate)) {
+    return NetFault::kStall;
+  }
+  return NetFault::kNone;
+}
+
+std::chrono::milliseconds NetFaultInjector::ThrottleDelay(uint64_t chunk_ordinal,
+                                                          size_t sent_bytes) const {
+  if (plan_.throttle_from == 0 || plan_.throttle_bytes_per_sec <= 0.0 ||
+      chunk_ordinal < plan_.throttle_from) {
+    return std::chrono::milliseconds{0};
+  }
+  const double ms =
+      1000.0 * static_cast<double>(sent_bytes) / plan_.throttle_bytes_per_sec;
+  return std::chrono::milliseconds{static_cast<int64_t>(std::llround(ms))};
+}
+
+}  // namespace apichecker::gateway

@@ -1,0 +1,97 @@
+// Deterministic network fault injection for the ingest gateway, mirroring
+// emu::FaultPlan and store::IoFaultPlan: hostile-network behavior is scripted
+// at exact 1-based chunk ordinals (plus seeded Bernoulli streams for
+// randomized stress), so every client failure mode — stalls, mid-stream
+// disconnects, torn frames, corrupted frames, trickle throughput — replays
+// bit-for-bit. The plan lives on the CLIENT: the gateway under test sees real
+// bytes (and real silence) on a real socket.
+
+#ifndef APICHECKER_GATEWAY_NET_FAULT_H_
+#define APICHECKER_GATEWAY_NET_FAULT_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace apichecker::gateway {
+
+struct NetFaultPlan {
+  // Seeds the Bernoulli stall stream.
+  uint64_t seed = 1;
+  // Per-chunk probability of a stall (randomized stress mode).
+  double stall_rate = 0.0;
+  // How long every stall (scripted or random) lasts. A stall longer than the
+  // gateway's read deadline is the slow-loris scenario: the connection goes
+  // silent mid-body and the gateway must evict it.
+  std::chrono::milliseconds stall_ms{0};
+  // Scripted stalls: sleep stall_ms before sending the Nth chunk.
+  std::vector<uint64_t> stall_before;
+  // Scripted disconnects: close the connection abruptly after the Nth chunk
+  // (mid-stream EOF on the gateway side).
+  std::vector<uint64_t> disconnect_after;
+  // Scripted torn frames: send only a prefix of the Nth chunk's frame, then
+  // close — the gateway's read loop sees a header with no body.
+  std::vector<uint64_t> torn_frame_at;
+  // Scripted corruption: flip one payload byte inside the Nth chunk's frame,
+  // leaving the CRC stale — exercises the FAB1 disconnect-and-count path.
+  std::vector<uint64_t> corrupt_at;
+  // Byte-rate throttling from a chunk ordinal onward (0 = off): sleeps after
+  // each send so the connection's throughput approximates bytes_per_sec.
+  uint64_t throttle_from = 0;
+  double throttle_bytes_per_sec = 0.0;
+  // Impatient client: on the first N attempts, close right after UploadEnd
+  // instead of waiting for the verdict. The body arrived intact, so the
+  // gateway still classifies and caches it — the retry that follows resolves
+  // by digest without re-transferring a byte (the resume path).
+  uint64_t abandon_verdict_waits = 0;
+
+  bool enabled() const {
+    return stall_rate > 0.0 || !stall_before.empty() ||
+           !disconnect_after.empty() || !torn_frame_at.empty() ||
+           !corrupt_at.empty() || abandon_verdict_waits > 0 ||
+           (throttle_from > 0 && throttle_bytes_per_sec > 0.0);
+  }
+};
+
+// What the injector wants done to the Nth chunk. kDisconnect/kTornFrame/
+// kCorrupt terminate the attempt; kStall delays it (and may additionally be
+// fatal if the stall outlives the gateway's patience).
+enum class NetFault : uint8_t {
+  kNone = 0,
+  kStall = 1,
+  kDisconnect = 2,
+  kTornFrame = 3,
+  kCorrupt = 4,
+};
+
+const char* NetFaultName(NetFault fault);
+
+// Stateful evaluator of a NetFaultPlan. Not thread-safe; each upload attempt
+// owns one.
+class NetFaultInjector {
+ public:
+  explicit NetFaultInjector(const NetFaultPlan& plan);
+
+  // Consulted once per chunk, before it is sent. Scripted faults take
+  // precedence over the random stall stream; among scripted faults,
+  // disconnect > torn frame > corrupt > stall.
+  NetFault OnChunk(uint64_t chunk_ordinal);
+
+  // How long to pause after sending `sent_bytes` of the Nth chunk so the
+  // connection stays at ~throttle_bytes_per_sec. Zero when throttling is off
+  // or not yet active at this ordinal.
+  std::chrono::milliseconds ThrottleDelay(uint64_t chunk_ordinal,
+                                          size_t sent_bytes) const;
+
+  std::chrono::milliseconds stall_duration() const { return plan_.stall_ms; }
+
+ private:
+  NetFaultPlan plan_;
+  util::Rng stall_rng_;
+};
+
+}  // namespace apichecker::gateway
+
+#endif  // APICHECKER_GATEWAY_NET_FAULT_H_

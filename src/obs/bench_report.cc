@@ -86,6 +86,16 @@ std::string BenchReportToJson(const BenchReport& report) {
                          report.storm_peak_blob_pool_mb);
   out += util::StrFormat("  \"storm_spill_watermark_mb\": %.2f,\n",
                          report.storm_spill_watermark_mb);
+  out += util::StrFormat("  \"upload_throughput_per_sec\": %.1f,\n",
+                         report.upload_throughput_per_sec);
+  out += util::StrFormat("  \"upload_inmemory_throughput_per_sec\": %.1f,\n",
+                         report.upload_inmemory_throughput_per_sec);
+  out += util::StrFormat("  \"upload_admission_overhead_pct\": %.2f,\n",
+                         report.upload_admission_overhead_pct);
+  out += util::StrFormat("  \"upload_admission_p99_ms\": %.2f,\n",
+                         report.upload_admission_p99_ms);
+  out += util::StrFormat("  \"upload_resolved\": %llu,\n",
+                         static_cast<unsigned long long>(report.upload_resolved));
   out += "  \"stages\": {";
   const char* sep = "";
   for (const auto& [name, stage] : report.stages) {

@@ -64,6 +64,16 @@ struct BenchReport {
   uint64_t storm_shed_total = 0;
   double storm_peak_blob_pool_mb = 0.0;   // Heap pool peak DURING the storm.
   double storm_spill_watermark_mb = 0.0;  // The bound the pool must stay under.
+  // Network upload ingest pass (IngestGateway over a unix socket); all 0 when
+  // not run. The overhead compares identical admission work entered via
+  // ReadApkBlob + Submit() in-process (the control) vs streamed through the
+  // gateway's framed-upload protocol; the p99 is client-observed wall time to
+  // a terminal verdict with 10% of the upload cohort scripted to stall.
+  double upload_throughput_per_sec = 0.0;
+  double upload_inmemory_throughput_per_sec = 0.0;
+  double upload_admission_overhead_pct = 0.0;
+  double upload_admission_p99_ms = 0.0;
+  uint64_t upload_resolved = 0;
   // Stage name -> quantiles: admission, e2e, plus the per-stage breakdown
   // histograms (submit, shard, batch, farm, classify, store, resolve).
   std::map<std::string, BenchStage> stages;

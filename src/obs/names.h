@@ -241,6 +241,36 @@ inline constexpr char kStoreSegments[] = "apichecker_store_segments";
 inline constexpr char kStoreLiveRecords[] = "apichecker_store_live_records";
 inline constexpr char kStoreDeadRecords[] = "apichecker_store_dead_records";
 
+// gateway layer — network ingest gateway (framed APK upload over the fabric
+// transport). kGatewayUploadsAbortedTotal is additionally emitted with a
+// reason label, e.g. apichecker_gateway_uploads_aborted_total{reason="slow_loris"}.
+inline constexpr char kGatewayConnectionsTotal[] =
+    "apichecker_gateway_connections_total";
+inline constexpr char kGatewayUploadsAcceptedTotal[] =
+    "apichecker_gateway_uploads_accepted_total";
+inline constexpr char kGatewayUploadsCompletedTotal[] =
+    "apichecker_gateway_uploads_completed_total";
+inline constexpr char kGatewayUploadsAbortedTotal[] =
+    "apichecker_gateway_uploads_aborted_total";
+inline constexpr char kGatewaySlowLorisDisconnectsTotal[] =
+    "apichecker_gateway_slow_loris_disconnects_total";
+inline constexpr char kGatewayEarlyVerdictsTotal[] =
+    "apichecker_gateway_early_verdicts_total";
+inline constexpr char kGatewayResumedByDigestTotal[] =
+    "apichecker_gateway_resumed_by_digest_total";
+inline constexpr char kGatewayVerdictsSentTotal[] =
+    "apichecker_gateway_verdicts_sent_total";
+inline constexpr char kGatewayVerdictSendFailuresTotal[] =
+    "apichecker_gateway_verdict_send_failures_total";
+inline constexpr char kGatewayBytesReceivedTotal[] =
+    "apichecker_gateway_bytes_received_total";
+inline constexpr char kGatewayActiveUploads[] = "apichecker_gateway_active_uploads";
+inline constexpr char kGatewayUploadStageMs[] = "apichecker_gateway_upload_stage_ms";
+inline constexpr char kGatewayClientRetriesTotal[] =
+    "apichecker_gateway_client_retries_total";
+inline constexpr char kGatewayNetInjectedFaultsTotal[] =
+    "apichecker_gateway_net_injected_faults_total";
+
 }  // namespace apichecker::obs::names
 
 #endif  // APICHECKER_OBS_NAMES_H_

@@ -201,6 +201,10 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
         // Shedding happens at admission (VettingService::Submit), which does
         // its own accounting; a shed submission never reaches the scheduler.
         break;
+      case VetStatus::kAbortedUpload:
+        // Aborted uploads resolve inside the gateway before Submit() is ever
+        // reached; one cannot flow through the scheduler.
+        break;
     }
 
     if (pending.trace.sampled()) {

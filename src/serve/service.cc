@@ -242,12 +242,14 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
   // fate is decided by its own isolated lane (kQueueFull backpressure).
   if (config_.overload.shed) {
     // Depth is the END-TO-END backlog: shard queues plus batches queued or
-    // executing in the farm pool (converted back to submissions). The shard
-    // queues alone go shallow whenever the scheduler keeps up, even while
-    // the farms drown — overload must be judged where the work actually piles.
+    // executing in the farm pool (converted back to submissions), plus
+    // uploads still arriving over the network. The shard queues alone go
+    // shallow whenever the scheduler keeps up, even while the farms drown —
+    // overload must be judged where the work actually piles.
     const size_t backlog =
         shards_.ApproxDepth() +
-        pool_.ApproxBacklogBatches() * batch_size_hint_;
+        pool_.ApproxBacklogBatches() * batch_size_hint_ +
+        (ingress_backlog_probe_ ? ingress_backlog_probe_() : 0);
     const PressureState pressure = governor_.Evaluate(
         backlog, shards_.class_capacity(), ingest::ApkBlob::PoolBytes());
     if (OverloadGovernor::ShouldShed(pressure, pending.priority)) {
@@ -345,6 +347,25 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
   metrics.counter(obs::names::kServeRejectedTotal).Increment();
   complete_rejected();
   return util::Err("service is shut down");
+}
+
+std::optional<CachedVerdict> VettingService::PeekCachedVerdict(
+    const std::string& digest) {
+  return cache_.Get(digest, model_.version());
+}
+
+bool VettingService::WouldShed(Priority priority) {
+  if (!config_.overload.shed) return false;
+  const size_t backlog =
+      shards_.ApproxDepth() + pool_.ApproxBacklogBatches() * batch_size_hint_ +
+      (ingress_backlog_probe_ ? ingress_backlog_probe_() : 0);
+  const PressureState pressure = governor_.Evaluate(
+      backlog, shards_.class_capacity(), ingest::ApkBlob::PoolBytes());
+  return OverloadGovernor::ShouldShed(pressure, priority);
+}
+
+void VettingService::SetIngressBacklogProbe(std::function<size_t()> probe) {
+  ingress_backlog_probe_ = std::move(probe);
 }
 
 void VettingService::Shutdown() {

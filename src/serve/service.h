@@ -23,8 +23,10 @@
 
 #include <atomic>
 #include <chrono>
+#include <functional>
 #include <future>
 #include <memory>
+#include <optional>
 #include <span>
 
 #include "core/checker.h"
@@ -98,6 +100,28 @@ class VettingService {
   // dropped.
   util::Result<std::future<VettingResult>> Submit(Submission submission);
 
+  // Early-admission hooks for the network ingest gateway, which must be able
+  // to answer BEFORE an upload body finishes arriving.
+  //
+  // PeekCachedVerdict: the digest-cache fastpath, exposed by digest alone — a
+  // client that declares a digest it already uploaded gets the live model's
+  // verdict without transferring a single body byte. Touches the cache's LRU
+  // state but none of the service counters (the upload never became a
+  // submission).
+  std::optional<CachedVerdict> PeekCachedVerdict(const std::string& digest);
+  // WouldShed: runs the overload governor's watermark state machine against
+  // the current end-to-end backlog (shards + farm batches + network ingress)
+  // and reports whether a submission of `priority` would be shed right now.
+  // The gateway uses it to refuse an upload at open time instead of after the
+  // multi-MB body has been received, parsed, and pooled.
+  bool WouldShed(Priority priority);
+  // Registers a probe for in-flight network-upload backlog (the gateway's
+  // active-upload count). Its value joins the governor's depth input so
+  // uploads still on the wire count as pressure before they reach a shard
+  // queue. Must be set before traffic flows (not thread-safe against a
+  // concurrent Submit).
+  void SetIngressBacklogProbe(std::function<size_t()> probe);
+
   // Starts the scheduler if start_paused was set. Idempotent.
   void Start();
 
@@ -148,6 +172,8 @@ class VettingService {
   BatchScheduler scheduler_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<bool> shut_down_{false};
+  // In-flight network-upload depth, as submissions (empty = no gateway).
+  std::function<size_t()> ingress_backlog_probe_;
   size_t sample_every_ = 0;  // 0 = tracing off; N = every Nth submission.
   // Resolved scheduler batch size (0-means-num_emulators already applied):
   // converts the farm pool's batch backlog into submissions for the governor.

@@ -79,6 +79,11 @@ enum class VetStatus : uint8_t {
   // in pressure/critical and the submission's class is sheddable. Resolved
   // immediately — the caller sees the drop instead of a timeout.
   kShedOverload = 4,
+  // The network upload carrying this submission died before the body
+  // completed (client disconnect, slow-loris eviction, length-contract
+  // violation, or gateway drain). The gateway resolves it visibly so the
+  // extended drain invariant (accepted == resolved + aborted) still balances.
+  kAbortedUpload = 5,
 };
 
 inline const char* VetStatusName(VetStatus status) {
@@ -93,6 +98,8 @@ inline const char* VetStatusName(VetStatus status) {
       return "rejected_unhealthy";
     case VetStatus::kShedOverload:
       return "shed_overload";
+    case VetStatus::kAbortedUpload:
+      return "aborted_upload";
   }
   return "unknown";
 }

@@ -8,6 +8,8 @@
 // (connect/disconnect churn while workers restart) carries the "stress"
 // ctest label and runs under TSan in CI.
 
+#include <pthread.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -614,6 +616,77 @@ TEST(FabricBreaker, ReconnectTriggersHalfOpenProbeThenCloses) {
   pool.Close();
   worker->Stop();
   fs::remove(socket_path);
+}
+
+// A blocking socket syscall interrupted by a signal whose handler was
+// installed WITHOUT SA_RESTART returns EINTR instead of resuming. Every
+// send/recv/connect/accept in the transport must retry, or a stray SIGUSR1
+// (profilers, timers, debuggers) tears down a healthy connection. This storm
+// interrupts both ends of a live echo session — connect and accept included —
+// and large frames make mid-transfer interruption all but certain.
+TEST(FabricSocket, SyscallsSurviveSignalStormWithoutSaRestart) {
+  struct sigaction noop {};
+  noop.sa_handler = [](int) {};
+  sigemptyset(&noop.sa_mask);
+  noop.sa_flags = 0;  // Deliberately NOT SA_RESTART.
+  struct sigaction saved {};
+  ASSERT_EQ(::sigaction(SIGUSR1, &noop, &saved), 0);
+
+  const std::string socket_path = ScratchSocket();
+  auto bound = Listener::Bind(*ParseEndpoint("unix:" + socket_path));
+  ASSERT_TRUE(bound.ok()) << bound.error();
+  Listener listener = std::move(*bound);
+
+  constexpr int kRounds = 20;
+  std::promise<pthread_t> echo_tid_promise;
+  std::future<pthread_t> echo_tid = echo_tid_promise.get_future();
+  std::thread echo([&] {
+    echo_tid_promise.set_value(pthread_self());
+    auto conn = listener.Accept();  // Interrupted accept must retry.
+    ASSERT_TRUE(conn.ok()) << conn.error();
+    for (int i = 0; i < kRounds; ++i) {
+      auto frame = conn->RecvFrame();
+      ASSERT_TRUE(frame.ok()) << "round " << i << ": " << frame.error();
+      auto sent = conn->SendFrame(frame->type, frame->payload);
+      ASSERT_TRUE(sent.ok()) << "round " << i << ": " << sent.error();
+    }
+  });
+
+  const pthread_t victim_a = echo_tid.get();
+  const pthread_t victim_b = pthread_self();
+  std::atomic<bool> storming{true};
+  std::thread storm([&] {
+    while (storming.load()) {
+      pthread_kill(victim_a, SIGUSR1);
+      pthread_kill(victim_b, SIGUSR1);
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  // Connect under fire (interrupted connect must retry), then push frames
+  // large enough that send/recv are interrupted mid-transfer many times.
+  auto socket =
+      Socket::Connect(*ParseEndpoint("unix:" + socket_path), milliseconds(2'000));
+  ASSERT_TRUE(socket.ok()) << socket.error();
+  std::vector<uint8_t> payload(1 << 20);
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<uint8_t>(i * 131 + 7);
+  }
+  for (int i = 0; i < kRounds; ++i) {
+    auto sent = socket->SendFrame(MsgType::kUploadChunk, payload);
+    ASSERT_TRUE(sent.ok()) << "round " << i << ": " << sent.error();
+    auto echoed = socket->RecvFrame();
+    ASSERT_TRUE(echoed.ok()) << "round " << i << ": " << echoed.error();
+    ASSERT_EQ(echoed->payload.size(), payload.size());
+    EXPECT_EQ(echoed->payload, payload) << "payload corrupted in round " << i;
+  }
+
+  storming.store(false);
+  storm.join();
+  echo.join();
+  listener.Close();
+  fs::remove(socket_path);
+  ::sigaction(SIGUSR1, &saved, nullptr);
 }
 
 // ------------------------------------------------------------------- soak

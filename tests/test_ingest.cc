@@ -181,6 +181,72 @@ TEST(StreamReader, MissingFileIsAResultErrorNotACrash) {
   EXPECT_NE(blob.error().find("nope.apk"), std::string::npos);
 }
 
+// Yields at most one byte per Read() call and never reports a size hint —
+// the worst legal short-read behavior a network-backed reader can exhibit.
+class OneByteReader : public ApkStreamReader {
+ public:
+  explicit OneByteReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  util::Result<size_t> Read(std::span<uint8_t> out) override {
+    if (offset_ == bytes_.size() || out.empty()) return size_t{0};
+    out[0] = bytes_[offset_++];
+    return size_t{1};
+  }
+
+ private:
+  std::span<const uint8_t> bytes_;
+  size_t offset_ = 0;
+};
+
+// Returns a few bytes, then fails mid-stream — a connection dying partway
+// through an upload.
+class TornReader : public ApkStreamReader {
+ public:
+  explicit TornReader(size_t bytes_before_error)
+      : remaining_(bytes_before_error) {}
+
+  util::Result<size_t> Read(std::span<uint8_t> out) override {
+    if (remaining_ == 0) return util::Err("connection torn mid-chunk");
+    const size_t n = std::min(out.size(), remaining_);
+    std::fill_n(out.begin(), n, uint8_t{0x5A});
+    remaining_ -= n;
+    return n;
+  }
+
+ private:
+  size_t remaining_;
+};
+
+TEST(StreamReader, ShortReadProneReaderMatchesOneShotDigest) {
+  // ReadApkBlob must keep draining a reader that fills one byte per call;
+  // a single short read is not EOF. Digest and size must be identical to
+  // the one-shot path, with no dependence on SizeHint.
+  const std::vector<uint8_t> bytes = DeterministicBytes(3'000, 11);
+  OneByteReader reader(bytes);
+  auto blob = ReadApkBlob(reader, /*chunk_bytes=*/256);
+  ASSERT_TRUE(blob.ok()) << blob.error();
+  EXPECT_EQ(blob->size(), bytes.size());
+  EXPECT_EQ(blob->digest(), util::Sha1Hex(bytes));
+  EXPECT_EQ(blob->digest(), ApkBlob::FromBytes(std::vector<uint8_t>(bytes)).digest());
+}
+
+TEST(StreamReader, EofMidChunkSurfacesAsResultError) {
+  TornReader reader(/*bytes_before_error=*/100);
+  auto blob = ReadApkBlob(reader, /*chunk_bytes=*/64);
+  ASSERT_FALSE(blob.ok());
+  EXPECT_NE(blob.error().find("torn mid-chunk"), std::string::npos);
+}
+
+TEST(StreamReader, ZeroLengthStreamYieldsEmptyBlob) {
+  const std::vector<uint8_t> empty;
+  OneByteReader reader(empty);
+  auto blob = ReadApkBlob(reader, /*chunk_bytes=*/256);
+  ASSERT_TRUE(blob.ok()) << blob.error();
+  EXPECT_EQ(blob->size(), 0u);
+  // SHA-1 of the empty message, same as the one-shot hasher.
+  EXPECT_EQ(blob->digest(), "da39a3ee5e6b4b0d3255bfef95601890afd80709");
+}
+
 // Stress suite (ctest label "stress"; tools/ci.sh runs it under TSan):
 // concurrent handle churn over shared blobs. The refcount, the pool gauge,
 // and the peak tracker are all cross-thread state; a race here corrupts the

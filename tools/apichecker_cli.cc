@@ -19,6 +19,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -36,6 +37,9 @@
 #include "emu/farm.h"
 #include "fabric/transport.h"
 #include "fabric/worker.h"
+#include "gateway/client.h"
+#include "gateway/gateway.h"
+#include "gateway/net_fault.h"
 #include "ingest/apk_blob.h"
 #include "ingest/stream_reader.h"
 #include "market/review_pipeline.h"
@@ -103,8 +107,51 @@ struct CommonFlags {
   std::string class_weights;  // "I,R,B"; empty = library default.
   std::string slo_ms;         // "I,R,B" in ms; empty/0 = no class SLO.
   size_t spill_threshold_kb = 0;  // 0 = spilling off.
+  // Ingest gateway: `serve --listen E` puts an IngestGateway in front of the
+  // service (no synthetic trace; uploads arrive over the wire) and parks
+  // until SIGTERM/SIGINT. `submit --connect E` is the client side: streams
+  // APKs as framed chunks with retry/resume-by-digest, optionally mangled by
+  // a deterministic NetFaultPlan (--stall-at/--disconnect-at/--torn-at/
+  // --corrupt-at take comma-separated 1-based chunk ordinals).
+  std::string connect;        // submit: gateway endpoint.
+  size_t uploads = 4;         // submit: synthetic uploads when no files given.
+  size_t attempts = 4;        // submit: max attempts per upload.
+  std::string priority = "bulk";  // submit: interactive | rescan | bulk.
+  std::string stall_at;       // Scripted stall ordinals.
+  size_t stall_ms = 300;      // Stall duration (scripted and random).
+  double stall_rate = 0;      // Random per-chunk stall probability.
+  std::string disconnect_at;  // Scripted mid-stream disconnect ordinals.
+  std::string torn_at;        // Scripted torn-frame ordinals.
+  std::string corrupt_at;     // Scripted corrupt-frame ordinals.
+  size_t throttle_from = 0;   // Throttle starting at this chunk ordinal.
+  double throttle_bps = 0;    // Throttle target, bytes/sec.
+  // Gateway tuning (serve --listen side); 0 = library default.
+  size_t read_deadline_ms = 0;
+  size_t idle_timeout_ms = 0;
+  double min_bps = 0;         // Slow-loris throughput floor, bytes/sec.
+  size_t max_uploads = 0;     // Concurrent-upload budget.
   std::vector<std::string> positional;
 };
+
+// Parses "3,7,12" into 1-based chunk ordinals. Returns false on malformed
+// input (ordinal 0 included — the plans are 1-based).
+bool ParseOrdinalList(const char* text, std::vector<uint64_t>& out) {
+  const char* p = text;
+  while (*p != '\0') {
+    char* end = nullptr;
+    const uint64_t value = std::strtoull(p, &end, 10);
+    if (end == p || value == 0) return false;
+    out.push_back(value);
+    if (*end == ',') {
+      p = end + 1;
+    } else if (*end == '\0') {
+      p = end;
+    } else {
+      return false;
+    }
+  }
+  return !out.empty();
+}
 
 // Parses "a,b,c" (interactive,rescan,bulk) into out[3]. Returns false on
 // malformed input.
@@ -201,6 +248,40 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.bench_out = next_value("--bench-out");
     } else if (std::strncmp(argv[i], "--bench-out=", 12) == 0) {
       flags.bench_out = argv[i] + 12;
+    } else if (std::strcmp(argv[i], "--connect") == 0) {
+      flags.connect = next_value("--connect");
+    } else if (std::strcmp(argv[i], "--uploads") == 0) {
+      flags.uploads = std::strtoull(next_value("--uploads"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--attempts") == 0) {
+      flags.attempts = std::strtoull(next_value("--attempts"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--priority") == 0) {
+      flags.priority = next_value("--priority");
+    } else if (std::strcmp(argv[i], "--stall-at") == 0) {
+      flags.stall_at = next_value("--stall-at");
+    } else if (std::strcmp(argv[i], "--stall-ms") == 0) {
+      flags.stall_ms = std::strtoull(next_value("--stall-ms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--stall-rate") == 0) {
+      flags.stall_rate = std::strtod(next_value("--stall-rate"), nullptr);
+    } else if (std::strcmp(argv[i], "--disconnect-at") == 0) {
+      flags.disconnect_at = next_value("--disconnect-at");
+    } else if (std::strcmp(argv[i], "--torn-at") == 0) {
+      flags.torn_at = next_value("--torn-at");
+    } else if (std::strcmp(argv[i], "--corrupt-at") == 0) {
+      flags.corrupt_at = next_value("--corrupt-at");
+    } else if (std::strcmp(argv[i], "--throttle-from") == 0) {
+      flags.throttle_from = std::strtoull(next_value("--throttle-from"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--throttle-bps") == 0) {
+      flags.throttle_bps = std::strtod(next_value("--throttle-bps"), nullptr);
+    } else if (std::strcmp(argv[i], "--read-deadline-ms") == 0) {
+      flags.read_deadline_ms =
+          std::strtoull(next_value("--read-deadline-ms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--idle-timeout-ms") == 0) {
+      flags.idle_timeout_ms =
+          std::strtoull(next_value("--idle-timeout-ms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--min-bps") == 0) {
+      flags.min_bps = std::strtod(next_value("--min-bps"), nullptr);
+    } else if (std::strcmp(argv[i], "--max-uploads") == 0) {
+      flags.max_uploads = std::strtoull(next_value("--max-uploads"), nullptr, 10);
     } else {
       flags.positional.emplace_back(argv[i]);
     }
@@ -476,6 +557,18 @@ pid_t SpawnFarmWorker(const std::string& socket_path, size_t index,
 }
 
 int CmdServe(const CommonFlags& flags) {
+  // `serve --listen E` is gateway mode: no synthetic trace — an IngestGateway
+  // fronts the service and uploads arrive over the wire until SIGTERM/SIGINT.
+  // The signals must be blocked before any service thread spawns so sigwait
+  // (not a default disposition in some worker thread) receives them.
+  const bool gateway_mode = !flags.listen.empty();
+  sigset_t term_signals;
+  if (gateway_mode) {
+    sigemptyset(&term_signals);
+    sigaddset(&term_signals, SIGTERM);
+    sigaddset(&term_signals, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &term_signals, nullptr);
+  }
   const android::ApiUniverse universe = MakeUniverse(flags);
   auto checker = core::LoadCheckerFromFile(universe, flags.model_path);
   if (!checker.ok()) {
@@ -595,6 +688,75 @@ int CmdServe(const CommonFlags& flags) {
   }
 
   serve::VettingService service(universe, config, std::move(*checker));
+
+  if (gateway_mode) {
+    gateway::GatewayConfig gw_config;
+    gw_config.endpoint = flags.listen;
+    if (flags.read_deadline_ms > 0) {
+      gw_config.read_deadline = std::chrono::milliseconds(flags.read_deadline_ms);
+    }
+    if (flags.idle_timeout_ms > 0) {
+      gw_config.idle_timeout = std::chrono::milliseconds(flags.idle_timeout_ms);
+    }
+    gw_config.min_bytes_per_sec = flags.min_bps;
+    if (flags.max_uploads > 0) {
+      gw_config.max_concurrent_uploads = flags.max_uploads;
+    }
+    gw_config.chunk_bytes = std::max<size_t>(1, flags.chunk_kb) * 1024;
+
+    gateway::IngestGateway gw(service, gw_config);
+    auto bound = gw.Start();
+    if (!bound.ok()) {
+      std::fprintf(stderr, "serve: gateway cannot listen: %s\n",
+                   bound.error().c_str());
+      service.Shutdown();
+      reap_fabric();
+      return 1;
+    }
+    std::printf("serve: gateway (pid %d) listening on %s — read deadline "
+                "%lld ms, idle timeout %lld ms, min %.0f B/s, budget %zu "
+                "uploads\n",
+                static_cast<int>(::getpid()), bound->ToString().c_str(),
+                static_cast<long long>(gw_config.read_deadline.count()),
+                static_cast<long long>(gw_config.idle_timeout.count()),
+                gw_config.min_bytes_per_sec, gw_config.max_concurrent_uploads);
+    std::fflush(stdout);
+
+    int signo = 0;
+    sigwait(&term_signals, &signo);
+    std::printf("serve: gateway draining (signal %d)\n", signo);
+    // Order matters: conn threads may be parked in future.get(), which only
+    // the live scheduler resolves — the gateway must drain before the
+    // service shuts down.
+    gw.Stop();
+    service.Shutdown();
+
+    const gateway::GatewayStats gs = gw.stats();
+    const serve::ServiceStats sstats = service.stats();
+    std::printf("serve: gateway — %llu connections, %llu uploads accepted, "
+                "%llu completed (%llu early, %llu resumed-by-digest), "
+                "%llu aborted, %llu slow-loris evictions, %llu bytes in\n",
+                static_cast<unsigned long long>(gs.connections),
+                static_cast<unsigned long long>(gs.accepted),
+                static_cast<unsigned long long>(gs.completed),
+                static_cast<unsigned long long>(gs.early_verdicts),
+                static_cast<unsigned long long>(gs.resumed_by_digest),
+                static_cast<unsigned long long>(gs.aborted),
+                static_cast<unsigned long long>(gs.slow_loris_disconnects),
+                static_cast<unsigned long long>(gs.bytes_received));
+    std::printf("serve: gateway — %llu verdicts sent, %llu verdict send "
+                "failures\n",
+                static_cast<unsigned long long>(gs.verdicts_sent),
+                static_cast<unsigned long long>(gs.verdict_send_failures));
+    const bool balanced = gs.Balanced();
+    const bool service_ok = sstats.accepted == sstats.resolved();
+    std::printf("serve: gateway invariant accepted == completed + aborted: %s\n",
+                balanced ? "OK" : "VIOLATED");
+    std::printf("serve: invariant accepted == resolved: %s\n",
+                service_ok ? "OK" : "VIOLATED");
+    reap_fabric();
+    return balanced && service_ok ? 0 : 1;
+  }
 
   // Build the trace up front so submission pacing measures the service, not
   // APK synthesis. ~20% of the trace resubmits an earlier APK byte-for-byte
@@ -718,6 +880,10 @@ int CmdServe(const CommonFlags& flags) {
         break;
       case serve::VetStatus::kShedOverload:
         ++shed;
+        break;
+      case serve::VetStatus::kAbortedUpload:
+        // Only the gateway path produces aborted uploads; the in-process
+        // trace replay cannot.
         break;
     }
   }
@@ -976,6 +1142,130 @@ int CmdMarket(const CommonFlags& flags) {
   return 0;
 }
 
+// `apichecker submit --connect E` — the uploading client of the ingest
+// gateway. Streams positional .apk files (or --uploads synthetic APKs) as
+// framed chunks with capped-backoff retry and resume-by-digest; the
+// --stall-at/--disconnect-at/--torn-at/--corrupt-at/--throttle-bps flags
+// script a deterministic NetFaultPlan against each upload, making this the
+// hostile-client harness for a gateway started with `serve --listen`.
+int CmdSubmit(const CommonFlags& flags) {
+  if (flags.connect.empty()) {
+    std::fprintf(stderr,
+                 "submit: --connect unix:/path or tcp:host:port is required\n");
+    return 2;
+  }
+  uint8_t priority = 2;
+  if (flags.priority == "interactive") {
+    priority = 0;
+  } else if (flags.priority == "rescan") {
+    priority = 1;
+  } else if (flags.priority == "bulk") {
+    priority = 2;
+  } else {
+    std::fprintf(stderr, "submit: --priority wants interactive|rescan|bulk\n");
+    return 2;
+  }
+
+  gateway::NetFaultPlan plan;
+  plan.seed = flags.seed;
+  plan.stall_rate = flags.stall_rate;
+  plan.stall_ms = std::chrono::milliseconds(flags.stall_ms);
+  plan.throttle_from = flags.throttle_from;
+  plan.throttle_bytes_per_sec = flags.throttle_bps;
+  struct OrdinalFlag {
+    const char* name;
+    const std::string* text;
+    std::vector<uint64_t>* out;
+  };
+  const OrdinalFlag ordinal_flags[] = {
+      {"--stall-at", &flags.stall_at, &plan.stall_before},
+      {"--disconnect-at", &flags.disconnect_at, &plan.disconnect_after},
+      {"--torn-at", &flags.torn_at, &plan.torn_frame_at},
+      {"--corrupt-at", &flags.corrupt_at, &plan.corrupt_at},
+  };
+  for (const OrdinalFlag& flag : ordinal_flags) {
+    if (!flag.text->empty() && !ParseOrdinalList(flag.text->c_str(), *flag.out)) {
+      std::fprintf(stderr,
+                   "submit: %s wants comma-separated 1-based chunk ordinals\n",
+                   flag.name);
+      return 2;
+    }
+  }
+
+  // Bodies: positional .apk files verbatim, else --uploads synthetic APKs
+  // from the seeded corpus generator (same universe/seed rules as serve).
+  std::vector<std::vector<uint8_t>> bodies;
+  if (!flags.positional.empty()) {
+    for (const std::string& path : flags.positional) {
+      std::ifstream in(path, std::ios::binary);
+      if (!in) {
+        std::fprintf(stderr, "submit: cannot read %s\n", path.c_str());
+        return 1;
+      }
+      bodies.emplace_back(std::istreambuf_iterator<char>(in),
+                          std::istreambuf_iterator<char>());
+    }
+  } else {
+    const android::ApiUniverse universe = MakeUniverse(flags);
+    synth::CorpusConfig corpus_config;
+    corpus_config.seed = flags.seed ^ 0x5e7e;
+    synth::CorpusGenerator generator(universe, corpus_config);
+    for (size_t i = 0; i < flags.uploads; ++i) {
+      bodies.push_back(synth::BuildApkBytes(generator.Next(), universe));
+    }
+  }
+
+  gateway::UploadClientConfig config;
+  config.endpoint = flags.connect;
+  config.chunk_bytes = std::max<size_t>(1, flags.chunk_kb) * 1024;
+  config.priority = priority;
+  config.max_attempts = std::max<size_t>(1, flags.attempts);
+  config.jitter_seed = flags.seed;
+  config.fault_plan = plan;
+
+  std::printf("submit: %zu uploads to %s (chunk %zu KB, priority %s, "
+              "%zu attempts max%s)\n",
+              bodies.size(), flags.connect.c_str(), config.chunk_bytes / 1024,
+              flags.priority.c_str(), config.max_attempts,
+              plan.enabled() ? ", fault plan armed" : "");
+
+  size_t resolved = 0, failed = 0, malicious = 0;
+  size_t early = 0, resumed = 0, retried = 0;
+  for (size_t i = 0; i < bodies.size(); ++i) {
+    // Each upload gets its own injector seed so random stalls decorrelate;
+    // scripted ordinals replay identically against every body.
+    config.fault_plan.seed = plan.seed + i;
+    config.jitter_seed = flags.seed + i;
+    gateway::UploadClient client(config);
+    auto outcome = client.Upload(bodies[i]);
+    if (!outcome.ok()) {
+      ++failed;
+      std::printf("submit: upload %zu FAILED — %s\n", i, outcome.error().c_str());
+      continue;
+    }
+    ++resolved;
+    malicious += outcome->verdict.malicious ? 1 : 0;
+    early += outcome->early_verdict ? 1 : 0;
+    resumed += outcome->resumed_by_digest ? 1 : 0;
+    retried += outcome->attempts > 1 ? 1 : 0;
+    const auto status = static_cast<serve::VetStatus>(outcome->verdict.status);
+    std::printf("submit: upload %zu — %s%s, %zu attempt%s, %llu bytes sent%s%s\n",
+                i, serve::VetStatusName(status),
+                status == serve::VetStatus::kOk
+                    ? (outcome->verdict.malicious ? " MALICIOUS" : " benign")
+                    : "",
+                outcome->attempts, outcome->attempts == 1 ? "" : "s",
+                static_cast<unsigned long long>(outcome->bytes_sent),
+                outcome->early_verdict ? ", early verdict" : "",
+                outcome->resumed_by_digest ? " (resumed by digest)" : "");
+  }
+  std::printf("submit: %zu/%zu resolved (%zu malicious), %zu retried, "
+              "%zu early verdicts, %zu resumed by digest, %zu failed\n",
+              resolved, bodies.size(), malicious, retried, early, resumed,
+              failed);
+  return failed == 0 ? 0 : 1;
+}
+
 void PrintUsage() {
   std::printf(
       "usage: apichecker <command> [flags]\n"
@@ -998,7 +1288,19 @@ void PrintUsage() {
       "              depth, --class-weights I,R,B weighted-fair pop shares,\n"
       "              --slo-ms I,R,B per-class default deadlines (0 = none),\n"
       "              --spill-threshold-kb K spills blobs >= K KB to disk so\n"
-      "              the blob pool bounds RSS under a storm)\n"
+      "              the blob pool bounds RSS under a storm;\n"
+      "              --listen unix:/path|tcp:host:port skips the trace and\n"
+      "              fronts the service with the network ingest gateway until\n"
+      "              SIGTERM — tune with --read-deadline-ms, --idle-timeout-ms,\n"
+      "              --min-bps (slow-loris floor), --max-uploads, --chunk-kb)\n"
+      "  submit     upload .apk files (or --uploads N synthetic) to a gateway\n"
+      "             (--connect unix:/path|tcp:host:port, --priority\n"
+      "              interactive|rescan|bulk, --attempts N retries with capped\n"
+      "              backoff + resume-by-digest; hostile-client fault plan:\n"
+      "              --stall-at 2,5 --stall-ms 500 --stall-rate P\n"
+      "              --disconnect-at 3 --torn-at 4 --corrupt-at 6\n"
+      "              --throttle-from 1 --throttle-bps 1024, ordinals 1-based\n"
+      "              per-chunk)\n"
       "  farm       run one fabric farm worker (--listen unix:/path|tcp:host:port,\n"
       "              --worker-id N; --apis/--seed must match the serve front end)\n"
       "  market     run the deployment simulation (--months, --apps)\n"
@@ -1030,6 +1332,9 @@ int main(int argc, char** argv) {
     PrintStatsSummary();
   } else if (command == "serve") {
     exit_code = CmdServe(flags);
+    PrintStatsSummary();
+  } else if (command == "submit") {
+    exit_code = CmdSubmit(flags);
     PrintStatsSummary();
   } else if (command == "farm") {
     exit_code = CmdFarm(flags);

@@ -9,6 +9,10 @@
 # the large bucket's Submit() p99 must stay within 2x of the small bucket's),
 # then an overload-control storm smoke (shedding on against one small shard:
 # bulk sheds, interactive never, the SLO holds, blobs spill, nothing lost),
+# then a network-ingest gateway smoke (serve --listen driven by hostile
+# `apichecker submit` clients: scripted stalls past the read deadline and a
+# mid-upload SIGKILL, with the extended drain invariant
+# uploads_accepted == completed + aborted asserted over the metrics dump),
 # then rebuild the concurrency-sensitive tests under AddressSanitizer and —
 # unless skipped —
 # run the stress-labelled suites (farm-pool fault injection + the serve and
@@ -321,11 +325,103 @@ print("bench smoke: baseline %.0f/sec, traced %.0f/sec, overhead %.2f%%"
 PYEOF
 echo "bench smoke OK (two-pass BENCH_serve.json written and schema-valid)"
 
+echo "=== gateway: network ingest smoke (hostile clients over a real socket) ==="
+# Serve with --listen on a unix socket in the background, then drive it with
+# `apichecker submit` clients: a clean batch, a scripted-stall batch whose
+# 900 ms stall outlives the 400 ms read deadline (slow-loris eviction on
+# attempt 1, clean retry resolves), and one throttled client SIGKILLed
+# mid-upload. SIGTERM drains the gateway; the serve process itself exits
+# non-zero unless the extended drain invariant
+# (uploads accepted == completed + aborted) holds, and the metrics dump must
+# show at least one slow-loris eviction.
+# TCP with an ephemeral port: the bound endpoint is parsed from the serve
+# banner, so the smoke exercises the same address family a real market
+# frontend would.
+"$ROOT/build/tools/apichecker" serve --apps 8 --apis 8000 \
+  --model "$SERVE_TMP/model.bin" --listen "tcp:127.0.0.1:0" \
+  --read-deadline-ms 400 --chunk-kb 4 \
+  --metrics-out "$SERVE_TMP/metrics-gateway.json" \
+  > "$SERVE_TMP/gateway-serve.out" 2>&1 &
+GW_PID=$!
+GW_ADDR=""
+for _ in $(seq 1 100); do
+  GW_ADDR=$(sed -n 's/.*listening on \(tcp:[0-9.:]*\).*/\1/p' \
+    "$SERVE_TMP/gateway-serve.out" 2>/dev/null | head -n 1)
+  [ -n "$GW_ADDR" ] && break
+  sleep 0.1
+done
+[ -n "$GW_ADDR" ] || {
+  echo "gateway never printed its bound endpoint"
+  cat "$SERVE_TMP/gateway-serve.out"
+  kill "$GW_PID" 2>/dev/null; exit 1; }
+"$ROOT/build/tools/apichecker" submit --connect "$GW_ADDR" --apis 8000 \
+  --uploads 4 --chunk-kb 4 > "$SERVE_TMP/submit-clean.out"
+grep -q "4/4 resolved" "$SERVE_TMP/submit-clean.out" || {
+  echo "clean submit batch did not fully resolve"
+  cat "$SERVE_TMP/submit-clean.out"; exit 1; }
+"$ROOT/build/tools/apichecker" submit --connect "$GW_ADDR" --apis 8000 \
+  --uploads 2 --chunk-kb 2 --seed 7 --stall-at 2 --stall-ms 900 \
+  > "$SERVE_TMP/submit-stall.out"
+grep -q "2/2 resolved" "$SERVE_TMP/submit-stall.out" || {
+  echo "stalled submit batch did not recover via retry"
+  cat "$SERVE_TMP/submit-stall.out"; exit 1; }
+# Mid-upload kill: throttled to ~2 KB/s so the client is reliably mid-body
+# when the SIGKILL lands — the gateway must resolve the dead connection as a
+# visible abort, not hang on it.
+"$ROOT/build/tools/apichecker" submit --connect "$GW_ADDR" --apis 8000 \
+  --uploads 1 --chunk-kb 1 --seed 9 --throttle-from 1 --throttle-bps 2048 \
+  > "$SERVE_TMP/submit-killed.out" 2>&1 &
+KILL_PID=$!
+sleep 1
+kill -9 "$KILL_PID" 2>/dev/null || true
+wait "$KILL_PID" 2>/dev/null || true
+sleep 1  # Past the read deadline: the severed connection must resolve.
+kill -TERM "$GW_PID"
+wait "$GW_PID" || {
+  echo "gateway serve exited non-zero (invariant violated?)"
+  cat "$SERVE_TMP/gateway-serve.out"; exit 1; }
+grep -q "gateway invariant accepted == completed + aborted: OK" \
+  "$SERVE_TMP/gateway-serve.out" || {
+  echo "gateway drain invariant line missing"
+  cat "$SERVE_TMP/gateway-serve.out"; exit 1; }
+python3 - "$SERVE_TMP/metrics-gateway.json" <<'PYEOF'
+import json, sys
+counters = json.load(open(sys.argv[1]))["counters"]
+def count(name):
+    return int(counters.get(name, 0))
+accepted = count("apichecker_gateway_uploads_accepted_total")
+completed = count("apichecker_gateway_uploads_completed_total")
+# The bare series is the total; reason-labelled siblings re-count by cause.
+aborted = count("apichecker_gateway_uploads_aborted_total")
+slow_loris = count("apichecker_gateway_slow_loris_disconnects_total")
+if accepted == 0:
+    raise SystemExit("gateway smoke accepted no uploads")
+if accepted != completed + aborted:
+    raise SystemExit("extended drain invariant violated: accepted %d != "
+                     "completed %d + aborted %d" % (accepted, completed, aborted))
+if slow_loris < 1:
+    raise SystemExit("no slow-loris eviction despite a 900 ms stall against a "
+                     "400 ms read deadline")
+if aborted < 1:
+    raise SystemExit("hostile clients produced no visible aborts")
+for series in ["apichecker_gateway_connections_total",
+               "apichecker_gateway_bytes_received_total",
+               "apichecker_gateway_verdicts_sent_total"]:
+    if count(series) <= 0:
+        raise SystemExit("gateway metric %s missing or zero" % series)
+print("gateway: %d accepted == %d completed + %d aborted; %d slow-loris "
+      "evictions; %d connections, %d bytes in"
+      % (accepted, completed, aborted, slow_loris,
+         count("apichecker_gateway_connections_total"),
+         count("apichecker_gateway_bytes_received_total")))
+PYEOF
+echo "gateway smoke OK (slow-loris evicted, mid-upload kill absorbed, drain invariant held)"
+
 if [ "$ASAN" = "1" ]; then
-  echo "=== asan: build + run test_obs test_apk test_ingest test_serve test_store test_farm_pool test_fabric ==="
+  echo "=== asan: build + run test_obs test_apk test_ingest test_serve test_store test_farm_pool test_fabric test_gateway ==="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
   cmake --build "$ROOT/build-asan" -j --target test_obs test_apk test_ingest \
-    test_serve test_store test_farm_pool test_fabric
+    test_serve test_store test_farm_pool test_fabric test_gateway
   "$ROOT/build-asan/tests/test_obs"
   "$ROOT/build-asan/tests/test_apk"
   "$ROOT/build-asan/tests/test_ingest"
@@ -333,19 +429,20 @@ if [ "$ASAN" = "1" ]; then
   "$ROOT/build-asan/tests/test_store"
   "$ROOT/build-asan/tests/test_farm_pool"
   "$ROOT/build-asan/tests/test_fabric" --gtest_filter=-FabricSoak.*
+  "$ROOT/build-asan/tests/test_gateway" --gtest_filter=-GatewaySoak.*
 fi
 
 if [ "$TSAN" = "1" ]; then
   echo "=== tsan: serve races + stress-labelled suites ==="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DAPICHECKER_SANITIZE=thread >/dev/null
   cmake --build "$ROOT/build-tsan" -j --target test_serve test_store test_farm_pool \
-    test_ingest test_obs test_fabric
+    test_ingest test_obs test_fabric test_gateway
   "$ROOT/build-tsan/tests/test_serve"
   "$ROOT/build-tsan/tests/test_obs"
   # Stress label = the farm-pool fault suite, the multi-producer serve/store
-  # soaks, the concurrent blob-release soak, and the fabric connect/disconnect
-  # churn soak (tests/CMakeLists.txt tags them), i.e. the heaviest
-  # concurrency paths.
+  # soaks, the concurrent blob-release soak, the fabric connect/disconnect
+  # churn soak, and the gateway hostile-client soak (tests/CMakeLists.txt tags
+  # them), i.e. the heaviest concurrency paths.
   (cd "$ROOT/build-tsan" && ctest -L stress --output-on-failure)
 fi
 

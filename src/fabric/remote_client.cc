@@ -19,10 +19,11 @@ using MillisDouble = std::chrono::duration<double, std::milli>;
 }  // namespace
 
 RemoteFarmClient::RemoteFarmClient(const android::ApiUniverse& universe,
-                                   RemoteClientConfig config)
+                                   RemoteClientConfig config, rt::Runtime* runtime)
     : universe_(universe),
       config_(std::move(config)),
-      universe_checksum_(UniverseChecksum(universe)) {
+      universe_checksum_(UniverseChecksum(universe)),
+      backoff_(config_.reconnect_backoff_min) {
   auto endpoint = ParseEndpoint(config_.endpoint);
   if (endpoint.ok()) {
     endpoint_ = *endpoint;
@@ -33,7 +34,14 @@ RemoteFarmClient::RemoteFarmClient(const android::ApiUniverse& universe,
     endpoint_.kind = EndpointKind::kUnix;
     endpoint_.path = "";
   }
-  monitor_ = std::thread([this] { MonitorLoop(); });
+  if (runtime == nullptr) {
+    // Standalone construction (tests): one worker carries the serialized
+    // tick chain.
+    owned_runtime_ = std::make_unique<rt::Runtime>(rt::RuntimeOptions{1});
+    runtime = owned_runtime_.get();
+  }
+  rt_ = runtime;
+  ScheduleTick(std::chrono::milliseconds(0));
 }
 
 RemoteFarmClient::~RemoteFarmClient() { StopMonitor(); }
@@ -43,22 +51,94 @@ void RemoteFarmClient::SetHealthListener(HealthListener listener) {
   listener_ = std::move(listener);
 }
 
-void RemoteFarmClient::StopMonitor() {
-  bool expected = false;
-  if (!stop_.compare_exchange_strong(expected, true)) {
-    if (monitor_.joinable()) monitor_.join();
+void RemoteFarmClient::ScheduleTick(std::chrono::milliseconds delay) {
+  if (stop_.load(std::memory_order_acquire)) {
     return;
   }
-  wake_cv_.notify_all();
-  std::shared_ptr<Conn> conn;
+  // Count BEFORE arming, so StopMonitor never observes an armed timer it is
+  // not waiting for.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    conn = conn_;
-    conn_.reset();
-    listener_ = nullptr;
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    ++pending_ticks_;
   }
-  if (conn) conn->Break();
-  if (monitor_.joinable()) monitor_.join();
+  rt::CancelToken token = rt_->PostAfter(delay, [this] { Tick(); });
+  bool settle = false;
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    tick_timer_ = token;
+    if (stop_.load(std::memory_order_acquire)) {
+      // StopMonitor raced the arm and may have missed this token: settle the
+      // count ourselves. An already-fired token runs Tick, which settles it.
+      if (!token.valid() || token.Cancel()) {
+        --pending_ticks_;
+        settle = true;
+      }
+    } else if (!token.valid()) {
+      // Runtime already stopping: the task was dropped, never to run.
+      --pending_ticks_;
+      settle = true;
+    }
+  }
+  if (settle) {
+    tick_cv_.notify_all();
+  }
+}
+
+void RemoteFarmClient::Tick() {
+  if (!stop_.load(std::memory_order_acquire)) {
+    std::shared_ptr<Conn> conn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn = conn_;
+    }
+    if (conn && !conn->broken.load(std::memory_order_acquire)) {
+      HeartbeatStep(conn);
+    } else {
+      ConnectStep();
+    }
+  }
+  // The successor tick (if any) was counted by the step above, so this
+  // decrement can only reach zero when the chain truly ends.
+  {
+    std::lock_guard<std::mutex> lock(tick_mu_);
+    --pending_ticks_;
+  }
+  tick_cv_.notify_all();
+}
+
+void RemoteFarmClient::StopMonitor() {
+  bool expected = false;
+  if (stop_.compare_exchange_strong(expected, true)) {
+    // Cancel the armed tick; an in-flight one is drained below.
+    bool settled = false;
+    {
+      std::lock_guard<std::mutex> lock(tick_mu_);
+      if (tick_timer_.valid() && tick_timer_.Cancel()) {
+        --pending_ticks_;
+        settled = true;
+      }
+    }
+    if (settled) {
+      tick_cv_.notify_all();
+    }
+    std::shared_ptr<Conn> conn;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conn = conn_;
+      conn_.reset();
+      listener_ = nullptr;
+    }
+    if (conn) conn->Break();  // Wakes a tick blocked in ping/pong recv.
+  }
+  // Every caller (first or repeated) blocks until no tick is scheduled or
+  // executing — the "no listener after return" contract.
+  {
+    std::unique_lock<std::mutex> lock(tick_mu_);
+    tick_cv_.wait(lock, [this] { return pending_ticks_ == 0; });
+  }
+  if (owned_runtime_ != nullptr) {
+    owned_runtime_->Shutdown();
+  }
 }
 
 std::string RemoteFarmClient::describe() const {
@@ -71,11 +151,6 @@ bool RemoteFarmClient::connected() const {
   return conn_ != nullptr && !conn_->broken.load(std::memory_order_acquire);
 }
 
-bool RemoteFarmClient::SleepFor(std::chrono::milliseconds delay) {
-  std::unique_lock<std::mutex> lock(wake_mu_);
-  wake_cv_.wait_for(lock, delay, [this] { return stop_.load(); });
-  return !stop_.load();
-}
 
 util::Result<Socket> RemoteFarmClient::OpenChannel(Channel channel, std::string* error) {
   auto socket = Socket::Connect(endpoint_, config_.connect_timeout);
@@ -165,79 +240,74 @@ void RemoteFarmClient::MarkLost(const std::shared_ptr<Conn>& conn, const std::st
   if (listener) listener(Health::kLost, reason);
 }
 
-void RemoteFarmClient::MonitorLoop() {
+void RemoteFarmClient::ConnectStep() {
   auto& registry = obs::MetricsRegistry::Default();
-  auto backoff = config_.reconnect_backoff_min;
-  bool first_attempt = true;
-  uint64_t ping_seq = 0;
-  while (!stop_.load()) {
-    // -------- connect phase --------
-    std::string error;
-    std::shared_ptr<Conn> conn = TryConnect(&error);
-    if (!conn) {
-      if (first_attempt) {
-        // Report the initial outage too: a worker that never comes up should
-        // open its breaker rather than eat dispatch attempts.
-        first_attempt = false;
-        HealthListener listener;
-        {
-          std::lock_guard<std::mutex> lock(mu_);
-          if (!lost_reported_) {
-            lost_reported_ = true;
-            listener = listener_;
-          }
+  std::string error;
+  std::shared_ptr<Conn> conn = TryConnect(&error);
+  if (!conn) {
+    if (first_attempt_) {
+      // Report the initial outage too: a worker that never comes up should
+      // open its breaker rather than eat dispatch attempts.
+      first_attempt_ = false;
+      HealthListener listener;
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        if (!lost_reported_) {
+          lost_reported_ = true;
+          listener = listener_;
         }
-        if (listener) listener(Health::kLost, "connect failed: " + error);
       }
-      if (!SleepFor(backoff)) return;
-      backoff = std::min(backoff * 2, config_.reconnect_backoff_max);
-      continue;
+      if (listener) listener(Health::kLost, "connect failed: " + error);
     }
-    first_attempt = false;
-    backoff = config_.reconnect_backoff_min;
-    HealthListener listener;
-    bool was_lost = false;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      conn_ = conn;
-      was_lost = lost_reported_;
-      lost_reported_ = false;
-      listener = listener_;
-    }
-    if (ever_connected_.exchange(true)) {
-      reconnects_.fetch_add(1, std::memory_order_relaxed);
-      registry.counter(obs::names::kFabricReconnectsTotal).Increment();
-    }
-    if (was_lost && listener) listener(Health::kRestored, "reconnected");
-
-    // -------- heartbeat phase --------
-    while (!stop_.load() && !conn->broken.load(std::memory_order_acquire)) {
-      const auto ping_start = std::chrono::steady_clock::now();
-      auto sent = conn->heartbeat.SendFrame(MsgType::kPing, EncodePing({.seq = ++ping_seq}));
-      if (!sent.ok()) {
-        registry.counter(obs::names::kFabricHeartbeatMissesTotal).Increment();
-        MarkLost(conn, "heartbeat send failed: " + sent.error());
-        break;
-      }
-      auto pong = conn->heartbeat.RecvFrame();
-      if (!pong.ok() || pong->type != MsgType::kPong) {
-        registry.counter(obs::names::kFabricHeartbeatMissesTotal).Increment();
-        MarkLost(conn, !pong.ok() ? "heartbeat miss: " + pong.error()
-                                  : "heartbeat: unexpected frame");
-        break;
-      }
-      registry.counter(obs::names::kFabricHeartbeatsTotal).Increment();
-      const auto elapsed =
-          std::chrono::duration_cast<std::chrono::milliseconds>(
-              std::chrono::steady_clock::now() - ping_start);
-      if (elapsed < config_.heartbeat_interval &&
-          !SleepFor(config_.heartbeat_interval - elapsed)) {
-        return;
-      }
-    }
-    // If the rpc path broke the connection (broken set, conn_ maybe already
-    // cleared by MarkLost), fall through to reconnect.
+    ScheduleTick(backoff_);
+    backoff_ = std::min(backoff_ * 2, config_.reconnect_backoff_max);
+    return;
   }
+  first_attempt_ = false;
+  backoff_ = config_.reconnect_backoff_min;
+  HealthListener listener;
+  bool was_lost = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conn_ = conn;
+    was_lost = lost_reported_;
+    lost_reported_ = false;
+    listener = listener_;
+  }
+  if (ever_connected_.exchange(true)) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter(obs::names::kFabricReconnectsTotal).Increment();
+  }
+  if (was_lost && listener) listener(Health::kRestored, "reconnected");
+  // First heartbeat immediately: liveness is established by ping, not by the
+  // handshake alone.
+  ScheduleTick(std::chrono::milliseconds(0));
+}
+
+void RemoteFarmClient::HeartbeatStep(const std::shared_ptr<Conn>& conn) {
+  auto& registry = obs::MetricsRegistry::Default();
+  const auto ping_start = std::chrono::steady_clock::now();
+  auto sent = conn->heartbeat.SendFrame(MsgType::kPing, EncodePing({.seq = ++ping_seq_}));
+  if (!sent.ok()) {
+    registry.counter(obs::names::kFabricHeartbeatMissesTotal).Increment();
+    MarkLost(conn, "heartbeat send failed: " + sent.error());
+    ScheduleTick(std::chrono::milliseconds(0));  // Straight to reconnect.
+    return;
+  }
+  auto pong = conn->heartbeat.RecvFrame();
+  if (!pong.ok() || pong->type != MsgType::kPong) {
+    registry.counter(obs::names::kFabricHeartbeatMissesTotal).Increment();
+    MarkLost(conn, !pong.ok() ? "heartbeat miss: " + pong.error()
+                              : "heartbeat: unexpected frame");
+    ScheduleTick(std::chrono::milliseconds(0));
+    return;
+  }
+  registry.counter(obs::names::kFabricHeartbeatsTotal).Increment();
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - ping_start);
+  ScheduleTick(elapsed < config_.heartbeat_interval
+                   ? config_.heartbeat_interval - elapsed
+                   : std::chrono::milliseconds(0));
 }
 
 emu::BatchResult RemoteFarmClient::TransportFault(const std::shared_ptr<Conn>& conn,

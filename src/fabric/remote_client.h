@@ -2,13 +2,15 @@
 // farm` worker process over the fabric protocol. Two connections per worker:
 // an rpc channel (model sync + batch execution; one request in flight at a
 // time, matching the pool's per-farm in-flight discipline) and a heartbeat
-// channel driven by a monitor thread, so liveness probing never queues
-// behind a long-running batch.
+// channel driven by a chain of timer ticks on the unified runtime, so
+// liveness probing never queues behind a long-running batch — and an idle
+// fleet of N workers costs zero parked monitor threads.
 //
-// Connection-state machine (monitor thread):
+// Connection-state machine (one tick in flight at a time; each tick
+// schedules exactly its successor, so the chain is serialized):
 //
 //   [disconnected] --connect+handshake ok--> [connected]
-//        ^  \--fail--> sleep(backoff*2, capped) --retry--/
+//        ^  \--fail--> tick after backoff*2 (capped) --retry--/
 //        |
 //   [connected] --ping miss / EOF / rpc transport error--> Break()
 //        \--> listener(kLost) --> [disconnected], backoff reset
@@ -17,7 +19,9 @@
 // The pool maps kLost to "breaker force-open" and kRestored to "probe
 // eligible now", which is how a SIGKILLed worker opens its breaker within
 // one heartbeat interval and a returning worker re-enters service through
-// the existing half-open probe.
+// the existing half-open probe. StopMonitor() keeps its contract: once it
+// returns, no health listener will ever run again (it cancels the pending
+// tick and waits out an executing one).
 
 #ifndef APICHECKER_FABRIC_REMOTE_CLIENT_H_
 #define APICHECKER_FABRIC_REMOTE_CLIENT_H_
@@ -29,11 +33,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 
 #include "fabric/backend.h"
 #include "fabric/messages.h"
 #include "fabric/transport.h"
+#include "rt/runtime.h"
 
 namespace apichecker::fabric {
 
@@ -53,9 +57,12 @@ struct RemoteClientConfig {
 
 class RemoteFarmClient : public FarmBackend {
  public:
-  // Starts the monitor thread immediately; the client connects (and keeps
-  // reconnecting) in the background while the pool runs.
-  RemoteFarmClient(const android::ApiUniverse& universe, RemoteClientConfig config);
+  // Schedules the first monitor tick immediately; the client connects (and
+  // keeps reconnecting) in the background while the pool runs. `runtime`
+  // hosts the tick timers and must outlive StopMonitor(); null makes the
+  // client own a small private runtime (standalone/test construction).
+  RemoteFarmClient(const android::ApiUniverse& universe, RemoteClientConfig config,
+                   rt::Runtime* runtime = nullptr);
   ~RemoteFarmClient() override;
 
   emu::BatchResult ExecuteBatch(std::span<const apk::ApkFile> apks, uint32_t model_version,
@@ -93,20 +100,28 @@ class RemoteFarmClient : public FarmBackend {
     }
   };
 
-  void MonitorLoop();
+  // The monitor tick: runs one connect attempt or one ping/pong exchange,
+  // then schedules its successor. Bounded-blocking (connect_timeout / pong
+  // timeout at most) on a runtime worker.
+  void Tick();
+  void ConnectStep();
+  void HeartbeatStep(const std::shared_ptr<Conn>& conn);
+  // Arms the next tick after `delay`, maintaining the pending-tick count
+  // StopMonitor() drains against. No-op once stopping.
+  void ScheduleTick(std::chrono::milliseconds delay);
   std::shared_ptr<Conn> TryConnect(std::string* error);
   util::Result<Socket> OpenChannel(Channel channel, std::string* error);
   // Marks `conn` lost: breaks it, clears conn_ (if current), notifies the
   // listener once per connection.
   void MarkLost(const std::shared_ptr<Conn>& conn, const std::string& reason);
-  // Sleeps up to `delay`, returning early (false) when stopping.
-  bool SleepFor(std::chrono::milliseconds delay);
   emu::BatchResult TransportFault(const std::shared_ptr<Conn>& conn, std::string reason);
 
   const android::ApiUniverse& universe_;
   RemoteClientConfig config_;
   Endpoint endpoint_;
   uint64_t universe_checksum_ = 0;
+  std::unique_ptr<rt::Runtime> owned_runtime_;  // Only when none was passed.
+  rt::Runtime* rt_ = nullptr;
 
   mutable std::mutex mu_;  // Guards conn_, listener_, lost_reported_.
   std::shared_ptr<Conn> conn_;
@@ -115,10 +130,21 @@ class RemoteFarmClient : public FarmBackend {
   // inside one outage doesn't spam the breaker.
   bool lost_reported_ = false;
 
-  std::mutex wake_mu_;
-  std::condition_variable wake_cv_;
   std::atomic<bool> stop_{false};
-  std::thread monitor_;
+
+  // Tick-chain accounting: pending_ticks_ counts the scheduled-or-executing
+  // monitor ticks (0 or 1 in steady state; transiently 2 while a tick arms
+  // its successor). StopMonitor cancels the armed timer and waits for the
+  // count to hit zero — its "no listener after return" contract.
+  std::mutex tick_mu_;
+  std::condition_variable tick_cv_;
+  int pending_ticks_ = 0;        // Guarded by tick_mu_.
+  rt::CancelToken tick_timer_;   // Guarded by tick_mu_.
+
+  // Monitor state, touched only by the (serialized) tick chain.
+  std::chrono::milliseconds backoff_{0};
+  bool first_attempt_ = true;
+  uint64_t ping_seq_ = 0;
 
   std::atomic<double> last_rpc_ms_{0.0};
   std::atomic<uint64_t> reconnects_{0};

@@ -1,6 +1,7 @@
 #include "fabric/transport.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
@@ -231,6 +232,35 @@ util::Result<Frame> Socket::RecvFrame() {
   return std::move(decoded.frame);
 }
 
+Socket::ReadSomeResult Socket::ReadSome(std::span<uint8_t> out) {
+  ReadSomeResult result;
+  if (fd_ < 0) {
+    result.status = ReadStatus::kError;
+    result.error = "read on closed socket";
+    return result;
+  }
+  for (;;) {
+    const ssize_t n = ::recv(fd_, out.data(), out.size(), MSG_DONTWAIT);
+    if (n > 0) {
+      result.status = ReadStatus::kData;
+      result.bytes = static_cast<size_t>(n);
+      return result;
+    }
+    if (n == 0) {
+      result.status = ReadStatus::kEof;
+      return result;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      result.status = ReadStatus::kWouldBlock;
+      return result;
+    }
+    result.status = ReadStatus::kError;
+    result.error = ErrnoMessage("recv");
+    return result;
+  }
+}
+
 void Socket::ShutdownBoth() {
   if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
@@ -242,9 +272,42 @@ void Socket::Close() {
   }
 }
 
+void FrameAssembler::Feed(std::span<const uint8_t> bytes) {
+  // Compact once the consumed prefix dominates — keeps the buffer from
+  // growing without bound across many frames while amortizing the memmove.
+  if (offset_ > 4096 && offset_ * 2 >= buffer_.size()) {
+    buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<ptrdiff_t>(offset_));
+    offset_ = 0;
+  }
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+FrameAssembler::Next FrameAssembler::Pull() {
+  Next next;
+  const std::span<const uint8_t> pending(buffer_.data() + offset_,
+                                         buffer_.size() - offset_);
+  DecodeResult decoded = DecodeFrame(pending);
+  next.status = decoded.status;
+  if (decoded.status == DecodeStatus::kOk) {
+    offset_ += decoded.consumed;
+    if (offset_ == buffer_.size()) {
+      buffer_.clear();
+      offset_ = 0;
+    }
+    auto& registry = obs::MetricsRegistry::Default();
+    registry.counter(obs::names::kFabricFramesReceivedTotal).Increment();
+    registry.counter(obs::names::kFabricBytesReceivedTotal).Increment(decoded.consumed);
+    next.frame = std::move(decoded.frame);
+  } else if (decoded.status != DecodeStatus::kTruncated) {
+    CountProtocolError(decoded.status);
+  }
+  return next;
+}
+
 Listener::Listener(Listener&& other) noexcept
     : fd_(other.fd_.exchange(-1, std::memory_order_acq_rel)),
-      endpoint_(std::move(other.endpoint_)) {}
+      endpoint_(std::move(other.endpoint_)),
+      nonblocking_(std::exchange(other.nonblocking_, false)) {}
 
 Listener& Listener::operator=(Listener&& other) noexcept {
   if (this != &other) {
@@ -252,6 +315,7 @@ Listener& Listener::operator=(Listener&& other) noexcept {
     fd_.store(other.fd_.exchange(-1, std::memory_order_acq_rel),
               std::memory_order_release);
     endpoint_ = std::move(other.endpoint_);
+    nonblocking_ = std::exchange(other.nonblocking_, false);
   }
   return *this;
 }
@@ -329,6 +393,34 @@ util::Result<Socket> Listener::Accept() {
     ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   }
   return Socket(fd);
+}
+
+util::Result<std::optional<Socket>> Listener::TryAccept() {
+  const int listen_fd = fd_.load(std::memory_order_acquire);
+  if (listen_fd < 0) return util::Err("accept on closed listener");
+  if (!nonblocking_) {
+    const int flags = ::fcntl(listen_fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(listen_fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      return util::Err(ErrnoMessage("fcntl(O_NONBLOCK)"));
+    }
+    nonblocking_ = true;
+  }
+  int fd;
+  do {
+    fd = ::accept(listen_fd, nullptr, nullptr);
+  } while (fd < 0 && errno == EINTR);
+  if (fd < 0) {
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return std::optional<Socket>{};
+    // A peer that reset between readiness and accept is spurious readiness,
+    // not a broken listener.
+    if (errno == ECONNABORTED || errno == EPROTO) return std::optional<Socket>{};
+    return util::Err(ErrnoMessage("accept"));
+  }
+  if (endpoint_.kind == EndpointKind::kTcp) {
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+  return std::optional<Socket>{Socket(fd)};
 }
 
 void Listener::Close() {

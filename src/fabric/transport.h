@@ -1,10 +1,16 @@
-// Blocking socket transport for the farm fabric. Unix-domain sockets are the
-// default deployment shape (front-end and farm workers share a host, as in
-// the paper's per-server layout); TCP endpoints exist so a fleet can span
-// hosts. Frames are sent/received whole over a blocking fd with send/recv
-// timeouts — there is no async machinery because every connection is owned by
-// exactly one thread (a pool dispatch thread, a heartbeat monitor, or a
-// worker's per-connection server thread).
+// Socket transport for the farm fabric. Unix-domain sockets are the default
+// deployment shape (front-end and farm workers share a host, as in the
+// paper's per-server layout); TCP endpoints exist so a fleet can span hosts.
+//
+// Two I/O styles share one Socket:
+//  - Whole-frame blocking calls (SendFrame/RecvFrame) with send/recv
+//    timeouts, used where a connection is owned by exactly one bounded task
+//    (a pool dispatch task, a heartbeat tick).
+//  - Readiness-driven reads (ReadSome with MSG_DONTWAIT + rt::Runtime's
+//    PostFd watches + a streaming FrameAssembler), used by the farm worker
+//    and the ingest gateway so idle connections cost zero parked threads.
+//    The fd itself stays blocking: sends remain whole-frame and bounded by
+//    SO_SNDTIMEO even on a readiness-driven connection.
 
 #ifndef APICHECKER_FABRIC_TRANSPORT_H_
 #define APICHECKER_FABRIC_TRANSPORT_H_
@@ -12,6 +18,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -70,6 +77,23 @@ class Socket {
   // any header byte returns the error "peer closed".
   util::Result<Frame> RecvFrame();
 
+  // One nonblocking recv() of up to out.size() bytes (MSG_DONTWAIT — the fd
+  // itself stays blocking so sends keep their SO_SNDTIMEO bound). The
+  // readiness-driven read path: a PostFd watch fires, the owner drains with
+  // ReadSome until kWouldBlock, feeds a FrameAssembler, then re-arms.
+  enum class ReadStatus : uint8_t {
+    kData = 0,        // `bytes` were read.
+    kWouldBlock = 1,  // Socket drained; re-arm the readiness watch.
+    kEof = 2,         // Peer closed cleanly.
+    kError = 3,       // Transport error (see `error`); connection is dead.
+  };
+  struct ReadSomeResult {
+    ReadStatus status = ReadStatus::kError;
+    size_t bytes = 0;
+    std::string error;
+  };
+  ReadSomeResult ReadSome(std::span<uint8_t> out);
+
   // Shuts down both directions without closing the fd — unblocks a thread
   // parked in RecvFrame on this socket from another thread. (close() alone
   // does not reliably wake a blocked reader, and would race fd reuse.)
@@ -82,6 +106,33 @@ class Socket {
   util::Result<bool> RecvAll(uint8_t* data, size_t len);
 
   int fd_ = -1;
+};
+
+// Incremental frame decoder for readiness-driven readers: Feed() raw bytes
+// as they arrive off ReadSome, Pull() complete frames out. Built on
+// DecodeFrame's kTruncated streaming contract, with the same accounting as
+// the blocking RecvFrame path: a completed frame counts
+// apichecker_fabric_frames/bytes_received_total, a malformed one funnels
+// through CountProtocolError — so the two read styles cannot drift apart.
+// Buffering is bounded by kMaxFramePayload + framing overhead (DecodeFrame
+// rejects an oversized declared length from the header alone).
+class FrameAssembler {
+ public:
+  struct Next {
+    // kOk: `frame` is valid. kTruncated: need more bytes (not an error).
+    // Anything else: protocol error, already counted; drop the connection.
+    DecodeStatus status = DecodeStatus::kTruncated;
+    Frame frame;
+  };
+
+  void Feed(std::span<const uint8_t> bytes);
+  Next Pull();
+
+  size_t buffered() const { return buffer_.size() - offset_; }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t offset_ = 0;  // Consumed prefix, compacted away periodically.
 };
 
 // A bound, listening socket. Accept blocks until a connection arrives or
@@ -104,7 +155,16 @@ class Listener {
 
   util::Result<Socket> Accept();
 
+  // Nonblocking accept for a readiness-driven caller (a PostFd watch on
+  // fd()): returns a connected (blocking) socket, std::nullopt when no
+  // connection is pending (spurious readiness — e.g. the peer reset before
+  // the accept), or an error when the listener is closed or broken. Puts the
+  // listener fd into nonblocking mode on first use; do not mix with the
+  // blocking Accept() afterwards.
+  util::Result<std::optional<Socket>> TryAccept();
+
   const Endpoint& bound_endpoint() const { return endpoint_; }
+  int fd() const { return fd_.load(std::memory_order_acquire); }
   bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
 
   void Close();
@@ -112,6 +172,7 @@ class Listener {
  private:
   std::atomic<int> fd_{-1};
   Endpoint endpoint_;
+  bool nonblocking_ = false;
 };
 
 }  // namespace apichecker::fabric

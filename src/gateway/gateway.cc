@@ -1,11 +1,9 @@
 #include "gateway/gateway.h"
 
-#include <algorithm>
-#include <optional>
+#include <array>
 #include <utility>
 
 #include "fabric/messages.h"
-#include "ingest/stream_reader.h"
 #include "obs/labels.h"
 #include "obs/metrics.h"
 #include "obs/names.h"
@@ -17,177 +15,10 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-// Why an in-flight upload died. The reason travels on the terminal
-// kAbortedUpload verdict and as the reason label on
-// apichecker_gateway_uploads_aborted_total.
-enum class UploadFailure : uint8_t {
-  kNone = 0,
-  kSlowLoris,    // Read deadline or throughput-floor eviction.
-  kDisconnect,   // Peer vanished (EOF, torn frame, reset).
-  kProtocol,     // Undecodable/unexpected frame (FAB1 disconnect-and-count).
-  kContract,     // Declared-length vs received-length violation.
-  kDrain,        // Gateway shutdown severed the upload.
-};
-
-const char* UploadFailureName(UploadFailure failure) {
-  switch (failure) {
-    case UploadFailure::kNone:
-      return "none";
-    case UploadFailure::kSlowLoris:
-      return "slow_loris";
-    case UploadFailure::kDisconnect:
-      return "disconnect";
-    case UploadFailure::kProtocol:
-      return "protocol";
-    case UploadFailure::kContract:
-      return "length_contract";
-    case UploadFailure::kDrain:
-      return "drain";
-  }
-  return "unknown";
-}
-
-// Pulls kUploadChunk frames off the connection and presents them as a plain
-// ApkStreamReader, so the existing ReadApkBlob drain — incremental SHA-1,
-// spill-to-disk, ingest counters — runs unchanged while the body is still
-// arriving. All hostile-client policy lives here: frame-type checks, in-order
-// chunk sequencing, the declared-length contract, the read deadline, and the
-// sliding-window throughput floor.
-class SocketStreamReader : public ingest::ApkStreamReader {
- public:
-  SocketStreamReader(fabric::Socket& socket, const GatewayConfig& config,
-                     uint64_t declared_length, const std::atomic<bool>& stopping)
-      : socket_(socket),
-        config_(config),
-        declared_(declared_length),
-        stopping_(stopping),
-        window_start_(Clock::now()) {}
-
-  util::Result<size_t> Read(std::span<uint8_t> out) override {
-    while (!eof_ && offset_ >= buffer_.size()) {
-      auto filled = Fill();
-      if (!filled.ok()) return util::Err(filled.error());
-    }
-    if (eof_ && offset_ >= buffer_.size()) return size_t{0};
-    const size_t n = std::min(out.size(), buffer_.size() - offset_);
-    std::copy_n(buffer_.begin() + static_cast<ptrdiff_t>(offset_), n, out.begin());
-    offset_ += n;
-    return n;
-  }
-
-  std::optional<size_t> SizeHint() const override {
-    return static_cast<size_t>(declared_);
-  }
-
-  UploadFailure failure() const { return failure_; }
-  uint64_t received() const { return received_; }
-
- private:
-  util::Result<bool> Fail(UploadFailure failure, std::string message) {
-    failure_ = failure;
-    return util::Err(std::move(message));
-  }
-
-  // Receives exactly one frame and either appends its bytes to the buffer or
-  // marks EOF (kUploadEnd). Every failure is classified.
-  util::Result<bool> Fill() {
-    if (stopping_.load(std::memory_order_acquire)) {
-      return Fail(UploadFailure::kDrain, "gateway draining");
-    }
-    const Clock::time_point wait_start = Clock::now();
-    auto frame = socket_.RecvFrame();
-    if (!frame.ok()) {
-      if (stopping_.load(std::memory_order_acquire)) {
-        return Fail(UploadFailure::kDrain, "gateway draining");
-      }
-      if (frame.error().rfind("protocol error", 0) == 0) {
-        return Fail(UploadFailure::kProtocol, frame.error());
-      }
-      // A recv that blocked for (almost) the whole read deadline before
-      // failing is a silent client, not a crashed one: SO_RCVTIMEO expiring
-      // is the only way a blocking recv takes that long.
-      const auto waited = Clock::now() - wait_start;
-      if (waited >= config_.read_deadline - config_.read_deadline / 10) {
-        return Fail(UploadFailure::kSlowLoris,
-                    util::StrFormat("read deadline (%lld ms) expired mid-body",
-                                    static_cast<long long>(config_.read_deadline.count())));
-      }
-      return Fail(UploadFailure::kDisconnect, frame.error());
-    }
-    if (frame->type == fabric::MsgType::kUploadEnd) {
-      auto end = fabric::DecodeUploadEnd(frame->payload);
-      if (!end.ok()) return Fail(UploadFailure::kProtocol, end.error());
-      if (end->sent_length != declared_ || received_ != declared_) {
-        return Fail(UploadFailure::kContract,
-                    util::StrFormat("length contract: declared %llu, client says %llu, "
-                                    "received %llu",
-                                    static_cast<unsigned long long>(declared_),
-                                    static_cast<unsigned long long>(end->sent_length),
-                                    static_cast<unsigned long long>(received_)));
-      }
-      eof_ = true;
-      return true;
-    }
-    if (frame->type != fabric::MsgType::kUploadChunk) {
-      return Fail(UploadFailure::kProtocol,
-                  util::StrFormat("unexpected %s frame mid-upload",
-                                  fabric::MsgTypeName(frame->type)));
-    }
-    auto chunk = fabric::DecodeUploadChunk(frame->payload);
-    if (!chunk.ok()) return Fail(UploadFailure::kProtocol, chunk.error());
-    if (chunk->seq != next_seq_) {
-      return Fail(UploadFailure::kContract,
-                  util::StrFormat("chunk seq %u, expected %u", chunk->seq, next_seq_));
-    }
-    ++next_seq_;
-    received_ += chunk->bytes.size();
-    if (received_ > declared_) {
-      return Fail(UploadFailure::kContract,
-                  util::StrFormat("body exceeds declared length (%llu > %llu)",
-                                  static_cast<unsigned long long>(received_),
-                                  static_cast<unsigned long long>(declared_)));
-    }
-    obs::MetricsRegistry::Default()
-        .counter(obs::names::kGatewayBytesReceivedTotal)
-        .Increment(chunk->bytes.size());
-    // Throughput floor over a sliding window: a slow-loris that trickles one
-    // tiny chunk per deadline never trips the recv timeout, so sustained
-    // bytes/sec is the signal that actually catches it.
-    if (config_.min_bytes_per_sec > 0.0) {
-      window_bytes_ += chunk->bytes.size();
-      const auto elapsed = Clock::now() - window_start_;
-      if (elapsed >= config_.throughput_window) {
-        const double secs = std::chrono::duration<double>(elapsed).count();
-        const double rate = static_cast<double>(window_bytes_) / secs;
-        if (rate < config_.min_bytes_per_sec) {
-          return Fail(UploadFailure::kSlowLoris,
-                      util::StrFormat("throughput %.0f B/s below floor %.0f B/s",
-                                      rate, config_.min_bytes_per_sec));
-        }
-        window_start_ = Clock::now();
-        window_bytes_ = 0;
-      }
-    }
-    buffer_ = std::move(chunk->bytes);
-    offset_ = 0;
-    return true;
-  }
-
-  fabric::Socket& socket_;
-  const GatewayConfig& config_;
-  const uint64_t declared_;
-  const std::atomic<bool>& stopping_;
-
-  std::vector<uint8_t> buffer_;
-  size_t offset_ = 0;
-  bool eof_ = false;
-  uint32_t next_seq_ = 1;
-  uint64_t received_ = 0;
-  UploadFailure failure_ = UploadFailure::kNone;
-
-  Clock::time_point window_start_;
-  uint64_t window_bytes_ = 0;
-};
+// Per readiness event, stop draining a connection after this many bytes and
+// re-arm: level-triggered epoll refires immediately if more is buffered, and
+// the yield keeps one fat upload from monopolizing a reader pass.
+constexpr size_t kMaxReadPerEvent = 4u << 20;
 
 fabric::UploadVerdictMsg ToWire(const serve::VettingResult& result) {
   fabric::UploadVerdictMsg msg;
@@ -203,13 +34,20 @@ fabric::UploadVerdictMsg ToWire(const serve::VettingResult& result) {
 }  // namespace
 
 IngestGateway::IngestGateway(serve::VettingService& service, GatewayConfig config)
-    : service_(service), config_(std::move(config)) {
+    : service_(service), config_(std::move(config)), rt_(service.runtime()) {
   // Uploads still on the wire are pipeline backlog the shard queues cannot
   // see; feed them into the overload governor's depth input.
   service_.SetIngressBacklogProbe([this] { return ActiveUploads(); });
+  // The gateway's state machines live on the service runtime, so the gateway
+  // must quiesce before any deeper layer: Shutdown() calls this hook first.
+  service_.RegisterFrontDoor([this] { Stop(); });
 }
 
-IngestGateway::~IngestGateway() { Stop(); }
+IngestGateway::~IngestGateway() {
+  Stop();
+  service_.RegisterFrontDoor(nullptr);
+  service_.SetIngressBacklogProbe(nullptr);
+}
 
 util::Result<fabric::Endpoint> IngestGateway::Start() {
   auto endpoint = fabric::ParseEndpoint(config_.endpoint);
@@ -218,44 +56,43 @@ util::Result<fabric::Endpoint> IngestGateway::Start() {
   if (!listener.ok()) return util::Err(listener.error());
   listener_ = std::move(*listener);
   bound_endpoint_ = listener_.bound_endpoint();
-  accept_thread_ = std::thread([this] { AcceptLoop(); });
+  ArmAccept();
   return bound_endpoint_;
 }
 
 void IngestGateway::Stop() {
   if (stopped_once_.exchange(true, std::memory_order_acq_rel)) {
-    if (accept_thread_.joinable()) accept_thread_.join();
+    // Late or concurrent caller: block until the first teardown completes.
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    wait_cv_.wait(lock, [this] { return stopped_; });
     return;
   }
-  listener_.Close();  // No new connections; unblocks the accept thread.
-  // Drain grace: in-flight uploads (and verdict waits) get a bounded chance
-  // to finish on their own.
-  const Clock::time_point sever_at = Clock::now() + config_.drain_grace;
-  for (;;) {
-    bool any_live = false;
-    {
-      std::lock_guard<std::mutex> lock(conns_mu_);
-      ReapLocked();
-      any_live = !conns_.empty();
-    }
-    if (!any_live || Clock::now() >= sever_at) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds{5});
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    accept_closed_ = true;
+    if (accept_watch_.Cancel()) --inflight_;
   }
-  // Stragglers are severed: their readers fail, classify the death as
-  // kDrain, and the upload resolves visibly as aborted — never silently.
+  listener_.Close();  // No new connections.
+  // Drain grace: in-flight uploads (and verdict waits) get a bounded chance
+  // to finish on their own; their state machines keep running underneath.
+  {
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    conns_cv_.wait_for(lock, config_.drain_grace, [this] { return conns_.empty(); });
+  }
+  // Stragglers are severed: their read watches wake, classify the death as
+  // drain, and the upload resolves visibly as aborted — never silently.
   stopping_.store(true, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(conns_mu_);
     for (auto& conn : conns_) conn->socket.ShutdownBoth();
   }
-  if (accept_thread_.joinable()) accept_thread_.join();
-  std::vector<std::unique_ptr<Connection>> conns;
+  // Wait out every connection AND every posted-but-unfinished gateway task:
+  // the gateway shares the service runtime (it cannot drain it), so stale
+  // strand/timer tasks capturing `this` must retire before Stop() returns.
+  // Verdict waits resolve here too — the service stays up until we return.
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    conns.swap(conns_);
-  }
-  for (auto& conn : conns) {
-    if (conn->thread.joinable()) conn->thread.join();
+    std::unique_lock<std::mutex> lock(conns_mu_);
+    conns_cv_.wait(lock, [this] { return conns_.empty() && inflight_ == 0; });
   }
   {
     std::lock_guard<std::mutex> lock(wait_mu_);
@@ -269,82 +106,208 @@ void IngestGateway::Wait() {
   wait_cv_.wait(lock, [this] { return stopped_; });
 }
 
-void IngestGateway::ReapLocked() {
-  std::erase_if(conns_, [](const std::unique_ptr<Connection>& conn) {
-    if (conn->done.load(std::memory_order_acquire) && conn->thread.joinable()) {
-      conn->thread.join();
-      return true;
-    }
-    return false;
-  });
+void IngestGateway::IncInflight() {
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  ++inflight_;
 }
 
-void IngestGateway::AcceptLoop() {
-  while (!stopping_.load() && listener_.valid()) {
-    auto socket = listener_.Accept();
-    if (!socket.ok()) {
-      if (stopping_.load() || !listener_.valid()) return;
-      // Transient accept failure (e.g. EMFILE); keep serving.
-      continue;
-    }
+void IngestGateway::DecInflight() {
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    --inflight_;
+  }
+  conns_cv_.notify_all();
+}
+
+void IngestGateway::ArmAccept() {
+  // Arming and Stop()'s cancel are serialized on conns_mu_ so a watch can
+  // never be registered on a listener that is about to close underneath it.
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  if (accept_closed_) return;
+  ++inflight_;
+  accept_watch_ = rt_.PostFd(listener_.fd(), [this] {
+    OnAcceptReady();
+    DecInflight();
+  });
+  if (!accept_watch_.valid()) --inflight_;
+}
+
+void IngestGateway::OnAcceptReady() {
+  for (;;) {
+    auto accepted = listener_.TryAccept();
+    if (!accepted.ok()) return;  // Listener closed or broken; Stop() owns teardown.
+    if (!accepted->has_value()) break;
+    // Thread-count evidence for the O(cores) claim: sample at every accept so
+    // the peak gauge reflects the process at its most loaded.
+    rt::NoteProcessThreadsPeak();
     connections_.fetch_add(1, std::memory_order_relaxed);
     obs::MetricsRegistry::Default()
         .counter(obs::names::kGatewayConnectionsTotal)
         .Increment();
-    std::lock_guard<std::mutex> lock(conns_mu_);
-    ReapLocked();
-    auto conn = std::make_unique<Connection>();
-    Connection* raw = conn.get();
-    raw->socket = std::move(*socket);
-    conns_.push_back(std::move(conn));
-    raw->thread = std::thread([this, raw] {
-      ServeConnection(raw);
-      raw->done.store(true, std::memory_order_release);
+    auto conn = std::make_shared<Conn>();
+    conn->socket = std::move(**accepted);
+    conn->socket.SetSendTimeout(config_.read_deadline);
+    conn->strand = rt_.MakeStrand();
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (accept_closed_) return;  // Raced Stop(); the socket just closes.
+      conns_.push_back(conn);
+    }
+    // First arming happens on the strand so every touch of the conn's watch
+    // and timer tokens — including a cancel from an immediately-firing read —
+    // is serialized.
+    IncInflight();
+    conn->strand->Post([this, conn] {
+      ArmDeadline(conn, config_.idle_timeout);
+      ArmRead(conn);
+      DecInflight();
     });
   }
+  ArmAccept();
 }
 
-void IngestGateway::AbortUpload(fabric::Socket& socket, const char* reason) {
-  aborted_.fetch_add(1, std::memory_order_relaxed);
-  auto& registry = obs::MetricsRegistry::Default();
-  registry.counter(obs::names::kGatewayUploadsAbortedTotal).Increment();
-  registry
-      .counter(obs::LabeledSeriesName(obs::names::kGatewayUploadsAbortedTotal,
-                                      "reason", reason))
-      .Increment();
-  // Visible abort: best-effort terminal verdict so a still-listening client
-  // learns the upload died instead of timing out. A dead peer just fails the
-  // send, which is fine — the abort is already counted.
-  fabric::UploadVerdictMsg verdict;
-  verdict.status = static_cast<uint8_t>(serve::VetStatus::kAbortedUpload);
-  verdict.error = reason;
-  (void)socket.SendFrame(fabric::MsgType::kUploadVerdict,
-                         fabric::EncodeUploadVerdict(verdict));
+void IngestGateway::ArmRead(const std::shared_ptr<Conn>& conn) {
+  IncInflight();
+  conn->read_watch = rt_.PostFd(conn->socket.fd(), [this, conn] {
+    conn->strand->Post([this, conn] {
+      OnReadable(conn);
+      DecInflight();
+    });
+  });
+  // An invalid token means the runtime is stopping; by the lifetime contract
+  // that only happens after Stop() completed, so just release the slot.
+  if (!conn->read_watch.valid()) DecInflight();
 }
 
-void IngestGateway::ServeConnection(Connection* conn) {
-  fabric::Socket& socket = conn->socket;
-  auto& registry = obs::MetricsRegistry::Default();
-  socket.SetRecvTimeout(config_.idle_timeout);
-  socket.SetSendTimeout(config_.read_deadline);
+void IngestGateway::ArmDeadline(const std::shared_ptr<Conn>& conn,
+                                std::chrono::milliseconds delay) {
+  CancelDeadline(conn);
+  const uint64_t gen = conn->deadline_gen;
+  IncInflight();
+  conn->deadline_timer = rt_.PostAfter(delay, [this, conn, gen] {
+    conn->strand->Post([this, conn, gen] {
+      OnDeadline(conn, gen);
+      DecInflight();
+    });
+  });
+  if (!conn->deadline_timer.valid()) DecInflight();
+}
 
-  // An upload connection leads with UploadOpen; anything else (including a
-  // frame that fails the FAB1 CRC codec) disconnects without admitting an
-  // upload — the accepted/completed/aborted ledger only covers valid opens.
-  auto open_frame = socket.RecvFrame();
-  if (!open_frame.ok()) return;  // RecvFrame already counted protocol errors.
-  if (open_frame->type != fabric::MsgType::kUploadOpen) {
-    (void)socket.SendFrame(
-        fabric::MsgType::kError,
-        fabric::EncodeError({util::StrFormat("expected upload_open, got %s",
-                                             fabric::MsgTypeName(open_frame->type))}));
+void IngestGateway::CancelDeadline(const std::shared_ptr<Conn>& conn) {
+  // Bump the generation first: a timer that already fired (Cancel() lost the
+  // race) reaches OnDeadline with a stale gen and ignores itself.
+  ++conn->deadline_gen;
+  if (conn->deadline_timer.Cancel()) DecInflight();
+}
+
+void IngestGateway::OnReadable(const std::shared_ptr<Conn>& conn) {
+  // While parked on a verdict the gateway no longer reads: extra frames (or
+  // an early peer close) are ignored — the verdict path owns the connection.
+  if (conn->state == ConnState::kDone || conn->state == ConnState::kAwaitVerdict) {
     return;
   }
-  auto open = fabric::DecodeUploadOpen(open_frame->payload);
-  if (!open.ok()) {
-    (void)socket.SendFrame(fabric::MsgType::kError,
-                           fabric::EncodeError({open.error()}));
+  std::array<uint8_t, 64 * 1024> buf;
+  bool dead = false;
+  bool progress = false;
+  size_t drained = 0;
+  while (drained < kMaxReadPerEvent) {
+    auto got = conn->socket.ReadSome(buf);
+    if (got.status == fabric::Socket::ReadStatus::kData) {
+      conn->assembler.Feed(std::span<const uint8_t>(buf.data(), got.bytes));
+      drained += got.bytes;
+      progress = true;
+      continue;
+    }
+    if (got.status == fabric::Socket::ReadStatus::kWouldBlock) break;
+    dead = true;  // EOF or transport error — classify after the buffered frames.
+    break;
+  }
+  for (;;) {
+    if (conn->state == ConnState::kDone || conn->state == ConnState::kAwaitVerdict) {
+      return;  // A frame handler finished or parked the connection.
+    }
+    auto next = conn->assembler.Pull();
+    if (next.status == fabric::DecodeStatus::kTruncated) break;
+    if (next.status != fabric::DecodeStatus::kOk) {
+      // FAB1 disconnect-and-count (the assembler already counted it). Before
+      // admission that is a silent disconnect; mid-body it aborts visibly.
+      if (conn->state == ConnState::kStreaming) {
+        AbortUpload(conn, "protocol");
+      } else {
+        FinishConn(conn);
+      }
+      return;
+    }
+    if (!HandleFrame(conn, next.frame)) return;
+  }
+  if (dead) {
+    if (conn->state == ConnState::kStreaming) {
+      // A severed straggler during Stop() is a drain, not a client fault.
+      AbortUpload(conn,
+                  stopping_.load(std::memory_order_acquire) ? "drain" : "disconnect");
+    } else {
+      // Pre-admission close: nothing entered the upload ledger.
+      FinishConn(conn);
+    }
     return;
+  }
+  if (progress) {
+    // Any wire progress resets the silence clock — the event-driven mirror of
+    // the per-recv SO_RCVTIMEO reset in the thread-per-upload gateway.
+    ArmDeadline(conn, conn->state == ConnState::kStreaming ? config_.read_deadline
+                                                           : config_.idle_timeout);
+  }
+  ArmRead(conn);
+}
+
+void IngestGateway::OnDeadline(const std::shared_ptr<Conn>& conn, uint64_t generation) {
+  if (generation != conn->deadline_gen) return;  // Superseded or cancelled late.
+  if (conn->state == ConnState::kAwaitOpen) {
+    // Idle connection that never opened an upload: close silently — the
+    // accepted/completed/aborted ledger only covers valid opens.
+    FinishConn(conn);
+    return;
+  }
+  if (conn->state != ConnState::kStreaming) return;
+  // Total silence for a full read deadline mid-body: slow-loris eviction.
+  slow_loris_disconnects_.fetch_add(1, std::memory_order_relaxed);
+  obs::MetricsRegistry::Default()
+      .counter(obs::names::kGatewaySlowLorisDisconnectsTotal)
+      .Increment();
+  AbortUpload(conn, "slow_loris");
+}
+
+bool IngestGateway::HandleFrame(const std::shared_ptr<Conn>& conn,
+                                const fabric::Frame& frame) {
+  switch (conn->state) {
+    case ConnState::kAwaitOpen:
+      return HandleOpen(conn, frame);
+    case ConnState::kStreaming:
+      return HandleStreamFrame(conn, frame);
+    default:
+      return false;
+  }
+}
+
+bool IngestGateway::HandleOpen(const std::shared_ptr<Conn>& conn,
+                               const fabric::Frame& frame) {
+  auto& registry = obs::MetricsRegistry::Default();
+  // An upload connection leads with UploadOpen; anything else disconnects
+  // without admitting an upload.
+  if (frame.type != fabric::MsgType::kUploadOpen) {
+    (void)conn->socket.SendFrame(
+        fabric::MsgType::kError,
+        fabric::EncodeError({util::StrFormat("expected upload_open, got %s",
+                                             fabric::MsgTypeName(frame.type))}));
+    FinishConn(conn);
+    return false;
+  }
+  auto open = fabric::DecodeUploadOpen(frame.payload);
+  if (!open.ok()) {
+    (void)conn->socket.SendFrame(fabric::MsgType::kError,
+                                 fabric::EncodeError({open.error()}));
+    FinishConn(conn);
+    return false;
   }
 
   accepted_.fetch_add(1, std::memory_order_relaxed);
@@ -352,33 +315,15 @@ void IngestGateway::ServeConnection(Connection* conn) {
 
   // The open's fields are hostile input: range-check before use.
   if (open->priority >= serve::kNumPriorityClasses) {
-    AbortUpload(socket, "protocol");
-    return;
+    AbortUpload(conn, "protocol");
+    return false;
   }
   if (open->declared_length > config_.max_declared_bytes) {
-    AbortUpload(socket, "declared_too_large");
-    return;
+    AbortUpload(conn, "declared_too_large");
+    return false;
   }
-  const auto priority = static_cast<serve::Priority>(open->priority);
-
-  auto send_early_verdict = [&](const fabric::UploadVerdictMsg& verdict) {
-    fabric::UploadAck ack;
-    ack.decision = fabric::UploadDecision::kVerdict;
-    ack.verdict = verdict;
-    completed_.fetch_add(1, std::memory_order_relaxed);
-    registry.counter(obs::names::kGatewayUploadsCompletedTotal).Increment();
-    early_verdicts_.fetch_add(1, std::memory_order_relaxed);
-    registry.counter(obs::names::kGatewayEarlyVerdictsTotal).Increment();
-    auto sent = socket.SendFrame(fabric::MsgType::kUploadAck,
-                                 fabric::EncodeUploadAck(ack));
-    if (sent.ok()) {
-      verdicts_sent_.fetch_add(1, std::memory_order_relaxed);
-      registry.counter(obs::names::kGatewayVerdictsSentTotal).Increment();
-    } else {
-      verdict_send_failures_.fetch_add(1, std::memory_order_relaxed);
-      registry.counter(obs::names::kGatewayVerdictSendFailuresTotal).Increment();
-    }
-  };
+  conn->priority = static_cast<serve::Priority>(open->priority);
+  conn->declared = open->declared_length;
 
   // Early admission 1 — digest fastpath: a declared digest the cache already
   // holds for the live model resolves right here, before (instead of) the
@@ -395,8 +340,8 @@ void IngestGateway::ServeConnection(Connection* conn) {
       verdict.from_cache = true;
       verdict.score = cached->score;
       verdict.model_version = cached->model_version;
-      send_early_verdict(verdict);
-      return;
+      SendEarlyVerdict(conn, verdict);
+      return false;
     }
   }
 
@@ -405,68 +350,134 @@ void IngestGateway::ServeConnection(Connection* conn) {
   // the gateway an ack frame instead of a multi-MB transfer.
   const bool over_budget =
       active_uploads_.load(std::memory_order_relaxed) >= config_.max_concurrent_uploads;
-  if (over_budget || service_.WouldShed(priority)) {
+  if (over_budget || service_.WouldShed(conn->priority)) {
     fabric::UploadVerdictMsg verdict;
     verdict.status = static_cast<uint8_t>(serve::VetStatus::kShedOverload);
     verdict.error = over_budget ? "upload budget exhausted" : "overload shed";
-    send_early_verdict(verdict);
-    return;
+    SendEarlyVerdict(conn, verdict);
+    return false;
   }
 
   fabric::UploadAck go;
   go.decision = fabric::UploadDecision::kGo;
   go.max_chunk_bytes = config_.chunk_bytes;
-  if (auto sent = socket.SendFrame(fabric::MsgType::kUploadAck,
-                                   fabric::EncodeUploadAck(go));
+  if (auto sent = conn->socket.SendFrame(fabric::MsgType::kUploadAck,
+                                         fabric::EncodeUploadAck(go));
       !sent.ok()) {
-    AbortUpload(socket, "disconnect");
-    return;
+    AbortUpload(conn, "disconnect");
+    return false;
   }
 
-  // Body transfer. The reader feeds ReadApkBlob, so hashing and spill-to-disk
-  // run concurrently with the network transfer — the blob's digest is ready
-  // the moment the last chunk lands.
-  active_uploads_.fetch_add(1, std::memory_order_relaxed);
-  registry.gauge(obs::names::kGatewayActiveUploads)
-      .Set(static_cast<double>(active_uploads_.load(std::memory_order_relaxed)));
-  socket.SetRecvTimeout(config_.read_deadline);
-  SocketStreamReader reader(socket, config_, open->declared_length, stopping_);
-  const Clock::time_point body_start = Clock::now();
-  auto blob = ingest::ReadApkBlob(reader, config_.chunk_bytes);
-  const double body_ms =
-      std::chrono::duration<double, std::milli>(Clock::now() - body_start).count();
-  registry.histogram(obs::names::kGatewayUploadStageMs).Observe(body_ms);
-  bytes_received_.fetch_add(reader.received(), std::memory_order_relaxed);
-  active_uploads_.fetch_sub(1, std::memory_order_relaxed);
-  registry.gauge(obs::names::kGatewayActiveUploads)
-      .Set(static_cast<double>(active_uploads_.load(std::memory_order_relaxed)));
+  // Body phase: chunks feed a BlobAssembler, so incremental SHA-1 and the
+  // spill policy overlap the transfer — the digest is ready the moment the
+  // last chunk lands.
+  conn->state = ConnState::kStreaming;
+  conn->counted_active = true;
+  const size_t active = active_uploads_.fetch_add(1, std::memory_order_relaxed) + 1;
+  registry.gauge(obs::names::kGatewayActiveUploads).Set(static_cast<double>(active));
+  conn->body = std::make_unique<ingest::BlobAssembler>(
+      static_cast<size_t>(conn->declared));
+  conn->body_start = Clock::now();
+  conn->window_start = conn->body_start;
+  conn->window_bytes = 0;
+  return true;
+}
 
-  if (!blob.ok()) {
-    const UploadFailure failure = reader.failure();
-    if (failure == UploadFailure::kSlowLoris) {
-      slow_loris_disconnects_.fetch_add(1, std::memory_order_relaxed);
-      registry.counter(obs::names::kGatewaySlowLorisDisconnectsTotal).Increment();
+bool IngestGateway::HandleStreamFrame(const std::shared_ptr<Conn>& conn,
+                                      const fabric::Frame& frame) {
+  auto& registry = obs::MetricsRegistry::Default();
+  if (frame.type == fabric::MsgType::kUploadEnd) {
+    auto end = fabric::DecodeUploadEnd(frame.payload);
+    if (!end.ok()) {
+      AbortUpload(conn, "protocol");
+      return false;
     }
-    AbortUpload(socket, UploadFailureName(failure));
-    return;
+    // Declared-length contract: the open's declaration, the client's claimed
+    // total, and the bytes that actually arrived must all agree.
+    if (end->sent_length != conn->declared || conn->received != conn->declared) {
+      AbortUpload(conn, "length_contract");
+      return false;
+    }
+    EndBody(conn);
+    auto blob = conn->body->Finish();
+    conn->body.reset();
+    conn->state = ConnState::kAwaitVerdict;
+    CancelDeadline(conn);
+    serve::Submission submission;
+    submission.blob = std::move(blob);
+    submission.priority = conn->priority;
+    // Park on the verdict without parking a thread: the service's completion
+    // hook posts back to this connection's strand.
+    IncInflight();
+    auto future = service_.SubmitWithCallback(
+        std::move(submission), [this, conn](const serve::VettingResult& result) {
+          serve::VettingResult copy = result;
+          conn->strand->Post([this, conn, copy = std::move(copy)] {
+            OnVerdict(conn, copy);
+            DecInflight();
+          });
+        });
+    if (!future.ok()) {
+      // Admission backpressure (shard queues full) or service shutdown. The
+      // upload itself arrived intact; the refusal is visible as an abort with
+      // the backpressure reason so the client backs off and retries by digest.
+      DecInflight();  // The hook is never invoked on admission errors.
+      AbortUpload(conn, "backpressure");
+    }
+    return false;  // Parked (or aborted); either way, stop reading.
   }
+  if (frame.type != fabric::MsgType::kUploadChunk) {
+    AbortUpload(conn, "protocol");
+    return false;
+  }
+  auto chunk = fabric::DecodeUploadChunk(frame.payload);
+  if (!chunk.ok()) {
+    AbortUpload(conn, "protocol");
+    return false;
+  }
+  if (chunk->seq != conn->next_seq) {
+    AbortUpload(conn, "length_contract");
+    return false;
+  }
+  ++conn->next_seq;
+  conn->received += chunk->bytes.size();
+  if (conn->received > conn->declared) {
+    AbortUpload(conn, "length_contract");
+    return false;
+  }
+  registry.counter(obs::names::kGatewayBytesReceivedTotal)
+      .Increment(chunk->bytes.size());
+  // Throughput floor over a sliding window: a slow-loris that trickles one
+  // tiny chunk per deadline never goes fully silent, so sustained bytes/sec
+  // is the signal that actually catches it.
+  if (config_.min_bytes_per_sec > 0.0) {
+    conn->window_bytes += chunk->bytes.size();
+    const auto elapsed = Clock::now() - conn->window_start;
+    if (elapsed >= config_.throughput_window) {
+      const double secs = std::chrono::duration<double>(elapsed).count();
+      const double rate = static_cast<double>(conn->window_bytes) / secs;
+      if (rate < config_.min_bytes_per_sec) {
+        slow_loris_disconnects_.fetch_add(1, std::memory_order_relaxed);
+        registry.counter(obs::names::kGatewaySlowLorisDisconnectsTotal).Increment();
+        AbortUpload(conn, "slow_loris");
+        return false;
+      }
+      conn->window_start = Clock::now();
+      conn->window_bytes = 0;
+    }
+  }
+  conn->body->Append(chunk->bytes);
+  return true;
+}
 
-  serve::Submission submission;
-  submission.blob = std::move(*blob);
-  submission.priority = priority;
-  auto future = service_.Submit(std::move(submission));
-  if (!future.ok()) {
-    // Admission backpressure (shard queues full) or service shutdown. The
-    // upload itself arrived intact; the refusal is visible as an abort with
-    // the backpressure reason so the client backs off and retries by digest.
-    AbortUpload(socket, "backpressure");
-    return;
-  }
-  const serve::VettingResult result = future->get();
+void IngestGateway::OnVerdict(const std::shared_ptr<Conn>& conn,
+                              const serve::VettingResult& result) {
+  if (conn->state != ConnState::kAwaitVerdict) return;
+  auto& registry = obs::MetricsRegistry::Default();
   completed_.fetch_add(1, std::memory_order_relaxed);
   registry.counter(obs::names::kGatewayUploadsCompletedTotal).Increment();
-  auto sent = socket.SendFrame(fabric::MsgType::kUploadVerdict,
-                               fabric::EncodeUploadVerdict(ToWire(result)));
+  auto sent = conn->socket.SendFrame(fabric::MsgType::kUploadVerdict,
+                                     fabric::EncodeUploadVerdict(ToWire(result)));
   if (sent.ok()) {
     verdicts_sent_.fetch_add(1, std::memory_order_relaxed);
     registry.counter(obs::names::kGatewayVerdictsSentTotal).Increment();
@@ -476,6 +487,76 @@ void IngestGateway::ServeConnection(Connection* conn) {
     verdict_send_failures_.fetch_add(1, std::memory_order_relaxed);
     registry.counter(obs::names::kGatewayVerdictSendFailuresTotal).Increment();
   }
+  FinishConn(conn);
+}
+
+void IngestGateway::EndBody(const std::shared_ptr<Conn>& conn) {
+  if (!conn->counted_active) return;
+  conn->counted_active = false;
+  auto& registry = obs::MetricsRegistry::Default();
+  const double body_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - conn->body_start)
+          .count();
+  registry.histogram(obs::names::kGatewayUploadStageMs).Observe(body_ms);
+  bytes_received_.fetch_add(conn->received, std::memory_order_relaxed);
+  const size_t active = active_uploads_.fetch_sub(1, std::memory_order_relaxed) - 1;
+  registry.gauge(obs::names::kGatewayActiveUploads).Set(static_cast<double>(active));
+}
+
+void IngestGateway::AbortUpload(const std::shared_ptr<Conn>& conn, const char* reason) {
+  if (conn->state == ConnState::kDone) return;
+  EndBody(conn);
+  conn->body.reset();
+  aborted_.fetch_add(1, std::memory_order_relaxed);
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.counter(obs::names::kGatewayUploadsAbortedTotal).Increment();
+  registry
+      .counter(obs::LabeledSeriesName(obs::names::kGatewayUploadsAbortedTotal,
+                                      "reason", reason))
+      .Increment();
+  // Visible abort: best-effort terminal verdict so a still-listening client
+  // learns the upload died instead of timing out. A dead peer just fails the
+  // send, which is fine — the abort is already counted.
+  fabric::UploadVerdictMsg verdict;
+  verdict.status = static_cast<uint8_t>(serve::VetStatus::kAbortedUpload);
+  verdict.error = reason;
+  (void)conn->socket.SendFrame(fabric::MsgType::kUploadVerdict,
+                               fabric::EncodeUploadVerdict(verdict));
+  FinishConn(conn);
+}
+
+void IngestGateway::SendEarlyVerdict(const std::shared_ptr<Conn>& conn,
+                                     const fabric::UploadVerdictMsg& verdict) {
+  auto& registry = obs::MetricsRegistry::Default();
+  fabric::UploadAck ack;
+  ack.decision = fabric::UploadDecision::kVerdict;
+  ack.verdict = verdict;
+  completed_.fetch_add(1, std::memory_order_relaxed);
+  registry.counter(obs::names::kGatewayUploadsCompletedTotal).Increment();
+  early_verdicts_.fetch_add(1, std::memory_order_relaxed);
+  registry.counter(obs::names::kGatewayEarlyVerdictsTotal).Increment();
+  auto sent = conn->socket.SendFrame(fabric::MsgType::kUploadAck,
+                                     fabric::EncodeUploadAck(ack));
+  if (sent.ok()) {
+    verdicts_sent_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter(obs::names::kGatewayVerdictsSentTotal).Increment();
+  } else {
+    verdict_send_failures_.fetch_add(1, std::memory_order_relaxed);
+    registry.counter(obs::names::kGatewayVerdictSendFailuresTotal).Increment();
+  }
+  FinishConn(conn);
+}
+
+void IngestGateway::FinishConn(const std::shared_ptr<Conn>& conn) {
+  if (conn->state == ConnState::kDone) return;
+  conn->state = ConnState::kDone;
+  CancelDeadline(conn);
+  if (conn->read_watch.Cancel()) DecInflight();
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    std::erase(conns_, conn);  // The socket closes with the last reference.
+  }
+  conns_cv_.notify_all();
 }
 
 GatewayStats IngestGateway::stats() const {

@@ -1,8 +1,24 @@
 // IngestGateway: the network front door of the vetting service. Accepts
-// framed APK uploads over the fabric transport (unix or TCP), streams the
-// body through ingest::ReadApkBlob so incremental SHA-1 hashing and
+// framed APK uploads over the fabric transport (unix or TCP), assembles the
+// body through ingest::BlobAssembler so incremental SHA-1 hashing and
 // spill-to-disk overlap the transfer, and answers with the submission's
 // verdict on the same connection.
+//
+// Every connection is a readiness-driven state machine on the service's
+// unified rt::Runtime — no thread per upload. The listener and each
+// connection fd carry one-shot PostFd watches; frames are decoded by a
+// streaming fabric::FrameAssembler; all per-connection state is touched only
+// on the connection's strand; deadlines are TimerWheel tasks instead of
+// SO_RCVTIMEO waits. Steady-state process thread count is O(runtime workers),
+// not O(connections) — the property the CI smoke asserts by doubling the
+// upload-client count and reading apichecker_rt_process_threads_peak.
+//
+//   kAwaitOpen --UploadOpen--> kStreaming --UploadEnd--> kAwaitVerdict
+//       |  idle_timeout            |  chunk frames           | service
+//       v  (silent close)          v  read_deadline timer,   v callback
+//     done                        aborts (slow-loris,      verdict sent,
+//                                 contract, protocol,       done
+//                                 disconnect)
 //
 // Early admission: the gateway can resolve an upload BEFORE the body finishes
 // arriving — a declared digest the cache already holds for the live model is
@@ -10,11 +26,11 @@
 // path), and an overload-governor shed refuses the body up front instead of
 // after multi-MB of hostile goodput.
 //
-// Robustness is the point. Per-connection read deadlines bound every frame
-// wait; a minimum-throughput floor over a sliding window evicts slow-loris
-// clients that trickle bytes just fast enough to defeat the deadline; a
-// declared-length vs received-length contract rejects both short and
-// oversending clients; undecodable frames reuse the FAB1 CRC codec's
+// Robustness is the point. Per-connection read-deadline timers bound every
+// frame wait; a minimum-throughput floor over a sliding window evicts
+// slow-loris clients that trickle bytes just fast enough to defeat the
+// deadline; a declared-length vs received-length contract rejects both short
+// and oversending clients; undecodable frames reuse the FAB1 CRC codec's
 // disconnect-and-count semantics; the concurrent-upload budget is bounded and
 // the active-upload count feeds the OverloadGovernor's depth input. On
 // Stop(), in-flight uploads get a drain grace to finish; stragglers are
@@ -26,6 +42,11 @@
 // where "completed" means a terminal verdict was produced (even if sending it
 // failed — the client retries by digest and resolves from the cache without
 // re-transfer).
+//
+// Lifetime contract: the gateway runs its state machines on
+// service.runtime(), so Stop() must complete while that runtime is alive.
+// VettingService::Shutdown() guarantees it (the front door quiesces first);
+// a gateway destroyed early deregisters its service hooks.
 
 #ifndef APICHECKER_GATEWAY_GATEWAY_H_
 #define APICHECKER_GATEWAY_GATEWAY_H_
@@ -37,10 +58,11 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "fabric/transport.h"
+#include "ingest/stream_reader.h"
+#include "rt/runtime.h"
 #include "serve/service.h"
 #include "util/result.h"
 
@@ -48,9 +70,8 @@ namespace apichecker::gateway {
 
 struct GatewayConfig {
   std::string endpoint;  // Listen address, "unix:/path" or "tcp:host:port".
-  // Longest the gateway waits for the next frame of an upload in progress. A
-  // connection that goes completely silent mid-body for this long is evicted
-  // as a slow-loris.
+  // Longest the gateway waits for upload progress mid-body. A connection that
+  // goes completely silent for this long is evicted as a slow-loris.
   std::chrono::milliseconds read_deadline{2000};
   // Longest a fresh connection may sit idle before its UploadOpen arrives.
   std::chrono::milliseconds idle_timeout{5000};
@@ -65,8 +86,7 @@ struct GatewayConfig {
   // Concurrent-upload budget: connections beyond this are refused at open
   // with a shed verdict rather than queued invisibly.
   size_t max_concurrent_uploads = 64;
-  // Advertised per-chunk ceiling, and the granularity the body is re-chunked
-  // at through ReadApkBlob (hash + spill overlap the transfer).
+  // Advertised per-chunk ceiling; also the ingest accounting granularity.
   size_t chunk_bytes = 64 * 1024;
   // How long Stop() lets in-flight uploads finish before severing them.
   std::chrono::milliseconds drain_grace{2000};
@@ -92,20 +112,22 @@ struct GatewayStats {
 class IngestGateway {
  public:
   // `service` must outlive the gateway. Registers the active-upload count as
-  // the service's ingress-backlog probe.
+  // the service's ingress-backlog probe and itself as the service's front
+  // door (VettingService::Shutdown stops the gateway first).
   IngestGateway(serve::VettingService& service, GatewayConfig config);
   ~IngestGateway();
 
   IngestGateway(const IngestGateway&) = delete;
   IngestGateway& operator=(const IngestGateway&) = delete;
 
-  // Binds the endpoint and starts the accept thread. Returns the bound
-  // endpoint (meaningful for tcp:host:0) on success.
+  // Binds the endpoint and arms the accept watch on the service runtime.
+  // Returns the bound endpoint (meaningful for tcp:host:0) on success.
   util::Result<fabric::Endpoint> Start();
 
   // Graceful drain: close the listener, give in-flight uploads drain_grace
-  // to finish, sever the rest (they resolve as kAbortedUpload), join all
-  // threads. Idempotent.
+  // to finish, sever the rest (they resolve as kAbortedUpload), and wait for
+  // every connection state machine and in-flight gateway task to retire.
+  // Idempotent; concurrent callers block until the first teardown completes.
   void Stop();
 
   // Blocks until Stop() is called from another thread.
@@ -118,29 +140,85 @@ class IngestGateway {
   }
 
  private:
-  struct Connection {
-    fabric::Socket socket;
-    std::thread thread;
-    std::atomic<bool> done{false};
+  enum class ConnState : uint8_t {
+    kAwaitOpen = 0,     // Idle timer armed; first frame must be UploadOpen.
+    kStreaming = 1,     // Body chunks arriving; read-deadline timer armed.
+    kAwaitVerdict = 2,  // Body submitted; no read watch, no timer.
+    kDone = 3,          // Terminal; the connection left the live set.
   };
 
-  void AcceptLoop();
-  void ServeConnection(Connection* conn);
-  void ReapLocked();
-  // Best-effort terminal kAbortedUpload verdict + abort accounting.
-  void AbortUpload(fabric::Socket& socket, const char* reason);
+  // One upload connection. All fields are touched only on the connection's
+  // strand; the socket is additionally ShutdownBoth() from Stop(), which is
+  // safe against concurrent I/O (that is the documented way to wake it).
+  struct Conn : std::enable_shared_from_this<Conn> {
+    fabric::Socket socket;
+    fabric::FrameAssembler assembler;
+    std::shared_ptr<rt::Strand> strand;
+    rt::CancelToken read_watch;
+    rt::CancelToken deadline_timer;
+    uint64_t deadline_gen = 0;  // Stale timer fires are ignored by generation.
+    ConnState state = ConnState::kAwaitOpen;
+    bool counted_active = false;  // Holds an active_uploads_ slot.
+    uint64_t declared = 0;
+    serve::Priority priority{};
+    uint32_t next_seq = 1;
+    uint64_t received = 0;
+    std::unique_ptr<ingest::BlobAssembler> body;
+    std::chrono::steady_clock::time_point body_start{};
+    std::chrono::steady_clock::time_point window_start{};
+    uint64_t window_bytes = 0;
+  };
+
+  // Task-arming helpers. Every posted callback holds one inflight_ slot so
+  // Stop() can wait out stale tasks that capture `this` (the gateway shares
+  // the service runtime and cannot drain it).
+  void IncInflight();
+  void DecInflight();
+  void ArmAccept();
+  void OnAcceptReady();
+  void ArmRead(const std::shared_ptr<Conn>& conn);
+  void ArmDeadline(const std::shared_ptr<Conn>& conn,
+                   std::chrono::milliseconds delay);
+  void CancelDeadline(const std::shared_ptr<Conn>& conn);
+
+  // Strand-serialized state machine steps.
+  void OnReadable(const std::shared_ptr<Conn>& conn);
+  void OnDeadline(const std::shared_ptr<Conn>& conn, uint64_t generation);
+  void OnVerdict(const std::shared_ptr<Conn>& conn,
+                 const serve::VettingResult& result);
+  // Handles one decoded frame; false means the read loop must return without
+  // re-arming (the connection finished, or parked awaiting its verdict).
+  bool HandleFrame(const std::shared_ptr<Conn>& conn, const fabric::Frame& frame);
+  bool HandleOpen(const std::shared_ptr<Conn>& conn, const fabric::Frame& frame);
+  bool HandleStreamFrame(const std::shared_ptr<Conn>& conn,
+                         const fabric::Frame& frame);
+  // Body-phase bookkeeping shared by completion and aborts: stage latency,
+  // received bytes, active-upload slot release.
+  void EndBody(const std::shared_ptr<Conn>& conn);
+  // Best-effort terminal kAbortedUpload verdict + abort accounting + finish.
+  void AbortUpload(const std::shared_ptr<Conn>& conn, const char* reason);
+  // Early-verdict funnel (digest fastpath / shed): completed accounting + ack.
+  void SendEarlyVerdict(const std::shared_ptr<Conn>& conn,
+                        const fabric::UploadVerdictMsg& verdict);
+  // Terminal teardown: cancels watch/timer, removes the connection from the
+  // live set, wakes Stop().
+  void FinishConn(const std::shared_ptr<Conn>& conn);
 
   serve::VettingService& service_;
   GatewayConfig config_;
+  rt::Runtime& rt_;
 
   fabric::Listener listener_;
   fabric::Endpoint bound_endpoint_;
-  std::thread accept_thread_;
+  rt::CancelToken accept_watch_;
   std::atomic<bool> stopping_{false};
   std::atomic<bool> stopped_once_{false};
 
-  std::mutex conns_mu_;
-  std::vector<std::unique_ptr<Connection>> conns_;
+  mutable std::mutex conns_mu_;
+  std::condition_variable conns_cv_;  // Stop() drains on it.
+  std::vector<std::shared_ptr<Conn>> conns_;
+  int64_t inflight_ = 0;     // Posted-but-unfinished gateway tasks; conns_mu_.
+  bool accept_closed_ = false;  // No more accept arming/admission; conns_mu_.
 
   std::mutex wait_mu_;
   std::condition_variable wait_cv_;

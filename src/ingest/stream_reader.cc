@@ -50,6 +50,28 @@ util::Result<size_t> FileStreamReader::Read(std::span<uint8_t> out) {
 
 std::optional<size_t> FileStreamReader::SizeHint() const { return size_hint_; }
 
+BlobAssembler::BlobAssembler(std::optional<size_t> size_hint)
+    : hasher_(std::make_unique<util::Sha1Hasher>()) {
+  if (size_hint.has_value()) bytes_.reserve(*size_hint);
+}
+
+BlobAssembler::~BlobAssembler() = default;
+
+void BlobAssembler::Append(std::span<const uint8_t> chunk) {
+  if (chunk.empty()) return;
+  hasher_->Update(chunk);
+  bytes_.insert(bytes_.end(), chunk.begin(), chunk.end());
+  appended_ += chunk.size();
+  auto& registry = obs::MetricsRegistry::Default();
+  registry.counter(obs::names::kIngestBytesStreamedTotal).Increment(chunk.size());
+  registry.counter(obs::names::kIngestChunksTotal).Increment();
+}
+
+ApkBlob BlobAssembler::Finish() {
+  obs::MetricsRegistry::Default().counter(obs::names::kServeHashOpsTotal).Increment();
+  return BlobBuilder::Finish(std::move(bytes_), hasher_->FinalHex());
+}
+
 util::Result<ApkBlob> ReadApkBlob(ApkStreamReader& reader, size_t chunk_bytes) {
   if (chunk_bytes == 0) chunk_bytes = kDefaultChunkBytes;
   auto& registry = obs::MetricsRegistry::Default();

@@ -10,6 +10,7 @@
 #define APICHECKER_INGEST_STREAM_READER_H_
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <span>
 #include <string>
@@ -17,6 +18,10 @@
 
 #include "ingest/apk_blob.h"
 #include "util/result.h"
+
+namespace apichecker::util {
+class Sha1Hasher;
+}  // namespace apichecker::util
 
 namespace apichecker::ingest {
 
@@ -64,6 +69,31 @@ class FileStreamReader : public ApkStreamReader {
   std::string path_;
   void* file_ = nullptr;  // FILE*, kept out of the header.
   std::optional<size_t> size_hint_;
+};
+
+// Push-based dual of ReadApkBlob for event-driven intake (the readiness-
+// driven gateway): Append() each chunk as it arrives off the wire — hashing
+// incrementally and counting the same apichecker_ingest_* bytes/chunks
+// series — then Finish() to get the blob (one
+// apichecker_serve_hash_ops_total, spill policy applied). Same invariants as
+// the pull path: exactly one SHA-1 pass and one buffer per APK, digest ready
+// the moment the last chunk lands. Single-use; not thread-safe (the owner
+// serializes on its connection strand).
+class BlobAssembler {
+ public:
+  // `size_hint` pre-reserves the buffer (the upload's declared length).
+  explicit BlobAssembler(std::optional<size_t> size_hint = std::nullopt);
+  ~BlobAssembler();  // Out of line: Sha1Hasher is forward-declared here.
+
+  void Append(std::span<const uint8_t> chunk);
+  ApkBlob Finish();
+
+  uint64_t bytes_appended() const { return appended_; }
+
+ private:
+  std::vector<uint8_t> bytes_;
+  std::unique_ptr<util::Sha1Hasher> hasher_;
+  uint64_t appended_ = 0;
 };
 
 // Drains `reader` in `chunk_bytes` slices, hashing incrementally, and returns

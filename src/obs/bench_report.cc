@@ -96,6 +96,17 @@ std::string BenchReportToJson(const BenchReport& report) {
                          report.upload_admission_p99_ms);
   out += util::StrFormat("  \"upload_resolved\": %llu,\n",
                          static_cast<unsigned long long>(report.upload_resolved));
+  out += util::StrFormat("  \"rt_tasks_total\": %llu,\n",
+                         static_cast<unsigned long long>(report.rt_tasks_total));
+  out += util::StrFormat("  \"rt_tasks_per_sec\": %.1f,\n",
+                         report.rt_tasks_per_sec);
+  out += util::StrFormat("  \"rt_steal_ratio\": %.4f,\n",
+                         report.rt_steal_ratio);
+  out += util::StrFormat("  \"rt_timer_lag_p99_ms\": %.3f,\n",
+                         report.rt_timer_lag_p99_ms);
+  out += util::StrFormat(
+      "  \"rt_process_threads_peak\": %llu,\n",
+      static_cast<unsigned long long>(report.rt_process_threads_peak));
   out += "  \"stages\": {";
   const char* sep = "";
   for (const auto& [name, stage] : report.stages) {

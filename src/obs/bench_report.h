@@ -74,6 +74,18 @@ struct BenchReport {
   double upload_admission_overhead_pct = 0.0;
   double upload_admission_p99_ms = 0.0;
   uint64_t upload_resolved = 0;
+  // Unified-runtime accounting pass: the apichecker_rt_* counters accumulated
+  // across every pass above (all services share the process-wide registry).
+  // Task throughput is tasks over the whole bench wall; the steal ratio is
+  // steals / tasks (work-stealing activity, not a problem indicator); timer
+  // lag quantiles come straight from the wheel's fire-time histogram; the
+  // threads peak is the O(cores)-not-O(connections) witness. All 0 when the
+  // runtime ran no work (never, in practice).
+  uint64_t rt_tasks_total = 0;
+  double rt_tasks_per_sec = 0.0;
+  double rt_steal_ratio = 0.0;
+  double rt_timer_lag_p99_ms = 0.0;
+  uint64_t rt_process_threads_peak = 0;
   // Stage name -> quantiles: admission, e2e, plus the per-stage breakdown
   // histograms (submit, shard, batch, farm, classify, store, resolve).
   std::map<std::string, BenchStage> stages;

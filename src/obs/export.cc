@@ -456,7 +456,43 @@ PeriodicReporter::PeriodicReporter(std::chrono::milliseconds interval, FlushFn f
   thread_ = std::thread([this] { Loop(); });
 }
 
+PeriodicReporter::PeriodicReporter(std::chrono::milliseconds interval, FlushFn flush,
+                                   TimerHost host, MetricsRegistry& registry)
+    : interval_(interval),
+      flush_(std::move(flush)),
+      registry_(registry),
+      host_(std::move(host)) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ArmLocked();
+}
+
 PeriodicReporter::~PeriodicReporter() { Stop(); }
+
+void PeriodicReporter::ArmLocked() {
+  tick_armed_ = true;
+  cancel_tick_ = host_(interval_, [this] { Tick(); });
+  if (!cancel_tick_) tick_armed_ = false;  // Host refused: it is shutting down.
+}
+
+void PeriodicReporter::Tick() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      tick_armed_ = false;
+      cv_.notify_all();
+      return;
+    }
+  }
+  flush_(registry_);
+  flushes_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stopping_) {
+    tick_armed_ = false;
+    cv_.notify_all();
+    return;
+  }
+  ArmLocked();
+}
 
 void PeriodicReporter::Stop() {
   // Fully serialized: every Stop() caller returns only after the one final
@@ -468,8 +504,14 @@ void PeriodicReporter::Stop() {
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     stopping_ = true;
+    if (host_) {
+      // A successful cancel retires the pending tick; a lost race means the
+      // tick is queued or mid-flush, so wait for it to observe stopping_.
+      if (tick_armed_ && cancel_tick_ && cancel_tick_()) tick_armed_ = false;
+      cv_.wait(lock, [this] { return !tick_armed_; });
+    }
   }
   cv_.notify_all();
   if (thread_.joinable()) {

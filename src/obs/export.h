@@ -50,13 +50,29 @@ struct ParsedDump {
 
 util::Result<ParsedDump> ParseJsonDump(std::string_view json);
 
-// Background thread invoking `flush` every `interval` (and once on Stop).
-// Typical use: periodically dump ToJson to a sidecar file during long runs.
+// Invokes `flush` every `interval` (and once on Stop). Typical use:
+// periodically dump ToJson to a sidecar file during long runs.
+//
+// Two hosting modes. The thread constructor owns a background thread (the
+// historical shape — still right for tools with no runtime). The timer-host
+// constructor instead self-reschedules one-shot timers on a caller-provided
+// scheduler, so a process with a unified rt::Runtime spends zero threads on
+// reporting; the host is a plain std::function so obs never depends on rt.
 class PeriodicReporter {
  public:
   using FlushFn = std::function<void(const MetricsRegistry&)>;
+  // Cancels a scheduled tick; true = the tick will never run. An empty
+  // function means the host refused (it is shutting down).
+  using CancelFn = std::function<bool()>;
+  // Schedules `tick` to run once after `delay` (rt::Runtime::PostAfter
+  // wrapped, or any equivalent). Must not run `tick` inline.
+  using TimerHost =
+      std::function<CancelFn(std::chrono::milliseconds delay, std::function<void()> tick)>;
 
   PeriodicReporter(std::chrono::milliseconds interval, FlushFn flush,
+                   MetricsRegistry& registry = MetricsRegistry::Default());
+  // Timer-host mode: no thread; each tick re-arms the next via `host`.
+  PeriodicReporter(std::chrono::milliseconds interval, FlushFn flush, TimerHost host,
                    MetricsRegistry& registry = MetricsRegistry::Default());
   ~PeriodicReporter();
 
@@ -72,13 +88,18 @@ class PeriodicReporter {
 
  private:
   void Loop();
+  void Tick();
+  void ArmLocked();  // Requires mu_.
 
   std::chrono::milliseconds interval_;
   FlushFn flush_;
   MetricsRegistry& registry_;
+  TimerHost host_;  // Empty in thread mode.
   std::mutex mu_;
   std::condition_variable cv_;
   bool stopping_ = false;
+  bool tick_armed_ = false;  // Timer-host mode: a tick is scheduled or running.
+  CancelFn cancel_tick_;     // Guarded by mu_.
   std::mutex stop_mu_;   // Serializes Stop(); held across the final flush.
   bool stopped_ = false; // Guarded by stop_mu_.
   std::atomic<uint64_t> flushes_{0};

@@ -271,6 +271,25 @@ inline constexpr char kGatewayClientRetriesTotal[] =
 inline constexpr char kGatewayNetInjectedFaultsTotal[] =
     "apichecker_gateway_net_injected_faults_total";
 
+// rt layer — the unified async runtime (executor + timer wheel + poller).
+// Every former per-subsystem thread (scheduler loop, farm dispatchers,
+// fabric monitors, gateway upload connections, periodic reporter) is now a
+// task on this runtime, so these series describe the whole serving spine.
+inline constexpr char kRtTasksTotal[] = "apichecker_rt_tasks_total";
+inline constexpr char kRtStealsTotal[] = "apichecker_rt_steals_total";
+inline constexpr char kRtQueueDepth[] = "apichecker_rt_queue_depth";
+inline constexpr char kRtTimersScheduledTotal[] =
+    "apichecker_rt_timers_scheduled_total";
+inline constexpr char kRtTimersCancelledTotal[] =
+    "apichecker_rt_timers_cancelled_total";
+inline constexpr char kRtTimerLagMs[] = "apichecker_rt_timer_lag_ms";
+inline constexpr char kRtPollWakeupsTotal[] = "apichecker_rt_poll_wakeups_total";
+inline constexpr char kRtFdWatchesTotal[] = "apichecker_rt_fd_watches_total";
+// Peak `Threads:` sampled from /proc/self/status at connection-accept time —
+// the CI gate that proves thread count is O(cores), not O(connections).
+inline constexpr char kRtProcessThreadsPeak[] =
+    "apichecker_rt_process_threads_peak";
+
 }  // namespace apichecker::obs::names
 
 #endif  // APICHECKER_OBS_NAMES_H_

@@ -52,88 +52,173 @@ struct StageTimes {
 
 }  // namespace
 
-BatchScheduler::BatchScheduler(BatchSchedulerConfig config, SubmissionShards& shards,
-                               DigestCache& cache, ServingModel& model,
-                               FarmPool& pool, ServiceCounters& counters,
+BatchScheduler::BatchScheduler(BatchSchedulerConfig config, rt::Runtime& runtime,
+                               SubmissionShards& shards, DigestCache& cache,
+                               ServingModel& model, FarmPool& pool,
+                               ServiceCounters& counters,
                                store::VerdictStore* store)
-    : config_(config), shards_(shards), cache_(cache), model_(model), pool_(pool),
-      counters_(counters), store_(store) {
+    : config_(config), runtime_(runtime), shards_(shards), cache_(cache),
+      model_(model), pool_(pool), counters_(counters), store_(store) {
   if (config_.batch_size == 0) {
     config_.batch_size = 1;
   }
 }
 
 BatchScheduler::~BatchScheduler() {
-  if (thread_.joinable()) {
+  if (started_.load(std::memory_order_acquire) && !drained()) {
     shards_.Close();
-    thread_.join();
+    Join();
   }
+}
+
+bool BatchScheduler::drained() const {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  return drained_;
 }
 
 void BatchScheduler::Start() {
-  if (!thread_.joinable()) {
-    thread_ = std::thread([this] { Loop(); });
+  bool expected = false;
+  if (!started_.compare_exchange_strong(expected, true)) {
+    return;
   }
+  strand_ = runtime_.MakeStrand();
+  shards_.SetPushListener([this] { SchedulePump(); });
+  // Sweep once unconditionally: submissions admitted before Start (the
+  // start_paused backlog) and a Close that raced the listener registration
+  // both predate the listener.
+  SchedulePump();
 }
 
 void BatchScheduler::Join() {
-  if (thread_.joinable()) {
-    thread_.join();
+  if (!started_.load(std::memory_order_acquire)) {
+    return;
   }
+  std::unique_lock<std::mutex> lock(join_mu_);
+  join_cv_.wait(lock, [this] { return drained_; });
 }
 
-void BatchScheduler::Loop() {
+void BatchScheduler::SchedulePump() {
+  if (!started_.load(std::memory_order_acquire)) {
+    return;
+  }
+  // Coalesce: many pushes, one queued pump. The pump clears the flag BEFORE
+  // sweeping, so a push that lands mid-sweep queues a fresh pump instead of
+  // being lost.
+  if (pump_scheduled_.exchange(true, std::memory_order_acq_rel)) {
+    return;
+  }
+  strand_->Post([this] {
+    // exchange (not store): reading the poster's flag write with acquire
+    // order makes that poster's shard push visible to the sweep below.
+    pump_scheduled_.exchange(false, std::memory_order_acq_rel);
+    Pump();
+  });
+}
+
+void BatchScheduler::Pump() {
   for (;;) {
-    std::vector<PendingSubmission> batch;
-    Clock::time_point linger_deadline{};
-    for (;;) {
-      std::optional<PendingSubmission> popped;
-      if (batch.empty()) {
-        // Idle: sleep on the shards' condition variable. The next push (or
-        // Close) wakes this immediately — there is no poll interval.
-        popped = shards_.PopAnyBlocking();
-        if (!popped) {
-          return;  // Closed and drained: scheduler exits.
-        }
-      } else {
-        // Round UP: truncating a sub-millisecond remainder would flush the
-        // batch just before a member's deadline, letting it slip through the
-        // assembled_at >= deadline expiry triage.
-        const auto remaining = std::chrono::ceil<std::chrono::milliseconds>(
-            linger_deadline - Clock::now());
-        if (remaining <= std::chrono::milliseconds::zero()) {
-          break;  // Linger expired: flush the partial batch.
-        }
-        popped = shards_.PopAnyFor(remaining);
-        if (!popped) {
-          break;  // Linger expired or shards closed: flush what we have.
-        }
+    // Read the push counter BEFORE sweeping (same protocol as the shards'
+    // blocking pop): a push that lands mid-sweep changes the counter, so the
+    // drained check below re-sweeps instead of declaring victory early.
+    const uint64_t seen = shards_.total_pushes();
+    while (batch_.size() < config_.batch_size) {
+      auto popped = shards_.TryPopAny();
+      if (!popped) {
+        break;
       }
-      if (batch.empty()) {
-        linger_deadline = Clock::now() + config_.max_linger;
+      if (batch_.empty()) {
+        linger_deadline_ = Clock::now() + config_.max_linger;
       }
       // SLO-aware linger: never linger past a member's deadline. A member
       // whose (class-SLO-derived) deadline is tighter than the configured
       // linger pulls the flush in, so a tight-SLO submission is dispatched —
-      // or expired visibly — at its deadline instead of at linger granularity.
-      linger_deadline = std::min(linger_deadline, popped->deadline);
-      batch.push_back(std::move(*popped));
-      if (batch.size() >= config_.batch_size) {
-        break;
+      // or expired visibly — at its deadline instead of at linger
+      // granularity.
+      linger_deadline_ = std::min(linger_deadline_, popped->deadline);
+      batch_.push_back(std::move(*popped));
+    }
+    if (batch_.size() >= config_.batch_size) {
+      Flush();
+      continue;  // The shards may hold another full batch already.
+    }
+    if (!batch_.empty()) {
+      if (shards_.closed() || Clock::now() >= linger_deadline_) {
+        // Closed shards never push again — lingering would only add latency.
+        Flush();
+        continue;
       }
+      ArmLingerTimer();
+      return;
     }
-    if (!batch.empty()) {
-      // Earliest-deadline-first assembly: triage (and therefore expiry,
-      // cache-hit resolution, and slot-leader election) visits the tightest
-      // deadlines first. No-deadline members (time_point::max) sort last;
-      // ties keep the weighted-fair pop order.
-      std::stable_sort(batch.begin(), batch.end(),
-                       [](const PendingSubmission& a, const PendingSubmission& b) {
-                         return a.deadline < b.deadline;
-                       });
-      ExecuteBatch(std::move(batch));
+    if (!shards_.closed()) {
+      return;  // Idle: the next push listener schedules the next pump.
     }
+    if (shards_.total_pushes() == seen) {
+      // Closed, empty sweep, and no push raced it: drained for good (pushes
+      // fail after close, so no later pump can find work).
+      linger_timer_.Cancel();
+      ++timer_generation_;
+      {
+        std::lock_guard<std::mutex> lock(join_mu_);
+        drained_ = true;
+      }
+      join_cv_.notify_all();
+      return;
+    }
+    // Closed but a push landed mid-sweep: loop and re-sweep.
   }
+}
+
+void BatchScheduler::ArmLingerTimer() {
+  if (timer_armed_ && armed_deadline_ == linger_deadline_ &&
+      !linger_timer_.fired()) {
+    return;  // Still pending at the right time; nothing to do.
+  }
+  linger_timer_.Cancel();
+  const uint64_t generation = ++timer_generation_;
+  timer_armed_ = true;
+  armed_deadline_ = linger_deadline_;
+  // The wheel callback runs on a runtime thread; it only bounces onto the
+  // strand, where OnLingerTimer may touch batch state. The strand is held
+  // alive by the capture; `this` stays valid because the service tears the
+  // scheduler down before the runtime (documented teardown sequence).
+  auto strand = strand_;
+  linger_timer_ = runtime_.PostAt(linger_deadline_, [this, strand, generation] {
+    strand->Post([this, generation] { OnLingerTimer(generation); });
+  });
+}
+
+void BatchScheduler::OnLingerTimer(uint64_t generation) {
+  if (generation != timer_generation_) {
+    return;  // Stale: the batch it guarded was already flushed or re-armed.
+  }
+  timer_armed_ = false;
+  if (!batch_.empty()) {
+    Flush();
+  }
+  // The flush may have raced new pushes whose pump coalesced into a task that
+  // already ran; sweep once more so nothing lingers unarmed.
+  Pump();
+}
+
+void BatchScheduler::Flush() {
+  linger_timer_.Cancel();
+  ++timer_generation_;
+  timer_armed_ = false;
+  std::vector<PendingSubmission> batch = std::move(batch_);
+  batch_.clear();
+  if (batch.empty()) {
+    return;
+  }
+  // Earliest-deadline-first assembly: triage (and therefore expiry,
+  // cache-hit resolution, and slot-leader election) visits the tightest
+  // deadlines first. No-deadline members (time_point::max) sort last; ties
+  // keep the weighted-fair pop order.
+  std::stable_sort(batch.begin(), batch.end(),
+                   [](const PendingSubmission& a, const PendingSubmission& b) {
+                     return a.deadline < b.deadline;
+                   });
+  ExecuteBatch(std::move(batch));
 }
 
 void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
@@ -284,7 +369,7 @@ void BatchScheduler::ExecuteBatch(std::vector<PendingSubmission> batch) {
                          result.from_cache, std::move(breakdown), total);
     }
 
-    pending.promise.set_value(std::move(result));
+    DeliverResult(pending, std::move(result));
   };
 
   // Triage on the scheduler thread: expired deadlines and digest-cache hits

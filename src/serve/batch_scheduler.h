@@ -7,8 +7,15 @@
 // scheduler blocks on the shards' condition variable, so the first submission
 // after an idle stretch wakes it immediately (no poll granularity).
 //
+// Since the unified-runtime refactor the scheduler owns NO thread: it is a
+// strand of tasks on the rt::Runtime. A shard push schedules a pump task
+// (coalesced — at most one queued at a time); the pump assembles the batch
+// and arms a linger timer at min(first-member + max_linger, earliest member
+// deadline); timer expiry flushes the partial batch. The strand serializes
+// pump, timer, and flush, so batch state needs no lock of its own.
+//
 // Emulation routes through a FarmPool: triage (deadline expiry, digest-cache
-// hits, in-batch dedup) runs on the scheduler thread over blob handles only —
+// hits, in-batch dedup) runs on the scheduler strand over blob handles only —
 // APK parsing is the pool's pipelined parse stage, run by the first worker
 // that dequeues the batch, so neither the submitter nor the scheduler ever
 // blocks on ZIP/dex decoding. Parse failures fast-fail with kParseError from
@@ -22,11 +29,15 @@
 #ifndef APICHECKER_SERVE_BATCH_SCHEDULER_H_
 #define APICHECKER_SERVE_BATCH_SCHEDULER_H_
 
+#include <atomic>
 #include <chrono>
+#include <condition_variable>
 #include <cstddef>
-#include <thread>
+#include <memory>
+#include <mutex>
 #include <vector>
 
+#include "rt/runtime.h"
 #include "serve/digest_cache.h"
 #include "serve/farm_pool.h"
 #include "serve/serving_model.h"
@@ -46,39 +57,68 @@ struct BatchSchedulerConfig {
 class BatchScheduler {
  public:
   // `store` may be null (persistence disabled); when set, every fresh verdict
-  // is appended to it right after the cache fill, on the pool worker thread.
-  BatchScheduler(BatchSchedulerConfig config, SubmissionShards& shards,
-                 DigestCache& cache, ServingModel& model, FarmPool& pool,
-                 ServiceCounters& counters, store::VerdictStore* store = nullptr);
+  // is appended to it right after the cache fill, on the pool dispatch task.
+  // `runtime` hosts the pump strand and linger timers; it must outlive the
+  // shards/pool (the service shuts it down LAST in the teardown sequence).
+  BatchScheduler(BatchSchedulerConfig config, rt::Runtime& runtime,
+                 SubmissionShards& shards, DigestCache& cache,
+                 ServingModel& model, FarmPool& pool, ServiceCounters& counters,
+                 store::VerdictStore* store = nullptr);
   ~BatchScheduler();
 
   BatchScheduler(const BatchScheduler&) = delete;
   BatchScheduler& operator=(const BatchScheduler&) = delete;
 
-  // Idempotent. The scheduler thread runs until the shards are closed and
+  // Idempotent. Registers the shard push listener and pumps any backlog;
+  // assembly work then runs as runtime tasks until the shards are closed and
   // drained.
   void Start();
 
-  // Joins the scheduler thread; every queued submission has been handed to
-  // the pool (or resolved) first. The pool must be drained separately to
-  // resolve in-flight batches (the shards must already be closed, or this
-  // blocks until they are).
+  // Blocks until the shards are closed and drained and the final partial
+  // batch has been handed to the pool (or resolved). The pool must be
+  // drained separately to resolve in-flight batches (the shards must already
+  // be closed, or this blocks until they are). No-op before Start().
   void Join();
 
-  bool running() const { return thread_.joinable(); }
+  bool running() const {
+    return started_.load(std::memory_order_acquire) && !drained();
+  }
 
  private:
-  void Loop();
+  void SchedulePump();
+  void Pump();
+  void OnLingerTimer(uint64_t generation);
+  void ArmLingerTimer();
+  void Flush();
   void ExecuteBatch(std::vector<PendingSubmission> batch);
+  bool drained() const;
 
   BatchSchedulerConfig config_;
+  rt::Runtime& runtime_;
   SubmissionShards& shards_;
   DigestCache& cache_;
   ServingModel& model_;
   FarmPool& pool_;
   ServiceCounters& counters_;
   store::VerdictStore* store_;  // Not owned; null when persistence is off.
-  std::thread thread_;
+
+  std::shared_ptr<rt::Strand> strand_;
+  std::atomic<bool> started_{false};
+  // Coalesces push notifications: at most one pump task queued at a time.
+  std::atomic<bool> pump_scheduled_{false};
+
+  // Strand-confined assembly state (only ever touched by strand tasks).
+  std::vector<PendingSubmission> batch_;
+  Clock::time_point linger_deadline_{};
+  rt::CancelToken linger_timer_;
+  uint64_t timer_generation_ = 0;
+  bool timer_armed_ = false;
+  Clock::time_point armed_deadline_{};
+
+  // Join/running signalling.
+  mutable std::mutex join_mu_;
+  std::condition_variable join_cv_;
+  bool drained_ = false;
 };
 
 }  // namespace apichecker::serve

@@ -64,19 +64,31 @@ std::vector<std::unique_ptr<fabric::FarmBackend>> MakeLocalFarmBackends(
 }
 
 FarmPool::FarmPool(const android::ApiUniverse& universe, FarmPoolConfig config,
-                   const emu::FarmConfig& farm_template)
-    : FarmPool(config, MakeLocalFarmBackends(universe, config, farm_template)) {}
+                   const emu::FarmConfig& farm_template, rt::Runtime* runtime)
+    : FarmPool(config, MakeLocalFarmBackends(universe, config, farm_template),
+               runtime) {}
 
 FarmPool::FarmPool(FarmPoolConfig config,
-                   std::vector<std::unique_ptr<fabric::FarmBackend>> backends)
+                   std::vector<std::unique_ptr<fabric::FarmBackend>> backends,
+                   rt::Runtime* runtime)
     : config_(config), backends_(std::move(backends)) {
   const size_t num_farms = backends_.size();
   config_.num_farms = num_farms;
   config_.max_attempts = std::max<size_t>(1, config_.max_attempts);
   config_.breaker_failure_streak = std::max<size_t>(1, config_.breaker_failure_streak);
 
+  if (runtime == nullptr) {
+    // Standalone construction (tests, benches): a private runtime with one
+    // worker per farm plus one spare keeps M farms executing concurrently.
+    owned_runtime_ =
+        std::make_unique<rt::Runtime>(rt::RuntimeOptions{num_farms + 1});
+    runtime = owned_runtime_.get();
+  }
+  rt_ = runtime;
+
   queues_.resize(num_farms);
   in_flight_.assign(num_farms, 0);
+  worker_active_.assign(num_farms, 0);
   health_.resize(num_farms);
   farm_stats_.resize(num_farms);
   for (size_t i = 0; i < num_farms; ++i) {
@@ -87,18 +99,14 @@ FarmPool::FarmPool(FarmPoolConfig config,
   metrics.gauge(obs::names::kServeFarmPoolSize).Set(static_cast<double>(num_farms));
   metrics.gauge(obs::names::kServeFarmHealthy).Set(static_cast<double>(num_farms));
 
-  // Health listeners before workers: a remote backend may report its first
-  // connection-loss transition the moment its monitor thread starts probing.
+  // Health listeners before any dispatch can run: a remote backend may report
+  // its first connection-loss transition the moment its monitor starts
+  // probing.
   for (size_t i = 0; i < num_farms; ++i) {
     backends_[i]->SetHealthListener(
         [this, i](fabric::FarmBackend::Health health, const std::string& reason) {
           OnBackendHealth(i, health, reason);
         });
-  }
-
-  workers_.reserve(num_farms);
-  for (size_t i = 0; i < num_farms; ++i) {
-    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
@@ -106,21 +114,40 @@ FarmPool::~FarmPool() { Close(); }
 
 void FarmPool::Close() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
     closed_ = true;
+    // Everything still queued (retries included) has an active dispatch task
+    // by construction — every push schedules one. Wait until the last task
+    // deactivates; from then on the pool never posts to the runtime again.
+    cv_.wait(lock, [&] {
+      if (outstanding_ != 0) {
+        return false;
+      }
+      for (char active : worker_active_) {
+        if (active) {
+          return false;
+        }
+      }
+      return true;
+    });
   }
-  cv_.notify_all();
-  for (std::thread& worker : workers_) {
-    if (worker.joinable()) {
-      worker.join();
-    }
-  }
-  // Stop backend monitor threads only after the drain: the health listeners
-  // they fire lock mu_, which must outlive them (member order destroys mu_
-  // before backends_). After StopMonitor returns no listener runs again.
+  // Stop backend monitors only after the drain: the health listeners they
+  // fire lock mu_, which must outlive them (member order destroys mu_ before
+  // backends_). After StopMonitor returns no listener runs again.
   for (auto& backend : backends_) {
     backend->StopMonitor();
   }
+  if (owned_runtime_ != nullptr) {
+    owned_runtime_->Shutdown();
+  }
+}
+
+void FarmPool::ScheduleFarmLocked(size_t farm_index) {
+  if (worker_active_[farm_index] || queues_[farm_index].empty()) {
+    return;
+  }
+  worker_active_[farm_index] = 1;
+  rt_->Post([this, farm_index] { RunFarm(farm_index); });
 }
 
 size_t FarmPool::HealthyFarmsLocked() const {
@@ -362,6 +389,7 @@ bool FarmPool::Submit(std::vector<ingest::ApkBlob> blobs,
                                   farm_stats_[*target].farm_id))
           .Increment();
       queues_[*target].push_back(std::move(batch));
+      ScheduleFarmLocked(*target);
     }
   }
   if (reject_now) {
@@ -371,18 +399,19 @@ bool FarmPool::Submit(std::vector<ingest::ApkBlob> blobs,
     reject_now(PoolRejectReason::kNoHealthyFarms, batch->AffectedIndices());
     return true;
   }
-  cv_.notify_all();
   return true;
 }
 
-void FarmPool::WorkerLoop(size_t farm_index) {
+void FarmPool::RunFarm(size_t farm_index) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    cv_.wait(lock, [&] {
-      return !queues_[farm_index].empty() || (closed_ && outstanding_ == 0);
-    });
     if (queues_[farm_index].empty()) {
-      return;  // Closed and fully drained (retries included).
+      // Deactivate, then wake a Close() waiting on the drain. The next push
+      // to this farm posts a fresh task.
+      worker_active_[farm_index] = 0;
+      lock.unlock();
+      cv_.notify_all();
+      return;
     }
     std::unique_ptr<PoolBatch> batch = std::move(queues_[farm_index].front());
     queues_[farm_index].pop_front();
@@ -520,9 +549,9 @@ void FarmPool::WorkerLoop(size_t farm_index) {
                                   farm_stats_[*target].farm_id))
           .Increment();
       queues_[*target].push_back(std::move(batch));
-      lock.unlock();
-      cv_.notify_all();
-      lock.lock();
+      // No-op when the retry lands back on this farm (this task is still
+      // active and loops around to it).
+      ScheduleFarmLocked(*target);
     } else {
       ++rejected_batches_;
       --outstanding_;

@@ -1,8 +1,10 @@
 // FarmPool: M emu::DeviceFarm instances behind the batch scheduler — the
 // paper's scale-out story (§5.1: 16 emulators per 20-core server, more
 // servers added as market load grows) made explicit as a routed, health-
-// checked pool. Each farm gets a dedicated dispatch thread, so M farms chew
-// M batches concurrently while the scheduler keeps assembling the next one.
+// checked pool. Each farm is a serialized task queue on the unified runtime
+// (one dispatch task in flight per farm, re-posted while its queue is
+// non-empty), so M farms chew M batches concurrently while the scheduler
+// keeps assembling the next one — without M parked threads.
 //
 // Routing: least-loaded healthy farm (queued + in-flight batches), with a
 // digest-affinity tiebreak so byte-similar traffic tends to revisit the same
@@ -30,13 +32,13 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "apk/apk.h"
 #include "emu/farm.h"
 #include "fabric/backend.h"
 #include "ingest/apk_blob.h"
+#include "rt/runtime.h"
 #include "serve/serving_model.h"
 #include "serve/types.h"
 
@@ -132,16 +134,18 @@ class FarmPool {
 
   // `farm_template` is cloned per farm with farm_id = 0..num_farms-1 and the
   // pool's fault plan attached; every farm runs in-process (LocalFarmBackend).
-  // Workers start immediately.
+  // `runtime` hosts the dispatch tasks; null makes the pool own a private
+  // runtime sized num_farms + 1 (standalone/test construction).
   FarmPool(const android::ApiUniverse& universe, FarmPoolConfig config,
-           const emu::FarmConfig& farm_template);
+           const emu::FarmConfig& farm_template, rt::Runtime* runtime = nullptr);
 
-  // Generalized form: one dispatch thread per backend, local and remote
-  // freely mixed. Remote backends report connection-health transitions that
-  // drive the breaker directly (force-open on loss, probe-eligible on
+  // Generalized form: one serialized dispatch queue per backend, local and
+  // remote freely mixed. Remote backends report connection-health transitions
+  // that drive the breaker directly (force-open on loss, probe-eligible on
   // reconnect). config.num_farms is overridden by backends.size().
   FarmPool(FarmPoolConfig config,
-           std::vector<std::unique_ptr<fabric::FarmBackend>> backends);
+           std::vector<std::unique_ptr<fabric::FarmBackend>> backends,
+           rt::Runtime* runtime = nullptr);
   ~FarmPool();
 
   FarmPool(const FarmPool&) = delete;
@@ -160,7 +164,9 @@ class FarmPool {
               std::vector<obs::TraceContext> traces = {});
 
   // Stops admission, executes everything still queued (retries included),
-  // joins the workers. Idempotent; the destructor calls it.
+  // and waits until no dispatch task is active — after Close() returns, the
+  // pool will never post to the runtime again (the service's license to shut
+  // the runtime down). Idempotent; the destructor calls it.
   void Close();
 
   size_t num_farms() const { return backends_.size(); }
@@ -205,9 +211,15 @@ class FarmPool {
     bool conn_lost = false;
   };
 
-  void WorkerLoop(size_t farm_index);
-  // Parse stage: runs once per batch on the first worker that dequeues it,
-  // outside mu_. Resolves parse failures via on_parse_error and drops the
+  // Posts a dispatch task for `farm_index` unless one is already active.
+  // Every path that makes a farm's queue non-empty calls this, so a farm has
+  // a task in flight exactly while it has (or is executing) work.
+  void ScheduleFarmLocked(size_t farm_index);
+  // The dispatch task: executes batches off the farm's queue until it is
+  // empty, then deactivates. Runs on a runtime worker.
+  void RunFarm(size_t farm_index);
+  // Parse stage: runs once per batch on the first dispatch task that dequeues
+  // it, outside mu_. Resolves parse failures via on_parse_error and drops the
   // blob handles (the pool keeps only the parsed ApkFiles afterwards).
   static void ParseStage(PoolBatch& batch);
   // All *Locked methods require mu_.
@@ -225,11 +237,14 @@ class FarmPool {
 
   FarmPoolConfig config_;
   std::vector<std::unique_ptr<fabric::FarmBackend>> backends_;
+  std::unique_ptr<rt::Runtime> owned_runtime_;  // Only when none was passed.
+  rt::Runtime* rt_ = nullptr;
 
   mutable std::mutex mu_;
-  std::condition_variable cv_;
+  std::condition_variable cv_;  // Close() waits for the drain on it.
   std::vector<std::deque<std::unique_ptr<PoolBatch>>> queues_;  // Per farm.
   std::vector<char> in_flight_;                                 // Per farm.
+  std::vector<char> worker_active_;  // Per farm: dispatch task posted/running.
   std::vector<FarmHealth> health_;
   std::vector<FarmStats> farm_stats_;
   uint64_t routed_ = 0;
@@ -238,8 +253,6 @@ class FarmPool {
   uint64_t rejected_batches_ = 0;
   size_t outstanding_ = 0;  // Batches accepted but not yet completed/rejected.
   bool closed_ = false;
-
-  std::vector<std::thread> workers_;
 };
 
 }  // namespace apichecker::serve

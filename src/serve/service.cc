@@ -1,6 +1,8 @@
 #include "serve/service.h"
 
+#include <algorithm>
 #include <cmath>
+#include <thread>
 #include <utility>
 
 #include "market/review_pipeline.h"
@@ -37,9 +39,11 @@ std::unique_ptr<store::VerdictStore> OpenStoreOrNull(const ServiceConfig& config
 }
 
 // Local farms by default; one RemoteFarmClient per fabric endpoint when the
-// service is fronting a multi-process fleet.
+// service is fronting a multi-process fleet. The remote clients share the
+// service's runtime for their heartbeat timers and reconnect tasks.
 std::vector<std::unique_ptr<fabric::FarmBackend>> MakeBackends(
-    const android::ApiUniverse& universe, const ServiceConfig& config) {
+    const android::ApiUniverse& universe, const ServiceConfig& config,
+    rt::Runtime* runtime) {
   if (config.fabric_endpoints.empty()) {
     return MakeLocalFarmBackends(universe, config.pool, config.farm);
   }
@@ -49,9 +53,25 @@ std::vector<std::unique_ptr<fabric::FarmBackend>> MakeBackends(
     fabric::RemoteClientConfig remote = config.fabric_client;
     remote.endpoint = config.fabric_endpoints[i];
     remote.farm_id = static_cast<uint32_t>(i);
-    backends.push_back(std::make_unique<fabric::RemoteFarmClient>(universe, remote));
+    backends.push_back(
+        std::make_unique<fabric::RemoteFarmClient>(universe, remote, runtime));
   }
   return backends;
+}
+
+// 0 = auto. The floor matters on small machines: farm dispatches and fabric
+// heartbeat ticks occupy workers for bounded-blocking stretches, so the
+// executor must have headroom beyond the farm count or a fully-dispatched
+// pool would starve the scheduler strand.
+size_t ResolveRuntimeWorkers(const ServiceConfig& config) {
+  if (config.rt_threads > 0) {
+    return config.rt_threads;
+  }
+  const size_t farms = config.fabric_endpoints.empty()
+                           ? std::max<size_t>(1, config.pool.num_farms)
+                           : config.fabric_endpoints.size();
+  const size_t hw = std::max<size_t>(2, std::thread::hardware_concurrency());
+  return std::max(hw, 2 * farms + 4);
 }
 
 }  // namespace
@@ -63,12 +83,15 @@ VettingService::VettingService(const android::ApiUniverse& universe,
       cache_(config.cache_capacity),
       store_(OpenStoreOrNull(config)),
       model_(std::move(initial_model)),
-      pool_(config.pool, MakeBackends(universe, config)),
+      runtime_(std::make_unique<rt::Runtime>(
+          rt::RuntimeOptions{ResolveRuntimeWorkers(config)})),
+      pool_(config.pool, MakeBackends(universe, config, runtime_.get()),
+            runtime_.get()),
       shards_(config.num_shards, config.shard_capacity,
               config.overload.class_weights),
       governor_(config.overload),
-      scheduler_(ResolveSchedulerConfig(config), shards_, cache_, model_, pool_,
-                 counters_, store_.get()) {
+      scheduler_(ResolveSchedulerConfig(config), *runtime_, shards_, cache_,
+                 model_, pool_, counters_, store_.get()) {
   batch_size_hint_ = ResolveSchedulerConfig(config).batch_size;
   if (config_.trace_sample_rate > 0.0) {
     sample_every_ = static_cast<size_t>(
@@ -117,6 +140,11 @@ VettingService::~VettingService() { Shutdown(); }
 void VettingService::Start() { scheduler_.Start(); }
 
 util::Result<std::future<VettingResult>> VettingService::Submit(Submission submission) {
+  return SubmitWithCallback(std::move(submission), nullptr);
+}
+
+util::Result<std::future<VettingResult>> VettingService::SubmitWithCallback(
+    Submission submission, std::function<void(const VettingResult&)> on_result) {
   const Clock::time_point entered_at = Clock::now();
   obs::MetricsRegistry& metrics = obs::MetricsRegistry::Default();
   counters_.submitted.fetch_add(1, std::memory_order_relaxed);
@@ -159,6 +187,7 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
   pending.deadline = relative_deadline.count() > 0
                          ? pending.admitted_at + relative_deadline
                          : Clock::time_point::max();
+  pending.on_result = std::move(on_result);
   std::future<VettingResult> future = pending.promise.get_future();
 
   // Deterministic 1-in-N sampling on the submission id (ids start at 1, so
@@ -228,7 +257,7 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
                          /*from_cache=*/true, std::move(breakdown),
                          result.total_ms);
     }
-    pending.promise.set_value(std::move(result));
+    DeliverResult(pending, std::move(result));
     observe_admission();
     return future;
   }
@@ -290,7 +319,7 @@ util::Result<std::future<VettingResult>> VettingService::Submit(Submission submi
                            VetStatusName(result.status), /*from_cache=*/false,
                            std::move(breakdown), result.total_ms);
       }
-      pending.promise.set_value(std::move(result));
+      DeliverResult(pending, std::move(result));
       observe_admission();
       return future;
     }
@@ -368,32 +397,51 @@ void VettingService::SetIngressBacklogProbe(std::function<size_t()> probe) {
   ingress_backlog_probe_ = std::move(probe);
 }
 
+void VettingService::RegisterFrontDoor(std::function<void()> stop) {
+  front_door_stop_ = std::move(stop);
+}
+
 void VettingService::Shutdown() {
-  if (shut_down_.exchange(true, std::memory_order_acq_rel)) {
-    return;
-  }
-  // Scheduler must be running to drain whatever is queued (covers the
-  // start_paused case where Start() was never called). Order matters: the
-  // scheduler hands its last batches to the pool before Join() returns, and
-  // only then may the pool close — so every accepted submission resolves.
-  scheduler_.Start();
-  shards_.Close();
-  scheduler_.Join();
-  pool_.Close();
-  // Only after pool_.Close() have all in-flight completions run, so every
-  // verdict this process produced has been handed to the store — flush the
-  // group-commit tail now, while the store is still alive. (Flushing before
-  // the pool drains would race the last appends and lose them to a crash.)
-  if (store_ != nullptr) {
-    auto flushed = store_->Flush();
-    if (!flushed.ok()) {
-      APICHECKER_LOG(Warning) << "verdict store flush at shutdown: "
-                              << flushed.error();
+  // call_once doubles as the idempotency latch AND the concurrent-shutdown
+  // barrier: a second caller blocks until the first teardown completes, so
+  // "Shutdown returned" always means "everything is down".
+  std::call_once(shutdown_once_, [this] {
+    // Teardown order: gateway → admission → scheduler → pool → store →
+    // runtime. The front door quiesces FIRST, while admission is still open,
+    // so uploads in flight drain to real verdicts instead of rejections; the
+    // runtime stops LAST, while every layer whose strand/timer tasks it may
+    // still run is alive.
+    if (front_door_stop_) {
+      front_door_stop_();
     }
-  }
-  APICHECKER_SLOG(Info, "serve.drained")
-      .With("accepted", counters_.accepted.load())
-      .With("resolved", counters_.resolved());
+    shut_down_.store(true, std::memory_order_release);
+    // Scheduler must be running to drain whatever is queued (covers the
+    // start_paused case where Start() was never called). The scheduler hands
+    // its last batches to the pool before Join() returns, and only then may
+    // the pool close — so every accepted submission resolves.
+    scheduler_.Start();
+    shards_.Close();
+    scheduler_.Join();
+    pool_.Close();
+    // Only after pool_.Close() have all in-flight completions run, so every
+    // verdict this process produced has been handed to the store — flush the
+    // group-commit tail now, while the store is still alive. (Flushing before
+    // the pool drains would race the last appends and lose them to a crash.)
+    if (store_ != nullptr) {
+      auto flushed = store_->Flush();
+      if (!flushed.ok()) {
+        APICHECKER_LOG(Warning) << "verdict store flush at shutdown: "
+                                << flushed.error();
+      }
+    }
+    // Every layer is drained; no task can be scheduled anymore. Stopping the
+    // runtime now (not in ~VettingService) guarantees stale strand/timer
+    // tasks can never touch a destroyed member.
+    runtime_->Shutdown();
+    APICHECKER_SLOG(Info, "serve.drained")
+        .With("accepted", counters_.accepted.load())
+        .With("resolved", counters_.resolved());
+  });
 }
 
 uint32_t VettingService::SwapModel(core::ApiChecker next) {

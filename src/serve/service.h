@@ -26,6 +26,7 @@
 #include <functional>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 
@@ -33,6 +34,7 @@
 #include "emu/farm.h"
 #include "fabric/remote_client.h"
 #include "market/model_registry.h"
+#include "rt/runtime.h"
 #include "serve/batch_scheduler.h"
 #include "serve/digest_cache.h"
 #include "serve/farm_pool.h"
@@ -78,6 +80,12 @@ struct ServiceConfig {
   // Template for every remote client (endpoint and farm_id are assigned per
   // entry above).
   fabric::RemoteClientConfig fabric_client;
+  // Worker threads of the unified runtime (the one executor hosting the
+  // scheduler strand, farm dispatch tasks, fabric heartbeat timers, and
+  // gateway upload state machines). 0 = auto: max(hardware_concurrency,
+  // 2 * farms + 4) — the floor keeps the executor ahead of the worst-case
+  // number of simultaneously-blocking farm dispatches on small machines.
+  size_t rt_threads = 0;
 };
 
 class VettingService {
@@ -99,6 +107,15 @@ class VettingService {
   // submission is classified, expires, or fails to parse — never silently
   // dropped.
   util::Result<std::future<VettingResult>> Submit(Submission submission);
+
+  // Submit variant with an asynchronous completion hook: `on_result` runs
+  // (after the future is fulfilled) on whichever runtime task resolved the
+  // submission. This is how the event-driven gateway gets its verdict without
+  // parking a thread on future.get(). The hook must be cheap and
+  // non-blocking; it is NOT invoked on admission errors (the returned Err
+  // carries those). The returned future remains valid and may be ignored.
+  util::Result<std::future<VettingResult>> SubmitWithCallback(
+      Submission submission, std::function<void(const VettingResult&)> on_result);
 
   // Early-admission hooks for the network ingest gateway, which must be able
   // to answer BEFORE an upload body finishes arriving.
@@ -125,8 +142,19 @@ class VettingService {
   // Starts the scheduler if start_paused was set. Idempotent.
   void Start();
 
-  // Closes admission, drains every queued submission, joins the scheduler.
-  // Idempotent; the destructor calls it.
+  // Registers the network front door's quiesce hook (the gateway's Stop).
+  // Shutdown() invokes it FIRST, before admission closes, so in-flight
+  // uploads drain to verdicts instead of being rejected mid-body. Must be set
+  // before Shutdown may run; pass nullptr to detach (a gateway being
+  // destroyed before the service must deregister).
+  void RegisterFrontDoor(std::function<void()> stop);
+
+  // Tears the service down in dependency order: front door (gateway) →
+  // admission → scheduler drain → farm pool → store flush → runtime. The
+  // runtime stops LAST, while every layer whose tasks it may still run is
+  // alive — this is the lifetime contract that makes stale timer/strand
+  // tasks safe. Idempotent and safe to call concurrently (late callers block
+  // until the first completes); the destructor calls it.
   void Shutdown();
 
   // Hot-swap: publishes a new model; in-flight batches finish on the old
@@ -154,6 +182,9 @@ class VettingService {
   uint64_t shard_pushes() const { return shards_.total_pushes(); }
   const ServiceConfig& config() const { return config_; }
   const DigestCache& cache() const { return cache_; }
+  // The unified runtime hosting every asynchronous task of this service; the
+  // gateway attaches its upload state machines here. Valid until Shutdown().
+  rt::Runtime& runtime() { return *runtime_; }
 
  private:
   void WarmStartFromStore();
@@ -162,16 +193,22 @@ class VettingService {
   ServiceConfig config_;
   ServiceCounters counters_;
   DigestCache cache_;
-  // Declared before pool_/scheduler_ so it outlives the threads that append
+  // Declared before pool_/scheduler_ so it outlives the tasks that append
   // to it; Shutdown() flushes it after the pool drains (see Shutdown()).
   std::unique_ptr<store::VerdictStore> store_;
   ServingModel model_;
+  // Declared before every layer that posts to it. Destruction order is moot
+  // (Shutdown() stops it explicitly, last), but construction order is not:
+  // the pool/scheduler take it by reference.
+  std::unique_ptr<rt::Runtime> runtime_;
   FarmPool pool_;
   SubmissionShards shards_;
   OverloadGovernor governor_;
   BatchScheduler scheduler_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<bool> shut_down_{false};
+  std::once_flag shutdown_once_;
+  std::function<void()> front_door_stop_;
   // In-flight network-upload depth, as submissions (empty = no gateway).
   std::function<size_t()> ingress_backlog_probe_;
   size_t sample_every_ = 0;  // 0 = tracing off; N = every Nth submission.

@@ -44,12 +44,20 @@ AdmissionOutcome SubmissionShards::TryPush(PendingSubmission pending) {
     return shards_[shard][lane]->closed() ? AdmissionOutcome::kClosed
                                           : AdmissionOutcome::kQueueFull;
   }
+  std::function<void()> listener;
   {
     std::lock_guard<std::mutex> lock(signal_mu_);
     ++pushes_;
+    listener = push_listener_;
   }
   signal_cv_.notify_one();
+  if (listener) listener();
   return AdmissionOutcome::kAccepted;
+}
+
+void SubmissionShards::SetPushListener(std::function<void()> listener) {
+  std::lock_guard<std::mutex> lock(signal_mu_);
+  push_listener_ = std::move(listener);
 }
 
 std::optional<PendingSubmission> SubmissionShards::TryPopAny() {
@@ -137,9 +145,11 @@ std::optional<PendingSubmission> SubmissionShards::PopAnyBlocking() {
 }
 
 void SubmissionShards::Close() {
+  std::function<void()> listener;
   {
     std::lock_guard<std::mutex> lock(signal_mu_);
     closed_ = true;
+    listener = push_listener_;
   }
   for (Shard& shard : shards_) {
     for (auto& lane : shard) {
@@ -147,6 +157,9 @@ void SubmissionShards::Close() {
     }
   }
   signal_cv_.notify_all();
+  // After the lanes are closed, so a listener-triggered sweep observes the
+  // final state and can flush its partial batch immediately.
+  if (listener) listener();
 }
 
 bool SubmissionShards::closed() const {

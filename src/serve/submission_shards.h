@@ -21,6 +21,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -68,6 +69,13 @@ class SubmissionShards {
   void Close();
   bool closed() const;
 
+  // Event-driven consumer hook: `listener` is invoked (outside the internal
+  // lock) after every successful push and once by Close(). The batch
+  // scheduler registers its pump here so a push schedules assembly work on
+  // the runtime instead of waking a dedicated thread. One listener at most;
+  // registering replaces the previous one.
+  void SetPushListener(std::function<void()> listener);
+
   // Total queued across shards and classes (approximate under concurrency).
   size_t ApproxDepth() const;
   // Queued in one class's lanes across shards (approximate).
@@ -102,6 +110,7 @@ class SubmissionShards {
   std::condition_variable signal_cv_;
   uint64_t pushes_ = 0;
   bool closed_ = false;
+  std::function<void()> push_listener_;  // Guarded by signal_mu_.
   size_t cursor_ = 0;  // Guarded by signal_mu_; rotates the sweep start.
   // Smooth-WRR credit per class; guarded by signal_mu_.
   std::array<int64_t, kNumPriorityClasses> credit_{};

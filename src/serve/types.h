@@ -11,8 +11,10 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <functional>
 #include <future>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "ingest/apk_blob.h"
@@ -135,10 +137,29 @@ struct PendingSubmission {
   // trace.sampled() == false makes all recording no-ops.
   obs::TraceContext trace;
   std::promise<VettingResult> promise;
+  // Optional completion hook, invoked after the promise is fulfilled, on
+  // whichever runtime task resolved the submission. The network gateway
+  // registers one so verdict delivery becomes an event instead of a thread
+  // parked on future.get(). Must be cheap and non-blocking.
+  std::function<void(const VettingResult&)> on_result;
 
   // SHA-1 hex of the blob bytes, computed once at blob creation.
   const std::string& digest() const { return blob.digest(); }
 };
+
+// Every resolution site funnels through here so the promise/callback ordering
+// is uniform: future waiters are released first, then the async hook fires
+// with the settled value.
+inline void DeliverResult(PendingSubmission& pending, VettingResult result) {
+  auto on_result = std::move(pending.on_result);
+  if (on_result) {
+    VettingResult settled = result;
+    pending.promise.set_value(std::move(result));
+    on_result(settled);
+  } else {
+    pending.promise.set_value(std::move(result));
+  }
+}
 
 // Coarse APK size classes for the admission-latency histograms. The flat-
 // admission property the ingest refactor buys is exactly "the large bucket's

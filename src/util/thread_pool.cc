@@ -1,6 +1,11 @@
 #include "util/thread_pool.h"
 
 #include <algorithm>
+#include <cstdio>
+
+#if defined(__linux__)
+#include <pthread.h>
+#endif
 
 namespace apichecker::util {
 
@@ -10,7 +15,16 @@ ThreadPool::ThreadPool(size_t num_threads) {
   }
   threads_.reserve(num_threads);
   for (size_t i = 0; i < num_threads; ++i) {
-    threads_.emplace_back([this] { WorkerLoop(); });
+    threads_.emplace_back([this, i] {
+#if defined(__linux__)
+      // Named like the rt threads (rt-worker-N / rt-timer / rt-poller) so
+      // TSan reports, perf profiles, and /proc/<pid>/task are attributable.
+      char name[16];
+      std::snprintf(name, sizeof(name), "pool-worker-%zu", i);
+      (void)pthread_setname_np(pthread_self(), name);
+#endif
+      WorkerLoop();
+    });
   }
 }
 

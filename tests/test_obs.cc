@@ -21,6 +21,7 @@
 #include "obs/names.h"
 #include "obs/trace.h"
 #include "obs/trace_collector.h"
+#include "rt/runtime.h"
 #include "util/thread_pool.h"
 
 namespace apichecker::obs {
@@ -319,6 +320,92 @@ TEST(Export, PeriodicReporterConcurrentStopNeverSkipsTheFinalFlush) {
     // Both callers returned => the single final flush must have run.
     EXPECT_EQ(flushes.load(), 1u);
   }
+}
+
+// Adapts an rt::Runtime into the reporter's TimerHost shape (what a unified-
+// runtime process passes so reporting costs zero threads).
+PeriodicReporter::TimerHost RuntimeHost(rt::Runtime& rt) {
+  return [&rt](std::chrono::milliseconds delay, std::function<void()> tick) {
+    rt::CancelToken token = rt.PostAfter(delay, std::move(tick));
+    if (!token.valid()) return PeriodicReporter::CancelFn{};
+    return PeriodicReporter::CancelFn([token]() mutable { return token.Cancel(); });
+  };
+}
+
+TEST(Export, TimerHostReporterFlushesAndReschedules) {
+  rt::Runtime rt(rt::RuntimeOptions{2});
+  MetricsRegistry registry;
+  std::atomic<uint64_t> seen{0};
+  {
+    PeriodicReporter reporter(std::chrono::milliseconds(5),
+                              [&](const MetricsRegistry&) { seen.fetch_add(1); },
+                              RuntimeHost(rt), registry);
+    // Several intervals must elapse: the tick has to re-arm itself.
+    while (seen.load() < 3) std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    reporter.Stop();
+    EXPECT_GE(reporter.flush_count(), 3u);
+  }
+  rt.Shutdown();
+}
+
+TEST(Export, TimerHostReporterStopOwesTheFinalFlush) {
+  // Interval far longer than the test: only Stop()'s flush runs, and it must
+  // see increments made right before Stop() — the last partial interval is
+  // never dropped, exactly as in thread mode.
+  rt::Runtime rt(rt::RuntimeOptions{2});
+  MetricsRegistry registry;
+  std::atomic<uint64_t> last_seen{0};
+  PeriodicReporter reporter(
+      std::chrono::hours(24),
+      [&](const MetricsRegistry&) {
+        last_seen.store(registry.counter("apichecker_test_final_total").value());
+      },
+      RuntimeHost(rt), registry);
+  registry.counter("apichecker_test_final_total").Increment(7);
+  reporter.Stop();
+  EXPECT_EQ(reporter.flush_count(), 1u);
+  EXPECT_EQ(last_seen.load(), 7u);
+  rt.Shutdown();
+}
+
+TEST(Export, TimerHostReporterConcurrentStopNeverSkipsTheFinalFlush) {
+  rt::Runtime rt(rt::RuntimeOptions{2});
+  for (int round = 0; round < 20; ++round) {
+    MetricsRegistry registry;
+    std::atomic<uint64_t> flushes{0};
+    PeriodicReporter reporter(
+        std::chrono::hours(24),
+        [&](const MetricsRegistry&) {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          flushes.fetch_add(1);
+        },
+        RuntimeHost(rt), registry);
+    std::thread a([&] { reporter.Stop(); });
+    std::thread b([&] { reporter.Stop(); });
+    a.join();
+    b.join();
+    EXPECT_EQ(flushes.load(), 1u);
+  }
+  rt.Shutdown();
+}
+
+TEST(Export, TimerHostReporterRacingTickAndStop) {
+  // Tight interval + immediate Stop, many rounds: whichever way the
+  // cancel-vs-fire race lands, Stop must return promptly and exactly one
+  // final flush (plus any ticks that beat it) is recorded.
+  rt::Runtime rt(rt::RuntimeOptions{2});
+  for (int round = 0; round < 50; ++round) {
+    MetricsRegistry registry;
+    std::atomic<uint64_t> flushes{0};
+    PeriodicReporter reporter(std::chrono::milliseconds(1),
+                              [&](const MetricsRegistry&) { flushes.fetch_add(1); },
+                              RuntimeHost(rt), registry);
+    std::this_thread::sleep_for(std::chrono::microseconds(200 * (round % 10)));
+    reporter.Stop();
+    EXPECT_GE(flushes.load(), 1u);
+    EXPECT_EQ(reporter.flush_count(), flushes.load());
+  }
+  rt.Shutdown();
 }
 
 // ---------------------------------------------------------------------------

@@ -627,6 +627,30 @@ TEST(VettingService, SubmitAfterShutdownIsRejected) {
   EXPECT_EQ(rejected.error(), "service is shut down");
 }
 
+TEST(VettingService, ShutdownIsIdempotentSequentiallyAndConcurrently) {
+  // Teardown runs in dependency order (front door -> admission -> scheduler
+  // -> pool -> store -> runtime) exactly once; every later or concurrent
+  // caller must block until that teardown completes and then return — never
+  // re-tear layers, never race the runtime join. The in-flight submission
+  // still resolves (drain, not drop).
+  VettingService service(TestUniverse(), SmallConfig(), TrainedChecker());
+  auto accepted = service.Submit(MakeSubmission(MakeApkBytes(47)));
+  ASSERT_TRUE(accepted.ok());
+
+  std::vector<std::thread> callers;
+  for (int i = 0; i < 4; ++i) {
+    callers.emplace_back([&service] { service.Shutdown(); });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(accepted->get().status, VetStatus::kOk);
+
+  // Sequential re-calls after completion are no-ops, including via the
+  // destructor (which calls Shutdown again when the test ends).
+  service.Shutdown();
+  service.Shutdown();
+  EXPECT_FALSE(service.Submit(MakeSubmission(MakeApkBytes(53))).ok());
+}
+
 TEST(VettingService, TracesCoverTheFullPipelineAndFailoverSiblings) {
   // Deterministic end-to-end trace shapes, three submissions:
   //   A: both farms scripted to fault their first batch -> the pool fails over

@@ -73,6 +73,7 @@ struct CommonFlags {
   size_t batch = 0;       // 0 = one per farm emulator.
   size_t linger_ms = 10;
   size_t farms = 1;       // Device farms in the serving pool.
+  size_t rt_threads = 0;  // Unified-runtime executor threads; 0 = auto-size.
   double fault_rate = 0;  // Per-batch farm fault probability (fault injection).
   std::string store_dir;  // Persistent verdict store; empty = disabled.
   std::string fsync_policy = "group";  // every | group | buffered.
@@ -197,6 +198,8 @@ CommonFlags ParseFlags(int argc, char** argv, int first) {
       flags.linger_ms = std::strtoull(next_value("--linger-ms"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--farms") == 0) {
       flags.farms = std::strtoull(next_value("--farms"), nullptr, 10);
+    } else if (std::strcmp(argv[i], "--rt-threads") == 0) {
+      flags.rt_threads = std::strtoull(next_value("--rt-threads"), nullptr, 10);
     } else if (std::strcmp(argv[i], "--fault-rate") == 0) {
       flags.fault_rate = std::strtod(next_value("--fault-rate"), nullptr);
     } else if (std::strcmp(argv[i], "--store-dir") == 0) {
@@ -497,6 +500,7 @@ int CmdFarm(const CommonFlags& flags) {
   fabric::FarmWorkerConfig config;
   config.endpoint = flags.listen;
   config.worker_id = flags.worker_id;
+  config.rt_threads = flags.rt_threads;
   config.farm.engine.kind = emu::EngineKind::kLightweight;
   config.farm.farm_id = flags.worker_id;
   config.farm.fault_plan.seed = flags.seed + flags.worker_id;
@@ -581,6 +585,7 @@ int CmdServe(const CommonFlags& flags) {
   const std::vector<uint8_t> swap_blob = core::SerializeChecker(*checker);
 
   serve::ServiceConfig config;
+  config.rt_threads = flags.rt_threads;
   config.num_shards = std::max<size_t>(1, flags.shards);
   config.shard_capacity = std::max<size_t>(1, flags.shard_capacity);
   config.overload.shed = flags.shed;
@@ -827,6 +832,16 @@ int CmdServe(const CommonFlags& flags) {
   size_t rejected_at_submit = 0;
   for (size_t i = 0; i < trace.size(); ++i) {
     if (i == trace.size() / 2) {
+      // Drain the first half before swapping so its verdicts land stamped
+      // with snapshot v1. A fresh boot serves v1 again and warm-starts only
+      // v1 records (v2 is stale-skipped), so the restart smoke needs v1
+      // verdicts in the store; swapping with the first half still in flight
+      // leaves the v1/v2 split to scheduler timing — occasionally zero v1
+      // records. The swap-vs-in-flight pinning race itself is covered by
+      // bench_serve_throughput and test_serve.
+      for (auto& future : futures) {
+        future.wait();
+      }
       auto swapped = service.SwapModelFromBlob(swap_blob);
       if (swapped.ok()) {
         std::printf("serve: hot-swapped model mid-trace -> snapshot v%u\n", *swapped);
@@ -1091,6 +1106,22 @@ int CmdServe(const CommonFlags& flags) {
     report.peak_rss_mb = obs::PeakRssMb();
     report.peak_blob_pool_mb =
         static_cast<double>(ingest::ApkBlob::PoolPeakBytes()) / (1024.0 * 1024.0);
+    report.rt_tasks_total = static_cast<uint64_t>(
+        reg.counter(obs::names::kRtTasksTotal).value());
+    report.rt_tasks_per_sec =
+        elapsed_s > 0 ? static_cast<double>(report.rt_tasks_total) / elapsed_s
+                      : 0.0;
+    report.rt_steal_ratio =
+        report.rt_tasks_total > 0
+            ? reg.counter(obs::names::kRtStealsTotal).value() /
+                  static_cast<double>(report.rt_tasks_total)
+            : 0.0;
+    report.rt_timer_lag_p99_ms =
+        reg.histogram(obs::names::kRtTimerLagMs).Snapshot().Quantile(0.99);
+    report.rt_process_threads_peak = static_cast<uint64_t>(
+        reg.gauge(obs::names::kRtProcessThreadsPeak).value());
+    report.stages["rt_timer_lag"] =
+        obs::StageFromHistogram(reg, obs::names::kRtTimerLagMs);
     report.stages["admission"] =
         obs::StageFromHistogram(reg, obs::names::kServeAdmissionLatencyMs);
     report.stages["e2e"] =
@@ -1305,7 +1336,10 @@ void PrintUsage() {
       "              --worker-id N; --apis/--seed must match the serve front end)\n"
       "  market     run the deployment simulation (--months, --apps)\n"
       "common flags: --apis N (default 30000), --seed S (default 42),\n"
-      "              --metrics-out FILE (dump metrics JSON; .prom for Prometheus)\n"
+      "              --metrics-out FILE (dump metrics JSON; .prom for Prometheus),\n"
+      "              --rt-threads N (unified-runtime executor threads for\n"
+      "              serve/farm; 0 = auto-size to cores with a farm-dispatch\n"
+      "              floor)\n"
       "environment:  APICHECKER_LOG_LEVEL=debug|info|warn|error,\n"
       "              APICHECKER_LOG_FORMAT=text|json\n");
 }

@@ -13,6 +13,9 @@
 # `apichecker submit` clients: scripted stalls past the read deadline and a
 # mid-upload SIGKILL, with the extended drain invariant
 # uploads_accepted == completed + aborted asserted over the metrics dump),
+# then a steady-state thread-count gate (the unified runtime keeps process
+# threads O(cores): the peak thread gauge must stay flat as concurrent upload
+# clients quadruple),
 # then rebuild the concurrency-sensitive tests under AddressSanitizer and —
 # unless skipped —
 # run the stress-labelled suites (farm-pool fault injection + the serve and
@@ -319,9 +322,18 @@ assert report["schema"] == "apichecker-bench-serve-v1", report["schema"]
 for key in ["throughput_per_sec", "baseline_throughput_per_sec", "submissions"]:
     assert math.isfinite(report[key]) and report[key] > 0, (key, report[key])
 assert math.isfinite(report["tracing_overhead_pct"])
-print("bench smoke: baseline %.0f/sec, traced %.0f/sec, overhead %.2f%%"
+# Pass-6 unified-runtime accounting: every pass dispatches through the shared
+# runtime, so the task counter must be live and the derived fields finite.
+for key in ["rt_tasks_total", "rt_tasks_per_sec", "rt_steal_ratio",
+            "rt_timer_lag_p99_ms", "rt_process_threads_peak"]:
+    assert key in report and math.isfinite(report[key]), (key, report.get(key))
+assert report["rt_tasks_total"] > 0, "unified runtime ran zero tasks"
+assert "rt_timer_lag" in report["stages"], "missing rt_timer_lag stage"
+print("bench smoke: baseline %.0f/sec, traced %.0f/sec, overhead %.2f%%; "
+      "rt %d tasks, steal ratio %.3f"
       % (report["baseline_throughput_per_sec"], report["throughput_per_sec"],
-         report["tracing_overhead_pct"]))
+         report["tracing_overhead_pct"], report["rt_tasks_total"],
+         report["rt_steal_ratio"]))
 PYEOF
 echo "bench smoke OK (two-pass BENCH_serve.json written and schema-valid)"
 
@@ -417,11 +429,68 @@ print("gateway: %d accepted == %d completed + %d aborted; %d slow-loris "
 PYEOF
 echo "gateway smoke OK (slow-loris evicted, mid-upload kill absorbed, drain invariant held)"
 
+echo "=== rt: steady-state thread-count gate (threads O(cores), not O(connections)) ==="
+# Two identical gateway rounds, 2 then 8 concurrent upload clients. The
+# unified runtime fixes the process's thread complement at startup — every
+# connection is a readiness-driven state machine, not a thread — so the peak
+# thread gauge must stay flat (small jitter allowance) as clients quadruple.
+for CLIENTS in 2 8; do
+  "$ROOT/build/tools/apichecker" serve --apps 8 --apis 8000 \
+    --model "$SERVE_TMP/model.bin" --listen "tcp:127.0.0.1:0" --chunk-kb 4 \
+    --metrics-out "$SERVE_TMP/metrics-threads-$CLIENTS.json" \
+    > "$SERVE_TMP/threads-serve-$CLIENTS.out" 2>&1 &
+  RT_PID=$!
+  RT_ADDR=""
+  for _ in $(seq 1 100); do
+    RT_ADDR=$(sed -n 's/.*listening on \(tcp:[0-9.:]*\).*/\1/p' \
+      "$SERVE_TMP/threads-serve-$CLIENTS.out" 2>/dev/null | head -n 1)
+    [ -n "$RT_ADDR" ] && break
+    sleep 0.1
+  done
+  [ -n "$RT_ADDR" ] || {
+    echo "thread-gate serve ($CLIENTS clients) never printed its endpoint"
+    cat "$SERVE_TMP/threads-serve-$CLIENTS.out"
+    kill "$RT_PID" 2>/dev/null; exit 1; }
+  i=0; CLIENT_PIDS=""
+  while [ "$i" -lt "$CLIENTS" ]; do
+    "$ROOT/build/tools/apichecker" submit --connect "$RT_ADDR" --apis 8000 \
+      --uploads 2 --chunk-kb 4 --seed $((100 + i)) \
+      > "$SERVE_TMP/threads-client-$CLIENTS-$i.out" 2>&1 &
+    CLIENT_PIDS="$CLIENT_PIDS $!"
+    i=$((i + 1))
+  done
+  for pid in $CLIENT_PIDS; do
+    wait "$pid" || {
+      echo "thread-gate upload client failed ($CLIENTS-client round)"; exit 1; }
+  done
+  kill -TERM "$RT_PID"
+  wait "$RT_PID" || {
+    echo "thread-gate serve ($CLIENTS clients) exited non-zero"
+    cat "$SERVE_TMP/threads-serve-$CLIENTS.out"; exit 1; }
+done
+python3 - "$SERVE_TMP/metrics-threads-2.json" "$SERVE_TMP/metrics-threads-8.json" <<'PYEOF'
+import json, sys
+def peak(path):
+    gauges = json.load(open(path))["gauges"]
+    value = gauges.get("apichecker_rt_process_threads_peak", 0)
+    if value <= 0:
+        raise SystemExit("%s: apichecker_rt_process_threads_peak missing or zero"
+                         % path)
+    return value
+few, many = peak(sys.argv[1]), peak(sys.argv[2])
+if many > few + 2:
+    raise SystemExit("thread count scales with connections: peak %d threads at 8 "
+                     "clients vs %d at 2 (allowance +2)" % (many, few))
+print("thread gate: peak %d threads at 2 clients, %d at 8 — flat" % (few, many))
+PYEOF
+echo "thread gate OK (process thread peak flat as upload clients quadruple)"
+
 if [ "$ASAN" = "1" ]; then
-  echo "=== asan: build + run test_obs test_apk test_ingest test_serve test_store test_farm_pool test_fabric test_gateway ==="
+  echo "=== asan: build + run test_rt test_obs test_apk test_ingest test_serve test_store test_farm_pool test_fabric test_gateway ==="
   cmake -B "$ROOT/build-asan" -S "$ROOT" -DAPICHECKER_SANITIZE=address >/dev/null
-  cmake --build "$ROOT/build-asan" -j --target test_obs test_apk test_ingest \
+  cmake --build "$ROOT/build-asan" -j --target test_rt test_obs test_apk test_ingest \
     test_serve test_store test_farm_pool test_fabric test_gateway
+  "$ROOT/build-asan/tests/test_rt"
   "$ROOT/build-asan/tests/test_obs"
   "$ROOT/build-asan/tests/test_apk"
   "$ROOT/build-asan/tests/test_ingest"
@@ -435,8 +504,9 @@ fi
 if [ "$TSAN" = "1" ]; then
   echo "=== tsan: serve races + stress-labelled suites ==="
   cmake -B "$ROOT/build-tsan" -S "$ROOT" -DAPICHECKER_SANITIZE=thread >/dev/null
-  cmake --build "$ROOT/build-tsan" -j --target test_serve test_store test_farm_pool \
-    test_ingest test_obs test_fabric test_gateway
+  cmake --build "$ROOT/build-tsan" -j --target test_rt test_serve test_store \
+    test_farm_pool test_ingest test_obs test_fabric test_gateway
+  "$ROOT/build-tsan/tests/test_rt"
   "$ROOT/build-tsan/tests/test_serve"
   "$ROOT/build-tsan/tests/test_obs"
   # Stress label = the farm-pool fault suite, the multi-producer serve/store
